@@ -1,0 +1,91 @@
+//! Named malicious-IP lists (Killnet proxy list, C2 daily feed, …).
+//!
+//! The paper's §9 case study correlates `mdrfckr` client IPs against the
+//! Killnet proxy blocklist (988 overlapping IPs) and a C2 feed. Lists here
+//! are plain named sets; the botnet generator decides membership so the
+//! documented overlaps emerge from the data rather than being asserted.
+
+use netsim::Ipv4Addr;
+use std::collections::HashSet;
+
+/// A named set of IPs.
+#[derive(Debug, Clone, Default)]
+pub struct IpList {
+    name: String,
+    ips: HashSet<Ipv4Addr>,
+}
+
+impl IpList {
+    /// An empty list with a display name, e.g. `"KillNet DDoS Blocklist"`.
+    pub fn new(name: &str) -> Self {
+        Self { name: name.to_string(), ips: HashSet::new() }
+    }
+
+    /// List name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Adds an address.
+    pub fn add(&mut self, ip: Ipv4Addr) {
+        self.ips.insert(ip);
+    }
+
+    /// Membership test.
+    pub fn contains(&self, ip: Ipv4Addr) -> bool {
+        self.ips.contains(&ip)
+    }
+
+    /// Number of addresses.
+    pub fn len(&self) -> usize {
+        self.ips.len()
+    }
+
+    /// Whether the list is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ips.is_empty()
+    }
+
+    /// Iterates over members (unordered).
+    pub fn iter(&self) -> impl Iterator<Item = &Ipv4Addr> {
+        self.ips.iter()
+    }
+
+    /// Size of the intersection with an arbitrary IP collection — the
+    /// paper's overlap statistic.
+    pub fn overlap_count<'a, I: IntoIterator<Item = &'a Ipv4Addr>>(&self, other: I) -> usize {
+        other.into_iter().filter(|ip| self.ips.contains(ip)).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ip(n: u32) -> Ipv4Addr {
+        Ipv4Addr(n)
+    }
+
+    #[test]
+    fn basic_membership() {
+        let mut l = IpList::new("KillNet DDoS Blocklist");
+        assert!(l.is_empty());
+        l.add(ip(1));
+        l.add(ip(2));
+        l.add(ip(2)); // idempotent
+        assert_eq!(l.len(), 2);
+        assert!(l.contains(ip(1)));
+        assert!(!l.contains(ip(3)));
+        assert_eq!(l.name(), "KillNet DDoS Blocklist");
+    }
+
+    #[test]
+    fn overlap_counting() {
+        let mut l = IpList::new("C2-Daily");
+        for n in 0..100 {
+            l.add(ip(n));
+        }
+        let probe: Vec<Ipv4Addr> = (50..150).map(ip).collect();
+        assert_eq!(l.overlap_count(probe.iter()), 50);
+    }
+}

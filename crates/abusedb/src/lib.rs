@@ -1,0 +1,20 @@
+//! `abusedb` — synthetic abuse-intelligence feeds.
+//!
+//! The paper cross-references captured file hashes against four services
+//! (abuse.ch, Team Cymru, VirusTotal, ArmstrongTechs IOCs — §3.4) and finds
+//! that **less than 5 % of the 16,257 hashes are labelled** (§6); IP-side,
+//! 56 % of malware-storage IPs appear in abuse feeds (§7), 988 `mdrfckr`
+//! client IPs overlap the Killnet proxy list, and a C2 feed supplies
+//! command-and-control addresses (§9).
+//!
+//! Our substitution: the botnet generator knows the *ground-truth* family
+//! of every synthetic file; the abuse database is then built by sampling a
+//! small, feed-specific slice of that truth — so the analysis pipeline
+//! faces the same partial-knowledge problem the paper does, and the
+//! clustering step (paper §6) stays necessary rather than decorative.
+
+pub mod feeds;
+pub mod iplists;
+
+pub use feeds::{AbuseDb, CoverageConfig, FeedName, MalwareFamily};
+pub use iplists::IpList;

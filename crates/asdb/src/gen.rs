@@ -1,0 +1,451 @@
+//! Seeded synthesis of the AS ecosystem.
+//!
+//! The generator produces three AS populations with calibrated marginals:
+//!
+//! * **client ASes** — where attacking machines live; predominantly
+//!   ISP/NSP eyeball networks (paper Fig. 7: "Most client IPs are in
+//!   ISP/NSP AS types").
+//! * **storage ASes** — where malware files are hosted; predominantly
+//!   Hosting (358 of 388 in the paper's census, 30 ISPs, 36 down by the end
+//!   of the study), skewed young (>35 % registered within a year of use,
+//!   >70 % within five years — Fig. 8a) and small (~20 % announce a single
+//!   /24, ~50 % fewer than 50 — Fig. 8b).
+//! * **honeypot ASes** — the 65 networks hosting the 221 sensors.
+//!
+//! Address space is handed out in disjoint blocks, so historic lookups are
+//! unambiguous at any date.
+
+use crate::registry::{Announcement, AsRecord, AsRegistry, AsType};
+use hutil::rng::SeedTree;
+use hutil::Date;
+use netsim::{Ipv4Addr, Prefix};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Knobs for [`generate`]. Defaults reproduce the paper's marginals.
+#[derive(Debug, Clone)]
+pub struct GenConfig {
+    /// Root seed for the whole ecosystem.
+    pub seed: u64,
+    /// First day of the observation window.
+    pub window_start: Date,
+    /// Last day of the observation window.
+    pub window_end: Date,
+    /// Number of client-side ASes.
+    pub n_client_ases: usize,
+    /// Number of malware-storage ASes (paper: 388).
+    pub n_storage_ases: usize,
+    /// How many storage ASes are ISPs rather than hosters (paper: 30).
+    pub n_storage_isp: usize,
+    /// How many storage ASes go "down" before the window ends (paper: 36).
+    pub n_storage_down: usize,
+    /// Number of ASes hosting honeypots (paper: 65).
+    pub n_honeypot_ases: usize,
+    /// Background ASes registered *during* the window (paper: ~1,500
+    /// globally) that never appear in attacks; they calibrate the "share of
+    /// new ASes abused" statistic.
+    pub n_background_new_ases: usize,
+    /// Fraction of storage ASes younger than one year at the window
+    /// midpoint (paper: >35 %).
+    pub storage_young_frac: f64,
+    /// Fraction of storage ASes between one and five years old (paper:
+    /// young + mid > 70 %).
+    pub storage_mid_frac: f64,
+}
+
+impl GenConfig {
+    /// Paper-calibrated defaults over the study window.
+    pub fn paper_defaults(seed: u64) -> Self {
+        Self {
+            seed,
+            window_start: Date::new(2021, 12, 1),
+            window_end: Date::new(2024, 8, 31),
+            n_client_ases: 600,
+            n_storage_ases: 388,
+            n_storage_isp: 30,
+            n_storage_down: 36,
+            n_honeypot_ases: 65,
+            n_background_new_ases: 1_500,
+            storage_young_frac: 0.50,
+            storage_mid_frac: 0.38,
+        }
+    }
+}
+
+/// The generated ecosystem.
+#[derive(Debug, Clone)]
+pub struct SynthWorld {
+    /// The unified registry over every population.
+    pub registry: AsRegistry,
+    /// ASNs of client networks.
+    pub client_asns: Vec<u32>,
+    /// ASNs of malware-storage networks.
+    pub storage_asns: Vec<u32>,
+    /// ASNs hosting honeypots.
+    pub honeypot_asns: Vec<u32>,
+}
+
+/// Kept for API stability: an extension hook for callers that want to add
+/// bespoke records before the registry is frozen.
+pub trait RegistryBuilderExt {
+    /// Adds `record` to the pending record set.
+    fn add_record(&mut self, record: AsRecord);
+}
+
+impl RegistryBuilderExt for Vec<AsRecord> {
+    fn add_record(&mut self, record: AsRecord) {
+        self.push(record);
+    }
+}
+
+/// Sequentially allocates disjoint address blocks.
+struct SpaceAllocator {
+    next: u32,
+}
+
+impl SpaceAllocator {
+    fn new() -> Self {
+        // Start above reserved low space; everything is synthetic anyway.
+        Self { next: 0x10_00_00_00 }
+    }
+
+    /// Allocates prefixes whose deaggregated /24 total equals `n_24s`,
+    /// using a greedy power-of-two decomposition (largest piece /12).
+    fn alloc(&mut self, n_24s: u64) -> Vec<Prefix> {
+        let mut out = Vec::new();
+        let mut remaining = n_24s.max(1);
+        while remaining > 0 {
+            // Largest power-of-two /24 count ≤ remaining, capped at 2^12
+            // (a /12) to bound individual prefix size.
+            let pow = 63 - remaining.leading_zeros() as u64;
+            let pow = pow.min(12);
+            let count = 1u64 << pow;
+            let len = (24 - pow) as u8;
+            // Align to the prefix size.
+            let size = count as u32 * 256;
+            let aligned = self.next.div_ceil(size) * size;
+            out.push(Prefix::new(Ipv4Addr(aligned), len));
+            self.next = aligned + size;
+            remaining -= count;
+        }
+        out
+    }
+}
+
+fn sample_date(rng: &mut StdRng, lo: Date, hi: Date) -> Date {
+    let span = hi.days_since(lo).max(0);
+    lo.plus_days(rng.random_range(0..=span))
+}
+
+/// Draws a storage-AS size in /24s per the Fig. 8b marginals.
+fn storage_size(rng: &mut StdRng) -> u64 {
+    let u: f64 = rng.random();
+    if u < 0.22 {
+        1
+    } else if u < 0.62 {
+        rng.random_range(2..50)
+    } else if u < 0.90 {
+        rng.random_range(50..500)
+    } else {
+        rng.random_range(500..4000)
+    }
+}
+
+/// Draws a client-AS type per the Fig. 7 client-side mix.
+fn client_type(rng: &mut StdRng) -> AsType {
+    let u: f64 = rng.random();
+    if u < 0.76 {
+        AsType::IspNsp
+    } else if u < 0.88 {
+        AsType::Hosting
+    } else if u < 0.94 {
+        AsType::Cdn
+    } else {
+        AsType::Other
+    }
+}
+
+/// Generates the ecosystem.
+pub fn generate(cfg: &GenConfig) -> SynthWorld {
+    let seeds = SeedTree::new(cfg.seed).child("asdb");
+    let mut alloc = SpaceAllocator::new();
+    let mut records: Vec<AsRecord> = Vec::new();
+    let mut next_asn = 200_000u32;
+    let mid = cfg.window_start.plus_days(cfg.window_end.days_since(cfg.window_start) / 2);
+
+    let mk = |asn: u32,
+                  org: String,
+                  as_type: AsType,
+                  registered: Date,
+                  n_24s: u64,
+                  announced_from: Date,
+                  down_since: Option<Date>,
+                  alloc: &mut SpaceAllocator| {
+        let announcements: Vec<Announcement> = alloc
+            .alloc(n_24s)
+            .into_iter()
+            .map(|prefix| Announcement { prefix, from: announced_from, until: down_since })
+            .collect();
+        AsRecord { asn, org, as_type, registered, announcements, down_since }
+    };
+
+    // --- client ASes: established eyeball/service networks.
+    let mut rng = seeds.rng("clients");
+    let mut client_asns = Vec::with_capacity(cfg.n_client_ases);
+    for i in 0..cfg.n_client_ases {
+        let asn = next_asn;
+        next_asn += 1;
+        let registered =
+            sample_date(&mut rng, Date::new(1995, 1, 1), cfg.window_start.plus_days(-365));
+        let size = rng.random_range(16..4096);
+        let announced_from = registered.plus_days(30);
+        records.push(mk(
+            asn,
+            format!("CLIENT-NET-{i}"),
+            client_type(&mut rng),
+            registered,
+            size,
+            announced_from,
+            None,
+            &mut alloc,
+        ));
+        client_asns.push(asn);
+    }
+
+    // --- storage ASes: young, small, hosting-heavy.
+    let mut rng = seeds.rng("storage");
+    let mut storage_asns = Vec::with_capacity(cfg.n_storage_ases);
+    for i in 0..cfg.n_storage_ases {
+        let asn = next_asn;
+        next_asn += 1;
+        let u: f64 = rng.random();
+        let registered = if u < cfg.storage_young_frac {
+            // Younger than a year at the window midpoint.
+            sample_date(&mut rng, mid.plus_days(-360), mid.plus_days(-15))
+        } else if u < cfg.storage_young_frac + cfg.storage_mid_frac {
+            // One to five years.
+            sample_date(&mut rng, mid.plus_days(-5 * 365), mid.plus_days(-366))
+        } else {
+            // Older than five years.
+            sample_date(&mut rng, Date::new(2000, 1, 1), mid.plus_days(-5 * 365 - 1))
+        };
+        let as_type = if i < cfg.n_storage_isp {
+            AsType::IspNsp
+        } else if i < cfg.n_storage_isp + 8 {
+            // A handful of CDN-fronted and "Other" (yet hosting-providing)
+            // networks appear sporadically in Fig. 17 / Appendix E.
+            AsType::Cdn
+        } else if i < cfg.n_storage_isp + 8 + 20 {
+            AsType::Other
+        } else {
+            AsType::Hosting
+        };
+        let down_since = if i >= cfg.n_storage_ases - cfg.n_storage_down {
+            Some(sample_date(&mut rng, mid, cfg.window_end))
+        } else {
+            None
+        };
+        let size = storage_size(&mut rng);
+        let announced_from = registered.plus_days(rng.random_range(7..60));
+        records.push(mk(
+            asn,
+            format!("STORAGE-NET-{i}"),
+            as_type,
+            registered,
+            size,
+            announced_from,
+            down_since,
+            &mut alloc,
+        ));
+        storage_asns.push(asn);
+    }
+
+    // --- honeypot ASes: residential-looking ISP networks.
+    let mut rng = seeds.rng("honeypots");
+    let mut honeypot_asns = Vec::with_capacity(cfg.n_honeypot_ases);
+    for i in 0..cfg.n_honeypot_ases {
+        let asn = next_asn;
+        next_asn += 1;
+        let registered = sample_date(&mut rng, Date::new(1998, 1, 1), Date::new(2018, 1, 1));
+        records.push(mk(
+            asn,
+            format!("RESIDENTIAL-NET-{i}"),
+            AsType::IspNsp,
+            registered,
+            rng.random_range(64..2048),
+            registered.plus_days(30),
+            None,
+            &mut alloc,
+        ));
+        honeypot_asns.push(asn);
+    }
+
+    // --- background ASes registered during the window (never used in
+    // attacks); give them a token /24 each.
+    let mut rng = seeds.rng("background");
+    for i in 0..cfg.n_background_new_ases {
+        let asn = next_asn;
+        next_asn += 1;
+        let registered = sample_date(&mut rng, cfg.window_start, cfg.window_end);
+        records.push(mk(
+            asn,
+            format!("NEW-NET-{i}"),
+            if rng.random::<f64>() < 0.5 { AsType::Hosting } else { AsType::Other },
+            registered,
+            1,
+            registered.plus_days(14),
+            None,
+            &mut alloc,
+        ));
+    }
+
+    SynthWorld {
+        registry: AsRegistry::new(records),
+        client_asns,
+        storage_asns,
+        honeypot_asns,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn world() -> SynthWorld {
+        generate(&GenConfig::paper_defaults(42))
+    }
+
+    #[test]
+    fn populations_have_requested_sizes() {
+        let w = world();
+        let cfg = GenConfig::paper_defaults(42);
+        assert_eq!(w.client_asns.len(), cfg.n_client_ases);
+        assert_eq!(w.storage_asns.len(), cfg.n_storage_ases);
+        assert_eq!(w.honeypot_asns.len(), cfg.n_honeypot_ases);
+        assert_eq!(
+            w.registry.len(),
+            cfg.n_client_ases
+                + cfg.n_storage_ases
+                + cfg.n_honeypot_ases
+                + cfg.n_background_new_ases
+        );
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = world();
+        let b = world();
+        assert_eq!(a.storage_asns, b.storage_asns);
+        let d = Date::new(2023, 1, 1);
+        for asn in a.storage_asns.iter().take(20) {
+            assert_eq!(
+                a.registry.by_asn(*asn).unwrap().size_24s_at(d),
+                b.registry.by_asn(*asn).unwrap().size_24s_at(d)
+            );
+        }
+    }
+
+    #[test]
+    fn storage_age_marginals_match_paper() {
+        let w = world();
+        let mid = Date::new(2023, 4, 15);
+        let ages: Vec<i64> = w
+            .storage_asns
+            .iter()
+            .map(|a| w.registry.by_asn(*a).unwrap().age_years_at(mid))
+            .collect();
+        let young = ages.iter().filter(|&&a| a < 1).count() as f64 / ages.len() as f64;
+        let under5 = ages.iter().filter(|&&a| a < 5).count() as f64 / ages.len() as f64;
+        assert!(young > 0.30, "young fraction {young} too small");
+        assert!(under5 > 0.65, "under-5 fraction {under5} too small");
+    }
+
+    #[test]
+    fn storage_size_marginals_match_paper() {
+        let w = world();
+        let d = Date::new(2022, 6, 1);
+        let sizes: Vec<u64> = w
+            .storage_asns
+            .iter()
+            .map(|a| {
+                let r = w.registry.by_asn(*a).unwrap();
+                r.announcements.iter().map(|an| an.prefix.deaggregated_24s()).sum()
+            })
+            .collect();
+        let one = sizes.iter().filter(|&&s| s == 1).count() as f64 / sizes.len() as f64;
+        let under50 = sizes.iter().filter(|&&s| s < 50).count() as f64 / sizes.len() as f64;
+        assert!((0.12..0.30).contains(&one), "single-/24 fraction {one}");
+        assert!((0.52..0.72).contains(&under50), "under-50 fraction {under50}");
+        let _ = d;
+    }
+
+    #[test]
+    fn storage_type_census_matches_paper() {
+        let w = world();
+        let isp = w
+            .storage_asns
+            .iter()
+            .filter(|a| w.registry.by_asn(**a).unwrap().as_type == AsType::IspNsp)
+            .count();
+        assert_eq!(isp, 30);
+        let down = w
+            .storage_asns
+            .iter()
+            .filter(|a| w.registry.by_asn(**a).unwrap().down_since.is_some())
+            .count();
+        assert_eq!(down, 36);
+    }
+
+    #[test]
+    fn client_mix_is_isp_heavy() {
+        let w = world();
+        let isp = w
+            .client_asns
+            .iter()
+            .filter(|a| w.registry.by_asn(**a).unwrap().as_type == AsType::IspNsp)
+            .count() as f64
+            / w.client_asns.len() as f64;
+        assert!(isp > 0.6, "ISP share {isp}");
+    }
+
+    #[test]
+    fn background_ases_are_registered_inside_window() {
+        let w = world();
+        let cfg = GenConfig::paper_defaults(42);
+        let n = w.registry.registered_between(cfg.window_start, cfg.window_end);
+        // All background ASes plus possibly a few storage ones.
+        assert!(n >= cfg.n_background_new_ases);
+    }
+
+    #[test]
+    fn every_announced_ip_resolves_to_its_as() {
+        let w = world();
+        let d = Date::new(2024, 1, 1);
+        for asn in w.client_asns.iter().take(50) {
+            let rec = w.registry.by_asn(*asn).unwrap();
+            let ip = rec.announcements[0].prefix.nth(1);
+            let hit = w.registry.lookup(ip, d).expect("announced IP must resolve");
+            assert_eq!(hit.asn, *asn);
+        }
+    }
+
+    #[test]
+    fn allocation_blocks_are_disjoint() {
+        let w = world();
+        let mut ranges: Vec<(u32, u32)> = w
+            .registry
+            .records()
+            .iter()
+            .flat_map(|r| {
+                r.announcements.iter().map(|a| {
+                    let s = a.prefix.base().0;
+                    (s, s + (a.prefix.num_addrs() - 1) as u32)
+                })
+            })
+            .collect();
+        ranges.sort_unstable();
+        for pair in ranges.windows(2) {
+            assert!(pair[0].1 < pair[1].0, "overlap: {:?}", pair);
+        }
+    }
+}

@@ -1,0 +1,21 @@
+//! `asdb` — a synthetic Autonomous System registry with historic lookups.
+//!
+//! The paper enriches every malware-storage and client IP with AS
+//! information *as of the session time*, using a historic-WHOIS service
+//! plus bgp.tools/PeeringDB type tags (paper §3.5). This crate provides the
+//! same query surface over a seeded synthetic registry:
+//!
+//! * [`AsRecord`] — registration date, organisation, type tag, announced
+//!   prefixes with validity windows, optional "down" date.
+//! * [`AsRegistry::lookup`] — `(IP, date) → AS` honouring announcement
+//!   windows, mirroring the back-to-the-future-WHOIS interface.
+//! * [`AsRegistry::size_24s`] — deaggregated /24 count (Fig. 8b's metric).
+//! * [`gen`] — the seeded generator whose marginals are calibrated to the
+//!   paper's findings (age and size distributions of storage ASes, type mix
+//!   of client vs storage networks).
+
+pub mod gen;
+pub mod registry;
+
+pub use gen::{generate, GenConfig, RegistryBuilderExt, SynthWorld};
+pub use registry::{Announcement, AsRecord, AsRegistry, AsType};

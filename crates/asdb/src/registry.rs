@@ -1,0 +1,309 @@
+//! AS records and time-aware IP→AS resolution.
+
+use hutil::Date;
+use netsim::{Ipv4Addr, Prefix};
+
+/// Network type tags, collapsed to the four classes the paper analyses
+/// (§3.5): CDN, Hosting, ISP/NSP, Other.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum AsType {
+    /// Content delivery networks.
+    Cdn,
+    /// Hosting providers, including web hosting and VPN providers.
+    Hosting,
+    /// Internet/network service providers (eyeball and transit).
+    IspNsp,
+    /// Governmental, academic, corporate, personal or unlabeled networks.
+    Other,
+}
+
+impl AsType {
+    /// All four classes in the paper's display order.
+    pub const ALL: [AsType; 4] = [AsType::Cdn, AsType::Hosting, AsType::IspNsp, AsType::Other];
+
+    /// The label used in figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            AsType::Cdn => "CDN",
+            AsType::Hosting => "Hosting",
+            AsType::IspNsp => "ISP/NSP",
+            AsType::Other => "Other",
+        }
+    }
+}
+
+impl std::fmt::Display for AsType {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One prefix announcement with its validity window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Announcement {
+    /// The announced prefix.
+    pub prefix: Prefix,
+    /// First day the announcement was visible.
+    pub from: Date,
+    /// Last day visible (inclusive); `None` while still announced.
+    pub until: Option<Date>,
+}
+
+impl Announcement {
+    /// Whether the announcement was visible on `date`.
+    pub fn active_on(&self, date: Date) -> bool {
+        date >= self.from && self.until.is_none_or(|u| date <= u)
+    }
+}
+
+/// A synthetic AS: identity, classification and announcement history.
+#[derive(Debug, Clone)]
+pub struct AsRecord {
+    /// AS number.
+    pub asn: u32,
+    /// Organisation name.
+    pub org: String,
+    /// Collapsed type tag.
+    pub as_type: AsType,
+    /// RIR registration date.
+    pub registered: Date,
+    /// Announcement history.
+    pub announcements: Vec<Announcement>,
+    /// If set, the AS stopped announcing prefixes on this date ("down" in
+    /// the paper's storage-AS census).
+    pub down_since: Option<Date>,
+}
+
+impl AsRecord {
+    /// Age in whole years at `date` (floor).
+    pub fn age_years_at(&self, date: Date) -> i64 {
+        date.days_since(self.registered).max(0) / 365
+    }
+
+    /// Deaggregated /24 count of all announcements active on `date`.
+    pub fn size_24s_at(&self, date: Date) -> u64 {
+        self.announcements
+            .iter()
+            .filter(|a| a.active_on(date))
+            .map(|a| a.prefix.deaggregated_24s())
+            .sum()
+    }
+
+    /// Whether the AS announces nothing on `date`.
+    pub fn is_down_on(&self, date: Date) -> bool {
+        self.down_since.is_some_and(|d| date >= d)
+            || !self.announcements.iter().any(|a| a.active_on(date))
+    }
+}
+
+/// The registry: all AS records plus an interval index for historic
+/// IP→AS resolution.
+#[derive(Debug, Clone, Default)]
+pub struct AsRegistry {
+    records: Vec<AsRecord>,
+    /// `(range start, range end inclusive, record index, announcement
+    /// index)` sorted by range start. Prefix ranges are disjoint by
+    /// construction in the generator; lookup still checks windows.
+    index: Vec<(u32, u32, usize, usize)>,
+    /// Largest announcement span, bounding how far back a covering range
+    /// can start — makes the reverse scan in `lookup` O(overlaps).
+    max_span: u32,
+}
+
+impl AsRegistry {
+    /// Builds a registry from records, constructing the lookup index.
+    pub fn new(records: Vec<AsRecord>) -> Self {
+        let mut index = Vec::new();
+        let mut max_span = 0u32;
+        for (ri, rec) in records.iter().enumerate() {
+            for (ai, ann) in rec.announcements.iter().enumerate() {
+                let start = ann.prefix.base().0;
+                let span = (ann.prefix.num_addrs() - 1) as u32;
+                max_span = max_span.max(span);
+                index.push((start, start + span, ri, ai));
+            }
+        }
+        index.sort_unstable();
+        Self { records, index, max_span }
+    }
+
+    /// All records.
+    pub fn records(&self) -> &[AsRecord] {
+        &self.records
+    }
+
+    /// Number of ASes.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// The record for `asn`, if present.
+    pub fn by_asn(&self, asn: u32) -> Option<&AsRecord> {
+        self.records.iter().find(|r| r.asn == asn)
+    }
+
+    /// Historic lookup: which AS announced `ip` on `date`?
+    ///
+    /// This mirrors the paper's use of a historic WHOIS service \[82\]: the
+    /// answer reflects the state of the routing system *at that time*, not
+    /// today.
+    pub fn lookup(&self, ip: Ipv4Addr, date: Date) -> Option<&AsRecord> {
+        // Find candidate ranges containing ip (ranges are disjoint, but an
+        // address may have been announced by different ASes over time, so
+        // scan all covering entries).
+        let pos = self.index.partition_point(|&(start, _, _, _)| start <= ip.0);
+        // Walk backwards over ranges starting at or before ip.
+        for &(start, end, ri, ai) in self.index[..pos].iter().rev() {
+            if ip.0 > end {
+                // Ranges are sorted by start; earlier entries can still
+                // cover `ip` only if they start within `max_span` of it.
+                if ip.0 - start > self.max_span {
+                    break;
+                }
+                continue;
+            }
+            let rec = &self.records[ri];
+            if rec.announcements[ai].active_on(date) {
+                return Some(rec);
+            }
+        }
+        None
+    }
+
+    /// Number of ASes registered in `[from, to]` — the paper cites ~1,500
+    /// new ASes globally during the collection window.
+    pub fn registered_between(&self, from: Date, to: Date) -> usize {
+        self.records
+            .iter()
+            .filter(|r| r.registered >= from && r.registered <= to)
+            .count()
+    }
+
+    /// Convenience: deaggregated size of `asn` at `date`, 0 if unknown.
+    pub fn size_24s(&self, asn: u32, date: Date) -> u64 {
+        self.by_asn(asn).map_or(0, |r| r.size_24s_at(date))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(y: i32, m: u8, day: u8) -> Date {
+        Date::new(y, m, day)
+    }
+
+    fn rec(asn: u32, reg: Date, prefix: Prefix, from: Date, until: Option<Date>) -> AsRecord {
+        AsRecord {
+            asn,
+            org: format!("AS{asn}-ORG"),
+            as_type: AsType::Hosting,
+            registered: reg,
+            announcements: vec![Announcement { prefix, from, until }],
+            down_since: None,
+        }
+    }
+
+    #[test]
+    fn lookup_respects_announcement_window() {
+        let p = Prefix::new(Ipv4Addr::from_octets(10, 0, 0, 0), 24);
+        let r = rec(65001, d(2020, 1, 1), p, d(2022, 1, 1), Some(d(2022, 6, 30)));
+        let reg = AsRegistry::new(vec![r]);
+        let ip = Ipv4Addr::from_octets(10, 0, 0, 77);
+        assert!(reg.lookup(ip, d(2021, 12, 31)).is_none());
+        assert_eq!(reg.lookup(ip, d(2022, 1, 1)).unwrap().asn, 65001);
+        assert_eq!(reg.lookup(ip, d(2022, 6, 30)).unwrap().asn, 65001);
+        assert!(reg.lookup(ip, d(2022, 7, 1)).is_none());
+    }
+
+    #[test]
+    fn lookup_finds_correct_as_among_many() {
+        let mut records = Vec::new();
+        for i in 0..100u32 {
+            let p = Prefix::new(Ipv4Addr::from_octets(10, i as u8, 0, 0), 16);
+            records.push(rec(65000 + i, d(2019, 1, 1), p, d(2021, 1, 1), None));
+        }
+        let reg = AsRegistry::new(records);
+        let ip = Ipv4Addr::from_octets(10, 42, 200, 9);
+        assert_eq!(reg.lookup(ip, d(2023, 5, 1)).unwrap().asn, 65042);
+        // Outside every block.
+        assert!(reg.lookup(Ipv4Addr::from_octets(11, 0, 0, 1), d(2023, 5, 1)).is_none());
+    }
+
+    #[test]
+    fn historic_reassignment_resolves_by_date() {
+        // Same prefix announced by AS A until March, then AS B from April.
+        let p = Prefix::new(Ipv4Addr::from_octets(192, 0, 2, 0), 24);
+        let a = rec(65001, d(2015, 1, 1), p, d(2022, 1, 1), Some(d(2022, 3, 31)));
+        let b = rec(65002, d(2023, 1, 1), p, d(2022, 4, 1), None);
+        let reg = AsRegistry::new(vec![a, b]);
+        let ip = Ipv4Addr::from_octets(192, 0, 2, 5);
+        assert_eq!(reg.lookup(ip, d(2022, 2, 1)).unwrap().asn, 65001);
+        assert_eq!(reg.lookup(ip, d(2022, 5, 1)).unwrap().asn, 65002);
+    }
+
+    #[test]
+    fn age_is_floor_years() {
+        let r = rec(
+            65001,
+            d(2020, 6, 1),
+            Prefix::new(Ipv4Addr(0), 24),
+            d(2020, 6, 1),
+            None,
+        );
+        assert_eq!(r.age_years_at(d(2021, 5, 31)), 0);
+        assert_eq!(r.age_years_at(d(2021, 6, 2)), 1);
+        assert_eq!(r.age_years_at(d(2025, 6, 3)), 5);
+        // Before registration clamps to zero.
+        assert_eq!(r.age_years_at(d(2019, 1, 1)), 0);
+    }
+
+    #[test]
+    fn size_sums_active_deaggregated_24s() {
+        let mut r = rec(
+            65001,
+            d(2020, 1, 1),
+            Prefix::new(Ipv4Addr::from_octets(10, 0, 0, 0), 22),
+            d(2021, 1, 1),
+            None,
+        );
+        r.announcements.push(Announcement {
+            prefix: Prefix::new(Ipv4Addr::from_octets(10, 1, 0, 0), 24),
+            from: d(2023, 1, 1),
+            until: None,
+        });
+        assert_eq!(r.size_24s_at(d(2022, 1, 1)), 4);
+        assert_eq!(r.size_24s_at(d(2023, 6, 1)), 5);
+    }
+
+    #[test]
+    fn down_detection() {
+        let mut r = rec(
+            65001,
+            d(2020, 1, 1),
+            Prefix::new(Ipv4Addr(0), 24),
+            d(2021, 1, 1),
+            Some(d(2023, 1, 1)),
+        );
+        assert!(!r.is_down_on(d(2022, 1, 1)));
+        assert!(r.is_down_on(d(2023, 2, 1)));
+        r.down_since = Some(d(2024, 1, 1));
+        assert!(r.is_down_on(d(2024, 6, 1)));
+    }
+
+    #[test]
+    fn registered_between_counts() {
+        let records = vec![
+            rec(1, d(2021, 6, 1), Prefix::new(Ipv4Addr(0), 24), d(2021, 6, 1), None),
+            rec(2, d(2022, 6, 1), Prefix::new(Ipv4Addr(256), 24), d(2022, 6, 1), None),
+            rec(3, d(2024, 1, 1), Prefix::new(Ipv4Addr(512), 24), d(2024, 1, 1), None),
+        ];
+        let reg = AsRegistry::new(records);
+        assert_eq!(reg.registered_between(d(2021, 12, 1), d(2024, 8, 31)), 2);
+    }
+}

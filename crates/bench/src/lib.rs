@@ -1,0 +1,32 @@
+//! Shared setup for the honeylab benchmark harness.
+//!
+//! Every figure/table bench runs over the same generated dataset; the
+//! generation happens once per bench binary and is itself measured by
+//! `bench_generate` in the `figures` target.
+
+use botnet::{generate_dataset, Dataset, DriverConfig};
+use std::sync::OnceLock;
+
+/// The scale used by the benchmark harness (paper sessions per generated
+/// session). 1:2000 keeps a full `cargo bench` run in minutes while
+/// preserving every qualitative shape; EXPERIMENTS.md records a 1:1000 run.
+pub const BENCH_SCALE: u64 = 2_000;
+
+/// The shared benchmark dataset (generated on first use).
+pub fn dataset() -> &'static Dataset {
+    static DS: OnceLock<Dataset> = OnceLock::new();
+    DS.get_or_init(|| {
+        let mut cfg = DriverConfig::default_scale(42);
+        cfg.session_scale = BENCH_SCALE;
+        cfg.ip_scale = 60;
+        generate_dataset(&cfg)
+    })
+}
+
+/// The benchmark generator configuration (for benches that re-generate).
+pub fn bench_config() -> DriverConfig {
+    let mut cfg = DriverConfig::default_scale(42);
+    cfg.session_scale = BENCH_SCALE;
+    cfg.ip_scale = 60;
+    cfg
+}

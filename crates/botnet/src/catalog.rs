@@ -1,0 +1,543 @@
+//! The calibrated campaign table.
+//!
+//! One entry per bot campaign: which archetype, over which date windows, at
+//! what *paper-scale* daily session rate, from how large a client-IP pool.
+//! This table is the single source of every temporal phenomenon in the
+//! reproduction — waves (Fig. 2/3), the early-2022 spike (Fig. 1), the
+//! 2023 shift toward non-state-changing scouting, the mid-2022 death of
+//! `bbox_unlabelled`, the 2022-12-08 births of `3245gs5662d34` and the
+//! mdrfckr variant, and the Jan–Apr 2024 curl proxy abuse.
+//!
+//! Rates are sessions/day at paper scale; the driver divides by its
+//! session-scale denominator. Campaigns sharing a `pool` key draw client
+//! IPs from the same pool (how the 99.4 % mdrfckr/3245 overlap arises).
+
+use crate::archetype::Archetype;
+use hutil::Date;
+
+/// A constant-rate activity window (inclusive dates).
+#[derive(Debug, Clone, Copy)]
+pub struct Window {
+    /// First active day.
+    pub start: Date,
+    /// Last active day.
+    pub end: Date,
+    /// Paper-scale sessions per day while active.
+    pub per_day: f64,
+}
+
+/// One campaign: an archetype plus its schedule and client population.
+#[derive(Debug, Clone)]
+pub struct CampaignSpec {
+    /// The bot behaviour.
+    pub bot: Archetype,
+    /// Activity windows (may overlap; rates add).
+    pub windows: Vec<Window>,
+    /// Client-IP pool key (campaigns with the same key share IPs).
+    pub pool: &'static str,
+    /// Paper-scale unique client IPs in the pool.
+    pub pool_size_paper: u64,
+    /// If set, the pool size is absolute, not scaled (e.g. the four
+    /// curl_maxred clients).
+    pub pool_exact: bool,
+    /// If set, the campaign only ever reaches this many sensors
+    /// (curl_maxred hit 180 of 221).
+    pub sensor_limit: Option<usize>,
+}
+
+impl CampaignSpec {
+    /// Paper-scale rate on day `d` (0 when inactive).
+    pub fn rate(&self, d: Date) -> f64 {
+        self.windows
+            .iter()
+            .filter(|w| d >= w.start && d <= w.end)
+            .map(|w| w.per_day)
+            .sum()
+    }
+}
+
+fn d(y: i32, m: u8, day: u8) -> Date {
+    Date::new(y, m, day)
+}
+
+fn w(start: Date, end: Date, per_day: f64) -> Window {
+    Window { start, end, per_day }
+}
+
+/// Study window start.
+pub const STUDY_START: fn() -> Date = || Date::new(2021, 12, 1);
+/// Study window end.
+pub const STUDY_END: fn() -> Date = || Date::new(2024, 8, 31);
+
+/// Builds the full calibrated campaign table.
+pub fn catalog() -> Vec<CampaignSpec> {
+    let s = STUDY_START();
+    let e = STUDY_END();
+    let spec = |bot, windows, pool, pool_size_paper| CampaignSpec {
+        bot,
+        windows,
+        pool,
+        pool_size_paper,
+        pool_exact: false,
+        sensor_limit: None,
+    };
+    let mut v = vec![
+        // ---- taxonomy background ---------------------------------------
+        spec(Archetype::Scanner, vec![w(s, e, 45_000.0)], "scan", 120_000),
+        spec(
+            Archetype::GenericScout,
+            vec![
+                w(s, d(2022, 12, 31), 220_000.0),
+                w(d(2023, 1, 1), e, 280_000.0),
+            ],
+            "scout",
+            400_000,
+        ),
+        spec(Archetype::GenericIntruder, vec![w(s, e, 56_000.0)], "intrude", 80_000),
+        spec(Archetype::TelnetNoise, vec![w(s, e, 88_000.0)], "telnet", 60_000),
+        // ---- non-state-changing scouts (Fig. 2) -------------------------
+        spec(
+            Archetype::EchoOk,
+            vec![
+                w(s, d(2022, 12, 31), 40_000.0),
+                w(d(2023, 1, 1), e, 110_000.0),
+            ],
+            "echook",
+            50_000,
+        ),
+        spec(Archetype::EchoOkTxt, vec![w(s, e, 800.0)], "scouts2", 20_000),
+        spec(Archetype::EchoSshCheck, vec![w(s, e, 120.0)], "scouts2", 20_000),
+        spec(Archetype::EchoOsCheck, vec![w(s, e, 200.0)], "scouts2", 20_000),
+        spec(Archetype::UnameSvnrm, vec![w(s, e, 3_000.0)], "scouts2", 20_000),
+        spec(Archetype::UnameSvnr, vec![w(s, e, 400.0)], "scouts2", 20_000),
+        spec(
+            Archetype::UnameA,
+            vec![
+                w(d(2022, 7, 1), d(2022, 10, 31), 6_000.0),
+                w(d(2024, 2, 1), d(2024, 5, 31), 8_000.0),
+            ],
+            "scouts2",
+            20_000,
+        ),
+        spec(Archetype::UnameANproc, vec![w(d(2023, 1, 1), e, 1_500.0)], "scouts2", 20_000),
+        spec(
+            Archetype::UnameSnriNproc,
+            vec![w(d(2022, 1, 1), d(2023, 6, 30), 800.0)],
+            "scouts2",
+            20_000,
+        ),
+        spec(
+            Archetype::BboxScoutCat,
+            vec![
+                w(d(2022, 3, 1), d(2022, 8, 31), 8_000.0),
+                w(d(2023, 5, 1), d(2023, 9, 30), 6_000.0),
+            ],
+            "bbox",
+            30_000,
+        ),
+        spec(Archetype::Ak47Scout, vec![w(d(2023, 9, 1), e, 1_000.0)], "scouts2", 20_000),
+        spec(Archetype::ShellFp, vec![w(s, e, 500.0)], "scouts2", 20_000),
+        spec(Archetype::JuiceSsh, vec![w(s, e, 100.0)], "misc", 8_000),
+        spec(Archetype::Clamav, vec![w(s, e, 150.0)], "misc", 8_000),
+        spec(Archetype::ExportVei, vec![w(d(2023, 1, 1), e, 80.0)], "misc", 8_000),
+        spec(Archetype::CloudPrint, vec![w(d(2022, 1, 1), d(2022, 12, 31), 60.0)], "misc", 8_000),
+        spec(Archetype::Binx86, vec![w(d(2023, 6, 1), e, 90.0)], "misc", 8_000),
+        // ---- mdrfckr complex (§9, Figs. 3a/12/13) -----------------------
+        spec(
+            Archetype::MdrfckrInitial,
+            vec![
+                w(s, d(2021, 12, 31), 1_500.0), // deployment warm-up
+                w(d(2022, 1, 1), e, 47_000.0),
+            ],
+            "mdrfckr",
+            270_000,
+        ),
+        spec(
+            Archetype::MdrfckrVariant,
+            vec![w(d(2022, 12, 8), e, 4_500.0)],
+            "mdrfckr",
+            270_000,
+        ),
+        // MdrfckrB64 windows are the dip windows; rates handled below.
+        spec(Archetype::Cred3245, vec![w(d(2022, 12, 8), e, 38_000.0)], "cred3245", 125_000),
+        // ---- other state-changing, no-exec bots (Fig. 3a) ---------------
+        spec(
+            Archetype::Root17CharPwd,
+            vec![w(d(2022, 2, 1), d(2022, 9, 30), 2_000.0)],
+            "locker",
+            15_000,
+        ),
+        spec(
+            Archetype::Root12CharCapscout,
+            vec![w(d(2023, 3, 1), d(2023, 8, 31), 1_800.0)],
+            "locker",
+            15_000,
+        ),
+        spec(
+            Archetype::Root12CharEcho321,
+            vec![w(d(2023, 9, 1), d(2024, 2, 29), 1_600.0)],
+            "locker",
+            15_000,
+        ),
+        spec(Archetype::OpensslPasswd, vec![w(d(2023, 6, 1), e, 800.0)], "locker", 15_000),
+        spec(
+            Archetype::Lenni0451,
+            vec![w(d(2023, 10, 1), d(2024, 3, 31), 1_200.0)],
+            "misc",
+            8_000,
+        ),
+        spec(
+            Archetype::StxMiner,
+            vec![w(d(2022, 5, 1), d(2022, 11, 30), 600.0)],
+            "miner",
+            10_000,
+        ),
+        spec(
+            Archetype::PerlDredMiner,
+            vec![w(d(2023, 2, 1), d(2023, 7, 31), 500.0)],
+            "miner",
+            10_000,
+        ),
+        spec(
+            Archetype::GenLoader { curl: true, echo: true, ftp: false, wget: false, exec: false },
+            vec![w(s, e, 1_500.0)],
+            "loader",
+            32_000,
+        ),
+        spec(
+            Archetype::GenLoader { curl: true, echo: false, ftp: false, wget: false, exec: false },
+            vec![w(d(2022, 1, 1), d(2023, 12, 31), 800.0)],
+            "loader",
+            32_000,
+        ),
+        spec(
+            Archetype::GenLoader { curl: true, echo: false, ftp: false, wget: true, exec: false },
+            vec![w(d(2022, 6, 1), d(2023, 6, 30), 700.0)],
+            "loader",
+            32_000,
+        ),
+        // ---- TV-box Mirai (Fig. 10): synchronized dreambox/vertex -------
+        spec(
+            Archetype::TvBoxDreambox,
+            vec![
+                w(d(2023, 2, 1), d(2023, 7, 31), 3_000.0),
+                w(d(2023, 12, 1), e, 4_000.0),
+            ],
+            "tvbox",
+            20_000,
+        ),
+        spec(
+            Archetype::TvBoxVertex,
+            vec![
+                w(d(2023, 2, 1), d(2023, 7, 31), 3_000.0),
+                w(d(2023, 12, 1), e, 4_000.0),
+            ],
+            "tvbox",
+            20_000,
+        ),
+        // ---- Cowrie fingerprinting (Fig. 11) -----------------------------
+        spec(Archetype::PhilScanner, vec![w(s, e, 50.0)], "phil", 10_000),
+        // ---- file-exec bots (Figs. 3b/4) ---------------------------------
+        spec(
+            Archetype::Bbox5Char,
+            vec![
+                w(s, d(2022, 12, 31), 12_000.0),
+                w(d(2023, 1, 1), e, 5_000.0),
+            ],
+            "bbox",
+            30_000,
+        ),
+        spec(
+            Archetype::BboxUnlabelled,
+            vec![w(s, d(2022, 6, 15), 15_000.0)],
+            "bbox",
+            30_000,
+        ),
+        spec(Archetype::BboxRandExec, vec![w(s, e, 500.0)], "bbox", 30_000),
+        spec(
+            Archetype::BboxLoaderWget,
+            vec![w(d(2022, 1, 1), d(2022, 9, 30), 700.0)],
+            "bbox",
+            30_000,
+        ),
+        spec(
+            Archetype::BboxEchoElf,
+            vec![w(d(2022, 6, 1), d(2023, 3, 31), 400.0)],
+            "bbox",
+            30_000,
+        ),
+        spec(
+            Archetype::GenLoader { curl: false, echo: false, ftp: false, wget: true, exec: true },
+            vec![
+                w(d(2022, 1, 1), d(2022, 12, 31), 2_000.0),
+                w(d(2023, 1, 1), e, 600.0),
+            ],
+            "loader",
+            32_000,
+        ),
+        spec(
+            Archetype::GenLoader { curl: true, echo: false, ftp: true, wget: true, exec: true },
+            vec![w(d(2022, 3, 1), d(2022, 10, 31), 700.0)],
+            "loader",
+            32_000,
+        ),
+        spec(
+            Archetype::GenLoader { curl: false, echo: true, ftp: false, wget: true, exec: true },
+            vec![w(d(2022, 5, 1), d(2023, 2, 28), 600.0)],
+            "loader",
+            32_000,
+        ),
+        spec(
+            Archetype::GenLoader { curl: false, echo: false, ftp: true, wget: true, exec: true },
+            vec![w(d(2022, 2, 1), d(2022, 8, 31), 500.0)],
+            "loader",
+            32_000,
+        ),
+        spec(
+            Archetype::GenLoader { curl: true, echo: true, ftp: true, wget: true, exec: true },
+            vec![w(d(2022, 6, 1), d(2022, 11, 30), 400.0)],
+            "loader",
+            32_000,
+        ),
+        spec(
+            Archetype::GenLoader { curl: false, echo: true, ftp: false, wget: false, exec: true },
+            vec![w(d(2022, 9, 1), d(2023, 5, 31), 500.0)],
+            "loader",
+            32_000,
+        ),
+        spec(
+            Archetype::GenLoader { curl: true, echo: true, ftp: false, wget: true, exec: true },
+            vec![w(d(2022, 4, 1), d(2022, 9, 30), 300.0)],
+            "loader",
+            32_000,
+        ),
+        spec(
+            Archetype::RapperBot,
+            vec![w(d(2022, 6, 1), d(2023, 3, 31), 2_000.0)],
+            "rapper",
+            18_000,
+        ),
+        spec(
+            Archetype::SoraAttack,
+            vec![
+                w(d(2022, 2, 1), d(2022, 7, 31), 1_000.0),
+                w(d(2022, 11, 1), d(2023, 1, 31), 800.0),
+            ],
+            "iotbots",
+            25_000,
+        ),
+        spec(
+            Archetype::OhshitAttack,
+            vec![w(d(2022, 2, 1), d(2022, 9, 30), 800.0)],
+            "iotbots",
+            25_000,
+        ),
+        spec(
+            Archetype::OnionsAttack,
+            vec![w(d(2022, 3, 1), d(2022, 8, 31), 500.0)],
+            "iotbots",
+            25_000,
+        ),
+        spec(
+            Archetype::HeisenAttack,
+            vec![w(d(2022, 8, 1), d(2022, 12, 31), 300.0)],
+            "iotbots",
+            25_000,
+        ),
+        spec(
+            Archetype::ZeusAttack,
+            vec![w(d(2022, 5, 1), d(2022, 10, 31), 250.0)],
+            "iotbots",
+            25_000,
+        ),
+        spec(
+            Archetype::FrSlurAttack,
+            vec![w(d(2022, 1, 1), d(2022, 6, 30), 400.0)],
+            "iotbots",
+            25_000,
+        ),
+        spec(
+            Archetype::UpdateAttack,
+            vec![w(d(2022, 4, 1), d(2023, 6, 30), 600.0)],
+            "iotbots",
+            25_000,
+        ),
+        spec(
+            Archetype::WgetDget,
+            vec![w(d(2022, 4, 1), d(2022, 10, 31), 600.0)],
+            "iotbots",
+            25_000,
+        ),
+        spec(
+            Archetype::Passwd123Daemon,
+            vec![w(d(2022, 8, 1), d(2023, 4, 30), 700.0)],
+            "iotbots",
+            25_000,
+        ),
+        spec(
+            Archetype::RmObfPattern1,
+            vec![w(d(2023, 2, 1), d(2023, 10, 31), 900.0)],
+            "iotbots",
+            25_000,
+        ),
+    ];
+
+    // mdrfckr base64 uploads: only during dip windows, from a dispersed
+    // one-shot pool (paper: 1,624 unique IPs, no reuse across dips).
+    v.push(CampaignSpec {
+        bot: Archetype::MdrfckrB64,
+        windows: crate::events::mdrfckr_dip_windows()
+            .into_iter()
+            .map(|dw| w(dw.start, dw.end, 120.0))
+            .collect(),
+        pool: "mdrfckr-b64",
+        pool_size_paper: 1_624,
+        pool_exact: false,
+        sensor_limit: None,
+    });
+
+    // curl proxy abuse: exactly four clients, 180 sensors.
+    v.push(CampaignSpec {
+        bot: Archetype::CurlMaxred,
+        windows: vec![w(d(2024, 1, 5), d(2024, 4, 20), 1_900.0)],
+        pool: "curlmaxred",
+        pool_size_paper: 4,
+        pool_exact: true,
+        sensor_limit: Some(180),
+    });
+
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn windows_lie_inside_study_period() {
+        for c in catalog() {
+            for win in &c.windows {
+                assert!(win.start >= STUDY_START(), "{:?} starts early", c.bot);
+                assert!(win.end <= STUDY_END(), "{:?} ends late", c.bot);
+                assert!(win.start <= win.end);
+                assert!(win.per_day > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn paper_scale_totals_are_calibrated() {
+        // Integrate each taxonomy class over the study window and compare
+        // against §3.3 (tolerances are generous; shape matters).
+        let mut day = STUDY_START();
+        let cat = catalog();
+        let mut scanning = 0.0;
+        let mut scouting = 0.0;
+        let mut telnet = 0.0;
+        let mut cmd_exec = 0.0;
+        let mut intrusion = 0.0;
+        while day <= STUDY_END() {
+            for c in &cat {
+                let r = c.rate(day);
+                match c.bot {
+                    Archetype::Scanner => scanning += r,
+                    Archetype::GenericScout => scouting += r,
+                    Archetype::TelnetNoise => telnet += r,
+                    Archetype::GenericIntruder | Archetype::Cred3245 => intrusion += r,
+                    Archetype::PhilScanner => intrusion += r,
+                    _ => cmd_exec += r,
+                }
+            }
+            day = day.plus_days(1);
+        }
+        let m = 1e6;
+        assert!((40.0 * m..50.0 * m).contains(&scanning), "scanning {scanning}");
+        assert!((230.0 * m..280.0 * m).contains(&scouting), "scouting {scouting}");
+        assert!((70.0 * m..95.0 * m).contains(&intrusion), "intrusion {intrusion}");
+        assert!((140.0 * m..185.0 * m).contains(&cmd_exec), "command-exec {cmd_exec}");
+        assert!((80.0 * m..100.0 * m).contains(&telnet), "telnet {telnet}");
+    }
+
+    #[test]
+    fn mdrfckr_total_near_46m() {
+        let cat = catalog();
+        let mut total = 0.0;
+        let mut day = STUDY_START();
+        while day <= STUDY_END() {
+            for c in &cat {
+                if matches!(
+                    c.bot,
+                    Archetype::MdrfckrInitial | Archetype::MdrfckrVariant | Archetype::MdrfckrB64
+                ) {
+                    total += c.rate(day);
+                }
+            }
+            day = day.plus_days(1);
+        }
+        // Dips (handled by the driver) shave a little off; table-level total
+        // should slightly exceed the paper's 46M.
+        assert!((44e6..55e6).contains(&total), "mdrfckr total {total}");
+    }
+
+    #[test]
+    fn cred3245_starts_exactly_2022_12_08() {
+        let c = catalog();
+        let spec = c.iter().find(|c| c.bot == Archetype::Cred3245).unwrap();
+        assert_eq!(spec.windows[0].start, Date::new(2022, 12, 8));
+        let total: f64 = spec.windows.iter().map(|w| {
+            w.per_day * (w.end.days_since(w.start) + 1) as f64
+        }).sum();
+        assert!((22e6..27e6).contains(&total), "3245 total {total}");
+    }
+
+    #[test]
+    fn bbox_unlabelled_dies_mid_2022() {
+        let c = catalog();
+        let spec = c.iter().find(|c| c.bot == Archetype::BboxUnlabelled).unwrap();
+        assert!(spec.rate(Date::new(2022, 6, 1)) > 0.0);
+        assert_eq!(spec.rate(Date::new(2022, 7, 1)), 0.0);
+        assert_eq!(spec.rate(Date::new(2023, 1, 1)), 0.0);
+    }
+
+    #[test]
+    fn tvbox_campaigns_are_synchronized() {
+        let c = catalog();
+        let dream = c.iter().find(|c| c.bot == Archetype::TvBoxDreambox).unwrap();
+        let vertex = c.iter().find(|c| c.bot == Archetype::TvBoxVertex).unwrap();
+        let mut day = STUDY_START();
+        while day <= STUDY_END() {
+            assert_eq!(
+                dream.rate(day) > 0.0,
+                vertex.rate(day) > 0.0,
+                "desync on {day}"
+            );
+            day = day.plus_days(7);
+        }
+    }
+
+    #[test]
+    fn curl_maxred_pool_is_exactly_four() {
+        let c = catalog();
+        let spec = c.iter().find(|c| c.bot == Archetype::CurlMaxred).unwrap();
+        assert!(spec.pool_exact);
+        assert_eq!(spec.pool_size_paper, 4);
+        assert_eq!(spec.sensor_limit, Some(180));
+    }
+
+    #[test]
+    fn mdrfckr_and_variant_share_the_pool() {
+        let c = catalog();
+        let init = c.iter().find(|c| c.bot == Archetype::MdrfckrInitial).unwrap();
+        let var = c.iter().find(|c| c.bot == Archetype::MdrfckrVariant).unwrap();
+        assert_eq!(init.pool, var.pool);
+    }
+
+    #[test]
+    fn non_state_shift_in_2023() {
+        // The 2023 rate of non-state scouts must exceed the 2022 rate
+        // (paper: clear shift in early 2023, Fig. 1).
+        let c = catalog();
+        let echo = c.iter().find(|c| c.bot == Archetype::EchoOk).unwrap();
+        assert!(echo.rate(Date::new(2023, 6, 1)) > 2.0 * echo.rate(Date::new(2022, 6, 1)));
+    }
+}

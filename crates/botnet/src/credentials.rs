@@ -1,0 +1,137 @@
+//! Credential dictionaries (paper §8).
+//!
+//! The honeynet accepts `root` with any password except `root`, so what a
+//! bot *supplies* is what the password analysis (Fig. 10) sees. This module
+//! centralises the special credentials the paper discusses plus a generic
+//! brute-force dictionary for background scouting traffic.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// The login-only credential of §8: 24M sessions starting 2022-12-08 18:00
+/// UTC, possibly a Polycom CX600 default, 99.4 % IP overlap with `mdrfckr`.
+pub const CRED_3245: &str = "3245gs5662d34";
+
+/// Default password of Dreambox Enigma(1) TV boxes.
+pub const CRED_DREAMBOX: &str = "dreambox";
+
+/// Default password of the Dasan H660DW TV box; used in sync with
+/// [`CRED_DREAMBOX`] by the same TV-box Mirai botnet.
+pub const CRED_VERTEX: &str = "vertex25ektks123";
+
+/// Cowrie default usernames used for honeypot fingerprinting.
+pub const USER_PHIL: &str = "phil";
+/// The pre-2020 Cowrie default username.
+pub const USER_RICHARD: &str = "richard";
+
+/// Top generic passwords (beyond the specials) with relative weights,
+/// roughly mirroring common brute-force dictionaries.
+pub const GENERIC_PASSWORDS: &[(&str, u32)] = &[
+    ("admin", 100),
+    ("1234", 85),
+    ("123456", 8),
+    ("password", 6),
+    ("12345678", 5),
+    ("root123", 5),
+    ("qwerty", 4),
+    ("111111", 4),
+    ("abc123", 3),
+    ("letmein", 3),
+    ("default", 3),
+    ("toor", 2),
+    ("pass", 2),
+    ("changeme", 2),
+    ("raspberry", 2),
+    ("ubnt", 2),
+    ("support", 2),
+    ("oracle", 1),
+    ("guest", 1),
+    ("test", 1),
+];
+
+/// Draws the password a command-executing bot brute-forces with. The
+/// distribution is calibrated so that, at dataset scale, `admin` and
+/// `1234` surface as top generic passwords (Fig. 10) while the long tail
+/// of per-bot dictionaries keeps any other single password small.
+pub fn draw_attack_password(rng: &mut StdRng) -> String {
+    let u: f64 = rng.random();
+    if u < 0.09 {
+        "admin".to_string()
+    } else if u < 0.16 {
+        "1234".to_string()
+    } else if u < 0.21 {
+        draw_generic(rng).to_string()
+    } else {
+        // Long tail: dictionary entries effectively unique at our scale.
+        const CS: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789";
+        let n = rng.random_range(6..12);
+        (0..n).map(|_| CS[rng.random_range(0..CS.len())] as char).collect()
+    }
+}
+
+/// Draws a generic password by weight.
+pub fn draw_generic(rng: &mut StdRng) -> &'static str {
+    let total: u32 = GENERIC_PASSWORDS.iter().map(|(_, w)| w).sum();
+    let mut pick = rng.random_range(0..total);
+    for (pw, w) in GENERIC_PASSWORDS {
+        if pick < *w {
+            return pw;
+        }
+        pick -= w;
+    }
+    GENERIC_PASSWORDS[0].0
+}
+
+/// A short brute-force attempt list ending in a success candidate: the
+/// scouting path tries a few failures first, like real dictionary runs.
+pub fn bruteforce_ladder(rng: &mut StdRng, final_password: &str) -> Vec<(String, String)> {
+    let mut out = Vec::new();
+    let failures = rng.random_range(0..3);
+    for _ in 0..failures {
+        // `root:root` is the one combination Cowrie rejects, so it is the
+        // canonical failed attempt.
+        out.push(("root".to_string(), "root".to_string()));
+    }
+    out.push(("root".to_string(), final_password.to_string()));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn generic_draw_is_weighted_and_deterministic() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut counts = std::collections::HashMap::new();
+        for _ in 0..10_000 {
+            *counts.entry(draw_generic(&mut rng)).or_insert(0u32) += 1;
+        }
+        // "admin" outnumbers "guest" decisively.
+        assert!(counts["admin"] > counts.get("guest").copied().unwrap_or(0) * 5);
+        // Determinism.
+        let mut rng2 = StdRng::seed_from_u64(1);
+        assert_eq!(draw_generic(&mut StdRng::seed_from_u64(1)), draw_generic(&mut rng2));
+    }
+
+    #[test]
+    fn ladder_ends_with_target() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..50 {
+            let l = bruteforce_ladder(&mut rng, "admin");
+            assert_eq!(l.last().unwrap().1, "admin");
+            assert!(l.len() <= 3);
+            // All non-final attempts use the rejected root:root combo.
+            for (u, p) in &l[..l.len() - 1] {
+                assert_eq!((u.as_str(), p.as_str()), ("root", "root"));
+            }
+        }
+    }
+
+    #[test]
+    fn special_credentials_are_exact() {
+        assert_eq!(CRED_3245, "3245gs5662d34");
+        assert_eq!(CRED_VERTEX, "vertex25ektks123");
+    }
+}

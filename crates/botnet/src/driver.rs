@@ -1,0 +1,583 @@
+//! The 33-month dataset generator.
+//!
+//! Walks the study window day by day, schedules sessions for every active
+//! campaign (scaled down from paper rates), runs each through the honeypot
+//! session engine, and returns the frozen dataset together with the
+//! supporting substrates (AS world, storage ecosystem, abuse feeds, IP
+//! lists) and the generation ground truth used by validation tests.
+
+use crate::archetype::{Archetype, BotCtx, MDRFCKR_KEY_LINE};
+use crate::catalog::{catalog, CampaignSpec, STUDY_END, STUDY_START};
+use crate::events::in_dip;
+use crate::storage::{StorageConfig, StorageEcosystem, StorageStore};
+use abusedb::{AbuseDb, CoverageConfig, FeedName, IpList, MalwareFamily};
+use asdb::{GenConfig, SynthWorld};
+use honeypot::{AuthPolicy, Collector, Fleet, SessionInput, SessionRecord, SessionSim};
+use hutil::rng::SeedTree;
+use hutil::{Date, Sha256};
+use netsim::ip::Ipv4Pool;
+use netsim::latency::LatencyModel;
+use netsim::Ipv4Addr;
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::collections::HashMap;
+
+/// Generator knobs.
+#[derive(Debug, Clone)]
+pub struct DriverConfig {
+    /// Root seed; everything derives from it.
+    pub seed: u64,
+    /// Paper sessions per generated session. 1 000 ⇒ ~635k sessions.
+    pub session_scale: u64,
+    /// Paper client IPs per pool IP (sub-linear scaling keeps unique-IP
+    /// statistics meaningful at small session scales).
+    pub ip_scale: u64,
+    /// First day generated.
+    pub window_start: Date,
+    /// Last day generated.
+    pub window_end: Date,
+    /// Number of malware-storage IPs.
+    pub storage_ips: usize,
+}
+
+impl DriverConfig {
+    /// Default experiment scale (1:1000 sessions, 1:30 IPs).
+    pub fn default_scale(seed: u64) -> Self {
+        Self {
+            seed,
+            session_scale: 1_000,
+            ip_scale: 30,
+            window_start: STUDY_START(),
+            window_end: STUDY_END(),
+            storage_ips: 100, // ≈ paper's 3k at the 1:30 IP scale
+        }
+    }
+
+    /// A small scale for unit/integration tests (1:20 000 sessions).
+    pub fn test_scale(seed: u64) -> Self {
+        Self {
+            seed,
+            session_scale: 20_000,
+            ip_scale: 300,
+            window_start: STUDY_START(),
+            window_end: STUDY_END(),
+            storage_ips: 60,
+        }
+    }
+}
+
+/// The generated dataset plus every substrate the analysis enriches with.
+pub struct Dataset {
+    /// All session records, chronologically sorted.
+    pub sessions: Vec<SessionRecord>,
+    /// The AS world (registry + populations).
+    pub world: SynthWorld,
+    /// The malware-hosting ecosystem.
+    pub storage: StorageEcosystem,
+    /// Abuse feeds built over the minted ground truth.
+    pub abuse: AbuseDb,
+    /// Killnet-style proxy blocklist (overlaps the mdrfckr pool).
+    pub killnet: IpList,
+    /// C2 feed containing the mdrfckr control hosts.
+    pub c2_list: IpList,
+    /// Generation ground truth: file hash → family.
+    pub ground_truth: HashMap<String, MalwareFamily>,
+    /// The sensor fleet.
+    pub fleet: Fleet,
+    /// Client-IP pools by campaign pool key (for validation).
+    pub pools: HashMap<&'static str, Vec<Ipv4Addr>>,
+    /// Per pool: the small self-hosting subset (clients in hosting ASes
+    /// that serve payloads from their own address).
+    pub self_hosters: HashMap<&'static str, Vec<Ipv4Addr>>,
+    /// The configuration that produced all of the above.
+    pub config: DriverConfig,
+}
+
+impl Dataset {
+    /// SSH sessions only (what the paper analyses).
+    pub fn ssh_sessions(&self) -> impl Iterator<Item = &SessionRecord> {
+        self.sessions.iter().filter(|s| s.protocol == honeypot::Protocol::Ssh)
+    }
+
+    /// SHA-256 (hex) of the planted mdrfckr authorized_keys content.
+    pub fn mdrfckr_key_hash() -> String {
+        Sha256::hex_digest(format!("{MDRFCKR_KEY_LINE}\n").as_bytes())
+    }
+}
+
+/// Bernoulli-rounded scaling of a daily rate.
+fn sample_count(rate: f64, rng: &mut StdRng) -> u64 {
+    let base = rate.floor() as u64;
+    let frac = rate - rate.floor();
+    base + u64::from(rng.random::<f64>() < frac)
+}
+
+/// Generates the full dataset.
+pub fn generate_dataset(cfg: &DriverConfig) -> Dataset {
+    let seeds = SeedTree::new(cfg.seed);
+
+    // --- substrates ------------------------------------------------------
+    let mut as_cfg = GenConfig::paper_defaults(seeds.child("asdb").seed());
+    as_cfg.window_start = cfg.window_start;
+    as_cfg.window_end = cfg.window_end;
+    let world = asdb::generate(&as_cfg);
+
+    let fleet = {
+        let asns = world.honeypot_asns.clone();
+        let registry = &world.registry;
+        Fleet::new(
+            |i| {
+                let asn = asns[i % asns.len()];
+                let rec = registry.by_asn(asn).expect("honeypot AS exists");
+                let prefix = rec.announcements[0].prefix;
+                (asn, prefix.nth((10 + i / asns.len()) as u64))
+            },
+            Fleet::PAPER_SENSORS,
+        )
+    };
+
+    let storage_cfg = StorageConfig {
+        n_ips: cfg.storage_ips,
+        window_start: cfg.window_start,
+        window_end: cfg.window_end,
+        ..StorageConfig::paper_defaults(cfg.window_start, cfg.window_end)
+    };
+    let storage = {
+        let asns = world.storage_asns.clone();
+        let registry = &world.registry;
+        let mut per_as_counter: HashMap<u32, u64> = HashMap::new();
+        let window_start = cfg.window_start;
+        StorageEcosystem::new(&storage_cfg, seeds.child("storage"), move |_, rng| {
+            let asn = asns[rng.random_range(0..asns.len())];
+            let rec = registry.by_asn(asn).expect("storage AS exists");
+            let ann = &rec.announcements[rng.random_range(0..rec.announcements.len())];
+            let counter = per_as_counter.entry(asn).or_insert(1);
+            *counter += 1;
+            let idx = (*counter * 37) % ann.prefix.num_addrs().max(1);
+            // Young ASes are put to use within months of registration
+            // (Fig. 8a); established ones are used whenever.
+            let preferred = if rec.registered >= window_start.plus_days(-365) {
+                Some(rec.registered.plus_days(rng.random_range(20..120)))
+            } else {
+                None
+            };
+            (asn, ann.prefix.nth(idx), preferred)
+        })
+    };
+
+    // --- client pools ------------------------------------------------------
+    let client_prefixes: Vec<netsim::Prefix> = world
+        .client_asns
+        .iter()
+        .filter_map(|asn| world.registry.by_asn(*asn))
+        .flat_map(|r| r.announcements.iter().map(|a| a.prefix))
+        .collect();
+    let mut shared_pool = Ipv4Pool::new(client_prefixes);
+    let mut pool_rng = seeds.rng("pools");
+    let cat = catalog();
+    let mut pools: HashMap<&'static str, Vec<Ipv4Addr>> = HashMap::new();
+    for spec in &cat {
+        if pools.contains_key(spec.pool) || spec.pool == "cred3245" {
+            continue;
+        }
+        let size = if spec.pool_exact {
+            spec.pool_size_paper
+        } else {
+            (spec.pool_size_paper / cfg.ip_scale).max(4)
+        } as usize;
+        let ips: Vec<Ipv4Addr> = (0..size)
+            .map(|_| shared_pool.draw(&mut pool_rng).expect("client space exhausted"))
+            .collect();
+        pools.insert(spec.pool, ips);
+    }
+    // Self-hosting subsets: a few clients per pool, preferably ones inside
+    // hosting ASes (paper: the 30 ISP entries are the minority of the 388
+    // storage-AS census; most self-hosting machines are rented boxes).
+    let mut self_hosters: HashMap<&'static str, Vec<Ipv4Addr>> = HashMap::new();
+    for (key, ips) in &pools {
+        let want = (ips.len() / 20).clamp(1, 6);
+        let mut subset: Vec<Ipv4Addr> = ips
+            .iter()
+            .copied()
+            .filter(|ip| {
+                world
+                    .registry
+                    .lookup(*ip, cfg.window_start)
+                    .is_some_and(|r| r.as_type == asdb::AsType::Hosting)
+            })
+            .take(want)
+            .collect();
+        if subset.is_empty() {
+            subset.push(ips[0]);
+        }
+        self_hosters.insert(*key, subset);
+    }
+
+    // cred3245 overlaps the mdrfckr pool by 99.4 % (paper §9).
+    {
+        self_hosters.insert("cred3245", Vec::new());
+        let mdr = pools.get("mdrfckr").expect("mdrfckr pool exists").clone();
+        let want = ((125_000 / cfg.ip_scale).max(4) as usize).min(mdr.len());
+        let fresh = ((want as f64 * 0.006).round() as usize).max(1);
+        let mut ips: Vec<Ipv4Addr> = mdr[..want.saturating_sub(fresh)].to_vec();
+        for _ in 0..fresh {
+            ips.push(shared_pool.draw(&mut pool_rng).expect("client space exhausted"));
+        }
+        pools.insert("cred3245", ips);
+    }
+
+    // --- the day loop ------------------------------------------------------
+    let collector = Collector::new();
+    let store = StorageStore::new(&storage, cfg.window_start);
+    let policy = AuthPolicy::default();
+    let latency = LatencyModel::new(seeds.child("latency").seed());
+    let sim = SessionSim::new(policy, &store, latency);
+    let mut rng = seeds.rng("driver");
+    let mut b64_ip_cursor = 0usize;
+
+    let mut day = cfg.window_start;
+    while day <= cfg.window_end {
+        // Fleet-wide maintenance outage (2023-10-08/09).
+        if !fleet.online_at(day.at(12, 0, 0)) {
+            day = day.plus_days(1);
+            continue;
+        }
+        store.set_today(day);
+        for spec in &cat {
+            let mut rate = spec.rate(day);
+            if rate <= 0.0 {
+                continue;
+            }
+            // mdrfckr dips: activity collapses by three orders of magnitude
+            // during the documented event windows (§10).
+            if matches!(spec.bot, Archetype::MdrfckrInitial | Archetype::MdrfckrVariant)
+                && in_dip(day)
+            {
+                rate *= 0.002;
+            }
+            let mut n = sample_count(rate / cfg.session_scale as f64, &mut rng);
+            // The paper observed base64 uploads in *every* documented dip;
+            // guarantee at least one per window regardless of scale.
+            if spec.bot == Archetype::MdrfckrB64
+                && spec.windows.iter().any(|w| w.start == day)
+            {
+                n = n.max(1);
+            }
+            for _ in 0..n {
+                let rec = run_one(
+                    spec,
+                    day,
+                    &fleet,
+                    &pools,
+                    &self_hosters,
+                    &sim,
+                    &mut rng,
+                    &storage,
+                    &mut b64_ip_cursor,
+                );
+                collector.ingest(rec);
+            }
+        }
+        day = day.plus_days(1);
+    }
+
+    // --- abuse intelligence over minted ground truth -----------------------
+    let ground_truth = storage.ground_truth();
+    let mut abuse = AbuseDb::from_ground_truth(
+        ground_truth.iter().map(|(h, f)| (h.as_str(), *f)),
+        &CoverageConfig::paper_defaults(),
+        seeds.child("abuse").seed(),
+    );
+    // The mdrfckr key hash is famously labelled (paper §9).
+    abuse.insert(FeedName::VirusTotal, &Dataset::mdrfckr_key_hash(), MalwareFamily::CoinMiner);
+    abuse.insert(FeedName::AbuseCh, &Dataset::mdrfckr_key_hash(), MalwareFamily::Malicious);
+    // 56 % of storage IPs are reported in IP-reputation feeds (§7).
+    let mut abuse_rng = seeds.rng("abuse-ips");
+    for s in storage.ips() {
+        if abuse_rng.random::<f64>() < 0.56 {
+            abuse.report_ip(s.ip);
+        }
+    }
+    // Self-hosting clients are "malware loader IPs" too and get reported
+    // at the same rate.
+    for ips in self_hosters.values() {
+        for ip in ips {
+            if abuse_rng.random::<f64>() < 0.56 {
+                abuse.report_ip(*ip);
+            }
+        }
+    }
+
+    // Killnet proxy list: 988 paper-scale IPs out of the mdrfckr pool, plus
+    // unrelated entries.
+    let mut killnet = IpList::new("KillNet DDoS Blocklist");
+    {
+        let mdr = &pools["mdrfckr"];
+        let overlap = ((988 / cfg.ip_scale).max(2) as usize).min(mdr.len());
+        for ip in mdr.iter().take(overlap) {
+            killnet.add(*ip);
+        }
+        for _ in 0..overlap * 4 {
+            if let Some(ip) = shared_pool.draw(&mut pool_rng) {
+                killnet.add(ip);
+            }
+        }
+    }
+    let mut c2_list = IpList::new("C2-Daily-Feed");
+    for ip in crate::archetype::mdrfckr_c2_ips() {
+        c2_list.add(ip);
+    }
+
+    Dataset {
+        sessions: collector.into_dataset(),
+        world,
+        storage,
+        abuse,
+        killnet,
+        c2_list,
+        ground_truth,
+        fleet,
+        pools,
+        self_hosters,
+        config: cfg.clone(),
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_one(
+    spec: &CampaignSpec,
+    day: Date,
+    fleet: &Fleet,
+    pools: &HashMap<&'static str, Vec<Ipv4Addr>>,
+    self_hosters: &HashMap<&'static str, Vec<Ipv4Addr>>,
+    sim: &SessionSim<'_>,
+    rng: &mut StdRng,
+    storage: &StorageEcosystem,
+    b64_ip_cursor: &mut usize,
+) -> SessionRecord {
+    let pool = &pools[spec.pool];
+    let hosters = &self_hosters[spec.pool];
+    let mut self_host = false;
+    let client_ip = if spec.bot == Archetype::MdrfckrB64 {
+        // Dispersed one-shot infrastructure: IPs are not reused (§9).
+        let ip = pool[*b64_ip_cursor % pool.len()];
+        *b64_ip_cursor += 1;
+        ip
+    } else if !hosters.is_empty() && rng.random::<f64>() < 0.16 {
+        // Self-hosting clients account for ~20 % of download *events*
+        // (paper §7) while staying a small, reused IP population (the
+        // pick probability is lower because self-hosted downloads always
+        // surface a URI, unlike e.g. scp-assumed loaders). Usage is
+        // era-localised: a given box serves for a few months and is then
+        // replaced, so its activity span stays bounded (Fig. 9).
+        self_host = true;
+        let epoch = Date::new(2021, 12, 1);
+        let span = Date::new(2024, 8, 31).days_since(epoch).max(1);
+        let era = (day.days_since(epoch).clamp(0, span - 1) as usize * hosters.len())
+            / span as usize;
+        if rng.random::<f64>() < 0.9 {
+            hosters[era.min(hosters.len() - 1)]
+        } else {
+            hosters[rng.random_range(0..hosters.len())]
+        }
+    } else {
+        pool[rng.random_range(0..pool.len())]
+    };
+    let sensor_count = spec.sensor_limit.unwrap_or(fleet.len()).min(fleet.len());
+    let sensor = fleet
+        .get(rng.random_range(0..sensor_count) as u16)
+        .expect("sensor index in range");
+    // The 3245gs5662d34 campaign began at exactly 18:00 UTC on its first
+    // day (§8); otherwise sessions spread across the day.
+    let start_sec = if spec.bot == Archetype::Cred3245 && day == Date::new(2022, 12, 8) {
+        18 * 3600 + rng.random_range(0..6 * 3600)
+    } else {
+        rng.random_range(0..86_400)
+    };
+    let mut ctx = BotCtx { rng, date: day, client_ip, self_host, storage };
+    let content = spec.bot.session(&mut ctx);
+    let input = SessionInput {
+        honeypot_id: sensor.id,
+        honeypot_ip: sensor.ip,
+        client_ip,
+        client_port: 1024 + (rng.random_range(0..60_000u32) as u16 % 60_000),
+        protocol: content.protocol,
+        start: day.at_midnight().plus_secs(start_sec as i64),
+        client_version: content.client_version,
+        logins: content.logins,
+        commands: content.commands,
+        idle_out: content.idle_out,
+    };
+    sim.run(input)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> &'static Dataset {
+        static DS: std::sync::OnceLock<Dataset> = std::sync::OnceLock::new();
+        DS.get_or_init(|| generate_dataset(&DriverConfig::test_scale(42)))
+    }
+
+    #[test]
+    fn generates_all_taxonomy_classes() {
+        let ds = small();
+        assert!(ds.sessions.len() > 10_000, "got {}", ds.sessions.len());
+        let scanning = ds.ssh_sessions().filter(|s| s.logins.is_empty()).count();
+        let scouting = ds
+            .ssh_sessions()
+            .filter(|s| !s.logins.is_empty() && !s.login_succeeded())
+            .count();
+        let intrusion = ds
+            .ssh_sessions()
+            .filter(|s| s.login_succeeded() && s.commands.is_empty())
+            .count();
+        let cmd_exec = ds
+            .ssh_sessions()
+            .filter(|s| s.login_succeeded() && !s.commands.is_empty())
+            .count();
+        assert!(scanning > 0 && scouting > 0 && intrusion > 0 && cmd_exec > 0);
+        // Paper ordering: scouting > command-exec > intrusion > scanning.
+        assert!(scouting > cmd_exec, "scouting {scouting} vs cmd {cmd_exec}");
+        assert!(cmd_exec > intrusion, "cmd {cmd_exec} vs intrusion {intrusion}");
+        assert!(intrusion > scanning, "intrusion {intrusion} vs scanning {scanning}");
+    }
+
+    #[test]
+    fn dataset_is_chronological_and_in_window() {
+        let ds = small();
+        for pair in ds.sessions.windows(2) {
+            assert!(pair[0].start <= pair[1].start);
+        }
+        let first = ds.sessions.first().unwrap().start.date();
+        let last = ds.sessions.last().unwrap().start.date();
+        assert!(first >= Date::new(2021, 12, 1));
+        assert!(last <= Date::new(2024, 8, 31));
+    }
+
+    #[test]
+    fn maintenance_window_is_empty() {
+        let ds = small();
+        let n = ds
+            .sessions
+            .iter()
+            .filter(|s| {
+                let d = s.start.date();
+                d == Date::new(2023, 10, 8) || d == Date::new(2023, 10, 9)
+            })
+            .count();
+        assert_eq!(n, 0, "no sessions during maintenance");
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate_dataset(&DriverConfig::test_scale(7));
+        let b = generate_dataset(&DriverConfig::test_scale(7));
+        assert_eq!(a.sessions.len(), b.sessions.len());
+        for (x, y) in a.sessions.iter().zip(&b.sessions).step_by(97) {
+            assert_eq!(x.start, y.start);
+            assert_eq!(x.client_ip, y.client_ip);
+            assert_eq!(x.command_text(), y.command_text());
+        }
+        assert_eq!(a.ground_truth.len(), b.ground_truth.len());
+    }
+
+    #[test]
+    fn mdrfckr_dips_are_visible() {
+        let ds = small();
+        let daily = |d: Date| {
+            ds.sessions
+                .iter()
+                .filter(|s| s.start.date() == d && s.command_text().contains("mdrfckr"))
+                .count()
+        };
+        // Average over a dip window vs. neighbouring normal days.
+        let dip: usize = (0..7).map(|i| daily(Date::new(2022, 10, 10).plus_days(i))).sum();
+        let normal: usize = (0..7).map(|i| daily(Date::new(2022, 11, 10).plus_days(i))).sum();
+        assert!(normal > 5, "normal week too quiet: {normal}");
+        assert!(dip * 5 < normal, "dip {dip} not clearly below normal {normal}");
+    }
+
+    #[test]
+    fn cred3245_overlaps_mdrfckr_pool() {
+        let ds = small();
+        let mdr: std::collections::HashSet<_> = ds.pools["mdrfckr"].iter().collect();
+        let c32 = &ds.pools["cred3245"];
+        let overlap = c32.iter().filter(|ip| mdr.contains(ip)).count() as f64 / c32.len() as f64;
+        assert!(overlap > 0.95, "overlap {overlap}");
+        assert!(overlap < 1.0, "a few fresh IPs expected");
+    }
+
+    #[test]
+    fn killnet_overlap_exists() {
+        let ds = small();
+        let overlap = ds.killnet.overlap_count(ds.pools["mdrfckr"].iter());
+        assert!(overlap >= 2, "killnet overlap {overlap}");
+    }
+
+    #[test]
+    fn some_downloads_succeed_and_hash() {
+        let ds = small();
+        let with_hashes = ds
+            .ssh_sessions()
+            .filter(|s| s.dropped_hashes().next().is_some())
+            .count();
+        assert!(with_hashes > 50, "sessions with dropped files: {with_hashes}");
+        assert!(!ds.ground_truth.is_empty());
+        // Abuse coverage is partial (paper: <5 %), never total.
+        let labelled = ds
+            .ground_truth
+            .keys()
+            .filter(|h| ds.abuse.lookup(h).is_some())
+            .count();
+        assert!(labelled * 10 < ds.ground_truth.len(), "coverage too high");
+    }
+
+    #[test]
+    fn file_missing_sessions_exist() {
+        let ds = small();
+        let missing = ds.ssh_sessions().filter(|s| s.has_missing_exec()).count();
+        let exists = ds
+            .ssh_sessions()
+            .filter(|s| s.exec_hashes().next().is_some())
+            .count();
+        assert!(missing > exists, "missing {missing} should outnumber exists {exists}");
+    }
+
+    #[test]
+    fn curl_maxred_clients_are_four_and_sensor_limited() {
+        let ds = small();
+        let curl_sessions: Vec<_> = ds
+            .ssh_sessions()
+            .filter(|s| s.command_text().contains("--max-redirs"))
+            .collect();
+        assert!(!curl_sessions.is_empty());
+        let clients: std::collections::HashSet<_> =
+            curl_sessions.iter().map(|s| s.client_ip).collect();
+        assert!(clients.len() <= 4);
+        let sensors: std::collections::HashSet<_> =
+            curl_sessions.iter().map(|s| s.honeypot_id).collect();
+        assert!(sensors.iter().all(|&id| (id as usize) < 180));
+    }
+
+    #[test]
+    fn phil_logins_present_and_commandless() {
+        let ds = small();
+        let phil: Vec<_> = ds
+            .ssh_sessions()
+            .filter(|s| s.logins.iter().any(|l| l.username == "phil"))
+            .collect();
+        assert!(!phil.is_empty());
+        assert!(phil.iter().all(|s| s.commands.is_empty()));
+        assert!(phil.iter().all(|s| s.login_succeeded()));
+        // richard attempts always fail (presence at this tiny test scale
+        // is probabilistic; the integration suite asserts presence at a
+        // larger scale).
+        let richard: Vec<_> = ds
+            .ssh_sessions()
+            .filter(|s| s.logins.iter().any(|l| l.username == "richard"))
+            .collect();
+        assert!(richard.iter().all(|s| !s.login_succeeded()));
+    }
+}

@@ -1,0 +1,114 @@
+//! Documented event windows correlated with `mdrfckr` activity dips.
+//!
+//! Paper §10 ("Events correlation") lists eight periods in which the
+//! otherwise steady `mdrfckr` bot (~100k sessions/day) collapsed to ~100
+//! sessions/day from ~10 IPs, each coinciding with a documented attack
+//! campaign elsewhere. The generator reproduces the dips at exactly these
+//! dates; the case-study analysis (core::mdrfckr) rediscovers them.
+
+use hutil::Date;
+
+/// One low-activity window with its documented coinciding event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DipWindow {
+    /// First day of reduced activity (inclusive).
+    pub start: Date,
+    /// Last day of reduced activity (inclusive).
+    pub end: Date,
+    /// The coinciding documented event, as cited by the paper.
+    pub event: &'static str,
+}
+
+impl DipWindow {
+    /// Whether `d` falls inside the window.
+    pub fn contains(&self, d: Date) -> bool {
+        d >= self.start && d <= self.end
+    }
+}
+
+/// The eight dip windows of §10 (plus the initial deployment ramp-up is
+/// handled separately by the campaign table, not listed here).
+pub fn mdrfckr_dip_windows() -> Vec<DipWindow> {
+    vec![
+        DipWindow {
+            start: Date::new(2022, 3, 16),
+            end: Date::new(2022, 3, 24),
+            event: "IRIDIUM DDoS attacks against Ukrainian infrastructure",
+        },
+        DipWindow {
+            start: Date::new(2022, 4, 2),
+            end: Date::new(2022, 4, 12),
+            event: "Continued pro-Russian attacks on Ukrainian targets",
+        },
+        DipWindow {
+            start: Date::new(2022, 8, 1),
+            end: Date::new(2022, 8, 2),
+            event: "Hits on infrastructure of a European country supporting Ukraine",
+        },
+        DipWindow {
+            start: Date::new(2022, 10, 10),
+            end: Date::new(2022, 10, 16),
+            event: "Sandworm attack on Ukrainian power grid; Killnet DDoS on US airports",
+        },
+        DipWindow {
+            start: Date::new(2023, 3, 2),
+            end: Date::new(2023, 3, 10),
+            event: "Attack against KyivStar mobile operator",
+        },
+        DipWindow {
+            start: Date::new(2023, 9, 1),
+            end: Date::new(2023, 9, 8),
+            event: "DDoS against Ukrainian public administration and media",
+        },
+        DipWindow {
+            start: Date::new(2024, 1, 19),
+            end: Date::new(2024, 1, 21),
+            event: "APT29 (Midnight Blizzard) data-theft attack",
+        },
+        DipWindow {
+            start: Date::new(2024, 4, 4),
+            end: Date::new(2024, 4, 10),
+            event: "Sandworm attack against Ukrainian infrastructure",
+        },
+    ]
+}
+
+/// Whether `d` lies in any dip window.
+pub fn in_dip(d: Date) -> bool {
+    mdrfckr_dip_windows().iter().any(|w| w.contains(d))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eight_windows_sorted_and_disjoint() {
+        let w = mdrfckr_dip_windows();
+        assert_eq!(w.len(), 8);
+        for pair in w.windows(2) {
+            assert!(pair[0].end < pair[1].start, "windows must be disjoint and sorted");
+        }
+        for win in &w {
+            assert!(win.start <= win.end);
+        }
+    }
+
+    #[test]
+    fn membership() {
+        assert!(in_dip(Date::new(2022, 3, 20)));
+        assert!(in_dip(Date::new(2022, 10, 10)));
+        assert!(in_dip(Date::new(2024, 4, 10)));
+        assert!(!in_dip(Date::new(2022, 3, 25)));
+        assert!(!in_dip(Date::new(2023, 1, 1)));
+    }
+
+    #[test]
+    fn all_windows_inside_study_period() {
+        let start = Date::new(2021, 12, 1);
+        let end = Date::new(2024, 8, 31);
+        for w in mdrfckr_dip_windows() {
+            assert!(w.start >= start && w.end <= end);
+        }
+    }
+}

@@ -1,0 +1,44 @@
+//! `botnet` — the synthetic attacker ecosystem.
+//!
+//! The paper's dataset is three years of real attacks against a 221-sensor
+//! honeynet; that data is private (the repro gate), so this crate *is* the
+//! substitution: a seeded ecosystem of 40+ scripted bot archetypes whose
+//! campaign schedules, credential dictionaries, storage infrastructure and
+//! behavioural quirks are calibrated to everything the paper reports about
+//! them. The honeypot crate then observes these bots exactly as Cowrie
+//! observed the real ones, and the analysis pipeline runs unchanged.
+//!
+//! Module map:
+//!
+//! * [`archetype`] — the bot behaviours: what one session of each bot
+//!   looks like (credentials tried, command lines, transfer methods).
+//! * [`catalog`](mod@catalog) — the calibrated campaign table: which bot is active
+//!   when, at what paper-scale daily session rate (the source of every
+//!   wave, spike and decline in Figs 1–4, 6, 10–13).
+//! * [`storage`] — the malware-hosting ecosystem: storage IPs inside the
+//!   synthetic storage ASes, per-IP activity windows (Fig 9), file
+//!   variants per family (the 16k-hash diversity), and the
+//!   [`honeypot::RemoteStore`] implementation honeypots download through.
+//! * [`credentials`] — password dictionaries and the special credentials
+//!   (`3245gs5662d34`, `dreambox`, `vertex25ektks123`, `phil`).
+//! * [`events`] — the eight documented geopolitical event windows that
+//!   coincide with `mdrfckr` activity dips (§10).
+//! * [`driver`] — the 33-month generator: walks the window day by day,
+//!   schedules sessions for every active campaign, runs them through the
+//!   honeypot and returns the frozen dataset plus ground truth.
+
+pub mod archetype;
+pub mod catalog;
+pub mod credentials;
+pub mod driver;
+pub mod events;
+pub mod storage;
+
+pub use archetype::{
+    mdrfckr_b64_scripts, mdrfckr_c2_ips, Archetype, BotCtx, BotSessionContent, TransferMethod,
+    MDRFCKR_KEY_LINE,
+};
+pub use catalog::{catalog, CampaignSpec, Window};
+pub use driver::{generate_dataset, Dataset, DriverConfig};
+pub use events::{mdrfckr_dip_windows, DipWindow};
+pub use storage::{StorageEcosystem, StorageStore};

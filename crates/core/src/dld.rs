@@ -1,0 +1,133 @@
+//! Damerau-Levenshtein distance over token sequences (paper §6).
+//!
+//! The paper computes DLD treating each *token* as a single character.
+//! This is the standard optimal-string-alignment formulation (insert,
+//! delete, substitute, transpose-adjacent), generic over any `PartialEq`
+//! element type.
+
+/// Damerau-Levenshtein (optimal string alignment) distance between two
+/// sequences.
+pub fn dld<T: PartialEq>(a: &[T], b: &[T]) -> usize {
+    let (n, m) = (a.len(), b.len());
+    if n == 0 {
+        return m;
+    }
+    if m == 0 {
+        return n;
+    }
+    // Three rolling rows: i-2, i-1, i.
+    let mut prev2 = vec![0usize; m + 1];
+    let mut prev = (0..=m).collect::<Vec<usize>>();
+    let mut cur = vec![0usize; m + 1];
+    for i in 1..=n {
+        cur[0] = i;
+        for j in 1..=m {
+            let cost = usize::from(a[i - 1] != b[j - 1]);
+            let mut best = (prev[j] + 1) // deletion
+                .min(cur[j - 1] + 1) // insertion
+                .min(prev[j - 1] + cost); // substitution
+            if i > 1 && j > 1 && a[i - 1] == b[j - 2] && a[i - 2] == b[j - 1] {
+                best = best.min(prev2[j - 2] + 1); // transposition
+            }
+            cur[j] = best;
+        }
+        std::mem::swap(&mut prev2, &mut prev);
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[m]
+}
+
+/// DLD normalized by the longer sequence length, in `[0, 1]`
+/// (0 = identical, 1 = nothing in common). Two empty sequences are
+/// identical (0).
+pub fn normalized_dld<T: PartialEq>(a: &[T], b: &[T]) -> f64 {
+    let max = a.len().max(b.len());
+    if max == 0 {
+        return 0.0;
+    }
+    dld(a, b) as f64 / max as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &str) -> Vec<&str> {
+        s.split_whitespace().collect()
+    }
+
+    #[test]
+    fn paper_example_distance_one() {
+        // "mkdir /tmp" vs "cd /tmp" → one token substituted.
+        assert_eq!(dld(&toks("mkdir /tmp"), &toks("cd /tmp")), 1);
+    }
+
+    #[test]
+    fn identical_and_empty() {
+        assert_eq!(dld(&toks("a b c"), &toks("a b c")), 0);
+        assert_eq!(dld::<&str>(&[], &[]), 0);
+        assert_eq!(dld(&toks("a b"), &[]), 2);
+        assert_eq!(dld::<&str>(&[], &toks("x y z")), 3);
+    }
+
+    #[test]
+    fn insertion_deletion_substitution() {
+        assert_eq!(dld(&toks("a b c"), &toks("a b c d")), 1);
+        assert_eq!(dld(&toks("a b c d"), &toks("a b c")), 1);
+        assert_eq!(dld(&toks("a b c"), &toks("a x c")), 1);
+        assert_eq!(dld(&toks("a b c"), &toks("x y z")), 3);
+    }
+
+    #[test]
+    fn transposition_counts_once() {
+        assert_eq!(dld(&toks("a b"), &toks("b a")), 1);
+        assert_eq!(dld(&toks("wget chmod sh"), &toks("chmod wget sh")), 1);
+    }
+
+    #[test]
+    fn char_level_classics() {
+        let a: Vec<char> = "ca".chars().collect();
+        let b: Vec<char> = "abc".chars().collect();
+        // OSA gives 3 here (true DLD would give 2) — we implement OSA, the
+        // standard "Damerau-Levenshtein" of practice.
+        assert_eq!(dld(&a, &b), 3);
+        let a: Vec<char> = "kitten".chars().collect();
+        let b: Vec<char> = "sitting".chars().collect();
+        assert_eq!(dld(&a, &b), 3);
+    }
+
+    #[test]
+    fn triangle_inequality_holds_on_samples() {
+        let xs = [
+            toks("cd /tmp wget u sh f"),
+            toks("cd /tmp curl u sh f"),
+            toks("mkdir d cd d wget u chmod f sh f rm f"),
+            toks("uname -a"),
+            toks(""),
+        ];
+        for a in &xs {
+            for b in &xs {
+                for c in &xs {
+                    assert!(dld(a, c) <= dld(a, b) + dld(b, c));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn symmetry() {
+        let a = toks("a b c d e");
+        let b = toks("a c b e");
+        assert_eq!(dld(&a, &b), dld(&b, &a));
+    }
+
+    #[test]
+    fn normalized_bounds() {
+        assert_eq!(normalized_dld::<&str>(&[], &[]), 0.0);
+        assert_eq!(normalized_dld(&toks("a b"), &toks("a b")), 0.0);
+        assert_eq!(normalized_dld(&toks("a b"), &toks("x y")), 1.0);
+        let v = normalized_dld(&toks("a b c d"), &toks("a b"));
+        assert!((0.0..=1.0).contains(&v));
+        assert_eq!(v, 0.5);
+    }
+}

@@ -1,0 +1,36 @@
+//! `honeylab-core` — the paper's analysis pipeline.
+//!
+//! Everything in *"Attacks Come to Those Who Wait"* between raw session
+//! records and published figures lives here:
+//!
+//! * [`taxonomy`] — the §3.3 session taxonomy (scanning / scouting /
+//!   intrusion / command execution) and dataset statistics.
+//! * [`classify`] — the Table 1 command classifier: 58 regex categories
+//!   plus `unknown`, evaluated in precedence order over each session's
+//!   command text (>99 % coverage claim reproduced by tests).
+//! * [`tokens`] — command tokenization for clustering (§6).
+//! * [`dld`] — Damerau-Levenshtein distance over token sequences.
+//! * [`cluster`] — K-medoids over the token-DLD matrix with WCSS/elbow and
+//!   silhouette diagnostics (paper: k = 90), plus family labelling via
+//!   abuse-database cross-referencing.
+//! * [`storage_analysis`] — malware storage locations: client/storage AS
+//!   types (Fig. 7/17), AS age and size (Fig. 8), IP reuse (Fig. 9).
+//! * [`logins`] — password analysis (Fig. 10) and Cowrie-default
+//!   fingerprinting (Fig. 11).
+//! * [`mdrfckr`] — the §9 case study (Figs. 12/13, base64 payloads, C2 and
+//!   Killnet overlaps).
+//! * [`report`] — figure/table data structures and text renderers; one
+//!   entry point per paper artefact.
+
+pub mod classify;
+pub mod cluster;
+pub mod dld;
+pub mod logins;
+pub mod mdrfckr;
+pub mod report;
+pub mod storage_analysis;
+pub mod taxonomy;
+pub mod tokens;
+
+pub use classify::{Classifier, UNKNOWN_LABEL};
+pub use taxonomy::{SessionClass, TaxonomyStats};

@@ -1,0 +1,231 @@
+//! Login-attempt analysis (paper §8, Figs. 10/11).
+
+use honeypot::SessionRecord;
+use hutil::Month;
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+/// Fig. 10 data: per-month session counts for each of the overall top-N
+/// passwords used in *successful* intrusions.
+#[derive(Debug, Clone)]
+pub struct TopPasswords {
+    /// The top passwords, most frequent first.
+    pub passwords: Vec<String>,
+    /// Per month, counts aligned with `passwords`.
+    pub by_month: BTreeMap<Month, Vec<u64>>,
+}
+
+/// Computes the Fig. 10 series.
+pub fn top_passwords(sessions: &[SessionRecord], n: usize) -> TopPasswords {
+    let mut totals: HashMap<&str, u64> = HashMap::new();
+    for rec in sessions {
+        if let Some(pw) = rec.accepted_password() {
+            *totals.entry(pw).or_default() += 1;
+        }
+    }
+    let mut ranked: Vec<(&str, u64)> = totals.into_iter().collect();
+    ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+    let passwords: Vec<String> = ranked.iter().take(n).map(|(p, _)| p.to_string()).collect();
+    let index: HashMap<&str, usize> =
+        passwords.iter().enumerate().map(|(i, p)| (p.as_str(), i)).collect();
+    let mut by_month: BTreeMap<Month, Vec<u64>> = BTreeMap::new();
+    for rec in sessions {
+        if let Some(pw) = rec.accepted_password() {
+            if let Some(&i) = index.get(pw) {
+                by_month
+                    .entry(rec.start.date().month_of())
+                    .or_insert_with(|| vec![0; passwords.len()])[i] += 1;
+            }
+        }
+    }
+    TopPasswords { passwords, by_month }
+}
+
+/// Fig. 11 data plus the §8 fingerprinting statistics.
+#[derive(Debug, Clone)]
+pub struct CowrieDefaultProbes {
+    /// Per month: successful `phil` logins.
+    pub phil_success: BTreeMap<Month, u64>,
+    /// Per month: `richard` attempts (all fail on this deployment).
+    pub richard_tries: BTreeMap<Month, u64>,
+    /// Unique client IPs probing with `phil`.
+    pub phil_unique_ips: u64,
+    /// Fraction of `phil` sessions that disconnect without any command
+    /// (paper: >90 %).
+    pub phil_no_command_frac: f64,
+}
+
+/// Computes the Fig. 11 series.
+pub fn cowrie_default_probes(sessions: &[SessionRecord]) -> CowrieDefaultProbes {
+    let mut phil_success: BTreeMap<Month, u64> = BTreeMap::new();
+    let mut richard_tries: BTreeMap<Month, u64> = BTreeMap::new();
+    let mut phil_ips: HashSet<netsim::Ipv4Addr> = HashSet::new();
+    let mut phil_sessions = 0u64;
+    let mut phil_quiet = 0u64;
+    for rec in sessions {
+        let month = rec.start.date().month_of();
+        let has_phil = rec.logins.iter().any(|l| l.username == "phil" && l.success);
+        let has_richard = rec.logins.iter().any(|l| l.username == "richard");
+        if has_phil {
+            *phil_success.entry(month).or_default() += 1;
+            phil_ips.insert(rec.client_ip);
+            phil_sessions += 1;
+            if rec.commands.is_empty() {
+                phil_quiet += 1;
+            }
+        }
+        if has_richard {
+            *richard_tries.entry(month).or_default() += 1;
+        }
+    }
+    CowrieDefaultProbes {
+        phil_success,
+        richard_tries,
+        phil_unique_ips: phil_ips.len() as u64,
+        phil_no_command_frac: if phil_sessions > 0 {
+            phil_quiet as f64 / phil_sessions as f64
+        } else {
+            0.0
+        },
+    }
+}
+
+/// §8: sessions using a specific password, with first-seen instant and
+/// unique client IPs — used for the `3245gs5662d34` investigation.
+#[derive(Debug, Clone)]
+pub struct PasswordProfile {
+    /// Total sessions accepted with the password.
+    pub sessions: u64,
+    /// Unique client IPs.
+    pub unique_ips: u64,
+    /// Earliest session start.
+    pub first_seen: Option<hutil::DateTime>,
+    /// Fraction of those sessions that executed zero commands.
+    pub no_command_frac: f64,
+}
+
+/// Profiles one password across the dataset.
+pub fn password_profile(sessions: &[SessionRecord], password: &str) -> PasswordProfile {
+    let mut count = 0u64;
+    let mut quiet = 0u64;
+    let mut ips = HashSet::new();
+    let mut first: Option<hutil::DateTime> = None;
+    for rec in sessions {
+        if rec.accepted_password() == Some(password) {
+            count += 1;
+            if rec.commands.is_empty() {
+                quiet += 1;
+            }
+            ips.insert(rec.client_ip);
+            first = Some(match first {
+                Some(f) if f <= rec.start => f,
+                _ => rec.start,
+            });
+        }
+    }
+    PasswordProfile {
+        sessions: count,
+        unique_ips: ips.len() as u64,
+        first_seen: first,
+        no_command_frac: if count > 0 { quiet as f64 / count as f64 } else { 0.0 },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use honeypot::{CommandRecord, LoginAttempt, Protocol, SessionEndReason};
+    use hutil::Date;
+    use netsim::Ipv4Addr;
+
+    fn rec(
+        date: Date,
+        user: &str,
+        pw: &str,
+        success: bool,
+        commands: usize,
+        ip: u32,
+    ) -> SessionRecord {
+        SessionRecord {
+            session_id: 0,
+            honeypot_id: 0,
+            honeypot_ip: Ipv4Addr(1),
+            client_ip: Ipv4Addr(ip),
+            client_port: 1,
+            protocol: Protocol::Ssh,
+            start: date.at(8, 0, 0),
+            end: date.at(8, 1, 0),
+            end_reason: SessionEndReason::ClientClose,
+            client_version: None,
+            logins: vec![LoginAttempt {
+                username: user.into(),
+                password: pw.into(),
+                success,
+            }],
+            commands: (0..commands)
+                .map(|i| CommandRecord { input: format!("c{i}"), known: true })
+                .collect(),
+            uris: vec![],
+            file_events: vec![],
+        }
+    }
+
+    #[test]
+    fn top_passwords_ranks_and_buckets() {
+        let d1 = Date::new(2022, 3, 1);
+        let d2 = Date::new(2022, 4, 1);
+        let sessions = vec![
+            rec(d1, "root", "admin", true, 0, 1),
+            rec(d1, "root", "admin", true, 0, 2),
+            rec(d1, "root", "1234", true, 0, 3),
+            rec(d2, "root", "admin", true, 0, 4),
+            rec(d2, "root", "rare", true, 0, 5),
+            rec(d2, "root", "failing", false, 0, 6), // failed: not counted
+        ];
+        let top = top_passwords(&sessions, 2);
+        assert_eq!(top.passwords, vec!["admin", "1234"]);
+        assert_eq!(top.by_month[&Month::new(2022, 3)], vec![2, 1]);
+        assert_eq!(top.by_month[&Month::new(2022, 4)], vec![1, 0]);
+    }
+
+    #[test]
+    fn phil_and_richard_series() {
+        let d1 = Date::new(2023, 1, 5);
+        let sessions = vec![
+            rec(d1, "phil", "x", true, 0, 1),
+            rec(d1, "phil", "y", true, 0, 2),
+            rec(d1, "phil", "z", true, 1, 3), // one phil session runs a command
+            rec(d1, "richard", "x", false, 0, 4),
+        ];
+        let probes = cowrie_default_probes(&sessions);
+        assert_eq!(probes.phil_success[&Month::new(2023, 1)], 3);
+        assert_eq!(probes.richard_tries[&Month::new(2023, 1)], 1);
+        assert_eq!(probes.phil_unique_ips, 3);
+        assert!((probes.phil_no_command_frac - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn password_profile_finds_first_seen() {
+        let sessions = vec![
+            rec(Date::new(2022, 12, 9), "root", "3245gs5662d34", true, 0, 1),
+            rec(Date::new(2022, 12, 8), "root", "3245gs5662d34", true, 0, 2),
+            rec(Date::new(2023, 1, 1), "root", "3245gs5662d34", true, 0, 2),
+            rec(Date::new(2022, 1, 1), "root", "other", true, 1, 3),
+        ];
+        let p = password_profile(&sessions, "3245gs5662d34");
+        assert_eq!(p.sessions, 3);
+        assert_eq!(p.unique_ips, 2);
+        assert_eq!(p.first_seen.unwrap().date(), Date::new(2022, 12, 8));
+        assert_eq!(p.no_command_frac, 1.0);
+    }
+
+    #[test]
+    fn empty_dataset() {
+        let top = top_passwords(&[], 5);
+        assert!(top.passwords.is_empty());
+        let probes = cowrie_default_probes(&[]);
+        assert_eq!(probes.phil_unique_ips, 0);
+        let p = password_profile(&[], "x");
+        assert_eq!(p.sessions, 0);
+        assert!(p.first_seen.is_none());
+    }
+}

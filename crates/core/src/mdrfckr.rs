@@ -1,0 +1,484 @@
+//! The `mdrfckr` case study (paper §9, Figs. 12/13).
+
+use honeypot::SessionRecord;
+use hutil::{base64, Date, Month};
+use netsim::Ipv4Addr;
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+/// Whether a session belongs to the mdrfckr actor (its planted key label).
+pub fn is_mdrfckr(rec: &SessionRecord) -> bool {
+    rec.commands.iter().any(|c| c.input.contains("mdrfckr"))
+}
+
+/// The two behavioural generations of the bot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MdrfckrKind {
+    /// Original: locks the victim out via a root password change.
+    Initial,
+    /// Post-2022-12-08 variant: no password change; removes WorkMiner's
+    /// `auth.sh`/`secure.sh` and clears `hosts.deny`.
+    Variant,
+}
+
+/// Classifies an mdrfckr session; `None` for non-mdrfckr sessions.
+pub fn mdrfckr_kind(rec: &SessionRecord) -> Option<MdrfckrKind> {
+    if !is_mdrfckr(rec) {
+        return None;
+    }
+    let text = rec.command_text();
+    let variant_markers =
+        text.contains("hosts.deny") || text.contains("auth.sh") || text.contains("secure.sh");
+    if variant_markers && !text.contains("chpasswd") {
+        Some(MdrfckrKind::Variant)
+    } else {
+        Some(MdrfckrKind::Initial)
+    }
+}
+
+/// Fig. 12: daily sessions and unique client IPs.
+#[derive(Debug, Clone, Default)]
+pub struct Timeline {
+    /// Per day: `(sessions, unique client IPs)`.
+    pub daily: BTreeMap<Date, (u64, u64)>,
+}
+
+/// Builds the Fig. 12 timeline.
+pub fn timeline(sessions: &[SessionRecord]) -> Timeline {
+    let mut per_day: BTreeMap<Date, (u64, HashSet<Ipv4Addr>)> = BTreeMap::new();
+    for rec in sessions.iter().filter(|r| is_mdrfckr(r)) {
+        let e = per_day.entry(rec.start.date()).or_default();
+        e.0 += 1;
+        e.1.insert(rec.client_ip);
+    }
+    Timeline {
+        daily: per_day
+            .into_iter()
+            .map(|(d, (n, ips))| (d, (n, ips.len() as u64)))
+            .collect(),
+    }
+}
+
+/// Detects low-activity windows: days whose session count falls below
+/// `frac` of the median daily count, merged into contiguous runs.
+pub fn detect_dips(tl: &Timeline, frac: f64) -> Vec<(Date, Date)> {
+    if tl.daily.is_empty() {
+        return Vec::new();
+    }
+    let mut counts: Vec<u64> = tl.daily.values().map(|(n, _)| *n).collect();
+    counts.sort_unstable();
+    let median = counts[counts.len() / 2] as f64;
+    let threshold = median * frac;
+    // Scan every day of the observed span: days with *zero* sessions do
+    // not appear in the map but are the deepest dips of all.
+    let first = *tl.daily.keys().next().expect("non-empty");
+    let last = *tl.daily.keys().next_back().expect("non-empty");
+    let mut dips: Vec<(Date, Date)> = Vec::new();
+    let mut d = first;
+    while d <= last {
+        let n = tl.daily.get(&d).map_or(0, |(n, _)| *n);
+        if (n as f64) < threshold {
+            match dips.last_mut() {
+                // Merge runs separated by at most one day.
+                Some(prev) if d.days_since(prev.1) <= 2 => prev.1 = d,
+                _ => dips.push((d, d)),
+            }
+        }
+        d = d.plus_days(1);
+    }
+    dips
+}
+
+/// Fig. 13: monthly counts of the initial bot, the variant, and the
+/// `3245gs5662d34` login campaign.
+#[derive(Debug, Clone, Default)]
+pub struct VariantSeries {
+    /// Per month: `[initial, variant, cred-3245 logins]`.
+    pub monthly: BTreeMap<Month, [u64; 3]>,
+}
+
+/// Builds the Fig. 13 series.
+pub fn variant_series(sessions: &[SessionRecord]) -> VariantSeries {
+    let mut monthly: BTreeMap<Month, [u64; 3]> = BTreeMap::new();
+    for rec in sessions {
+        let month = rec.start.date().month_of();
+        match mdrfckr_kind(rec) {
+            Some(MdrfckrKind::Initial) => monthly.entry(month).or_default()[0] += 1,
+            Some(MdrfckrKind::Variant) => monthly.entry(month).or_default()[1] += 1,
+            None => {
+                if rec.accepted_password() == Some("3245gs5662d34") {
+                    monthly.entry(month).or_default()[2] += 1;
+                }
+            }
+        }
+    }
+    VariantSeries { monthly }
+}
+
+/// §9: IP overlap between the mdrfckr actor and the 3245gs5662d34
+/// credential campaign (paper: 99.4 %).
+pub fn cred_overlap_frac(sessions: &[SessionRecord]) -> f64 {
+    let mdr: HashSet<Ipv4Addr> =
+        sessions.iter().filter(|r| is_mdrfckr(r)).map(|r| r.client_ip).collect();
+    let cred: HashSet<Ipv4Addr> = sessions
+        .iter()
+        .filter(|r| r.accepted_password() == Some("3245gs5662d34"))
+        .map(|r| r.client_ip)
+        .collect();
+    if cred.is_empty() {
+        return 0.0;
+    }
+    cred.iter().filter(|ip| mdr.contains(ip)).count() as f64 / cred.len() as f64
+}
+
+/// The three payload families delivered base64-encoded during dips.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum B64Payload {
+    /// Cryptominer setup.
+    Miner,
+    /// IRC shellbot install.
+    Shellbot,
+    /// Process/file cleanup targeting the C2 IPs.
+    Cleanup,
+    /// Decoded but unrecognised.
+    Other,
+}
+
+/// Result of decoding every base64 upload.
+#[derive(Debug, Clone, Default)]
+pub struct B64Analysis {
+    /// Sessions carrying a base64 payload.
+    pub sessions: u64,
+    /// Unique uploader IPs (paper: 1,624).
+    pub unique_uploader_ips: u64,
+    /// True when no uploader IP appears in more than one dip period.
+    pub no_ip_reuse_across_dips: bool,
+    /// Payload counts.
+    pub by_payload: HashMap<B64Payload, u64>,
+    /// C2 IPs named by cleanup scripts (paper: 8).
+    pub c2_ips: Vec<Ipv4Addr>,
+    /// Sessions that decoded but failed UTF-8/shape checks.
+    pub undecodable: u64,
+}
+
+/// Extracts the base64 blob from an `echo <b64>|base64 -d|sh` command.
+pub fn extract_b64(command: &str) -> Option<&str> {
+    if !command.contains("base64 -d") {
+        return None;
+    }
+    let echo_part = command.split('|').next()?;
+    echo_part.trim().strip_prefix("echo ").map(str::trim)
+}
+
+/// Classifies a decoded payload script.
+pub fn classify_payload(script: &str) -> B64Payload {
+    if script.contains("pkill") {
+        B64Payload::Cleanup
+    } else if script.contains("xmr") || script.contains("donate") {
+        B64Payload::Miner
+    } else if script.contains("IO::Socket") || script.contains("NICK") {
+        B64Payload::Shellbot
+    } else {
+        B64Payload::Other
+    }
+}
+
+/// Decodes and aggregates every base64 upload in the dataset.
+pub fn b64_analysis(sessions: &[SessionRecord], dips: &[(Date, Date)]) -> B64Analysis {
+    let mut out = B64Analysis::default();
+    let mut uploader_dips: HashMap<Ipv4Addr, HashSet<usize>> = HashMap::new();
+    let mut c2: HashSet<Ipv4Addr> = HashSet::new();
+    for rec in sessions.iter().filter(|r| is_mdrfckr(r)) {
+        let Some(b64) = rec.commands.iter().find_map(|c| extract_b64(&c.input)) else {
+            continue;
+        };
+        out.sessions += 1;
+        let date = rec.start.date();
+        let dip_idx = dips.iter().position(|(s, e)| date >= *s && date <= *e);
+        uploader_dips
+            .entry(rec.client_ip)
+            .or_default()
+            .insert(dip_idx.map_or(usize::MAX, |i| i));
+        match base64::decode(b64).ok().and_then(|b| String::from_utf8(b).ok()) {
+            Some(script) => {
+                let kind = classify_payload(&script);
+                *out.by_payload.entry(kind).or_default() += 1;
+                if kind == B64Payload::Cleanup {
+                    for tok in script.split_whitespace() {
+                        if let Some(ip) = Ipv4Addr::parse(tok) {
+                            c2.insert(ip);
+                        }
+                    }
+                }
+            }
+            None => out.undecodable += 1,
+        }
+    }
+    out.unique_uploader_ips = uploader_dips.len() as u64;
+    out.no_ip_reuse_across_dips = uploader_dips.values().all(|d| d.len() <= 1);
+    let mut c2: Vec<Ipv4Addr> = c2.into_iter().collect();
+    c2.sort_unstable();
+    out.c2_ips = c2;
+    out
+}
+
+/// §10 "Events correlation": matches detected low-activity windows against
+/// the documented geopolitical event windows. Returns per-documented-window
+/// verdicts plus the count of detected dips with no documented counterpart.
+#[derive(Debug, Clone)]
+pub struct EventCorrelation {
+    /// `(event description, documented window, detected overlap)`.
+    pub matches: Vec<(String, (Date, Date), Option<(Date, Date)>)>,
+    /// Detected dips that overlap no documented event.
+    pub unexplained: Vec<(Date, Date)>,
+}
+
+impl EventCorrelation {
+    /// Number of documented windows that were rediscovered.
+    pub fn hits(&self) -> usize {
+        self.matches.iter().filter(|(_, _, d)| d.is_some()).count()
+    }
+
+    /// Renders the §10 correlation table.
+    pub fn render(&self) -> String {
+        let mut out = String::from("== §10 events correlation ==
+");
+        for (event, (ds, de), detected) in &self.matches {
+            match detected {
+                Some((s, e)) => out.push_str(&format!(
+                    "  {ds}..{de}  REDISCOVERED ({s}..{e})  {event}
+"
+                )),
+                None => out.push_str(&format!("  {ds}..{de}  missed              {event}
+")),
+            }
+        }
+        for (s, e) in &self.unexplained {
+            out.push_str(&format!("  {s}..{e}  detected, no documented event
+"));
+        }
+        out
+    }
+}
+
+/// Correlates detected dips with a documented event list
+/// (`(start, end, description)` triples).
+pub fn correlate_events(
+    dips: &[(Date, Date)],
+    documented: &[(Date, Date, String)],
+) -> EventCorrelation {
+    let overlaps = |a: (Date, Date), b: (Date, Date)| a.0 <= b.1 && a.1 >= b.0;
+    let matches = documented
+        .iter()
+        .map(|(s, e, desc)| {
+            let hit = dips.iter().copied().find(|d| overlaps(*d, (*s, *e)));
+            (desc.clone(), (*s, *e), hit)
+        })
+        .collect();
+    let unexplained = dips
+        .iter()
+        .copied()
+        .filter(|d| !documented.iter().any(|(s, e, _)| overlaps(*d, (*s, *e))))
+        .collect();
+    EventCorrelation { matches, unexplained }
+}
+
+/// Killnet-list overlap with mdrfckr client IPs (paper: 988 IPs).
+pub fn killnet_overlap(sessions: &[SessionRecord], killnet: &abusedb::IpList) -> usize {
+    let mdr: HashSet<Ipv4Addr> =
+        sessions.iter().filter(|r| is_mdrfckr(r)).map(|r| r.client_ip).collect();
+    killnet.overlap_count(mdr.iter())
+}
+
+/// Shadowserver-style count: distinct sensors where the mdrfckr key was
+/// planted (the paper's special report counts >13k compromised servers
+/// carrying the key; our analogue is fleet coverage).
+pub fn compromised_sensor_count(sessions: &[SessionRecord]) -> usize {
+    sessions
+        .iter()
+        .filter(|r| {
+            is_mdrfckr(r)
+                && r.file_events
+                    .iter()
+                    .any(|e| e.path.ends_with("authorized_keys"))
+        })
+        .map(|r| r.honeypot_id)
+        .collect::<HashSet<_>>()
+        .len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use honeypot::{CommandRecord, FileEvent, FileOp, LoginAttempt, Protocol, SessionEndReason};
+
+    fn rec(date: Date, commands: Vec<&str>, ip: u32, pw: &str) -> SessionRecord {
+        SessionRecord {
+            session_id: 0,
+            honeypot_id: (ip % 5) as u16,
+            honeypot_ip: Ipv4Addr(1),
+            client_ip: Ipv4Addr(ip),
+            client_port: 1,
+            protocol: Protocol::Ssh,
+            start: date.at(9, 0, 0),
+            end: date.at(9, 2, 0),
+            end_reason: SessionEndReason::ClientClose,
+            client_version: None,
+            logins: vec![LoginAttempt {
+                username: "root".into(),
+                password: pw.into(),
+                success: true,
+            }],
+            commands: commands
+                .into_iter()
+                .map(|c| CommandRecord { input: c.to_string(), known: true })
+                .collect(),
+            uris: vec![],
+            file_events: vec![FileEvent {
+                path: "/root/.ssh/authorized_keys".into(),
+                op: FileOp::Created { sha256: "ab".repeat(32) },
+                source_uri: None,
+            }],
+        }
+    }
+
+    const INITIAL: &str =
+        r#"cd ~ && echo "ssh-rsa AAA mdrfckr">>.ssh/authorized_keys; echo root:xxx|chpasswd"#;
+    const VARIANT: &str =
+        r#"cd ~ && echo "ssh-rsa AAA mdrfckr">>.ssh/authorized_keys; rm -rf /tmp/auth.sh; echo > /etc/hosts.deny"#;
+
+    #[test]
+    fn kind_detection() {
+        let i = rec(Date::new(2022, 5, 1), vec![INITIAL], 1, "a");
+        let v = rec(Date::new(2023, 5, 1), vec![VARIANT], 2, "a");
+        let n = rec(Date::new(2023, 5, 1), vec!["uname -a"], 3, "a");
+        assert_eq!(mdrfckr_kind(&i), Some(MdrfckrKind::Initial));
+        assert_eq!(mdrfckr_kind(&v), Some(MdrfckrKind::Variant));
+        assert_eq!(mdrfckr_kind(&n), None);
+    }
+
+    #[test]
+    fn timeline_counts_sessions_and_ips() {
+        let d = Date::new(2022, 5, 1);
+        let sessions = vec![
+            rec(d, vec![INITIAL], 1, "a"),
+            rec(d, vec![INITIAL], 1, "a"),
+            rec(d, vec![INITIAL], 2, "a"),
+            rec(d.plus_days(1), vec![INITIAL], 3, "a"),
+        ];
+        let tl = timeline(&sessions);
+        assert_eq!(tl.daily[&d], (3, 2));
+        assert_eq!(tl.daily[&d.plus_days(1)], (1, 1));
+    }
+
+    #[test]
+    fn dip_detection_merges_runs() {
+        let mut sessions = Vec::new();
+        let start = Date::new(2022, 5, 1);
+        for i in 0..30 {
+            let d = start.plus_days(i);
+            let n = if (10..=14).contains(&i) { 1 } else { 20 };
+            for j in 0..n {
+                sessions.push(rec(d, vec![INITIAL], 100 + j, "a"));
+            }
+        }
+        let tl = timeline(&sessions);
+        let dips = detect_dips(&tl, 0.2);
+        assert_eq!(dips.len(), 1);
+        assert_eq!(dips[0], (start.plus_days(10), start.plus_days(14)));
+    }
+
+    #[test]
+    fn variant_series_buckets_all_three() {
+        let sessions = vec![
+            rec(Date::new(2023, 1, 5), vec![INITIAL], 1, "a"),
+            rec(Date::new(2023, 1, 6), vec![VARIANT], 2, "a"),
+            rec(Date::new(2023, 1, 7), vec![], 3, "3245gs5662d34"),
+        ];
+        let vs = variant_series(&sessions);
+        assert_eq!(vs.monthly[&Month::new(2023, 1)], [1, 1, 1]);
+    }
+
+    #[test]
+    fn overlap_fraction() {
+        let sessions = vec![
+            rec(Date::new(2023, 1, 5), vec![INITIAL], 1, "a"),
+            rec(Date::new(2023, 1, 5), vec![INITIAL], 2, "a"),
+            rec(Date::new(2023, 1, 7), vec![], 1, "3245gs5662d34"),
+            rec(Date::new(2023, 1, 8), vec![], 9, "3245gs5662d34"),
+        ];
+        assert!((cred_overlap_frac(&sessions) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn b64_extraction_and_classification() {
+        let miner = base64::encode(b"#!/bin/sh\nwget xmr.tar.gz --donate 0");
+        let cleanup = base64::encode(b"#!/bin/sh\npkill -f 198.18.7.1\npkill -f 198.18.7.2");
+        let cmd_m = format!("echo {miner}|base64 -d|sh");
+        let cmd_c = format!("echo {cleanup}|base64 -d|sh");
+        let d = Date::new(2022, 10, 12);
+        let sessions = vec![
+            rec(d, vec![INITIAL, &cmd_m], 1, "a"),
+            rec(d, vec![INITIAL, &cmd_c], 2, "a"),
+        ];
+        let dips = vec![(d, d)];
+        let a = b64_analysis(&sessions, &dips);
+        assert_eq!(a.sessions, 2);
+        assert_eq!(a.unique_uploader_ips, 2);
+        assert!(a.no_ip_reuse_across_dips);
+        assert_eq!(a.by_payload[&B64Payload::Miner], 1);
+        assert_eq!(a.by_payload[&B64Payload::Cleanup], 1);
+        assert_eq!(a.c2_ips.len(), 2);
+        assert_eq!(a.undecodable, 0);
+    }
+
+    #[test]
+    fn b64_ip_reuse_across_dips_is_flagged() {
+        let blob = base64::encode(b"pkill -f 1.2.3.4");
+        let cmd = format!("echo {blob}|base64 -d|sh");
+        let d1 = Date::new(2022, 3, 20);
+        let d2 = Date::new(2022, 10, 12);
+        let sessions = vec![
+            rec(d1, vec![INITIAL, &cmd], 1, "a"),
+            rec(d2, vec![INITIAL, &cmd], 1, "a"), // same IP, second dip
+        ];
+        let dips = vec![(d1, d1), (d2, d2)];
+        let a = b64_analysis(&sessions, &dips);
+        assert!(!a.no_ip_reuse_across_dips);
+    }
+
+    #[test]
+    fn sensor_count() {
+        let sessions = vec![
+            rec(Date::new(2022, 1, 1), vec![INITIAL], 1, "a"),
+            rec(Date::new(2022, 1, 1), vec![INITIAL], 2, "a"),
+            rec(Date::new(2022, 1, 1), vec![INITIAL], 6, "a"), // same sensor as ip 1
+        ];
+        assert_eq!(compromised_sensor_count(&sessions), 2);
+    }
+
+    #[test]
+    fn event_correlation_matches_and_flags() {
+        let dips = vec![
+            (Date::new(2022, 3, 17), Date::new(2022, 3, 23)), // overlaps doc 1
+            (Date::new(2023, 7, 1), Date::new(2023, 7, 2)),   // unexplained
+        ];
+        let documented = vec![
+            (Date::new(2022, 3, 16), Date::new(2022, 3, 24), "IRIDIUM DDoS".to_string()),
+            (Date::new(2024, 1, 19), Date::new(2024, 1, 21), "APT29".to_string()),
+        ];
+        let c = correlate_events(&dips, &documented);
+        assert_eq!(c.hits(), 1);
+        assert_eq!(c.unexplained.len(), 1);
+        let text = c.render();
+        assert!(text.contains("REDISCOVERED"));
+        assert!(text.contains("missed"));
+        assert!(text.contains("no documented event"));
+    }
+
+    #[test]
+    fn extract_b64_requires_pipe_shape() {
+        assert_eq!(extract_b64("echo QUJD|base64 -d|sh"), Some("QUJD"));
+        assert_eq!(extract_b64("echo hello"), None);
+        assert_eq!(extract_b64("base64 -d < f"), None);
+    }
+}

@@ -1,0 +1,184 @@
+//! Session taxonomy and dataset statistics (paper §3.3).
+
+use honeypot::{Protocol, SessionRecord};
+
+/// The four-way classification every session falls into.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SessionClass {
+    /// TCP handshake only; no credentials used.
+    Scanning,
+    /// Login attempted, never succeeded.
+    Scouting,
+    /// Login succeeded, no commands executed.
+    Intrusion,
+    /// Login succeeded and at least one command executed.
+    CommandExecution,
+}
+
+impl SessionClass {
+    /// Classifies one session.
+    pub fn of(rec: &SessionRecord) -> Self {
+        if rec.logins.is_empty() {
+            SessionClass::Scanning
+        } else if !rec.login_succeeded() {
+            SessionClass::Scouting
+        } else if rec.commands.is_empty() {
+            SessionClass::Intrusion
+        } else {
+            SessionClass::CommandExecution
+        }
+    }
+
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            SessionClass::Scanning => "Scanning",
+            SessionClass::Scouting => "Scouting",
+            SessionClass::Intrusion => "Intrusion",
+            SessionClass::CommandExecution => "Command Execution",
+        }
+    }
+}
+
+/// The §3.3 headline statistics.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TaxonomyStats {
+    /// All sessions (SSH + Telnet).
+    pub total_sessions: u64,
+    /// SSH sessions.
+    pub ssh_sessions: u64,
+    /// Telnet sessions.
+    pub telnet_sessions: u64,
+    /// Unique SSH client IPs.
+    pub unique_ssh_clients: u64,
+    /// SSH sessions per class.
+    pub scanning: u64,
+    /// Scouting count.
+    pub scouting: u64,
+    /// Intrusion count.
+    pub intrusion: u64,
+    /// Command-execution count.
+    pub command_execution: u64,
+}
+
+impl TaxonomyStats {
+    /// Computes the statistics over a dataset.
+    pub fn compute(sessions: &[SessionRecord]) -> Self {
+        let mut s = Self { total_sessions: sessions.len() as u64, ..Self::default() };
+        let mut clients = std::collections::HashSet::new();
+        for rec in sessions {
+            match rec.protocol {
+                Protocol::Telnet => {
+                    s.telnet_sessions += 1;
+                    continue;
+                }
+                Protocol::Ssh => s.ssh_sessions += 1,
+            }
+            clients.insert(rec.client_ip);
+            match SessionClass::of(rec) {
+                SessionClass::Scanning => s.scanning += 1,
+                SessionClass::Scouting => s.scouting += 1,
+                SessionClass::Intrusion => s.intrusion += 1,
+                SessionClass::CommandExecution => s.command_execution += 1,
+            }
+        }
+        s.unique_ssh_clients = clients.len() as u64;
+        s
+    }
+
+    /// The paper's ordering check: scouting > command-exec > intrusion >
+    /// scanning (258M > 163M > 80M > 45M).
+    pub fn ordering_matches_paper(&self) -> bool {
+        self.scouting > self.command_execution
+            && self.command_execution > self.intrusion
+            && self.intrusion > self.scanning
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use honeypot::{LoginAttempt, SessionEndReason};
+    use hutil::Date;
+    use netsim::Ipv4Addr;
+
+    fn rec(logins: Vec<(bool, &str)>, n_commands: usize, proto: Protocol) -> SessionRecord {
+        SessionRecord {
+            session_id: 0,
+            honeypot_id: 0,
+            honeypot_ip: Ipv4Addr(1),
+            client_ip: Ipv4Addr(2),
+            client_port: 1,
+            protocol: proto,
+            start: Date::new(2022, 1, 1).at_midnight(),
+            end: Date::new(2022, 1, 1).at(0, 1, 0),
+            end_reason: SessionEndReason::ClientClose,
+            client_version: None,
+            logins: logins
+                .into_iter()
+                .map(|(ok, pw)| LoginAttempt {
+                    username: "root".into(),
+                    password: pw.into(),
+                    success: ok,
+                })
+                .collect(),
+            commands: (0..n_commands)
+                .map(|i| honeypot::CommandRecord { input: format!("cmd{i}"), known: true })
+                .collect(),
+            uris: vec![],
+            file_events: vec![],
+        }
+    }
+
+    #[test]
+    fn class_of_each_kind() {
+        assert_eq!(SessionClass::of(&rec(vec![], 0, Protocol::Ssh)), SessionClass::Scanning);
+        assert_eq!(
+            SessionClass::of(&rec(vec![(false, "root")], 0, Protocol::Ssh)),
+            SessionClass::Scouting
+        );
+        assert_eq!(
+            SessionClass::of(&rec(vec![(false, "root"), (true, "x")], 0, Protocol::Ssh)),
+            SessionClass::Intrusion
+        );
+        assert_eq!(
+            SessionClass::of(&rec(vec![(true, "x")], 2, Protocol::Ssh)),
+            SessionClass::CommandExecution
+        );
+    }
+
+    #[test]
+    fn stats_split_protocols_and_count_classes() {
+        let sessions = vec![
+            rec(vec![], 0, Protocol::Ssh),
+            rec(vec![(false, "root")], 0, Protocol::Ssh),
+            rec(vec![(false, "root")], 0, Protocol::Ssh),
+            rec(vec![(true, "a")], 0, Protocol::Ssh),
+            rec(vec![(true, "a")], 3, Protocol::Ssh),
+            rec(vec![], 0, Protocol::Telnet),
+        ];
+        let s = TaxonomyStats::compute(&sessions);
+        assert_eq!(s.total_sessions, 6);
+        assert_eq!(s.ssh_sessions, 5);
+        assert_eq!(s.telnet_sessions, 1);
+        assert_eq!(s.scanning, 1);
+        assert_eq!(s.scouting, 2);
+        assert_eq!(s.intrusion, 1);
+        assert_eq!(s.command_execution, 1);
+        assert_eq!(s.unique_ssh_clients, 1);
+    }
+
+    #[test]
+    fn paper_ordering_predicate() {
+        let s = TaxonomyStats {
+            scanning: 45,
+            scouting: 258,
+            intrusion: 80,
+            command_execution: 163,
+            ..Default::default()
+        };
+        assert!(s.ordering_matches_paper());
+        let bad = TaxonomyStats { scanning: 300, ..s };
+        assert!(!bad.ordering_matches_paper());
+    }
+}

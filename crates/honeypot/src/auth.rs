@@ -1,0 +1,71 @@
+//! Authentication policy (paper §3.2 and §8).
+//!
+//! The honeynet accepts password authentication for the username `root`
+//! with *any* password except the literal `root`. Public-key auth is not
+//! supported. On top of that, the deployed Cowrie version ships the
+//! well-known default account `phil` (its predecessor was `richard`, which
+//! the deployed version no longer accepts) — attackers use exactly this to
+//! fingerprint Cowrie (Fig. 11).
+
+/// The honeypot's credential policy.
+#[derive(Debug, Clone)]
+pub struct AuthPolicy {
+    /// Whether the deployment is a post-2020 Cowrie (accepts `phil`)
+    /// rather than a pre-2020 one (accepts `richard`).
+    pub accepts_phil: bool,
+}
+
+impl Default for AuthPolicy {
+    fn default() -> Self {
+        // The paper's honeynet runs a later Cowrie: `phil` succeeds,
+        // `richard` fails (§8).
+        Self { accepts_phil: true }
+    }
+}
+
+impl AuthPolicy {
+    /// Decides one password-auth attempt.
+    pub fn accept(&self, username: &str, password: &str) -> bool {
+        match username {
+            "root" => password != "root",
+            "phil" => self.accepts_phil,
+            "richard" => !self.accepts_phil,
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn root_any_password_except_root() {
+        let p = AuthPolicy::default();
+        assert!(p.accept("root", "admin"));
+        assert!(p.accept("root", "1234"));
+        assert!(p.accept("root", "3245gs5662d34"));
+        assert!(p.accept("root", ""));
+        assert!(!p.accept("root", "root"));
+    }
+
+    #[test]
+    fn cowrie_default_accounts_depend_on_version() {
+        let new = AuthPolicy::default();
+        assert!(new.accepts_phil);
+        assert!(new.accept("phil", "anything"));
+        assert!(!new.accept("richard", "anything"));
+
+        let old = AuthPolicy { accepts_phil: false };
+        assert!(!old.accept("phil", "x"));
+        assert!(old.accept("richard", "x"));
+    }
+
+    #[test]
+    fn other_usernames_always_fail() {
+        let p = AuthPolicy::default();
+        for user in ["admin", "ubuntu", "pi", "user", "test", ""] {
+            assert!(!p.accept(user, "password"), "{user} must be rejected");
+        }
+    }
+}

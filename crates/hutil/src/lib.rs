@@ -1,0 +1,28 @@
+//! Foundation utilities shared by every honeylab crate.
+//!
+//! The reproduction deliberately avoids external crates beyond the allowed
+//! set, so a handful of small, well-specified primitives live here:
+//!
+//! * [`sha256`] — FIPS 180-4 SHA-256, used to fingerprint files dropped on
+//!   the honeypot (the honeynet stores hashes, never file bodies).
+//! * [`base64`] — RFC 4648 codec, needed to decode the `mdrfckr` actor's
+//!   base64-encoded payload scripts (paper §9).
+//! * [`date`] — proleptic-Gregorian civil-date arithmetic without any
+//!   ambient-clock access; the simulation clock is always explicit.
+//! * [`json`] — a minimal RFC 8259 codec for Cowrie-format log interop
+//!   (`serde_json` is outside the allowed dependency set).
+//! * [`stats`] — quantiles, box-plot summaries and ratio helpers backing the
+//!   figure generators.
+//! * [`rng`] — deterministic seed-splitting so every subsystem draws from an
+//!   independent, reproducible stream.
+
+pub mod base64;
+pub mod date;
+pub mod json;
+pub mod rng;
+pub mod sha256;
+pub mod stats;
+
+pub use date::{Date, DateTime, Month};
+pub use json::Json;
+pub use sha256::Sha256;

@@ -1,0 +1,94 @@
+//! Deterministic seed derivation.
+//!
+//! Every subsystem of the simulation (each bot archetype, the AS registry,
+//! the abuse-feed sampler, …) draws from its own RNG stream so that adding
+//! or reordering one subsystem never perturbs another. Child seeds are
+//! derived by hashing `(parent seed, label)` with SHA-256, which makes the
+//! derivation order-free and collision-resistant for any practical number
+//! of labels.
+
+use crate::sha256::Sha256;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Derives a child seed from a parent seed and a stable textual label.
+pub fn derive_seed(parent: u64, label: &str) -> u64 {
+    let mut h = Sha256::new();
+    h.update(&parent.to_le_bytes());
+    h.update(b"/");
+    h.update(label.as_bytes());
+    let d = h.finalize();
+    u64::from_le_bytes(d[..8].try_into().expect("digest has 32 bytes"))
+}
+
+/// Creates a deterministic RNG for the subsystem named by `label`.
+pub fn stream(parent: u64, label: &str) -> StdRng {
+    StdRng::seed_from_u64(derive_seed(parent, label))
+}
+
+/// A seed plus a namespace, convenient to thread through constructors.
+#[derive(Debug, Clone, Copy)]
+pub struct SeedTree {
+    seed: u64,
+}
+
+impl SeedTree {
+    /// Root of a seed hierarchy.
+    pub fn new(seed: u64) -> Self {
+        Self { seed }
+    }
+
+    /// The raw seed at this node.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// A child namespace.
+    pub fn child(&self, label: &str) -> SeedTree {
+        SeedTree { seed: derive_seed(self.seed, label) }
+    }
+
+    /// An RNG rooted at this node for the given label.
+    pub fn rng(&self, label: &str) -> StdRng {
+        stream(self.seed, label)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn derivation_is_deterministic() {
+        assert_eq!(derive_seed(42, "botnet/mirai"), derive_seed(42, "botnet/mirai"));
+    }
+
+    #[test]
+    fn labels_separate_streams() {
+        assert_ne!(derive_seed(42, "a"), derive_seed(42, "b"));
+        assert_ne!(derive_seed(42, "a"), derive_seed(43, "a"));
+    }
+
+    #[test]
+    fn label_concatenation_is_not_ambiguous() {
+        // ("ab","c") vs ("a","bc") must differ through the tree.
+        let t = SeedTree::new(7);
+        assert_ne!(t.child("ab").child("c").seed(), t.child("a").child("bc").seed());
+    }
+
+    #[test]
+    fn rng_streams_reproduce() {
+        let mut a = stream(1, "x");
+        let mut b = stream(1, "x");
+        for _ in 0..16 {
+            assert_eq!(a.random::<u64>(), b.random::<u64>());
+        }
+    }
+
+    #[test]
+    fn seed_tree_children_differ_from_root() {
+        let t = SeedTree::new(99);
+        assert_ne!(t.child("a").seed(), t.seed());
+    }
+}

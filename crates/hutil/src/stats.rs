@@ -1,0 +1,195 @@
+//! Small statistics helpers backing the figure generators.
+//!
+//! The paper's figures are boxplots of daily session counts per month
+//! (Fig 1), stacked ratio bars (Figs 2–4, 6, 8, 17), CDF-style shares and
+//! quantile summaries. Everything here is exact (sort-based) — the inputs
+//! are at most a few thousand points per bucket.
+
+/// Five-number summary plus mean, as drawn by one boxplot glyph.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BoxplotSummary {
+    /// Smallest observation.
+    pub min: f64,
+    /// First quartile (25th percentile).
+    pub q1: f64,
+    /// Median.
+    pub median: f64,
+    /// Third quartile (75th percentile).
+    pub q3: f64,
+    /// Largest observation.
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Number of observations summarised.
+    pub n: usize,
+}
+
+impl BoxplotSummary {
+    /// Summarises `values`. Returns `None` for an empty slice.
+    pub fn from_values(values: &[f64]) -> Option<Self> {
+        if values.is_empty() {
+            return None;
+        }
+        let mut v: Vec<f64> = values.to_vec();
+        v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in boxplot input"));
+        let n = v.len();
+        let sum: f64 = v.iter().sum();
+        Some(Self {
+            min: v[0],
+            q1: quantile_sorted(&v, 0.25),
+            median: quantile_sorted(&v, 0.5),
+            q3: quantile_sorted(&v, 0.75),
+            max: v[n - 1],
+            mean: sum / n as f64,
+            n,
+        })
+    }
+
+    /// Interquartile range.
+    pub fn iqr(&self) -> f64 {
+        self.q3 - self.q1
+    }
+}
+
+/// Linear-interpolation quantile of an already-sorted slice
+/// (the "type 7" estimator used by R and NumPy's default).
+///
+/// Panics if `sorted` is empty or `q` is outside `[0, 1]`.
+pub fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty(), "quantile of empty slice");
+    assert!((0.0..=1.0).contains(&q), "quantile fraction out of range: {q}");
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = pos - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// Quantile of an unsorted slice (sorts a copy).
+pub fn quantile(values: &[f64], q: f64) -> f64 {
+    let mut v = values.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    quantile_sorted(&v, q)
+}
+
+/// Arithmetic mean; `None` for an empty slice.
+pub fn mean(values: &[f64]) -> Option<f64> {
+    if values.is_empty() {
+        None
+    } else {
+        Some(values.iter().sum::<f64>() / values.len() as f64)
+    }
+}
+
+/// Normalises `counts` into ratios summing to 1.0.
+/// An all-zero input yields all zeros rather than NaNs so that empty months
+/// render as empty bars.
+pub fn ratios(counts: &[u64]) -> Vec<f64> {
+    let total: u64 = counts.iter().sum();
+    if total == 0 {
+        return vec![0.0; counts.len()];
+    }
+    counts.iter().map(|&c| c as f64 / total as f64).collect()
+}
+
+/// Returns the indices of the `k` largest values, ties broken by lower
+/// index (i.e. stable), in descending value order.
+pub fn top_k_indices(values: &[u64], k: usize) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..values.len()).collect();
+    idx.sort_by(|&a, &b| values[b].cmp(&values[a]).then(a.cmp(&b)));
+    idx.truncate(k);
+    idx
+}
+
+/// Empirical CDF evaluated at each distinct value: `(value, fraction ≤ value)`.
+pub fn ecdf(values: &[f64]) -> Vec<(f64, f64)> {
+    if values.is_empty() {
+        return Vec::new();
+    }
+    let mut v = values.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in ecdf input"));
+    let n = v.len() as f64;
+    let mut out: Vec<(f64, f64)> = Vec::new();
+    for (i, x) in v.iter().enumerate() {
+        let frac = (i + 1) as f64 / n;
+        match out.last_mut() {
+            Some(last) if last.0 == *x => last.1 = frac,
+            _ => out.push((*x, frac)),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn boxplot_of_known_values() {
+        let s = BoxplotSummary::from_values(&[1.0, 2.0, 3.0, 4.0, 5.0]).unwrap();
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.q1, 2.0);
+        assert_eq!(s.median, 3.0);
+        assert_eq!(s.q3, 4.0);
+        assert_eq!(s.max, 5.0);
+        assert_eq!(s.mean, 3.0);
+        assert_eq!(s.n, 5);
+        assert_eq!(s.iqr(), 2.0);
+    }
+
+    #[test]
+    fn boxplot_empty_is_none() {
+        assert!(BoxplotSummary::from_values(&[]).is_none());
+    }
+
+    #[test]
+    fn boxplot_unsorted_input() {
+        let s = BoxplotSummary::from_values(&[5.0, 1.0, 4.0, 2.0, 3.0]).unwrap();
+        assert_eq!(s.median, 3.0);
+    }
+
+    #[test]
+    fn quantile_interpolates() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile_sorted(&v, 0.0), 1.0);
+        assert_eq!(quantile_sorted(&v, 1.0), 4.0);
+        assert_eq!(quantile_sorted(&v, 0.5), 2.5);
+        assert!((quantile_sorted(&v, 0.25) - 1.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantile_single_element() {
+        assert_eq!(quantile_sorted(&[7.0], 0.99), 7.0);
+    }
+
+    #[test]
+    fn ratios_sum_to_one() {
+        let r = ratios(&[1, 3, 6]);
+        assert!((r.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!((r[2] - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ratios_of_zeros() {
+        assert_eq!(ratios(&[0, 0]), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn top_k_stable_ties() {
+        assert_eq!(top_k_indices(&[5, 9, 5, 1], 3), vec![1, 0, 2]);
+        assert_eq!(top_k_indices(&[1, 2], 5), vec![1, 0]);
+    }
+
+    #[test]
+    fn ecdf_handles_duplicates() {
+        let cdf = ecdf(&[1.0, 1.0, 2.0, 4.0]);
+        assert_eq!(cdf, vec![(1.0, 0.5), (2.0, 0.75), (4.0, 1.0)]);
+    }
+}

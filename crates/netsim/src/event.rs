@@ -1,0 +1,175 @@
+//! Monotonic discrete-event scheduler.
+//!
+//! A thin wrapper around a binary heap keyed by `(DateTime, sequence)`:
+//! events fire in time order, and events scheduled for the same instant fire
+//! in the order they were scheduled (FIFO), which keeps multi-component
+//! simulations deterministic without tie-breaking hacks.
+
+use hutil::DateTime;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A discrete-event scheduler over payloads of type `E`.
+pub struct Scheduler<E> {
+    heap: BinaryHeap<Reverse<Entry<E>>>,
+    seq: u64,
+    now: DateTime,
+    fired: u64,
+}
+
+struct Entry<E> {
+    at: DateTime,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.at.cmp(&other.at).then(self.seq.cmp(&other.seq))
+    }
+}
+
+impl<E> Scheduler<E> {
+    /// Creates a scheduler whose clock starts at `start`.
+    pub fn new(start: DateTime) -> Self {
+        Self { heap: BinaryHeap::new(), seq: 0, now: start, fired: 0 }
+    }
+
+    /// The current simulated instant (the time of the last fired event, or
+    /// the start time before any event fired).
+    pub fn now(&self) -> DateTime {
+        self.now
+    }
+
+    /// Total number of events fired so far.
+    pub fn fired(&self) -> u64 {
+        self.fired
+    }
+
+    /// Number of events still pending.
+    pub fn pending(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Schedules `payload` at the absolute instant `at`.
+    ///
+    /// Panics if `at` lies in the simulated past — an event that would
+    /// violate causality is always a bug in the caller.
+    pub fn schedule(&mut self, at: DateTime, payload: E) {
+        assert!(
+            at >= self.now,
+            "event scheduled in the past: {} < {}",
+            at,
+            self.now
+        );
+        self.heap.push(Reverse(Entry { at, seq: self.seq, payload }));
+        self.seq += 1;
+    }
+
+    /// Schedules `payload` `secs` seconds after the current instant.
+    pub fn schedule_in(&mut self, secs: i64, payload: E) {
+        assert!(secs >= 0, "negative delay: {secs}");
+        let at = self.now.plus_secs(secs);
+        self.schedule(at, payload);
+    }
+
+    /// Fires the next event, advancing the clock. Returns `None` when the
+    /// queue is empty.
+    pub fn next_event(&mut self) -> Option<(DateTime, E)> {
+        let Reverse(e) = self.heap.pop()?;
+        debug_assert!(e.at >= self.now);
+        self.now = e.at;
+        self.fired += 1;
+        Some((e.at, e.payload))
+    }
+
+    /// Runs the queue to exhaustion, passing each event to `handle`.
+    /// The handler may schedule further events through the `&mut self`
+    /// re-borrow it receives.
+    pub fn run<F: FnMut(&mut Self, DateTime, E)>(&mut self, mut handle: F) {
+        while let Some((at, ev)) = self.next_event() {
+            handle(self, at, ev);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hutil::Date;
+
+    fn t(secs: i64) -> DateTime {
+        DateTime::from_unix(secs)
+    }
+
+    #[test]
+    fn fires_in_time_order() {
+        let mut s = Scheduler::new(t(0));
+        s.schedule(t(30), "c");
+        s.schedule(t(10), "a");
+        s.schedule(t(20), "b");
+        let order: Vec<_> = std::iter::from_fn(|| s.next_event()).map(|(_, e)| e).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn same_instant_is_fifo() {
+        let mut s = Scheduler::new(t(0));
+        for i in 0..100 {
+            s.schedule(t(5), i);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| s.next_event()).map(|(_, e)| e).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_with_events() {
+        let mut s = Scheduler::new(t(0));
+        s.schedule(t(42), ());
+        assert_eq!(s.now(), t(0));
+        s.next_event();
+        assert_eq!(s.now(), t(42));
+        assert_eq!(s.fired(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduled in the past")]
+    fn rejects_causality_violation() {
+        let mut s = Scheduler::new(t(100));
+        s.schedule(t(99), ());
+    }
+
+    #[test]
+    fn run_allows_cascading_events() {
+        let mut s = Scheduler::new(Date::new(2021, 12, 1).at_midnight());
+        s.schedule_in(10, 3u32);
+        let mut seen = Vec::new();
+        s.run(|s, _, n| {
+            seen.push(n);
+            if n > 0 {
+                s.schedule_in(10, n - 1);
+            }
+        });
+        assert_eq!(seen, vec![3, 2, 1, 0]);
+        assert_eq!(s.pending(), 0);
+    }
+
+    #[test]
+    fn schedule_in_is_relative_to_now() {
+        let mut s = Scheduler::new(t(1000));
+        s.schedule_in(5, "x");
+        let (at, _) = s.next_event().unwrap();
+        assert_eq!(at, t(1005));
+    }
+}

@@ -1,0 +1,297 @@
+//! IPv4 addresses, prefixes and deterministic address pools.
+//!
+//! The study is IPv4-only (paper §7: "focusing only on IPv4 since our
+//! investigation centers on attacks targeting IPv4"). AS sizes are compared
+//! by *deaggregated /24 count* (Fig. 8b), so prefixes know how to split
+//! themselves into /24s.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::collections::HashSet;
+
+/// An IPv4 address stored as a big-endian `u32`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Ipv4Addr(pub u32);
+
+impl Ipv4Addr {
+    /// Builds an address from dotted-quad octets.
+    pub fn from_octets(a: u8, b: u8, c: u8, d: u8) -> Self {
+        Self(u32::from_be_bytes([a, b, c, d]))
+    }
+
+    /// The four octets, most significant first.
+    pub fn octets(self) -> [u8; 4] {
+        self.0.to_be_bytes()
+    }
+
+    /// Parses `"203.0.113.7"`.
+    pub fn parse(s: &str) -> Option<Self> {
+        let mut it = s.split('.');
+        let mut oct = [0u8; 4];
+        for o in &mut oct {
+            let part = it.next()?;
+            if part.is_empty() || part.len() > 3 || !part.bytes().all(|b| b.is_ascii_digit()) {
+                return None;
+            }
+            *o = part.parse().ok()?;
+        }
+        if it.next().is_some() {
+            return None;
+        }
+        Some(Self(u32::from_be_bytes(oct)))
+    }
+
+    /// The /24 containing this address.
+    pub fn slash24(self) -> Prefix {
+        Prefix::new(Self(self.0 & 0xffff_ff00), 24)
+    }
+}
+
+impl std::fmt::Display for Ipv4Addr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let [a, b, c, d] = self.octets();
+        write!(f, "{a}.{b}.{c}.{d}")
+    }
+}
+
+/// A CIDR prefix, e.g. `198.51.100.0/24`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Prefix {
+    base: Ipv4Addr,
+    len: u8,
+}
+
+impl Prefix {
+    /// Creates a prefix; host bits of `base` below `len` are masked off.
+    pub fn new(base: Ipv4Addr, len: u8) -> Self {
+        assert!(len <= 32, "prefix length out of range: {len}");
+        let mask = if len == 0 { 0 } else { u32::MAX << (32 - len) };
+        Self { base: Ipv4Addr(base.0 & mask), len }
+    }
+
+    /// Network address.
+    pub fn base(self) -> Ipv4Addr {
+        self.base
+    }
+
+    /// Prefix length.
+    pub fn len(self) -> u8 {
+        self.len
+    }
+
+    /// Number of addresses covered.
+    pub fn num_addrs(self) -> u64 {
+        1u64 << (32 - self.len)
+    }
+
+    /// Whether `addr` falls inside this prefix.
+    pub fn contains(self, addr: Ipv4Addr) -> bool {
+        let mask = if self.len == 0 { 0 } else { u32::MAX << (32 - self.len) };
+        addr.0 & mask == self.base.0
+    }
+
+    /// The `i`-th address of the prefix.
+    pub fn nth(self, i: u64) -> Ipv4Addr {
+        assert!(i < self.num_addrs(), "address index out of prefix");
+        Ipv4Addr(self.base.0 + i as u32)
+    }
+
+    /// Number of /24 networks after deaggregation (Fig. 8b's size metric).
+    /// Prefixes longer than /24 still count as one /24.
+    pub fn deaggregated_24s(self) -> u64 {
+        if self.len >= 24 {
+            1
+        } else {
+            1u64 << (24 - self.len)
+        }
+    }
+
+    /// Iterates the deaggregated /24 networks.
+    pub fn iter_24s(self) -> impl Iterator<Item = Prefix> {
+        let n = self.deaggregated_24s();
+        let base = self.base.0 & 0xffff_ff00;
+        (0..n).map(move |i| Prefix::new(Ipv4Addr(base + (i as u32) * 256), 24))
+    }
+}
+
+impl std::fmt::Display for Prefix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}", self.base, self.len)
+    }
+}
+
+/// A deterministic pool handing out distinct addresses from a set of
+/// prefixes. Used to give each AS a concrete, non-overlapping slice of the
+/// simulated address space and to sample attacker client IPs from it.
+#[derive(Debug, Clone)]
+pub struct Ipv4Pool {
+    prefixes: Vec<Prefix>,
+    /// Cumulative address counts for weighted indexing.
+    cumulative: Vec<u64>,
+    total: u64,
+    used: HashSet<Ipv4Addr>,
+}
+
+impl Ipv4Pool {
+    /// Builds a pool over `prefixes`. Overlapping prefixes are allowed but
+    /// make duplicate draws more likely to need retries.
+    pub fn new(prefixes: Vec<Prefix>) -> Self {
+        let mut cumulative = Vec::with_capacity(prefixes.len());
+        let mut total = 0u64;
+        for p in &prefixes {
+            total += p.num_addrs();
+            cumulative.push(total);
+        }
+        Self { prefixes, cumulative, total, used: HashSet::new() }
+    }
+
+    /// Total addresses covered (ignoring overlap).
+    pub fn capacity(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of addresses already handed out.
+    pub fn allocated(&self) -> usize {
+        self.used.len()
+    }
+
+    /// The address at flat index `i` across all prefixes in order.
+    pub fn nth(&self, i: u64) -> Ipv4Addr {
+        assert!(i < self.total, "pool index out of range");
+        let slot = self.cumulative.partition_point(|&c| c <= i);
+        let before = if slot == 0 { 0 } else { self.cumulative[slot - 1] };
+        self.prefixes[slot].nth(i - before)
+    }
+
+    /// Draws a uniformly random *fresh* address; `None` once the pool is
+    /// effectively exhausted (after too many collision retries).
+    pub fn draw(&mut self, rng: &mut StdRng) -> Option<Ipv4Addr> {
+        if self.total == 0 {
+            return None;
+        }
+        for _ in 0..64 {
+            let i = rng.random_range(0..self.total);
+            let addr = self.nth(i);
+            if self.used.insert(addr) {
+                return Some(addr);
+            }
+        }
+        // Dense pool: scan for any free address to stay deterministic.
+        for i in 0..self.total {
+            let addr = self.nth(i);
+            if self.used.insert(addr) {
+                return Some(addr);
+            }
+        }
+        None
+    }
+
+    /// Whether `addr` belongs to any prefix of the pool.
+    pub fn contains(&self, addr: Ipv4Addr) -> bool {
+        self.prefixes.iter().any(|p| p.contains(addr))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn octet_roundtrip_and_display() {
+        let a = Ipv4Addr::from_octets(203, 0, 113, 7);
+        assert_eq!(a.octets(), [203, 0, 113, 7]);
+        assert_eq!(a.to_string(), "203.0.113.7");
+    }
+
+    #[test]
+    fn parse_accepts_valid_rejects_junk() {
+        assert_eq!(Ipv4Addr::parse("1.2.3.4"), Some(Ipv4Addr::from_octets(1, 2, 3, 4)));
+        assert_eq!(Ipv4Addr::parse("255.255.255.255"), Some(Ipv4Addr(u32::MAX)));
+        assert!(Ipv4Addr::parse("1.2.3").is_none());
+        assert!(Ipv4Addr::parse("1.2.3.4.5").is_none());
+        assert!(Ipv4Addr::parse("1.2.3.256").is_none());
+        assert!(Ipv4Addr::parse("1.2.3.x").is_none());
+        assert!(Ipv4Addr::parse("").is_none());
+    }
+
+    #[test]
+    fn prefix_masks_host_bits() {
+        let p = Prefix::new(Ipv4Addr::from_octets(10, 1, 2, 3), 16);
+        assert_eq!(p.base().to_string(), "10.1.0.0");
+        assert_eq!(p.to_string(), "10.1.0.0/16");
+        assert_eq!(p.num_addrs(), 65_536);
+    }
+
+    #[test]
+    fn containment() {
+        let p = Prefix::new(Ipv4Addr::from_octets(192, 0, 2, 0), 24);
+        assert!(p.contains(Ipv4Addr::from_octets(192, 0, 2, 255)));
+        assert!(!p.contains(Ipv4Addr::from_octets(192, 0, 3, 0)));
+        let all = Prefix::new(Ipv4Addr(0), 0);
+        assert!(all.contains(Ipv4Addr(u32::MAX)));
+    }
+
+    #[test]
+    fn deaggregation_counts() {
+        assert_eq!(Prefix::new(Ipv4Addr(0), 24).deaggregated_24s(), 1);
+        assert_eq!(Prefix::new(Ipv4Addr(0), 22).deaggregated_24s(), 4);
+        assert_eq!(Prefix::new(Ipv4Addr(0), 16).deaggregated_24s(), 256);
+        assert_eq!(Prefix::new(Ipv4Addr(0), 32).deaggregated_24s(), 1);
+    }
+
+    #[test]
+    fn deaggregated_iteration_is_disjoint_and_covering() {
+        let p = Prefix::new(Ipv4Addr::from_octets(10, 0, 0, 0), 22);
+        let subs: Vec<_> = p.iter_24s().collect();
+        assert_eq!(subs.len(), 4);
+        assert_eq!(subs[0].to_string(), "10.0.0.0/24");
+        assert_eq!(subs[3].to_string(), "10.0.3.0/24");
+        for s in &subs {
+            assert!(p.contains(s.base()));
+        }
+    }
+
+    #[test]
+    fn slash24_of_address() {
+        assert_eq!(
+            Ipv4Addr::from_octets(198, 51, 100, 77).slash24().to_string(),
+            "198.51.100.0/24"
+        );
+    }
+
+    #[test]
+    fn pool_nth_spans_prefixes() {
+        let pool = Ipv4Pool::new(vec![
+            Prefix::new(Ipv4Addr::from_octets(10, 0, 0, 0), 30), // 4 addrs
+            Prefix::new(Ipv4Addr::from_octets(20, 0, 0, 0), 31), // 2 addrs
+        ]);
+        assert_eq!(pool.capacity(), 6);
+        assert_eq!(pool.nth(0).to_string(), "10.0.0.0");
+        assert_eq!(pool.nth(3).to_string(), "10.0.0.3");
+        assert_eq!(pool.nth(4).to_string(), "20.0.0.0");
+        assert_eq!(pool.nth(5).to_string(), "20.0.0.1");
+    }
+
+    #[test]
+    fn pool_draw_is_unique_and_exhausts() {
+        let mut pool = Ipv4Pool::new(vec![Prefix::new(Ipv4Addr(0), 29)]); // 8 addrs
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut seen = HashSet::new();
+        for _ in 0..8 {
+            let a = pool.draw(&mut rng).expect("pool not yet exhausted");
+            assert!(seen.insert(a), "duplicate {a}");
+        }
+        assert_eq!(pool.draw(&mut rng), None);
+    }
+
+    #[test]
+    fn pool_draw_is_deterministic() {
+        let draw_all = || {
+            let mut pool = Ipv4Pool::new(vec![Prefix::new(Ipv4Addr(0xC0000200), 28)]);
+            let mut rng = StdRng::seed_from_u64(99);
+            std::iter::from_fn(move || pool.draw(&mut rng)).collect::<Vec<_>>()
+        };
+        assert_eq!(draw_all(), draw_all());
+    }
+}

@@ -1,0 +1,125 @@
+//! Seeded per-path latency model.
+//!
+//! Honeypot session durations in the dataset are bounded below by network
+//! round-trips (TCP + SSH handshakes + one round-trip per command) and above
+//! by the honeypot's 3-minute idle timeout. The model here is deliberately
+//! coarse — a base RTT per distance class plus log-normal-ish jitter — but
+//! it is deterministic per (client, server) pair, so replaying a scenario
+//! reproduces identical session timings.
+
+use crate::ip::Ipv4Addr;
+use hutil::rng::derive_seed;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Rough geographic distance class between two endpoints.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PathClass {
+    /// Same metro / same AS: ~2 ms base.
+    Local,
+    /// Same continent: ~30 ms base.
+    Continental,
+    /// Intercontinental: ~120 ms base.
+    Intercontinental,
+}
+
+impl PathClass {
+    /// Base one-way delay in milliseconds.
+    pub fn base_ms(self) -> u32 {
+        match self {
+            PathClass::Local => 2,
+            PathClass::Continental => 30,
+            PathClass::Intercontinental => 120,
+        }
+    }
+}
+
+/// Deterministic latency model.
+#[derive(Debug, Clone)]
+pub struct LatencyModel {
+    seed: u64,
+}
+
+impl LatencyModel {
+    /// Creates a model namespaced under `seed`.
+    pub fn new(seed: u64) -> Self {
+        Self { seed }
+    }
+
+    /// Distance class for a pair, derived from the address pair alone so
+    /// the same pair always sees the same class.
+    pub fn path_class(&self, a: Ipv4Addr, b: Ipv4Addr) -> PathClass {
+        let h = derive_seed(self.seed, &format!("path/{}/{}", a, b));
+        match h % 10 {
+            0..=1 => PathClass::Local,
+            2..=5 => PathClass::Continental,
+            _ => PathClass::Intercontinental,
+        }
+    }
+
+    /// One round-trip time in milliseconds for the pair, with jitter drawn
+    /// from a per-pair stream (so repeated calls vary, but the whole
+    /// sequence is reproducible).
+    pub fn rtt_ms(&self, a: Ipv4Addr, b: Ipv4Addr, round: u32) -> u32 {
+        let base = self.path_class(a, b).base_ms() * 2;
+        let mut rng =
+            StdRng::seed_from_u64(derive_seed(self.seed, &format!("rtt/{}/{}/{}", a, b, round)));
+        // Multiplicative jitter in [1.0, 2.5), heavier tail via squaring.
+        let u: f64 = rng.random();
+        let jitter = 1.0 + 1.5 * u * u;
+        (base as f64 * jitter) as u32
+    }
+
+    /// Total wall-clock seconds consumed by `n` command round-trips.
+    pub fn command_secs(&self, a: Ipv4Addr, b: Ipv4Addr, n: u32) -> i64 {
+        let ms: u64 = (0..n).map(|i| self.rtt_ms(a, b, i) as u64).sum();
+        // At least one second of think time per command batch.
+        ((ms / 1000) as i64).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ip(n: u32) -> Ipv4Addr {
+        Ipv4Addr(n)
+    }
+
+    #[test]
+    fn path_class_is_stable() {
+        let m = LatencyModel::new(1);
+        assert_eq!(m.path_class(ip(1), ip(2)), m.path_class(ip(1), ip(2)));
+    }
+
+    #[test]
+    fn rtt_is_deterministic_per_round() {
+        let m = LatencyModel::new(1);
+        assert_eq!(m.rtt_ms(ip(1), ip(2), 0), m.rtt_ms(ip(1), ip(2), 0));
+        // Different rounds may differ (jitter).
+        let any_diff = (0..32).any(|r| m.rtt_ms(ip(1), ip(2), r) != m.rtt_ms(ip(1), ip(2), 0));
+        assert!(any_diff, "jitter should vary across rounds");
+    }
+
+    #[test]
+    fn rtt_bounds_respect_class() {
+        let m = LatencyModel::new(3);
+        for x in 0..50u32 {
+            let a = ip(x * 7 + 1);
+            let b = ip(x * 13 + 5);
+            let base = m.path_class(a, b).base_ms() * 2;
+            let rtt = m.rtt_ms(a, b, 0);
+            assert!(rtt >= base, "rtt below base");
+            assert!(rtt <= base * 3, "rtt {rtt} exceeds jitter ceiling for base {base}");
+        }
+    }
+
+    #[test]
+    fn command_secs_monotone_in_count() {
+        let m = LatencyModel::new(9);
+        let s1 = m.command_secs(ip(1), ip(2), 1);
+        let s100 = m.command_secs(ip(1), ip(2), 100);
+        assert!(s100 >= s1);
+        assert!(s1 >= 1);
+    }
+}

@@ -1,0 +1,26 @@
+//! `netsim` — the discrete-event network substrate under the honeynet.
+//!
+//! The paper's honeynet observes real TCP/SSH traffic; our reproduction
+//! replaces the Internet with a deterministic discrete-event simulation in
+//! the spirit of event-driven network stacks (cf. smoltcp): no ambient
+//! clock, no threads in the hot path, every state transition driven by an
+//! explicit event at an explicit simulated instant.
+//!
+//! * [`event`] — a monotonic event scheduler (binary heap, FIFO among
+//!   same-instant events).
+//! * [`ip`] — IPv4 prefixes, deterministic address pools and /24
+//!   deaggregation (the unit of AS-size measurement in Fig. 8b).
+//! * [`tcp`] — the client/server connection state machine that defines the
+//!   paper's session taxonomy boundaries (handshake ⇒ *scanning*, …) and the
+//!   3-minute idle timeout that ends honeypot sessions.
+//! * [`latency`] — a seeded per-path latency model used to time handshake
+//!   and command round-trips.
+
+pub mod event;
+pub mod ip;
+pub mod latency;
+pub mod tcp;
+
+pub use event::Scheduler;
+pub use ip::{Ipv4Addr, Prefix};
+pub use tcp::{CloseReason, Connection, TcpState};

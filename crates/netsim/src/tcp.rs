@@ -1,0 +1,274 @@
+//! Simplified TCP connection state machine.
+//!
+//! The honeynet's session taxonomy (paper §3.3) is defined by how far a
+//! dialogue gets *after* a completed TCP handshake, and a session ends
+//! either by a client teardown or the honeypot's idle timeout. This module
+//! models exactly that lifecycle — handshake, established data exchange,
+//! close/timeout — without segment-level detail, which the analysis never
+//! observes.
+
+use hutil::DateTime;
+
+use crate::ip::Ipv4Addr;
+
+/// Connection lifecycle states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TcpState {
+    /// SYN sent, handshake incomplete.
+    SynSent,
+    /// Three-way handshake done; the honeypot records a session from here.
+    Established,
+    /// Closed (by either side or by timeout).
+    Closed,
+}
+
+/// Why a connection ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CloseReason {
+    /// Client tore the connection down (FIN/RST).
+    ClientClose,
+    /// The server's idle timeout fired (Cowrie default: 3 minutes).
+    IdleTimeout,
+    /// The handshake never completed.
+    HandshakeFailed,
+}
+
+/// Cowrie's session idle timeout, seconds (paper §3.2: three minutes).
+pub const IDLE_TIMEOUT_SECS: i64 = 180;
+
+/// A simulated TCP connection between an attacker client and a honeypot.
+#[derive(Debug, Clone)]
+pub struct Connection {
+    client: Ipv4Addr,
+    client_port: u16,
+    server: Ipv4Addr,
+    server_port: u16,
+    state: TcpState,
+    opened_at: DateTime,
+    established_at: Option<DateTime>,
+    last_activity: DateTime,
+    closed_at: Option<DateTime>,
+    close_reason: Option<CloseReason>,
+    bytes_client_to_server: u64,
+    bytes_server_to_client: u64,
+}
+
+impl Connection {
+    /// Starts a handshake at `now` from `client:client_port` to
+    /// `server:server_port`.
+    pub fn open(
+        client: Ipv4Addr,
+        client_port: u16,
+        server: Ipv4Addr,
+        server_port: u16,
+        now: DateTime,
+    ) -> Self {
+        Self {
+            client,
+            client_port,
+            server,
+            server_port,
+            state: TcpState::SynSent,
+            opened_at: now,
+            established_at: None,
+            last_activity: now,
+            closed_at: None,
+            close_reason: None,
+            bytes_client_to_server: 0,
+            bytes_server_to_client: 0,
+        }
+    }
+
+    /// Completes the three-way handshake at `now`.
+    ///
+    /// Panics unless the connection is still in `SynSent` — completing a
+    /// handshake twice is a driver bug.
+    pub fn establish(&mut self, now: DateTime) {
+        assert_eq!(self.state, TcpState::SynSent, "establish() on {:?}", self.state);
+        assert!(now >= self.opened_at);
+        self.state = TcpState::Established;
+        self.established_at = Some(now);
+        self.last_activity = now;
+    }
+
+    /// Abandons a handshake that never completed (SYN scan, filtered, …).
+    pub fn abandon(&mut self, now: DateTime) {
+        assert_eq!(self.state, TcpState::SynSent, "abandon() on {:?}", self.state);
+        self.state = TcpState::Closed;
+        self.closed_at = Some(now);
+        self.close_reason = Some(CloseReason::HandshakeFailed);
+    }
+
+    /// Records application-layer traffic at `now`, refreshing the idle
+    /// timer. Only valid while established.
+    pub fn transfer(&mut self, now: DateTime, to_server: u64, to_client: u64) {
+        assert_eq!(self.state, TcpState::Established, "transfer() on {:?}", self.state);
+        assert!(now >= self.last_activity, "time went backwards");
+        self.last_activity = now;
+        self.bytes_client_to_server += to_server;
+        self.bytes_server_to_client += to_client;
+    }
+
+    /// Client-initiated close at `now`.
+    pub fn close(&mut self, now: DateTime) {
+        assert_eq!(self.state, TcpState::Established, "close() on {:?}", self.state);
+        self.state = TcpState::Closed;
+        self.closed_at = Some(now);
+        self.close_reason = Some(CloseReason::ClientClose);
+    }
+
+    /// Checks the idle timer: if `now` is at least [`IDLE_TIMEOUT_SECS`]
+    /// past the last activity, the server closes the connection (at the
+    /// exact deadline instant, as a real timer would). Returns `true` if
+    /// the timeout fired.
+    pub fn poll_timeout(&mut self, now: DateTime) -> bool {
+        if self.state != TcpState::Established {
+            return false;
+        }
+        let deadline = self.last_activity.plus_secs(IDLE_TIMEOUT_SECS);
+        if now >= deadline {
+            self.state = TcpState::Closed;
+            self.closed_at = Some(deadline);
+            self.close_reason = Some(CloseReason::IdleTimeout);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> TcpState {
+        self.state
+    }
+
+    /// Client endpoint.
+    pub fn client(&self) -> (Ipv4Addr, u16) {
+        (self.client, self.client_port)
+    }
+
+    /// Server endpoint.
+    pub fn server(&self) -> (Ipv4Addr, u16) {
+        (self.server, self.server_port)
+    }
+
+    /// When the SYN was sent.
+    pub fn opened_at(&self) -> DateTime {
+        self.opened_at
+    }
+
+    /// When the handshake completed, if it did.
+    pub fn established_at(&self) -> Option<DateTime> {
+        self.established_at
+    }
+
+    /// When the connection closed, if it has.
+    pub fn closed_at(&self) -> Option<DateTime> {
+        self.closed_at
+    }
+
+    /// Why the connection closed, if it has.
+    pub fn close_reason(&self) -> Option<CloseReason> {
+        self.close_reason
+    }
+
+    /// Bytes sent client → server so far.
+    pub fn bytes_to_server(&self) -> u64 {
+        self.bytes_client_to_server
+    }
+
+    /// Bytes sent server → client so far.
+    pub fn bytes_to_client(&self) -> u64 {
+        self.bytes_server_to_client
+    }
+
+    /// Session duration in seconds (close − establish); `None` while open
+    /// or if the handshake never completed.
+    pub fn duration_secs(&self) -> Option<i64> {
+        Some(self.closed_at?.secs_since(self.established_at?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(secs: i64) -> DateTime {
+        DateTime::from_unix(secs)
+    }
+
+    fn conn(now: DateTime) -> Connection {
+        Connection::open(Ipv4Addr(0x01020304), 40111, Ipv4Addr(0x05060708), 22, now)
+    }
+
+    #[test]
+    fn normal_lifecycle() {
+        let mut c = conn(t(0));
+        assert_eq!(c.state(), TcpState::SynSent);
+        c.establish(t(1));
+        assert_eq!(c.state(), TcpState::Established);
+        c.transfer(t(2), 100, 50);
+        c.transfer(t(3), 20, 10);
+        c.close(t(4));
+        assert_eq!(c.state(), TcpState::Closed);
+        assert_eq!(c.close_reason(), Some(CloseReason::ClientClose));
+        assert_eq!(c.duration_secs(), Some(3));
+        assert_eq!(c.bytes_to_server(), 120);
+        assert_eq!(c.bytes_to_client(), 60);
+    }
+
+    #[test]
+    fn scan_without_handshake() {
+        let mut c = conn(t(0));
+        c.abandon(t(5));
+        assert_eq!(c.close_reason(), Some(CloseReason::HandshakeFailed));
+        assert_eq!(c.duration_secs(), None);
+    }
+
+    #[test]
+    fn idle_timeout_fires_at_exact_deadline() {
+        let mut c = conn(t(0));
+        c.establish(t(0));
+        c.transfer(t(10), 1, 1);
+        assert!(!c.poll_timeout(t(10 + IDLE_TIMEOUT_SECS - 1)));
+        assert!(c.poll_timeout(t(10 + IDLE_TIMEOUT_SECS)));
+        assert_eq!(c.close_reason(), Some(CloseReason::IdleTimeout));
+        // Closed at the deadline, not at the (possibly later) poll instant.
+        assert_eq!(c.closed_at(), Some(t(10 + IDLE_TIMEOUT_SECS)));
+        assert_eq!(c.duration_secs(), Some(10 + IDLE_TIMEOUT_SECS));
+    }
+
+    #[test]
+    fn activity_refreshes_idle_timer() {
+        let mut c = conn(t(0));
+        c.establish(t(0));
+        c.transfer(t(100), 1, 1);
+        assert!(!c.poll_timeout(t(150)));
+        c.transfer(t(170), 1, 1);
+        assert!(!c.poll_timeout(t(280)));
+        assert!(c.poll_timeout(t(170 + IDLE_TIMEOUT_SECS)));
+    }
+
+    #[test]
+    fn timeout_is_inert_after_close() {
+        let mut c = conn(t(0));
+        c.establish(t(0));
+        c.close(t(1));
+        assert!(!c.poll_timeout(t(10_000)));
+        assert_eq!(c.close_reason(), Some(CloseReason::ClientClose));
+    }
+
+    #[test]
+    #[should_panic(expected = "establish() on")]
+    fn double_establish_is_a_bug() {
+        let mut c = conn(t(0));
+        c.establish(t(0));
+        c.establish(t(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "transfer() on")]
+    fn transfer_before_handshake_is_a_bug() {
+        let mut c = conn(t(0));
+        c.transfer(t(1), 1, 1);
+    }
+}

@@ -1,0 +1,105 @@
+//! Abstract syntax tree for the supported regex dialect.
+
+/// One item inside a character class `[...]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClassItem {
+    /// A single byte, e.g. `a`.
+    Byte(u8),
+    /// An inclusive byte range, e.g. `a-z`.
+    Range(u8, u8),
+    /// `\d`.
+    Digit,
+    /// `\D`.
+    NotDigit,
+    /// `\s`.
+    Space,
+    /// `\S`.
+    NotSpace,
+    /// `\w`.
+    Word,
+    /// `\W`.
+    NotWord,
+}
+
+impl ClassItem {
+    /// Whether `b` is matched by this item.
+    pub fn matches(&self, b: u8) -> bool {
+        match *self {
+            ClassItem::Byte(c) => b == c,
+            ClassItem::Range(lo, hi) => (lo..=hi).contains(&b),
+            ClassItem::Digit => b.is_ascii_digit(),
+            ClassItem::NotDigit => !b.is_ascii_digit(),
+            ClassItem::Space => is_space(b),
+            ClassItem::NotSpace => !is_space(b),
+            ClassItem::Word => is_word(b),
+            ClassItem::NotWord => !is_word(b),
+        }
+    }
+}
+
+/// Python `\s`: space, tab, newline, carriage return, form feed, vertical tab.
+pub fn is_space(b: u8) -> bool {
+    matches!(b, b' ' | b'\t' | b'\n' | b'\r' | 0x0b | 0x0c)
+}
+
+/// Python (ASCII) `\w`: alphanumerics and underscore.
+pub fn is_word(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Regex AST node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Ast {
+    /// Matches the empty string.
+    Empty,
+    /// A literal byte.
+    Byte(u8),
+    /// `.` — any byte except `\n`.
+    AnyByte,
+    /// `[...]` / `[^...]`.
+    Class { negated: bool, items: Vec<ClassItem> },
+    /// `^`.
+    StartAnchor,
+    /// `$`.
+    EndAnchor,
+    /// `\b` (`true`) or `\B` (`false`).
+    WordBoundary(bool),
+    /// Concatenation of subexpressions.
+    Concat(Vec<Ast>),
+    /// `a|b|c`.
+    Alternate(Vec<Ast>),
+    /// Quantified subexpression: `min..=max` repetitions (`max == None` is
+    /// unbounded), `greedy == false` for the lazy `?` variants.
+    Repeat { node: Box<Ast>, min: u32, max: Option<u32>, greedy: bool },
+    /// `(…)` / `(?:…)` — grouping only; the engine does not capture.
+    Group(Box<Ast>),
+    /// `(?=…)` (`positive == true`) or `(?!…)`.
+    Lookahead { positive: bool, node: Box<Ast> },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_item_matching() {
+        assert!(ClassItem::Byte(b'a').matches(b'a'));
+        assert!(!ClassItem::Byte(b'a').matches(b'b'));
+        assert!(ClassItem::Range(b'0', b'9').matches(b'5'));
+        assert!(!ClassItem::Range(b'0', b'9').matches(b'a'));
+        assert!(ClassItem::Digit.matches(b'7'));
+        assert!(ClassItem::NotDigit.matches(b'x'));
+        assert!(ClassItem::Space.matches(b'\t'));
+        assert!(ClassItem::Word.matches(b'_'));
+        assert!(ClassItem::NotWord.matches(b'-'));
+    }
+
+    #[test]
+    fn space_definition_matches_python() {
+        for b in [b' ', b'\t', b'\n', b'\r', 0x0b, 0x0c] {
+            assert!(is_space(b));
+        }
+        assert!(!is_space(b'x'));
+        assert!(!is_space(0xa0)); // no Unicode spaces in byte mode
+    }
+}

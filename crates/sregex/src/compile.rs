@@ -1,0 +1,251 @@
+//! AST → bytecode compilation for the backtracking VM.
+
+use crate::ast::{Ast, ClassItem};
+
+/// One VM instruction. Program counters are indices into
+/// [`Program::insts`]; lookahead bodies live in [`Program::subs`].
+#[derive(Debug, Clone)]
+pub enum Inst {
+    /// Match a single byte.
+    Byte(u8),
+    /// Match any byte except `\n`.
+    Any,
+    /// Match a character class.
+    Class { negated: bool, items: Vec<ClassItem> },
+    /// Try `preferred` first, fall back to `alternate` on failure.
+    Split { preferred: usize, alternate: usize },
+    /// Unconditional jump.
+    Jump(usize),
+    /// Assert start of haystack.
+    AssertStart,
+    /// Assert end of haystack.
+    AssertEnd,
+    /// Assert a word boundary (`true`) or its absence (`false`).
+    WordBoundary(bool),
+    /// Record the current position in mark slot `slot`.
+    SetMark(usize),
+    /// Jump to `target` iff the position advanced past mark `slot`
+    /// (used to break out of loops whose body matched the empty string).
+    JumpIfProgress { slot: usize, target: usize },
+    /// Run sub-program `sub` at the current position as a zero-width
+    /// assertion; `positive` selects lookahead vs negative lookahead.
+    Lookahead { positive: bool, sub: usize },
+    /// Successful match.
+    Match,
+}
+
+/// A compiled program plus its lookahead sub-programs.
+#[derive(Debug, Clone, Default)]
+pub struct Program {
+    /// Instruction sequence; entry point is index 0.
+    pub insts: Vec<Inst>,
+    /// Lookahead bodies, each a complete program ending in `Match`.
+    pub subs: Vec<Program>,
+    /// Number of mark slots the VM must allocate.
+    pub marks: usize,
+}
+
+/// Compiles `ast` into an executable [`Program`].
+pub fn compile(ast: &Ast) -> Program {
+    let mut c = Compiler { prog: Program::default() };
+    c.emit_node(ast);
+    c.prog.insts.push(Inst::Match);
+    c.prog
+}
+
+struct Compiler {
+    prog: Program,
+}
+
+impl Compiler {
+    fn pc(&self) -> usize {
+        self.prog.insts.len()
+    }
+
+    fn push(&mut self, inst: Inst) -> usize {
+        self.prog.insts.push(inst);
+        self.prog.insts.len() - 1
+    }
+
+    fn patch_split_alt(&mut self, at: usize, alternate: usize) {
+        match &mut self.prog.insts[at] {
+            Inst::Split { alternate: a, .. } => *a = alternate,
+            other => panic!("patch_split_alt on {other:?}"),
+        }
+    }
+
+    fn patch_jump(&mut self, at: usize, target: usize) {
+        match &mut self.prog.insts[at] {
+            Inst::Jump(t) => *t = target,
+            other => panic!("patch_jump on {other:?}"),
+        }
+    }
+
+    fn emit_node(&mut self, ast: &Ast) {
+        match ast {
+            Ast::Empty => {}
+            Ast::Byte(b) => {
+                self.push(Inst::Byte(*b));
+            }
+            Ast::AnyByte => {
+                self.push(Inst::Any);
+            }
+            Ast::Class { negated, items } => {
+                self.push(Inst::Class { negated: *negated, items: items.clone() });
+            }
+            Ast::StartAnchor => {
+                self.push(Inst::AssertStart);
+            }
+            Ast::EndAnchor => {
+                self.push(Inst::AssertEnd);
+            }
+            Ast::WordBoundary(positive) => {
+                self.push(Inst::WordBoundary(*positive));
+            }
+            Ast::Group(inner) => self.emit_node(inner),
+            Ast::Concat(parts) => {
+                for p in parts {
+                    self.emit_node(p);
+                }
+            }
+            Ast::Alternate(branches) => self.emit_alternate(branches),
+            Ast::Repeat { node, min, max, greedy } => {
+                self.emit_repeat(node, *min, *max, *greedy)
+            }
+            Ast::Lookahead { positive, node } => {
+                let sub = compile(node);
+                self.prog.subs.push(sub);
+                let idx = self.prog.subs.len() - 1;
+                self.push(Inst::Lookahead { positive: *positive, sub: idx });
+            }
+        }
+    }
+
+    fn emit_alternate(&mut self, branches: &[Ast]) {
+        // branch0 | branch1 | … lowers to a chain of Splits with a shared
+        // exit collected via Jump patching.
+        let mut exit_jumps = Vec::new();
+        for (i, branch) in branches.iter().enumerate() {
+            let last = i + 1 == branches.len();
+            if last {
+                self.emit_node(branch);
+            } else {
+                let split = self.push(Inst::Split { preferred: 0, alternate: 0 });
+                let body = self.pc();
+                match &mut self.prog.insts[split] {
+                    Inst::Split { preferred, .. } => *preferred = body,
+                    _ => unreachable!(),
+                }
+                self.emit_node(branch);
+                exit_jumps.push(self.push(Inst::Jump(0)));
+                let next_branch = self.pc();
+                self.patch_split_alt(split, next_branch);
+            }
+        }
+        let exit = self.pc();
+        for j in exit_jumps {
+            self.patch_jump(j, exit);
+        }
+    }
+
+    fn emit_repeat(&mut self, node: &Ast, min: u32, max: Option<u32>, greedy: bool) {
+        // Mandatory prefix: `min` copies.
+        for _ in 0..min {
+            self.emit_node(node);
+        }
+        match max {
+            Some(max) => {
+                // (max - min) optional copies, each guarded by a Split.
+                let mut splits = Vec::new();
+                for _ in min..max {
+                    let split = self.push(Inst::Split { preferred: 0, alternate: 0 });
+                    let body = self.pc();
+                    match &mut self.prog.insts[split] {
+                        Inst::Split { preferred, .. } => *preferred = body,
+                        _ => unreachable!(),
+                    }
+                    splits.push(split);
+                    self.emit_node(node);
+                }
+                let exit = self.pc();
+                for split in splits {
+                    if greedy {
+                        self.patch_split_alt(split, exit);
+                    } else {
+                        // Lazy: prefer skipping, fall back into the body.
+                        let body = match self.prog.insts[split] {
+                            Inst::Split { preferred, .. } => preferred,
+                            _ => unreachable!(),
+                        };
+                        self.prog.insts[split] =
+                            Inst::Split { preferred: exit, alternate: body };
+                    }
+                }
+            }
+            None => {
+                // Unbounded tail: loop with empty-progress guard.
+                let slot = self.prog.marks;
+                self.prog.marks += 1;
+                let loop_head = self.push(Inst::Split { preferred: 0, alternate: 0 });
+                let body = self.pc();
+                self.push(Inst::SetMark(slot));
+                self.emit_node(node);
+                self.push(Inst::JumpIfProgress { slot, target: loop_head });
+                let exit = self.pc();
+                if greedy {
+                    self.prog.insts[loop_head] =
+                        Inst::Split { preferred: body, alternate: exit };
+                } else {
+                    self.prog.insts[loop_head] =
+                        Inst::Split { preferred: exit, alternate: body };
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn compile_pat(p: &str) -> Program {
+        compile(&parse(p).unwrap())
+    }
+
+    #[test]
+    fn literal_program_shape() {
+        let p = compile_pat("ab");
+        assert_eq!(p.insts.len(), 3); // Byte, Byte, Match
+        assert!(matches!(p.insts[2], Inst::Match));
+    }
+
+    #[test]
+    fn star_allocates_mark() {
+        let p = compile_pat("a*");
+        assert_eq!(p.marks, 1);
+    }
+
+    #[test]
+    fn bounded_repeat_unrolls() {
+        let p = compile_pat("a{2,4}");
+        let bytes = p.insts.iter().filter(|i| matches!(i, Inst::Byte(b'a'))).count();
+        assert_eq!(bytes, 4);
+        let splits = p.insts.iter().filter(|i| matches!(i, Inst::Split { .. })).count();
+        assert_eq!(splits, 2);
+    }
+
+    #[test]
+    fn lookahead_compiles_to_subprogram() {
+        let p = compile_pat("(?=.*curl)(?=.*wget)x");
+        assert_eq!(p.subs.len(), 2);
+        assert!(p.subs.iter().all(|s| matches!(s.insts.last(), Some(Inst::Match))));
+    }
+
+    #[test]
+    fn nested_lookahead_subprograms() {
+        let p = compile_pat("(?=a(?=b))");
+        assert_eq!(p.subs.len(), 1);
+        assert_eq!(p.subs[0].subs.len(), 1);
+    }
+}

@@ -1,0 +1,436 @@
+//! `sregex` — a small byte-oriented backtracking regular-expression engine.
+//!
+//! The paper's command classifier (Table 1) consists of 58 hand-written
+//! Python `re` patterns that lean heavily on constructs the mainstream Rust
+//! `regex` crate deliberately does not support — above all **lookahead**
+//! (`(?=…)`), which the authors use to express order-free conjunctions such
+//! as `(?=.*curl)(?=.*wget)`. Since the allowed dependency set contains no
+//! regex crate anyway, this crate implements the required subset from
+//! scratch:
+//!
+//! * literals, `.` (any byte except `\n`), escapes incl. `\xHH`
+//! * character classes `[a-z0-9_]`, negation, ranges, class escapes
+//! * predefined classes `\d \D \s \S \w \W`
+//! * anchors `^` `$`, word boundaries `\b` `\B`
+//! * grouping `(…)`, non-capturing `(?:…)`, lookahead `(?=…)` / `(?!…)`
+//! * alternation `|`
+//! * quantifiers `* + ?` and bounded `{n}` `{n,}` `{n,m}`, each with a lazy
+//!   `?` variant
+//!
+//! Matching follows Python `re.search` semantics (leftmost match anywhere in
+//! the haystack, earliest alternative preferred). The engine is a classic
+//! backtracking VM with an explicit stack and a step budget that turns
+//! pathological backtracking into a clean [`Regex::is_match`] `false` plus a
+//! saturation flag rather than a hang — honeypot command lines are attacker
+//! controlled, so the classifier must be robust to adversarial input.
+
+mod ast;
+mod compile;
+mod parser;
+mod vm;
+
+pub use ast::{Ast, ClassItem};
+pub use parser::ParseError;
+
+use compile::Program;
+
+/// A compiled regular expression.
+#[derive(Debug, Clone)]
+pub struct Regex {
+    pattern: String,
+    prog: Program,
+    /// Fast path: the whole pattern is a byte literal (no metacharacters),
+    /// so matching is plain substring search.
+    literal: Option<Vec<u8>>,
+    /// Fast path: the pattern is a conjunction of top-level lookaheads
+    /// (`(?=…)(?=…)…`), whose search outcome is fully decided at offset 0 —
+    /// each lookahead body begins with `.*`-equivalent scanning, so failing
+    /// at the start implies failing at every later start.
+    pure_lookahead: bool,
+}
+
+/// Default backtracking step budget per match attempt. Generous enough for
+/// every Table 1 pattern on multi-kilobyte command lines, small enough to
+/// bound adversarial inputs.
+pub const DEFAULT_STEP_LIMIT: usize = 1_000_000;
+
+impl Regex {
+    /// Parses and compiles `pattern`.
+    pub fn new(pattern: &str) -> Result<Self, ParseError> {
+        let ast = parser::parse(pattern)?;
+        let prog = compile::compile(&ast);
+        Ok(Self {
+            pattern: pattern.to_string(),
+            literal: extract_literal(&ast),
+            pure_lookahead: is_dotstar_lookahead_conjunction(&ast),
+            prog,
+        })
+    }
+
+    /// The source pattern.
+    pub fn pattern(&self) -> &str {
+        &self.pattern
+    }
+
+    /// `re.search`-style containment test.
+    pub fn is_match(&self, haystack: &str) -> bool {
+        self.find(haystack).is_some()
+    }
+
+    /// Finds the leftmost match and returns its byte span `[start, end)`.
+    pub fn find(&self, haystack: &str) -> Option<(usize, usize)> {
+        let bytes = haystack.as_bytes();
+        // Literal fast path: plain substring search.
+        if let Some(lit) = &self.literal {
+            if lit.is_empty() {
+                return Some((0, 0));
+            }
+            return bytes
+                .windows(lit.len())
+                .position(|w| w == &lit[..])
+                .map(|p| (p, p + lit.len()));
+        }
+        // Pure `(?=.*A)(?=.*B)…` conjunctions: a match at any offset implies
+        // a match at the start of that offset's line (each body's leading
+        // `.*` absorbs the line prefix), so only line starts need checking.
+        if self.pure_lookahead {
+            for start in line_starts(bytes) {
+                if let Some(end) = vm::exec(&self.prog, bytes, start, DEFAULT_STEP_LIMIT) {
+                    return Some((start, end));
+                }
+            }
+            return None;
+        }
+        for start in 0..=bytes.len() {
+            if let Some(end) = vm::exec(&self.prog, bytes, start, DEFAULT_STEP_LIMIT) {
+                return Some((start, end));
+            }
+        }
+        None
+    }
+
+    /// Like [`Regex::find`], but with a caller-chosen backtracking budget.
+    /// Returns `Err(StepLimitExceeded)` if any start position exhausts it.
+    pub fn find_bounded(
+        &self,
+        haystack: &str,
+        step_limit: usize,
+    ) -> Result<Option<(usize, usize)>, StepLimitExceeded> {
+        let bytes = haystack.as_bytes();
+        for start in 0..=bytes.len() {
+            match vm::exec_checked(&self.prog, bytes, start, step_limit) {
+                Ok(Some(end)) => return Ok(Some((start, end))),
+                Ok(None) => {}
+                Err(()) => return Err(StepLimitExceeded),
+            }
+        }
+        Ok(None)
+    }
+}
+
+/// Offsets of position 0 and every byte following a `\n`.
+fn line_starts(bytes: &[u8]) -> impl Iterator<Item = usize> + '_ {
+    std::iter::once(0)
+        .chain(bytes.iter().enumerate().filter(|(_, b)| **b == b'\n').map(|(i, _)| i + 1))
+}
+
+/// If the AST is a plain byte sequence, returns those bytes.
+fn extract_literal(ast: &Ast) -> Option<Vec<u8>> {
+    fn walk(ast: &Ast, out: &mut Vec<u8>) -> bool {
+        match ast {
+            Ast::Empty => true,
+            Ast::Byte(b) => {
+                out.push(*b);
+                true
+            }
+            Ast::Concat(parts) => parts.iter().all(|p| walk(p, out)),
+            Ast::Group(inner) => walk(inner, out),
+            _ => false,
+        }
+    }
+    let mut out = Vec::new();
+    walk(ast, &mut out).then_some(out)
+}
+
+/// True when the AST is a concatenation of positive lookaheads whose bodies
+/// all begin with a greedy `.*` — the Table 1 conjunction idiom. For such
+/// patterns a match at offset `p` implies a match at `p`'s line start
+/// (the leading `.*` absorbs the intra-line prefix), which licenses the
+/// line-start search shortcut in [`Regex::find`].
+fn is_dotstar_lookahead_conjunction(ast: &Ast) -> bool {
+    fn body_starts_with_dotstar(ast: &Ast) -> bool {
+        let head = match ast {
+            Ast::Concat(parts) => match parts.first() {
+                Some(h) => h,
+                None => return false,
+            },
+            other => other,
+        };
+        matches!(
+            head,
+            Ast::Repeat { node, min: 0, max: None, greedy: true }
+                if matches!(**node, Ast::AnyByte)
+        )
+    }
+    fn is_lookahead_with_dotstar(ast: &Ast) -> bool {
+        matches!(ast, Ast::Lookahead { positive: true, node } if body_starts_with_dotstar(node))
+    }
+    match ast {
+        Ast::Concat(parts) if !parts.is_empty() => {
+            // Allow a trailing `.*` after the lookaheads (some table rows
+            // end in `.*`).
+            let mut saw_lookahead = false;
+            for (i, p) in parts.iter().enumerate() {
+                if is_lookahead_with_dotstar(p) {
+                    saw_lookahead = true;
+                } else if i + 1 == parts.len() && body_starts_with_dotstar(p) {
+                    // trailing `.*`
+                } else {
+                    return false;
+                }
+            }
+            saw_lookahead
+        }
+        one => is_lookahead_with_dotstar(one),
+    }
+}
+
+/// The backtracking budget was exhausted before a verdict was reached.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StepLimitExceeded;
+
+impl std::fmt::Display for StepLimitExceeded {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("regex backtracking step limit exceeded")
+    }
+}
+
+impl std::error::Error for StepLimitExceeded {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(pat: &str, s: &str) -> bool {
+        Regex::new(pat).unwrap().is_match(s)
+    }
+
+    #[test]
+    fn literal_search() {
+        assert!(m("mdrfckr", "echo mdrfckr >> authorized_keys"));
+        assert!(!m("mdrfckr", "echo hello"));
+    }
+
+    #[test]
+    fn dot_and_star() {
+        assert!(m("a.*b", "axxxb"));
+        assert!(m("a.*b", "ab"));
+        assert!(!m("a.*b", "a\nb")); // `.` excludes newline
+    }
+
+    #[test]
+    fn anchors() {
+        assert!(m("^root", "root:admin"));
+        assert!(!m("^root", " root"));
+        assert!(m("sh$", "/bin/sh"));
+        assert!(!m("sh$", "shell"));
+    }
+
+    #[test]
+    fn classes_and_ranges() {
+        assert!(m("[0-9a-fA-F]{8}", "deadBEEF"));
+        assert!(!m("^[0-9]+$", "12a4"));
+        assert!(m("[^a-z]", "A"));
+        assert!(!m("^[^a-z]+$", "abc"));
+    }
+
+    #[test]
+    fn predefined_classes() {
+        assert!(m(r"\d+", "uid=0"));
+        assert!(m(r"\s", "a b"));
+        assert!(m(r"\w+", "busybox"));
+        assert!(m(r"^\S+$", "no-spaces"));
+        assert!(!m(r"\d", "abc"));
+    }
+
+    #[test]
+    fn word_boundary() {
+        assert!(m(r"\bcat\b", "busybox cat /proc/self/exe"));
+        assert!(!m(r"\bcat\b", "concatenate"));
+        assert!(m(r"\becho\b", "echo ok"));
+        assert!(m(r"\B", "word")); // interior non-boundary exists
+    }
+
+    #[test]
+    fn alternation_prefers_leftmost() {
+        let re = Regex::new("wget|curl").unwrap();
+        assert_eq!(re.find("use curl or wget"), Some((4, 8)));
+    }
+
+    #[test]
+    fn quantifier_bounds() {
+        assert!(m("a{3}", "aaa"));
+        assert!(!m("^a{3}$", "aa"));
+        assert!(m("^a{2,}$", "aaaa"));
+        assert!(!m("^a{2,}$", "a"));
+        assert!(m("^a{1,3}$", "aa"));
+        assert!(!m("^a{1,3}$", "aaaa"));
+        assert!(m("^[A-Za-z0-9]{15,}$", "abcdefghij012345"));
+    }
+
+    #[test]
+    fn lazy_quantifiers() {
+        let re = Regex::new("<.+?>").unwrap();
+        assert_eq!(re.find("<a><b>"), Some((0, 3)));
+        let greedy = Regex::new("<.+>").unwrap();
+        assert_eq!(greedy.find("<a><b>"), Some((0, 6)));
+    }
+
+    #[test]
+    fn groups_and_nesting() {
+        assert!(m("(ab)+", "ababab"));
+        assert!(m("(?:wget|curl) http", "curl http://x"));
+        assert!(m("a(b(c|d))e", "abde"));
+    }
+
+    #[test]
+    fn lookahead_conjunction() {
+        // The paper's order-free conjunction idiom.
+        let re = Regex::new(r"(?=.*curl)(?=.*wget)").unwrap();
+        assert!(re.is_match("wget x; curl y"));
+        assert!(re.is_match("curl y; wget x"));
+        assert!(!re.is_match("curl only"));
+    }
+
+    #[test]
+    fn negative_lookahead() {
+        let re = Regex::new(r"^(?!root)\w+").unwrap();
+        assert!(re.is_match("admin"));
+        assert!(!re.is_match("root"));
+    }
+
+    #[test]
+    fn hex_escapes() {
+        // echo_ok pattern: \x6F\x6B == "ok".
+        assert!(m(r"\x6F\x6B", "echo ok"));
+        assert!(m(r"\x45\x4c\x46", "ELF"));
+    }
+
+    #[test]
+    fn escaped_metacharacters() {
+        assert!(m(r"update\.sh", "sh update.sh"));
+        assert!(!m(r"update\.sh", "update-sh"));
+        assert!(m(r"/tmp/\*", "rm -rf /tmp/*"));
+        assert!(m(r"a\|b", "a|b"));
+    }
+
+    #[test]
+    fn class_with_escapes_inside() {
+        assert!(m(r"[\d\s]+", "4 2"));
+        assert!(m(r"[\]]", "]"));
+        assert!(m(r"[.]", "."));
+        assert!(!m(r"[.]", "x"));
+    }
+
+    #[test]
+    fn empty_pattern_matches_empty() {
+        assert!(m("", ""));
+        assert!(m("", "anything"));
+    }
+
+    #[test]
+    fn find_span_is_byte_accurate() {
+        let re = Regex::new(r"\d{4}").unwrap();
+        assert_eq!(re.find("port 1337 open"), Some((5, 9)));
+    }
+
+    #[test]
+    fn pathological_pattern_is_bounded() {
+        let re = Regex::new("(a+)+$").unwrap();
+        let s = "a".repeat(64) + "b";
+        // Budget exhaustion surfaces as an explicit error, not a hang.
+        assert_eq!(re.find_bounded(&s, 10_000), Err(StepLimitExceeded));
+    }
+
+    #[test]
+    fn table1_representatives() {
+        // A selection of real Table 1 rules against realistic sessions.
+        assert!(m(
+            r"uname\s+-s\s+-v\s+-n\s+-r\s+-m",
+            "uname -s -v -n -r -m"
+        ));
+        assert!(m(
+            r"/bin/busybox\s+cat\s+/proc/self/exe\s*\|\|\s*cat\s+/proc/self/exe",
+            "/bin/busybox cat /proc/self/exe || cat /proc/self/exe"
+        ));
+        assert!(m(
+            r"root:[A-Za-z0-9]{15,}\|chpasswd",
+            r"echo root:Ab0Cd1Ef2Gh3Jk4X|chpasswd"
+        ));
+        assert!(m(r"ssh-rsa\s+AAAAB3NzaC1yc2EAAAADAQABA", "ssh-rsa AAAAB3NzaC1yc2EAAAADAQABAAAB"));
+        assert!(m(
+            r"\becho\b\s+[0-9a-fA-F]{8}-[0-9a-fA-F]{4}-[0-9a-fA-F]{4}-[0-9a-fA-F]{4}-[0-9a-fA-F]{12}",
+            "echo deadbeef-dead-beef-dead-beefdeadbeef"
+        ));
+        assert!(m(r"(?=.*Password123)(?=.*daemon)", "useradd daemon; echo Password123"));
+        assert!(m(r"openssl passwd -1 \S{8}", "openssl passwd -1 Xy12Zw34"));
+    }
+
+    #[test]
+    fn literal_fast_path_agrees_with_engine() {
+        let re = Regex::new("mdrfckr").unwrap();
+        assert!(re.literal.is_some());
+        assert_eq!(re.find("xx mdrfckr yy"), Some((3, 10)));
+        assert_eq!(re.find("nope"), None);
+        // Patterns with metacharacters do not take the literal path.
+        assert!(Regex::new(r"md\s+rfckr").unwrap().literal.is_none());
+        assert!(Regex::new("a|b").unwrap().literal.is_none());
+    }
+
+    #[test]
+    fn lookahead_conjunction_fast_path_is_multiline_correct() {
+        let re = Regex::new(r"(?=.*curl)(?=.*wget)").unwrap();
+        assert!(re.pure_lookahead);
+        // Same line: match.
+        assert!(re.is_match("first\nuse curl and wget here\nlast"));
+        // Tools on different lines: no single position sees both
+        // (`.` does not cross newlines) — Python agrees.
+        assert!(!re.is_match("curl here\nwget there"));
+        // Non-dotstar lookaheads must NOT take the shortcut.
+        let anchored = Regex::new(r"(?=curl)").unwrap();
+        assert!(!anchored.pure_lookahead);
+        assert!(anchored.is_match("use curl"));
+        // Negative lookaheads must not take it either.
+        assert!(!Regex::new(r"(?!.*curl)(?=.*wget)").unwrap().pure_lookahead);
+    }
+
+    #[test]
+    fn conjunction_with_trailing_dotstar_still_fast() {
+        let re = Regex::new(r"(?=.*Password123)(?=.*daemon).*").unwrap();
+        assert!(re.pure_lookahead);
+        assert!(re.is_match("useradd daemon; echo Password123"));
+        assert!(!re.is_match("useradd daemon"));
+    }
+
+    #[test]
+    fn large_haystack_conjunction_is_fast() {
+        // 100 curl commands joined by newlines ≈ the curl_maxred session
+        // shape; the shortcut keeps this linear-ish.
+        let line = "curl https://203.0.113.7/ -s -X GET --max-redirs 5 --cookie 'k=v'";
+        let big = vec![line; 200].join("\n");
+        let re = Regex::new(r"(?=.*curl)(?=.*echo)(?=.*ftp)(?=.*wget)").unwrap();
+        let t = std::time::Instant::now();
+        assert!(!re.is_match(&big));
+        assert!(t.elapsed().as_millis() < 500, "took {:?}", t.elapsed());
+    }
+
+    #[test]
+    fn parse_errors_are_reported() {
+        assert!(Regex::new("a{2,1}").is_err());
+        assert!(Regex::new("(unclosed").is_err());
+        assert!(Regex::new("[unclosed").is_err());
+        assert!(Regex::new("*dangling").is_err());
+        assert!(Regex::new(r"\x0g").is_err());
+        assert!(Regex::new("a)b").is_err());
+    }
+}

@@ -1,0 +1,488 @@
+//! Recursive-descent parser for the supported dialect.
+//!
+//! Grammar (standard precedence):
+//!
+//! ```text
+//! alternation   := concat ('|' concat)*
+//! concat        := repeat*
+//! repeat        := atom quantifier?
+//! quantifier    := ('*' | '+' | '?' | '{' bounds '}') '?'?
+//! atom          := literal | '.' | class | group | anchor | escape
+//! group         := '(' ('?:' | '?=' | '?!')? alternation ')'
+//! ```
+
+use crate::ast::{Ast, ClassItem};
+
+/// A parse failure, with the byte offset in the pattern where it occurred.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte position in the pattern.
+    pub position: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "regex parse error at {}: {}", self.position, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses `pattern` into an [`Ast`].
+pub fn parse(pattern: &str) -> Result<Ast, ParseError> {
+    let mut p = Parser { input: pattern.as_bytes(), pos: 0 };
+    let ast = p.alternation()?;
+    if p.pos != p.input.len() {
+        return Err(p.err("unexpected character (unbalanced ')'?)"));
+    }
+    Ok(ast)
+}
+
+struct Parser<'a> {
+    input: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: &str) -> ParseError {
+        ParseError { position: self.pos, message: msg.to_string() }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.input.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn eat(&mut self, b: u8) -> bool {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn alternation(&mut self) -> Result<Ast, ParseError> {
+        let mut branches = vec![self.concat()?];
+        while self.eat(b'|') {
+            branches.push(self.concat()?);
+        }
+        Ok(if branches.len() == 1 {
+            branches.pop().expect("one branch")
+        } else {
+            Ast::Alternate(branches)
+        })
+    }
+
+    fn concat(&mut self) -> Result<Ast, ParseError> {
+        let mut parts = Vec::new();
+        while let Some(b) = self.peek() {
+            if b == b'|' || b == b')' {
+                break;
+            }
+            parts.push(self.repeat()?);
+        }
+        Ok(match parts.len() {
+            0 => Ast::Empty,
+            1 => parts.pop().expect("one part"),
+            _ => Ast::Concat(parts),
+        })
+    }
+
+    fn repeat(&mut self) -> Result<Ast, ParseError> {
+        let atom = self.atom()?;
+        let (min, max) = match self.peek() {
+            Some(b'*') => {
+                self.pos += 1;
+                (0, None)
+            }
+            Some(b'+') => {
+                self.pos += 1;
+                (1, None)
+            }
+            Some(b'?') => {
+                self.pos += 1;
+                (0, Some(1))
+            }
+            Some(b'{') => {
+                // `{` not followed by digits is a literal in Python; we keep
+                // it strict only when it parses as bounds.
+                if let Some(bounds) = self.try_bounds()? {
+                    bounds
+                } else {
+                    return Ok(atom);
+                }
+            }
+            _ => return Ok(atom),
+        };
+        if self.is_zero_width(&atom) {
+            return Err(self.err("quantifier applied to zero-width assertion"));
+        }
+        let greedy = !self.eat(b'?');
+        Ok(Ast::Repeat { node: Box::new(atom), min, max, greedy })
+    }
+
+    /// Parses `{n}`, `{n,}` or `{n,m}` starting at `{`. Returns `Ok(None)`
+    /// (without consuming) when the braces do not form bounds, mirroring
+    /// Python's lenient treatment of a literal `{`.
+    fn try_bounds(&mut self) -> Result<Option<(u32, Option<u32>)>, ParseError> {
+        let start = self.pos;
+        debug_assert_eq!(self.peek(), Some(b'{'));
+        self.pos += 1;
+        let min = self.number();
+        let bounds = match (min, self.peek()) {
+            (Some(n), Some(b'}')) => {
+                self.pos += 1;
+                Some((n, Some(n)))
+            }
+            (Some(n), Some(b',')) => {
+                self.pos += 1;
+                let max = self.number();
+                if self.eat(b'}') {
+                    if let Some(m) = max {
+                        if m < n {
+                            self.pos = start;
+                            return Err(ParseError {
+                                position: start,
+                                message: "bad repetition bounds: max < min".to_string(),
+                            });
+                        }
+                    }
+                    Some((n, max))
+                } else {
+                    None
+                }
+            }
+            _ => None,
+        };
+        if bounds.is_none() {
+            self.pos = start; // literal '{'
+        }
+        Ok(bounds)
+    }
+
+    fn number(&mut self) -> Option<u32> {
+        let start = self.pos;
+        while self.peek().is_some_and(|b| b.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return None;
+        }
+        std::str::from_utf8(&self.input[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse().ok())
+    }
+
+    fn is_zero_width(&self, ast: &Ast) -> bool {
+        matches!(
+            ast,
+            Ast::StartAnchor | Ast::EndAnchor | Ast::WordBoundary(_) | Ast::Lookahead { .. }
+        )
+    }
+
+    fn atom(&mut self) -> Result<Ast, ParseError> {
+        match self.peek() {
+            None => Err(self.err("expected atom, found end of pattern")),
+            Some(b'(') => self.group(),
+            Some(b'[') => self.class(),
+            Some(b'^') => {
+                self.pos += 1;
+                Ok(Ast::StartAnchor)
+            }
+            Some(b'$') => {
+                self.pos += 1;
+                Ok(Ast::EndAnchor)
+            }
+            Some(b'.') => {
+                self.pos += 1;
+                Ok(Ast::AnyByte)
+            }
+            Some(b'\\') => {
+                self.pos += 1;
+                self.escape()
+            }
+            Some(b @ (b'*' | b'+' | b'?')) => Err(ParseError {
+                position: self.pos,
+                message: format!("dangling quantifier '{}'", b as char),
+            }),
+            Some(b')') => Err(self.err("unbalanced ')'")),
+            Some(b) => {
+                self.pos += 1;
+                Ok(Ast::Byte(b))
+            }
+        }
+    }
+
+    fn group(&mut self) -> Result<Ast, ParseError> {
+        debug_assert_eq!(self.peek(), Some(b'('));
+        self.pos += 1;
+        let kind = if self.eat(b'?') {
+            match self.bump() {
+                Some(b':') => GroupKind::NonCapturing,
+                Some(b'=') => GroupKind::Lookahead(true),
+                Some(b'!') => GroupKind::Lookahead(false),
+                _ => return Err(self.err("unsupported group flag (only ?: ?= ?!)")),
+            }
+        } else {
+            GroupKind::Capturing
+        };
+        let inner = self.alternation()?;
+        if !self.eat(b')') {
+            return Err(self.err("expected ')'"));
+        }
+        Ok(match kind {
+            GroupKind::Capturing | GroupKind::NonCapturing => Ast::Group(Box::new(inner)),
+            GroupKind::Lookahead(positive) => {
+                Ast::Lookahead { positive, node: Box::new(inner) }
+            }
+        })
+    }
+
+    fn class(&mut self) -> Result<Ast, ParseError> {
+        debug_assert_eq!(self.peek(), Some(b'['));
+        self.pos += 1;
+        let negated = self.eat(b'^');
+        let mut items = Vec::new();
+        // A ']' immediately after '[' or '[^' is a literal.
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            items.push(ClassItem::Byte(b']'));
+        }
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated character class")),
+                Some(b']') => {
+                    self.pos += 1;
+                    break;
+                }
+                _ => {}
+            }
+            let lo = self.class_atom()?;
+            // Try a range `lo-hi` (but `-` before `]` is a literal).
+            if self.peek() == Some(b'-') && self.input.get(self.pos + 1) != Some(&b']') {
+                if let ClassAtom::Byte(lo_b) = lo {
+                    self.pos += 1; // '-'
+                    match self.class_atom()? {
+                        ClassAtom::Byte(hi_b) => {
+                            if hi_b < lo_b {
+                                return Err(self.err("invalid class range (hi < lo)"));
+                            }
+                            items.push(ClassItem::Range(lo_b, hi_b));
+                            continue;
+                        }
+                        ClassAtom::Predefined(_) => {
+                            return Err(self.err("class escape cannot bound a range"));
+                        }
+                    }
+                }
+            }
+            items.push(match lo {
+                ClassAtom::Byte(b) => ClassItem::Byte(b),
+                ClassAtom::Predefined(it) => it,
+            });
+        }
+        Ok(Ast::Class { negated, items })
+    }
+
+    fn class_atom(&mut self) -> Result<ClassAtom, ParseError> {
+        match self.bump() {
+            None => Err(self.err("unterminated character class")),
+            Some(b'\\') => match self.bump() {
+                None => Err(self.err("dangling backslash in class")),
+                Some(b'd') => Ok(ClassAtom::Predefined(ClassItem::Digit)),
+                Some(b'D') => Ok(ClassAtom::Predefined(ClassItem::NotDigit)),
+                Some(b's') => Ok(ClassAtom::Predefined(ClassItem::Space)),
+                Some(b'S') => Ok(ClassAtom::Predefined(ClassItem::NotSpace)),
+                Some(b'w') => Ok(ClassAtom::Predefined(ClassItem::Word)),
+                Some(b'W') => Ok(ClassAtom::Predefined(ClassItem::NotWord)),
+                Some(b'x') => Ok(ClassAtom::Byte(self.hex_byte()?)),
+                Some(b'n') => Ok(ClassAtom::Byte(b'\n')),
+                Some(b't') => Ok(ClassAtom::Byte(b'\t')),
+                Some(b'r') => Ok(ClassAtom::Byte(b'\r')),
+                Some(b) => Ok(ClassAtom::Byte(b)),
+            },
+            Some(b) => Ok(ClassAtom::Byte(b)),
+        }
+    }
+
+    fn hex_byte(&mut self) -> Result<u8, ParseError> {
+        let hi = self.bump().and_then(hex_val);
+        let lo = self.bump().and_then(hex_val);
+        match (hi, lo) {
+            (Some(h), Some(l)) => Ok(h * 16 + l),
+            _ => Err(self.err("invalid \\xHH escape")),
+        }
+    }
+
+    fn escape(&mut self) -> Result<Ast, ParseError> {
+        match self.bump() {
+            None => Err(self.err("dangling backslash")),
+            Some(b'd') => Ok(class_of(ClassItem::Digit)),
+            Some(b'D') => Ok(class_of(ClassItem::NotDigit)),
+            Some(b's') => Ok(class_of(ClassItem::Space)),
+            Some(b'S') => Ok(class_of(ClassItem::NotSpace)),
+            Some(b'w') => Ok(class_of(ClassItem::Word)),
+            Some(b'W') => Ok(class_of(ClassItem::NotWord)),
+            Some(b'b') => Ok(Ast::WordBoundary(true)),
+            Some(b'B') => Ok(Ast::WordBoundary(false)),
+            Some(b'n') => Ok(Ast::Byte(b'\n')),
+            Some(b't') => Ok(Ast::Byte(b'\t')),
+            Some(b'r') => Ok(Ast::Byte(b'\r')),
+            Some(b'0') => Ok(Ast::Byte(0)),
+            Some(b'x') => Ok(Ast::Byte(self.hex_byte()?)),
+            Some(b @ (b'1'..=b'9')) => Err(ParseError {
+                position: self.pos - 1,
+                message: format!("backreference \\{} is not supported", b as char),
+            }),
+            Some(b) => Ok(Ast::Byte(b)),
+        }
+    }
+}
+
+enum GroupKind {
+    Capturing,
+    NonCapturing,
+    Lookahead(bool),
+}
+
+enum ClassAtom {
+    Byte(u8),
+    Predefined(ClassItem),
+}
+
+fn class_of(item: ClassItem) -> Ast {
+    Ast::Class { negated: false, items: vec![item] }
+}
+
+fn hex_val(b: u8) -> Option<u8> {
+    match b {
+        b'0'..=b'9' => Some(b - b'0'),
+        b'a'..=b'f' => Some(b - b'a' + 10),
+        b'A'..=b'F' => Some(b - b'A' + 10),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_simple_concat() {
+        assert_eq!(
+            parse("ab").unwrap(),
+            Ast::Concat(vec![Ast::Byte(b'a'), Ast::Byte(b'b')])
+        );
+    }
+
+    #[test]
+    fn parses_alternation_tree() {
+        match parse("a|b|c").unwrap() {
+            Ast::Alternate(v) => assert_eq!(v.len(), 3),
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_bounds() {
+        match parse("a{2,5}").unwrap() {
+            Ast::Repeat { min: 2, max: Some(5), greedy: true, .. } => {}
+            other => panic!("unexpected: {other:?}"),
+        }
+        match parse("a{3,}?").unwrap() {
+            Ast::Repeat { min: 3, max: None, greedy: false, .. } => {}
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn literal_brace_when_not_bounds() {
+        // `a{` and `a{x}` treat '{' literally, like Python.
+        assert!(parse("a{").is_ok());
+        assert!(parse("a{x}").is_ok());
+        assert!(parse("{print").is_ok());
+    }
+
+    #[test]
+    fn rejects_reversed_bounds() {
+        assert!(parse("a{5,2}").is_err());
+    }
+
+    #[test]
+    fn rejects_quantified_anchor() {
+        assert!(parse("^*").is_err());
+        assert!(parse(r"\b+").is_err());
+        assert!(parse("(?=a)*").is_err());
+    }
+
+    #[test]
+    fn class_corner_cases() {
+        // Leading ']' is literal.
+        assert_eq!(
+            parse("[]a]").unwrap(),
+            Ast::Class { negated: false, items: vec![ClassItem::Byte(b']'), ClassItem::Byte(b'a')] }
+        );
+        // Trailing '-' is literal.
+        assert_eq!(
+            parse("[a-]").unwrap(),
+            Ast::Class { negated: false, items: vec![ClassItem::Byte(b'a'), ClassItem::Byte(b'-')] }
+        );
+    }
+
+    #[test]
+    fn rejects_backreferences() {
+        assert!(parse(r"(a)\1").is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_group_flag() {
+        assert!(parse("(?P<name>a)").is_err());
+    }
+
+    #[test]
+    fn parses_every_table1_style_pattern() {
+        for pat in [
+            r"mdrfckr",
+            r"\\x6F\\x6B",
+            r"echo ok",
+            r"SSH check",
+            r"\becho\b\s+[0-9a-fA-F]{8}-[0-9a-fA-F]{4}-[0-9a-fA-F]{4}-[0-9a-fA-F]{4}-[0-9a-fA-F]{12}",
+            r"uname\s+-a",
+            r"uname\s+-s\s+-v\s+-n\s+-r\s+-m",
+            r"(?=.*nproc)(?=.*\buname\s+-a\b)",
+            r"(?=.*/bin/busybox\s+([a-zA-Z0-9]{5}))(?=.*tftp;\s+wget)",
+            r"/bin/busybox\s+cat\s+/proc/self/exe\s*\|\|\s*cat\s+/proc/self/exe",
+            r"loader\.wget",
+            r"\\x45\\x4c\\x46",
+            r"/bin/busybox\s|busybox\s",
+            r"juicessh",
+            r"(?:.*Password123)(?=.*daemon).*",
+            r"ssh-rsa\s+AAAAB3NzaC1yc2EAAAADAQABA",
+            r"root:[A-Za-z0-9]{15,}\|chpasswd",
+            r"-max-redir",
+            r"lenni0451",
+            r"(?=.*CPU\(s\):)(?=.*bin\.x86_64)",
+            r"export VEI",
+            r"\bclamav\b",
+            r"openssl passwd -1 \S{8}",
+            r"cloud\s+print",
+            r"(?=.*\$\bSHELL\b)(?=.*bs=22)",
+            r"(?=.*root:[A-Za-z0-9]{12})(?=.*awk\s+'\{print\s+\$4,\$5,\$6,\$7,\$8,\$9;\}')",
+            r"(?=.*perl)(?=.*dred)",
+            r"(?=.*stx)(?=.*LC_ALL)",
+            r"update\.sh",
+            r"(?=.*\\x41\\x4b\\x34\\x37)(?=.*writable)",
+            r"(?=.*curl)(?=.*echo)(?=.*ftp)(?=.*wget)",
+        ] {
+            parse(pat).unwrap_or_else(|e| panic!("failed to parse {pat:?}: {e}"));
+        }
+    }
+}

@@ -1,0 +1,185 @@
+//! Backtracking virtual machine.
+//!
+//! Depth-first execution with an explicit backtrack stack: each frame
+//! snapshots `(pc, pos, marks)`. Preferred `Split` branches are taken first,
+//! which yields Python-style leftmost/earliest-alternative semantics when the
+//! caller scans start positions left to right.
+
+use crate::ast::is_word;
+use crate::compile::{Inst, Program};
+
+/// Executes `prog` anchored at `start`. Returns the end offset of a match,
+/// treating step-budget exhaustion as "no match".
+pub fn exec(prog: &Program, haystack: &[u8], start: usize, step_limit: usize) -> Option<usize> {
+    exec_checked(prog, haystack, start, step_limit).unwrap_or(None)
+}
+
+/// Like [`exec`] but reports budget exhaustion as `Err(())`.
+pub fn exec_checked(
+    prog: &Program,
+    haystack: &[u8],
+    start: usize,
+    step_limit: usize,
+) -> Result<Option<usize>, ()> {
+    let mut steps = step_limit;
+    run(prog, haystack, start, &mut steps)
+}
+
+struct Frame {
+    pc: usize,
+    pos: usize,
+    marks: Vec<usize>,
+}
+
+fn run(
+    prog: &Program,
+    haystack: &[u8],
+    start: usize,
+    steps: &mut usize,
+) -> Result<Option<usize>, ()> {
+    const NO_MARK: usize = usize::MAX;
+    let mut stack: Vec<Frame> = Vec::new();
+    let mut pc = 0usize;
+    let mut pos = start;
+    let mut marks = vec![NO_MARK; prog.marks];
+    loop {
+        if *steps == 0 {
+            return Err(());
+        }
+        *steps -= 1;
+        let mut failed = false;
+        match &prog.insts[pc] {
+            Inst::Match => return Ok(Some(pos)),
+            Inst::Byte(b) => {
+                if haystack.get(pos) == Some(b) {
+                    pos += 1;
+                    pc += 1;
+                } else {
+                    failed = true;
+                }
+            }
+            Inst::Any => {
+                if pos < haystack.len() && haystack[pos] != b'\n' {
+                    pos += 1;
+                    pc += 1;
+                } else {
+                    failed = true;
+                }
+            }
+            Inst::Class { negated, items } => match haystack.get(pos) {
+                Some(&b) if items.iter().any(|it| it.matches(b)) != *negated => {
+                    pos += 1;
+                    pc += 1;
+                }
+                _ => failed = true,
+            },
+            Inst::Split { preferred, alternate } => {
+                stack.push(Frame { pc: *alternate, pos, marks: marks.clone() });
+                pc = *preferred;
+            }
+            Inst::Jump(t) => pc = *t,
+            Inst::AssertStart => {
+                if pos == 0 {
+                    pc += 1;
+                } else {
+                    failed = true;
+                }
+            }
+            Inst::AssertEnd => {
+                if pos == haystack.len() {
+                    pc += 1;
+                } else {
+                    failed = true;
+                }
+            }
+            Inst::WordBoundary(positive) => {
+                let before = pos > 0 && is_word(haystack[pos - 1]);
+                let after = pos < haystack.len() && is_word(haystack[pos]);
+                if (before != after) == *positive {
+                    pc += 1;
+                } else {
+                    failed = true;
+                }
+            }
+            Inst::SetMark(slot) => {
+                marks[*slot] = pos;
+                pc += 1;
+            }
+            Inst::JumpIfProgress { slot, target } => {
+                if pos > marks[*slot] || marks[*slot] == NO_MARK {
+                    pc = *target;
+                } else {
+                    pc += 1;
+                }
+            }
+            Inst::Lookahead { positive, sub } => {
+                let inner = run(&prog.subs[*sub], haystack, pos, steps)?;
+                if inner.is_some() == *positive {
+                    pc += 1;
+                } else {
+                    failed = true;
+                }
+            }
+        }
+        if failed {
+            match stack.pop() {
+                Some(f) => {
+                    pc = f.pc;
+                    pos = f.pos;
+                    marks = f.marks;
+                }
+                None => return Ok(None),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::compile::compile;
+    use crate::parser::parse;
+
+    fn anchored(pat: &str, s: &str) -> Option<usize> {
+        let prog = compile(&parse(pat).unwrap());
+        super::exec(&prog, s.as_bytes(), 0, 100_000)
+    }
+
+    #[test]
+    fn greedy_consumes_longest() {
+        assert_eq!(anchored("a*", "aaab"), Some(3));
+        assert_eq!(anchored("a*?", "aaab"), Some(0));
+    }
+
+    #[test]
+    fn backtracks_through_star() {
+        assert_eq!(anchored("a*ab", "aaab"), Some(4));
+    }
+
+    #[test]
+    fn empty_loop_terminates() {
+        // `(a?)*` on "b" must terminate and match empty.
+        assert_eq!(anchored("(a?)*", "b"), Some(0));
+        assert_eq!(anchored("(a?)*b", "b"), Some(1));
+        assert_eq!(anchored("(a*)*b", "aab"), Some(3));
+    }
+
+    #[test]
+    fn alternation_prefers_first_branch() {
+        assert_eq!(anchored("ab|a", "ab"), Some(2));
+        assert_eq!(anchored("a|ab", "ab"), Some(1));
+    }
+
+    #[test]
+    fn lookahead_is_zero_width() {
+        assert_eq!(anchored("(?=abc)ab", "abc"), Some(2));
+        assert_eq!(anchored("(?!abc)ab", "abd"), Some(2));
+        assert_eq!(anchored("(?!abc)ab", "abc"), None);
+    }
+
+    #[test]
+    fn marks_restored_on_backtrack() {
+        // Backtracking into an earlier loop iteration must not see marks
+        // from an abandoned later iteration.
+        assert_eq!(anchored("(a|ab)*c", "ababc"), Some(5));
+    }
+}

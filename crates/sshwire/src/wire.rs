@@ -1,0 +1,138 @@
+//! SSH wire-format primitives (RFC 4251 §5).
+//!
+//! Readers return `Result` rather than panicking: every byte here is
+//! attacker-controlled in the deployment the honeypot models.
+
+use crate::SshError;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Writes a `uint32`.
+pub fn put_u32(buf: &mut BytesMut, v: u32) {
+    buf.put_u32(v);
+}
+
+/// Writes a `byte`.
+pub fn put_u8(buf: &mut BytesMut, v: u8) {
+    buf.put_u8(v);
+}
+
+/// Writes a `boolean`.
+pub fn put_bool(buf: &mut BytesMut, v: bool) {
+    buf.put_u8(v as u8);
+}
+
+/// Writes a length-prefixed `string`.
+pub fn put_string(buf: &mut BytesMut, s: &[u8]) {
+    buf.put_u32(s.len() as u32);
+    buf.put_slice(s);
+}
+
+/// Writes a comma-separated `name-list`.
+pub fn put_name_list(buf: &mut BytesMut, names: &[&str]) {
+    put_string(buf, names.join(",").as_bytes());
+}
+
+/// Reads a `byte`.
+pub fn get_u8(buf: &mut Bytes) -> Result<u8, SshError> {
+    if buf.remaining() < 1 {
+        return Err(SshError::Decode("truncated byte".into()));
+    }
+    Ok(buf.get_u8())
+}
+
+/// Reads a `boolean`.
+pub fn get_bool(buf: &mut Bytes) -> Result<bool, SshError> {
+    Ok(get_u8(buf)? != 0)
+}
+
+/// Reads a `uint32`.
+pub fn get_u32(buf: &mut Bytes) -> Result<u32, SshError> {
+    if buf.remaining() < 4 {
+        return Err(SshError::Decode("truncated uint32".into()));
+    }
+    Ok(buf.get_u32())
+}
+
+/// Reads a length-prefixed `string` as raw bytes.
+pub fn get_string(buf: &mut Bytes) -> Result<Bytes, SshError> {
+    let len = get_u32(buf)? as usize;
+    if buf.remaining() < len {
+        return Err(SshError::Decode(format!(
+            "string length {len} exceeds remaining {}",
+            buf.remaining()
+        )));
+    }
+    Ok(buf.split_to(len))
+}
+
+/// Reads a `string` and requires UTF-8.
+pub fn get_utf8(buf: &mut Bytes) -> Result<String, SshError> {
+    let raw = get_string(buf)?;
+    String::from_utf8(raw.to_vec()).map_err(|_| SshError::Decode("non-UTF-8 string".into()))
+}
+
+/// Reads a `name-list`.
+pub fn get_name_list(buf: &mut Bytes) -> Result<Vec<String>, SshError> {
+    let s = get_utf8(buf)?;
+    if s.is_empty() {
+        return Ok(Vec::new());
+    }
+    Ok(s.split(',').map(str::to_string).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn string_roundtrip() {
+        let mut b = BytesMut::new();
+        put_string(&mut b, b"root");
+        put_string(&mut b, b"");
+        let mut r = b.freeze();
+        assert_eq!(&get_string(&mut r).unwrap()[..], b"root");
+        assert_eq!(&get_string(&mut r).unwrap()[..], b"");
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn name_list_roundtrip() {
+        let mut b = BytesMut::new();
+        put_name_list(&mut b, &["curve25519-sha256", "diffie-hellman-group14-sha256"]);
+        put_name_list(&mut b, &[]);
+        let mut r = b.freeze();
+        assert_eq!(
+            get_name_list(&mut r).unwrap(),
+            vec!["curve25519-sha256", "diffie-hellman-group14-sha256"]
+        );
+        assert_eq!(get_name_list(&mut r).unwrap(), Vec::<String>::new());
+    }
+
+    #[test]
+    fn truncated_reads_error_cleanly() {
+        let mut r = Bytes::from_static(&[0, 0, 0, 9, b'x']);
+        assert!(matches!(get_string(&mut r), Err(SshError::Decode(_))));
+        let mut r2 = Bytes::from_static(&[0, 0]);
+        assert!(matches!(get_u32(&mut r2), Err(SshError::Decode(_))));
+        let mut r3 = Bytes::new();
+        assert!(matches!(get_u8(&mut r3), Err(SshError::Decode(_))));
+    }
+
+    #[test]
+    fn non_utf8_string_is_decode_error() {
+        let mut b = BytesMut::new();
+        put_string(&mut b, &[0xff, 0xfe]);
+        let mut r = b.freeze();
+        assert!(matches!(get_utf8(&mut r), Err(SshError::Decode(_))));
+    }
+
+    #[test]
+    fn bool_roundtrip() {
+        let mut b = BytesMut::new();
+        put_bool(&mut b, true);
+        put_bool(&mut b, false);
+        let mut r = b.freeze();
+        assert!(get_bool(&mut r).unwrap());
+        assert!(!get_bool(&mut r).unwrap());
+    }
+}

@@ -1,0 +1,219 @@
+//! Scripted Telnet bot client.
+//!
+//! Mirrors the simplest real IoT scanners: refuse every option the server
+//! offers (`DONT`/`WONT` everything), wait for the `login:`/`Password:`
+//! prompts, feed credentials from a list, then fire command lines at the
+//! shell prompt and quit.
+
+use crate::codec::{self, Event, TelnetCodec, DO, DONT, WILL, WONT};
+use crate::TelnetError;
+
+/// What the bot should attempt.
+#[derive(Debug, Clone)]
+pub struct TelnetScript {
+    /// Credential pairs to try in order.
+    pub logins: Vec<(String, String)>,
+    /// Commands to run once a login succeeds.
+    pub commands: Vec<String>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    WaitLoginPrompt,
+    WaitPasswordPrompt,
+    WaitShellOrRetry,
+    Shell,
+    WaitPrompt,
+    Done,
+}
+
+/// The client endpoint.
+pub struct TelnetClient {
+    script: TelnetScript,
+    codec: TelnetCodec,
+    outbuf: Vec<u8>,
+    text: String,
+    phase: Phase,
+    next_login: usize,
+    next_command: usize,
+}
+
+impl TelnetClient {
+    /// Creates a client that will play `script`.
+    pub fn new(script: TelnetScript) -> Self {
+        Self {
+            script,
+            codec: TelnetCodec::new(),
+            outbuf: Vec::new(),
+            text: String::new(),
+            phase: Phase::WaitLoginPrompt,
+            next_login: 0,
+            next_command: 0,
+        }
+    }
+
+    /// Whether the script has run to completion (or given up).
+    pub fn is_done(&self) -> bool {
+        self.phase == Phase::Done
+    }
+
+    /// Drains bytes queued for the server.
+    pub fn take_output(&mut self) -> Vec<u8> {
+        std::mem::take(&mut self.outbuf)
+    }
+
+    fn send_line(&mut self, line: &str) {
+        self.outbuf.extend_from_slice(&codec::escape_data(line.as_bytes()));
+        self.outbuf.extend_from_slice(b"\r\n");
+    }
+
+    /// Feeds server bytes, reacting to prompts.
+    pub fn input(&mut self, data: &[u8]) -> Result<(), TelnetError> {
+        self.codec.input(data);
+        for ev in self.codec.drain()? {
+            match ev {
+                Event::Negotiate { verb, option } => {
+                    // Refuse everything, like the simplest scanners.
+                    let reply = match verb {
+                        WILL => Some(DONT),
+                        DO => Some(WONT),
+                        _ => None,
+                    };
+                    if let Some(r) = reply {
+                        self.outbuf.extend_from_slice(&codec::negotiate(r, option));
+                    }
+                }
+                Event::Data(bytes) => {
+                    self.text.push_str(&String::from_utf8_lossy(&bytes));
+                    self.react();
+                }
+                Event::Subnegotiation { .. } | Event::Command(_) => {}
+            }
+        }
+        Ok(())
+    }
+
+    fn react(&mut self) {
+        loop {
+            match self.phase {
+                Phase::WaitLoginPrompt => {
+                    if !self.consume_marker("login: ") {
+                        return;
+                    }
+                    match self.script.logins.get(self.next_login) {
+                        Some((user, _)) => {
+                            let user = user.clone();
+                            self.send_line(&user);
+                            self.phase = Phase::WaitPasswordPrompt;
+                        }
+                        None => {
+                            self.phase = Phase::Done;
+                            return;
+                        }
+                    }
+                }
+                Phase::WaitPasswordPrompt => {
+                    if !self.consume_marker("Password: ") {
+                        return;
+                    }
+                    let (_, pass) = self.script.logins[self.next_login].clone();
+                    self.next_login += 1;
+                    self.send_line(&pass);
+                    self.phase = Phase::WaitShellOrRetry;
+                }
+                Phase::WaitShellOrRetry => {
+                    // Success shows a `#` prompt; failure re-prompts login.
+                    if self.consume_marker(":~# ") {
+                        self.phase = Phase::Shell;
+                    } else if self.text.contains("login: ") {
+                        self.phase = Phase::WaitLoginPrompt;
+                    } else if self.text.contains("Login incorrect")
+                        && self.next_login >= self.script.logins.len()
+                    {
+                        self.phase = Phase::Done;
+                        return;
+                    } else {
+                        return;
+                    }
+                }
+                Phase::Shell => {
+                    match self.script.commands.get(self.next_command) {
+                        Some(cmd) => {
+                            let cmd = cmd.clone();
+                            self.next_command += 1;
+                            self.send_line(&cmd);
+                            // Lock-step: wait for the next shell prompt.
+                            self.phase = Phase::WaitPrompt;
+                        }
+                        None => {
+                            self.send_line("exit");
+                            self.phase = Phase::Done;
+                            return;
+                        }
+                    }
+                }
+                Phase::WaitPrompt => {
+                    if !self.consume_marker(":~# ") {
+                        return;
+                    }
+                    self.phase = Phase::Shell;
+                }
+                Phase::Done => return,
+            }
+        }
+    }
+
+    fn consume_marker(&mut self, marker: &str) -> bool {
+        if let Some(pos) = self.text.find(marker) {
+            self.text.drain(..pos + marker.len());
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn refuses_all_options() {
+        let mut c = TelnetClient::new(TelnetScript { logins: vec![], commands: vec![] });
+        c.input(&[codec::IAC, WILL, 1, codec::IAC, DO, 31]).unwrap();
+        let out = c.take_output();
+        assert!(out.windows(3).any(|w| w == codec::negotiate(DONT, 1)));
+        assert!(out.windows(3).any(|w| w == codec::negotiate(WONT, 31)));
+    }
+
+    #[test]
+    fn answers_prompts_in_order() {
+        let mut c = TelnetClient::new(TelnetScript {
+            logins: vec![("root".into(), "dreambox".into())],
+            commands: vec!["id".into()],
+        });
+        c.input(b"svr04 login: ").unwrap();
+        assert_eq!(String::from_utf8_lossy(&c.take_output()), "root\r\n");
+        c.input(b"Password: ").unwrap();
+        assert_eq!(String::from_utf8_lossy(&c.take_output()), "dreambox\r\n");
+        c.input(b"\r\nBusyBox\r\nsvr04:~# ").unwrap();
+        assert_eq!(String::from_utf8_lossy(&c.take_output()), "id\r\n");
+        c.input(b"uid=0\r\nsvr04:~# ").unwrap();
+        assert_eq!(String::from_utf8_lossy(&c.take_output()), "exit\r\n");
+        assert!(c.is_done());
+    }
+
+    #[test]
+    fn gives_up_after_exhausting_credentials() {
+        let mut c = TelnetClient::new(TelnetScript {
+            logins: vec![("root".into(), "root".into())],
+            commands: vec![],
+        });
+        c.input(b"svr04 login: ").unwrap();
+        c.take_output();
+        c.input(b"Password: ").unwrap();
+        c.take_output();
+        c.input(b"\r\nLogin incorrect\r\n").unwrap();
+        assert!(c.is_done());
+    }
+}

@@ -1,0 +1,164 @@
+//! `telwire` — a minimal Telnet protocol implementation (RFC 854/857/858).
+//!
+//! The honeynet's sensors listen on Telnet (TCP/23) as well as SSH (paper
+//! §3.2): of the 635M recorded sessions, ~89M are Telnet, and the same
+//! credential rules apply. IoT bots speak a very small slice of the
+//! protocol — option negotiation via IAC commands, then a `login:` /
+//! `Password:` prompt dialogue, then newline-terminated shell commands —
+//! and that slice is what this crate implements:
+//!
+//! * [`codec`] — IAC escaping/parsing: commands (`WILL`/`WONT`/`DO`/
+//!   `DONT`/`SB…SE`), option codes, and data/byte-255 escaping.
+//! * [`server`] — the honeypot side: negotiates `ECHO`+`SGA` (the classic
+//!   "character mode" pair), prompts for credentials, delegates the
+//!   accept/reject decision and command execution to a handler.
+//! * [`client`] — a scripted bot: answers negotiation with `DONT`/`WONT`
+//!   (as the simplest IoT scanners do), supplies credentials, sends
+//!   command lines.
+//! * [`run_telnet_dialogue`] — the in-memory pump, mirroring
+//!   `sshwire::run_dialogue`.
+
+pub mod client;
+pub mod codec;
+pub mod server;
+
+pub use client::{TelnetClient, TelnetScript};
+pub use codec::{Event, TelnetCodec, IAC};
+pub use server::{TelnetHandler, TelnetServer};
+
+/// Errors surfaced by the Telnet state machines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TelnetError {
+    /// Malformed IAC sequence.
+    Protocol(String),
+    /// The dialogue pump exceeded its round budget (ping-pong bug guard).
+    Stalled,
+}
+
+impl std::fmt::Display for TelnetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TelnetError::Protocol(s) => write!(f, "telnet protocol error: {s}"),
+            TelnetError::Stalled => f.write_str("telnet dialogue stalled"),
+        }
+    }
+}
+
+impl std::error::Error for TelnetError {}
+
+/// The result of a completed Telnet dialogue.
+#[derive(Debug, Clone)]
+pub struct TelnetLog {
+    /// Credential attempts: `(username, password, accepted)`.
+    pub auth_log: Vec<(String, String, bool)>,
+    /// Commands executed after a successful login.
+    pub exec_log: Vec<String>,
+    /// Raw bytes client → server.
+    pub bytes_to_server: u64,
+    /// Raw bytes server → client.
+    pub bytes_to_client: u64,
+}
+
+/// Pumps `client` against `server` over a lossless in-memory pipe until
+/// both go quiet. Returns the transcript and the handler (for the caller
+/// to harvest shell observations from).
+pub fn run_telnet_dialogue<H: TelnetHandler>(
+    mut client: TelnetClient,
+    mut server: TelnetServer<H>,
+) -> Result<(TelnetLog, H), TelnetError> {
+    let mut to_server_total = 0u64;
+    let mut to_client_total = 0u64;
+    for _ in 0..10_000 {
+        let to_server = client.take_output();
+        let to_client = server.take_output();
+        if to_server.is_empty() && to_client.is_empty() {
+            break;
+        }
+        if !to_server.is_empty() {
+            to_server_total += to_server.len() as u64;
+            server.input(&to_server)?;
+        }
+        if !to_client.is_empty() {
+            to_client_total += to_client.len() as u64;
+            client.input(&to_client)?;
+        }
+        if client.is_done() && server.is_closed() {
+            break;
+        }
+    }
+    let log = TelnetLog {
+        auth_log: server.auth_log().to_vec(),
+        exec_log: server.exec_log().to_vec(),
+        bytes_to_server: to_server_total,
+        bytes_to_client: to_client_total,
+    };
+    Ok((log, server.into_handler()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Policy;
+    impl TelnetHandler for Policy {
+        fn auth(&mut self, user: &str, pass: &str) -> bool {
+            user == "root" && pass != "root"
+        }
+        fn exec(&mut self, command: &str) -> String {
+            format!("ran {command}\r\n")
+        }
+    }
+
+    #[test]
+    fn full_bot_dialogue() {
+        let script = TelnetScript {
+            logins: vec![
+                ("admin".into(), "admin".into()),
+                ("root".into(), "root".into()),
+                ("root".into(), "vertex25ektks123".into()),
+            ],
+            commands: vec!["cd /tmp".into(), "/bin/busybox MIRAI".into()],
+        };
+        let (log, _) = run_telnet_dialogue(
+            TelnetClient::new(script),
+            TelnetServer::new(Policy, "svr04"),
+        )
+        .unwrap();
+        assert_eq!(log.auth_log.len(), 3);
+        assert!(!log.auth_log[0].2);
+        assert!(!log.auth_log[1].2);
+        assert!(log.auth_log[2].2);
+        assert_eq!(log.exec_log, vec!["cd /tmp".to_string(), "/bin/busybox MIRAI".to_string()]);
+        assert!(log.bytes_to_server > 0 && log.bytes_to_client > 0);
+    }
+
+    #[test]
+    fn scouting_dialogue_never_reaches_shell() {
+        let script = TelnetScript {
+            logins: vec![("root".into(), "root".into()), ("guest".into(), "guest".into())],
+            commands: vec!["id".into()],
+        };
+        let (log, _) = run_telnet_dialogue(
+            TelnetClient::new(script),
+            TelnetServer::new(Policy, "svr04"),
+        )
+        .unwrap();
+        assert!(log.auth_log.iter().all(|(_, _, ok)| !ok));
+        assert!(log.exec_log.is_empty());
+    }
+
+    #[test]
+    fn login_only_dialogue() {
+        let script = TelnetScript {
+            logins: vec![("root".into(), "dreambox".into())],
+            commands: vec![],
+        };
+        let (log, _) = run_telnet_dialogue(
+            TelnetClient::new(script),
+            TelnetServer::new(Policy, "svr04"),
+        )
+        .unwrap();
+        assert!(log.auth_log[0].2);
+        assert!(log.exec_log.is_empty());
+    }
+}

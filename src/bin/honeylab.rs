@@ -1,0 +1,178 @@
+//! The honeylab command-line tool.
+//!
+//! ```text
+//! honeylab generate --scale 4000 --seed 42 --out honeynet.json
+//!     Generate a synthetic honeynet dataset and write it as a
+//!     Cowrie-format JSON-lines event log.
+//!
+//! honeylab analyze honeynet.json
+//!     Run the paper's analysis pipeline over a Cowrie JSON log — the one
+//!     produced by `generate`, or a real log from your own Cowrie
+//!     deployment (`var/log/cowrie/cowrie.json*` concatenated).
+//!
+//! honeylab classify
+//!     Read command lines from stdin, print the Table 1 category of each.
+//!
+//! honeylab table1
+//!     Print the classifier's rule set (label + pattern).
+//! ```
+
+use honeylab::core::{logins, report, storage_analysis as sa};
+use honeylab::honeypot::{from_cowrie_log, to_cowrie_log};
+use honeylab::prelude::*;
+use std::io::{BufRead, Write};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match args.first().map(String::as_str) {
+        Some("generate") => cmd_generate(&args[1..]),
+        Some("analyze") => cmd_analyze(&args[1..]),
+        Some("classify") => cmd_classify(),
+        Some("table1") => cmd_table1(),
+        _ => {
+            eprintln!(
+                "usage: honeylab <generate|analyze|classify|table1> [options]\n\
+                 \n\
+                 generate --scale N --seed S --out FILE   synthesize a Cowrie JSON log\n\
+                 analyze FILE                             run the paper's analysis on a Cowrie log\n\
+                 classify                                 classify stdin command lines (Table 1)\n\
+                 table1                                   print the classifier rule set"
+            );
+            2
+        }
+    };
+    std::process::exit(code);
+}
+
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).cloned()
+}
+
+fn cmd_generate(args: &[String]) -> i32 {
+    let scale: u64 = flag(args, "--scale").and_then(|s| s.parse().ok()).unwrap_or(8_000);
+    let seed: u64 = flag(args, "--seed").and_then(|s| s.parse().ok()).unwrap_or(42);
+    let out = flag(args, "--out").unwrap_or_else(|| "honeynet.json".to_string());
+    let mut cfg = DriverConfig::default_scale(seed);
+    cfg.session_scale = scale;
+    eprintln!("generating 33 months at 1:{scale} (seed {seed})…");
+    let ds = generate_dataset(&cfg);
+    eprintln!("{} sessions; writing Cowrie-format log to {out}…", ds.sessions.len());
+    let log = to_cowrie_log(&ds.sessions);
+    match std::fs::File::create(&out).and_then(|mut f| f.write_all(log.as_bytes())) {
+        Ok(()) => {
+            eprintln!("wrote {} bytes ({} lines)", log.len(), log.lines().count());
+            0
+        }
+        Err(e) => {
+            eprintln!("error writing {out}: {e}");
+            1
+        }
+    }
+}
+
+fn cmd_analyze(args: &[String]) -> i32 {
+    let Some(path) = args.first() else {
+        eprintln!("usage: honeylab analyze <cowrie-log.json>");
+        return 2;
+    };
+    let log = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error reading {path}: {e}");
+            return 1;
+        }
+    };
+    let sessions = match from_cowrie_log(&log) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error parsing {path}: {e}");
+            return 1;
+        }
+    };
+    eprintln!("parsed {} sessions", sessions.len());
+
+    // §3.3 taxonomy.
+    let stats = TaxonomyStats::compute(&sessions);
+    print!("{}", report::render_dataset_stats(&stats, 1));
+
+    // Table 1 classification.
+    let cl = Classifier::table1();
+    let coverage = report::classification_coverage(&sessions, &cl);
+    println!("\nTable 1 coverage: {:.2}% of command sessions classified", coverage * 100.0);
+    let mut cats: std::collections::HashMap<&str, u64> = std::collections::HashMap::new();
+    for s in report::command_sessions(&sessions) {
+        *cats.entry(cl.classify(&s.command_text())).or_default() += 1;
+    }
+    let mut cats: Vec<_> = cats.into_iter().collect();
+    cats.sort_by(|a, b| b.1.cmp(&a.1));
+    println!("\ntop command categories:");
+    for (label, n) in cats.iter().take(15) {
+        println!("  {label:<26} {n}");
+    }
+
+    // Passwords.
+    let top = logins::top_passwords(&sessions, 10);
+    println!("\ntop accepted passwords:");
+    for (i, pw) in top.passwords.iter().enumerate() {
+        let total: u64 = top.by_month.values().map(|v| v[i]).sum();
+        println!("  #{:<2} {pw:<24} {total}", i + 1);
+    }
+
+    // Cowrie-default fingerprinting.
+    let probes = logins::cowrie_default_probes(&sessions);
+    let phil: u64 = probes.phil_success.values().sum();
+    if phil > 0 {
+        println!(
+            "\nhoneypot fingerprinting: {phil} 'phil' logins from {} IPs ({:.0}% commandless) — \
+             attackers are probing for Cowrie defaults",
+            probes.phil_unique_ips,
+            probes.phil_no_command_frac * 100.0
+        );
+    }
+
+    // Downloads.
+    let events = sa::download_events(&sessions);
+    if !events.is_empty() {
+        let st = sa::storage_stats(&events, &abusedb::AbuseDb::default());
+        println!(
+            "\ndownloads: {} sessions, {} client IPs, {} storage hosts ({:.0}% host != client)",
+            st.download_sessions,
+            st.unique_download_clients,
+            st.unique_storage_ips,
+            st.different_ip_frac * 100.0
+        );
+    }
+
+    // mdrfckr check.
+    let tl = honeylab::core::mdrfckr::timeline(&sessions);
+    let total: u64 = tl.daily.values().map(|(n, _)| n).sum();
+    if total > 0 {
+        println!(
+            "\nmdrfckr activity: {total} sessions over {} days — see the paper's §9 for the actor profile",
+            tl.daily.len()
+        );
+    }
+    0
+}
+
+fn cmd_classify() -> i32 {
+    let cl = Classifier::table1();
+    let stdin = std::io::stdin();
+    for line in stdin.lock().lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        println!("{:<26} {line}", cl.classify(&line));
+    }
+    0
+}
+
+fn cmd_table1() -> i32 {
+    println!("{:<26} pattern", "label");
+    for (label, pattern) in honeylab::core::classify::TABLE1_RULES {
+        println!("{label:<26} {pattern}");
+    }
+    println!("{:<26} (fallback)", honeylab::core::UNKNOWN_LABEL);
+    0
+}

