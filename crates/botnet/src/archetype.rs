@@ -973,7 +973,7 @@ mod tests {
             .trim();
         let decoded = String::from_utf8(hutil::base64::decode(b64).unwrap()).unwrap();
         let known = mdrfckr_b64_scripts();
-        assert!(known.iter().any(|k| *k == decoded), "decoded: {decoded}");
+        assert!(known.contains(&decoded), "decoded: {decoded}");
     }
 
     #[test]

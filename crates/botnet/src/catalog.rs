@@ -65,14 +65,19 @@ fn w(start: Date, end: Date, per_day: f64) -> Window {
 }
 
 /// Study window start.
-pub const STUDY_START: fn() -> Date = || Date::new(2021, 12, 1);
+pub fn study_start() -> Date {
+    Date::new(2021, 12, 1)
+}
+
 /// Study window end.
-pub const STUDY_END: fn() -> Date = || Date::new(2024, 8, 31);
+pub fn study_end() -> Date {
+    Date::new(2024, 8, 31)
+}
 
 /// Builds the full calibrated campaign table.
 pub fn catalog() -> Vec<CampaignSpec> {
-    let s = STUDY_START();
-    let e = STUDY_END();
+    let s = study_start();
+    let e = study_end();
     let spec = |bot, windows, pool, pool_size_paper| CampaignSpec {
         bot,
         windows,
@@ -417,8 +422,8 @@ mod tests {
     fn windows_lie_inside_study_period() {
         for c in catalog() {
             for win in &c.windows {
-                assert!(win.start >= STUDY_START(), "{:?} starts early", c.bot);
-                assert!(win.end <= STUDY_END(), "{:?} ends late", c.bot);
+                assert!(win.start >= study_start(), "{:?} starts early", c.bot);
+                assert!(win.end <= study_end(), "{:?} ends late", c.bot);
                 assert!(win.start <= win.end);
                 assert!(win.per_day > 0.0);
             }
@@ -429,14 +434,14 @@ mod tests {
     fn paper_scale_totals_are_calibrated() {
         // Integrate each taxonomy class over the study window and compare
         // against §3.3 (tolerances are generous; shape matters).
-        let mut day = STUDY_START();
+        let mut day = study_start();
         let cat = catalog();
         let mut scanning = 0.0;
         let mut scouting = 0.0;
         let mut telnet = 0.0;
         let mut cmd_exec = 0.0;
         let mut intrusion = 0.0;
-        while day <= STUDY_END() {
+        while day <= study_end() {
             for c in &cat {
                 let r = c.rate(day);
                 match c.bot {
@@ -462,8 +467,8 @@ mod tests {
     fn mdrfckr_total_near_46m() {
         let cat = catalog();
         let mut total = 0.0;
-        let mut day = STUDY_START();
-        while day <= STUDY_END() {
+        let mut day = study_start();
+        while day <= study_end() {
             for c in &cat {
                 if matches!(
                     c.bot,
@@ -504,8 +509,8 @@ mod tests {
         let c = catalog();
         let dream = c.iter().find(|c| c.bot == Archetype::TvBoxDreambox).unwrap();
         let vertex = c.iter().find(|c| c.bot == Archetype::TvBoxVertex).unwrap();
-        let mut day = STUDY_START();
-        while day <= STUDY_END() {
+        let mut day = study_start();
+        while day <= study_end() {
             assert_eq!(
                 dream.rate(day) > 0.0,
                 vertex.rate(day) > 0.0,

@@ -7,12 +7,15 @@
 //! lists) and the generation ground truth used by validation tests.
 
 use crate::archetype::{Archetype, BotCtx, MDRFCKR_KEY_LINE};
-use crate::catalog::{catalog, CampaignSpec, STUDY_END, STUDY_START};
+use crate::catalog::{catalog, study_end, study_start, CampaignSpec};
 use crate::events::in_dip;
 use crate::storage::{StorageConfig, StorageEcosystem, StorageStore};
 use abusedb::{AbuseDb, CoverageConfig, FeedName, IpList, MalwareFamily};
 use asdb::{GenConfig, SynthWorld};
-use honeypot::{AuthPolicy, Collector, Fleet, SessionInput, SessionRecord, SessionSim};
+use honeypot::{
+    AuthPolicy, Collector, CollectorConfig, Fleet, IngestStats, OutageConfig, OutageSchedule,
+    SessionInput, SessionRecord, SessionSim,
+};
 use hutil::rng::SeedTree;
 use hutil::{Date, Sha256};
 use netsim::ip::Ipv4Pool;
@@ -21,6 +24,77 @@ use netsim::Ipv4Addr;
 use rand::rngs::StdRng;
 use rand::Rng;
 use std::collections::HashMap;
+
+/// Fault-injection knobs for degraded-mode generation. The default
+/// reproduces the paper's deployment: no modelled sensor downtime beyond
+/// the documented maintenance window, and a fault-free collector.
+#[derive(Debug, Clone)]
+pub struct FaultProfile {
+    /// Target fraction of per-sensor time down (beyond fleet maintenance).
+    pub sensor_downtime: f64,
+    /// Mean length of one sensor outage, in hours.
+    pub mean_outage_hours: f64,
+    /// Fraction of sensors that flap (many short outages).
+    pub flap_frac: f64,
+    /// Collector flush-failure probability per write.
+    pub flush_failure_rate: f64,
+    /// Collector retry-queue bound (`None` = unbounded).
+    pub queue_capacity: Option<usize>,
+    /// Collector retries per record before it is dropped.
+    pub max_retries: u32,
+}
+
+impl Default for FaultProfile {
+    fn default() -> Self {
+        Self {
+            sensor_downtime: 0.0,
+            mean_outage_hours: 0.0,
+            flap_frac: 0.0,
+            flush_failure_rate: 0.0,
+            queue_capacity: None,
+            max_retries: 3,
+        }
+    }
+}
+
+impl FaultProfile {
+    /// A degraded deployment: ≥10 % of sensor-days lost, a lossy
+    /// collector channel with a small bounded retry queue.
+    pub fn degraded() -> Self {
+        Self {
+            sensor_downtime: 0.12,
+            mean_outage_hours: 36.0,
+            flap_frac: 0.1,
+            flush_failure_rate: 0.01,
+            queue_capacity: Some(64),
+            max_retries: 3,
+        }
+    }
+
+    fn outage_config(&self) -> OutageConfig {
+        OutageConfig {
+            downtime_frac: self.sensor_downtime,
+            mean_outage_hours: self.mean_outage_hours,
+            flap_frac: self.flap_frac,
+            include_maintenance: true,
+        }
+    }
+}
+
+/// Accounting of every session the bots attempted against what the frozen
+/// dataset retains. The identity `attempted == recorded +
+/// connection_failures + ingest.dropped + ingest.quarantined` holds for
+/// every generated dataset, faulted or not.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FaultReport {
+    /// Sessions the campaign schedule attempted.
+    pub attempted: u64,
+    /// Attempts against a down sensor: the TCP connect failed, nothing
+    /// was recorded.
+    pub connection_failures: u64,
+    /// Collector-side fates (accepted == recorded sessions).
+    pub ingest: IngestStats,
+}
 
 /// Generator knobs.
 #[derive(Debug, Clone)]
@@ -38,6 +112,8 @@ pub struct DriverConfig {
     pub window_end: Date,
     /// Number of malware-storage IPs.
     pub storage_ips: usize,
+    /// Fault injection (default: paper deployment, maintenance only).
+    pub faults: FaultProfile,
 }
 
 impl DriverConfig {
@@ -47,9 +123,10 @@ impl DriverConfig {
             seed,
             session_scale: 1_000,
             ip_scale: 30,
-            window_start: STUDY_START(),
-            window_end: STUDY_END(),
+            window_start: study_start(),
+            window_end: study_end(),
             storage_ips: 100, // ≈ paper's 3k at the 1:30 IP scale
+            faults: FaultProfile::default(),
         }
     }
 
@@ -59,9 +136,10 @@ impl DriverConfig {
             seed,
             session_scale: 20_000,
             ip_scale: 300,
-            window_start: STUDY_START(),
-            window_end: STUDY_END(),
+            window_start: study_start(),
+            window_end: study_end(),
             storage_ips: 60,
+            faults: FaultProfile::default(),
         }
     }
 }
@@ -84,6 +162,10 @@ pub struct Dataset {
     pub ground_truth: HashMap<String, MalwareFamily>,
     /// The sensor fleet.
     pub fleet: Fleet,
+    /// Per-sensor availability over the window (maintenance + injected).
+    pub outages: OutageSchedule,
+    /// Accounting of attempted vs. recorded sessions.
+    pub faults: FaultReport,
     /// Client-IP pools by campaign pool key (for validation).
     pub pools: HashMap<&'static str, Vec<Ipv4Addr>>,
     /// Per pool: the small self-hosting subset (clients in hosting ASes
@@ -227,7 +309,24 @@ pub fn generate_dataset(cfg: &DriverConfig) -> Dataset {
     }
 
     // --- the day loop ------------------------------------------------------
-    let collector = Collector::new();
+    // Maintenance (2023-10-08/09) and any injected sensor downtime come
+    // from one generic schedule; a session aimed at a down sensor is a
+    // failed TCP connect, not a record.
+    let outages = OutageSchedule::seeded(
+        &cfg.faults.outage_config(),
+        fleet.len(),
+        cfg.window_start,
+        cfg.window_end,
+        seeds.child("outages").seed(),
+    );
+    let collector = Collector::with_config(CollectorConfig {
+        queue_capacity: cfg.faults.queue_capacity,
+        flush_failure_rate: cfg.faults.flush_failure_rate,
+        max_retries: cfg.faults.max_retries,
+        seed: seeds.child("collector").seed(),
+    });
+    let mut attempted = 0u64;
+    let mut connection_failures = 0u64;
     let store = StorageStore::new(&storage, cfg.window_start);
     let policy = AuthPolicy::default();
     let latency = LatencyModel::new(seeds.child("latency").seed());
@@ -237,11 +336,6 @@ pub fn generate_dataset(cfg: &DriverConfig) -> Dataset {
 
     let mut day = cfg.window_start;
     while day <= cfg.window_end {
-        // Fleet-wide maintenance outage (2023-10-08/09).
-        if !fleet.online_at(day.at(12, 0, 0)) {
-            day = day.plus_days(1);
-            continue;
-        }
         store.set_today(day);
         for spec in &cat {
             let mut rate = spec.rate(day);
@@ -275,7 +369,12 @@ pub fn generate_dataset(cfg: &DriverConfig) -> Dataset {
                     &storage,
                     &mut b64_ip_cursor,
                 );
-                collector.ingest(rec);
+                attempted += 1;
+                if outages.is_up(rec.honeypot_id, rec.start) {
+                    collector.ingest(rec);
+                } else {
+                    connection_failures += 1;
+                }
             }
         }
         day = day.plus_days(1);
@@ -328,8 +427,9 @@ pub fn generate_dataset(cfg: &DriverConfig) -> Dataset {
         c2_list.add(ip);
     }
 
+    let (sessions, ingest, _quarantine) = collector.into_parts();
     Dataset {
-        sessions: collector.into_dataset(),
+        sessions,
         world,
         storage,
         abuse,
@@ -337,6 +437,8 @@ pub fn generate_dataset(cfg: &DriverConfig) -> Dataset {
         c2_list,
         ground_truth,
         fleet,
+        outages,
+        faults: FaultReport { attempted, connection_failures, ingest },
         pools,
         self_hosters,
         config: cfg.clone(),
@@ -468,6 +570,27 @@ mod tests {
             })
             .count();
         assert_eq!(n, 0, "no sessions during maintenance");
+        // The maintenance outage comes from the generic schedule, not a
+        // special case: every sensor reads as down mid-window.
+        let mid = Date::new(2023, 10, 8).at(12, 0, 0);
+        assert!((0..ds.fleet.len() as u16).all(|s| !ds.outages.is_up(s, mid)));
+    }
+
+    #[test]
+    fn default_profile_accounting_balances() {
+        let ds = small();
+        let f = &ds.faults;
+        assert_eq!(
+            f.attempted,
+            ds.sessions.len() as u64
+                + f.connection_failures
+                + f.ingest.dropped
+                + f.ingest.quarantined
+        );
+        // Default profile: the only losses are maintenance connects.
+        assert_eq!(f.ingest.dropped, 0);
+        assert_eq!(f.ingest.quarantined, 0);
+        assert!(f.connection_failures > 0, "maintenance-day attempts fail");
     }
 
     #[test]

@@ -111,12 +111,12 @@ pub fn k_medoids(m: &DistanceMatrix, weights: &[u64], k: usize, seed: u64) -> Cl
         // Pick the point with the largest weighted distance to its nearest
         // chosen medoid (deterministic farthest-point).
         let mut best = (0usize, -1.0f64);
-        for i in 0..n {
+        for (i, &w) in weights.iter().enumerate().take(n) {
             if medoids.contains(&i) {
                 continue;
             }
             let near = medoids.iter().map(|&c| m.get(i, c)).fold(f64::MAX, f64::min);
-            let score = near * weights[i] as f64;
+            let score = near * w as f64;
             if score > best.1 {
                 best = (i, score);
             }
@@ -128,27 +128,27 @@ pub fn k_medoids(m: &DistanceMatrix, weights: &[u64], k: usize, seed: u64) -> Cl
     for _round in 0..50 {
         // Assign.
         let mut changed = false;
-        for i in 0..n {
+        for (i, slot) in assignment.iter_mut().enumerate().take(n) {
             let (best_c, _) = medoids
                 .iter()
                 .enumerate()
                 .map(|(c, &med)| (c, m.get(i, med)))
                 .min_by(|a, b| a.1.partial_cmp(&b.1).expect("no NaN distances"))
                 .expect("k >= 1");
-            if assignment[i] != best_c {
-                assignment[i] = best_c;
+            if *slot != best_c {
+                *slot = best_c;
                 changed = true;
             }
         }
         // Update medoids.
         let mut updated = false;
-        for c in 0..medoids.len() {
+        for (c, medoid) in medoids.iter_mut().enumerate() {
             let members: Vec<usize> =
                 (0..n).filter(|&i| assignment[i] == c).collect();
             if members.is_empty() {
                 continue;
             }
-            let mut best = (medoids[c], f64::MAX);
+            let mut best = (*medoid, f64::MAX);
             for &cand in &members {
                 let cost: f64 =
                     members.iter().map(|&j| m.get(cand, j) * weights[j] as f64).sum();
@@ -156,8 +156,8 @@ pub fn k_medoids(m: &DistanceMatrix, weights: &[u64], k: usize, seed: u64) -> Cl
                     best = (cand, cost);
                 }
             }
-            if best.0 != medoids[c] {
-                medoids[c] = best.0;
+            if best.0 != *medoid {
+                *medoid = best.0;
                 updated = true;
             }
         }
@@ -194,13 +194,13 @@ pub fn silhouette(m: &DistanceMatrix, weights: &[u64], cl: &Clustering) -> f64 {
     for i in 0..n {
         let mut sums = vec![0.0f64; k];
         let mut ws = vec![0.0f64; k];
-        for j in 0..n {
+        for (j, &wj) in weights.iter().enumerate().take(n) {
             if i == j {
                 continue;
             }
             let c = cl.assignment[j];
-            sums[c] += m.get(i, j) * weights[j] as f64;
-            ws[c] += weights[j] as f64;
+            sums[c] += m.get(i, j) * wj as f64;
+            ws[c] += wj as f64;
         }
         let own = cl.assignment[i];
         // Own-cluster weight excluding i itself but counting i's own

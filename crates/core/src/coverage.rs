@@ -1,0 +1,210 @@
+//! Coverage accounting: how much of the fleet was actually observing.
+//!
+//! The paper's honeynet was not up continuously — a documented 48-hour
+//! fleet-wide maintenance window (2023-10-08/09) plus whatever per-sensor
+//! outages a degraded deployment accumulates. Every figure that plots
+//! activity over calendar time conflates "the attackers went quiet" with
+//! "we were not looking". This module computes *observed sensor-days* from
+//! the generator's [`OutageSchedule`] so figures can carry coverage
+//! annotations and dip detection can distinguish behavioural collapses
+//! from measurement gaps.
+
+use honeypot::OutageSchedule;
+use hutil::{Date, Month};
+
+/// Months with an observed-coverage fraction below this are flagged as
+/// coverage gaps in annotated figures. 0.999 flags the 48 h maintenance
+/// window (≈ 0.998 of October 2023) without tripping on rounding.
+pub const COVERAGE_GAP_THRESHOLD: f64 = 0.999;
+
+/// Daily fleet down-fractions over the schedule's span.
+#[derive(Debug, Clone)]
+pub struct CoverageCalendar {
+    start: Date,
+    /// `down[i]` = fraction of sensor-seconds lost on `start + i` days.
+    down: Vec<f64>,
+}
+
+impl CoverageCalendar {
+    /// Computes the calendar from a schedule (O(days × windows)).
+    pub fn from_schedule(sched: &OutageSchedule) -> Self {
+        let start = sched.span_start();
+        let n_days = sched.span_end().days_since(start) + 1;
+        let denom = (sched.n_sensors() as i64 * 86_400) as f64;
+        let down = (0..n_days)
+            .map(|i| sched.down_sensor_secs(start.plus_days(i)) as f64 / denom)
+            .collect();
+        Self { start, down }
+    }
+
+    /// First day covered by the calendar.
+    pub fn start(&self) -> Date {
+        self.start
+    }
+
+    /// Number of days covered.
+    pub fn n_days(&self) -> usize {
+        self.down.len()
+    }
+
+    /// Fraction of sensor-time lost on `day` (0 outside the span).
+    pub fn down_frac(&self, day: Date) -> f64 {
+        let i = day.days_since(self.start);
+        if i < 0 {
+            return 0.0;
+        }
+        self.down.get(i as usize).copied().unwrap_or(0.0)
+    }
+
+    /// Fraction of sensor-time observing on `day`.
+    pub fn observed_frac(&self, day: Date) -> f64 {
+        1.0 - self.down_frac(day)
+    }
+
+    /// Mean down-fraction over `[start, end]` inclusive.
+    pub fn mean_down_frac(&self, start: Date, end: Date) -> f64 {
+        let days = end.days_since(start) + 1;
+        if days <= 0 {
+            return 0.0;
+        }
+        let sum: f64 = (0..days).map(|i| self.down_frac(start.plus_days(i))).sum();
+        sum / days as f64
+    }
+
+    /// Days on which the *entire* fleet was effectively dark (≥ 99 % of
+    /// sensor-time lost) — the days a timeline shows as zero regardless of
+    /// attacker behaviour.
+    pub fn dark_days(&self) -> Vec<Date> {
+        self.down
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| **f >= 0.99)
+            .map(|(i, _)| self.start.plus_days(i as i64))
+            .collect()
+    }
+}
+
+/// Observed vs. possible sensor-days per month.
+#[derive(Debug, Clone)]
+pub struct MonthlyCoverage {
+    /// Months in order over the calendar span.
+    pub months: Vec<Month>,
+    /// Sensor-days actually observing, per month.
+    pub observed_sensor_days: Vec<f64>,
+    /// Sensor-days the calendar spans, per month.
+    pub total_sensor_days: Vec<f64>,
+}
+
+impl MonthlyCoverage {
+    /// Aggregates a daily calendar into months. `n_sensors` scales the
+    /// fractions back into sensor-days.
+    pub fn from_calendar(cal: &CoverageCalendar, n_sensors: usize) -> Self {
+        let mut months = Vec::new();
+        let mut observed = Vec::new();
+        let mut total = Vec::new();
+        for i in 0..cal.n_days() {
+            let day = cal.start.plus_days(i as i64);
+            let m = day.month_of();
+            if months.last() != Some(&m) {
+                months.push(m);
+                observed.push(0.0);
+                total.push(0.0);
+            }
+            let last = observed.len() - 1;
+            observed[last] += cal.observed_frac(day) * n_sensors as f64;
+            total[last] += n_sensors as f64;
+        }
+        Self { months, observed_sensor_days: observed, total_sensor_days: total }
+    }
+
+    /// Observed fraction for month index `mi`.
+    pub fn fraction(&self, mi: usize) -> f64 {
+        if self.total_sensor_days[mi] <= 0.0 {
+            return 1.0;
+        }
+        self.observed_sensor_days[mi] / self.total_sensor_days[mi]
+    }
+
+    /// Whether month `mi` is a coverage gap under `threshold`.
+    pub fn flagged(&self, mi: usize, threshold: f64) -> bool {
+        self.fraction(mi) < threshold
+    }
+
+    /// Index of `month`, if in range.
+    pub fn index_of(&self, month: Month) -> Option<usize> {
+        self.months.iter().position(|m| *m == month)
+    }
+
+    /// All months flagged under [`COVERAGE_GAP_THRESHOLD`].
+    pub fn gap_months(&self) -> Vec<Month> {
+        (0..self.months.len())
+            .filter(|&i| self.flagged(i, COVERAGE_GAP_THRESHOLD))
+            .map(|i| self.months[i])
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use honeypot::{OutageConfig, OutageSchedule};
+
+    fn maintenance_cal() -> (CoverageCalendar, usize) {
+        let sched =
+            OutageSchedule::maintenance_only(10, Date::new(2023, 9, 1), Date::new(2023, 11, 30));
+        (CoverageCalendar::from_schedule(&sched), 10)
+    }
+
+    #[test]
+    fn maintenance_days_are_dark() {
+        let (cal, _) = maintenance_cal();
+        assert_eq!(
+            cal.dark_days(),
+            vec![Date::new(2023, 10, 8), Date::new(2023, 10, 9)]
+        );
+        assert!(cal.down_frac(Date::new(2023, 10, 8)) > 0.999);
+        assert_eq!(cal.down_frac(Date::new(2023, 10, 10)), 0.0);
+        assert_eq!(cal.observed_frac(Date::new(2023, 9, 15)), 1.0);
+    }
+
+    #[test]
+    fn monthly_coverage_flags_only_october() {
+        let (cal, n) = maintenance_cal();
+        let mc = MonthlyCoverage::from_calendar(&cal, n);
+        assert_eq!(mc.months.len(), 3);
+        assert_eq!(mc.gap_months(), vec![Month::new(2023, 10)]);
+        let oct = mc.index_of(Month::new(2023, 10)).unwrap();
+        // 2 of 31 days lost ⇒ 29/31 observed.
+        let expect = 29.0 / 31.0;
+        assert!((mc.fraction(oct) - expect).abs() < 1e-6, "{}", mc.fraction(oct));
+        assert!(mc.flagged(oct, COVERAGE_GAP_THRESHOLD));
+        let sep = mc.index_of(Month::new(2023, 9)).unwrap();
+        assert!(!mc.flagged(sep, COVERAGE_GAP_THRESHOLD));
+    }
+
+    #[test]
+    fn mean_down_frac_windows() {
+        let (cal, _) = maintenance_cal();
+        let m = cal.mean_down_frac(Date::new(2023, 10, 7), Date::new(2023, 10, 10));
+        assert!((m - 0.5).abs() < 1e-6, "mean {m}");
+        assert_eq!(cal.mean_down_frac(Date::new(2023, 9, 1), Date::new(2023, 9, 30)), 0.0);
+    }
+
+    #[test]
+    fn degraded_schedule_loses_coverage_broadly() {
+        let sched = OutageSchedule::seeded(
+            &OutageConfig::degraded(),
+            20,
+            Date::new(2023, 1, 1),
+            Date::new(2023, 12, 31),
+            99,
+        );
+        let cal = CoverageCalendar::from_schedule(&sched);
+        let mc = MonthlyCoverage::from_calendar(&cal, 20);
+        // Every month loses ≥ a few percent; October also has maintenance.
+        for mi in 0..mc.months.len() {
+            assert!(mc.flagged(mi, COVERAGE_GAP_THRESHOLD), "month {:?}", mc.months[mi]);
+            assert!(mc.fraction(mi) > 0.5, "month {:?} too dark", mc.months[mi]);
+        }
+    }
+}

@@ -19,11 +19,15 @@
 //!   fingerprinting (Fig. 11).
 //! * [`mdrfckr`] — the §9 case study (Figs. 12/13, base64 payloads, C2 and
 //!   Killnet overlaps).
+//! * [`coverage`] — observed sensor-days from the generator's outage
+//!   schedule, so time-series figures can separate measurement gaps from
+//!   behavioural changes.
 //! * [`report`] — figure/table data structures and text renderers; one
 //!   entry point per paper artefact.
 
 pub mod classify;
 pub mod cluster;
+pub mod coverage;
 pub mod dld;
 pub mod logins;
 pub mod mdrfckr;
@@ -33,4 +37,5 @@ pub mod taxonomy;
 pub mod tokens;
 
 pub use classify::{Classifier, UNKNOWN_LABEL};
+pub use coverage::{CoverageCalendar, MonthlyCoverage, COVERAGE_GAP_THRESHOLD};
 pub use taxonomy::{SessionClass, TaxonomyStats};

@@ -88,6 +88,43 @@ pub fn detect_dips(tl: &Timeline, frac: f64) -> Vec<(Date, Date)> {
     dips
 }
 
+/// A Fig. 12 dip annotated against the fleet's coverage calendar: a dip
+/// during which the fleet was mostly dark is a measurement gap, not an
+/// attacker behaviour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AnnotatedDip {
+    /// First day of the dip.
+    pub start: Date,
+    /// Last day of the dip.
+    pub end: Date,
+    /// True when the fleet was, on average, more than half down during
+    /// the dip — the dip is explained by coverage, not behaviour.
+    pub coverage_gap: bool,
+}
+
+/// Annotates detected dips against a coverage calendar.
+pub fn annotate_dips(
+    dips: &[(Date, Date)],
+    cal: &crate::coverage::CoverageCalendar,
+) -> Vec<AnnotatedDip> {
+    dips.iter()
+        .map(|&(start, end)| AnnotatedDip {
+            start,
+            end,
+            coverage_gap: cal.mean_down_frac(start, end) > 0.5,
+        })
+        .collect()
+}
+
+/// Fig. 12 dip detection with coverage annotation in one step.
+pub fn fig12_dips(
+    tl: &Timeline,
+    frac: f64,
+    cal: &crate::coverage::CoverageCalendar,
+) -> Vec<AnnotatedDip> {
+    annotate_dips(&detect_dips(tl, frac), cal)
+}
+
 /// Fig. 13: monthly counts of the initial bot, the variant, and the
 /// `3245gs5662d34` login campaign.
 #[derive(Debug, Clone, Default)]
@@ -221,13 +258,17 @@ pub fn b64_analysis(sessions: &[SessionRecord], dips: &[(Date, Date)]) -> B64Ana
     out
 }
 
+/// One correlated event: `(event description, documented window, detected
+/// overlap)`.
+pub type EventMatch = (String, (Date, Date), Option<(Date, Date)>);
+
 /// §10 "Events correlation": matches detected low-activity windows against
 /// the documented geopolitical event windows. Returns per-documented-window
 /// verdicts plus the count of detected dips with no documented counterpart.
 #[derive(Debug, Clone)]
 pub struct EventCorrelation {
     /// `(event description, documented window, detected overlap)`.
-    pub matches: Vec<(String, (Date, Date), Option<(Date, Date)>)>,
+    pub matches: Vec<EventMatch>,
     /// Detected dips that overlap no documented event.
     pub unexplained: Vec<(Date, Date)>,
 }

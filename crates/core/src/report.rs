@@ -3,6 +3,7 @@
 
 use crate::classify::Classifier;
 use crate::cluster::{self, Clustering, DistanceMatrix};
+use crate::coverage::{MonthlyCoverage, COVERAGE_GAP_THRESHOLD};
 use crate::taxonomy::{SessionClass, TaxonomyStats};
 use crate::tokens;
 use abusedb::AbuseDb;
@@ -65,6 +66,42 @@ pub fn fig1(sessions: &[SessionRecord]) -> Fig1 {
     Fig1 { months, changing, not_changing }
 }
 
+/// Per-figure-month observed-coverage fractions, aligned with a figure's
+/// month axis. Months outside the coverage calendar read as fully
+/// observed.
+pub fn coverage_series(months: &[Month], mc: &MonthlyCoverage) -> Vec<f64> {
+    months.iter().map(|m| mc.index_of(*m).map_or(1.0, |i| mc.fraction(i))).collect()
+}
+
+/// Fig. 1 with a coverage column: each month carries the fraction of
+/// sensor-days that were actually observing, so a depressed boxplot in a
+/// low-coverage month is not read as an attack-rate change.
+#[derive(Debug, Clone)]
+pub struct Fig1Cov {
+    /// The unannotated figure.
+    pub fig: Fig1,
+    /// Observed-coverage fraction per figure month.
+    pub coverage: Vec<f64>,
+}
+
+/// Builds Fig. 1 annotated with monthly coverage.
+pub fn fig1_with_coverage(sessions: &[SessionRecord], mc: &MonthlyCoverage) -> Fig1Cov {
+    let fig = fig1(sessions);
+    let coverage = coverage_series(&fig.months, mc);
+    Fig1Cov { fig, coverage }
+}
+
+/// Builds Fig. 2 plus its aligned coverage series.
+pub fn fig2_with_coverage(
+    sessions: &[SessionRecord],
+    cl: &Classifier,
+    mc: &MonthlyCoverage,
+) -> (MonthlyCategories, Vec<f64>) {
+    let fig = fig2(sessions, cl);
+    let coverage = coverage_series(&fig.months, mc);
+    (fig, coverage)
+}
+
 /// A monthly stacked-category figure (Figs. 2, 3a, 3b, 4a, 4b, 6, 17 share
 /// this shape): per month, counts per category label.
 #[derive(Debug, Clone, Default)]
@@ -125,7 +162,7 @@ impl MonthlyCategories {
         }
         let mut out: Vec<(String, u64)> =
             self.labels.iter().cloned().zip(t).collect();
-        out.sort_by(|a, b| b.1.cmp(&a.1));
+        out.sort_by_key(|entry| std::cmp::Reverse(entry.1));
         out
     }
 
@@ -298,7 +335,7 @@ pub fn cluster_analysis(
 
     // Label clusters by family votes from abuse lookups of member hashes.
     let mut labels = vec![String::from("unlabelled"); clustering.k()];
-    for c in 0..clustering.k() {
+    for (c, label) in labels.iter_mut().enumerate() {
         let mut votes: BTreeMap<&'static str, u64> = BTreeMap::new();
         for i in clustering.members(c) {
             for s in &members[i] {
@@ -311,8 +348,8 @@ pub fn cluster_analysis(
         }
         if !votes.is_empty() {
             let mut v: Vec<(&str, u64)> = votes.into_iter().collect();
-            v.sort_by(|a, b| b.1.cmp(&a.1));
-            labels[c] = v.iter().take(4).map(|(f, _)| *f).collect::<Vec<_>>().join(", ");
+            v.sort_by_key(|entry| std::cmp::Reverse(entry.1));
+            *label = v.iter().take(4).map(|(f, _)| *f).collect::<Vec<_>>().join(", ");
         }
     }
 
@@ -498,6 +535,32 @@ pub fn render_fig1(fig: &Fig1) -> String {
     out
 }
 
+/// Renders the coverage-annotated Fig. 1: the extra column shows the
+/// observed fraction, with `!` marking months below the gap threshold.
+pub fn render_fig1_cov(fig: &Fig1Cov) -> String {
+    let mut out = String::from(
+        "== Fig 1: daily command sessions per month (median [q1,q3]; cov = observed fraction) ==\n\
+         month     state-changing          not-changing                 cov\n",
+    );
+    for (i, m) in fig.fig.months.iter().enumerate() {
+        let cell = |b: &Option<BoxplotSummary>| match b {
+            Some(s) => format!("{:>7.0} [{:>6.0},{:>6.0}]", s.median, s.q1, s.q3),
+            None => format!("{:>23}", "-"),
+        };
+        let cov = fig.coverage[i];
+        let mark = if cov < COVERAGE_GAP_THRESHOLD { "!" } else { " " };
+        out.push_str(&format!(
+            "{:<9} {} {}  {:>6.3}{}\n",
+            m.label(),
+            cell(&fig.fig.changing[i]),
+            cell(&fig.fig.not_changing[i]),
+            cov,
+            mark
+        ));
+    }
+    out
+}
+
 /// Renders the Fig. 5 medoid-distance heatmap (numeric).
 pub fn render_fig5(ca: &ClusterAnalysis, max_rows: usize) -> String {
     let mut out = String::from("== Fig 5: normalized DLD between cluster medoids ==\n");
@@ -518,6 +581,23 @@ mod tests {
     fn ds() -> &'static Dataset {
         static DS: std::sync::OnceLock<Dataset> = std::sync::OnceLock::new();
         DS.get_or_init(|| generate_dataset(&DriverConfig::test_scale(11)))
+    }
+
+    #[test]
+    fn fig1_coverage_flags_only_maintenance_month() {
+        let d = ds();
+        let cal = crate::coverage::CoverageCalendar::from_schedule(&d.outages);
+        let mc = MonthlyCoverage::from_calendar(&cal, d.fleet.len());
+        let f = fig1_with_coverage(&d.sessions, &mc);
+        let oct = f.fig.months.iter().position(|m| *m == Month::new(2023, 10)).unwrap();
+        assert!(f.coverage[oct] < COVERAGE_GAP_THRESHOLD, "cov {}", f.coverage[oct]);
+        for (i, c) in f.coverage.iter().enumerate() {
+            if i != oct {
+                assert!(*c >= COVERAGE_GAP_THRESHOLD, "month {:?} cov {c}", f.fig.months[i]);
+            }
+        }
+        let text = render_fig1_cov(&f);
+        assert!(text.contains('!'), "gap marker rendered");
     }
 
     #[test]

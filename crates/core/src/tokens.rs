@@ -58,7 +58,7 @@ fn canonicalize(tok: &str) -> String {
 }
 
 fn looks_like_ip(tok: &str) -> bool {
-    let t = tok.trim_end_matches(|c: char| c == '/' || c == ':');
+    let t = tok.trim_end_matches(['/', ':']);
     netsim::Ipv4Addr::parse(t).is_some()
 }
 

@@ -4,56 +4,301 @@
 //! assigns a dense session id and appends it to the honeynet database. The
 //! collector is shared across generator threads, hence the lock; analysis
 //! runs on the frozen, chronologically sorted store.
+//!
+//! # Degraded operation
+//!
+//! A long-running deployment loses records between sensor and database:
+//! flushes fail, the forwarding channel backs up, malformed records
+//! arrive. [`CollectorConfig`] models all three with seeded fault
+//! injection:
+//!
+//! * a write may fail with probability `flush_failure_rate`; failed
+//!   records enter a retry queue and are retried with exponential backoff
+//!   (measured in flush passes), up to `max_retries` failures each;
+//! * the retry queue is bounded by `queue_capacity`; records failing while
+//!   it is full are dropped;
+//! * records that fail validation never reach the store — they land in a
+//!   quarantine lane with their diagnosis.
+//!
+//! Every fate is counted in [`IngestStats`], so callers can account for
+//! each record handed in: `accepted + dropped + quarantined` equals the
+//! number of ingest calls once the collector is drained (`retried` counts
+//! retry *attempts*, not records). The default config injects no faults
+//! and behaves exactly like the original write-through collector.
+//!
+//! # Id density invariant
+//!
+//! Both [`Collector::ingest`] and [`Collector::ingest_batch`] assign ids
+//! at *store* time, in store order: the ids of stored records are exactly
+//! `0..stats().accepted`, with no gaps, regardless of how many records
+//! were dropped or quarantined along the way. A batch holds the lock for
+//! its whole flush, so the ids of its stored members form the contiguous
+//! range `ingest_batch` returns.
 
 use crate::record::SessionRecord;
+use netsim::faults::{backoff_delay, FailureInjector};
 use parking_lot::Mutex;
+use std::collections::VecDeque;
+
+/// Fault-injection knobs for the collector. The default injects nothing.
+#[derive(Debug, Clone)]
+pub struct CollectorConfig {
+    /// Retry-queue bound; `None` means unbounded.
+    pub queue_capacity: Option<usize>,
+    /// Probability that one store write fails.
+    pub flush_failure_rate: f64,
+    /// Failures tolerated per record before it is dropped.
+    pub max_retries: u32,
+    /// Seed of the failure injector.
+    pub seed: u64,
+}
+
+impl Default for CollectorConfig {
+    fn default() -> Self {
+        Self { queue_capacity: None, flush_failure_rate: 0.0, max_retries: 3, seed: 0 }
+    }
+}
+
+/// Counters for every fate an ingested record can meet.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IngestStats {
+    /// Records stored (ids `0..accepted`).
+    pub accepted: u64,
+    /// Retry attempts performed (attempts, not distinct records).
+    pub retried: u64,
+    /// Records lost: retries exhausted or retry queue full.
+    pub dropped: u64,
+    /// Records failing validation, diverted to the quarantine lane.
+    pub quarantined: u64,
+}
+
+/// What happened to one ingested record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IngestOutcome {
+    /// Stored immediately under this id.
+    Stored(u64),
+    /// Write failed; queued for retry (will be stored or dropped later).
+    Deferred,
+    /// Lost: the retry queue was full.
+    Dropped,
+    /// Failed validation; kept in the quarantine lane.
+    Quarantined,
+}
+
+/// Why a record was quarantined.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ValidationError {
+    /// The session ends before it starts.
+    EndBeforeStart,
+}
+
+impl std::fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ValidationError::EndBeforeStart => write!(f, "session ends before it starts"),
+        }
+    }
+}
+
+fn validate(rec: &SessionRecord) -> Result<(), ValidationError> {
+    if rec.end < rec.start {
+        return Err(ValidationError::EndBeforeStart);
+    }
+    Ok(())
+}
+
+#[derive(Debug)]
+struct Queued {
+    rec: SessionRecord,
+    failures: u32,
+    /// First flush pass allowed to retry this record (backoff).
+    ready_at: u64,
+}
+
+#[derive(Debug)]
+struct Inner {
+    stored: Vec<SessionRecord>,
+    retry: VecDeque<Queued>,
+    quarantine: Vec<(SessionRecord, ValidationError)>,
+    stats: IngestStats,
+    injector: FailureInjector,
+    pass: u64,
+}
+
+impl Inner {
+    /// Stores `rec`, assigning the next dense id.
+    fn store(&mut self, mut rec: SessionRecord) -> u64 {
+        let id = self.stored.len() as u64;
+        rec.session_id = id;
+        self.stored.push(rec);
+        self.stats.accepted += 1;
+        id
+    }
+
+    /// One retry pass over the queue: each due record is retried once;
+    /// records exhausting `max_retries` are dropped.
+    fn flush_retries(&mut self, max_retries: u32) {
+        if self.retry.is_empty() {
+            return;
+        }
+        self.pass += 1;
+        let pass = self.pass;
+        let mut keep = VecDeque::with_capacity(self.retry.len());
+        while let Some(mut q) = self.retry.pop_front() {
+            if q.ready_at > pass {
+                keep.push_back(q);
+                continue;
+            }
+            if self.injector.fires() {
+                q.failures += 1;
+                if q.failures > max_retries {
+                    self.stats.dropped += 1;
+                } else {
+                    self.stats.retried += 1;
+                    q.ready_at = pass + backoff_delay(1, q.failures, 1 << 16);
+                    keep.push_back(q);
+                }
+            } else {
+                self.store(q.rec);
+            }
+        }
+        self.retry = keep;
+    }
+
+    /// Handles one validated record: direct write, deferral, or drop.
+    fn submit(&mut self, rec: SessionRecord, cfg_cap: Option<usize>, max_retries: u32) -> IngestOutcome {
+        if !self.injector.fires() {
+            return IngestOutcome::Stored(self.store(rec));
+        }
+        if max_retries == 0 || cfg_cap.is_some_and(|cap| self.retry.len() >= cap) {
+            self.stats.dropped += 1;
+            return IngestOutcome::Dropped;
+        }
+        self.stats.retried += 1;
+        self.retry.push_back(Queued {
+            rec,
+            failures: 1,
+            ready_at: self.pass + backoff_delay(1, 1, 1 << 16),
+        });
+        IngestOutcome::Deferred
+    }
+}
 
 /// Thread-safe session sink.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Collector {
-    inner: Mutex<Vec<SessionRecord>>,
+    inner: Mutex<Inner>,
+    capacity: Option<usize>,
+    max_retries: u32,
+}
+
+impl Default for Collector {
+    fn default() -> Self {
+        Self::with_config(CollectorConfig::default())
+    }
 }
 
 impl Collector {
-    /// An empty collector.
+    /// An empty, fault-free collector.
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// Ingests one closed session, assigning its id. Returns the id.
-    pub fn ingest(&self, mut rec: SessionRecord) -> u64 {
-        let mut v = self.inner.lock();
-        let id = v.len() as u64;
-        rec.session_id = id;
-        v.push(rec);
-        id
+    /// An empty collector with the given fault-injection config.
+    pub fn with_config(cfg: CollectorConfig) -> Self {
+        Self {
+            inner: Mutex::new(Inner {
+                stored: Vec::new(),
+                retry: VecDeque::new(),
+                quarantine: Vec::new(),
+                stats: IngestStats::default(),
+                injector: FailureInjector::new(cfg.flush_failure_rate, cfg.seed),
+                pass: 0,
+            }),
+            capacity: cfg.queue_capacity,
+            max_retries: cfg.max_retries,
+        }
     }
 
-    /// Ingests a batch (single lock acquisition).
-    pub fn ingest_batch(&self, recs: impl IntoIterator<Item = SessionRecord>) {
-        let mut v = self.inner.lock();
-        for mut rec in recs {
-            rec.session_id = v.len() as u64;
-            v.push(rec);
+    /// Ingests one closed session. On the fault-free default config this
+    /// always stores immediately and returns
+    /// [`IngestOutcome::Stored`] with the assigned dense id.
+    pub fn ingest(&self, rec: SessionRecord) -> IngestOutcome {
+        let mut inner = self.inner.lock();
+        inner.flush_retries(self.max_retries);
+        if let Err(e) = validate(&rec) {
+            inner.stats.quarantined += 1;
+            inner.quarantine.push((rec, e));
+            return IngestOutcome::Quarantined;
         }
+        inner.submit(rec, self.capacity, self.max_retries)
+    }
+
+    /// Ingests a batch under a single lock acquisition and returns the
+    /// contiguous id range assigned to the batch's *stored* members (see
+    /// the module-level id-density invariant). Deferred, dropped and
+    /// quarantined members are excluded from the range and visible via
+    /// [`Collector::stats`].
+    pub fn ingest_batch(
+        &self,
+        recs: impl IntoIterator<Item = SessionRecord>,
+    ) -> std::ops::Range<u64> {
+        let mut inner = self.inner.lock();
+        inner.flush_retries(self.max_retries);
+        let first = inner.stored.len() as u64;
+        for rec in recs {
+            if let Err(e) = validate(&rec) {
+                inner.stats.quarantined += 1;
+                inner.quarantine.push((rec, e));
+                continue;
+            }
+            inner.submit(rec, self.capacity, self.max_retries);
+        }
+        first..inner.stored.len() as u64
     }
 
     /// Number of sessions stored.
     pub fn len(&self) -> usize {
-        self.inner.lock().len()
+        self.inner.lock().stored.len()
     }
 
     /// Whether the store is empty.
     pub fn is_empty(&self) -> bool {
-        self.inner.lock().is_empty()
+        self.inner.lock().stored.is_empty()
+    }
+
+    /// Current fate counters. Records still awaiting retry are in no
+    /// counter yet; drain with [`Collector::into_parts`] for the final
+    /// accounting.
+    pub fn stats(&self) -> IngestStats {
+        self.inner.lock().stats
+    }
+
+    /// The quarantine lane: records that failed validation, with their
+    /// diagnoses.
+    pub fn quarantine(&self) -> Vec<(SessionRecord, ValidationError)> {
+        self.inner.lock().quarantine.clone()
     }
 
     /// Freezes the collector into a chronologically sorted dataset, as the
     /// in-situ analysis interface presents it.
     pub fn into_dataset(self) -> Vec<SessionRecord> {
-        let mut v = self.inner.into_inner();
+        self.into_parts().0
+    }
+
+    /// Drains the retry queue (each record is retried until stored or out
+    /// of retries) and freezes the collector, returning the sorted
+    /// dataset, the final stats, and the quarantine lane.
+    pub fn into_parts(
+        self,
+    ) -> (Vec<SessionRecord>, IngestStats, Vec<(SessionRecord, ValidationError)>) {
+        let mut inner = self.inner.into_inner();
+        while !inner.retry.is_empty() {
+            inner.flush_retries(self.max_retries);
+        }
+        let mut v = inner.stored;
         v.sort_by_key(|r| (r.start, r.session_id));
-        v
+        (v, inner.stats, inner.quarantine)
     }
 }
 
@@ -86,9 +331,10 @@ mod tests {
     #[test]
     fn ids_are_dense_and_assigned() {
         let c = Collector::new();
-        assert_eq!(c.ingest(rec(5)), 0);
-        assert_eq!(c.ingest(rec(3)), 1);
+        assert_eq!(c.ingest(rec(5)), IngestOutcome::Stored(0));
+        assert_eq!(c.ingest(rec(3)), IngestOutcome::Stored(1));
         assert_eq!(c.len(), 2);
+        assert_eq!(c.stats().accepted, 2);
     }
 
     #[test]
@@ -96,7 +342,7 @@ mod tests {
         let c = Collector::new();
         c.ingest(rec(9));
         c.ingest(rec(1));
-        c.ingest_batch([rec(5), rec(2)]);
+        assert_eq!(c.ingest_batch([rec(5), rec(2)]), 2..4);
         let ds = c.into_dataset();
         assert_eq!(ds.len(), 4);
         let hours: Vec<u8> = ds.iter().map(|r| r.start.hour()).collect();
@@ -125,5 +371,93 @@ mod tests {
         let mut ids: Vec<u64> = ds.iter().map(|r| r.session_id).collect();
         ids.sort_unstable();
         assert_eq!(ids, (0..800).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn invalid_records_are_quarantined() {
+        let c = Collector::new();
+        let mut bad = rec(5);
+        bad.end = bad.start.plus_secs(-10);
+        assert_eq!(c.ingest(bad), IngestOutcome::Quarantined);
+        assert_eq!(c.ingest(rec(6)), IngestOutcome::Stored(0));
+        let (ds, stats, quarantine) = c.into_parts();
+        assert_eq!(ds.len(), 1);
+        assert_eq!(stats.quarantined, 1);
+        assert_eq!(quarantine.len(), 1);
+        assert_eq!(quarantine[0].1, ValidationError::EndBeforeStart);
+    }
+
+    #[test]
+    fn flush_failures_retry_and_eventually_store() {
+        let c = Collector::with_config(CollectorConfig {
+            flush_failure_rate: 0.4,
+            queue_capacity: Some(1024),
+            max_retries: 8,
+            seed: 17,
+        });
+        for i in 0..500 {
+            c.ingest(rec((i % 24) as u8));
+        }
+        let (ds, stats, _) = c.into_parts();
+        assert_eq!(stats.accepted, ds.len() as u64);
+        assert!(stats.retried > 0, "some writes must have failed");
+        // Full accounting: every record met exactly one fate.
+        assert_eq!(stats.accepted + stats.dropped + stats.quarantined, 500);
+        // With 8 retries at 40 % failure, nearly everything lands.
+        assert!(ds.len() >= 490, "stored {}", ds.len());
+        // Ids dense over stored records.
+        let mut ids: Vec<u64> = ds.iter().map(|r| r.session_id).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, (0..ds.len() as u64).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn bounded_queue_drops_on_overflow() {
+        let c = Collector::with_config(CollectorConfig {
+            flush_failure_rate: 1.0, // every write fails
+            queue_capacity: Some(4),
+            max_retries: 1000,
+            seed: 1,
+        });
+        for i in 0..50 {
+            c.ingest(rec((i % 24) as u8));
+        }
+        let stats = c.stats();
+        assert!(stats.dropped >= 40, "overflow must drop: {stats:?}");
+    }
+
+    #[test]
+    fn zero_retries_drops_failed_writes_immediately() {
+        let c = Collector::with_config(CollectorConfig {
+            flush_failure_rate: 1.0,
+            queue_capacity: None,
+            max_retries: 0,
+            seed: 2,
+        });
+        assert_eq!(c.ingest(rec(1)), IngestOutcome::Dropped);
+        let (ds, stats, _) = c.into_parts();
+        assert!(ds.is_empty());
+        assert_eq!(stats.dropped, 1);
+        assert_eq!(stats.retried, 0);
+    }
+
+    #[test]
+    fn faulted_collector_is_deterministic() {
+        let gen = || {
+            let c = Collector::with_config(CollectorConfig {
+                flush_failure_rate: 0.3,
+                queue_capacity: Some(16),
+                max_retries: 3,
+                seed: 99,
+            });
+            for i in 0..300 {
+                c.ingest(rec((i % 24) as u8));
+            }
+            c.into_parts()
+        };
+        let (a, sa, _) = gen();
+        let (b, sb, _) = gen();
+        assert_eq!(sa, sb);
+        assert_eq!(a.len(), b.len());
     }
 }

@@ -151,40 +151,79 @@ impl std::fmt::Display for CowrieImportError {
 
 impl std::error::Error for CowrieImportError {}
 
-/// Parses a Cowrie JSON-lines log into session records.
-///
-/// Events are grouped by their `session` field; unknown event ids are
-/// ignored (real Cowrie logs contain dozens of kinds the analysis never
-/// uses). Sessions are returned in order of first appearance, with dense
-/// ids assigned.
-pub fn from_cowrie_log(log: &str) -> Result<Vec<SessionRecord>, CowrieImportError> {
-    struct Partial {
-        rec: SessionRecord,
-        order: usize,
-    }
-    let mut partials: BTreeMap<String, Partial> = BTreeMap::new();
-    let mut next_order = 0usize;
+/// One unparseable line of a lossy import, with enough context to locate
+/// it in the source log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LineError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Parser message.
+    pub message: String,
+    /// The offending line, truncated for reporting.
+    pub snippet: String,
+}
 
-    for (lineno, line) in log.lines().enumerate() {
-        let line = line.trim();
-        if line.is_empty() {
-            continue;
-        }
-        let ev = Json::parse(line).map_err(|e| CowrieImportError::BadJson {
-            line: lineno + 1,
-            message: e.message,
-        })?;
-        let Some(session) = ev.get("session").and_then(Json::as_str) else { continue };
-        let Some(eventid) = ev.get("eventid").and_then(Json::as_str) else { continue };
+/// Result of a lossy import: every recoverable session plus a structured
+/// per-line error report.
+#[derive(Debug, Clone, Default)]
+pub struct LossyImport {
+    /// Recovered sessions, in order of first appearance, dense ids.
+    pub sessions: Vec<SessionRecord>,
+    /// Per-line parse failures, in line order.
+    pub errors: Vec<LineError>,
+    /// Non-empty lines seen.
+    pub lines_total: usize,
+}
+
+impl LossyImport {
+    /// Number of lines that failed to parse.
+    pub fn lines_bad(&self) -> usize {
+        self.errors.len()
+    }
+}
+
+/// Grouping state shared by the strict and lossy importers.
+#[derive(Default)]
+struct Importer {
+    partials: BTreeMap<String, Partial>,
+    next_order: usize,
+}
+
+struct Partial {
+    rec: SessionRecord,
+    order: usize,
+}
+
+impl Importer {
+    fn finish(self) -> Vec<SessionRecord> {
+        let mut out: Vec<Partial> = self.partials.into_values().collect();
+        out.sort_by_key(|p| p.order);
+        out.into_iter()
+            .enumerate()
+            .map(|(i, mut p)| {
+                p.rec.session_id = i as u64;
+                p.rec
+            })
+            .collect()
+    }
+
+    /// Folds one parsed event into its session's partial record. Events
+    /// without `session`/`eventid` fields and unknown event ids are
+    /// ignored (real Cowrie logs contain dozens of kinds the analysis
+    /// never uses).
+    fn apply(&mut self, ev: &Json) {
+        let Some(session) = ev.get("session").and_then(Json::as_str) else { return };
+        let Some(eventid) = ev.get("eventid").and_then(Json::as_str) else { return };
         let timestamp = ev
             .get("timestamp")
             .and_then(Json::as_str)
             .and_then(DateTime::parse_iso8601)
             .unwrap_or_default();
 
-        let partial = partials.entry(session.to_string()).or_insert_with(|| {
-            let order = next_order;
-            next_order += 1;
+        let next_order = &mut self.next_order;
+        let partial = self.partials.entry(session.to_string()).or_insert_with(|| {
+            let order = *next_order;
+            *next_order += 1;
             Partial {
                 order,
                 rec: SessionRecord {
@@ -307,17 +346,63 @@ pub fn from_cowrie_log(log: &str) -> Result<Vec<SessionRecord>, CowrieImportErro
             _ => {}
         }
     }
+}
 
-    let mut out: Vec<Partial> = partials.into_values().collect();
-    out.sort_by_key(|p| p.order);
-    Ok(out
-        .into_iter()
-        .enumerate()
-        .map(|(i, mut p)| {
-            p.rec.session_id = i as u64;
-            p.rec
-        })
-        .collect())
+/// Parses a Cowrie JSON-lines log into session records, aborting on the
+/// first malformed line.
+///
+/// Events are grouped by their `session` field; unknown event ids are
+/// ignored. Sessions are returned in order of first appearance, with
+/// dense ids assigned. For logs that may be corrupted or truncated, use
+/// [`from_cowrie_log_lossy`] instead.
+pub fn from_cowrie_log(log: &str) -> Result<Vec<SessionRecord>, CowrieImportError> {
+    let mut imp = Importer::default();
+    for (lineno, line) in log.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let ev = Json::parse(line).map_err(|e| CowrieImportError::BadJson {
+            line: lineno + 1,
+            message: e.message,
+        })?;
+        imp.apply(&ev);
+    }
+    Ok(imp.finish())
+}
+
+/// Parses a Cowrie JSON-lines log, recovering every parseable session.
+///
+/// Real log files arrive corrupted: truncated mid-write, interleaved by
+/// concurrent writers, bit-flipped in transit. This importer skips each
+/// malformed line, records it in a structured per-line error report, and
+/// keeps grouping the rest — a session whose own lines all survived is
+/// recovered in full regardless of damage elsewhere in the file. On a
+/// clean log it returns exactly what [`from_cowrie_log`] returns, with an
+/// empty error list.
+pub fn from_cowrie_log_lossy(log: &str) -> LossyImport {
+    const SNIPPET_LEN: usize = 80;
+    let mut imp = Importer::default();
+    let mut errors = Vec::new();
+    let mut lines_total = 0usize;
+    for (lineno, line) in log.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        lines_total += 1;
+        match Json::parse(line) {
+            Ok(ev) => imp.apply(&ev),
+            Err(e) => {
+                errors.push(LineError {
+                    line: lineno + 1,
+                    message: e.message,
+                    snippet: line.chars().take(SNIPPET_LEN).collect(),
+                });
+            }
+        }
+    }
+    LossyImport { sessions: imp.finish(), errors, lines_total }
 }
 
 #[cfg(test)]
@@ -451,6 +536,62 @@ mod tests {
         let log = "{\"eventid\":\"cowrie.session.connect\",\"session\":\"a\",\"timestamp\":\"2023-01-01T00:00:00Z\"}\nnot json\n";
         let err = from_cowrie_log(log).unwrap_err();
         assert!(matches!(err, CowrieImportError::BadJson { line: 2, .. }));
+    }
+
+    #[test]
+    fn lossy_on_clean_log_equals_strict() {
+        let log = to_cowrie_log(&[sample(), {
+            let mut r = sample();
+            r.session_id = 8;
+            r.client_ip = Ipv4Addr::from_octets(10, 9, 9, 9);
+            r
+        }]);
+        let strict = from_cowrie_log(&log).unwrap();
+        let lossy = from_cowrie_log_lossy(&log);
+        assert!(lossy.errors.is_empty());
+        assert_eq!(lossy.lines_total, log.lines().count());
+        assert_eq!(lossy.sessions, strict);
+    }
+
+    #[test]
+    fn lossy_recovers_sessions_around_corruption() {
+        let a = sample();
+        let mut b = sample();
+        b.session_id = 9;
+        b.client_ip = Ipv4Addr::from_octets(10, 4, 4, 4);
+        let log_a = to_cowrie_log(std::slice::from_ref(&a));
+        let log_b = to_cowrie_log(std::slice::from_ref(&b));
+        // Garbage between the two sessions, plus a truncated final line.
+        let log = format!("{log_a}!! not json at all\n{log_b}{{\"eventid\":\"cowrie.sess");
+        assert!(from_cowrie_log(&log).is_err(), "strict import must abort");
+        let lossy = from_cowrie_log_lossy(&log);
+        assert_eq!(lossy.errors.len(), 2);
+        assert_eq!(lossy.errors[0].line, log_a.lines().count() + 1);
+        assert_eq!(lossy.errors[0].snippet, "!! not json at all");
+        assert_eq!(lossy.sessions.len(), 2);
+        assert_eq!(lossy.sessions[0].client_ip, a.client_ip);
+        assert_eq!(lossy.sessions[1].client_ip, b.client_ip);
+        assert_eq!(lossy.sessions[1].commands, b.commands);
+    }
+
+    #[test]
+    fn lossy_recovers_interleaved_session_when_peer_is_corrupted() {
+        // Session "aaa" intact, session "bbb" loses its connect line.
+        let log = concat!(
+            r#"{"eventid":"cowrie.session.connect","timestamp":"2023-01-01T00:00:00Z","session":"aaa","src_ip":"10.0.0.1","src_port":1,"dst_ip":"100.0.0.1","dst_port":22,"protocol":"ssh"}"#, "\n",
+            r#"{"eventid":"cowrie.session.connect","timestamp":"2023-01-01T00:00:01Z","sess"#, "\n",
+            r#"{"eventid":"cowrie.login.success","timestamp":"2023-01-01T00:00:02Z","session":"aaa","username":"root","password":"x"}"#, "\n",
+            r#"{"eventid":"cowrie.login.failed","timestamp":"2023-01-01T00:00:03Z","session":"bbb","username":"root","password":"root"}"#, "\n",
+            r#"{"eventid":"cowrie.session.closed","timestamp":"2023-01-01T00:00:09Z","session":"aaa","duration":9}"#, "\n",
+        );
+        let lossy = from_cowrie_log_lossy(log);
+        assert_eq!(lossy.errors.len(), 1);
+        assert_eq!(lossy.errors[0].line, 2);
+        assert_eq!(lossy.sessions.len(), 2);
+        let aaa = &lossy.sessions[0];
+        assert_eq!(aaa.client_ip, Ipv4Addr::from_octets(10, 0, 0, 1));
+        assert!(aaa.login_succeeded());
+        assert_eq!(aaa.duration_secs(), 9);
     }
 
     #[test]

@@ -8,9 +8,14 @@ use hutil::{Date, DateTime};
 use netsim::Ipv4Addr;
 
 /// First instant of the maintenance window (inclusive).
-pub const MAINTENANCE_START: fn() -> DateTime = || Date::new(2023, 10, 8).at_midnight();
+pub fn maintenance_start() -> DateTime {
+    Date::new(2023, 10, 8).at_midnight()
+}
+
 /// First instant after the maintenance window (exclusive).
-pub const MAINTENANCE_END: fn() -> DateTime = || Date::new(2023, 10, 10).at_midnight();
+pub fn maintenance_end() -> DateTime {
+    Date::new(2023, 10, 10).at_midnight()
+}
 
 /// One sensor.
 #[derive(Debug, Clone)]
@@ -79,9 +84,11 @@ impl Fleet {
     }
 
     /// Whether the fleet records sessions at `t` (false during the
-    /// 2023-10-08/09 maintenance).
+    /// 2023-10-08/09 maintenance). Convenience over the fleet-wide window
+    /// only; per-sensor availability lives in
+    /// [`crate::outage::OutageSchedule`].
     pub fn online_at(&self, t: DateTime) -> bool {
-        !(t >= MAINTENANCE_START() && t < MAINTENANCE_END())
+        !(t >= maintenance_start() && t < maintenance_end())
     }
 
     /// Number of distinct ASes hosting sensors.
@@ -134,7 +141,7 @@ mod tests {
         assert!(!f.online_at(Date::new(2023, 10, 9).at(12, 0, 0)));
         assert!(!f.online_at(Date::new(2023, 10, 9).at(23, 59, 59)));
         assert!(f.online_at(Date::new(2023, 10, 10).at_midnight()));
-        assert_eq!(MAINTENANCE_END().secs_since(MAINTENANCE_START()), 48 * 3600);
+        assert_eq!(maintenance_end().secs_since(maintenance_start()), 48 * 3600);
     }
 
     #[test]

@@ -29,6 +29,7 @@ pub mod auth;
 pub mod collector;
 pub mod cowrie_log;
 pub mod fleet;
+pub mod outage;
 pub mod record;
 pub mod session;
 pub mod shell;
@@ -37,9 +38,12 @@ pub mod wire;
 pub mod wire_telnet;
 
 pub use auth::AuthPolicy;
-pub use cowrie_log::{from_cowrie_log, to_cowrie_events, to_cowrie_log};
-pub use collector::Collector;
-pub use fleet::{Fleet, Honeypot, MAINTENANCE_END, MAINTENANCE_START};
+pub use cowrie_log::{
+    from_cowrie_log, from_cowrie_log_lossy, to_cowrie_events, to_cowrie_log, LossyImport,
+};
+pub use collector::{Collector, CollectorConfig, IngestOutcome, IngestStats};
+pub use fleet::{maintenance_end, maintenance_start, Fleet, Honeypot};
+pub use outage::{OutageConfig, OutageSchedule};
 pub use record::{
     CommandRecord, FileEvent, FileOp, LoginAttempt, Protocol, SessionEndReason, SessionRecord,
 };

@@ -1,0 +1,282 @@
+//! Sensor outage schedules.
+//!
+//! The paper's honeynet did not run uninterrupted: the whole fleet was
+//! down for 48 hours of maintenance in October 2023, and any long-running
+//! deployment additionally loses individual sensors to crashes, network
+//! partitions and flapping links. An [`OutageSchedule`] captures both
+//! kinds of downtime as explicit time windows — one fleet-wide list plus
+//! one list per sensor — generated up front from a seed, so the generator,
+//! the collector and the coverage-aware reporting all agree on exactly
+//! when each sensor was observable.
+//!
+//! The historical 2023-10-08/09 maintenance window is not special-cased
+//! anywhere downstream: it is one scheduled fleet-wide instance like any
+//! other, produced by every builder whose config keeps
+//! `include_maintenance` set.
+
+use crate::fleet::{maintenance_end, maintenance_start};
+use hutil::rng::SeedTree;
+use hutil::{Date, DateTime};
+use netsim::faults::OutageSampler;
+use rand::Rng;
+
+/// A half-open downtime window `[start, end)`.
+pub type Window = (DateTime, DateTime);
+
+/// Knobs for seeded schedule generation.
+#[derive(Debug, Clone)]
+pub struct OutageConfig {
+    /// Target long-run fraction of per-sensor time down (beyond fleet-wide
+    /// windows). Zero disables individual outages entirely.
+    pub downtime_frac: f64,
+    /// Mean length of one ordinary sensor outage, in hours.
+    pub mean_outage_hours: f64,
+    /// Fraction of sensors that *flap*: same downtime budget, but spent in
+    /// many short outages instead of a few long ones.
+    pub flap_frac: f64,
+    /// Whether the fleet-wide 2023-10-08/09 maintenance window is part of
+    /// the schedule (it is in the paper's deployment).
+    pub include_maintenance: bool,
+}
+
+impl OutageConfig {
+    /// The paper's deployment: no modelled per-sensor downtime, just the
+    /// documented maintenance window.
+    pub fn maintenance_only() -> Self {
+        Self {
+            downtime_frac: 0.0,
+            mean_outage_hours: 0.0,
+            flap_frac: 0.0,
+            include_maintenance: true,
+        }
+    }
+
+    /// A degraded deployment: ≥10 % of sensor-days lost to individual
+    /// outages, a tenth of the fleet flapping, on top of maintenance.
+    pub fn degraded() -> Self {
+        Self {
+            downtime_frac: 0.12,
+            mean_outage_hours: 36.0,
+            flap_frac: 0.1,
+            include_maintenance: true,
+        }
+    }
+}
+
+/// When every sensor was down, fleet-wide and individually.
+#[derive(Debug, Clone)]
+pub struct OutageSchedule {
+    start: Date,
+    end: Date,
+    fleet: Vec<Window>,
+    per_sensor: Vec<Vec<Window>>,
+}
+
+impl OutageSchedule {
+    /// The paper's schedule over `[start, end]`: the maintenance window
+    /// and nothing else.
+    pub fn maintenance_only(n_sensors: usize, start: Date, end: Date) -> Self {
+        Self::seeded(&OutageConfig::maintenance_only(), n_sensors, start, end, 0)
+    }
+
+    /// Generates a schedule from a seed. Per-sensor outage timelines are
+    /// drawn from independent labelled streams, so the schedule for sensor
+    /// `i` does not depend on the fleet size.
+    pub fn seeded(
+        cfg: &OutageConfig,
+        n_sensors: usize,
+        start: Date,
+        end: Date,
+        seed: u64,
+    ) -> Self {
+        let span_start = start.at_midnight();
+        let span_end = end.plus_days(1).at_midnight();
+        let mut fleet = Vec::new();
+        if cfg.include_maintenance
+            && maintenance_start() < span_end
+            && maintenance_end() > span_start
+        {
+            fleet.push((
+                maintenance_start().max(span_start),
+                maintenance_end().min(span_end),
+            ));
+        }
+        let horizon = span_end.secs_since(span_start).max(0) as u64;
+        let mut per_sensor = vec![Vec::new(); n_sensors];
+        if cfg.downtime_frac > 0.0 && horizon > 0 {
+            let seeds = SeedTree::new(seed);
+            let ordinary = OutageSampler::from_downtime(
+                cfg.downtime_frac.min(0.95),
+                (cfg.mean_outage_hours * 3600.0).max(3600.0),
+            );
+            // Flappers: same unavailability, 1/24th the outage length.
+            let flapping = OutageSampler {
+                mean_up_secs: ordinary.mean_up_secs / 24.0,
+                mean_down_secs: ordinary.mean_down_secs / 24.0,
+            };
+            for (i, windows) in per_sensor.iter_mut().enumerate() {
+                let mut rng = seeds.rng(&format!("sensor-{i}"));
+                let sampler = if rng.random::<f64>() < cfg.flap_frac {
+                    flapping
+                } else {
+                    ordinary
+                };
+                *windows = sampler
+                    .sample_windows(horizon, &mut rng)
+                    .into_iter()
+                    .map(|(a, b)| {
+                        (span_start.plus_secs(a as i64), span_start.plus_secs(b as i64))
+                    })
+                    .collect();
+            }
+        }
+        Self { start, end, fleet, per_sensor }
+    }
+
+    /// First scheduled day.
+    pub fn span_start(&self) -> Date {
+        self.start
+    }
+
+    /// Last scheduled day (inclusive).
+    pub fn span_end(&self) -> Date {
+        self.end
+    }
+
+    /// Number of sensors covered.
+    pub fn n_sensors(&self) -> usize {
+        self.per_sensor.len()
+    }
+
+    /// Fleet-wide downtime windows, sorted.
+    pub fn fleet_windows(&self) -> &[Window] {
+        &self.fleet
+    }
+
+    /// Individual downtime windows of one sensor, sorted.
+    pub fn sensor_windows(&self, sensor: u16) -> &[Window] {
+        self.per_sensor
+            .get(sensor as usize)
+            .map_or(&[], Vec::as_slice)
+    }
+
+    /// Whether `sensor` records sessions at `t`. Sensors the schedule does
+    /// not know about are only subject to fleet-wide windows.
+    pub fn is_up(&self, sensor: u16, t: DateTime) -> bool {
+        let down = |w: &[Window]| w.iter().any(|(s, e)| t >= *s && t < *e);
+        !down(&self.fleet) && !down(self.sensor_windows(sensor))
+    }
+
+    /// Seconds of `day` during which `sensor` was down (union of fleet and
+    /// individual windows, clipped to the day).
+    pub fn down_secs_on(&self, sensor: u16, day: Date) -> i64 {
+        let day_start = day.at_midnight();
+        let day_end = day.plus_days(1).at_midnight();
+        let mut clipped: Vec<(i64, i64)> = self
+            .fleet
+            .iter()
+            .chain(self.sensor_windows(sensor))
+            .filter_map(|(s, e)| {
+                let a = s.secs_since(day_start).max(0);
+                let b = e.secs_since(day_start).min(day_end.secs_since(day_start));
+                (b > a).then_some((a, b))
+            })
+            .collect();
+        clipped.sort_unstable();
+        let mut total = 0i64;
+        let mut cursor = 0i64;
+        for (a, b) in clipped {
+            let a = a.max(cursor);
+            if b > a {
+                total += b - a;
+                cursor = b;
+            }
+        }
+        total
+    }
+
+    /// Sensor-seconds of downtime across the whole fleet on `day`.
+    pub fn down_sensor_secs(&self, day: Date) -> i64 {
+        (0..self.per_sensor.len() as u16)
+            .map(|i| self.down_secs_on(i, day))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span() -> (Date, Date) {
+        (Date::new(2021, 12, 1), Date::new(2024, 8, 31))
+    }
+
+    #[test]
+    fn maintenance_only_schedule_matches_documented_window() {
+        let (s, e) = span();
+        let sched = OutageSchedule::maintenance_only(221, s, e);
+        assert_eq!(sched.fleet_windows().len(), 1);
+        assert_eq!(sched.fleet_windows()[0], (maintenance_start(), maintenance_end()));
+        for sensor in [0u16, 100, 220] {
+            assert!(sched.is_up(sensor, Date::new(2023, 10, 7).at(23, 59, 59)));
+            assert!(!sched.is_up(sensor, Date::new(2023, 10, 8).at_midnight()));
+            assert!(!sched.is_up(sensor, Date::new(2023, 10, 9).at(23, 59, 59)));
+            assert!(sched.is_up(sensor, Date::new(2023, 10, 10).at_midnight()));
+            assert!(sched.sensor_windows(sensor).is_empty());
+        }
+        assert_eq!(sched.down_secs_on(0, Date::new(2023, 10, 8)), 86_400);
+        assert_eq!(sched.down_secs_on(0, Date::new(2023, 10, 10)), 0);
+    }
+
+    #[test]
+    fn seeded_schedule_hits_downtime_target_and_is_deterministic() {
+        let (s, e) = span();
+        let cfg = OutageConfig::degraded();
+        let a = OutageSchedule::seeded(&cfg, 50, s, e, 11);
+        let b = OutageSchedule::seeded(&cfg, 50, s, e, 11);
+        let total_secs = (e.days_since(s) + 1) * 86_400;
+        let mut down = 0i64;
+        for i in 0..50u16 {
+            assert_eq!(a.sensor_windows(i), b.sensor_windows(i));
+            down += a
+                .sensor_windows(i)
+                .iter()
+                .map(|(x, y)| y.secs_since(*x))
+                .sum::<i64>();
+        }
+        let frac = down as f64 / (total_secs * 50) as f64;
+        assert!((0.08..0.17).contains(&frac), "downtime fraction {frac}");
+    }
+
+    #[test]
+    fn sensor_streams_do_not_depend_on_fleet_size() {
+        let (s, e) = span();
+        let cfg = OutageConfig::degraded();
+        let small = OutageSchedule::seeded(&cfg, 10, s, e, 5);
+        let large = OutageSchedule::seeded(&cfg, 200, s, e, 5);
+        for i in 0..10u16 {
+            assert_eq!(small.sensor_windows(i), large.sensor_windows(i));
+        }
+    }
+
+    #[test]
+    fn down_secs_unions_overlapping_windows() {
+        let (s, e) = span();
+        let cfg = OutageConfig::degraded();
+        let sched = OutageSchedule::seeded(&cfg, 30, s, e, 3);
+        // Maintenance days: every sensor is fully down regardless of its
+        // individual windows (no double counting past the day length).
+        for i in 0..30u16 {
+            assert_eq!(sched.down_secs_on(i, Date::new(2023, 10, 8)), 86_400);
+        }
+        assert_eq!(sched.down_sensor_secs(Date::new(2023, 10, 9)), 30 * 86_400);
+    }
+
+    #[test]
+    fn unknown_sensor_follows_fleet_windows_only() {
+        let (s, e) = span();
+        let sched = OutageSchedule::maintenance_only(3, s, e);
+        assert!(!sched.is_up(9999, Date::new(2023, 10, 8).at(1, 0, 0)));
+        assert!(sched.is_up(9999, Date::new(2022, 1, 1).at(1, 0, 0)));
+    }
+}

@@ -90,7 +90,7 @@ pub struct FileEvent {
 }
 
 /// Everything one honeypot records about one session.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SessionRecord {
     /// Collector-assigned id (dense, in arrival order).
     pub session_id: u64,

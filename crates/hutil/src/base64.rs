@@ -90,11 +90,11 @@ pub fn decode(input: &str) -> Result<Vec<u8>, DecodeError> {
             None => return Err(DecodeError::InvalidByte { position: i, byte: b }),
         }
     }
-    if pad > 2 || (pad > 0 && digits.len() % 4 == 0) {
+    if pad > 2 || (pad > 0 && digits.len().is_multiple_of(4)) {
         // Three '=' in a row, or padding that completes nothing ("AAAA=").
         return Err(DecodeError::InvalidPadding);
     }
-    if (digits.len() + pad) % 4 != 0 {
+    if !(digits.len() + pad).is_multiple_of(4) {
         return Err(DecodeError::InvalidLength);
     }
     let mut out = Vec::with_capacity(digits.len() * 3 / 4);

@@ -1,0 +1,178 @@
+//! Seeded fault-injection primitives.
+//!
+//! The substrate-level building blocks for degraded-mode simulation:
+//! renewal-process outage sampling (a link or host alternates between up
+//! and down periods with exponential holding times), Bernoulli failure
+//! injection for individual operations (e.g. a collector flush), and the
+//! exponential-backoff delay schedule used when retrying failed
+//! operations. All randomness is explicitly seeded; a sampler given the
+//! same seed produces the same fault timeline on every run, which lets the
+//! pipeline's degraded-mode tests assert exact accounting identities.
+//!
+//! These primitives are time-base-agnostic (plain seconds); the
+//! `honeypot::outage` module binds them to the study calendar.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Draws from an exponential distribution with the given mean via
+/// inversion sampling. A zero or negative mean collapses to zero.
+pub fn exp_sample(mean_secs: f64, rng: &mut StdRng) -> f64 {
+    if mean_secs <= 0.0 {
+        return 0.0;
+    }
+    let u: f64 = rng.random();
+    // u ∈ [0,1) ⇒ 1-u ∈ (0,1], so ln() is finite and non-positive.
+    -mean_secs * (1.0 - u).ln()
+}
+
+/// An alternating up/down renewal process: up periods with mean
+/// `mean_up_secs`, down periods with mean `mean_down_secs`, both
+/// exponentially distributed. The long-run unavailability is
+/// `mean_down / (mean_up + mean_down)`.
+#[derive(Debug, Clone, Copy)]
+pub struct OutageSampler {
+    /// Mean length of an up period, in seconds.
+    pub mean_up_secs: f64,
+    /// Mean length of a down period, in seconds.
+    pub mean_down_secs: f64,
+}
+
+impl OutageSampler {
+    /// A sampler targeting a long-run down fraction with a given mean
+    /// outage length. `down_frac` must lie in `(0, 1)`.
+    pub fn from_downtime(down_frac: f64, mean_down_secs: f64) -> Self {
+        assert!(down_frac > 0.0 && down_frac < 1.0, "down_frac out of (0,1)");
+        Self {
+            mean_up_secs: mean_down_secs * (1.0 - down_frac) / down_frac,
+            mean_down_secs,
+        }
+    }
+
+    /// Samples the down windows falling within `[0, horizon_secs)`,
+    /// returned as half-open `(start, end)` second offsets, sorted and
+    /// non-overlapping. Windows are clipped to the horizon; zero-length
+    /// windows are suppressed.
+    pub fn sample_windows(&self, horizon_secs: u64, rng: &mut StdRng) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        if self.mean_down_secs <= 0.0 || horizon_secs == 0 {
+            return out;
+        }
+        let mut t = 0.0f64;
+        let horizon = horizon_secs as f64;
+        loop {
+            t += exp_sample(self.mean_up_secs, rng);
+            if t >= horizon {
+                break;
+            }
+            let down = exp_sample(self.mean_down_secs, rng).max(1.0);
+            let start = t as u64;
+            let end = ((t + down) as u64).min(horizon_secs);
+            if end > start {
+                out.push((start, end));
+            }
+            t += down;
+        }
+        out
+    }
+}
+
+/// Bernoulli failure injection for individual operations. With rate 0 the
+/// injector never fires and never consumes randomness, so a fault-free
+/// configuration is bit-identical to a build without the injector.
+#[derive(Debug)]
+pub struct FailureInjector {
+    rate: f64,
+    rng: StdRng,
+}
+
+impl FailureInjector {
+    /// A new injector firing with probability `rate` per call.
+    pub fn new(rate: f64, seed: u64) -> Self {
+        Self { rate, rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// The configured failure rate.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// Whether the next operation fails.
+    pub fn fires(&mut self) -> bool {
+        self.rate > 0.0 && self.rng.random::<f64>() < self.rate
+    }
+}
+
+/// Exponential-backoff delay before retry `attempt` (1-based): `base *
+/// 2^(attempt-1)`, capped at `cap`. Attempt 0 means "no failure yet" and
+/// yields no delay. The unit is caller-defined (seconds, flush passes, …).
+pub fn backoff_delay(base: u64, attempt: u32, cap: u64) -> u64 {
+    if attempt == 0 {
+        return 0;
+    }
+    let shift = (attempt - 1).min(32);
+    base.saturating_mul(1u64 << shift).min(cap)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exp_sample_matches_mean_roughly() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 20_000;
+        let sum: f64 = (0..n).map(|_| exp_sample(100.0, &mut rng)).sum();
+        let mean = sum / n as f64;
+        assert!((90.0..110.0).contains(&mean), "mean {mean}");
+    }
+
+    #[test]
+    fn sampler_hits_downtime_target() {
+        let s = OutageSampler::from_downtime(0.10, 12.0 * 3600.0);
+        let horizon = 1000 * 86_400u64;
+        let mut rng = StdRng::seed_from_u64(7);
+        let windows = s.sample_windows(horizon, &mut rng);
+        assert!(!windows.is_empty());
+        let down: u64 = windows.iter().map(|(a, b)| b - a).sum();
+        let frac = down as f64 / horizon as f64;
+        assert!((0.05..0.16).contains(&frac), "down fraction {frac}");
+        // Sorted, non-overlapping, clipped.
+        for w in windows.windows(2) {
+            assert!(w[0].1 <= w[1].0);
+        }
+        assert!(windows.last().unwrap().1 <= horizon);
+    }
+
+    #[test]
+    fn sampler_is_deterministic() {
+        let s = OutageSampler::from_downtime(0.2, 3600.0);
+        let a = s.sample_windows(86_400 * 30, &mut StdRng::seed_from_u64(3));
+        let b = s.sample_windows(86_400 * 30, &mut StdRng::seed_from_u64(3));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn zero_rate_injector_never_fires() {
+        let mut inj = FailureInjector::new(0.0, 9);
+        assert!((0..1000).all(|_| !inj.fires()));
+    }
+
+    #[test]
+    fn injector_fires_at_roughly_its_rate() {
+        let mut inj = FailureInjector::new(0.25, 9);
+        let fired = (0..10_000).filter(|_| inj.fires()).count();
+        assert!((2_000..3_000).contains(&fired), "fired {fired}");
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        assert_eq!(backoff_delay(1, 0, 100), 0);
+        assert_eq!(backoff_delay(1, 1, 100), 1);
+        assert_eq!(backoff_delay(1, 2, 100), 2);
+        assert_eq!(backoff_delay(1, 5, 100), 16);
+        assert_eq!(backoff_delay(1, 20, 100), 100);
+        // The shift saturates at 32 doublings before the cap applies.
+        assert_eq!(backoff_delay(3, 40, u64::MAX), 3 << 32);
+    }
+}

@@ -74,7 +74,8 @@ impl Prefix {
         self.base
     }
 
-    /// Prefix length.
+    /// Prefix length (CIDR bit count, not a container length).
+    #[allow(clippy::len_without_is_empty)]
     pub fn len(self) -> u8 {
         self.len
     }

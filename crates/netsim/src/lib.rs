@@ -15,8 +15,12 @@
 //!   3-minute idle timeout that ends honeypot sessions.
 //! * [`latency`] — a seeded per-path latency model used to time handshake
 //!   and command round-trips.
+//! * [`faults`] — seeded fault-injection primitives: outage renewal
+//!   processes, Bernoulli failure injection and exponential backoff, the
+//!   substrate of the pipeline's degraded-mode simulation.
 
 pub mod event;
+pub mod faults;
 pub mod ip;
 pub mod latency;
 pub mod tcp;

@@ -95,10 +95,10 @@ impl PacketCodec {
             return Ok(None);
         }
         let packet_length = u32::from_be_bytes([buf[0], buf[1], buf[2], buf[3]]) as usize;
-        if packet_length < 1 + MIN_PAD || packet_length > MAX_PACKET {
+        if !(1 + MIN_PAD..=MAX_PACKET).contains(&packet_length) {
             return Err(SshError::Framing(format!("bad packet length {packet_length}")));
         }
-        if (4 + packet_length) % BLOCK != 0 {
+        if !(4 + packet_length).is_multiple_of(BLOCK) {
             return Err(SshError::Framing("packet not block-aligned".into()));
         }
         let tag_len = if self.key.is_some() { TAG_LEN } else { 0 };
@@ -161,7 +161,7 @@ mod tests {
     fn partial_input_returns_none_without_consuming() {
         let mut tx = PacketCodec::new();
         let wire = tx.seal(b"hello world");
-        let mut rx = PacketCodec::new();
+        let rx = PacketCodec::new();
         for cut in 0..wire.len() {
             let mut buf = BytesMut::from(&wire[..cut]);
             assert_eq!(rx.clone().open(&mut buf).unwrap(), None, "cut={cut}");

@@ -207,7 +207,7 @@ fn main() {
     }
     println!("\ncategories observed:");
     let mut cats: Vec<_> = cats.into_iter().collect();
-    cats.sort_by(|a, b| b.1.cmp(&a.1));
+    cats.sort_by_key(|entry| std::cmp::Reverse(entry.1));
     for (label, n) in cats.into_iter().take(12) {
         println!("  {label:<24} {n}");
     }

@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Tier-1 gate: everything that must stay green on every commit.
+# Run from the repository root: ./scripts/tier1.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier1: release build =="
+cargo build --release
+
+echo "== tier1: tests =="
+cargo test -q --workspace
+
+echo "== tier1: clippy (deny warnings) =="
+cargo clippy --all-targets --workspace -- -D warnings
+
+echo "== tier1: OK =="

@@ -17,9 +17,12 @@
 //!     Print the classifier's rule set (label + pattern).
 //! ```
 
+use honeylab::botnet::FaultProfile;
 use honeylab::core::{logins, report, storage_analysis as sa};
-use honeylab::honeypot::{from_cowrie_log, to_cowrie_log};
+use honeylab::honeypot::{from_cowrie_log_lossy, to_cowrie_log};
 use honeylab::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use std::io::{BufRead, Write};
 
 fn main() {
@@ -34,6 +37,9 @@ fn main() {
                 "usage: honeylab <generate|analyze|classify|table1> [options]\n\
                  \n\
                  generate --scale N --seed S --out FILE   synthesize a Cowrie JSON log\n\
+                 \x20        [--downtime F]                  inject sensor outages (fraction of sensor-time)\n\
+                 \x20        [--flush-fail F]                inject collector flush failures (per-write rate)\n\
+                 \x20        [--corrupt F]                   corrupt the emitted log (per-line byte-flip rate)\n\
                  analyze FILE                             run the paper's analysis on a Cowrie log\n\
                  classify                                 classify stdin command lines (Table 1)\n\
                  table1                                   print the classifier rule set"
@@ -52,12 +58,41 @@ fn cmd_generate(args: &[String]) -> i32 {
     let scale: u64 = flag(args, "--scale").and_then(|s| s.parse().ok()).unwrap_or(8_000);
     let seed: u64 = flag(args, "--seed").and_then(|s| s.parse().ok()).unwrap_or(42);
     let out = flag(args, "--out").unwrap_or_else(|| "honeynet.json".to_string());
+    let downtime: f64 = flag(args, "--downtime").and_then(|s| s.parse().ok()).unwrap_or(0.0);
+    let flush_fail: f64 = flag(args, "--flush-fail").and_then(|s| s.parse().ok()).unwrap_or(0.0);
+    let corrupt: f64 = flag(args, "--corrupt").and_then(|s| s.parse().ok()).unwrap_or(0.0);
     let mut cfg = DriverConfig::default_scale(seed);
     cfg.session_scale = scale;
+    if downtime > 0.0 {
+        let mut f = FaultProfile::degraded();
+        f.sensor_downtime = downtime;
+        f.flush_failure_rate = 0.0;
+        cfg.faults = f;
+    }
+    if flush_fail > 0.0 {
+        cfg.faults.flush_failure_rate = flush_fail;
+        cfg.faults.queue_capacity = Some(64);
+    }
     eprintln!("generating 33 months at 1:{scale} (seed {seed})…");
     let ds = generate_dataset(&cfg);
+    let f = &ds.faults;
+    if f.connection_failures + f.ingest.dropped + f.ingest.quarantined > 0 {
+        eprintln!(
+            "degraded run: {} attempted = {} recorded + {} connection failures + {} dropped + {} quarantined",
+            f.attempted,
+            ds.sessions.len(),
+            f.connection_failures,
+            f.ingest.dropped,
+            f.ingest.quarantined
+        );
+    }
     eprintln!("{} sessions; writing Cowrie-format log to {out}…", ds.sessions.len());
-    let log = to_cowrie_log(&ds.sessions);
+    let mut log = to_cowrie_log(&ds.sessions);
+    if corrupt > 0.0 {
+        let (l, n) = corrupt_log(&log, corrupt, seed);
+        eprintln!("corrupted {n} of {} lines (--corrupt {corrupt})", l.lines().count());
+        log = l;
+    }
     match std::fs::File::create(&out).and_then(|mut f| f.write_all(log.as_bytes())) {
         Ok(()) => {
             eprintln!("wrote {} bytes ({} lines)", log.len(), log.lines().count());
@@ -68,6 +103,29 @@ fn cmd_generate(args: &[String]) -> i32 {
             1
         }
     }
+}
+
+/// Seeded per-line corruption: with probability `rate` a line gets one
+/// byte overwritten at a random position — the kind of damage a crashed
+/// logger or a torn sector leaves behind.
+fn corrupt_log(log: &str, rate: f64, seed: u64) -> (String, usize) {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xc0_44_u64);
+    let mut corrupted = 0usize;
+    let lines: Vec<String> = log
+        .lines()
+        .map(|line| {
+            if !line.is_empty() && rng.random::<f64>() < rate {
+                corrupted += 1;
+                let mut bytes = line.as_bytes().to_vec();
+                let i = rng.random_range(0..bytes.len());
+                bytes[i] = b'#';
+                String::from_utf8_lossy(&bytes).into_owned()
+            } else {
+                line.to_string()
+            }
+        })
+        .collect();
+    (lines.join("\n") + "\n", corrupted)
 }
 
 fn cmd_analyze(args: &[String]) -> i32 {
@@ -82,13 +140,29 @@ fn cmd_analyze(args: &[String]) -> i32 {
             return 1;
         }
     };
-    let sessions = match from_cowrie_log(&log) {
-        Ok(s) => s,
-        Err(e) => {
-            eprintln!("error parsing {path}: {e}");
-            return 1;
-        }
-    };
+    // Lossy import: a real multi-year Cowrie deployment accumulates torn
+    // writes and crash-truncated files; recover every parseable session
+    // and report what was skipped rather than aborting on line one.
+    let import = from_cowrie_log_lossy(&log);
+    for err in import.errors.iter().take(5) {
+        eprintln!("warning: line {}: {} ({})", err.line, err.message, err.snippet);
+    }
+    if import.errors.len() > 5 {
+        eprintln!("warning: … {} more unparseable lines", import.errors.len() - 5);
+    }
+    if !import.errors.is_empty() {
+        eprintln!(
+            "recovered {} sessions from {} lines ({} unparseable)",
+            import.sessions.len(),
+            import.lines_total,
+            import.errors.len()
+        );
+    }
+    let sessions = import.sessions;
+    if sessions.is_empty() && !import.errors.is_empty() {
+        eprintln!("error parsing {path}: no sessions recoverable");
+        return 1;
+    }
     eprintln!("parsed {} sessions", sessions.len());
 
     // §3.3 taxonomy.
@@ -104,7 +178,7 @@ fn cmd_analyze(args: &[String]) -> i32 {
         *cats.entry(cl.classify(&s.command_text())).or_default() += 1;
     }
     let mut cats: Vec<_> = cats.into_iter().collect();
-    cats.sort_by(|a, b| b.1.cmp(&a.1));
+    cats.sort_by_key(|entry| std::cmp::Reverse(entry.1));
     println!("\ntop command categories:");
     for (label, n) in cats.iter().take(15) {
         println!("  {label:<26} {n}");

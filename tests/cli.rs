@@ -81,6 +81,45 @@ fn generate_then_analyze_roundtrip() {
 }
 
 #[test]
+fn degraded_generate_then_lossy_analyze() {
+    let dir = std::env::temp_dir().join("honeylab-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let log = dir.join("hlab-degraded.json");
+    let out = honeylab()
+        .args([
+            "generate",
+            "--scale",
+            "60000",
+            "--seed",
+            "9",
+            "--downtime",
+            "0.12",
+            "--flush-fail",
+            "0.01",
+            "--corrupt",
+            "0.01",
+            "--out",
+            log.to_str().unwrap(),
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("degraded run:"), "accounting line printed:\n{err}");
+    assert!(err.contains("connection failures"), "{err}");
+    assert!(err.contains("corrupted"), "{err}");
+
+    // The analyzer recovers the parseable sessions instead of aborting.
+    let out = honeylab().arg("analyze").arg(&log).output().expect("binary runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("recovered"), "lossy import reported:\n{err}");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("Dataset statistics"));
+    std::fs::remove_file(&log).ok();
+}
+
+#[test]
 fn analyze_rejects_garbage() {
     let dir = std::env::temp_dir().join("honeylab-cli-test");
     std::fs::create_dir_all(&dir).unwrap();

@@ -1,0 +1,318 @@
+//! Vendored minimal stand-in for the `bytes` crate.
+//!
+//! Provides [`Bytes`], [`BytesMut`] and the [`Buf`]/[`BufMut`] traits with
+//! the exact semantics `sshwire` relies on (`split_to`, `advance`, `freeze`,
+//! `get_u8`/`get_u32`, `put_*`). Unlike upstream, buffers are plain
+//! `Vec<u8>`s and `split_to` copies instead of sharing a refcounted slab —
+//! identical observable behaviour, no `unsafe`, fast enough for a honeypot
+//! dialogue simulator.
+
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+
+/// Read-side cursor trait.
+pub trait Buf {
+    fn remaining(&self) -> usize;
+    fn chunk(&self) -> &[u8];
+    fn advance(&mut self, cnt: usize);
+
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        assert!(self.remaining() >= 1, "get_u8 past end of buffer");
+        let b = self.chunk()[0];
+        self.advance(1);
+        b
+    }
+
+    fn get_u32(&mut self) -> u32 {
+        assert!(self.remaining() >= 4, "get_u32 past end of buffer");
+        let c = self.chunk();
+        let v = u32::from_be_bytes([c[0], c[1], c[2], c[3]]);
+        self.advance(4);
+        v
+    }
+
+    fn copy_to_bytes(&mut self, len: usize) -> Bytes {
+        assert!(self.remaining() >= len, "copy_to_bytes past end of buffer");
+        let out = Bytes::from(self.chunk()[..len].to_vec());
+        self.advance(len);
+        out
+    }
+}
+
+/// Write-side trait.
+pub trait BufMut {
+    fn put_slice(&mut self, src: &[u8]);
+
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    fn put_u32(&mut self, v: u32) {
+        self.put_slice(&v.to_be_bytes());
+    }
+}
+
+/// Immutable byte buffer (here: an owned `Vec<u8>` with a start offset).
+#[derive(Clone, Default, PartialEq, Eq, Hash)]
+pub struct Bytes {
+    data: Vec<u8>,
+    start: usize,
+}
+
+impl Bytes {
+    pub const fn new() -> Self {
+        Self { data: Vec::new(), start: 0 }
+    }
+
+    pub fn from_static(bytes: &'static [u8]) -> Self {
+        Self { data: bytes.to_vec(), start: 0 }
+    }
+
+    pub fn len(&self) -> usize {
+        self.data.len() - self.start
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data[self.start..]
+    }
+
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_slice().to_vec()
+    }
+
+    /// Splits off and returns the first `at` bytes, leaving the rest.
+    pub fn split_to(&mut self, at: usize) -> Bytes {
+        assert!(at <= self.len(), "split_to out of bounds");
+        let head = Bytes::from(self.as_slice()[..at].to_vec());
+        self.start += at;
+        head
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn chunk(&self) -> &[u8] {
+        self.as_slice()
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.len(), "advance out of bounds");
+        self.start += cnt;
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(data: Vec<u8>) -> Self {
+        Self { data, start: 0 }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(bytes: &[u8]) -> Self {
+        Self::from(bytes.to_vec())
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b\"")?;
+        for &b in self.as_slice() {
+            for esc in std::ascii::escape_default(b) {
+                write!(f, "{}", esc as char)?;
+            }
+        }
+        write!(f, "\"")
+    }
+}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl PartialEq<&[u8]> for Bytes {
+    fn eq(&self, other: &&[u8]) -> bool {
+        self.as_slice() == *other
+    }
+}
+
+/// Growable byte buffer with a read cursor at the front.
+#[derive(Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+    start: usize,
+}
+
+impl BytesMut {
+    pub const fn new() -> Self {
+        Self { data: Vec::new(), start: 0 }
+    }
+
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self { data: Vec::with_capacity(capacity), start: 0 }
+    }
+
+    pub fn len(&self) -> usize {
+        self.data.len() - self.start
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data[self.start..]
+    }
+
+    pub fn extend_from_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+
+    /// Splits off and returns the first `at` bytes, leaving the rest.
+    pub fn split_to(&mut self, at: usize) -> BytesMut {
+        assert!(at <= self.len(), "split_to out of bounds");
+        let head = BytesMut { data: self.as_slice()[..at].to_vec(), start: 0 };
+        self.start += at;
+        head
+    }
+
+    /// Splits off the entire contents, leaving this buffer empty.
+    pub fn split(&mut self) -> BytesMut {
+        let len = self.len();
+        self.split_to(len)
+    }
+
+    /// Freezes into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes { data: self.data, start: self.start }
+    }
+}
+
+impl Buf for BytesMut {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn chunk(&self) -> &[u8] {
+        self.as_slice()
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.len(), "advance out of bounds");
+        self.start += cnt;
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+impl From<&[u8]> for BytesMut {
+    fn from(bytes: &[u8]) -> Self {
+        Self { data: bytes.to_vec(), start: 0 }
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        let start = self.start;
+        &mut self.data[start..]
+    }
+}
+
+impl fmt::Debug for BytesMut {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(&Bytes::from(self.as_slice().to_vec()), f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{Buf, BufMut, Bytes, BytesMut};
+
+    #[test]
+    fn put_then_get_roundtrip() {
+        let mut b = BytesMut::with_capacity(16);
+        b.put_u32(0xDEAD_BEEF);
+        b.put_u8(7);
+        b.put_slice(b"hello");
+        assert_eq!(b.len(), 10);
+        let mut frozen = b.freeze();
+        assert_eq!(frozen.get_u32(), 0xDEAD_BEEF);
+        assert_eq!(frozen.get_u8(), 7);
+        assert_eq!(&frozen[..], b"hello");
+    }
+
+    #[test]
+    fn split_advance_freeze() {
+        let mut b = BytesMut::from(&b"0123456789"[..]);
+        let head = b.split_to(4);
+        assert_eq!(&head[..], b"0123");
+        assert_eq!(&b[..], b"456789");
+        b.advance(2);
+        assert_eq!(&b[..], b"6789");
+        let rest = b.split();
+        assert!(b.is_empty());
+        assert_eq!(&rest.freeze()[..], b"6789");
+    }
+
+    #[test]
+    fn bytes_split_and_copy() {
+        let mut b = Bytes::from(b"abcdef".to_vec());
+        let head = b.split_to(2);
+        assert_eq!(&head[..], b"ab");
+        let mid = b.copy_to_bytes(2);
+        assert_eq!(&mid[..], b"cd");
+        assert_eq!(b.remaining(), 2);
+        assert_eq!(b.to_vec(), b"ef");
+    }
+
+    #[test]
+    fn index_mut_after_advance() {
+        let mut b = BytesMut::from(&b"xyz"[..]);
+        b.advance(1);
+        b[0] ^= 1;
+        assert_eq!(&b[..], &[b'y' ^ 1, b'z']);
+    }
+
+    #[test]
+    fn static_and_empty() {
+        assert!(Bytes::new().is_empty());
+        let s = Bytes::from_static(b"SSH-2.0");
+        assert_eq!(&s[..], b"SSH-2.0");
+    }
+}

@@ -1,0 +1,180 @@
+//! Vendored minimal stand-in for `criterion`.
+//!
+//! Implements the subset the benches use — `Criterion::bench_function`,
+//! `benchmark_group` (with `sample_size`/`throughput`/`finish`), `Bencher::
+//! iter` and the `criterion_group!`/`criterion_main!` macros — as a plain
+//! timing loop: warm-up, then a fixed number of timed samples whose median
+//! per-iteration time is printed. No statistics engine, no HTML reports,
+//! but `cargo bench` produces comparable wall-clock numbers and the bench
+//! targets compile and run offline.
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export so benches may use `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Throughput annotation attached to a benchmark group (printed alongside
+/// timings).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+/// Drives one benchmark's measurement loop.
+pub struct Bencher {
+    samples: usize,
+    /// Median per-iteration time of the timed samples.
+    measured: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up: run until ~20ms has elapsed to settle caches/branches,
+        // and learn how many iterations fit a sample.
+        let warmup = Duration::from_millis(20);
+        let start = Instant::now();
+        let mut iters: u64 = 0;
+        while start.elapsed() < warmup {
+            std_black_box(routine());
+            iters += 1;
+        }
+        let per_sample = iters.max(1);
+        let mut times: Vec<Duration> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            for _ in 0..per_sample {
+                std_black_box(routine());
+            }
+            times.push(t0.elapsed() / per_sample as u32);
+        }
+        times.sort_unstable();
+        self.measured = times[times.len() / 2];
+    }
+}
+
+fn run_bench(name: &str, samples: usize, throughput: Option<Throughput>, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher { samples, measured: Duration::ZERO };
+    f(&mut b);
+    let per_iter = b.measured;
+    let rate = match throughput {
+        Some(Throughput::Bytes(n)) if per_iter > Duration::ZERO => {
+            let bps = n as f64 / per_iter.as_secs_f64();
+            format!("  {:.1} MiB/s", bps / (1024.0 * 1024.0))
+        }
+        Some(Throughput::Elements(n)) if per_iter > Duration::ZERO => {
+            let eps = n as f64 / per_iter.as_secs_f64();
+            format!("  {eps:.0} elem/s")
+        }
+        _ => String::new(),
+    };
+    println!("bench: {name:<48} {per_iter:>12.2?}/iter{rate}");
+}
+
+/// Top-level benchmark driver, mirroring `criterion::Criterion`.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 12 }
+    }
+}
+
+impl Criterion {
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(&name.into(), self.sample_size, None, &mut f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            prefix: name.into(),
+            sample_size: 12,
+            throughput: None,
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    prefix: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.prefix, name.into());
+        run_bench(&full, self.sample_size, self.throughput, &mut f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Collects benchmark functions into a single runner, mirroring criterion's
+/// macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Entry point for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trivial(c: &mut Criterion) {
+        c.bench_function("noop", |b| b.iter(|| black_box(1u64 + 1)));
+        let mut g = c.benchmark_group("grouped");
+        g.sample_size(3);
+        g.throughput(Throughput::Bytes(64));
+        g.bench_function("sum", |b| b.iter(|| (0u64..64).sum::<u64>()));
+        g.finish();
+    }
+
+    criterion_group!(smoke, trivial);
+
+    #[test]
+    fn macros_and_loop_run() {
+        smoke();
+    }
+}

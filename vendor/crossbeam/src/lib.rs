@@ -1,0 +1,55 @@
+//! Vendored minimal stand-in for `crossbeam`.
+//!
+//! Only `crossbeam::thread::scope` is used in this workspace; it is mapped
+//! onto `std::thread::scope` (stable since 1.63). The crossbeam API hands
+//! the scope handle back to each spawned closure, and `scope` returns a
+//! `Result` capturing child panics; std re-raises child panics on join, so
+//! the error arm here is unreachable in practice but kept for API parity.
+
+pub mod thread {
+    /// Scope handle passed to `scope` closures and re-passed to spawned
+    /// children (crossbeam convention).
+    #[derive(Clone, Copy)]
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let scope = *self;
+            self.inner.spawn(move || f(&scope))
+        }
+    }
+
+    pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_join_and_borrow() {
+        let data = [1u64, 2, 3, 4];
+        let sums = std::sync::Mutex::new(Vec::new());
+        super::thread::scope(|scope| {
+            for chunk in data.chunks(2) {
+                scope.spawn(|_| {
+                    let s: u64 = chunk.iter().sum();
+                    sums.lock().unwrap().push(s);
+                });
+            }
+        })
+        .expect("no panics");
+        let mut got = sums.into_inner().unwrap();
+        got.sort_unstable();
+        assert_eq!(got, vec![3, 7]);
+    }
+}

@@ -1,0 +1,575 @@
+//! Vendored minimal stand-in for `proptest`.
+//!
+//! Implements the subset this workspace's property tests use:
+//!
+//! * the [`proptest!`] macro generating `#[test]` functions that run a
+//!   configurable number of randomized cases (default 256, overridable via
+//!   `PROPTEST_CASES`);
+//! * [`Strategy`] with `prop_map`, implemented for integer/f64 ranges and
+//!   for string literals interpreted as a regex subset (`[class]{m,n}`,
+//!   `.{m,n}`, literals);
+//! * `collection::vec`, `sample::select`, `string::string_regex`,
+//!   [`any`] for primitives and `[u8; 32]`;
+//! * `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!`.
+//!
+//! Unlike upstream there is **no shrinking**: a failing case panics with its
+//! seed and case number, which together with the deterministic per-test RNG
+//! stream is enough to reproduce it.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+pub mod prelude {
+    pub use crate::{any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Strategy};
+}
+
+/// Number of cases each property runs (env `PROPTEST_CASES`, default 256).
+pub fn cases() -> usize {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(256)
+}
+
+/// Deterministic RNG for one (test, case) pair.
+pub fn case_rng(test_name: &str, case: u64) -> StdRng {
+    // FNV-1a over the test path keeps streams distinct between tests.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    rand::SeedableRng::seed_from_u64(h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// Failure raised by the `prop_assert*` macros; carries the message shown
+/// when the enclosing case panics.
+#[derive(Debug)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    pub fn fail(message: String) -> Self {
+        Self { message }
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+/// A generator of random values of type `Value`.
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut StdRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// Output of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, O> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+// ------------------------------------------------------------------ any
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),+) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut StdRng) -> Self {
+                rng.random::<u64>() as $t
+            }
+        }
+    )+};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        rng.random::<u64>() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        rng.random::<f64>()
+    }
+}
+
+impl<const N: usize> Arbitrary for [u8; N] {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        let mut out = [0u8; N];
+        for b in out.iter_mut() {
+            *b = rng.random_range(0..=u8::MAX);
+        }
+        out
+    }
+}
+
+/// Strategy over every value of `T`.
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+// --------------------------------------------------------------- ranges
+
+impl<T> Strategy for std::ops::Range<T>
+where
+    std::ops::Range<T>: rand::SampleRange<T> + Clone,
+{
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        rng.random_range(self.clone())
+    }
+}
+
+impl<T> Strategy for std::ops::RangeInclusive<T>
+where
+    std::ops::RangeInclusive<T>: rand::SampleRange<T> + Clone,
+{
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        rng.random_range(self.clone())
+    }
+}
+
+// ---------------------------------------------------------- collections
+
+pub mod collection {
+    use super::{Strategy, StdRng};
+    use rand::Rng;
+
+    /// Size bound for generated collections (from `lo..hi` / `lo..=hi`).
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_incl: usize,
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            Self { lo: r.start, hi_incl: r.end - 1 }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            Self { lo: *r.start(), hi_incl: *r.end() }
+        }
+    }
+
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: SizeRange,
+    }
+
+    pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { elem, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let n = rng.random_range(self.size.lo..=self.size.hi_incl);
+            (0..n).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod sample {
+    use super::{Strategy, StdRng};
+    use rand::Rng;
+
+    pub struct Select<T> {
+        options: Vec<T>,
+    }
+
+    /// Uniformly selects one of the given options per case.
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select requires at least one option");
+        Select { options }
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            self.options[rng.random_range(0..self.options.len())].clone()
+        }
+    }
+}
+
+// -------------------------------------------------------------- strings
+
+pub mod string {
+    use super::{Strategy, StdRng};
+    use rand::Rng;
+
+    /// Error for patterns outside the supported regex subset.
+    #[derive(Debug)]
+    pub struct Error(String);
+
+    impl std::fmt::Display for Error {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "unsupported generator pattern: {}", self.0)
+        }
+    }
+
+    /// One pattern atom with its repetition bounds.
+    #[derive(Debug, Clone)]
+    struct Atom {
+        chars: CharSet,
+        min: usize,
+        max: usize,
+    }
+
+    #[derive(Debug, Clone)]
+    enum CharSet {
+        /// `.` — any printable char (mostly ASCII, occasionally multibyte
+        /// to exercise UTF-8 handling, never a newline).
+        Dot,
+        /// An explicit character class.
+        Chars(Vec<char>),
+    }
+
+    /// Strategy generating strings matching a supported regex subset.
+    #[derive(Debug, Clone)]
+    pub struct RegexGeneratorStrategy {
+        atoms: Vec<Atom>,
+    }
+
+    /// Compiles `pattern` (a subset of regex: literals, `.`, `[classes]`,
+    /// `{m}` / `{m,n}` repetition) into a string strategy.
+    pub fn string_regex(pattern: &str) -> Result<RegexGeneratorStrategy, Error> {
+        let mut atoms = Vec::new();
+        let mut it = pattern.chars().peekable();
+        while let Some(c) = it.next() {
+            let chars = match c {
+                '.' => CharSet::Dot,
+                '[' => CharSet::Chars(parse_class(&mut it, pattern)?),
+                '\\' => {
+                    let esc = it
+                        .next()
+                        .ok_or_else(|| Error(pattern.to_string()))?;
+                    CharSet::Chars(vec![esc])
+                }
+                '{' | '}' | '*' | '+' | '?' | '(' | ')' | '|' | '^' | '$' => {
+                    return Err(Error(pattern.to_string()))
+                }
+                lit => CharSet::Chars(vec![lit]),
+            };
+            let (min, max) = parse_repeat(&mut it, pattern)?;
+            atoms.push(Atom { chars, min, max });
+        }
+        Ok(RegexGeneratorStrategy { atoms })
+    }
+
+    fn parse_class(
+        it: &mut std::iter::Peekable<std::str::Chars<'_>>,
+        pattern: &str,
+    ) -> Result<Vec<char>, Error> {
+        let mut out = Vec::new();
+        let mut prev: Option<char> = None;
+        loop {
+            let c = it.next().ok_or_else(|| Error(pattern.to_string()))?;
+            match c {
+                ']' => break,
+                '-' => {
+                    // Range if we have a left end and a right end follows;
+                    // otherwise a literal dash.
+                    match (prev, it.peek()) {
+                        (Some(lo), Some(&hi)) if hi != ']' => {
+                            it.next();
+                            if lo as u32 > hi as u32 {
+                                return Err(Error(pattern.to_string()));
+                            }
+                            for cp in (lo as u32 + 1)..=(hi as u32) {
+                                if let Some(ch) = char::from_u32(cp) {
+                                    out.push(ch);
+                                }
+                            }
+                            prev = None;
+                        }
+                        _ => {
+                            out.push('-');
+                            prev = Some('-');
+                        }
+                    }
+                }
+                other => {
+                    out.push(other);
+                    prev = Some(other);
+                }
+            }
+        }
+        if out.is_empty() {
+            return Err(Error(pattern.to_string()));
+        }
+        Ok(out)
+    }
+
+    fn parse_repeat(
+        it: &mut std::iter::Peekable<std::str::Chars<'_>>,
+        pattern: &str,
+    ) -> Result<(usize, usize), Error> {
+        if it.peek() != Some(&'{') {
+            return Ok((1, 1));
+        }
+        it.next();
+        let mut spec = String::new();
+        loop {
+            match it.next() {
+                Some('}') => break,
+                Some(c) => spec.push(c),
+                None => return Err(Error(pattern.to_string())),
+            }
+        }
+        let parts: Vec<&str> = spec.split(',').collect();
+        let parse = |s: &str| s.trim().parse::<usize>().map_err(|_| Error(pattern.to_string()));
+        match parts.as_slice() {
+            [n] => {
+                let n = parse(n)?;
+                Ok((n, n))
+            }
+            [lo, hi] => {
+                let (lo, hi) = (parse(lo)?, parse(hi)?);
+                if lo > hi {
+                    return Err(Error(pattern.to_string()));
+                }
+                Ok((lo, hi))
+            }
+            _ => Err(Error(pattern.to_string())),
+        }
+    }
+
+    /// Occasional non-ASCII choices for `.` so UTF-8 paths get exercised.
+    const WIDE: [char; 6] = ['é', 'ß', 'λ', '中', '✓', '🦀'];
+
+    impl Strategy for RegexGeneratorStrategy {
+        type Value = String;
+        fn generate(&self, rng: &mut StdRng) -> String {
+            let mut out = String::new();
+            for atom in &self.atoms {
+                let n = rng.random_range(atom.min..=atom.max);
+                for _ in 0..n {
+                    match &atom.chars {
+                        CharSet::Dot => {
+                            if rng.random_range(0..16usize) == 0 {
+                                out.push(WIDE[rng.random_range(0..WIDE.len())]);
+                            } else {
+                                out.push(rng.random_range(0x20u32..=0x7E)
+                                    .try_into()
+                                    .expect("printable ascii"));
+                            }
+                        }
+                        CharSet::Chars(set) => {
+                            out.push(set[rng.random_range(0..set.len())]);
+                        }
+                    }
+                }
+            }
+            out
+        }
+    }
+}
+
+/// `&str` literals act as regex-subset string strategies, as in upstream
+/// proptest. Invalid patterns panic at generation time.
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut StdRng) -> String {
+        string::string_regex(self)
+            .unwrap_or_else(|e| panic!("{e}"))
+            .generate(rng)
+    }
+}
+
+// --------------------------------------------------------------- macros
+
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$attr:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)+) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                let cases = $crate::cases();
+                for case in 0..cases {
+                    let mut rng = $crate::case_rng(
+                        concat!(module_path!(), "::", stringify!($name)),
+                        case as u64,
+                    );
+                    $(let $arg = $crate::Strategy::generate(&($strat), &mut rng);)+
+                    let result: ::std::result::Result<(), $crate::TestCaseError> = (|| {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                    if let ::std::result::Result::Err(e) = result {
+                        panic!(
+                            "proptest {} failed at case {case}/{cases}: {e}",
+                            stringify!($name),
+                        );
+                    }
+                }
+            }
+        )+
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(
+                format!("assertion failed: {}: {}", stringify!($cond), format!($($fmt)+)),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(
+                format!("assert_eq failed: {l:?} != {r:?}"),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(
+                format!("assert_eq failed: {l:?} != {r:?}: {}", format!($($fmt)+)),
+            ));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if l == r {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(
+                format!("assert_ne failed: both sides are {l:?}"),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if l == r {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(
+                format!("assert_ne failed: both sides are {l:?}: {}", format!($($fmt)+)),
+            ));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_and_vecs(x in 1u32..10, v in crate::collection::vec(any::<u8>(), 0..8), b in any::<bool>()) {
+            prop_assert!((1..10).contains(&x));
+            prop_assert!(v.len() < 8, "len {} with flag {}", v.len(), b);
+        }
+
+        #[test]
+        fn string_patterns_match_shape(s in "[a-z0-9]{2,5}", t in ".{0,10}") {
+            prop_assert!((2..=5).contains(&s.chars().count()));
+            prop_assert!(s.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()));
+            prop_assert!(t.chars().count() <= 10);
+            prop_assert_ne!(&s, "");
+        }
+    }
+
+    #[test]
+    fn class_with_trailing_dash_and_ranges() {
+        let s = crate::string::string_regex("[a-z0-9 ./;|-]{0,64}").expect("valid");
+        let mut rng = crate::case_rng("class", 1);
+        for _ in 0..200 {
+            let v = s.generate(&mut rng);
+            assert!(v
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || " ./;|-".contains(c)));
+        }
+    }
+
+    #[test]
+    fn unsupported_patterns_error() {
+        assert!(crate::string::string_regex("a+").is_err());
+        assert!(crate::string::string_regex("(group)").is_err());
+        assert!(crate::string::string_regex("[unclosed").is_err());
+    }
+
+    #[test]
+    fn select_and_map() {
+        let st = crate::sample::select(vec!["alpha", "beta"]).prop_map(str::to_string);
+        let mut rng = crate::case_rng("select", 0);
+        for _ in 0..50 {
+            let v = st.generate(&mut rng);
+            assert!(v == "alpha" || v == "beta");
+        }
+    }
+
+    #[test]
+    fn deterministic_per_test_and_case() {
+        let a: u64 = crate::Strategy::generate(&(0u64..1_000_000), &mut crate::case_rng("t", 3));
+        let b: u64 = crate::Strategy::generate(&(0u64..1_000_000), &mut crate::case_rng("t", 3));
+        assert_eq!(a, b);
+    }
+}
