@@ -13,8 +13,8 @@ use crate::storage::{StorageConfig, StorageEcosystem, StorageStore};
 use abusedb::{AbuseDb, CoverageConfig, FeedName, IpList, MalwareFamily};
 use asdb::{GenConfig, SynthWorld};
 use honeypot::{
-    AuthPolicy, Collector, CollectorConfig, Fleet, IngestStats, OutageConfig, OutageSchedule,
-    SessionInput, SessionRecord, SessionSim,
+    AuthPolicy, Collector, CollectorConfig, CollectorError, Fleet, IngestStats, OutageConfig,
+    OutageSchedule, SessionInput, SessionRecord, SessionSim, SessionSink,
 };
 use hutil::rng::SeedTree;
 use hutil::{Date, Sha256};
@@ -194,8 +194,35 @@ fn sample_count(rate: f64, rng: &mut StdRng) -> u64 {
     base + u64::from(rng.random::<f64>() < frac)
 }
 
-/// Generates the full dataset.
+/// Generates the full dataset in memory (`Dataset::sessions` holds every
+/// record).
 pub fn generate_dataset(cfg: &DriverConfig) -> Dataset {
+    generate_inner(cfg, None).expect("in-memory generation has no sink to fail")
+}
+
+/// Generates the dataset directly into `sink` — e.g. a
+/// `sessiondb::StoreWriter` — without ever materializing the sessions in
+/// memory. The returned [`Dataset`] carries every substrate and the fault
+/// accounting, but `Dataset::sessions` is empty; analyses stream from the
+/// sink's destination instead.
+///
+/// Generation is bit-identical to [`generate_dataset`] for the same
+/// config: the sink only changes where accepted records land, not the
+/// random sequence that produces them. Records reach the sink in
+/// ingestion order — grouped by day, unsorted within one — whereas
+/// `Dataset::sessions` is fully sorted at freeze time; order-sensitive
+/// consumers should sort by `(start, session_id)`.
+pub fn generate_dataset_into(
+    cfg: &DriverConfig,
+    sink: Box<dyn SessionSink>,
+) -> Result<Dataset, CollectorError> {
+    generate_inner(cfg, Some(sink))
+}
+
+fn generate_inner(
+    cfg: &DriverConfig,
+    sink: Option<Box<dyn SessionSink>>,
+) -> Result<Dataset, CollectorError> {
     let seeds = SeedTree::new(cfg.seed);
 
     // --- substrates ------------------------------------------------------
@@ -319,12 +346,17 @@ pub fn generate_dataset(cfg: &DriverConfig) -> Dataset {
         cfg.window_end,
         seeds.child("outages").seed(),
     );
-    let collector = Collector::with_config(CollectorConfig {
+    let collector_cfg = CollectorConfig {
         queue_capacity: cfg.faults.queue_capacity,
         flush_failure_rate: cfg.faults.flush_failure_rate,
         max_retries: cfg.faults.max_retries,
         seed: seeds.child("collector").seed(),
-    });
+    };
+    let spilling = sink.is_some();
+    let collector = match sink {
+        Some(sink) => Collector::with_sink(collector_cfg, sink),
+        None => Collector::with_config(collector_cfg),
+    };
     let mut attempted = 0u64;
     let mut connection_failures = 0u64;
     let store = StorageStore::new(&storage, cfg.window_start);
@@ -427,8 +459,14 @@ pub fn generate_dataset(cfg: &DriverConfig) -> Dataset {
         c2_list.add(ip);
     }
 
-    let (sessions, ingest, _quarantine) = collector.into_parts();
-    Dataset {
+    let (sessions, ingest) = if spilling {
+        let (ingest, _quarantine) = collector.into_sink_parts()?;
+        (Vec::new(), ingest)
+    } else {
+        let (sessions, ingest, _quarantine) = collector.into_parts();
+        (sessions, ingest)
+    };
+    Ok(Dataset {
         sessions,
         world,
         storage,
@@ -442,7 +480,7 @@ pub fn generate_dataset(cfg: &DriverConfig) -> Dataset {
         pools,
         self_hosters,
         config: cfg.clone(),
-    }
+    })
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -552,10 +590,62 @@ mod tests {
         for pair in ds.sessions.windows(2) {
             assert!(pair[0].start <= pair[1].start);
         }
-        let first = ds.sessions.first().unwrap().start.date();
-        let last = ds.sessions.last().unwrap().start.date();
-        assert!(first >= Date::new(2021, 12, 1));
-        assert!(last <= Date::new(2024, 8, 31));
+        // An empty dataset is vacuously chronological and in-window; the
+        // bounds only apply to sessions that exist.
+        if let (Some(first), Some(last)) = (ds.sessions.first(), ds.sessions.last()) {
+            assert!(first.start.date() >= Date::new(2021, 12, 1));
+            assert!(last.start.date() <= Date::new(2024, 8, 31));
+        }
+        assert!(!ds.sessions.is_empty(), "test scale should produce sessions");
+    }
+
+    #[test]
+    fn sink_mode_matches_in_memory_generation() {
+        use std::sync::{Arc, Mutex};
+        struct VecSink(Arc<Mutex<Vec<SessionRecord>>>);
+        impl SessionSink for VecSink {
+            fn append(&mut self, rec: &SessionRecord) -> Result<(), honeypot::SinkError> {
+                self.0.lock().expect("sink lock").push(rec.clone());
+                Ok(())
+            }
+        }
+        let mut cfg = DriverConfig::test_scale(11);
+        cfg.window_start = Date::new(2022, 3, 1);
+        cfg.window_end = Date::new(2022, 4, 30);
+        let mem = generate_dataset(&cfg);
+        let collected = Arc::new(Mutex::new(Vec::new()));
+        let ds = generate_dataset_into(&cfg, Box::new(VecSink(collected.clone()))).unwrap();
+        assert!(ds.sessions.is_empty(), "sink mode must not materialize sessions");
+        // The sink sees ingestion order; `Dataset::sessions` is sorted
+        // chronologically at freeze time. Same sort key ⇒ same dataset.
+        let mut spilled = collected.lock().expect("sink lock").clone();
+        spilled.sort_by_key(|r| (r.start, r.session_id));
+        assert_eq!(spilled.len(), mem.sessions.len());
+        assert_eq!(spilled, mem.sessions, "sink mode must be bit-identical");
+        assert_eq!(ds.faults.ingest.accepted, mem.faults.ingest.accepted);
+    }
+
+    #[test]
+    fn huge_scale_yields_empty_but_valid_dataset() {
+        // A scale factor so large no campaign ever rounds up to a session.
+        // The window avoids every mdrfckr dip start day, since base64
+        // uploads are forced to at least one session on those days
+        // regardless of scale.
+        let mut cfg = DriverConfig::test_scale(42);
+        cfg.session_scale = u64::MAX;
+        cfg.window_start = Date::new(2022, 5, 1);
+        cfg.window_end = Date::new(2022, 5, 7);
+        let ds = generate_dataset(&cfg);
+        assert!(ds.sessions.is_empty(), "got {} sessions", ds.sessions.len());
+        // The report still balances and every substrate is intact.
+        let f = &ds.faults;
+        assert_eq!(f.ingest.accepted, 0);
+        assert_eq!(
+            f.attempted,
+            f.connection_failures + f.ingest.dropped + f.ingest.quarantined
+        );
+        assert!(!ds.pools.is_empty());
+        assert_eq!(ds.ssh_sessions().count(), 0);
     }
 
     #[test]

@@ -39,6 +39,8 @@ pub use archetype::{
     MDRFCKR_KEY_LINE,
 };
 pub use catalog::{catalog, CampaignSpec, Window};
-pub use driver::{generate_dataset, Dataset, DriverConfig, FaultProfile, FaultReport};
+pub use driver::{
+    generate_dataset, generate_dataset_into, Dataset, DriverConfig, FaultProfile, FaultReport,
+};
 pub use events::{mdrfckr_dip_windows, DipWindow};
 pub use storage::{StorageEcosystem, StorageStore};

@@ -2,6 +2,7 @@
 
 use honeypot::SessionRecord;
 use hutil::Month;
+use std::borrow::Borrow;
 use std::collections::{BTreeMap, HashMap, HashSet};
 
 /// Fig. 10 data: per-month session counts for each of the overall top-N
@@ -15,26 +16,35 @@ pub struct TopPasswords {
 }
 
 /// Computes the Fig. 10 series.
-pub fn top_passwords(sessions: &[SessionRecord], n: usize) -> TopPasswords {
-    let mut totals: HashMap<&str, u64> = HashMap::new();
+///
+/// Single pass over any session stream (slice, owning iterator, or
+/// sessiondb scan): per-password month histograms are accumulated as the
+/// stream goes by and the ranking is resolved at the end, so the input is
+/// never revisited and memory stays O(unique passwords × months).
+pub fn top_passwords<I>(sessions: I, n: usize) -> TopPasswords
+where
+    I: IntoIterator,
+    I::Item: Borrow<SessionRecord>,
+{
+    // Per password: total successful sessions plus a month histogram.
+    type PwStats = (u64, BTreeMap<Month, u64>);
+    let mut per_pw: HashMap<String, PwStats> = HashMap::new();
     for rec in sessions {
+        let rec = rec.borrow();
         if let Some(pw) = rec.accepted_password() {
-            *totals.entry(pw).or_default() += 1;
+            let slot = per_pw.entry(pw.to_string()).or_default();
+            slot.0 += 1;
+            *slot.1.entry(rec.start.date().month_of()).or_default() += 1;
         }
     }
-    let mut ranked: Vec<(&str, u64)> = totals.into_iter().collect();
-    ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
-    let passwords: Vec<String> = ranked.iter().take(n).map(|(p, _)| p.to_string()).collect();
-    let index: HashMap<&str, usize> =
-        passwords.iter().enumerate().map(|(i, p)| (p.as_str(), i)).collect();
+    let mut ranked: Vec<(String, PwStats)> = per_pw.into_iter().collect();
+    ranked.sort_by(|a, b| b.1 .0.cmp(&a.1 .0).then(a.0.cmp(&b.0)));
+    ranked.truncate(n);
+    let passwords: Vec<String> = ranked.iter().map(|(p, _)| p.clone()).collect();
     let mut by_month: BTreeMap<Month, Vec<u64>> = BTreeMap::new();
-    for rec in sessions {
-        if let Some(pw) = rec.accepted_password() {
-            if let Some(&i) = index.get(pw) {
-                by_month
-                    .entry(rec.start.date().month_of())
-                    .or_insert_with(|| vec![0; passwords.len()])[i] += 1;
-            }
+    for (i, (_, (_, months))) in ranked.iter().enumerate() {
+        for (&month, &count) in months {
+            by_month.entry(month).or_insert_with(|| vec![0; passwords.len()])[i] = count;
         }
     }
     TopPasswords { passwords, by_month }
@@ -54,14 +64,19 @@ pub struct CowrieDefaultProbes {
     pub phil_no_command_frac: f64,
 }
 
-/// Computes the Fig. 11 series.
-pub fn cowrie_default_probes(sessions: &[SessionRecord]) -> CowrieDefaultProbes {
+/// Computes the Fig. 11 series. Single pass over any session stream.
+pub fn cowrie_default_probes<I>(sessions: I) -> CowrieDefaultProbes
+where
+    I: IntoIterator,
+    I::Item: Borrow<SessionRecord>,
+{
     let mut phil_success: BTreeMap<Month, u64> = BTreeMap::new();
     let mut richard_tries: BTreeMap<Month, u64> = BTreeMap::new();
     let mut phil_ips: HashSet<netsim::Ipv4Addr> = HashSet::new();
     let mut phil_sessions = 0u64;
     let mut phil_quiet = 0u64;
     for rec in sessions {
+        let rec = rec.borrow();
         let month = rec.start.date().month_of();
         let has_phil = rec.logins.iter().any(|l| l.username == "phil" && l.success);
         let has_richard = rec.logins.iter().any(|l| l.username == "richard");
@@ -103,13 +118,18 @@ pub struct PasswordProfile {
     pub no_command_frac: f64,
 }
 
-/// Profiles one password across the dataset.
-pub fn password_profile(sessions: &[SessionRecord], password: &str) -> PasswordProfile {
+/// Profiles one password across any session stream.
+pub fn password_profile<I>(sessions: I, password: &str) -> PasswordProfile
+where
+    I: IntoIterator,
+    I::Item: Borrow<SessionRecord>,
+{
     let mut count = 0u64;
     let mut quiet = 0u64;
     let mut ips = HashSet::new();
     let mut first: Option<hutil::DateTime> = None;
     for rec in sessions {
+        let rec = rec.borrow();
         if rec.accepted_password() == Some(password) {
             count += 1;
             if rec.commands.is_empty() {
@@ -220,11 +240,12 @@ mod tests {
 
     #[test]
     fn empty_dataset() {
-        let top = top_passwords(&[], 5);
+        let none: &[SessionRecord] = &[];
+        let top = top_passwords(none, 5);
         assert!(top.passwords.is_empty());
-        let probes = cowrie_default_probes(&[]);
+        let probes = cowrie_default_probes(none);
         assert_eq!(probes.phil_unique_ips, 0);
-        let p = password_profile(&[], "x");
+        let p = password_profile(none, "x");
         assert_eq!(p.sessions, 0);
         assert!(p.first_seen.is_none());
     }

@@ -42,10 +42,18 @@ pub struct Timeline {
     pub daily: BTreeMap<Date, (u64, u64)>,
 }
 
-/// Builds the Fig. 12 timeline.
-pub fn timeline(sessions: &[SessionRecord]) -> Timeline {
+/// Builds the Fig. 12 timeline. Single pass over any session stream.
+pub fn timeline<I>(sessions: I) -> Timeline
+where
+    I: IntoIterator,
+    I::Item: std::borrow::Borrow<SessionRecord>,
+{
     let mut per_day: BTreeMap<Date, (u64, HashSet<Ipv4Addr>)> = BTreeMap::new();
-    for rec in sessions.iter().filter(|r| is_mdrfckr(r)) {
+    for rec in sessions {
+        let rec = std::borrow::Borrow::borrow(&rec);
+        if !is_mdrfckr(rec) {
+            continue;
+        }
         let e = per_day.entry(rec.start.date()).or_default();
         e.0 += 1;
         e.1.insert(rec.client_ip);

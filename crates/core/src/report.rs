@@ -12,15 +12,16 @@ use hutil::stats::BoxplotSummary;
 use hutil::{Date, Month};
 use std::collections::{BTreeMap, HashMap};
 
-/// Filters to command-execution SSH sessions (what §5 analyses).
+/// Whether one session is a command-execution SSH session (what §5
+/// analyses).
+pub fn is_command_session(s: &SessionRecord) -> bool {
+    s.protocol == honeypot::Protocol::Ssh
+        && SessionClass::of(s) == SessionClass::CommandExecution
+}
+
+/// Filters to command-execution SSH sessions.
 pub fn command_sessions(sessions: &[SessionRecord]) -> Vec<&SessionRecord> {
-    sessions
-        .iter()
-        .filter(|s| {
-            s.protocol == honeypot::Protocol::Ssh
-                && SessionClass::of(s) == SessionClass::CommandExecution
-        })
-        .collect()
+    sessions.iter().filter(|s| is_command_session(s)).collect()
 }
 
 /// Fig. 1: per month, the daily-count distributions of state-changing vs
@@ -475,17 +476,51 @@ pub fn fig15_snippet(sessions: &[SessionRecord]) -> Option<String> {
 }
 
 /// Table 1 / §5 coverage: fraction of command sessions classified into a
-/// non-`unknown` category (paper: >99 %).
-pub fn classification_coverage(sessions: &[SessionRecord], cl: &Classifier) -> f64 {
-    let cmd = command_sessions(sessions);
-    if cmd.is_empty() {
+/// non-`unknown` category (paper: >99 %). Single pass over any session
+/// stream.
+pub fn classification_coverage<I>(sessions: I, cl: &Classifier) -> f64
+where
+    I: IntoIterator,
+    I::Item: std::borrow::Borrow<SessionRecord>,
+{
+    let mut total = 0u64;
+    let mut known = 0u64;
+    for s in sessions {
+        let s = std::borrow::Borrow::borrow(&s);
+        if !is_command_session(s) {
+            continue;
+        }
+        total += 1;
+        if cl.classify(&s.command_text()) != crate::classify::UNKNOWN_LABEL {
+            known += 1;
+        }
+    }
+    if total == 0 {
         return 1.0;
     }
-    let known = cmd
-        .iter()
-        .filter(|s| cl.classify(&s.command_text()) != crate::classify::UNKNOWN_LABEL)
-        .count();
-    known as f64 / cmd.len() as f64
+    known as f64 / total as f64
+}
+
+/// Table 1 category totals over the command sessions of any session
+/// stream, descending by count. Single pass, O(categories) memory — the
+/// streaming replacement for materializing [`command_sessions`] just to
+/// histogram it.
+pub fn category_counts<I>(sessions: I, cl: &Classifier) -> Vec<(&'static str, u64)>
+where
+    I: IntoIterator,
+    I::Item: std::borrow::Borrow<SessionRecord>,
+{
+    let mut counts: HashMap<&'static str, u64> = HashMap::new();
+    for s in sessions {
+        let s = std::borrow::Borrow::borrow(&s);
+        if !is_command_session(s) {
+            continue;
+        }
+        *counts.entry(cl.classify(&s.command_text())).or_default() += 1;
+    }
+    let mut out: Vec<(&'static str, u64)> = counts.into_iter().collect();
+    out.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+    out
 }
 
 /// The §3.3 dataset-statistics table, rendered.

@@ -45,9 +45,16 @@ fn is_download_session(rec: &SessionRecord) -> bool {
 }
 
 /// All download events in the dataset: one per distinct `(session, host)`.
-pub fn download_events(sessions: &[SessionRecord]) -> Vec<DownloadEvent> {
+/// Single pass over any session stream; the result is small (one event
+/// per download host referenced), never the sessions themselves.
+pub fn download_events<I>(sessions: I) -> Vec<DownloadEvent>
+where
+    I: IntoIterator,
+    I::Item: std::borrow::Borrow<SessionRecord>,
+{
     let mut out = Vec::new();
     for rec in sessions {
+        let rec = std::borrow::Borrow::borrow(&rec);
         if !is_download_session(rec) {
             continue;
         }
@@ -72,9 +79,14 @@ pub fn download_events(sessions: &[SessionRecord]) -> Vec<DownloadEvent> {
 /// captured (Created/Modified) — i.e. the dropper *served*. This is the
 /// activity signal behind Fig. 9: a bot referencing a long-dead dropper
 /// does not make that host "active".
-pub fn successful_download_events(sessions: &[SessionRecord]) -> Vec<DownloadEvent> {
+pub fn successful_download_events<I>(sessions: I) -> Vec<DownloadEvent>
+where
+    I: IntoIterator,
+    I::Item: std::borrow::Borrow<SessionRecord>,
+{
     let mut out = Vec::new();
     for rec in sessions {
+        let rec = std::borrow::Borrow::borrow(&rec);
         let mut seen: HashSet<Ipv4Addr> = HashSet::new();
         for e in &rec.file_events {
             if !matches!(

@@ -62,11 +62,19 @@ pub struct TaxonomyStats {
 }
 
 impl TaxonomyStats {
-    /// Computes the statistics over a dataset.
-    pub fn compute(sessions: &[SessionRecord]) -> Self {
-        let mut s = Self { total_sessions: sessions.len() as u64, ..Self::default() };
+    /// Computes the statistics over any stream of sessions — a slice, an
+    /// owning iterator, or a sessiondb scan. Single pass, O(unique
+    /// clients) memory.
+    pub fn compute<I>(sessions: I) -> Self
+    where
+        I: IntoIterator,
+        I::Item: std::borrow::Borrow<SessionRecord>,
+    {
+        let mut s = Self::default();
         let mut clients = std::collections::HashSet::new();
         for rec in sessions {
+            let rec = std::borrow::Borrow::borrow(&rec);
+            s.total_sessions += 1;
             match rec.protocol {
                 Protocol::Telnet => {
                     s.telnet_sessions += 1;

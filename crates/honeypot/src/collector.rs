@@ -39,6 +39,68 @@ use crate::record::SessionRecord;
 use netsim::faults::{backoff_delay, FailureInjector};
 use parking_lot::Mutex;
 use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// Error type sinks report; boxed so any backend's error fits.
+pub type SinkError = Box<dyn std::error::Error + Send + Sync>;
+
+/// A spill target for stored sessions.
+///
+/// In the default configuration the collector keeps every stored record
+/// in memory and [`Collector::into_parts`] returns them as a sorted
+/// `Vec`. A collector built with [`Collector::with_sink`] instead hands
+/// each stored record to the sink the moment it is accepted — bounded
+/// memory, suitable for dataset sizes that never fit in RAM. Sink write
+/// failures flow through the same retry/backoff/drop machinery as
+/// injected flush failures, so a flaky disk degrades the run instead of
+/// crashing it.
+pub trait SessionSink: Send {
+    /// Appends one stored record. The collector has already assigned the
+    /// dense `session_id`.
+    fn append(&mut self, rec: &SessionRecord) -> Result<(), SinkError>;
+    /// Flushes and closes the sink (e.g. seals the final segment).
+    fn finish(&mut self) -> Result<(), SinkError> {
+        Ok(())
+    }
+}
+
+/// Errors surfaced by the collector's fallible entry points.
+#[derive(Debug)]
+pub enum CollectorError {
+    /// The spill sink failed while flushing or closing.
+    Sink {
+        /// Backend error message.
+        message: String,
+    },
+    /// A parallel ingest worker panicked.
+    WorkerPanicked {
+        /// Index of the worker that died.
+        worker: usize,
+        /// Panic payload, when it was a string.
+        message: String,
+    },
+    /// Exclusive access was required but the collector is still shared.
+    StillShared {
+        /// Outstanding strong references.
+        references: usize,
+    },
+}
+
+impl std::fmt::Display for CollectorError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CollectorError::Sink { message } => write!(f, "session sink failed: {message}"),
+            CollectorError::WorkerPanicked { worker, message } => {
+                write!(f, "ingest worker {worker} panicked: {message}")
+            }
+            CollectorError::StillShared { references } => {
+                write!(f, "collector still shared ({references} references)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CollectorError {}
 
 /// Fault-injection knobs for the collector. The default injects nothing.
 #[derive(Debug, Clone)]
@@ -115,9 +177,10 @@ struct Queued {
     ready_at: u64,
 }
 
-#[derive(Debug)]
 struct Inner {
     stored: Vec<SessionRecord>,
+    sink: Option<Box<dyn SessionSink>>,
+    last_sink_error: Option<String>,
     retry: VecDeque<Queued>,
     quarantine: Vec<(SessionRecord, ValidationError)>,
     stats: IngestStats,
@@ -125,14 +188,40 @@ struct Inner {
     pass: u64,
 }
 
+impl std::fmt::Debug for Inner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Inner")
+            .field("stored", &self.stored.len())
+            .field("sink", &self.sink.is_some())
+            .field("retry", &self.retry.len())
+            .field("quarantine", &self.quarantine.len())
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
+}
+
 impl Inner {
-    /// Stores `rec`, assigning the next dense id.
-    fn store(&mut self, mut rec: SessionRecord) -> u64 {
-        let id = self.stored.len() as u64;
+    /// Attempts to store `rec` under the next dense id. The write fails
+    /// when the failure injector fires or the spill sink rejects it; the
+    /// record is handed back so the caller can queue a retry.
+    #[allow(clippy::result_large_err)] // Err returns the record itself for requeueing
+    fn attempt_store(&mut self, mut rec: SessionRecord) -> Result<u64, SessionRecord> {
+        if self.injector.fires() {
+            return Err(rec);
+        }
+        let id = self.stats.accepted;
         rec.session_id = id;
-        self.stored.push(rec);
+        match &mut self.sink {
+            Some(sink) => {
+                if let Err(e) = sink.append(&rec) {
+                    self.last_sink_error = Some(e.to_string());
+                    return Err(rec);
+                }
+            }
+            None => self.stored.push(rec),
+        }
         self.stats.accepted += 1;
-        id
+        Ok(id)
     }
 
     /// One retry pass over the queue: each due record is retried once;
@@ -144,22 +233,23 @@ impl Inner {
         self.pass += 1;
         let pass = self.pass;
         let mut keep = VecDeque::with_capacity(self.retry.len());
-        while let Some(mut q) = self.retry.pop_front() {
+        while let Some(q) = self.retry.pop_front() {
             if q.ready_at > pass {
                 keep.push_back(q);
                 continue;
             }
-            if self.injector.fires() {
-                q.failures += 1;
-                if q.failures > max_retries {
+            if let Err(rec) = self.attempt_store(q.rec) {
+                let failures = q.failures + 1;
+                if failures > max_retries {
                     self.stats.dropped += 1;
                 } else {
                     self.stats.retried += 1;
-                    q.ready_at = pass + backoff_delay(1, q.failures, 1 << 16);
-                    keep.push_back(q);
+                    keep.push_back(Queued {
+                        rec,
+                        failures,
+                        ready_at: pass + backoff_delay(1, failures, 1 << 16),
+                    });
                 }
-            } else {
-                self.store(q.rec);
             }
         }
         self.retry = keep;
@@ -167,9 +257,10 @@ impl Inner {
 
     /// Handles one validated record: direct write, deferral, or drop.
     fn submit(&mut self, rec: SessionRecord, cfg_cap: Option<usize>, max_retries: u32) -> IngestOutcome {
-        if !self.injector.fires() {
-            return IngestOutcome::Stored(self.store(rec));
-        }
+        let rec = match self.attempt_store(rec) {
+            Ok(id) => return IngestOutcome::Stored(id),
+            Err(rec) => rec,
+        };
         if max_retries == 0 || cfg_cap.is_some_and(|cap| self.retry.len() >= cap) {
             self.stats.dropped += 1;
             return IngestOutcome::Dropped;
@@ -209,6 +300,8 @@ impl Collector {
         Self {
             inner: Mutex::new(Inner {
                 stored: Vec::new(),
+                sink: None,
+                last_sink_error: None,
                 retry: VecDeque::new(),
                 quarantine: Vec::new(),
                 stats: IngestStats::default(),
@@ -218,6 +311,16 @@ impl Collector {
             capacity: cfg.queue_capacity,
             max_retries: cfg.max_retries,
         }
+    }
+
+    /// A collector that spills every stored record into `sink` instead of
+    /// keeping it in memory (see [`SessionSink`]). Retry/backoff/drop and
+    /// quarantine behave exactly as in the in-memory mode; drain with
+    /// [`Collector::into_sink_parts`].
+    pub fn with_sink(cfg: CollectorConfig, sink: Box<dyn SessionSink>) -> Self {
+        let c = Self::with_config(cfg);
+        c.inner.lock().sink = Some(sink);
+        c
     }
 
     /// Ingests one closed session. On the fault-free default config this
@@ -300,6 +403,85 @@ impl Collector {
         v.sort_by_key(|r| (r.start, r.session_id));
         (v, inner.stats, inner.quarantine)
     }
+
+    /// Drains the retry queue and closes the spill sink of a collector
+    /// built with [`Collector::with_sink`], returning the final stats and
+    /// quarantine lane. Records lost to persistent sink failures are in
+    /// `stats.dropped`; a failing [`SessionSink::finish`] (e.g. the final
+    /// segment cannot be sealed) is a hard error.
+    pub fn into_sink_parts(
+        self,
+    ) -> Result<(IngestStats, Vec<(SessionRecord, ValidationError)>), CollectorError> {
+        let mut inner = self.inner.into_inner();
+        while !inner.retry.is_empty() {
+            inner.flush_retries(self.max_retries);
+        }
+        if let Some(mut sink) = inner.sink.take() {
+            sink.finish().map_err(|e| CollectorError::Sink { message: e.to_string() })?;
+        }
+        Ok((inner.stats, inner.quarantine))
+    }
+
+    /// Reclaims exclusive ownership of a shared collector, e.g. after
+    /// parallel ingest. Unlike `Arc::try_unwrap(..).unwrap()`, contention
+    /// (a worker still holding a clone) surfaces as
+    /// [`CollectorError::StillShared`] instead of a panic.
+    pub fn try_from_arc(c: Arc<Collector>) -> Result<Collector, CollectorError> {
+        Arc::try_unwrap(c).map_err(|arc| CollectorError::StillShared {
+            references: Arc::strong_count(&arc),
+        })
+    }
+}
+
+/// Runs `workers` ingest closures against one collector on scoped
+/// threads and hands the collector back once all of them finished.
+///
+/// Worker panics are caught at join time and propagated as
+/// [`CollectorError::WorkerPanicked`] (first failing worker wins) rather
+/// than tearing down the whole process — a long generation run survives
+/// one misbehaving producer and still reports what happened.
+pub fn ingest_parallel<F>(
+    collector: Collector,
+    workers: usize,
+    work: F,
+) -> Result<Collector, CollectorError>
+where
+    F: Fn(usize, &Collector) + Send + Sync,
+{
+    let first_err = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let collector = &collector;
+                let work = &work;
+                (w, scope.spawn(move || work(w, collector)))
+            })
+            .collect();
+        let mut first_err = None;
+        for (worker, handle) in handles {
+            if let Err(payload) = handle.join() {
+                let message = panic_message(payload.as_ref());
+                if first_err.is_none() {
+                    first_err = Some(CollectorError::WorkerPanicked { worker, message });
+                }
+            }
+        }
+        first_err
+    });
+    match first_err {
+        Some(e) => Err(e),
+        None => Ok(collector),
+    }
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
 }
 
 #[cfg(test)]
@@ -351,26 +533,118 @@ mod tests {
 
     #[test]
     fn concurrent_ingest_is_safe() {
-        use std::sync::Arc;
-        let c = Arc::new(Collector::new());
-        let mut handles = Vec::new();
-        for _ in 0..8 {
-            let c = Arc::clone(&c);
-            handles.push(std::thread::spawn(move || {
-                for i in 0..100 {
-                    c.ingest(rec((i % 24) as u8));
-                }
-            }));
-        }
-        for h in handles {
-            h.join().unwrap();
-        }
-        let ds = Arc::try_unwrap(c).unwrap().into_dataset();
+        let c = ingest_parallel(Collector::new(), 8, |_, c| {
+            for i in 0..100 {
+                c.ingest(rec((i % 24) as u8));
+            }
+        })
+        .expect("no worker panics");
+        let ds = c.into_dataset();
         assert_eq!(ds.len(), 800);
         // Ids are a permutation of 0..800.
         let mut ids: Vec<u64> = ds.iter().map(|r| r.session_id).collect();
         ids.sort_unstable();
         assert_eq!(ids, (0..800).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn worker_panic_is_an_error_not_a_crash() {
+        let result = ingest_parallel(Collector::new(), 4, |w, c| {
+            c.ingest(rec(1));
+            if w == 2 {
+                panic!("worker {w} died");
+            }
+        });
+        match result {
+            Err(CollectorError::WorkerPanicked { worker, message }) => {
+                assert_eq!(worker, 2);
+                assert!(message.contains("died"), "{message}");
+            }
+            other => panic!("expected WorkerPanicked, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn contended_arc_is_an_error_not_a_crash() {
+        let c = Arc::new(Collector::new());
+        let held = Arc::clone(&c);
+        match Collector::try_from_arc(c) {
+            Err(CollectorError::StillShared { references }) => assert_eq!(references, 2),
+            other => panic!("expected StillShared, got {other:?}"),
+        }
+        drop(held);
+    }
+
+    /// A sink that records appends and can be told to fail.
+    struct TestSink {
+        seen: Arc<Mutex<Vec<u64>>>,
+        fail_every: Option<u64>,
+        calls: u64,
+        finished: Arc<Mutex<bool>>,
+    }
+
+    impl SessionSink for TestSink {
+        fn append(&mut self, rec: &SessionRecord) -> Result<(), SinkError> {
+            self.calls += 1;
+            if self.fail_every.is_some_and(|n| self.calls.is_multiple_of(n)) {
+                return Err("injected sink failure".into());
+            }
+            self.seen.lock().push(rec.session_id);
+            Ok(())
+        }
+
+        fn finish(&mut self) -> Result<(), SinkError> {
+            *self.finished.lock() = true;
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn sink_mode_spills_with_dense_ids_and_finishes() {
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let finished = Arc::new(Mutex::new(false));
+        let c = Collector::with_sink(
+            CollectorConfig::default(),
+            Box::new(TestSink {
+                seen: Arc::clone(&seen),
+                fail_every: None,
+                calls: 0,
+                finished: Arc::clone(&finished),
+            }),
+        );
+        for i in 0..50 {
+            c.ingest(rec((i % 24) as u8));
+        }
+        let (stats, quarantine) = c.into_sink_parts().expect("sink closes");
+        assert_eq!(stats.accepted, 50);
+        assert!(quarantine.is_empty());
+        assert!(*finished.lock(), "finish() must seal the sink");
+        assert_eq!(*seen.lock(), (0..50).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn sink_failures_retry_like_flush_failures() {
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let finished = Arc::new(Mutex::new(false));
+        let c = Collector::with_sink(
+            CollectorConfig { max_retries: 8, ..CollectorConfig::default() },
+            Box::new(TestSink {
+                seen: Arc::clone(&seen),
+                fail_every: Some(5), // every 5th append fails
+                calls: 0,
+                finished: Arc::clone(&finished),
+            }),
+        );
+        for i in 0..100 {
+            c.ingest(rec((i % 24) as u8));
+        }
+        let (stats, _) = c.into_sink_parts().expect("sink closes");
+        assert!(stats.retried > 0, "sink failures must be retried: {stats:?}");
+        assert_eq!(stats.accepted + stats.dropped, 100);
+        // Ids of spilled records are dense over the accepted set.
+        let mut ids = seen.lock().clone();
+        ids.sort_unstable();
+        assert_eq!(ids, (0..stats.accepted).collect::<Vec<u64>>());
     }
 
     #[test]

@@ -41,7 +41,10 @@ pub use auth::AuthPolicy;
 pub use cowrie_log::{
     from_cowrie_log, from_cowrie_log_lossy, to_cowrie_events, to_cowrie_log, LossyImport,
 };
-pub use collector::{Collector, CollectorConfig, IngestOutcome, IngestStats};
+pub use collector::{
+    ingest_parallel, Collector, CollectorConfig, CollectorError, IngestOutcome, IngestStats,
+    SessionSink, SinkError,
+};
 pub use fleet::{maintenance_end, maintenance_start, Fleet, Honeypot};
 pub use outage::{OutageConfig, OutageSchedule};
 pub use record::{

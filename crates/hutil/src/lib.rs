@@ -7,6 +7,8 @@
 //!   the honeypot (the honeynet stores hashes, never file bodies).
 //! * [`base64`] — RFC 4648 codec, needed to decode the `mdrfckr` actor's
 //!   base64-encoded payload scripts (paper §9).
+//! * [`crc32`] — IEEE CRC-32, the per-block integrity checksum of the
+//!   `sessiondb` on-disk segment format.
 //! * [`date`] — proleptic-Gregorian civil-date arithmetic without any
 //!   ambient-clock access; the simulation clock is always explicit.
 //! * [`json`] — a minimal RFC 8259 codec for Cowrie-format log interop
@@ -17,12 +19,14 @@
 //!   independent, reproducible stream.
 
 pub mod base64;
+pub mod crc32;
 pub mod date;
 pub mod json;
 pub mod rng;
 pub mod sha256;
 pub mod stats;
 
+pub use crc32::{crc32, Crc32};
 pub use date::{Date, DateTime, Month};
 pub use json::Json;
 pub use sha256::Sha256;

@@ -1,0 +1,542 @@
+//! The sharded store: a directory of segments plus a `MANIFEST` tag.
+//!
+//! Writing rolls a new segment every `rows_per_segment` rows; reading
+//! opens every segment's header/footer up front (cheap — two small reads
+//! each) and then streams blocks on demand. See the crate docs for the
+//! segment layout.
+
+use crate::segment::{SegmentMeta, SegmentReader, SegmentWriter};
+use crate::{SessionDbError, DEFAULT_ROWS_PER_SEGMENT, MAGIC, MANIFEST_TAG, SEGMENT_EXT};
+use honeypot::{SessionRecord, SessionSink, SinkError};
+use hutil::DateTime;
+use std::io::Read;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Does `path` look like a sessiondb store (directory with a manifest or
+/// segments) or a single segment file (magic bytes)? Used by the CLI to
+/// auto-detect input formats without an explicit flag.
+pub fn is_sessiondb_path(path: impl AsRef<Path>) -> bool {
+    let path = path.as_ref();
+    if path.is_dir() {
+        if path.join("MANIFEST").is_file() {
+            return true;
+        }
+        return segment_paths(path).map(|v| !v.is_empty()).unwrap_or(false);
+    }
+    if path.is_file() {
+        let mut magic = [0u8; 4];
+        if let Ok(mut f) = std::fs::File::open(path) {
+            if f.read_exact(&mut magic).is_ok() {
+                return magic == MAGIC;
+            }
+        }
+    }
+    false
+}
+
+fn segment_paths(dir: &Path) -> Result<Vec<PathBuf>, SessionDbError> {
+    let mut out = Vec::new();
+    let entries = std::fs::read_dir(dir).map_err(|e| SessionDbError::io(dir, e))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| SessionDbError::io(dir, e))?;
+        let p = entry.path();
+        if p.extension().and_then(|e| e.to_str()) == Some(SEGMENT_EXT) {
+            out.push(p);
+        }
+    }
+    // Segment names are zero-padded, so lexicographic order is append
+    // order — and therefore session-id order for collector-fed stores.
+    out.sort();
+    Ok(out)
+}
+
+// --- writer --------------------------------------------------------------
+
+/// Appends sessions to a store directory, sealing a segment every
+/// `rows_per_segment` rows.
+///
+/// Implements [`honeypot::SessionSink`], so it can sit behind a
+/// `Collector::with_sink` and receive records through the collector's
+/// retry/quarantine machinery. Call [`StoreWriter::finish`] (or let the
+/// collector's `into_sink_parts` call `SessionSink::finish`) to seal the
+/// final partial segment.
+pub struct StoreWriter {
+    dir: PathBuf,
+    rows_per_segment: usize,
+    next_segment: u64,
+    current: Option<SegmentWriter>,
+    sealed: Vec<SegmentMeta>,
+    total_rows: u64,
+}
+
+impl StoreWriter {
+    /// Creates (or opens for append) a store at `dir` with the default
+    /// segment size.
+    pub fn create(dir: impl Into<PathBuf>) -> Result<Self, SessionDbError> {
+        Self::with_rows_per_segment(dir, DEFAULT_ROWS_PER_SEGMENT)
+    }
+
+    /// Creates a store sealing a segment every `rows_per_segment` rows.
+    pub fn with_rows_per_segment(
+        dir: impl Into<PathBuf>,
+        rows_per_segment: usize,
+    ) -> Result<Self, SessionDbError> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir).map_err(|e| SessionDbError::io(&dir, e))?;
+        let manifest = dir.join("MANIFEST");
+        std::fs::write(&manifest, format!("{MANIFEST_TAG}\n"))
+            .map_err(|e| SessionDbError::io(&manifest, e))?;
+        // Resume after any existing segments rather than clobbering them.
+        let existing = segment_paths(&dir)?;
+        let next_segment = existing
+            .iter()
+            .filter_map(|p| {
+                p.file_stem()
+                    .and_then(|s| s.to_str())
+                    .and_then(|s| s.strip_prefix("seg-"))
+                    .and_then(|s| s.parse::<u64>().ok())
+            })
+            .max()
+            .map_or(0, |n| n + 1);
+        Ok(Self {
+            dir,
+            rows_per_segment: rows_per_segment.max(1),
+            next_segment,
+            current: None,
+            sealed: Vec::new(),
+            total_rows: 0,
+        })
+    }
+
+    fn segment_path(&self, index: u64) -> PathBuf {
+        self.dir.join(format!("seg-{index:06}.{SEGMENT_EXT}"))
+    }
+
+    /// Appends one record, sealing the current segment if it is full.
+    pub fn append(&mut self, rec: &SessionRecord) -> Result<(), SessionDbError> {
+        if self.current.is_none() {
+            let path = self.segment_path(self.next_segment);
+            self.next_segment += 1;
+            self.current = Some(SegmentWriter::create(path));
+        }
+        let writer = self.current.as_mut().expect("segment writer just installed");
+        writer.push(rec);
+        self.total_rows += 1;
+        if writer.rows() as usize >= self.rows_per_segment {
+            self.seal()?;
+        }
+        Ok(())
+    }
+
+    fn seal(&mut self) -> Result<(), SessionDbError> {
+        if let Some(writer) = self.current.take() {
+            self.sealed.push(writer.finish()?);
+        }
+        Ok(())
+    }
+
+    /// Rows appended so far (including the unsealed tail).
+    pub fn rows(&self) -> u64 {
+        self.total_rows
+    }
+
+    /// Seals the final partial segment and returns metadata for every
+    /// segment this writer produced.
+    pub fn finish(mut self) -> Result<Vec<SegmentMeta>, SessionDbError> {
+        self.seal()?;
+        Ok(std::mem::take(&mut self.sealed))
+    }
+
+    /// Store directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+}
+
+impl SessionSink for StoreWriter {
+    fn append(&mut self, rec: &SessionRecord) -> Result<(), SinkError> {
+        StoreWriter::append(self, rec).map_err(|e| Box::new(e) as SinkError)
+    }
+
+    fn finish(&mut self) -> Result<(), SinkError> {
+        self.seal().map_err(|e| Box::new(e) as SinkError)
+    }
+}
+
+// --- store / scans -------------------------------------------------------
+
+/// Cheap aggregate facts from headers/footers only (no block reads).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StoreSummary {
+    /// Number of segment files.
+    pub segments: usize,
+    /// Total sessions across all segments.
+    pub rows: u64,
+    /// Earliest session start across the store.
+    pub min_start: Option<DateTime>,
+    /// Latest session start across the store.
+    pub max_start: Option<DateTime>,
+}
+
+/// An opened store: validated segment metadata, ready to scan.
+#[derive(Debug, Clone)]
+pub struct Store {
+    segments: Vec<SegmentReader>,
+}
+
+impl Store {
+    /// Opens a store directory or a single segment file, validating every
+    /// segment's header and footer.
+    pub fn open(path: impl AsRef<Path>) -> Result<Self, SessionDbError> {
+        let path = path.as_ref();
+        if path.is_file() {
+            return Ok(Self { segments: vec![SegmentReader::open(path)?] });
+        }
+        if !path.is_dir() {
+            return Err(SessionDbError::NotAStore { path: path.display().to_string() });
+        }
+        let paths = segment_paths(path)?;
+        if paths.is_empty() && !path.join("MANIFEST").is_file() {
+            return Err(SessionDbError::NotAStore { path: path.display().to_string() });
+        }
+        let segments =
+            paths.into_iter().map(SegmentReader::open).collect::<Result<Vec<_>, _>>()?;
+        Ok(Self { segments })
+    }
+
+    /// Per-segment metadata, in scan order.
+    pub fn segments(&self) -> impl Iterator<Item = &SegmentMeta> {
+        self.segments.iter().map(|r| r.meta())
+    }
+
+    /// Header/footer-only summary.
+    pub fn summary(&self) -> StoreSummary {
+        let mut s = StoreSummary { segments: self.segments.len(), rows: 0, min_start: None, max_start: None };
+        for m in self.segments() {
+            s.rows += m.rows;
+            if let Some(lo) = m.min_start {
+                s.min_start = Some(s.min_start.map_or(lo, |cur: DateTime| cur.min(lo)));
+            }
+            if let Some(hi) = m.max_start {
+                s.max_start = Some(s.max_start.map_or(hi, |cur: DateTime| cur.max(hi)));
+            }
+        }
+        s
+    }
+
+    /// Streams every segment in order. Memory is bounded by one decoded
+    /// segment at a time.
+    pub fn scan(&self) -> Scan<'_> {
+        Scan { segments: &self.segments, next: 0, window: None }
+    }
+
+    /// Streams only segments whose zone map intersects `[min, max]`
+    /// (inclusive, on session *start* time). Records inside a surviving
+    /// segment are additionally filtered to the window.
+    pub fn scan_window(&self, min: DateTime, max: DateTime) -> Scan<'_> {
+        Scan { segments: &self.segments, next: 0, window: Some((min, max)) }
+    }
+
+    /// Decodes segments on `workers` scoped threads, folding each batch
+    /// with `map` and combining per-worker accumulators with `reduce`.
+    ///
+    /// Segments are handed out via an atomic cursor, so a slow segment
+    /// never stalls the others; each worker holds at most one decoded
+    /// segment, keeping the whole scan out-of-core. Errors from any
+    /// segment abort the scan.
+    pub fn par_scan<T, Map, Reduce>(
+        &self,
+        workers: usize,
+        map: Map,
+        reduce: Reduce,
+    ) -> Result<T, SessionDbError>
+    where
+        T: Default + Send,
+        Map: Fn(&mut T, Vec<SessionRecord>) + Sync,
+        Reduce: Fn(T, T) -> T,
+    {
+        let workers = workers.clamp(1, self.segments.len().max(1));
+        let cursor = AtomicUsize::new(0);
+        let error: Mutex<Option<SessionDbError>> = Mutex::new(None);
+        let accs: Vec<T> = crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|_| {
+                        let mut acc = T::default();
+                        loop {
+                            let i = cursor.fetch_add(1, Ordering::Relaxed);
+                            let Some(reader) = self.segments.get(i) else { break };
+                            if error.lock().expect("scan error lock").is_some() {
+                                break;
+                            }
+                            match reader.read_all() {
+                                Ok(batch) => map(&mut acc, batch),
+                                Err(e) => {
+                                    error.lock().expect("scan error lock").get_or_insert(e);
+                                    break;
+                                }
+                            }
+                        }
+                        acc
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().unwrap_or_else(|p| std::panic::resume_unwind(p)))
+                .collect()
+        })
+        .unwrap_or_else(|p| std::panic::resume_unwind(p));
+        if let Some(e) = error.into_inner().expect("scan error lock") {
+            return Err(e);
+        }
+        Ok(accs.into_iter().fold(T::default(), reduce))
+    }
+}
+
+/// Streaming iterator over a store's segments, yielding one decoded
+/// batch per surviving segment.
+pub struct Scan<'a> {
+    segments: &'a [SegmentReader],
+    next: usize,
+    window: Option<(DateTime, DateTime)>,
+}
+
+impl<'a> Scan<'a> {
+    /// Flattens the batch stream into single records.
+    ///
+    /// Errors surface as one `Err` item and end the stream.
+    pub fn records(self) -> impl Iterator<Item = Result<SessionRecord, SessionDbError>> + 'a {
+        let mut batches = self;
+        let mut current: std::vec::IntoIter<SessionRecord> = Vec::new().into_iter();
+        let mut failed = false;
+        std::iter::from_fn(move || loop {
+            if failed {
+                return None;
+            }
+            if let Some(rec) = current.next() {
+                return Some(Ok(rec));
+            }
+            match batches.next() {
+                Some(Ok(batch)) => current = batch.into_iter(),
+                Some(Err(e)) => {
+                    failed = true;
+                    return Some(Err(e));
+                }
+                None => return None,
+            }
+        })
+    }
+}
+
+impl Iterator for Scan<'_> {
+    type Item = Result<Vec<SessionRecord>, SessionDbError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            let reader = self.segments.get(self.next)?;
+            self.next += 1;
+            if let Some((lo, hi)) = self.window {
+                if !reader.meta().overlaps(lo, hi) {
+                    continue; // zone-map pruned: blocks never read
+                }
+            }
+            let batch = match reader.read_all() {
+                Ok(b) => b,
+                Err(e) => {
+                    self.next = self.segments.len(); // poison: stop the scan
+                    return Some(Err(e));
+                }
+            };
+            if let Some((lo, hi)) = self.window {
+                let filtered: Vec<SessionRecord> =
+                    batch.into_iter().filter(|r| r.start >= lo && r.start <= hi).collect();
+                if filtered.is_empty() {
+                    continue;
+                }
+                return Some(Ok(filtered));
+            }
+            return Some(Ok(batch));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use honeypot::{LoginAttempt, Protocol, SessionEndReason};
+    use hutil::Date;
+    use netsim::Ipv4Addr;
+
+    fn rec(i: u64) -> SessionRecord {
+        SessionRecord {
+            session_id: i,
+            honeypot_id: 0,
+            honeypot_ip: Ipv4Addr(1),
+            client_ip: Ipv4Addr(2 + i as u32),
+            client_port: 40000,
+            protocol: Protocol::Ssh,
+            start: Date::new(2021, 12, 1).at_midnight().plus_secs(i as i64 * 86_400),
+            end: Date::new(2021, 12, 1).at_midnight().plus_secs(i as i64 * 86_400 + 30),
+            end_reason: SessionEndReason::ClientClose,
+            client_version: None,
+            logins: vec![LoginAttempt {
+                username: "root".into(),
+                password: "hunter2".into(),
+                success: true,
+            }],
+            commands: vec![],
+            uris: vec![],
+            file_events: vec![],
+        }
+    }
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("sessiondb-store-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn rolls_segments_and_scans_in_order() {
+        let dir = tmpdir("roll");
+        let mut w = StoreWriter::with_rows_per_segment(&dir, 10).unwrap();
+        let recs: Vec<SessionRecord> = (0..35).map(rec).collect();
+        for r in &recs {
+            StoreWriter::append(&mut w, r).unwrap();
+        }
+        let metas = w.finish().unwrap();
+        assert_eq!(metas.len(), 4); // 10+10+10+5
+        assert_eq!(metas.iter().map(|m| m.rows).sum::<u64>(), 35);
+
+        let store = Store::open(&dir).unwrap();
+        assert_eq!(store.summary().rows, 35);
+        let got: Vec<SessionRecord> =
+            store.scan().records().collect::<Result<Vec<_>, _>>().unwrap();
+        assert_eq!(got, recs);
+    }
+
+    #[test]
+    fn empty_store_is_valid_and_detectable() {
+        let dir = tmpdir("empty");
+        let w = StoreWriter::create(&dir).unwrap();
+        assert!(w.finish().unwrap().is_empty());
+        assert!(is_sessiondb_path(&dir));
+        let store = Store::open(&dir).unwrap();
+        assert_eq!(store.summary().rows, 0);
+        assert_eq!(store.scan().records().count(), 0);
+    }
+
+    #[test]
+    fn zone_maps_prune_and_filter() {
+        let dir = tmpdir("prune");
+        // One session per day for 35 days, 10 per segment.
+        let mut w = StoreWriter::with_rows_per_segment(&dir, 10).unwrap();
+        for i in 0..35 {
+            StoreWriter::append(&mut w, &rec(i)).unwrap();
+        }
+        w.finish().unwrap();
+        let store = Store::open(&dir).unwrap();
+        // Window covering days 12..=17 — only segment 1 (days 10-19)
+        // survives pruning.
+        let lo = Date::new(2021, 12, 13).at_midnight();
+        let hi = Date::new(2021, 12, 18).at_midnight();
+        let batches: Vec<_> =
+            store.scan_window(lo, hi).collect::<Result<Vec<_>, _>>().unwrap();
+        assert_eq!(batches.len(), 1, "exactly one segment intersects the window");
+        let ids: Vec<u64> = batches[0].iter().map(|r| r.session_id).collect();
+        assert_eq!(ids, vec![12, 13, 14, 15, 16, 17]);
+    }
+
+    #[test]
+    fn par_scan_matches_serial_scan() {
+        let dir = tmpdir("par");
+        let mut w = StoreWriter::with_rows_per_segment(&dir, 7).unwrap();
+        for i in 0..100 {
+            StoreWriter::append(&mut w, &rec(i)).unwrap();
+        }
+        w.finish().unwrap();
+        let store = Store::open(&dir).unwrap();
+        let serial: u64 =
+            store.scan().records().map(|r| r.unwrap().session_id).sum();
+        let (count, sum) = store
+            .par_scan(
+                4,
+                |acc: &mut (u64, u64), batch| {
+                    acc.0 += batch.len() as u64;
+                    acc.1 += batch.iter().map(|r| r.session_id).sum::<u64>();
+                },
+                |a, b| (a.0 + b.0, a.1 + b.1),
+            )
+            .unwrap();
+        assert_eq!(count, 100);
+        assert_eq!(sum, serial);
+    }
+
+    #[test]
+    fn par_scan_surfaces_corruption() {
+        let dir = tmpdir("par-corrupt");
+        let mut w = StoreWriter::with_rows_per_segment(&dir, 5).unwrap();
+        for i in 0..20 {
+            StoreWriter::append(&mut w, &rec(i)).unwrap();
+        }
+        w.finish().unwrap();
+        // Flip a byte in the middle of the second segment's blocks.
+        let victim = dir.join("seg-000001.hsdb");
+        let mut bytes = std::fs::read(&victim).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        std::fs::write(&victim, &bytes).unwrap();
+        let store = Store::open(&dir).unwrap();
+        let err = store
+            .par_scan(3, |acc: &mut u64, b| *acc += b.len() as u64, |a, b| a + b)
+            .expect_err("corruption must abort the scan");
+        assert!(matches!(err, SessionDbError::Corrupt { .. }), "{err}");
+    }
+
+    #[test]
+    fn reopening_appends_after_existing_segments() {
+        let dir = tmpdir("reopen");
+        let mut w = StoreWriter::with_rows_per_segment(&dir, 4).unwrap();
+        for i in 0..8 {
+            StoreWriter::append(&mut w, &rec(i)).unwrap();
+        }
+        w.finish().unwrap();
+        let mut w = StoreWriter::with_rows_per_segment(&dir, 4).unwrap();
+        for i in 8..12 {
+            StoreWriter::append(&mut w, &rec(i)).unwrap();
+        }
+        w.finish().unwrap();
+        let store = Store::open(&dir).unwrap();
+        let ids: Vec<u64> =
+            store.scan().records().map(|r| r.unwrap().session_id).collect();
+        assert_eq!(ids, (0..12).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn single_segment_file_opens_directly() {
+        let dir = tmpdir("single");
+        let mut w = StoreWriter::with_rows_per_segment(&dir, 100).unwrap();
+        for i in 0..5 {
+            StoreWriter::append(&mut w, &rec(i)).unwrap();
+        }
+        w.finish().unwrap();
+        let seg = dir.join("seg-000000.hsdb");
+        assert!(is_sessiondb_path(&seg));
+        let store = Store::open(&seg).unwrap();
+        assert_eq!(store.summary().rows, 5);
+    }
+
+    #[test]
+    fn non_store_paths_are_rejected() {
+        let dir = tmpdir("notastore");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("notes.txt"), "hi").unwrap();
+        assert!(!is_sessiondb_path(&dir));
+        assert!(matches!(Store::open(&dir), Err(SessionDbError::NotAStore { .. })));
+        let missing = dir.join("nope");
+        assert!(matches!(Store::open(&missing), Err(SessionDbError::NotAStore { .. })));
+    }
+}

@@ -13,4 +13,11 @@ cargo test -q --workspace
 echo "== tier1: clippy (deny warnings) =="
 cargo clippy --all-targets --workspace -- -D warnings
 
+echo "== tier1: sessiondb smoke (generate -> analyze) =="
+smoke="$(mktemp -d)/smoke.hsdb"
+trap 'rm -rf "$(dirname "$smoke")"' EXIT
+./target/release/honeylab generate --scale 60000 --seed 5 \
+    --out-format sessiondb --out "$smoke"
+./target/release/honeylab analyze "$smoke" > /dev/null
+
 echo "== tier1: OK =="

@@ -5,10 +5,17 @@
 //!     Generate a synthetic honeynet dataset and write it as a
 //!     Cowrie-format JSON-lines event log.
 //!
+//! honeylab generate --scale 500 --out store.hsdb --out-format sessiondb
+//!     Same dataset, spilled straight into a sharded columnar sessiondb
+//!     store — sessions stream to disk during generation, so memory stays
+//!     bounded at any scale.
+//!
 //! honeylab analyze honeynet.json
-//!     Run the paper's analysis pipeline over a Cowrie JSON log — the one
-//!     produced by `generate`, or a real log from your own Cowrie
-//!     deployment (`var/log/cowrie/cowrie.json*` concatenated).
+//! honeylab analyze store.hsdb
+//!     Run the paper's analysis pipeline. The input format is
+//!     auto-detected (sessiondb by magic bytes / store manifest, anything
+//!     else parses as a Cowrie JSON log); sessiondb input is analysed in
+//!     streaming passes without materializing the dataset.
 //!
 //! honeylab classify
 //!     Read command lines from stdin, print the Table 1 category of each.
@@ -17,12 +24,14 @@
 //!     Print the classifier's rule set (label + pattern).
 //! ```
 
-use honeylab::botnet::FaultProfile;
+use honeylab::botnet::{generate_dataset_into, FaultProfile};
 use honeylab::core::{logins, report, storage_analysis as sa};
 use honeylab::honeypot::{from_cowrie_log_lossy, to_cowrie_log};
 use honeylab::prelude::*;
+use honeylab::sessiondb::{is_sessiondb_path, Store, StoreWriter};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::borrow::Borrow;
 use std::io::{BufRead, Write};
 
 fn main() {
@@ -36,11 +45,14 @@ fn main() {
             eprintln!(
                 "usage: honeylab <generate|analyze|classify|table1> [options]\n\
                  \n\
-                 generate --scale N --seed S --out FILE   synthesize a Cowrie JSON log\n\
+                 generate --scale N --seed S --out FILE   synthesize a honeynet dataset\n\
+                 \x20        [--out-format cowrie|sessiondb] cowrie: JSON-lines log (default);\n\
+                 \x20                                        sessiondb: sharded columnar store, bounded memory\n\
                  \x20        [--downtime F]                  inject sensor outages (fraction of sensor-time)\n\
                  \x20        [--flush-fail F]                inject collector flush failures (per-write rate)\n\
-                 \x20        [--corrupt F]                   corrupt the emitted log (per-line byte-flip rate)\n\
-                 analyze FILE                             run the paper's analysis on a Cowrie log\n\
+                 \x20        [--corrupt F]                   corrupt the emitted log (per-line byte-flip rate; cowrie only)\n\
+                 analyze PATH                             run the paper's analysis on a Cowrie log\n\
+                 \x20                                        or sessiondb store (format auto-detected)\n\
                  classify                                 classify stdin command lines (Table 1)\n\
                  table1                                   print the classifier rule set"
             );
@@ -57,7 +69,11 @@ fn flag(args: &[String], name: &str) -> Option<String> {
 fn cmd_generate(args: &[String]) -> i32 {
     let scale: u64 = flag(args, "--scale").and_then(|s| s.parse().ok()).unwrap_or(8_000);
     let seed: u64 = flag(args, "--seed").and_then(|s| s.parse().ok()).unwrap_or(42);
-    let out = flag(args, "--out").unwrap_or_else(|| "honeynet.json".to_string());
+    let format = flag(args, "--out-format").unwrap_or_else(|| "cowrie".to_string());
+    let out = flag(args, "--out").unwrap_or_else(|| match format.as_str() {
+        "sessiondb" => "honeynet.hsdb".to_string(),
+        _ => "honeynet.json".to_string(),
+    });
     let downtime: f64 = flag(args, "--downtime").and_then(|s| s.parse().ok()).unwrap_or(0.0);
     let flush_fail: f64 = flag(args, "--flush-fail").and_then(|s| s.parse().ok()).unwrap_or(0.0);
     let corrupt: f64 = flag(args, "--corrupt").and_then(|s| s.parse().ok()).unwrap_or(0.0);
@@ -74,34 +90,77 @@ fn cmd_generate(args: &[String]) -> i32 {
         cfg.faults.queue_capacity = Some(64);
     }
     eprintln!("generating 33 months at 1:{scale} (seed {seed})…");
-    let ds = generate_dataset(&cfg);
-    let f = &ds.faults;
+    match format.as_str() {
+        "cowrie" => {
+            let ds = generate_dataset(&cfg);
+            report_degraded(&ds.faults, ds.sessions.len() as u64);
+            eprintln!("{} sessions; writing Cowrie-format log to {out}…", ds.sessions.len());
+            let mut log = to_cowrie_log(&ds.sessions);
+            if corrupt > 0.0 {
+                let (l, n) = corrupt_log(&log, corrupt, seed);
+                eprintln!("corrupted {n} of {} lines (--corrupt {corrupt})", l.lines().count());
+                log = l;
+            }
+            match std::fs::File::create(&out).and_then(|mut f| f.write_all(log.as_bytes())) {
+                Ok(()) => {
+                    eprintln!("wrote {} bytes ({} lines)", log.len(), log.lines().count());
+                    0
+                }
+                Err(e) => {
+                    eprintln!("error writing {out}: {e}");
+                    1
+                }
+            }
+        }
+        "sessiondb" => {
+            if corrupt > 0.0 {
+                eprintln!("warning: --corrupt applies to the cowrie format only, ignoring");
+            }
+            // Sessions spill to the store through the collector as they
+            // are generated; nothing is ever materialized in memory.
+            let writer = match StoreWriter::create(&out) {
+                Ok(w) => w,
+                Err(e) => {
+                    eprintln!("error creating store {out}: {e}");
+                    return 1;
+                }
+            };
+            let ds = match generate_dataset_into(&cfg, Box::new(writer)) {
+                Ok(ds) => ds,
+                Err(e) => {
+                    eprintln!("error generating into {out}: {e}");
+                    return 1;
+                }
+            };
+            report_degraded(&ds.faults, ds.faults.ingest.accepted);
+            match Store::open(&out) {
+                Ok(store) => {
+                    let s = store.summary();
+                    eprintln!(
+                        "wrote sessiondb store {out}: {} sessions in {} segments",
+                        s.rows, s.segments
+                    );
+                    0
+                }
+                Err(e) => {
+                    eprintln!("error reopening store {out}: {e}");
+                    1
+                }
+            }
+        }
+        other => {
+            eprintln!("unknown --out-format '{other}' (expected cowrie or sessiondb)");
+            2
+        }
+    }
+}
+
+fn report_degraded(f: &honeylab::botnet::FaultReport, recorded: u64) {
     if f.connection_failures + f.ingest.dropped + f.ingest.quarantined > 0 {
         eprintln!(
             "degraded run: {} attempted = {} recorded + {} connection failures + {} dropped + {} quarantined",
-            f.attempted,
-            ds.sessions.len(),
-            f.connection_failures,
-            f.ingest.dropped,
-            f.ingest.quarantined
+            f.attempted, recorded, f.connection_failures, f.ingest.dropped, f.ingest.quarantined
         );
-    }
-    eprintln!("{} sessions; writing Cowrie-format log to {out}…", ds.sessions.len());
-    let mut log = to_cowrie_log(&ds.sessions);
-    if corrupt > 0.0 {
-        let (l, n) = corrupt_log(&log, corrupt, seed);
-        eprintln!("corrupted {n} of {} lines (--corrupt {corrupt})", l.lines().count());
-        log = l;
-    }
-    match std::fs::File::create(&out).and_then(|mut f| f.write_all(log.as_bytes())) {
-        Ok(()) => {
-            eprintln!("wrote {} bytes ({} lines)", log.len(), log.lines().count());
-            0
-        }
-        Err(e) => {
-            eprintln!("error writing {out}: {e}");
-            1
-        }
     }
 }
 
@@ -130,9 +189,51 @@ fn corrupt_log(log: &str, rate: f64, seed: u64) -> (String, usize) {
 
 fn cmd_analyze(args: &[String]) -> i32 {
     let Some(path) = args.first() else {
-        eprintln!("usage: honeylab analyze <cowrie-log.json>");
+        eprintln!("usage: honeylab analyze <cowrie-log.json | store.hsdb>");
         return 2;
     };
+    if is_sessiondb_path(path) {
+        analyze_sessiondb(path)
+    } else {
+        analyze_cowrie(path)
+    }
+}
+
+fn analyze_sessiondb(path: &str) -> i32 {
+    let store = match Store::open(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error opening store {path}: {e}");
+            return 1;
+        }
+    };
+    let summary = store.summary();
+    eprintln!("sessiondb store: {} sessions in {} segments", summary.rows, summary.segments);
+    // One parallel pass decodes and CRC-checks every block up front, so
+    // the streaming report passes below can trust the store.
+    let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    match store.par_scan(workers, |acc: &mut u64, batch| *acc += batch.len() as u64, |a, b| a + b) {
+        Ok(validated) => eprintln!("validated {validated} sessions"),
+        Err(e) => {
+            eprintln!("error scanning {path}: {e}");
+            return 1;
+        }
+    }
+    // Each report is a single pass over a fresh scan; memory stays bounded
+    // by one decoded segment regardless of store size.
+    run_reports(|| {
+        store.scan().records().map_while(|r| match r {
+            Ok(rec) => Some(rec),
+            Err(e) => {
+                eprintln!("warning: scan failed mid-report (store changed?): {e}");
+                None
+            }
+        })
+    });
+    0
+}
+
+fn analyze_cowrie(path: &str) -> i32 {
     let log = match std::fs::read_to_string(path) {
         Ok(s) => s,
         Err(e) => {
@@ -164,28 +265,39 @@ fn cmd_analyze(args: &[String]) -> i32 {
         return 1;
     }
     eprintln!("parsed {} sessions", sessions.len());
+    run_reports(|| sessions.iter());
+    0
+}
 
+/// The paper's analysis pipeline over any session source.
+///
+/// `fresh` yields a new single-use session stream per call; each report
+/// below is one pass over one such stream. A slice-backed source hands out
+/// `sessions.iter()` repeatedly for free, while a sessiondb source opens a
+/// fresh out-of-core scan per pass — either way no report ever needs the
+/// whole dataset in memory at once.
+fn run_reports<F, I>(fresh: F)
+where
+    F: Fn() -> I,
+    I: IntoIterator,
+    I::Item: Borrow<SessionRecord>,
+{
     // §3.3 taxonomy.
-    let stats = TaxonomyStats::compute(&sessions);
+    let stats = TaxonomyStats::compute(fresh());
     print!("{}", report::render_dataset_stats(&stats, 1));
 
     // Table 1 classification.
     let cl = Classifier::table1();
-    let coverage = report::classification_coverage(&sessions, &cl);
+    let coverage = report::classification_coverage(fresh(), &cl);
     println!("\nTable 1 coverage: {:.2}% of command sessions classified", coverage * 100.0);
-    let mut cats: std::collections::HashMap<&str, u64> = std::collections::HashMap::new();
-    for s in report::command_sessions(&sessions) {
-        *cats.entry(cl.classify(&s.command_text())).or_default() += 1;
-    }
-    let mut cats: Vec<_> = cats.into_iter().collect();
-    cats.sort_by_key(|entry| std::cmp::Reverse(entry.1));
+    let cats = report::category_counts(fresh(), &cl);
     println!("\ntop command categories:");
     for (label, n) in cats.iter().take(15) {
         println!("  {label:<26} {n}");
     }
 
     // Passwords.
-    let top = logins::top_passwords(&sessions, 10);
+    let top = logins::top_passwords(fresh(), 10);
     println!("\ntop accepted passwords:");
     for (i, pw) in top.passwords.iter().enumerate() {
         let total: u64 = top.by_month.values().map(|v| v[i]).sum();
@@ -193,7 +305,7 @@ fn cmd_analyze(args: &[String]) -> i32 {
     }
 
     // Cowrie-default fingerprinting.
-    let probes = logins::cowrie_default_probes(&sessions);
+    let probes = logins::cowrie_default_probes(fresh());
     let phil: u64 = probes.phil_success.values().sum();
     if phil > 0 {
         println!(
@@ -205,7 +317,7 @@ fn cmd_analyze(args: &[String]) -> i32 {
     }
 
     // Downloads.
-    let events = sa::download_events(&sessions);
+    let events = sa::download_events(fresh());
     if !events.is_empty() {
         let st = sa::storage_stats(&events, &abusedb::AbuseDb::default());
         println!(
@@ -218,7 +330,7 @@ fn cmd_analyze(args: &[String]) -> i32 {
     }
 
     // mdrfckr check.
-    let tl = honeylab::core::mdrfckr::timeline(&sessions);
+    let tl = honeylab::core::mdrfckr::timeline(fresh());
     let total: u64 = tl.daily.values().map(|(n, _)| n).sum();
     if total > 0 {
         println!(
@@ -226,7 +338,6 @@ fn cmd_analyze(args: &[String]) -> i32 {
             tl.daily.len()
         );
     }
-    0
 }
 
 fn cmd_classify() -> i32 {

@@ -37,6 +37,7 @@
 //! | [`asdb`] | historic AS registry (WHOIS-style lookups) |
 //! | [`abusedb`] | partial-coverage abuse feeds + IP lists |
 //! | [`honeypot`] | Cowrie-like sensor, shell emulator, collector |
+//! | [`sessiondb`] | sharded columnar session store, out-of-core scans |
 //! | [`botnet`] | 40+ bot archetypes + 33-month campaign driver |
 //! | [`honeylab_core`] | the paper's analysis pipeline and figures |
 
@@ -47,6 +48,7 @@ pub use honeylab_core as core;
 pub use honeypot;
 pub use hutil;
 pub use netsim;
+pub use sessiondb;
 pub use sregex;
 pub use sshwire;
 pub use telwire;

@@ -120,6 +120,89 @@ fn degraded_generate_then_lossy_analyze() {
 }
 
 #[test]
+fn sessiondb_generate_then_analyze_roundtrip() {
+    let dir = std::env::temp_dir().join("honeylab-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let store = dir.join("hlab-test.hsdb");
+    std::fs::remove_dir_all(&store).ok();
+    let out = honeylab()
+        .args([
+            "generate",
+            "--scale",
+            "60000",
+            "--seed",
+            "5",
+            "--out-format",
+            "sessiondb",
+            "--out",
+            store.to_str().unwrap(),
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("wrote sessiondb store"), "{err}");
+    assert!(store.join("MANIFEST").exists());
+
+    // analyze auto-detects the store and streams it.
+    let out = honeylab().arg("analyze").arg(&store).output().expect("binary runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("sessiondb store:"), "auto-detection reported:\n{err}");
+    assert!(err.contains("validated"), "up-front CRC pass reported:\n{err}");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("Dataset statistics"));
+    assert!(text.contains("Table 1 coverage"));
+    std::fs::remove_dir_all(&store).ok();
+}
+
+#[test]
+fn analyze_rejects_corrupt_store() {
+    let dir = std::env::temp_dir().join("honeylab-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let store = dir.join("hlab-corrupt.hsdb");
+    std::fs::remove_dir_all(&store).ok();
+    let out = honeylab()
+        .args([
+            "generate",
+            "--scale",
+            "60000",
+            "--out-format",
+            "sessiondb",
+            "--out",
+            store.to_str().unwrap(),
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    // Flip one byte in the middle of the first segment: the validation
+    // pass must fail with a structured error, not a panic.
+    let seg = store.join("seg-000000.hsdb");
+    let mut bytes = std::fs::read(&seg).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x10;
+    std::fs::write(&seg, &bytes).unwrap();
+
+    let out = honeylab().arg("analyze").arg(&store).output().expect("binary runs");
+    assert_eq!(out.status.code(), Some(1), "{}", String::from_utf8_lossy(&out.stderr));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("error scanning"), "{err}");
+    std::fs::remove_dir_all(&store).ok();
+}
+
+#[test]
+fn generate_rejects_unknown_format() {
+    let out = honeylab()
+        .args(["generate", "--scale", "60000", "--out-format", "parquet"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown --out-format"), "{err}");
+}
+
+#[test]
 fn analyze_rejects_garbage() {
     let dir = std::env::temp_dir().join("honeylab-cli-test");
     std::fs::create_dir_all(&dir).unwrap();
