@@ -131,17 +131,26 @@ impl AbuseDb {
                     } else {
                         family
                     };
-                    feeds.get_mut(&feed).expect("feed pre-inserted").insert(hash.to_string(), label);
+                    feeds
+                        .get_mut(&feed)
+                        .expect("feed pre-inserted")
+                        .insert(hash.to_string(), label);
                 }
             }
         }
-        Self { feeds, reported_ips: HashSet::new() }
+        Self {
+            feeds,
+            reported_ips: HashSet::new(),
+        }
     }
 
     /// Inserts a manual entry into one feed (used for well-known artefacts
     /// like the `mdrfckr` public-key hash, which *is* labelled in reality).
     pub fn insert(&mut self, feed: FeedName, hash: &str, family: MalwareFamily) {
-        self.feeds.entry(feed).or_default().insert(hash.to_string(), family);
+        self.feeds
+            .entry(feed)
+            .or_default()
+            .insert(hash.to_string(), family);
     }
 
     /// Marks `ip` as reported by IP-reputation feeds.
@@ -171,7 +180,9 @@ impl AbuseDb {
         let mut verdict = None;
         for feed in FeedName::ALL {
             match self.lookup_in(feed, hash) {
-                Some(MalwareFamily::Malicious) => verdict = verdict.or(Some(MalwareFamily::Malicious)),
+                Some(MalwareFamily::Malicious) => {
+                    verdict = verdict.or(Some(MalwareFamily::Malicious))
+                }
                 Some(f) => return Some(f),
                 None => {}
             }
@@ -279,7 +290,10 @@ mod tests {
     fn per_feed_lookup_is_scoped() {
         let mut db = AbuseDb::default();
         db.insert(FeedName::AbuseCh, "aa", MalwareFamily::Mirai);
-        assert_eq!(db.lookup_in(FeedName::AbuseCh, "aa"), Some(MalwareFamily::Mirai));
+        assert_eq!(
+            db.lookup_in(FeedName::AbuseCh, "aa"),
+            Some(MalwareFamily::Mirai)
+        );
         assert_eq!(db.lookup_in(FeedName::VirusTotal, "aa"), None);
     }
 }

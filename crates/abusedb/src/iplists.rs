@@ -18,7 +18,10 @@ pub struct IpList {
 impl IpList {
     /// An empty list with a display name, e.g. `"KillNet DDoS Blocklist"`.
     pub fn new(name: &str) -> Self {
-        Self { name: name.to_string(), ips: HashSet::new() }
+        Self {
+            name: name.to_string(),
+            ips: HashSet::new(),
+        }
     }
 
     /// List name.

@@ -106,7 +106,9 @@ struct SpaceAllocator {
 impl SpaceAllocator {
     fn new() -> Self {
         // Start above reserved low space; everything is synthetic anyway.
-        Self { next: 0x10_00_00_00 }
+        Self {
+            next: 0x10_00_00_00,
+        }
     }
 
     /// Allocates prefixes whose deaggregated /24 total equals `n_24s`,
@@ -171,22 +173,35 @@ pub fn generate(cfg: &GenConfig) -> SynthWorld {
     let mut alloc = SpaceAllocator::new();
     let mut records: Vec<AsRecord> = Vec::new();
     let mut next_asn = 200_000u32;
-    let mid = cfg.window_start.plus_days(cfg.window_end.days_since(cfg.window_start) / 2);
+    let mid = cfg
+        .window_start
+        .plus_days(cfg.window_end.days_since(cfg.window_start) / 2);
 
     let mk = |asn: u32,
-                  org: String,
-                  as_type: AsType,
-                  registered: Date,
-                  n_24s: u64,
-                  announced_from: Date,
-                  down_since: Option<Date>,
-                  alloc: &mut SpaceAllocator| {
+              org: String,
+              as_type: AsType,
+              registered: Date,
+              n_24s: u64,
+              announced_from: Date,
+              down_since: Option<Date>,
+              alloc: &mut SpaceAllocator| {
         let announcements: Vec<Announcement> = alloc
             .alloc(n_24s)
             .into_iter()
-            .map(|prefix| Announcement { prefix, from: announced_from, until: down_since })
+            .map(|prefix| Announcement {
+                prefix,
+                from: announced_from,
+                until: down_since,
+            })
             .collect();
-        AsRecord { asn, org, as_type, registered, announcements, down_since }
+        AsRecord {
+            asn,
+            org,
+            as_type,
+            registered,
+            announcements,
+            down_since,
+        }
     };
 
     // --- client ASes: established eyeball/service networks.
@@ -195,8 +210,11 @@ pub fn generate(cfg: &GenConfig) -> SynthWorld {
     for i in 0..cfg.n_client_ases {
         let asn = next_asn;
         next_asn += 1;
-        let registered =
-            sample_date(&mut rng, Date::new(1995, 1, 1), cfg.window_start.plus_days(-365));
+        let registered = sample_date(
+            &mut rng,
+            Date::new(1995, 1, 1),
+            cfg.window_start.plus_days(-365),
+        );
         let size = rng.random_range(16..4096);
         let announced_from = registered.plus_days(30);
         records.push(mk(
@@ -290,7 +308,11 @@ pub fn generate(cfg: &GenConfig) -> SynthWorld {
         records.push(mk(
             asn,
             format!("NEW-NET-{i}"),
-            if rng.random::<f64>() < 0.5 { AsType::Hosting } else { AsType::Other },
+            if rng.random::<f64>() < 0.5 {
+                AsType::Hosting
+            } else {
+                AsType::Other
+            },
             registered,
             1,
             registered.plus_days(14),
@@ -369,13 +391,19 @@ mod tests {
             .iter()
             .map(|a| {
                 let r = w.registry.by_asn(*a).unwrap();
-                r.announcements.iter().map(|an| an.prefix.deaggregated_24s()).sum()
+                r.announcements
+                    .iter()
+                    .map(|an| an.prefix.deaggregated_24s())
+                    .sum()
             })
             .collect();
         let one = sizes.iter().filter(|&&s| s == 1).count() as f64 / sizes.len() as f64;
         let under50 = sizes.iter().filter(|&&s| s < 50).count() as f64 / sizes.len() as f64;
         assert!((0.12..0.30).contains(&one), "single-/24 fraction {one}");
-        assert!((0.52..0.72).contains(&under50), "under-50 fraction {under50}");
+        assert!(
+            (0.52..0.72).contains(&under50),
+            "under-50 fraction {under50}"
+        );
         let _ = d;
     }
 
@@ -412,7 +440,9 @@ mod tests {
     fn background_ases_are_registered_inside_window() {
         let w = world();
         let cfg = GenConfig::paper_defaults(42);
-        let n = w.registry.registered_between(cfg.window_start, cfg.window_end);
+        let n = w
+            .registry
+            .registered_between(cfg.window_start, cfg.window_end);
         // All background ASes plus possibly a few storage ones.
         assert!(n >= cfg.n_background_new_ases);
     }

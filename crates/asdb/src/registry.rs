@@ -124,7 +124,11 @@ impl AsRegistry {
             }
         }
         index.sort_unstable();
-        Self { records, index, max_span }
+        Self {
+            records,
+            index,
+            max_span,
+        }
     }
 
     /// All records.
@@ -156,7 +160,9 @@ impl AsRegistry {
         // Find candidate ranges containing ip (ranges are disjoint, but an
         // address may have been announced by different ASes over time, so
         // scan all covering entries).
-        let pos = self.index.partition_point(|&(start, _, _, _)| start <= ip.0);
+        let pos = self
+            .index
+            .partition_point(|&(start, _, _, _)| start <= ip.0);
         // Walk backwards over ranges starting at or before ip.
         for &(start, end, ri, ai) in self.index[..pos].iter().rev() {
             if ip.0 > end {
@@ -204,7 +210,11 @@ mod tests {
             org: format!("AS{asn}-ORG"),
             as_type: AsType::Hosting,
             registered: reg,
-            announcements: vec![Announcement { prefix, from, until }],
+            announcements: vec![Announcement {
+                prefix,
+                from,
+                until,
+            }],
             down_since: None,
         }
     }
@@ -232,7 +242,9 @@ mod tests {
         let ip = Ipv4Addr::from_octets(10, 42, 200, 9);
         assert_eq!(reg.lookup(ip, d(2023, 5, 1)).unwrap().asn, 65042);
         // Outside every block.
-        assert!(reg.lookup(Ipv4Addr::from_octets(11, 0, 0, 1), d(2023, 5, 1)).is_none());
+        assert!(reg
+            .lookup(Ipv4Addr::from_octets(11, 0, 0, 1), d(2023, 5, 1))
+            .is_none());
     }
 
     #[test]
@@ -299,9 +311,27 @@ mod tests {
     #[test]
     fn registered_between_counts() {
         let records = vec![
-            rec(1, d(2021, 6, 1), Prefix::new(Ipv4Addr(0), 24), d(2021, 6, 1), None),
-            rec(2, d(2022, 6, 1), Prefix::new(Ipv4Addr(256), 24), d(2022, 6, 1), None),
-            rec(3, d(2024, 1, 1), Prefix::new(Ipv4Addr(512), 24), d(2024, 1, 1), None),
+            rec(
+                1,
+                d(2021, 6, 1),
+                Prefix::new(Ipv4Addr(0), 24),
+                d(2021, 6, 1),
+                None,
+            ),
+            rec(
+                2,
+                d(2022, 6, 1),
+                Prefix::new(Ipv4Addr(256), 24),
+                d(2022, 6, 1),
+                None,
+            ),
+            rec(
+                3,
+                d(2024, 1, 1),
+                Prefix::new(Ipv4Addr(512), 24),
+                d(2024, 1, 1),
+                None,
+            ),
         ];
         let reg = AsRegistry::new(records);
         assert_eq!(reg.registered_between(d(2021, 12, 1), d(2024, 8, 31)), 2);

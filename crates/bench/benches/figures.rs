@@ -40,7 +40,9 @@ fn bench_fig01(c: &mut Criterion) {
     let ds = dataset();
     let f = report::fig1(&ds.sessions);
     println!("{}", report::render_fig1(&f));
-    c.bench_function("fig01_state_split", |b| b.iter(|| black_box(report::fig1(&ds.sessions))));
+    c.bench_function("fig01_state_split", |b| {
+        b.iter(|| black_box(report::fig1(&ds.sessions)))
+    });
 }
 
 fn bench_fig02(c: &mut Criterion) {
@@ -91,7 +93,12 @@ fn bench_fig05_06(c: &mut Criterion) {
     println!("{}", report::render_fig5(&ca, 8));
     println!("Top clusters (Fig 6):");
     for (cix, n) in ca.top_clusters(5) {
-        println!("  C-{} ({}) {} sessions", ca.display_rank(cix), ca.labels[cix], n);
+        println!(
+            "  C-{} ({}) {} sessions",
+            ca.display_rank(cix),
+            ca.labels[cix],
+            n
+        );
     }
     let mut g = c.benchmark_group("fig05_06");
     g.sample_size(10);
@@ -162,8 +169,7 @@ fn bench_fig09(c: &mut Criterion) {
     let events = sa::successful_download_events(&ds.sessions);
     let cfg = &ds.config;
     for recall in [7i64, 28, 365] {
-        let rows =
-            sa::reuse_buckets_by_week(&events, recall, cfg.window_start, cfg.window_end);
+        let rows = sa::reuse_buckets_by_week(&events, recall, cfg.window_start, cfg.window_end);
         let mut agg = vec![0u64; sa::FIG9_BUCKETS.len()];
         for (_, counts) in &rows {
             for (i, v) in counts.iter().enumerate() {
@@ -255,7 +261,10 @@ fn bench_fig12_13(c: &mut Criterion) {
 fn bench_fig14(c: &mut Criterion) {
     let ds = dataset();
     let f = report::fig14(&ds.sessions, classifier(), 8);
-    println!("Fig 14: {} categories in the inter-category DLD matrix", f.labels.len());
+    println!(
+        "Fig 14: {} categories in the inter-category DLD matrix",
+        f.labels.len()
+    );
     c.bench_function("fig14_intercategory_dld", |b| {
         b.iter(|| black_box(report::fig14(&ds.sessions, classifier(), 8)))
     });
@@ -267,7 +276,9 @@ fn bench_fig15_16_17(c: &mut Criterion) {
         println!("Fig 15: {snip}");
     }
     let f16 = report::fig16(&ds.sessions);
-    let (e, m): (u64, u64) = f16.values().fold((0, 0), |acc, (a, b)| (acc.0 + a, acc.1 + b));
+    let (e, m): (u64, u64) = f16
+        .values()
+        .fold((0, 0), |acc, (a, b)| (acc.0 + a, acc.1 + b));
     println!("Fig 16: unique exec commands — exists {e}, missing {m}");
     let events = sa::download_events(&ds.sessions);
     let f17 = sa::as_type_by_month(&events, &ds.world.registry);
@@ -292,7 +303,10 @@ fn bench_fig15_16_17(c: &mut Criterion) {
 fn bench_table1(c: &mut Criterion) {
     let ds = dataset();
     let cov = report::classification_coverage(&ds.sessions, classifier());
-    println!("Table 1: classification coverage {:.2}% (paper: >99%)", cov * 100.0);
+    println!(
+        "Table 1: classification coverage {:.2}% (paper: >99%)",
+        cov * 100.0
+    );
     let texts: Vec<String> = report::command_sessions(&ds.sessions)
         .iter()
         .take(2_000)

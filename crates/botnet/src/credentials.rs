@@ -65,7 +65,9 @@ pub fn draw_attack_password(rng: &mut StdRng) -> String {
         // Long tail: dictionary entries effectively unique at our scale.
         const CS: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789";
         let n = rng.random_range(6..12);
-        (0..n).map(|_| CS[rng.random_range(0..CS.len())] as char).collect()
+        (0..n)
+            .map(|_| CS[rng.random_range(0..CS.len())] as char)
+            .collect()
     }
 }
 
@@ -112,7 +114,10 @@ mod tests {
         assert!(counts["admin"] > counts.get("guest").copied().unwrap_or(0) * 5);
         // Determinism.
         let mut rng2 = StdRng::seed_from_u64(1);
-        assert_eq!(draw_generic(&mut StdRng::seed_from_u64(1)), draw_generic(&mut rng2));
+        assert_eq!(
+            draw_generic(&mut StdRng::seed_from_u64(1)),
+            draw_generic(&mut rng2)
+        );
     }
 
     #[test]

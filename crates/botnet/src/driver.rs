@@ -178,7 +178,9 @@ pub struct Dataset {
 impl Dataset {
     /// SSH sessions only (what the paper analyses).
     pub fn ssh_sessions(&self) -> impl Iterator<Item = &SessionRecord> {
-        self.sessions.iter().filter(|s| s.protocol == honeypot::Protocol::Ssh)
+        self.sessions
+            .iter()
+            .filter(|s| s.protocol == honeypot::Protocol::Ssh)
     }
 
     /// SHA-256 (hex) of the planted mdrfckr authorized_keys content.
@@ -295,7 +297,11 @@ fn generate_inner(
             (spec.pool_size_paper / cfg.ip_scale).max(4)
         } as usize;
         let ips: Vec<Ipv4Addr> = (0..size)
-            .map(|_| shared_pool.draw(&mut pool_rng).expect("client space exhausted"))
+            .map(|_| {
+                shared_pool
+                    .draw(&mut pool_rng)
+                    .expect("client space exhausted")
+            })
             .collect();
         pools.insert(spec.pool, ips);
     }
@@ -330,7 +336,11 @@ fn generate_inner(
         let fresh = ((want as f64 * 0.006).round() as usize).max(1);
         let mut ips: Vec<Ipv4Addr> = mdr[..want.saturating_sub(fresh)].to_vec();
         for _ in 0..fresh {
-            ips.push(shared_pool.draw(&mut pool_rng).expect("client space exhausted"));
+            ips.push(
+                shared_pool
+                    .draw(&mut pool_rng)
+                    .expect("client space exhausted"),
+            );
         }
         pools.insert("cred3245", ips);
     }
@@ -376,17 +386,17 @@ fn generate_inner(
             }
             // mdrfckr dips: activity collapses by three orders of magnitude
             // during the documented event windows (§10).
-            if matches!(spec.bot, Archetype::MdrfckrInitial | Archetype::MdrfckrVariant)
-                && in_dip(day)
+            if matches!(
+                spec.bot,
+                Archetype::MdrfckrInitial | Archetype::MdrfckrVariant
+            ) && in_dip(day)
             {
                 rate *= 0.002;
             }
             let mut n = sample_count(rate / cfg.session_scale as f64, &mut rng);
             // The paper observed base64 uploads in *every* documented dip;
             // guarantee at least one per window regardless of scale.
-            if spec.bot == Archetype::MdrfckrB64
-                && spec.windows.iter().any(|w| w.start == day)
-            {
+            if spec.bot == Archetype::MdrfckrB64 && spec.windows.iter().any(|w| w.start == day) {
                 n = n.max(1);
             }
             for _ in 0..n {
@@ -420,8 +430,16 @@ fn generate_inner(
         seeds.child("abuse").seed(),
     );
     // The mdrfckr key hash is famously labelled (paper §9).
-    abuse.insert(FeedName::VirusTotal, &Dataset::mdrfckr_key_hash(), MalwareFamily::CoinMiner);
-    abuse.insert(FeedName::AbuseCh, &Dataset::mdrfckr_key_hash(), MalwareFamily::Malicious);
+    abuse.insert(
+        FeedName::VirusTotal,
+        &Dataset::mdrfckr_key_hash(),
+        MalwareFamily::CoinMiner,
+    );
+    abuse.insert(
+        FeedName::AbuseCh,
+        &Dataset::mdrfckr_key_hash(),
+        MalwareFamily::Malicious,
+    );
     // 56 % of storage IPs are reported in IP-reputation feeds (§7).
     let mut abuse_rng = seeds.rng("abuse-ips");
     for s in storage.ips() {
@@ -476,7 +494,11 @@ fn generate_inner(
         ground_truth,
         fleet,
         outages,
-        faults: FaultReport { attempted, connection_failures, ingest },
+        faults: FaultReport {
+            attempted,
+            connection_failures,
+            ingest,
+        },
         pools,
         self_hosters,
         config: cfg.clone(),
@@ -513,8 +535,8 @@ fn run_one(
         self_host = true;
         let epoch = Date::new(2021, 12, 1);
         let span = Date::new(2024, 8, 31).days_since(epoch).max(1);
-        let era = (day.days_since(epoch).clamp(0, span - 1) as usize * hosters.len())
-            / span as usize;
+        let era =
+            (day.days_since(epoch).clamp(0, span - 1) as usize * hosters.len()) / span as usize;
         if rng.random::<f64>() < 0.9 {
             hosters[era.min(hosters.len() - 1)]
         } else {
@@ -534,7 +556,13 @@ fn run_one(
     } else {
         rng.random_range(0..86_400)
     };
-    let mut ctx = BotCtx { rng, date: day, client_ip, self_host, storage };
+    let mut ctx = BotCtx {
+        rng,
+        date: day,
+        client_ip,
+        self_host,
+        storage,
+    };
     let content = spec.bot.session(&mut ctx);
     let input = SessionInput {
         honeypot_id: sensor.id,
@@ -580,8 +608,14 @@ mod tests {
         assert!(scanning > 0 && scouting > 0 && intrusion > 0 && cmd_exec > 0);
         // Paper ordering: scouting > command-exec > intrusion > scanning.
         assert!(scouting > cmd_exec, "scouting {scouting} vs cmd {cmd_exec}");
-        assert!(cmd_exec > intrusion, "cmd {cmd_exec} vs intrusion {intrusion}");
-        assert!(intrusion > scanning, "intrusion {intrusion} vs scanning {scanning}");
+        assert!(
+            cmd_exec > intrusion,
+            "cmd {cmd_exec} vs intrusion {intrusion}"
+        );
+        assert!(
+            intrusion > scanning,
+            "intrusion {intrusion} vs scanning {scanning}"
+        );
     }
 
     #[test]
@@ -596,7 +630,10 @@ mod tests {
             assert!(first.start.date() >= Date::new(2021, 12, 1));
             assert!(last.start.date() <= Date::new(2024, 8, 31));
         }
-        assert!(!ds.sessions.is_empty(), "test scale should produce sessions");
+        assert!(
+            !ds.sessions.is_empty(),
+            "test scale should produce sessions"
+        );
     }
 
     #[test]
@@ -615,7 +652,10 @@ mod tests {
         let mem = generate_dataset(&cfg);
         let collected = Arc::new(Mutex::new(Vec::new()));
         let ds = generate_dataset_into(&cfg, Box::new(VecSink(collected.clone()))).unwrap();
-        assert!(ds.sessions.is_empty(), "sink mode must not materialize sessions");
+        assert!(
+            ds.sessions.is_empty(),
+            "sink mode must not materialize sessions"
+        );
         // The sink sees ingestion order; `Dataset::sessions` is sorted
         // chronologically at freeze time. Same sort key ⇒ same dataset.
         let mut spilled = collected.lock().expect("sink lock").clone();
@@ -706,10 +746,17 @@ mod tests {
                 .count()
         };
         // Average over a dip window vs. neighbouring normal days.
-        let dip: usize = (0..7).map(|i| daily(Date::new(2022, 10, 10).plus_days(i))).sum();
-        let normal: usize = (0..7).map(|i| daily(Date::new(2022, 11, 10).plus_days(i))).sum();
+        let dip: usize = (0..7)
+            .map(|i| daily(Date::new(2022, 10, 10).plus_days(i)))
+            .sum();
+        let normal: usize = (0..7)
+            .map(|i| daily(Date::new(2022, 11, 10).plus_days(i)))
+            .sum();
         assert!(normal > 5, "normal week too quiet: {normal}");
-        assert!(dip * 5 < normal, "dip {dip} not clearly below normal {normal}");
+        assert!(
+            dip * 5 < normal,
+            "dip {dip} not clearly below normal {normal}"
+        );
     }
 
     #[test]
@@ -736,7 +783,10 @@ mod tests {
             .ssh_sessions()
             .filter(|s| s.dropped_hashes().next().is_some())
             .count();
-        assert!(with_hashes > 50, "sessions with dropped files: {with_hashes}");
+        assert!(
+            with_hashes > 50,
+            "sessions with dropped files: {with_hashes}"
+        );
         assert!(!ds.ground_truth.is_empty());
         // Abuse coverage is partial (paper: <5 %), never total.
         let labelled = ds
@@ -755,7 +805,10 @@ mod tests {
             .ssh_sessions()
             .filter(|s| s.exec_hashes().next().is_some())
             .count();
-        assert!(missing > exists, "missing {missing} should outnumber exists {exists}");
+        assert!(
+            missing > exists,
+            "missing {missing} should outnumber exists {exists}"
+        );
     }
 
     #[test]

@@ -87,7 +87,10 @@ mod tests {
         let w = mdrfckr_dip_windows();
         assert_eq!(w.len(), 8);
         for pair in w.windows(2) {
-            assert!(pair[0].end < pair[1].start, "windows must be disjoint and sorted");
+            assert!(
+                pair[0].end < pair[1].start,
+                "windows must be disjoint and sorted"
+            );
         }
         for win in &w {
             assert!(win.start <= win.end);

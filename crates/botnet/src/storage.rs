@@ -17,9 +17,9 @@ use abusedb::MalwareFamily;
 use hutil::rng::SeedTree;
 use hutil::{Date, Sha256};
 use netsim::Ipv4Addr;
+use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::Rng;
-use parking_lot::Mutex;
 use std::cell::Cell;
 use std::collections::HashMap;
 
@@ -119,7 +119,9 @@ impl StorageEcosystem {
             // caller says so, uniform otherwise.
             let start = match preferred {
                 Some(p) if p >= cfg.window_start && p <= cfg.window_end => p,
-                _ => cfg.window_start.plus_days(rng.random_range(0..=span.max(1))),
+                _ => cfg
+                    .window_start
+                    .plus_days(rng.random_range(0..=span.max(1))),
             };
             let dur = activity_duration(&mut rng);
             let end = clamp_date(start.plus_days(dur - 1), cfg.window_end);
@@ -133,7 +135,11 @@ impl StorageEcosystem {
                     windows.push((s2, clamp_date(s2.plus_days(d2 - 1), cfg.window_end)));
                 }
             }
-            ips.push(StorageIp { ip, asn, active_windows: windows });
+            ips.push(StorageIp {
+                ip,
+                asn,
+                active_windows: windows,
+            });
         }
         let by_ip = ips.iter().enumerate().map(|(i, s)| (s.ip, i)).collect();
         Self {
@@ -173,8 +179,7 @@ impl StorageEcosystem {
         let host = if rng.random::<f64>() < self_host_prob {
             client_ip
         } else {
-            let active: Vec<&StorageIp> =
-                self.ips.iter().filter(|s| s.active_on(d)).collect();
+            let active: Vec<&StorageIp> = self.ips.iter().filter(|s| s.active_on(d)).collect();
             if active.is_empty() || rng.random::<f64>() < 0.08 {
                 // Dead dropper: bot config lags behind takedowns.
                 self.ips[rng.random_range(0..self.ips.len())].ip
@@ -265,7 +270,10 @@ pub struct StorageStore<'e> {
 impl<'e> StorageStore<'e> {
     /// Creates the façade starting at `d`.
     pub fn new(eco: &'e StorageEcosystem, d: Date) -> Self {
-        Self { eco, today: Cell::new(d) }
+        Self {
+            eco,
+            today: Cell::new(d),
+        }
     }
 
     /// Advances the simulated date.
@@ -358,7 +366,11 @@ mod tests {
             mutation_prob: 0.15,
         };
         StorageEcosystem::new(&cfg, SeedTree::new(11), |i, _| {
-            (65_500 + (i % 40) as u32, Ipv4Addr(0x2000_0000 + i as u32 * 7), None)
+            (
+                65_500 + (i % 40) as u32,
+                Ipv4Addr(0x2000_0000 + i as u32 * 7),
+                None,
+            )
         })
     }
 
@@ -375,7 +387,11 @@ mod tests {
     #[test]
     fn reappearance_rate_matches_config() {
         let e = eco();
-        let re = e.ips().iter().filter(|s| s.active_windows.len() > 1).count() as f64
+        let re = e
+            .ips()
+            .iter()
+            .filter(|s| s.active_windows.len() > 1)
+            .count() as f64
             / e.ips().len() as f64;
         assert!((0.10..0.40).contains(&re), "reappear fraction {re}");
         // Reappearance gaps are ≥ 6 months.
@@ -396,7 +412,9 @@ mod tests {
         assert!(e.serve(&uri, start).is_some());
         // Long before the first window the host is dark.
         if start > Date::new(2021, 12, 1) {
-            assert!(e.serve(&uri, Date::new(2021, 12, 1).plus_days(-1)).is_none());
+            assert!(e
+                .serve(&uri, Date::new(2021, 12, 1).plus_days(-1))
+                .is_none());
         }
     }
 
@@ -430,8 +448,7 @@ mod tests {
         let mut active_hits = 0;
         let n = 200;
         for _ in 0..n {
-            let uri =
-                e.pick_uri(MalwareFamily::Mirai, d, Ipv4Addr(1), 0.0, &mut rng);
+            let uri = e.pick_uri(MalwareFamily::Mirai, d, Ipv4Addr(1), 0.0, &mut rng);
             let host = uri.split('/').nth(2).unwrap();
             let ip = Ipv4Addr::parse(host).unwrap();
             if e.get(ip).is_some_and(|s| s.active_on(d)) {
@@ -446,7 +463,13 @@ mod tests {
         let e = eco();
         let mut rng = StdRng::seed_from_u64(5);
         let client = Ipv4Addr::from_octets(10, 1, 1, 1);
-        let uri = e.pick_uri(MalwareFamily::Gafgyt, Date::new(2022, 6, 1), client, 1.0, &mut rng);
+        let uri = e.pick_uri(
+            MalwareFamily::Gafgyt,
+            Date::new(2022, 6, 1),
+            client,
+            1.0,
+            &mut rng,
+        );
         assert!(uri.contains("10.1.1.1"));
         // And it serves regardless of storage schedules.
         assert!(e.serve(&uri, Date::new(2022, 6, 1)).is_some());

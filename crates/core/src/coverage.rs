@@ -114,7 +114,11 @@ impl MonthlyCoverage {
             observed[last] += cal.observed_frac(day) * n_sensors as f64;
             total[last] += n_sensors as f64;
         }
-        Self { months, observed_sensor_days: observed, total_sensor_days: total }
+        Self {
+            months,
+            observed_sensor_days: observed,
+            total_sensor_days: total,
+        }
     }
 
     /// Observed fraction for month index `mi`.
@@ -176,7 +180,11 @@ mod tests {
         let oct = mc.index_of(Month::new(2023, 10)).unwrap();
         // 2 of 31 days lost ⇒ 29/31 observed.
         let expect = 29.0 / 31.0;
-        assert!((mc.fraction(oct) - expect).abs() < 1e-6, "{}", mc.fraction(oct));
+        assert!(
+            (mc.fraction(oct) - expect).abs() < 1e-6,
+            "{}",
+            mc.fraction(oct)
+        );
         assert!(mc.flagged(oct, COVERAGE_GAP_THRESHOLD));
         let sep = mc.index_of(Month::new(2023, 9)).unwrap();
         assert!(!mc.flagged(sep, COVERAGE_GAP_THRESHOLD));
@@ -187,7 +195,10 @@ mod tests {
         let (cal, _) = maintenance_cal();
         let m = cal.mean_down_frac(Date::new(2023, 10, 7), Date::new(2023, 10, 10));
         assert!((m - 0.5).abs() < 1e-6, "mean {m}");
-        assert_eq!(cal.mean_down_frac(Date::new(2023, 9, 1), Date::new(2023, 9, 30)), 0.0);
+        assert_eq!(
+            cal.mean_down_frac(Date::new(2023, 9, 1), Date::new(2023, 9, 30)),
+            0.0
+        );
     }
 
     #[test]
@@ -203,7 +214,11 @@ mod tests {
         let mc = MonthlyCoverage::from_calendar(&cal, 20);
         // Every month loses ≥ a few percent; October also has maintenance.
         for mi in 0..mc.months.len() {
-            assert!(mc.flagged(mi, COVERAGE_GAP_THRESHOLD), "month {:?}", mc.months[mi]);
+            assert!(
+                mc.flagged(mi, COVERAGE_GAP_THRESHOLD),
+                "month {:?}",
+                mc.months[mi]
+            );
             assert!(mc.fraction(mi) > 0.5, "month {:?} too dark", mc.months[mi]);
         }
     }

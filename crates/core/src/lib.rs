@@ -24,7 +24,11 @@
 //!   behavioural changes.
 //! * [`report`] — figure/table data structures and text renderers; one
 //!   entry point per paper artefact.
+//! * [`analysis`] — the unified entry point: [`AnalysisBuilder`] runs any
+//!   selection of the above reports in one streaming pass over a session
+//!   source (in-memory slice, sessiondb store, or Cowrie log).
 
+pub mod analysis;
 pub mod classify;
 pub mod cluster;
 pub mod coverage;
@@ -36,6 +40,7 @@ pub mod storage_analysis;
 pub mod taxonomy;
 pub mod tokens;
 
+pub use analysis::{AnalysisBuilder, AnalysisError, AnalysisReport, ReportKind, SessionSource};
 pub use classify::{Classifier, UNKNOWN_LABEL};
 pub use coverage::{CoverageCalendar, MonthlyCoverage, COVERAGE_GAP_THRESHOLD};
 pub use taxonomy::{SessionClass, TaxonomyStats};

@@ -15,39 +15,73 @@ pub struct TopPasswords {
     pub by_month: BTreeMap<Month, Vec<u64>>,
 }
 
+/// Per password: total successful sessions plus a month histogram.
+type PwStats = (u64, BTreeMap<Month, u64>);
+
+/// Streaming accumulator behind [`top_passwords`]: per-password month
+/// histograms grow as records are pushed; the ranking is resolved at
+/// [`TopPasswordsAccumulator::finish`]. Memory stays O(unique passwords ×
+/// months) regardless of stream length.
+#[derive(Debug, Default)]
+pub struct TopPasswordsAccumulator {
+    n: usize,
+    per_pw: HashMap<String, PwStats>,
+}
+
+impl TopPasswordsAccumulator {
+    /// Accumulator for the top `n` passwords.
+    pub fn new(n: usize) -> Self {
+        Self {
+            n,
+            per_pw: HashMap::new(),
+        }
+    }
+
+    /// Folds one session in.
+    pub fn push(&mut self, rec: &SessionRecord) {
+        if let Some(pw) = rec.accepted_password() {
+            let slot = self.per_pw.entry(pw.to_string()).or_default();
+            slot.0 += 1;
+            *slot.1.entry(rec.start.date().month_of()).or_default() += 1;
+        }
+    }
+
+    /// Ranks and buckets the accumulated histograms.
+    pub fn finish(self) -> TopPasswords {
+        let mut ranked: Vec<(String, PwStats)> = self.per_pw.into_iter().collect();
+        ranked.sort_by(|a, b| b.1 .0.cmp(&a.1 .0).then(a.0.cmp(&b.0)));
+        ranked.truncate(self.n);
+        let passwords: Vec<String> = ranked.iter().map(|(p, _)| p.clone()).collect();
+        let mut by_month: BTreeMap<Month, Vec<u64>> = BTreeMap::new();
+        for (i, (_, (_, months))) in ranked.iter().enumerate() {
+            for (&month, &count) in months {
+                by_month
+                    .entry(month)
+                    .or_insert_with(|| vec![0; passwords.len()])[i] = count;
+            }
+        }
+        TopPasswords {
+            passwords,
+            by_month,
+        }
+    }
+}
+
 /// Computes the Fig. 10 series.
 ///
 /// Single pass over any session stream (slice, owning iterator, or
-/// sessiondb scan): per-password month histograms are accumulated as the
-/// stream goes by and the ranking is resolved at the end, so the input is
-/// never revisited and memory stays O(unique passwords × months).
+/// sessiondb scan); see [`TopPasswordsAccumulator`] for the streaming
+/// form.
 pub fn top_passwords<I>(sessions: I, n: usize) -> TopPasswords
 where
     I: IntoIterator,
     I::Item: Borrow<SessionRecord>,
 {
-    // Per password: total successful sessions plus a month histogram.
-    type PwStats = (u64, BTreeMap<Month, u64>);
-    let mut per_pw: HashMap<String, PwStats> = HashMap::new();
+    let mut acc = TopPasswordsAccumulator::new(n);
     for rec in sessions {
-        let rec = rec.borrow();
-        if let Some(pw) = rec.accepted_password() {
-            let slot = per_pw.entry(pw.to_string()).or_default();
-            slot.0 += 1;
-            *slot.1.entry(rec.start.date().month_of()).or_default() += 1;
-        }
+        acc.push(rec.borrow());
     }
-    let mut ranked: Vec<(String, PwStats)> = per_pw.into_iter().collect();
-    ranked.sort_by(|a, b| b.1 .0.cmp(&a.1 .0).then(a.0.cmp(&b.0)));
-    ranked.truncate(n);
-    let passwords: Vec<String> = ranked.iter().map(|(p, _)| p.clone()).collect();
-    let mut by_month: BTreeMap<Month, Vec<u64>> = BTreeMap::new();
-    for (i, (_, (_, months))) in ranked.iter().enumerate() {
-        for (&month, &count) in months {
-            by_month.entry(month).or_insert_with(|| vec![0; passwords.len()])[i] = count;
-        }
-    }
-    TopPasswords { passwords, by_month }
+    acc.finish()
 }
 
 /// Fig. 11 data plus the §8 fingerprinting statistics.
@@ -64,44 +98,66 @@ pub struct CowrieDefaultProbes {
     pub phil_no_command_frac: f64,
 }
 
+/// Streaming accumulator behind [`cowrie_default_probes`].
+#[derive(Debug, Default)]
+pub struct ProbeAccumulator {
+    phil_success: BTreeMap<Month, u64>,
+    richard_tries: BTreeMap<Month, u64>,
+    phil_ips: HashSet<netsim::Ipv4Addr>,
+    phil_sessions: u64,
+    phil_quiet: u64,
+}
+
+impl ProbeAccumulator {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds one session in.
+    pub fn push(&mut self, rec: &SessionRecord) {
+        let month = rec.start.date().month_of();
+        let has_phil = rec.logins.iter().any(|l| l.username == "phil" && l.success);
+        let has_richard = rec.logins.iter().any(|l| l.username == "richard");
+        if has_phil {
+            *self.phil_success.entry(month).or_default() += 1;
+            self.phil_ips.insert(rec.client_ip);
+            self.phil_sessions += 1;
+            if rec.commands.is_empty() {
+                self.phil_quiet += 1;
+            }
+        }
+        if has_richard {
+            *self.richard_tries.entry(month).or_default() += 1;
+        }
+    }
+
+    /// Resolves the series.
+    pub fn finish(self) -> CowrieDefaultProbes {
+        CowrieDefaultProbes {
+            phil_success: self.phil_success,
+            richard_tries: self.richard_tries,
+            phil_unique_ips: self.phil_ips.len() as u64,
+            phil_no_command_frac: if self.phil_sessions > 0 {
+                self.phil_quiet as f64 / self.phil_sessions as f64
+            } else {
+                0.0
+            },
+        }
+    }
+}
+
 /// Computes the Fig. 11 series. Single pass over any session stream.
 pub fn cowrie_default_probes<I>(sessions: I) -> CowrieDefaultProbes
 where
     I: IntoIterator,
     I::Item: Borrow<SessionRecord>,
 {
-    let mut phil_success: BTreeMap<Month, u64> = BTreeMap::new();
-    let mut richard_tries: BTreeMap<Month, u64> = BTreeMap::new();
-    let mut phil_ips: HashSet<netsim::Ipv4Addr> = HashSet::new();
-    let mut phil_sessions = 0u64;
-    let mut phil_quiet = 0u64;
+    let mut acc = ProbeAccumulator::new();
     for rec in sessions {
-        let rec = rec.borrow();
-        let month = rec.start.date().month_of();
-        let has_phil = rec.logins.iter().any(|l| l.username == "phil" && l.success);
-        let has_richard = rec.logins.iter().any(|l| l.username == "richard");
-        if has_phil {
-            *phil_success.entry(month).or_default() += 1;
-            phil_ips.insert(rec.client_ip);
-            phil_sessions += 1;
-            if rec.commands.is_empty() {
-                phil_quiet += 1;
-            }
-        }
-        if has_richard {
-            *richard_tries.entry(month).or_default() += 1;
-        }
+        acc.push(rec.borrow());
     }
-    CowrieDefaultProbes {
-        phil_success,
-        richard_tries,
-        phil_unique_ips: phil_ips.len() as u64,
-        phil_no_command_frac: if phil_sessions > 0 {
-            phil_quiet as f64 / phil_sessions as f64
-        } else {
-            0.0
-        },
-    }
+    acc.finish()
 }
 
 /// §8: sessions using a specific password, with first-seen instant and
@@ -146,7 +202,11 @@ where
         sessions: count,
         unique_ips: ips.len() as u64,
         first_seen: first,
-        no_command_frac: if count > 0 { quiet as f64 / count as f64 } else { 0.0 },
+        no_command_frac: if count > 0 {
+            quiet as f64 / count as f64
+        } else {
+            0.0
+        },
     }
 }
 
@@ -182,7 +242,10 @@ mod tests {
                 success,
             }],
             commands: (0..commands)
-                .map(|i| CommandRecord { input: format!("c{i}"), known: true })
+                .map(|i| CommandRecord {
+                    input: format!("c{i}"),
+                    known: true,
+                })
                 .collect(),
             uris: vec![],
             file_events: vec![],

@@ -42,28 +42,51 @@ pub struct Timeline {
     pub daily: BTreeMap<Date, (u64, u64)>,
 }
 
+/// Streaming accumulator behind [`timeline`].
+#[derive(Debug, Default)]
+pub struct TimelineAccumulator {
+    per_day: BTreeMap<Date, (u64, HashSet<Ipv4Addr>)>,
+}
+
+impl TimelineAccumulator {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds one session in (non-mdrfckr sessions contribute nothing).
+    pub fn push(&mut self, rec: &SessionRecord) {
+        if !is_mdrfckr(rec) {
+            return;
+        }
+        let e = self.per_day.entry(rec.start.date()).or_default();
+        e.0 += 1;
+        e.1.insert(rec.client_ip);
+    }
+
+    /// Resolves per-day unique-IP counts into the timeline.
+    pub fn finish(self) -> Timeline {
+        Timeline {
+            daily: self
+                .per_day
+                .into_iter()
+                .map(|(d, (n, ips))| (d, (n, ips.len() as u64)))
+                .collect(),
+        }
+    }
+}
+
 /// Builds the Fig. 12 timeline. Single pass over any session stream.
 pub fn timeline<I>(sessions: I) -> Timeline
 where
     I: IntoIterator,
     I::Item: std::borrow::Borrow<SessionRecord>,
 {
-    let mut per_day: BTreeMap<Date, (u64, HashSet<Ipv4Addr>)> = BTreeMap::new();
+    let mut acc = TimelineAccumulator::new();
     for rec in sessions {
-        let rec = std::borrow::Borrow::borrow(&rec);
-        if !is_mdrfckr(rec) {
-            continue;
-        }
-        let e = per_day.entry(rec.start.date()).or_default();
-        e.0 += 1;
-        e.1.insert(rec.client_ip);
+        acc.push(std::borrow::Borrow::borrow(&rec));
     }
-    Timeline {
-        daily: per_day
-            .into_iter()
-            .map(|(d, (n, ips))| (d, (n, ips.len() as u64)))
-            .collect(),
-    }
+    acc.finish()
 }
 
 /// Detects low-activity windows: days whose session count falls below
@@ -162,8 +185,11 @@ pub fn variant_series(sessions: &[SessionRecord]) -> VariantSeries {
 /// §9: IP overlap between the mdrfckr actor and the 3245gs5662d34
 /// credential campaign (paper: 99.4 %).
 pub fn cred_overlap_frac(sessions: &[SessionRecord]) -> f64 {
-    let mdr: HashSet<Ipv4Addr> =
-        sessions.iter().filter(|r| is_mdrfckr(r)).map(|r| r.client_ip).collect();
+    let mdr: HashSet<Ipv4Addr> = sessions
+        .iter()
+        .filter(|r| is_mdrfckr(r))
+        .map(|r| r.client_ip)
+        .collect();
     let cred: HashSet<Ipv4Addr> = sessions
         .iter()
         .filter(|r| r.accepted_password() == Some("3245gs5662d34"))
@@ -243,7 +269,10 @@ pub fn b64_analysis(sessions: &[SessionRecord], dips: &[(Date, Date)]) -> B64Ana
             .entry(rec.client_ip)
             .or_default()
             .insert(dip_idx.map_or(usize::MAX, |i| i));
-        match base64::decode(b64).ok().and_then(|b| String::from_utf8(b).ok()) {
+        match base64::decode(b64)
+            .ok()
+            .and_then(|b| String::from_utf8(b).ok())
+        {
             Some(script) => {
                 let kind = classify_payload(&script);
                 *out.by_payload.entry(kind).or_default() += 1;
@@ -289,21 +318,27 @@ impl EventCorrelation {
 
     /// Renders the §10 correlation table.
     pub fn render(&self) -> String {
-        let mut out = String::from("== §10 events correlation ==
-");
+        let mut out = String::from(
+            "== §10 events correlation ==
+",
+        );
         for (event, (ds, de), detected) in &self.matches {
             match detected {
                 Some((s, e)) => out.push_str(&format!(
                     "  {ds}..{de}  REDISCOVERED ({s}..{e})  {event}
 "
                 )),
-                None => out.push_str(&format!("  {ds}..{de}  missed              {event}
-")),
+                None => out.push_str(&format!(
+                    "  {ds}..{de}  missed              {event}
+"
+                )),
             }
         }
         for (s, e) in &self.unexplained {
-            out.push_str(&format!("  {s}..{e}  detected, no documented event
-"));
+            out.push_str(&format!(
+                "  {s}..{e}  detected, no documented event
+"
+            ));
         }
         out
     }
@@ -328,13 +363,19 @@ pub fn correlate_events(
         .copied()
         .filter(|d| !documented.iter().any(|(s, e, _)| overlaps(*d, (*s, *e))))
         .collect();
-    EventCorrelation { matches, unexplained }
+    EventCorrelation {
+        matches,
+        unexplained,
+    }
 }
 
 /// Killnet-list overlap with mdrfckr client IPs (paper: 988 IPs).
 pub fn killnet_overlap(sessions: &[SessionRecord], killnet: &abusedb::IpList) -> usize {
-    let mdr: HashSet<Ipv4Addr> =
-        sessions.iter().filter(|r| is_mdrfckr(r)).map(|r| r.client_ip).collect();
+    let mdr: HashSet<Ipv4Addr> = sessions
+        .iter()
+        .filter(|r| is_mdrfckr(r))
+        .map(|r| r.client_ip)
+        .collect();
     killnet.overlap_count(mdr.iter())
 }
 
@@ -379,12 +420,17 @@ mod tests {
             }],
             commands: commands
                 .into_iter()
-                .map(|c| CommandRecord { input: c.to_string(), known: true })
+                .map(|c| CommandRecord {
+                    input: c.to_string(),
+                    known: true,
+                })
                 .collect(),
             uris: vec![],
             file_events: vec![FileEvent {
                 path: "/root/.ssh/authorized_keys".into(),
-                op: FileOp::Created { sha256: "ab".repeat(32) },
+                op: FileOp::Created {
+                    sha256: "ab".repeat(32),
+                },
                 source_uri: None,
             }],
         }
@@ -392,8 +438,7 @@ mod tests {
 
     const INITIAL: &str =
         r#"cd ~ && echo "ssh-rsa AAA mdrfckr">>.ssh/authorized_keys; echo root:xxx|chpasswd"#;
-    const VARIANT: &str =
-        r#"cd ~ && echo "ssh-rsa AAA mdrfckr">>.ssh/authorized_keys; rm -rf /tmp/auth.sh; echo > /etc/hosts.deny"#;
+    const VARIANT: &str = r#"cd ~ && echo "ssh-rsa AAA mdrfckr">>.ssh/authorized_keys; rm -rf /tmp/auth.sh; echo > /etc/hosts.deny"#;
 
     #[test]
     fn kind_detection() {
@@ -512,8 +557,16 @@ mod tests {
             (Date::new(2023, 7, 1), Date::new(2023, 7, 2)),   // unexplained
         ];
         let documented = vec![
-            (Date::new(2022, 3, 16), Date::new(2022, 3, 24), "IRIDIUM DDoS".to_string()),
-            (Date::new(2024, 1, 19), Date::new(2024, 1, 21), "APT29".to_string()),
+            (
+                Date::new(2022, 3, 16),
+                Date::new(2022, 3, 24),
+                "IRIDIUM DDoS".to_string(),
+            ),
+            (
+                Date::new(2024, 1, 19),
+                Date::new(2024, 1, 21),
+                "APT29".to_string(),
+            ),
         ];
         let c = correlate_events(&dips, &documented);
         assert_eq!(c.hits(), 1);

@@ -15,8 +15,7 @@ use std::collections::{BTreeMap, HashMap};
 /// Whether one session is a command-execution SSH session (what §5
 /// analyses).
 pub fn is_command_session(s: &SessionRecord) -> bool {
-    s.protocol == honeypot::Protocol::Ssh
-        && SessionClass::of(s) == SessionClass::CommandExecution
+    s.protocol == honeypot::Protocol::Ssh && SessionClass::of(s) == SessionClass::CommandExecution
 }
 
 /// Filters to command-execution SSH sessions.
@@ -64,14 +63,21 @@ pub fn fig1(sessions: &[SessionRecord]) -> Fig1 {
         changing.push(BoxplotSummary::from_values(&ch));
         not_changing.push(BoxplotSummary::from_values(&nc));
     }
-    Fig1 { months, changing, not_changing }
+    Fig1 {
+        months,
+        changing,
+        not_changing,
+    }
 }
 
 /// Per-figure-month observed-coverage fractions, aligned with a figure's
 /// month axis. Months outside the coverage calendar read as fully
 /// observed.
 pub fn coverage_series(months: &[Month], mc: &MonthlyCoverage) -> Vec<f64> {
-    months.iter().map(|m| mc.index_of(*m).map_or(1.0, |i| mc.fraction(i))).collect()
+    months
+        .iter()
+        .map(|m| mc.index_of(*m).map_or(1.0, |i| mc.fraction(i)))
+        .collect()
 }
 
 /// Fig. 1 with a coverage column: each month carries the fraction of
@@ -123,7 +129,9 @@ impl MonthlyCategories {
             months.iter().enumerate().map(|(i, m)| (*m, i)).collect();
         let mut counts: Vec<Vec<u64>> = vec![Vec::new(); months.len()];
         for (month, label) in events {
-            let Some(&mi) = month_ix.get(&month) else { continue };
+            let Some(&mi) = month_ix.get(&month) else {
+                continue;
+            };
             let li = *label_ix.entry(label.clone()).or_insert_with(|| {
                 labels.push(label.clone());
                 labels.len() - 1
@@ -136,7 +144,11 @@ impl MonthlyCategories {
         for row in &mut counts {
             row.resize(labels.len(), 0);
         }
-        Self { months, labels, counts }
+        Self {
+            months,
+            labels,
+            counts,
+        }
     }
 
     /// Total sessions in month index `mi`.
@@ -161,8 +173,7 @@ impl MonthlyCategories {
                 t[i] += c;
             }
         }
-        let mut out: Vec<(String, u64)> =
-            self.labels.iter().cloned().zip(t).collect();
+        let mut out: Vec<(String, u64)> = self.labels.iter().cloned().zip(t).collect();
         out.sort_by_key(|entry| std::cmp::Reverse(entry.1));
         out
     }
@@ -180,7 +191,11 @@ impl MonthlyCategories {
         for (mi, m) in self.months.iter().enumerate() {
             out.push_str(&format!("{:<9}", m.label()));
             for c in &cols {
-                let li = self.labels.iter().position(|l| l == c).expect("label exists");
+                let li = self
+                    .labels
+                    .iter()
+                    .position(|l| l == c)
+                    .expect("label exists");
                 out.push_str(&format!(" {:>22}", self.counts[mi][li]));
             }
             out.push_str(&format!(" {:>10}\n", self.month_total(mi)));
@@ -204,7 +219,12 @@ pub fn fig2(sessions: &[SessionRecord], cl: &Classifier) -> MonthlyCategories {
         command_sessions(sessions)
             .into_iter()
             .filter(|s| !s.paper_state_changing())
-            .map(|s| (s.start.date().month_of(), cl.classify(&s.command_text()).to_string())),
+            .map(|s| {
+                (
+                    s.start.date().month_of(),
+                    cl.classify(&s.command_text()).to_string(),
+                )
+            }),
         months,
     )
 }
@@ -217,7 +237,12 @@ pub fn fig3a(sessions: &[SessionRecord], cl: &Classifier) -> MonthlyCategories {
         command_sessions(sessions)
             .into_iter()
             .filter(|s| s.changes_state() && !s.attempts_exec())
-            .map(|s| (s.start.date().month_of(), cl.classify(&s.command_text()).to_string())),
+            .map(|s| {
+                (
+                    s.start.date().month_of(),
+                    cl.classify(&s.command_text()).to_string(),
+                )
+            }),
         months,
     )
 }
@@ -229,16 +254,18 @@ pub fn fig3b(sessions: &[SessionRecord], cl: &Classifier) -> MonthlyCategories {
         command_sessions(sessions)
             .into_iter()
             .filter(|s| s.attempts_exec())
-            .map(|s| (s.start.date().month_of(), cl.classify(&s.command_text()).to_string())),
+            .map(|s| {
+                (
+                    s.start.date().month_of(),
+                    cl.classify(&s.command_text()).to_string(),
+                )
+            }),
         months,
     )
 }
 
 /// Fig. 4: exec sessions split by whether the executed file existed.
-pub fn fig4(
-    sessions: &[SessionRecord],
-    cl: &Classifier,
-) -> (MonthlyCategories, MonthlyCategories) {
+pub fn fig4(sessions: &[SessionRecord], cl: &Classifier) -> (MonthlyCategories, MonthlyCategories) {
     let months = study_months(sessions);
     let exec: Vec<&SessionRecord> = command_sessions(sessions)
         .into_iter()
@@ -247,13 +274,23 @@ pub fn fig4(
     let exists = MonthlyCategories::from_events(
         exec.iter()
             .filter(|s| s.exec_hashes().next().is_some())
-            .map(|s| (s.start.date().month_of(), cl.classify(&s.command_text()).to_string())),
+            .map(|s| {
+                (
+                    s.start.date().month_of(),
+                    cl.classify(&s.command_text()).to_string(),
+                )
+            }),
         months.clone(),
     );
     let missing = MonthlyCategories::from_events(
         exec.iter()
             .filter(|s| s.exec_hashes().next().is_none() && s.has_missing_exec())
-            .map(|s| (s.start.date().month_of(), cl.classify(&s.command_text()).to_string())),
+            .map(|s| {
+                (
+                    s.start.date().month_of(),
+                    cl.classify(&s.command_text()).to_string(),
+                )
+            }),
         months,
     );
     (exists, missing)
@@ -262,9 +299,17 @@ pub fn fig4(
 /// Fig. 16 (Appendix D): unique exec-session command texts per month,
 /// split by file-exists vs file-missing.
 pub fn fig16(sessions: &[SessionRecord]) -> BTreeMap<Month, (u64, u64)> {
-    let mut uniq: BTreeMap<Month, (std::collections::HashSet<String>, std::collections::HashSet<String>)> =
-        BTreeMap::new();
-    for s in command_sessions(sessions).into_iter().filter(|s| s.attempts_exec()) {
+    let mut uniq: BTreeMap<
+        Month,
+        (
+            std::collections::HashSet<String>,
+            std::collections::HashSet<String>,
+        ),
+    > = BTreeMap::new();
+    for s in command_sessions(sessions)
+        .into_iter()
+        .filter(|s| s.attempts_exec())
+    {
         let m = s.start.date().month_of();
         let e = uniq.entry(m).or_default();
         if s.exec_hashes().next().is_some() {
@@ -350,7 +395,12 @@ pub fn cluster_analysis(
         if !votes.is_empty() {
             let mut v: Vec<(&str, u64)> = votes.into_iter().collect();
             v.sort_by_key(|entry| std::cmp::Reverse(entry.1));
-            *label = v.iter().take(4).map(|(f, _)| *f).collect::<Vec<_>>().join(", ");
+            *label = v
+                .iter()
+                .take(4)
+                .map(|(f, _)| *f)
+                .collect::<Vec<_>>()
+                .join(", ");
         }
     }
 
@@ -377,7 +427,15 @@ pub fn cluster_analysis(
         })
         .collect();
 
-    ClusterAnalysis { signatures, weights, clustering, order, labels, monthly, medoid_matrix }
+    ClusterAnalysis {
+        signatures,
+        weights,
+        clustering,
+        order,
+        labels,
+        monthly,
+        medoid_matrix,
+    }
 }
 
 impl ClusterAnalysis {
@@ -411,11 +469,7 @@ pub struct Fig14 {
 
 /// Builds Fig. 14 from up to `samples_per_cat` exemplar signatures per
 /// category.
-pub fn fig14(
-    sessions: &[SessionRecord],
-    cl: &Classifier,
-    samples_per_cat: usize,
-) -> Fig14 {
+pub fn fig14(sessions: &[SessionRecord], cl: &Classifier, samples_per_cat: usize) -> Fig14 {
     let mut per_cat: BTreeMap<&'static str, Vec<Vec<String>>> = BTreeMap::new();
     for s in command_sessions(sessions) {
         let label = cl.classify(&s.command_text());
@@ -475,6 +529,57 @@ pub fn fig15_snippet(sessions: &[SessionRecord]) -> Option<String> {
         })
 }
 
+/// Streaming accumulator behind [`classification_coverage`] and
+/// [`category_counts`]: one classifier evaluation per command session
+/// serves both the Table 1 histogram and the §5 coverage fraction.
+pub struct ClassificationAccumulator<'c> {
+    cl: &'c Classifier,
+    counts: HashMap<&'static str, u64>,
+    total: u64,
+    known: u64,
+}
+
+impl<'c> ClassificationAccumulator<'c> {
+    /// An empty accumulator classifying with `cl`.
+    pub fn new(cl: &'c Classifier) -> Self {
+        Self {
+            cl,
+            counts: HashMap::new(),
+            total: 0,
+            known: 0,
+        }
+    }
+
+    /// Folds one session in (non-command sessions are ignored).
+    pub fn push(&mut self, s: &SessionRecord) {
+        if !is_command_session(s) {
+            return;
+        }
+        self.total += 1;
+        let label = self.cl.classify(&s.command_text());
+        if label != crate::classify::UNKNOWN_LABEL {
+            self.known += 1;
+        }
+        *self.counts.entry(label).or_default() += 1;
+    }
+
+    /// Fraction of command sessions classified into a non-`unknown`
+    /// category; `1.0` when no command sessions were seen.
+    pub fn coverage(&self) -> f64 {
+        if self.total == 0 {
+            return 1.0;
+        }
+        self.known as f64 / self.total as f64
+    }
+
+    /// Category totals, descending by count (ties alphabetical).
+    pub fn finish(self) -> Vec<(&'static str, u64)> {
+        let mut out: Vec<(&'static str, u64)> = self.counts.into_iter().collect();
+        out.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+        out
+    }
+}
+
 /// Table 1 / §5 coverage: fraction of command sessions classified into a
 /// non-`unknown` category (paper: >99 %). Single pass over any session
 /// stream.
@@ -483,22 +588,11 @@ where
     I: IntoIterator,
     I::Item: std::borrow::Borrow<SessionRecord>,
 {
-    let mut total = 0u64;
-    let mut known = 0u64;
+    let mut acc = ClassificationAccumulator::new(cl);
     for s in sessions {
-        let s = std::borrow::Borrow::borrow(&s);
-        if !is_command_session(s) {
-            continue;
-        }
-        total += 1;
-        if cl.classify(&s.command_text()) != crate::classify::UNKNOWN_LABEL {
-            known += 1;
-        }
+        acc.push(std::borrow::Borrow::borrow(&s));
     }
-    if total == 0 {
-        return 1.0;
-    }
-    known as f64 / total as f64
+    acc.coverage()
 }
 
 /// Table 1 category totals over the command sessions of any session
@@ -510,17 +604,11 @@ where
     I: IntoIterator,
     I::Item: std::borrow::Borrow<SessionRecord>,
 {
-    let mut counts: HashMap<&'static str, u64> = HashMap::new();
+    let mut acc = ClassificationAccumulator::new(cl);
     for s in sessions {
-        let s = std::borrow::Borrow::borrow(&s);
-        if !is_command_session(s) {
-            continue;
-        }
-        *counts.entry(cl.classify(&s.command_text())).or_default() += 1;
+        acc.push(std::borrow::Borrow::borrow(&s));
     }
-    let mut out: Vec<(&'static str, u64)> = counts.into_iter().collect();
-    out.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
-    out
+    acc.finish()
 }
 
 /// The §3.3 dataset-statistics table, rendered.
@@ -583,7 +671,11 @@ pub fn render_fig1_cov(fig: &Fig1Cov) -> String {
             None => format!("{:>23}", "-"),
         };
         let cov = fig.coverage[i];
-        let mark = if cov < COVERAGE_GAP_THRESHOLD { "!" } else { " " };
+        let mark = if cov < COVERAGE_GAP_THRESHOLD {
+            "!"
+        } else {
+            " "
+        };
         out.push_str(&format!(
             "{:<9} {} {}  {:>6.3}{}\n",
             m.label(),
@@ -601,8 +693,10 @@ pub fn render_fig5(ca: &ClusterAnalysis, max_rows: usize) -> String {
     let mut out = String::from("== Fig 5: normalized DLD between cluster medoids ==\n");
     let n = ca.medoid_matrix.len().min(max_rows);
     for i in 0..n {
-        let row: Vec<String> =
-            ca.medoid_matrix[i][..n].iter().map(|d| format!("{d:4.2}")).collect();
+        let row: Vec<String> = ca.medoid_matrix[i][..n]
+            .iter()
+            .map(|d| format!("{d:4.2}"))
+            .collect();
         out.push_str(&format!("C{:<3} {}\n", i + 1, row.join(" ")));
     }
     out
@@ -624,11 +718,24 @@ mod tests {
         let cal = crate::coverage::CoverageCalendar::from_schedule(&d.outages);
         let mc = MonthlyCoverage::from_calendar(&cal, d.fleet.len());
         let f = fig1_with_coverage(&d.sessions, &mc);
-        let oct = f.fig.months.iter().position(|m| *m == Month::new(2023, 10)).unwrap();
-        assert!(f.coverage[oct] < COVERAGE_GAP_THRESHOLD, "cov {}", f.coverage[oct]);
+        let oct = f
+            .fig
+            .months
+            .iter()
+            .position(|m| *m == Month::new(2023, 10))
+            .unwrap();
+        assert!(
+            f.coverage[oct] < COVERAGE_GAP_THRESHOLD,
+            "cov {}",
+            f.coverage[oct]
+        );
         for (i, c) in f.coverage.iter().enumerate() {
             if i != oct {
-                assert!(*c >= COVERAGE_GAP_THRESHOLD, "month {:?} cov {c}", f.fig.months[i]);
+                assert!(
+                    *c >= COVERAGE_GAP_THRESHOLD,
+                    "month {:?} cov {c}",
+                    f.fig.months[i]
+                );
             }
         }
         let text = render_fig1_cov(&f);
@@ -639,12 +746,20 @@ mod tests {
     fn fig1_shift_toward_scouting_in_2023() {
         let f = fig1(&ds().sessions);
         // Compare mid-2022 vs mid-2023 medians: not-changing overtakes.
-        let ix = |y, m| f.months.iter().position(|x| *x == Month::new(y, m)).unwrap();
+        let ix = |y, m| {
+            f.months
+                .iter()
+                .position(|x| *x == Month::new(y, m))
+                .unwrap()
+        };
         let mid22 = ix(2022, 6);
         let mid23 = ix(2023, 6);
         let nc22 = f.not_changing[mid22].as_ref().unwrap().median;
         let nc23 = f.not_changing[mid23].as_ref().unwrap().median;
-        assert!(nc23 > nc22 * 1.5, "2023 scouting should grow: {nc22} -> {nc23}");
+        assert!(
+            nc23 > nc22 * 1.5,
+            "2023 scouting should grow: {nc22} -> {nc23}"
+        );
         let ch23 = f.changing[mid23].as_ref().unwrap().median;
         assert!(nc23 > ch23, "not-changing should dominate in 2023");
     }
@@ -677,10 +792,18 @@ mod tests {
     fn fig3b_exec_sessions_decline() {
         let cl = Classifier::table1();
         let f = fig3b(&ds().sessions, &cl);
-        let ix = |y, m| f.months.iter().position(|x| *x == Month::new(y, m)).unwrap();
+        let ix = |y, m| {
+            f.months
+                .iter()
+                .position(|x| *x == Month::new(y, m))
+                .unwrap()
+        };
         let early: u64 = (0..6).map(|i| f.month_total(ix(2022, 2) + i)).sum();
         let late: u64 = (0..6).map(|i| f.month_total(ix(2024, 1) + i)).sum();
-        assert!(late * 2 < early, "exec sessions should decline: {early} -> {late}");
+        assert!(
+            late * 2 < early,
+            "exec sessions should decline: {early} -> {late}"
+        );
         // bbox family leads.
         let totals = f.totals();
         assert!(
@@ -762,7 +885,10 @@ mod tests {
         let snip = fig15_snippet(&ds().sessions).expect("curl_maxred sessions exist");
         assert!(snip.contains("curl"));
         assert!(snip.contains("<X.X.X.X>"));
-        assert!(!snip.contains("203.0.113."), "target must be redacted: {snip}");
+        assert!(
+            !snip.contains("203.0.113."),
+            "target must be redacted: {snip}"
+        );
     }
 
     #[test]

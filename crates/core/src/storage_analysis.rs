@@ -44,25 +44,29 @@ fn is_download_session(rec: &SessionRecord) -> bool {
         })
 }
 
-/// All download events in the dataset: one per distinct `(session, host)`.
-/// Single pass over any session stream; the result is small (one event
-/// per download host referenced), never the sessions themselves.
-pub fn download_events<I>(sessions: I) -> Vec<DownloadEvent>
-where
-    I: IntoIterator,
-    I::Item: std::borrow::Borrow<SessionRecord>,
-{
-    let mut out = Vec::new();
-    for rec in sessions {
-        let rec = std::borrow::Borrow::borrow(&rec);
+/// Streaming accumulator behind [`download_events`].
+#[derive(Debug, Default)]
+pub struct DownloadAccumulator {
+    events: Vec<DownloadEvent>,
+}
+
+impl DownloadAccumulator {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds one session in: one event per distinct download host it
+    /// referenced (non-download sessions contribute nothing).
+    pub fn push(&mut self, rec: &SessionRecord) {
         if !is_download_session(rec) {
-            continue;
+            return;
         }
         let mut seen: HashSet<Ipv4Addr> = HashSet::new();
         for uri in &rec.uris {
             if let Some(host) = uri_host(uri) {
                 if seen.insert(host) {
-                    out.push(DownloadEvent {
+                    self.events.push(DownloadEvent {
                         session_id: rec.session_id,
                         date: rec.start.date(),
                         client_ip: rec.client_ip,
@@ -72,7 +76,26 @@ where
             }
         }
     }
-    out
+
+    /// The accumulated events.
+    pub fn finish(self) -> Vec<DownloadEvent> {
+        self.events
+    }
+}
+
+/// All download events in the dataset: one per distinct `(session, host)`.
+/// Single pass over any session stream; the result is small (one event
+/// per download host referenced), never the sessions themselves.
+pub fn download_events<I>(sessions: I) -> Vec<DownloadEvent>
+where
+    I: IntoIterator,
+    I::Item: std::borrow::Borrow<SessionRecord>,
+{
+    let mut acc = DownloadAccumulator::new();
+    for rec in sessions {
+        acc.push(std::borrow::Borrow::borrow(&rec));
+    }
+    acc.finish()
 }
 
 /// Download events restricted to sessions where a file was actually
@@ -95,7 +118,9 @@ where
             ) {
                 continue;
             }
-            let Some(host) = e.source_uri.as_deref().and_then(uri_host) else { continue };
+            let Some(host) = e.source_uri.as_deref().and_then(uri_host) else {
+                continue;
+            };
             if seen.insert(host) {
                 out.push(DownloadEvent {
                     session_id: rec.session_id,
@@ -126,10 +151,7 @@ pub struct StorageStats {
 }
 
 /// Computes the headline statistics.
-pub fn storage_stats(
-    events: &[DownloadEvent],
-    abuse: &abusedb::AbuseDb,
-) -> StorageStats {
+pub fn storage_stats(events: &[DownloadEvent], abuse: &abusedb::AbuseDb) -> StorageStats {
     let mut sessions: HashSet<u64> = HashSet::new();
     let mut clients: HashSet<Ipv4Addr> = HashSet::new();
     let mut storage: HashSet<Ipv4Addr> = HashSet::new();
@@ -192,12 +214,14 @@ pub fn sankey_flows(events: &[DownloadEvent], registry: &AsRegistry) -> Vec<Sank
         }
     }
     agg.into_iter()
-        .map(|((client_type, storage_type), (events, same_ip))| SankeyFlow {
-            client_type,
-            storage_type,
-            events,
-            same_ip,
-        })
+        .map(
+            |((client_type, storage_type), (events, same_ip))| SankeyFlow {
+                client_type,
+                storage_type,
+                events,
+                same_ip,
+            },
+        )
         .collect()
 }
 
@@ -219,7 +243,9 @@ pub fn as_age_by_month(
 ) -> BTreeMap<Month, [u64; 3]> {
     let mut out: BTreeMap<Month, [u64; 3]> = BTreeMap::new();
     for e in events {
-        let Some(rec) = registry.lookup(e.storage_ip, e.date) else { continue };
+        let Some(rec) = registry.lookup(e.storage_ip, e.date) else {
+            continue;
+        };
         let age = rec.age_years_at(e.date);
         let slot = if age < 1 {
             0
@@ -241,7 +267,9 @@ pub fn as_size_by_month(
 ) -> BTreeMap<Month, [u64; 3]> {
     let mut out: BTreeMap<Month, [u64; 3]> = BTreeMap::new();
     for e in events {
-        let Some(rec) = registry.lookup(e.storage_ip, e.date) else { continue };
+        let Some(rec) = registry.lookup(e.storage_ip, e.date) else {
+            continue;
+        };
         let size = rec.size_24s_at(e.date);
         let slot = if size <= 1 {
             0
@@ -262,7 +290,9 @@ pub fn as_type_by_month(
 ) -> BTreeMap<Month, [u64; 4]> {
     let mut out: BTreeMap<Month, [u64; 4]> = BTreeMap::new();
     for e in events {
-        let Some(rec) = registry.lookup(e.storage_ip, e.date) else { continue };
+        let Some(rec) = registry.lookup(e.storage_ip, e.date) else {
+            continue;
+        };
         let slot = AsType::ALL
             .iter()
             .position(|t| *t == rec.as_type)
@@ -300,7 +330,9 @@ pub fn storage_as_census(
     let mut first_use: HashMap<u32, Date> = HashMap::new();
     let mut types: HashMap<u32, AsType> = HashMap::new();
     for e in events {
-        let Some(rec) = registry.lookup(e.storage_ip, e.date) else { continue };
+        let Some(rec) = registry.lookup(e.storage_ip, e.date) else {
+            continue;
+        };
         let d = first_use.entry(rec.asn).or_insert(e.date);
         if e.date < *d {
             *d = e.date;
@@ -331,8 +363,16 @@ pub fn storage_as_census(
         hosting,
         isp,
         down,
-        younger_1y_frac: if total > 0 { young1 as f64 / total as f64 } else { 0.0 },
-        younger_5y_frac: if total > 0 { young5 as f64 / total as f64 } else { 0.0 },
+        younger_1y_frac: if total > 0 {
+            young1 as f64 / total as f64
+        } else {
+            0.0
+        },
+        younger_5y_frac: if total > 0 {
+            young5 as f64 / total as f64
+        } else {
+            0.0
+        },
     }
 }
 
@@ -434,7 +474,9 @@ mod tests {
             .enumerate()
             .map(|(i, uri)| honeypot::FileEvent {
                 path: format!("/tmp/f{i}"),
-                op: honeypot::FileOp::Created { sha256: "ab".repeat(32) },
+                op: honeypot::FileOp::Created {
+                    sha256: "ab".repeat(32),
+                },
                 source_uri: Some((*uri).to_string()),
             })
             .collect();
@@ -463,7 +505,10 @@ mod tests {
             as_type: ty,
             registered: reg,
             announcements: vec![Announcement {
-                prefix: Prefix::new(Ipv4Addr::from_octets(base[0], base[1], base[2], base[3]), len),
+                prefix: Prefix::new(
+                    Ipv4Addr::from_octets(base[0], base[1], base[2], base[3]),
+                    len,
+                ),
                 from: reg,
                 until: None,
             }],
@@ -482,9 +527,15 @@ mod tests {
 
     #[test]
     fn uri_host_parsing() {
-        assert_eq!(uri_host("http://203.0.113.9/x.sh"), Some(ip(203, 0, 113, 9)));
+        assert_eq!(
+            uri_host("http://203.0.113.9/x.sh"),
+            Some(ip(203, 0, 113, 9))
+        );
         assert_eq!(uri_host("tftp://10.0.0.1/f"), Some(ip(10, 0, 0, 1)));
-        assert_eq!(uri_host("http://203.0.113.9:8080/x"), Some(ip(203, 0, 113, 9)));
+        assert_eq!(
+            uri_host("http://203.0.113.9:8080/x"),
+            Some(ip(203, 0, 113, 9))
+        );
         assert_eq!(uri_host("http://evil.example/x"), None);
         assert_eq!(uri_host("no-scheme"), None);
     }
@@ -495,7 +546,11 @@ mod tests {
             1,
             d(2022, 6, 1),
             ip(10, 0, 0, 5),
-            vec!["http://20.0.0.9/a.sh", "http://20.0.0.9/b.sh", "http://30.0.0.1/c.sh"],
+            vec![
+                "http://20.0.0.9/a.sh",
+                "http://20.0.0.9/b.sh",
+                "http://30.0.0.1/c.sh",
+            ],
         )];
         let ev = download_events(&sessions);
         assert_eq!(ev.len(), 2);
@@ -504,8 +559,18 @@ mod tests {
     #[test]
     fn stats_same_vs_different_ip() {
         let sessions = vec![
-            rec_with_uri(1, d(2022, 6, 1), ip(10, 0, 0, 5), vec!["http://20.0.0.9/a.sh"]),
-            rec_with_uri(2, d(2022, 6, 2), ip(10, 0, 0, 6), vec!["http://10.0.0.6/a.sh"]),
+            rec_with_uri(
+                1,
+                d(2022, 6, 1),
+                ip(10, 0, 0, 5),
+                vec!["http://20.0.0.9/a.sh"],
+            ),
+            rec_with_uri(
+                2,
+                d(2022, 6, 2),
+                ip(10, 0, 0, 6),
+                vec!["http://10.0.0.6/a.sh"],
+            ),
         ];
         let ev = download_events(&sessions);
         let stats = storage_stats(&ev, &abusedb::AbuseDb::default());
@@ -519,9 +584,24 @@ mod tests {
     fn sankey_aggregates_types() {
         let reg = registry();
         let sessions = vec![
-            rec_with_uri(1, d(2022, 6, 1), ip(10, 0, 0, 5), vec!["http://20.0.0.9/a.sh"]),
-            rec_with_uri(2, d(2022, 6, 2), ip(10, 0, 1, 5), vec!["http://20.0.0.7/a.sh"]),
-            rec_with_uri(3, d(2022, 6, 3), ip(10, 0, 2, 5), vec!["http://10.0.2.5/a.sh"]),
+            rec_with_uri(
+                1,
+                d(2022, 6, 1),
+                ip(10, 0, 0, 5),
+                vec!["http://20.0.0.9/a.sh"],
+            ),
+            rec_with_uri(
+                2,
+                d(2022, 6, 2),
+                ip(10, 0, 1, 5),
+                vec!["http://20.0.0.7/a.sh"],
+            ),
+            rec_with_uri(
+                3,
+                d(2022, 6, 3),
+                ip(10, 0, 2, 5),
+                vec!["http://10.0.2.5/a.sh"],
+            ),
         ];
         let flows = sankey_flows(&download_events(&sessions), &reg);
         let isp_hosting = flows
@@ -543,8 +623,18 @@ mod tests {
         let reg = registry();
         // AS 200 registered 2022-01-01: young in 2022-06, 1-5y in 2023-06.
         let sessions = vec![
-            rec_with_uri(1, d(2022, 6, 1), ip(10, 0, 0, 5), vec!["http://20.0.0.9/a.sh"]),
-            rec_with_uri(2, d(2023, 6, 1), ip(10, 0, 0, 5), vec!["http://20.0.0.9/a.sh"]),
+            rec_with_uri(
+                1,
+                d(2022, 6, 1),
+                ip(10, 0, 0, 5),
+                vec!["http://20.0.0.9/a.sh"],
+            ),
+            rec_with_uri(
+                2,
+                d(2023, 6, 1),
+                ip(10, 0, 0, 5),
+                vec!["http://20.0.0.9/a.sh"],
+            ),
         ];
         let by_month = as_age_by_month(&download_events(&sessions), &reg);
         assert_eq!(by_month[&Month::new(2022, 6)], [1, 0, 0]);
@@ -556,8 +646,18 @@ mod tests {
         let reg = registry();
         // AS 200 announces one /24; AS 300 announces a /20 = 16 /24s.
         let sessions = vec![
-            rec_with_uri(1, d(2022, 6, 1), ip(10, 0, 0, 5), vec!["http://20.0.0.9/a.sh"]),
-            rec_with_uri(2, d(2022, 6, 2), ip(10, 0, 0, 5), vec!["http://30.0.0.9/a.sh"]),
+            rec_with_uri(
+                1,
+                d(2022, 6, 1),
+                ip(10, 0, 0, 5),
+                vec!["http://20.0.0.9/a.sh"],
+            ),
+            rec_with_uri(
+                2,
+                d(2022, 6, 2),
+                ip(10, 0, 0, 5),
+                vec!["http://30.0.0.9/a.sh"],
+            ),
         ];
         let by_month = as_size_by_month(&download_events(&sessions), &reg);
         assert_eq!(by_month[&Month::new(2022, 6)], [1, 1, 0]);
@@ -567,8 +667,18 @@ mod tests {
     fn census_counts() {
         let reg = registry();
         let sessions = vec![
-            rec_with_uri(1, d(2022, 6, 1), ip(10, 0, 0, 5), vec!["http://20.0.0.9/a.sh"]),
-            rec_with_uri(2, d(2022, 6, 2), ip(10, 0, 0, 5), vec!["http://30.0.0.9/a.sh"]),
+            rec_with_uri(
+                1,
+                d(2022, 6, 1),
+                ip(10, 0, 0, 5),
+                vec!["http://20.0.0.9/a.sh"],
+            ),
+            rec_with_uri(
+                2,
+                d(2022, 6, 2),
+                ip(10, 0, 0, 5),
+                vec!["http://30.0.0.9/a.sh"],
+            ),
         ];
         let census = storage_as_census(&download_events(&sessions), &reg, d(2024, 8, 31));
         assert_eq!(census.total, 2);
@@ -599,7 +709,7 @@ mod tests {
         let ev = download_events(&sessions);
         let rows = reuse_buckets_by_week(&ev, 28, d(2022, 1, 3), d(2022, 1, 31));
         let (_, counts) = &rows[1]; // week starting 2022-01-10
-        // Single-day IP fell out? window (t-27, t+6]: still included.
+                                    // Single-day IP fell out? window (t-27, t+6]: still included.
         let total: u64 = counts.iter().sum();
         assert_eq!(total, 2);
         // The 10-day IP lands in the ≤2w bucket at some week.
@@ -610,9 +720,24 @@ mod tests {
     #[test]
     fn long_reappearance_detection() {
         let sessions = vec![
-            rec_with_uri(1, d(2022, 1, 1), ip(10, 0, 0, 5), vec!["http://20.0.0.9/a.sh"]),
-            rec_with_uri(2, d(2022, 8, 1), ip(10, 0, 0, 5), vec!["http://20.0.0.9/a.sh"]),
-            rec_with_uri(3, d(2022, 1, 1), ip(10, 0, 0, 5), vec!["http://30.0.0.9/a.sh"]),
+            rec_with_uri(
+                1,
+                d(2022, 1, 1),
+                ip(10, 0, 0, 5),
+                vec!["http://20.0.0.9/a.sh"],
+            ),
+            rec_with_uri(
+                2,
+                d(2022, 8, 1),
+                ip(10, 0, 0, 5),
+                vec!["http://20.0.0.9/a.sh"],
+            ),
+            rec_with_uri(
+                3,
+                d(2022, 1, 1),
+                ip(10, 0, 0, 5),
+                vec!["http://30.0.0.9/a.sh"],
+            ),
         ];
         let frac = long_reappearance_frac(&download_events(&sessions));
         assert!((frac - 0.5).abs() < 1e-12);

@@ -61,6 +61,50 @@ pub struct TaxonomyStats {
     pub command_execution: u64,
 }
 
+/// Streaming accumulator behind [`TaxonomyStats::compute`]: push records
+/// one at a time (from any source), then [`TaxonomyAccumulator::finish`].
+/// This is the form `core::AnalysisBuilder` composes into its single
+/// shared pass.
+#[derive(Debug, Default)]
+pub struct TaxonomyAccumulator {
+    stats: TaxonomyStats,
+    clients: std::collections::HashSet<netsim::Ipv4Addr>,
+}
+
+impl TaxonomyAccumulator {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds one session into the statistics.
+    pub fn push(&mut self, rec: &SessionRecord) {
+        let s = &mut self.stats;
+        s.total_sessions += 1;
+        match rec.protocol {
+            Protocol::Telnet => {
+                s.telnet_sessions += 1;
+                return;
+            }
+            Protocol::Ssh => s.ssh_sessions += 1,
+        }
+        self.clients.insert(rec.client_ip);
+        match SessionClass::of(rec) {
+            SessionClass::Scanning => s.scanning += 1,
+            SessionClass::Scouting => s.scouting += 1,
+            SessionClass::Intrusion => s.intrusion += 1,
+            SessionClass::CommandExecution => s.command_execution += 1,
+        }
+    }
+
+    /// Resolves the unique-client count and returns the statistics.
+    pub fn finish(self) -> TaxonomyStats {
+        let mut stats = self.stats;
+        stats.unique_ssh_clients = self.clients.len() as u64;
+        stats
+    }
+}
+
 impl TaxonomyStats {
     /// Computes the statistics over any stream of sessions — a slice, an
     /// owning iterator, or a sessiondb scan. Single pass, O(unique
@@ -70,28 +114,11 @@ impl TaxonomyStats {
         I: IntoIterator,
         I::Item: std::borrow::Borrow<SessionRecord>,
     {
-        let mut s = Self::default();
-        let mut clients = std::collections::HashSet::new();
+        let mut acc = TaxonomyAccumulator::new();
         for rec in sessions {
-            let rec = std::borrow::Borrow::borrow(&rec);
-            s.total_sessions += 1;
-            match rec.protocol {
-                Protocol::Telnet => {
-                    s.telnet_sessions += 1;
-                    continue;
-                }
-                Protocol::Ssh => s.ssh_sessions += 1,
-            }
-            clients.insert(rec.client_ip);
-            match SessionClass::of(rec) {
-                SessionClass::Scanning => s.scanning += 1,
-                SessionClass::Scouting => s.scouting += 1,
-                SessionClass::Intrusion => s.intrusion += 1,
-                SessionClass::CommandExecution => s.command_execution += 1,
-            }
+            acc.push(std::borrow::Borrow::borrow(&rec));
         }
-        s.unique_ssh_clients = clients.len() as u64;
-        s
+        acc.finish()
     }
 
     /// The paper's ordering check: scouting > command-exec > intrusion >
@@ -131,7 +158,10 @@ mod tests {
                 })
                 .collect(),
             commands: (0..n_commands)
-                .map(|i| honeypot::CommandRecord { input: format!("cmd{i}"), known: true })
+                .map(|i| honeypot::CommandRecord {
+                    input: format!("cmd{i}"),
+                    known: true,
+                })
                 .collect(),
             uris: vec![],
             file_events: vec![],
@@ -140,7 +170,10 @@ mod tests {
 
     #[test]
     fn class_of_each_kind() {
-        assert_eq!(SessionClass::of(&rec(vec![], 0, Protocol::Ssh)), SessionClass::Scanning);
+        assert_eq!(
+            SessionClass::of(&rec(vec![], 0, Protocol::Ssh)),
+            SessionClass::Scanning
+        );
         assert_eq!(
             SessionClass::of(&rec(vec![(false, "root")], 0, Protocol::Ssh)),
             SessionClass::Scouting

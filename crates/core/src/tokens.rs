@@ -48,7 +48,9 @@ fn canonicalize(tok: &str) -> String {
     // Random-looking filename/token: long mixed-case alphanumerics that are
     // not a known command word.
     if tok.len() >= 5
-        && tok.chars().all(|c| c.is_ascii_alphanumeric() || c == '.' || c == '-' || c == '_')
+        && tok
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '.' || c == '-' || c == '_')
         && tok.chars().any(|c| c.is_ascii_digit())
         && tok.chars().any(|c| c.is_ascii_alphabetic())
     {
@@ -68,7 +70,10 @@ mod tests {
 
     #[test]
     fn paper_example() {
-        assert_eq!(tokenize("mkdir /tmp;cd /tmp"), vec!["mkdir", "/tmp", "cd", "/tmp"]);
+        assert_eq!(
+            tokenize("mkdir /tmp;cd /tmp"),
+            vec!["mkdir", "/tmp", "cd", "/tmp"]
+        );
     }
 
     #[test]

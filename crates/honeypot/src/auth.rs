@@ -56,7 +56,9 @@ mod tests {
         assert!(new.accept("phil", "anything"));
         assert!(!new.accept("richard", "anything"));
 
-        let old = AuthPolicy { accepts_phil: false };
+        let old = AuthPolicy {
+            accepts_phil: false,
+        };
         assert!(!old.accept("phil", "x"));
         assert!(old.accept("richard", "x"));
     }

@@ -117,7 +117,12 @@ pub struct CollectorConfig {
 
 impl Default for CollectorConfig {
     fn default() -> Self {
-        Self { queue_capacity: None, flush_failure_rate: 0.0, max_retries: 3, seed: 0 }
+        Self {
+            queue_capacity: None,
+            flush_failure_rate: 0.0,
+            max_retries: 3,
+            seed: 0,
+        }
     }
 }
 
@@ -256,7 +261,12 @@ impl Inner {
     }
 
     /// Handles one validated record: direct write, deferral, or drop.
-    fn submit(&mut self, rec: SessionRecord, cfg_cap: Option<usize>, max_retries: u32) -> IngestOutcome {
+    fn submit(
+        &mut self,
+        rec: SessionRecord,
+        cfg_cap: Option<usize>,
+        max_retries: u32,
+    ) -> IngestOutcome {
         let rec = match self.attempt_store(rec) {
             Ok(id) => return IngestOutcome::Stored(id),
             Err(rec) => rec,
@@ -394,7 +404,11 @@ impl Collector {
     /// dataset, the final stats, and the quarantine lane.
     pub fn into_parts(
         self,
-    ) -> (Vec<SessionRecord>, IngestStats, Vec<(SessionRecord, ValidationError)>) {
+    ) -> (
+        Vec<SessionRecord>,
+        IngestStats,
+        Vec<(SessionRecord, ValidationError)>,
+    ) {
         let mut inner = self.inner.into_inner();
         while !inner.retry.is_empty() {
             inner.flush_retries(self.max_retries);
@@ -417,7 +431,9 @@ impl Collector {
             inner.flush_retries(self.max_retries);
         }
         if let Some(mut sink) = inner.sink.take() {
-            sink.finish().map_err(|e| CollectorError::Sink { message: e.to_string() })?;
+            sink.finish().map_err(|e| CollectorError::Sink {
+                message: e.to_string(),
+            })?;
         }
         Ok((inner.stats, inner.quarantine))
     }
@@ -586,7 +602,10 @@ mod tests {
     impl SessionSink for TestSink {
         fn append(&mut self, rec: &SessionRecord) -> Result<(), SinkError> {
             self.calls += 1;
-            if self.fail_every.is_some_and(|n| self.calls.is_multiple_of(n)) {
+            if self
+                .fail_every
+                .is_some_and(|n| self.calls.is_multiple_of(n))
+            {
                 return Err("injected sink failure".into());
             }
             self.seen.lock().push(rec.session_id);
@@ -627,7 +646,10 @@ mod tests {
         let seen = Arc::new(Mutex::new(Vec::new()));
         let finished = Arc::new(Mutex::new(false));
         let c = Collector::with_sink(
-            CollectorConfig { max_retries: 8, ..CollectorConfig::default() },
+            CollectorConfig {
+                max_retries: 8,
+                ..CollectorConfig::default()
+            },
             Box::new(TestSink {
                 seen: Arc::clone(&seen),
                 fail_every: Some(5), // every 5th append fails
@@ -639,7 +661,10 @@ mod tests {
             c.ingest(rec((i % 24) as u8));
         }
         let (stats, _) = c.into_sink_parts().expect("sink closes");
-        assert!(stats.retried > 0, "sink failures must be retried: {stats:?}");
+        assert!(
+            stats.retried > 0,
+            "sink failures must be retried: {stats:?}"
+        );
         assert_eq!(stats.accepted + stats.dropped, 100);
         // Ids of spilled records are dense over the accepted set.
         let mut ids = seen.lock().clone();

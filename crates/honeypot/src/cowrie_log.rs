@@ -36,7 +36,10 @@ fn base_event(rec: &SessionRecord, eventid: &str, at: DateTime) -> Vec<(String, 
     vec![
         ("eventid".to_string(), Json::str(eventid)),
         ("timestamp".to_string(), Json::str(at.iso8601())),
-        ("session".to_string(), Json::str(session_tag(rec.session_id))),
+        (
+            "session".to_string(),
+            Json::str(session_tag(rec.session_id)),
+        ),
         ("src_ip".to_string(), Json::str(rec.client_ip.to_string())),
     ]
 }
@@ -50,11 +53,19 @@ pub fn to_cowrie_events(rec: &SessionRecord) -> Vec<Json> {
     connect.push(("dst_ip".to_string(), Json::str(rec.honeypot_ip.to_string())));
     connect.push((
         "dst_port".to_string(),
-        Json::Num(if rec.protocol == Protocol::Ssh { 22.0 } else { 23.0 }),
+        Json::Num(if rec.protocol == Protocol::Ssh {
+            22.0
+        } else {
+            23.0
+        }),
     ));
     connect.push((
         "protocol".to_string(),
-        Json::str(if rec.protocol == Protocol::Ssh { "ssh" } else { "telnet" }),
+        Json::str(if rec.protocol == Protocol::Ssh {
+            "ssh"
+        } else {
+            "telnet"
+        }),
     ));
     out.push(Json::Obj(connect));
 
@@ -65,7 +76,11 @@ pub fn to_cowrie_events(rec: &SessionRecord) -> Vec<Json> {
     }
 
     for l in &rec.logins {
-        let id = if l.success { "cowrie.login.success" } else { "cowrie.login.failed" };
+        let id = if l.success {
+            "cowrie.login.success"
+        } else {
+            "cowrie.login.failed"
+        };
         let mut ev = base_event(rec, id, rec.start);
         ev.push(("username".to_string(), Json::str(l.username.clone())));
         ev.push(("password".to_string(), Json::str(l.password.clone())));
@@ -73,7 +88,11 @@ pub fn to_cowrie_events(rec: &SessionRecord) -> Vec<Json> {
     }
 
     for c in &rec.commands {
-        let id = if c.known { "cowrie.command.input" } else { "cowrie.command.failed" };
+        let id = if c.known {
+            "cowrie.command.input"
+        } else {
+            "cowrie.command.failed"
+        };
         let mut ev = base_event(rec, id, rec.start);
         ev.push(("input".to_string(), Json::str(c.input.clone())));
         out.push(Json::Obj(ev));
@@ -92,8 +111,7 @@ pub fn to_cowrie_events(rec: &SessionRecord) -> Vec<Json> {
             }
             FileOp::DownloadFailed => {
                 if let Some(uri) = &f.source_uri {
-                    let mut ev =
-                        base_event(rec, "cowrie.session.file_download.failed", rec.start);
+                    let mut ev = base_event(rec, "cowrie.session.file_download.failed", rec.start);
                     ev.push(("url".to_string(), Json::str(uri.clone())));
                     out.push(Json::Obj(ev));
                 }
@@ -103,7 +121,10 @@ pub fn to_cowrie_events(rec: &SessionRecord) -> Vec<Json> {
     }
 
     let mut closed = base_event(rec, "cowrie.session.closed", rec.end);
-    closed.push(("duration".to_string(), Json::Num(rec.duration_secs() as f64)));
+    closed.push((
+        "duration".to_string(),
+        Json::Num(rec.duration_secs() as f64),
+    ));
     closed.push((
         "reason".to_string(),
         Json::str(match rec.end_reason {
@@ -212,8 +233,12 @@ impl Importer {
     /// ignored (real Cowrie logs contain dozens of kinds the analysis
     /// never uses).
     fn apply(&mut self, ev: &Json) {
-        let Some(session) = ev.get("session").and_then(Json::as_str) else { return };
-        let Some(eventid) = ev.get("eventid").and_then(Json::as_str) else { return };
+        let Some(session) = ev.get("session").and_then(Json::as_str) else {
+            return;
+        };
+        let Some(eventid) = ev.get("eventid").and_then(Json::as_str) else {
+            return;
+        };
         let timestamp = ev
             .get("timestamp")
             .and_then(Json::as_str)
@@ -251,16 +276,20 @@ impl Importer {
         match eventid {
             "cowrie.session.connect" => {
                 rec.start = timestamp;
-                if let Some(ip) =
-                    ev.get("src_ip").and_then(Json::as_str).and_then(Ipv4Addr::parse)
+                if let Some(ip) = ev
+                    .get("src_ip")
+                    .and_then(Json::as_str)
+                    .and_then(Ipv4Addr::parse)
                 {
                     rec.client_ip = ip;
                 }
                 if let Some(p) = ev.get("src_port").and_then(Json::as_i64) {
                     rec.client_port = p as u16;
                 }
-                if let Some(ip) =
-                    ev.get("dst_ip").and_then(Json::as_str).and_then(Ipv4Addr::parse)
+                if let Some(ip) = ev
+                    .get("dst_ip")
+                    .and_then(Json::as_str)
+                    .and_then(Ipv4Addr::parse)
                 {
                     rec.honeypot_ip = ip;
                 }
@@ -269,8 +298,7 @@ impl Importer {
                 }
             }
             "cowrie.client.version" => {
-                rec.client_version =
-                    ev.get("version").and_then(Json::as_str).map(str::to_string);
+                rec.client_version = ev.get("version").and_then(Json::as_str).map(str::to_string);
             }
             "cowrie.login.success" | "cowrie.login.failed" => {
                 rec.logins.push(LoginAttempt {
@@ -402,7 +430,11 @@ pub fn from_cowrie_log_lossy(log: &str) -> LossyImport {
             }
         }
     }
-    LossyImport { sessions: imp.finish(), errors, lines_total }
+    LossyImport {
+        sessions: imp.finish(),
+        errors,
+        lines_total,
+    }
 }
 
 #[cfg(test)]
@@ -423,23 +455,41 @@ mod tests {
             end_reason: SessionEndReason::ClientClose,
             client_version: Some("SSH-2.0-Go".into()),
             logins: vec![
-                LoginAttempt { username: "root".into(), password: "root".into(), success: false },
-                LoginAttempt { username: "root".into(), password: "admin".into(), success: true },
+                LoginAttempt {
+                    username: "root".into(),
+                    password: "root".into(),
+                    success: false,
+                },
+                LoginAttempt {
+                    username: "root".into(),
+                    password: "admin".into(),
+                    success: true,
+                },
             ],
             commands: vec![
-                CommandRecord { input: "uname -a".into(), known: true },
-                CommandRecord { input: "lenni0451 --x".into(), known: false },
+                CommandRecord {
+                    input: "uname -a".into(),
+                    known: true,
+                },
+                CommandRecord {
+                    input: "lenni0451 --x".into(),
+                    known: false,
+                },
             ],
             uris: vec!["http://203.0.113.5/x.sh".into()],
             file_events: vec![
                 FileEvent {
                     path: "/tmp/x.sh".into(),
-                    op: FileOp::Created { sha256: "ab".repeat(32) },
+                    op: FileOp::Created {
+                        sha256: "ab".repeat(32),
+                    },
                     source_uri: Some("http://203.0.113.5/x.sh".into()),
                 },
                 FileEvent {
                     path: "/tmp/x.sh".into(),
-                    op: FileOp::ExecAttempt { sha256: Some("ab".repeat(32)) },
+                    op: FileOp::ExecAttempt {
+                        sha256: Some("ab".repeat(32)),
+                    },
                     source_uri: None,
                 },
             ],
@@ -472,7 +522,10 @@ mod tests {
             Some("2022-05-10T04:30:00Z")
         );
         // Session tag is stable hex.
-        assert_eq!(events[0].get("session").and_then(Json::as_str), Some("000000000007"));
+        assert_eq!(
+            events[0].get("session").and_then(Json::as_str),
+            Some("000000000007")
+        );
     }
 
     #[test]
@@ -493,7 +546,10 @@ mod tests {
         assert_eq!(rec.uris, original.uris);
         // Downloaded-file capture survives (exec attempts are not part of
         // Cowrie's log schema, so they do not).
-        assert_eq!(rec.dropped_hashes().collect::<Vec<_>>(), vec!["ab".repeat(32)]);
+        assert_eq!(
+            rec.dropped_hashes().collect::<Vec<_>>(),
+            vec!["ab".repeat(32)]
+        );
         assert_eq!(rec.accepted_password(), Some("admin"));
     }
 
@@ -501,13 +557,20 @@ mod tests {
     fn import_groups_interleaved_sessions() {
         // Two sessions with interleaved events, as a real log would have.
         let log = concat!(
-            r#"{"eventid":"cowrie.session.connect","timestamp":"2023-01-01T00:00:00Z","session":"aaa","src_ip":"10.0.0.1","src_port":1,"dst_ip":"100.0.0.1","dst_port":22,"protocol":"ssh"}"#, "\n",
-            r#"{"eventid":"cowrie.session.connect","timestamp":"2023-01-01T00:00:01Z","session":"bbb","src_ip":"10.0.0.2","src_port":2,"dst_ip":"100.0.0.1","dst_port":23,"protocol":"telnet"}"#, "\n",
-            r#"{"eventid":"cowrie.login.success","timestamp":"2023-01-01T00:00:02Z","session":"aaa","username":"root","password":"x"}"#, "\n",
-            r#"{"eventid":"cowrie.login.failed","timestamp":"2023-01-01T00:00:03Z","session":"bbb","username":"root","password":"root"}"#, "\n",
-            r#"{"eventid":"cowrie.command.input","timestamp":"2023-01-01T00:00:04Z","session":"aaa","input":"echo ok"}"#, "\n",
-            r#"{"eventid":"cowrie.session.closed","timestamp":"2023-01-01T00:00:09Z","session":"aaa","duration":9}"#, "\n",
-            r#"{"eventid":"cowrie.session.closed","timestamp":"2023-01-01T00:00:05Z","session":"bbb","duration":4}"#, "\n",
+            r#"{"eventid":"cowrie.session.connect","timestamp":"2023-01-01T00:00:00Z","session":"aaa","src_ip":"10.0.0.1","src_port":1,"dst_ip":"100.0.0.1","dst_port":22,"protocol":"ssh"}"#,
+            "\n",
+            r#"{"eventid":"cowrie.session.connect","timestamp":"2023-01-01T00:00:01Z","session":"bbb","src_ip":"10.0.0.2","src_port":2,"dst_ip":"100.0.0.1","dst_port":23,"protocol":"telnet"}"#,
+            "\n",
+            r#"{"eventid":"cowrie.login.success","timestamp":"2023-01-01T00:00:02Z","session":"aaa","username":"root","password":"x"}"#,
+            "\n",
+            r#"{"eventid":"cowrie.login.failed","timestamp":"2023-01-01T00:00:03Z","session":"bbb","username":"root","password":"root"}"#,
+            "\n",
+            r#"{"eventid":"cowrie.command.input","timestamp":"2023-01-01T00:00:04Z","session":"aaa","input":"echo ok"}"#,
+            "\n",
+            r#"{"eventid":"cowrie.session.closed","timestamp":"2023-01-01T00:00:09Z","session":"aaa","duration":9}"#,
+            "\n",
+            r#"{"eventid":"cowrie.session.closed","timestamp":"2023-01-01T00:00:05Z","session":"bbb","duration":4}"#,
+            "\n",
         );
         let recs = from_cowrie_log(log).unwrap();
         assert_eq!(recs.len(), 2);
@@ -522,9 +585,12 @@ mod tests {
     #[test]
     fn import_skips_unknown_event_kinds() {
         let log = concat!(
-            r#"{"eventid":"cowrie.session.connect","timestamp":"2023-01-01T00:00:00Z","session":"x","src_ip":"10.0.0.9","src_port":5,"dst_ip":"100.0.0.1","dst_port":22,"protocol":"ssh"}"#, "\n",
-            r#"{"eventid":"cowrie.direct-tcpip.request","session":"x","timestamp":"2023-01-01T00:00:01Z"}"#, "\n",
-            r#"{"eventid":"cowrie.log.closed","session":"x","timestamp":"2023-01-01T00:00:02Z"}"#, "\n",
+            r#"{"eventid":"cowrie.session.connect","timestamp":"2023-01-01T00:00:00Z","session":"x","src_ip":"10.0.0.9","src_port":5,"dst_ip":"100.0.0.1","dst_port":22,"protocol":"ssh"}"#,
+            "\n",
+            r#"{"eventid":"cowrie.direct-tcpip.request","session":"x","timestamp":"2023-01-01T00:00:01Z"}"#,
+            "\n",
+            r#"{"eventid":"cowrie.log.closed","session":"x","timestamp":"2023-01-01T00:00:02Z"}"#,
+            "\n",
         );
         let recs = from_cowrie_log(log).unwrap();
         assert_eq!(recs.len(), 1);
@@ -578,11 +644,16 @@ mod tests {
     fn lossy_recovers_interleaved_session_when_peer_is_corrupted() {
         // Session "aaa" intact, session "bbb" loses its connect line.
         let log = concat!(
-            r#"{"eventid":"cowrie.session.connect","timestamp":"2023-01-01T00:00:00Z","session":"aaa","src_ip":"10.0.0.1","src_port":1,"dst_ip":"100.0.0.1","dst_port":22,"protocol":"ssh"}"#, "\n",
-            r#"{"eventid":"cowrie.session.connect","timestamp":"2023-01-01T00:00:01Z","sess"#, "\n",
-            r#"{"eventid":"cowrie.login.success","timestamp":"2023-01-01T00:00:02Z","session":"aaa","username":"root","password":"x"}"#, "\n",
-            r#"{"eventid":"cowrie.login.failed","timestamp":"2023-01-01T00:00:03Z","session":"bbb","username":"root","password":"root"}"#, "\n",
-            r#"{"eventid":"cowrie.session.closed","timestamp":"2023-01-01T00:00:09Z","session":"aaa","duration":9}"#, "\n",
+            r#"{"eventid":"cowrie.session.connect","timestamp":"2023-01-01T00:00:00Z","session":"aaa","src_ip":"10.0.0.1","src_port":1,"dst_ip":"100.0.0.1","dst_port":22,"protocol":"ssh"}"#,
+            "\n",
+            r#"{"eventid":"cowrie.session.connect","timestamp":"2023-01-01T00:00:01Z","sess"#,
+            "\n",
+            r#"{"eventid":"cowrie.login.success","timestamp":"2023-01-01T00:00:02Z","session":"aaa","username":"root","password":"x"}"#,
+            "\n",
+            r#"{"eventid":"cowrie.login.failed","timestamp":"2023-01-01T00:00:03Z","session":"bbb","username":"root","password":"root"}"#,
+            "\n",
+            r#"{"eventid":"cowrie.session.closed","timestamp":"2023-01-01T00:00:09Z","session":"aaa","duration":9}"#,
+            "\n",
         );
         let lossy = from_cowrie_log_lossy(log);
         assert_eq!(lossy.errors.len(), 1);

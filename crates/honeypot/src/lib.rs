@@ -38,12 +38,12 @@ pub mod wire;
 pub mod wire_telnet;
 
 pub use auth::AuthPolicy;
-pub use cowrie_log::{
-    from_cowrie_log, from_cowrie_log_lossy, to_cowrie_events, to_cowrie_log, LossyImport,
-};
 pub use collector::{
     ingest_parallel, Collector, CollectorConfig, CollectorError, IngestOutcome, IngestStats,
     SessionSink, SinkError,
+};
+pub use cowrie_log::{
+    from_cowrie_log, from_cowrie_log_lossy, to_cowrie_events, to_cowrie_log, LossyImport,
 };
 pub use fleet::{maintenance_end, maintenance_start, Fleet, Honeypot};
 pub use outage::{OutageConfig, OutageSchedule};

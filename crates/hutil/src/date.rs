@@ -27,9 +27,15 @@ impl Month {
     /// The month immediately after `self`.
     pub fn next(self) -> Self {
         if self.month == 12 {
-            Self { year: self.year + 1, month: 1 }
+            Self {
+                year: self.year + 1,
+                month: 1,
+            }
         } else {
-            Self { year: self.year, month: self.month + 1 }
+            Self {
+                year: self.year,
+                month: self.month + 1,
+            }
         }
     }
 
@@ -122,7 +128,11 @@ impl Date {
 
     /// Days since 1970-01-01 (may be negative).
     pub fn to_epoch_days(self) -> i64 {
-        let y = if self.month <= 2 { self.year - 1 } else { self.year } as i64;
+        let y = if self.month <= 2 {
+            self.year - 1
+        } else {
+            self.year
+        } as i64;
         let era = if y >= 0 { y } else { y - 399 } / 400;
         let yoe = y - era * 400; // [0, 399]
         let m = self.month as i64;
@@ -144,7 +154,11 @@ impl Date {
         let d = (doy - (153 * mp + 2) / 5 + 1) as u8;
         let m = if mp < 10 { mp + 3 } else { mp - 9 } as u8;
         let year = if m <= 2 { y + 1 } else { y } as i32;
-        Self { year, month: m, day: d }
+        Self {
+            year,
+            month: m,
+            day: d,
+        }
     }
 
     /// The date `n` days after `self` (negative `n` goes backward).
@@ -159,7 +173,10 @@ impl Date {
 
     /// The month containing this date.
     pub fn month_of(self) -> Month {
-        Month { year: self.year, month: self.month }
+        Month {
+            year: self.year,
+            month: self.month,
+        }
     }
 
     /// Midnight UTC at the start of this date.
@@ -171,10 +188,7 @@ impl Date {
     pub fn at(self, hour: u8, minute: u8, second: u8) -> DateTime {
         assert!(hour < 24 && minute < 60 && second < 60);
         DateTime::from_unix(
-            self.to_epoch_days() * 86_400
-                + hour as i64 * 3600
-                + minute as i64 * 60
-                + second as i64,
+            self.to_epoch_days() * 86_400 + hour as i64 * 3600 + minute as i64 * 60 + second as i64,
         )
     }
 
@@ -244,7 +258,13 @@ impl DateTime {
     pub fn label(self) -> String {
         let d = self.date();
         let s = self.seconds_of_day();
-        format!("{} {:02}:{:02}:{:02}", d.label(), s / 3600, (s / 60) % 60, s % 60)
+        format!(
+            "{} {:02}:{:02}:{:02}",
+            d.label(),
+            s / 3600,
+            (s / 60) % 60,
+            s % 60
+        )
     }
 
     /// `"2022-12-08T18:00:00Z"` — the timestamp format Cowrie logs use
@@ -252,7 +272,13 @@ impl DateTime {
     pub fn iso8601(self) -> String {
         let d = self.date();
         let s = self.seconds_of_day();
-        format!("{}T{:02}:{:02}:{:02}Z", d.label(), s / 3600, (s / 60) % 60, s % 60)
+        format!(
+            "{}T{:02}:{:02}:{:02}Z",
+            d.label(),
+            s / 3600,
+            (s / 60) % 60,
+            s % 60
+        )
     }
 
     /// Parses `"2022-12-08T18:00:00Z"` (fractional seconds and numeric

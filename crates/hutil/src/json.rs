@@ -105,7 +105,10 @@ impl Json {
     /// Parses one JSON document (trailing whitespace allowed, trailing
     /// garbage rejected).
     pub fn parse(input: &str) -> Result<Json, JsonError> {
-        let mut p = Parser { bytes: input.as_bytes(), pos: 0 };
+        let mut p = Parser {
+            bytes: input.as_bytes(),
+            pos: 0,
+        };
         p.skip_ws();
         let v = p.value()?;
         p.skip_ws();
@@ -192,7 +195,10 @@ struct Parser<'a> {
 
 impl<'a> Parser<'a> {
     fn err(&self, msg: &str) -> JsonError {
-        JsonError { position: self.pos, message: msg.to_string() }
+        JsonError {
+            position: self.pos,
+            message: msg.to_string(),
+        }
     }
 
     fn skip_ws(&mut self) {
@@ -321,8 +327,7 @@ impl<'a> Parser<'a> {
                                     if !(0xDC00..0xE000).contains(&lo) {
                                         return Err(self.err("invalid low surrogate"));
                                     }
-                                    let cp =
-                                        0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                                    let cp = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
                                     char::from_u32(cp)
                                         .ok_or_else(|| self.err("invalid code point"))?
                                 } else {
@@ -344,8 +349,7 @@ impl<'a> Parser<'a> {
                 Some(_) => {
                     // Consume one UTF-8 code point.
                     let rest = &self.bytes[self.pos..];
-                    let s = std::str::from_utf8(rest)
-                        .map_err(|_| self.err("invalid UTF-8"))?;
+                    let s = std::str::from_utf8(rest).map_err(|_| self.err("invalid UTF-8"))?;
                     let c = s.chars().next().expect("non-empty");
                     out.push(c);
                     self.pos += c.len_utf8();
@@ -392,9 +396,10 @@ impl<'a> Parser<'a> {
         }
         let text = std::str::from_utf8(&self.bytes[start..self.pos])
             .map_err(|_| self.err("invalid number"))?;
-        text.parse::<f64>()
-            .map(Json::Num)
-            .map_err(|_| JsonError { position: start, message: "invalid number".into() })
+        text.parse::<f64>().map(Json::Num).map_err(|_| JsonError {
+            position: start,
+            message: "invalid number".into(),
+        })
     }
 }
 
@@ -439,7 +444,15 @@ mod tests {
     #[test]
     fn rejects_malformed_documents() {
         for bad in [
-            "", "{", "[1,", r#"{"a"}"#, "nul", "01x", r#""unterminated"#, "[1]]", "{} {}",
+            "",
+            "{",
+            "[1,",
+            r#"{"a"}"#,
+            "nul",
+            "01x",
+            r#""unterminated"#,
+            "[1]]",
+            "{} {}",
             "\"\u{01}\"",
         ] {
             assert!(Json::parse(bad).is_err(), "should reject {bad:?}");
@@ -462,13 +475,19 @@ mod tests {
     fn cowrie_like_line_roundtrips() {
         let line = r#"{"eventid":"cowrie.login.success","username":"root","password":"admin","timestamp":"2022-03-01T12:00:00Z","src_ip":"10.0.0.1","session":"a1b2c3d4"}"#;
         let v = Json::parse(line).unwrap();
-        assert_eq!(v.get("eventid").and_then(Json::as_str), Some("cowrie.login.success"));
+        assert_eq!(
+            v.get("eventid").and_then(Json::as_str),
+            Some("cowrie.login.success")
+        );
         assert_eq!(Json::parse(&v.render()).unwrap(), v);
     }
 
     #[test]
     fn whitespace_tolerant() {
         let v = Json::parse(" {\n\t\"a\" :\t[ 1 , 2 ]\r\n} ").unwrap();
-        assert_eq!(v.get("a").and_then(Json::as_array).map(<[Json]>::len), Some(2));
+        assert_eq!(
+            v.get("a").and_then(Json::as_array).map(<[Json]>::len),
+            Some(2)
+        );
     }
 }

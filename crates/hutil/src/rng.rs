@@ -45,7 +45,9 @@ impl SeedTree {
 
     /// A child namespace.
     pub fn child(&self, label: &str) -> SeedTree {
-        SeedTree { seed: derive_seed(self.seed, label) }
+        SeedTree {
+            seed: derive_seed(self.seed, label),
+        }
     }
 
     /// An RNG rooted at this node for the given label.
@@ -61,7 +63,10 @@ mod tests {
 
     #[test]
     fn derivation_is_deterministic() {
-        assert_eq!(derive_seed(42, "botnet/mirai"), derive_seed(42, "botnet/mirai"));
+        assert_eq!(
+            derive_seed(42, "botnet/mirai"),
+            derive_seed(42, "botnet/mirai")
+        );
     }
 
     #[test]
@@ -74,7 +79,10 @@ mod tests {
     fn label_concatenation_is_not_ambiguous() {
         // ("ab","c") vs ("a","bc") must differ through the tree.
         let t = SeedTree::new(7);
-        assert_ne!(t.child("ab").child("c").seed(), t.child("a").child("bc").seed());
+        assert_ne!(
+            t.child("ab").child("c").seed(),
+            t.child("a").child("bc").seed()
+        );
     }
 
     #[test]

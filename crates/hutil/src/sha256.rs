@@ -55,7 +55,12 @@ impl Default for Sha256 {
 impl Sha256 {
     /// Creates a hasher in its initial state.
     pub fn new() -> Self {
-        Self { state: H0, len: 0, buf: [0u8; 64], buf_len: 0 }
+        Self {
+            state: H0,
+            len: 0,
+            buf: [0u8; 64],
+            buf_len: 0,
+        }
     }
 
     /// Feeds `data` into the hasher.
@@ -260,6 +265,8 @@ mod tests {
     fn hex_is_lowercase_64_chars() {
         let hex = Sha256::hex_digest(b"honeylab");
         assert_eq!(hex.len(), 64);
-        assert!(hex.chars().all(|c| c.is_ascii_hexdigit() && !c.is_ascii_uppercase()));
+        assert!(hex
+            .chars()
+            .all(|c| c.is_ascii_hexdigit() && !c.is_ascii_uppercase()));
     }
 }

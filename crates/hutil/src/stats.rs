@@ -57,7 +57,10 @@ impl BoxplotSummary {
 /// Panics if `sorted` is empty or `q` is outside `[0, 1]`.
 pub fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
     assert!(!sorted.is_empty(), "quantile of empty slice");
-    assert!((0.0..=1.0).contains(&q), "quantile fraction out of range: {q}");
+    assert!(
+        (0.0..=1.0).contains(&q),
+        "quantile fraction out of range: {q}"
+    );
     if sorted.len() == 1 {
         return sorted[0];
     }

@@ -43,7 +43,12 @@ impl<E> Ord for Entry<E> {
 impl<E> Scheduler<E> {
     /// Creates a scheduler whose clock starts at `start`.
     pub fn new(start: DateTime) -> Self {
-        Self { heap: BinaryHeap::new(), seq: 0, now: start, fired: 0 }
+        Self {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            now: start,
+            fired: 0,
+        }
     }
 
     /// The current simulated instant (the time of the last fired event, or
@@ -73,7 +78,11 @@ impl<E> Scheduler<E> {
             at,
             self.now
         );
-        self.heap.push(Reverse(Entry { at, seq: self.seq, payload }));
+        self.heap.push(Reverse(Entry {
+            at,
+            seq: self.seq,
+            payload,
+        }));
         self.seq += 1;
     }
 
@@ -119,7 +128,9 @@ mod tests {
         s.schedule(t(30), "c");
         s.schedule(t(10), "a");
         s.schedule(t(20), "b");
-        let order: Vec<_> = std::iter::from_fn(|| s.next_event()).map(|(_, e)| e).collect();
+        let order: Vec<_> = std::iter::from_fn(|| s.next_event())
+            .map(|(_, e)| e)
+            .collect();
         assert_eq!(order, vec!["a", "b", "c"]);
     }
 
@@ -129,7 +140,9 @@ mod tests {
         for i in 0..100 {
             s.schedule(t(5), i);
         }
-        let order: Vec<_> = std::iter::from_fn(|| s.next_event()).map(|(_, e)| e).collect();
+        let order: Vec<_> = std::iter::from_fn(|| s.next_event())
+            .map(|(_, e)| e)
+            .collect();
         assert_eq!(order, (0..100).collect::<Vec<_>>());
     }
 

@@ -89,7 +89,10 @@ pub struct FailureInjector {
 impl FailureInjector {
     /// A new injector firing with probability `rate` per call.
     pub fn new(rate: f64, seed: u64) -> Self {
-        Self { rate, rng: StdRng::seed_from_u64(seed) }
+        Self {
+            rate,
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 
     /// The configured failure rate.

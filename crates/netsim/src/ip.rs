@@ -66,7 +66,10 @@ impl Prefix {
     pub fn new(base: Ipv4Addr, len: u8) -> Self {
         assert!(len <= 32, "prefix length out of range: {len}");
         let mask = if len == 0 { 0 } else { u32::MAX << (32 - len) };
-        Self { base: Ipv4Addr(base.0 & mask), len }
+        Self {
+            base: Ipv4Addr(base.0 & mask),
+            len,
+        }
     }
 
     /// Network address.
@@ -87,7 +90,11 @@ impl Prefix {
 
     /// Whether `addr` falls inside this prefix.
     pub fn contains(self, addr: Ipv4Addr) -> bool {
-        let mask = if self.len == 0 { 0 } else { u32::MAX << (32 - self.len) };
+        let mask = if self.len == 0 {
+            0
+        } else {
+            u32::MAX << (32 - self.len)
+        };
         addr.0 & mask == self.base.0
     }
 
@@ -143,7 +150,12 @@ impl Ipv4Pool {
             total += p.num_addrs();
             cumulative.push(total);
         }
-        Self { prefixes, cumulative, total, used: HashSet::new() }
+        Self {
+            prefixes,
+            cumulative,
+            total,
+            used: HashSet::new(),
+        }
     }
 
     /// Total addresses covered (ignoring overlap).
@@ -160,7 +172,11 @@ impl Ipv4Pool {
     pub fn nth(&self, i: u64) -> Ipv4Addr {
         assert!(i < self.total, "pool index out of range");
         let slot = self.cumulative.partition_point(|&c| c <= i);
-        let before = if slot == 0 { 0 } else { self.cumulative[slot - 1] };
+        let before = if slot == 0 {
+            0
+        } else {
+            self.cumulative[slot - 1]
+        };
         self.prefixes[slot].nth(i - before)
     }
 
@@ -207,7 +223,10 @@ mod tests {
 
     #[test]
     fn parse_accepts_valid_rejects_junk() {
-        assert_eq!(Ipv4Addr::parse("1.2.3.4"), Some(Ipv4Addr::from_octets(1, 2, 3, 4)));
+        assert_eq!(
+            Ipv4Addr::parse("1.2.3.4"),
+            Some(Ipv4Addr::from_octets(1, 2, 3, 4))
+        );
         assert_eq!(Ipv4Addr::parse("255.255.255.255"), Some(Ipv4Addr(u32::MAX)));
         assert!(Ipv4Addr::parse("1.2.3").is_none());
         assert!(Ipv4Addr::parse("1.2.3.4.5").is_none());
@@ -256,7 +275,9 @@ mod tests {
     #[test]
     fn slash24_of_address() {
         assert_eq!(
-            Ipv4Addr::from_octets(198, 51, 100, 77).slash24().to_string(),
+            Ipv4Addr::from_octets(198, 51, 100, 77)
+                .slash24()
+                .to_string(),
             "198.51.100.0/24"
         );
     }

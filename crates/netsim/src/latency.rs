@@ -62,8 +62,10 @@ impl LatencyModel {
     /// sequence is reproducible).
     pub fn rtt_ms(&self, a: Ipv4Addr, b: Ipv4Addr, round: u32) -> u32 {
         let base = self.path_class(a, b).base_ms() * 2;
-        let mut rng =
-            StdRng::seed_from_u64(derive_seed(self.seed, &format!("rtt/{}/{}/{}", a, b, round)));
+        let mut rng = StdRng::seed_from_u64(derive_seed(
+            self.seed,
+            &format!("rtt/{}/{}/{}", a, b, round),
+        ));
         // Multiplicative jitter in [1.0, 2.5), heavier tail via squaring.
         let u: f64 = rng.random();
         let jitter = 1.0 + 1.5 * u * u;
@@ -110,7 +112,10 @@ mod tests {
             let base = m.path_class(a, b).base_ms() * 2;
             let rtt = m.rtt_ms(a, b, 0);
             assert!(rtt >= base, "rtt below base");
-            assert!(rtt <= base * 3, "rtt {rtt} exceeds jitter ceiling for base {base}");
+            assert!(
+                rtt <= base * 3,
+                "rtt {rtt} exceeds jitter ceiling for base {base}"
+            );
         }
     }
 

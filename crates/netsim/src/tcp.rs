@@ -84,7 +84,12 @@ impl Connection {
     /// Panics unless the connection is still in `SynSent` — completing a
     /// handshake twice is a driver bug.
     pub fn establish(&mut self, now: DateTime) {
-        assert_eq!(self.state, TcpState::SynSent, "establish() on {:?}", self.state);
+        assert_eq!(
+            self.state,
+            TcpState::SynSent,
+            "establish() on {:?}",
+            self.state
+        );
         assert!(now >= self.opened_at);
         self.state = TcpState::Established;
         self.established_at = Some(now);
@@ -93,7 +98,12 @@ impl Connection {
 
     /// Abandons a handshake that never completed (SYN scan, filtered, …).
     pub fn abandon(&mut self, now: DateTime) {
-        assert_eq!(self.state, TcpState::SynSent, "abandon() on {:?}", self.state);
+        assert_eq!(
+            self.state,
+            TcpState::SynSent,
+            "abandon() on {:?}",
+            self.state
+        );
         self.state = TcpState::Closed;
         self.closed_at = Some(now);
         self.close_reason = Some(CloseReason::HandshakeFailed);
@@ -102,7 +112,12 @@ impl Connection {
     /// Records application-layer traffic at `now`, refreshing the idle
     /// timer. Only valid while established.
     pub fn transfer(&mut self, now: DateTime, to_server: u64, to_client: u64) {
-        assert_eq!(self.state, TcpState::Established, "transfer() on {:?}", self.state);
+        assert_eq!(
+            self.state,
+            TcpState::Established,
+            "transfer() on {:?}",
+            self.state
+        );
         assert!(now >= self.last_activity, "time went backwards");
         self.last_activity = now;
         self.bytes_client_to_server += to_server;
@@ -111,7 +126,12 @@ impl Connection {
 
     /// Client-initiated close at `now`.
     pub fn close(&mut self, now: DateTime) {
-        assert_eq!(self.state, TcpState::Established, "close() on {:?}", self.state);
+        assert_eq!(
+            self.state,
+            TcpState::Established,
+            "close() on {:?}",
+            self.state
+        );
         self.state = TcpState::Closed;
         self.closed_at = Some(now);
         self.close_reason = Some(CloseReason::ClientClose);

@@ -1,0 +1,344 @@
+//! `serve` — the honeypot's live TCP front-end.
+//!
+//! Everything else in this workspace drives the sans-IO `sshwire` /
+//! `telwire` state machines from a synthetic generator; this crate binds
+//! real sockets and drives the *same* state machines from real bytes, so a
+//! running `honeylab serve` is an actual medium-interaction honeypot whose
+//! output is immediately analyzable.
+//!
+//! # Architecture
+//!
+//! ```text
+//!   accept thread (ssh)  ──┐                 ┌── shard 0 ── poll loop over its conns
+//!   accept thread (telnet)─┼─ admission ─────┼── shard 1 ── …
+//!                          │  (global cap,   └── shard N-1
+//!                          │   per-IP limit)        │ completed sessions
+//!                          │                        ▼
+//!   stats thread           │                  honeypot::Collector ── sessiondb store
+//! ```
+//!
+//! * **Sharded accept loop** — one non-blocking accept thread per
+//!   listener; admitted connections are dealt round-robin to a fixed pool
+//!   of worker *shards*. Each shard owns its connections outright (no
+//!   cross-thread locking on the hot path) and polls them with
+//!   non-blocking reads/writes, so one slow client never stalls the rest.
+//! * **Admission control** — a connection is shed *at accept time* when
+//!   the global concurrent-connection cap or the per-IP limit is reached:
+//!   the socket is dropped before any protocol state is allocated, which
+//!   is the only backpressure that actually protects the process from an
+//!   accept storm.
+//! * **Timeouts** — every connection carries an idle deadline (no bytes in
+//!   either direction) and a total-session deadline; expiry closes the
+//!   connection and records the session with
+//!   [`honeypot::SessionEndReason::Timeout`], exactly like Cowrie's
+//!   3-minute timer.
+//! * **Durable spill** — completed sessions convert to
+//!   [`honeypot::SessionRecord`]s and stream through the hardened
+//!   [`honeypot::Collector`] (retry/backoff/quarantine) into a live
+//!   [`sessiondb`] store, so a server that has been up for a year has a
+//!   store on disk that `honeylab analyze` reads directly.
+//! * **Graceful shutdown** — trigger → accept loops stop and listeners
+//!   close → shards drain in-flight sessions (bounded by a drain timeout)
+//!   → collector retries flush → the final partial segment is sealed.
+
+pub mod conn;
+pub mod server;
+pub mod signal;
+
+pub use conn::{LiveHandler, SharedStore};
+pub use server::{ServeReport, Server, ServerHandle};
+
+use honeypot::CollectorConfig;
+use std::net::{IpAddr, Ipv4Addr as StdIpv4Addr};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::Duration;
+
+/// Everything that can go wrong starting or stopping a server.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Neither an SSH nor a Telnet port was configured.
+    NoListeners,
+    /// Binding a listener failed.
+    Bind {
+        /// Address we tried to bind.
+        addr: String,
+        /// The OS error.
+        source: std::io::Error,
+    },
+    /// Creating or sealing the sessiondb spill store failed.
+    Store {
+        /// Backend error message.
+        message: String,
+    },
+    /// Draining the collector failed.
+    Collector {
+        /// Collector error message.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::NoListeners => write!(f, "no ports configured: nothing to serve"),
+            ServeError::Bind { addr, source } => write!(f, "cannot bind {addr}: {source}"),
+            ServeError::Store { message } => write!(f, "session store failed: {message}"),
+            ServeError::Collector { message } => write!(f, "collector failed: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// Tuning knobs for a live server. The defaults are sized for the
+/// loopback smoke tests; a production deployment raises the cap and the
+/// worker count.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Address to bind listeners on.
+    pub bind: IpAddr,
+    /// SSH listener port (`Some(0)` picks an ephemeral port), `None`
+    /// disables the SSH listener.
+    pub ssh_port: Option<u16>,
+    /// Telnet listener port, same conventions.
+    pub telnet_port: Option<u16>,
+    /// Spill store directory; `None` keeps completed sessions in memory
+    /// (they are returned by [`ServerHandle::join`] only as counters).
+    pub store_dir: Option<PathBuf>,
+    /// Number of worker shards.
+    pub workers: usize,
+    /// Global concurrent-connection cap; connections beyond it are shed
+    /// at accept time.
+    pub max_connections: usize,
+    /// Concurrent-connection limit per client IP.
+    pub per_ip_limit: usize,
+    /// Close a connection after this long with no bytes in either
+    /// direction (Cowrie's idle timer).
+    pub idle_timeout: Duration,
+    /// Hard ceiling on total session duration.
+    pub session_timeout: Duration,
+    /// How long shards keep pumping in-flight sessions after shutdown is
+    /// triggered before force-closing them.
+    pub drain_timeout: Duration,
+    /// Interval between stats log lines; `None` disables the stats thread.
+    pub stats_interval: Option<Duration>,
+    /// Sensor id stamped into every record.
+    pub honeypot_id: u16,
+    /// Sensor address stamped into every record.
+    pub honeypot_ip: netsim::Ipv4Addr,
+    /// Fault-injection / retry config for the collector.
+    pub collector: CollectorConfig,
+    /// Rows per sealed store segment.
+    pub rows_per_segment: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            bind: IpAddr::V4(StdIpv4Addr::LOCALHOST),
+            ssh_port: Some(0),
+            telnet_port: None,
+            store_dir: None,
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4),
+            max_connections: 1024,
+            per_ip_limit: 1024,
+            idle_timeout: Duration::from_secs(180),
+            session_timeout: Duration::from_secs(600),
+            drain_timeout: Duration::from_secs(10),
+            stats_interval: Some(Duration::from_secs(10)),
+            honeypot_id: 0,
+            honeypot_ip: netsim::Ipv4Addr::from_octets(100, 64, 0, 1),
+            collector: CollectorConfig::default(),
+            rows_per_segment: sessiondb::DEFAULT_ROWS_PER_SEGMENT,
+        }
+    }
+}
+
+/// Live counters, updated lock-free by every thread in the server.
+#[derive(Debug, Default)]
+pub struct ServeStats {
+    /// Connections accepted by the OS (before admission control).
+    pub accepted: AtomicU64,
+    /// Connections shed because the global cap was reached.
+    pub shed_capacity: AtomicU64,
+    /// Connections shed because the source IP hit its limit.
+    pub shed_per_ip: AtomicU64,
+    /// Connections currently being served (gauge).
+    pub active: AtomicUsize,
+    /// Sessions completed and handed to the collector.
+    pub completed: AtomicU64,
+    /// Sessions ended by idle/total timeout (subset of `completed`).
+    pub timed_out: AtomicU64,
+    /// Connections that died on a protocol error (still recorded).
+    pub wire_errors: AtomicU64,
+    /// Bytes read from clients.
+    pub bytes_in: AtomicU64,
+    /// Bytes written to clients.
+    pub bytes_out: AtomicU64,
+}
+
+/// A point-in-time copy of [`ServeStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Connections accepted by the OS.
+    pub accepted: u64,
+    /// Shed on the global cap.
+    pub shed_capacity: u64,
+    /// Shed on the per-IP limit.
+    pub shed_per_ip: u64,
+    /// Currently active connections.
+    pub active: usize,
+    /// Sessions completed.
+    pub completed: u64,
+    /// Sessions ended by timeout.
+    pub timed_out: u64,
+    /// Protocol-error connections.
+    pub wire_errors: u64,
+    /// Bytes in.
+    pub bytes_in: u64,
+    /// Bytes out.
+    pub bytes_out: u64,
+}
+
+impl ServeStats {
+    /// Copies every counter.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            accepted: self.accepted.load(Ordering::Relaxed),
+            shed_capacity: self.shed_capacity.load(Ordering::Relaxed),
+            shed_per_ip: self.shed_per_ip.load(Ordering::Relaxed),
+            active: self.active.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            timed_out: self.timed_out.load(Ordering::Relaxed),
+            wire_errors: self.wire_errors.load(Ordering::Relaxed),
+            bytes_in: self.bytes_in.load(Ordering::Relaxed),
+            bytes_out: self.bytes_out.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl StatsSnapshot {
+    /// One-line rendering for the periodic stats log.
+    pub fn render(&self) -> String {
+        format!(
+            "accepted={} active={} completed={} timed_out={} shed={}+{} wire_errors={} in={}B out={}B",
+            self.accepted,
+            self.active,
+            self.completed,
+            self.timed_out,
+            self.shed_capacity,
+            self.shed_per_ip,
+            self.wire_errors,
+            self.bytes_in,
+            self.bytes_out,
+        )
+    }
+}
+
+/// Admission decision for one accepted socket.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// Connection admitted; a slot and a per-IP token are held.
+    Admitted,
+    /// Global cap reached.
+    OverCapacity,
+    /// This IP already holds `per_ip_limit` connections.
+    OverPerIpLimit,
+}
+
+/// Concurrent-connection accounting shared by accept threads and shards.
+#[derive(Debug)]
+pub struct Gate {
+    max_connections: usize,
+    per_ip_limit: usize,
+    active: AtomicUsize,
+    per_ip: parking_lot::Mutex<std::collections::HashMap<u32, usize>>,
+}
+
+impl Gate {
+    /// A gate enforcing the given limits.
+    pub fn new(max_connections: usize, per_ip_limit: usize) -> Self {
+        Self {
+            max_connections,
+            per_ip_limit,
+            active: AtomicUsize::new(0),
+            per_ip: parking_lot::Mutex::new(std::collections::HashMap::new()),
+        }
+    }
+
+    /// Tries to admit a connection from `ip`; on success the caller must
+    /// eventually call [`Gate::release`].
+    pub fn try_admit(&self, ip: netsim::Ipv4Addr) -> Admission {
+        let mut per_ip = self.per_ip.lock();
+        if self.active.load(Ordering::Relaxed) >= self.max_connections {
+            return Admission::OverCapacity;
+        }
+        let slot = per_ip.entry(ip.0).or_insert(0);
+        if *slot >= self.per_ip_limit {
+            return Admission::OverPerIpLimit;
+        }
+        *slot += 1;
+        self.active.fetch_add(1, Ordering::Relaxed);
+        Admission::Admitted
+    }
+
+    /// Returns the slot taken by [`Gate::try_admit`].
+    pub fn release(&self, ip: netsim::Ipv4Addr) {
+        let mut per_ip = self.per_ip.lock();
+        if let Some(slot) = per_ip.get_mut(&ip.0) {
+            *slot = slot.saturating_sub(1);
+            if *slot == 0 {
+                per_ip.remove(&ip.0);
+            }
+        }
+        self.active.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Connections currently admitted.
+    pub fn active(&self) -> usize {
+        self.active.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gate_enforces_global_cap() {
+        let g = Gate::new(2, 10);
+        let ip = netsim::Ipv4Addr(1);
+        assert_eq!(g.try_admit(ip), Admission::Admitted);
+        assert_eq!(g.try_admit(ip), Admission::Admitted);
+        assert_eq!(g.try_admit(ip), Admission::OverCapacity);
+        g.release(ip);
+        assert_eq!(g.try_admit(ip), Admission::Admitted);
+    }
+
+    #[test]
+    fn gate_enforces_per_ip_limit() {
+        let g = Gate::new(10, 1);
+        let a = netsim::Ipv4Addr(1);
+        let b = netsim::Ipv4Addr(2);
+        assert_eq!(g.try_admit(a), Admission::Admitted);
+        assert_eq!(g.try_admit(a), Admission::OverPerIpLimit);
+        assert_eq!(g.try_admit(b), Admission::Admitted);
+        g.release(a);
+        assert_eq!(g.try_admit(a), Admission::Admitted);
+        assert_eq!(g.active(), 2);
+    }
+
+    #[test]
+    fn stats_snapshot_renders_counters() {
+        let s = ServeStats::default();
+        s.accepted.store(7, Ordering::Relaxed);
+        s.completed.store(5, Ordering::Relaxed);
+        let snap = s.snapshot();
+        assert_eq!(snap.accepted, 7);
+        assert!(snap.render().contains("accepted=7"));
+        assert!(snap.render().contains("completed=5"));
+    }
+}

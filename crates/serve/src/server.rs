@@ -1,0 +1,462 @@
+//! Server orchestration: listeners, sharded accept loops, worker pool,
+//! stats thread, graceful drain.
+
+use crate::conn::{now_unix, Conn, LiveHandler, SensorIdentity, SharedStore};
+use crate::{Admission, Gate, ServeConfig, ServeError, ServeStats, StatsSnapshot};
+use honeypot::shell::NullStore;
+use honeypot::{AuthPolicy, Collector, CollectorError, IngestStats};
+use sessiondb::StoreWriter;
+use std::net::{IpAddr, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, Sender, TryRecvError};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Which protocol a listener serves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Proto {
+    Ssh,
+    Telnet,
+}
+
+/// An admitted connection in flight from an accept thread to its shard.
+struct Admitted {
+    stream: TcpStream,
+    client_ip: netsim::Ipv4Addr,
+    client_port: u16,
+    proto: Proto,
+    start_unix: i64,
+    seq: u64,
+}
+
+/// The live serving layer. See the crate docs for the architecture.
+pub struct Server;
+
+impl Server {
+    /// Binds listeners, spawns the accept/worker/stats threads, and
+    /// returns a handle. Downloads resolve against [`NullStore`] (every
+    /// fetch 404s), which is what a production honeypot wants.
+    pub fn start(cfg: ServeConfig) -> Result<ServerHandle, ServeError> {
+        Self::start_with_store(cfg, Arc::new(NullStore))
+    }
+
+    /// Like [`Server::start`] with an explicit download store (tests use
+    /// this to serve known payloads).
+    pub fn start_with_store(
+        cfg: ServeConfig,
+        remote: SharedStore,
+    ) -> Result<ServerHandle, ServeError> {
+        if cfg.ssh_port.is_none() && cfg.telnet_port.is_none() {
+            return Err(ServeError::NoListeners);
+        }
+
+        let collector = Arc::new(match &cfg.store_dir {
+            Some(dir) => {
+                let writer = StoreWriter::with_rows_per_segment(dir, cfg.rows_per_segment)
+                    .map_err(|e| ServeError::Store {
+                        message: e.to_string(),
+                    })?;
+                Collector::with_sink(cfg.collector.clone(), Box::new(writer))
+            }
+            None => Collector::with_config(cfg.collector.clone()),
+        });
+
+        let mut listeners = Vec::new();
+        for (port, proto) in [(cfg.ssh_port, Proto::Ssh), (cfg.telnet_port, Proto::Telnet)] {
+            let Some(port) = port else { continue };
+            let addr = SocketAddr::new(cfg.bind, port);
+            let listener = TcpListener::bind(addr).map_err(|e| ServeError::Bind {
+                addr: addr.to_string(),
+                source: e,
+            })?;
+            listener
+                .set_nonblocking(true)
+                .map_err(|e| ServeError::Bind {
+                    addr: addr.to_string(),
+                    source: e,
+                })?;
+            listeners.push((listener, proto));
+        }
+
+        let stats = Arc::new(ServeStats::default());
+        let gate = Arc::new(Gate::new(cfg.max_connections, cfg.per_ip_limit));
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let seq = Arc::new(AtomicU64::new(0));
+        let workers = cfg.workers.max(1);
+
+        let mut senders: Vec<Sender<Admitted>> = Vec::with_capacity(workers);
+        let mut receivers: Vec<Receiver<Admitted>> = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let (tx, rx) = std::sync::mpsc::channel();
+            senders.push(tx);
+            receivers.push(rx);
+        }
+
+        let mut addrs = ListenAddrs::default();
+        let mut accept_threads = Vec::new();
+        for (listener, proto) in listeners {
+            let local = listener.local_addr().map_err(|e| ServeError::Bind {
+                addr: "<bound>".into(),
+                source: e,
+            })?;
+            match proto {
+                Proto::Ssh => addrs.ssh = Some(local),
+                Proto::Telnet => addrs.telnet = Some(local),
+            }
+            let senders = senders.clone();
+            let stats = Arc::clone(&stats);
+            let gate = Arc::clone(&gate);
+            let shutdown = Arc::clone(&shutdown);
+            let seq = Arc::clone(&seq);
+            accept_threads.push(
+                std::thread::Builder::new()
+                    .name(format!("accept-{proto:?}").to_lowercase())
+                    .spawn(move || {
+                        accept_loop(listener, proto, &senders, &stats, &gate, &shutdown, &seq)
+                    })
+                    .expect("spawn accept thread"),
+            );
+        }
+        drop(senders); // workers exit once accept threads hang up
+
+        let sensor = SensorIdentity {
+            honeypot_id: cfg.honeypot_id,
+            honeypot_ip: cfg.honeypot_ip,
+        };
+        let mut worker_threads = Vec::new();
+        for (i, rx) in receivers.into_iter().enumerate() {
+            let collector = Arc::clone(&collector);
+            let stats = Arc::clone(&stats);
+            let gate = Arc::clone(&gate);
+            let shutdown = Arc::clone(&shutdown);
+            let remote = Arc::clone(&remote);
+            let idle = cfg.idle_timeout;
+            let session = cfg.session_timeout;
+            let drain = cfg.drain_timeout;
+            worker_threads.push(
+                std::thread::Builder::new()
+                    .name(format!("shard-{i}"))
+                    .spawn(move || {
+                        shard_loop(
+                            rx, &remote, &collector, &stats, &gate, &shutdown, sensor, idle,
+                            session, drain,
+                        )
+                    })
+                    .expect("spawn shard"),
+            );
+        }
+
+        let stats_thread = cfg.stats_interval.map(|interval| {
+            let stats = Arc::clone(&stats);
+            let shutdown = Arc::clone(&shutdown);
+            std::thread::Builder::new()
+                .name("serve-stats".into())
+                .spawn(move || stats_loop(&stats, &shutdown, interval))
+                .expect("spawn stats thread")
+        });
+
+        Ok(ServerHandle {
+            addrs,
+            stats,
+            gate,
+            shutdown,
+            collector: Some(collector),
+            accept_threads,
+            worker_threads,
+            stats_thread,
+        })
+    }
+}
+
+/// Bound listener addresses (with ephemeral ports resolved).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ListenAddrs {
+    /// SSH listener, if enabled.
+    pub ssh: Option<SocketAddr>,
+    /// Telnet listener, if enabled.
+    pub telnet: Option<SocketAddr>,
+}
+
+/// Final accounting returned by [`ServerHandle::join`].
+#[derive(Debug, Clone)]
+pub struct ServeReport {
+    /// Serving counters at the end of the run.
+    pub snapshot: StatsSnapshot,
+    /// Collector fate counters (accepted/retried/dropped/quarantined).
+    pub ingest: IngestStats,
+    /// Records that failed validation, with no store to hold them.
+    pub quarantined: usize,
+}
+
+/// A running server: addresses, live stats, and the shutdown lever.
+pub struct ServerHandle {
+    addrs: ListenAddrs,
+    stats: Arc<ServeStats>,
+    gate: Arc<Gate>,
+    shutdown: Arc<AtomicBool>,
+    collector: Option<Arc<Collector>>,
+    accept_threads: Vec<JoinHandle<()>>,
+    worker_threads: Vec<JoinHandle<()>>,
+    stats_thread: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// Bound listener addresses.
+    pub fn addrs(&self) -> ListenAddrs {
+        self.addrs
+    }
+
+    /// Point-in-time serving counters.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// Connections currently admitted.
+    pub fn active(&self) -> usize {
+        self.gate.active()
+    }
+
+    /// Starts graceful shutdown: accept loops stop, shards drain.
+    pub fn trigger_shutdown(&self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether shutdown has been triggered.
+    pub fn shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::Relaxed)
+    }
+
+    /// Triggers shutdown (idempotent), waits for every thread, seals the
+    /// store, and returns the final accounting.
+    pub fn join(mut self) -> Result<ServeReport, ServeError> {
+        self.trigger_shutdown();
+        for t in self.accept_threads.drain(..) {
+            let _ = t.join();
+        }
+        for t in self.worker_threads.drain(..) {
+            let _ = t.join();
+        }
+        if let Some(t) = self.stats_thread.take() {
+            let _ = t.join();
+        }
+        let collector = self.collector.take().expect("join called once");
+        let collector = Collector::try_from_arc(collector).map_err(|e| ServeError::Collector {
+            message: e.to_string(),
+        })?;
+        let (ingest, quarantine) = collector
+            .into_sink_parts()
+            .map_err(|e| map_collector_error(&e))?;
+        Ok(ServeReport {
+            snapshot: self.stats.snapshot(),
+            ingest,
+            quarantined: quarantine.len(),
+        })
+    }
+}
+
+fn map_collector_error(e: &CollectorError) -> ServeError {
+    match e {
+        CollectorError::Sink { message } => ServeError::Store {
+            message: message.clone(),
+        },
+        other => ServeError::Collector {
+            message: other.to_string(),
+        },
+    }
+}
+
+/// Accepts until shutdown, shedding over-limit connections at the door.
+fn accept_loop(
+    listener: TcpListener,
+    proto: Proto,
+    senders: &[Sender<Admitted>],
+    stats: &ServeStats,
+    gate: &Gate,
+    shutdown: &AtomicBool,
+    seq: &AtomicU64,
+) {
+    while !shutdown.load(Ordering::Relaxed) {
+        let mut accepted_any = false;
+        // Drain the backlog before sleeping: under an accept storm the
+        // backlog (typically 128) fills in milliseconds.
+        loop {
+            match listener.accept() {
+                Ok((stream, peer)) => {
+                    accepted_any = true;
+                    stats.accepted.fetch_add(1, Ordering::Relaxed);
+                    let client_ip = match peer.ip() {
+                        IpAddr::V4(v4) => {
+                            let o = v4.octets();
+                            netsim::Ipv4Addr::from_octets(o[0], o[1], o[2], o[3])
+                        }
+                        // The record schema is IPv4-only; fold v6 peers
+                        // (loopback ::1 in practice) into a reserved v4.
+                        IpAddr::V6(_) => netsim::Ipv4Addr::from_octets(0, 0, 0, 1),
+                    };
+                    match gate.try_admit(client_ip) {
+                        Admission::OverCapacity => {
+                            stats.shed_capacity.fetch_add(1, Ordering::Relaxed);
+                            drop(stream); // shed: close before any protocol state exists
+                            continue;
+                        }
+                        Admission::OverPerIpLimit => {
+                            stats.shed_per_ip.fetch_add(1, Ordering::Relaxed);
+                            drop(stream);
+                            continue;
+                        }
+                        Admission::Admitted => {}
+                    }
+                    if stream.set_nonblocking(true).is_err() {
+                        gate.release(client_ip);
+                        continue;
+                    }
+                    let _ = stream.set_nodelay(true);
+                    let n = seq.fetch_add(1, Ordering::Relaxed);
+                    let admitted = Admitted {
+                        stream,
+                        client_ip,
+                        client_port: peer.port(),
+                        proto,
+                        start_unix: now_unix(),
+                        seq: n,
+                    };
+                    let shard = (n as usize) % senders.len();
+                    if senders[shard].send(admitted).is_err() {
+                        gate.release(client_ip); // shard is gone: shutting down
+                        return;
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => break, // transient accept error; retry next tick
+            }
+        }
+        if !accepted_any {
+            std::thread::sleep(Duration::from_micros(500));
+        }
+    }
+    // Dropping the listener closes the socket: new connects are refused
+    // immediately rather than parked in the backlog during the drain.
+}
+
+/// One worker shard: owns its connections, polls them without blocking.
+#[allow(clippy::too_many_arguments)]
+fn shard_loop(
+    rx: Receiver<Admitted>,
+    remote: &SharedStore,
+    collector: &Collector,
+    stats: &ServeStats,
+    gate: &Gate,
+    shutdown: &AtomicBool,
+    sensor: SensorIdentity,
+    idle_timeout: Duration,
+    session_timeout: Duration,
+    drain_timeout: Duration,
+) {
+    let remote_ref: &dyn honeypot::shell::RemoteStore = &**remote;
+    let mut conns: Vec<Conn<'_>> = Vec::new();
+    let mut intake_open = true;
+    let mut drain_started: Option<Instant> = None;
+
+    loop {
+        // Intake: move admitted sockets into the shard.
+        while intake_open {
+            match rx.try_recv() {
+                Ok(a) => {
+                    stats.active.fetch_add(1, Ordering::Relaxed);
+                    let handler = LiveHandler::new(AuthPolicy::default(), remote_ref);
+                    let conn = match a.proto {
+                        Proto::Ssh => Conn::ssh(
+                            a.stream,
+                            a.client_ip,
+                            a.client_port,
+                            handler,
+                            a.start_unix,
+                            a.seq,
+                        ),
+                        Proto::Telnet => Conn::telnet(
+                            a.stream,
+                            a.client_ip,
+                            a.client_port,
+                            handler,
+                            a.start_unix,
+                        ),
+                    };
+                    conns.push(conn);
+                }
+                Err(TryRecvError::Empty) => break,
+                Err(TryRecvError::Disconnected) => {
+                    intake_open = false;
+                }
+            }
+        }
+
+        // Drain policy: once shutdown is triggered, keep pumping in-flight
+        // sessions for at most `drain_timeout`, then force-close the rest.
+        let draining = shutdown.load(Ordering::Relaxed);
+        if draining && drain_started.is_none() {
+            drain_started = Some(Instant::now());
+        }
+        let force_close = matches!(drain_started, Some(t0) if t0.elapsed() >= drain_timeout);
+
+        let now = Instant::now();
+        let mut i = 0;
+        while i < conns.len() {
+            if force_close {
+                conns[i].abort();
+            }
+            let finished = force_close || conns[i].pump(now, idle_timeout, session_timeout, stats);
+            if finished {
+                let conn = conns.swap_remove(i);
+                let ip = release_and_record(conn, sensor, collector, stats, gate);
+                let _ = ip;
+            } else {
+                i += 1;
+            }
+        }
+
+        if conns.is_empty() {
+            // Exit once the accept side has hung up (it drops its senders
+            // when it observes shutdown, disconnecting the channel) —
+            // late-admitted sockets arrive through the intake loop above
+            // first, so no gate slot is ever stranded.
+            if !intake_open {
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        } else {
+            // Tiny yield between poll rounds; the pump loop itself runs
+            // until it stops making progress.
+            std::thread::sleep(Duration::from_micros(200));
+        }
+    }
+}
+
+/// Finalizes one connection: record, ingest, release admission.
+fn release_and_record(
+    conn: Conn<'_>,
+    sensor: SensorIdentity,
+    collector: &Collector,
+    stats: &ServeStats,
+    gate: &Gate,
+) -> netsim::Ipv4Addr {
+    let ip = conn.client_ip();
+    let record = conn.finish(sensor, stats);
+    collector.ingest(record);
+    gate.release(ip);
+    stats.active.fetch_sub(1, Ordering::Relaxed);
+    ip
+}
+
+/// Periodic stats logger; exits when shutdown is triggered.
+fn stats_loop(stats: &ServeStats, shutdown: &AtomicBool, interval: Duration) {
+    let mut last = Instant::now();
+    while !shutdown.load(Ordering::Relaxed) {
+        std::thread::sleep(Duration::from_millis(50));
+        if last.elapsed() >= interval {
+            last = Instant::now();
+            eprintln!("[serve] {}", stats.snapshot().render());
+        }
+    }
+}

@@ -1,0 +1,290 @@
+//! Live-socket integration tests: real TCP clients against a running
+//! [`serve::Server`], with the resulting store read back through
+//! `sessiondb`.
+
+use serve::{ServeConfig, Server};
+use sshwire::{ClientScript, SshClient};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+use telwire::{TelnetClient, TelnetScript};
+
+fn temp_store(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("serve-live-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn read_step(stream: &mut TcpStream, buf: &mut [u8]) -> Option<usize> {
+    match stream.read(buf) {
+        Ok(0) => Some(0),
+        Ok(n) => Some(n),
+        Err(e)
+            if e.kind() == std::io::ErrorKind::WouldBlock
+                || e.kind() == std::io::ErrorKind::TimedOut =>
+        {
+            None
+        }
+        Err(e) => panic!("client read failed: {e}"),
+    }
+}
+
+/// Plays one scripted SSH session over a real socket.
+fn drive_ssh(addr: SocketAddr, script: ClientScript) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_millis(20)))
+        .unwrap();
+    stream.set_nodelay(true).ok();
+    let mut client = SshClient::new(script, b"live-test-nonce".to_vec());
+    let mut buf = [0u8; 8192];
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while !client.is_closed() {
+        assert!(Instant::now() < deadline, "client dialogue stalled");
+        let out = client.take_output();
+        if !out.is_empty() {
+            stream.write_all(&out).expect("client write");
+        }
+        if let Some(n) = read_step(&mut stream, &mut buf) {
+            if n == 0 {
+                break;
+            }
+            client.input(&buf[..n]).expect("client protocol");
+        }
+    }
+    let out = client.take_output();
+    if !out.is_empty() {
+        let _ = stream.write_all(&out);
+    }
+}
+
+/// Plays one scripted Telnet session over a real socket.
+fn drive_telnet(addr: SocketAddr, script: TelnetScript) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_millis(20)))
+        .unwrap();
+    let mut client = TelnetClient::new(script);
+    let mut buf = [0u8; 8192];
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while !client.is_done() {
+        assert!(Instant::now() < deadline, "telnet dialogue stalled");
+        let out = client.take_output();
+        if !out.is_empty() {
+            stream.write_all(&out).expect("client write");
+        }
+        if let Some(n) = read_step(&mut stream, &mut buf) {
+            if n == 0 {
+                break;
+            }
+            client.input(&buf[..n]).expect("client protocol");
+        }
+    }
+}
+
+#[test]
+fn ssh_sessions_round_trip_to_store() {
+    let dir = temp_store("ssh-round-trip");
+    let cfg = ServeConfig {
+        store_dir: Some(dir.clone()),
+        workers: 4,
+        stats_interval: None,
+        rows_per_segment: 4, // several segments from 10 sessions
+        ..ServeConfig::default()
+    };
+    let handle = Server::start(cfg).expect("start");
+    let addr = handle.addrs().ssh.expect("ssh addr");
+
+    let n = 10;
+    std::thread::scope(|scope| {
+        for i in 0..n {
+            scope.spawn(move || {
+                let script = ClientScript::new(
+                    "root",
+                    &["root", "admin"],
+                    &[&format!("echo probe-{i}"), "uname -a"],
+                );
+                drive_ssh(addr, script);
+            });
+        }
+    });
+
+    // Sessions complete asynchronously after the client hangs up.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while handle.stats().completed < n && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let report = handle.join().expect("join");
+    assert_eq!(report.snapshot.completed, n, "all sessions recorded");
+    assert_eq!(report.snapshot.shed_capacity, 0);
+    assert_eq!(report.snapshot.shed_per_ip, 0);
+    assert_eq!(report.ingest.accepted, n);
+    assert_eq!(report.quarantined, 0);
+    assert!(report.snapshot.bytes_in > 500 * n, "real bytes moved");
+
+    // CRC-checked read-back through the columnar store.
+    let store = sessiondb::Store::open(&dir).expect("open store");
+    let recs: Vec<_> = store
+        .scan()
+        .records()
+        .collect::<Result<_, _>>()
+        .expect("intact CRCs");
+    assert_eq!(recs.len(), n as usize);
+    for rec in &recs {
+        assert_eq!(rec.protocol, honeypot::Protocol::Ssh);
+        assert!(rec.login_succeeded(), "root/admin is accepted");
+        assert_eq!(rec.logins.len(), 2);
+        assert_eq!(rec.commands.len(), 2);
+        assert!(rec
+            .client_version
+            .as_deref()
+            .unwrap_or("")
+            .starts_with("SSH-2.0"));
+        assert!(rec.end >= rec.start);
+    }
+    // Dense ids, one per session.
+    let mut ids: Vec<u64> = recs.iter().map(|r| r.session_id).collect();
+    ids.sort_unstable();
+    assert_eq!(ids, (0..n).collect::<Vec<_>>());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn telnet_sessions_are_served_too() {
+    let cfg = ServeConfig {
+        ssh_port: None,
+        telnet_port: Some(0),
+        workers: 2,
+        stats_interval: None,
+        ..ServeConfig::default()
+    };
+    let handle = Server::start(cfg).expect("start");
+    let addr = handle.addrs().telnet.expect("telnet addr");
+
+    let script = TelnetScript {
+        logins: vec![
+            ("root".into(), "root".into()), // rejected by policy
+            ("root".into(), "hunter2".into()),
+        ],
+        commands: vec!["cd /tmp".into(), "id".into()],
+    };
+    drive_telnet(addr, script);
+
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while handle.stats().completed < 1 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let report = handle.join().expect("join");
+    assert_eq!(report.snapshot.completed, 1);
+    assert_eq!(report.ingest.accepted, 1);
+}
+
+#[test]
+fn per_ip_limit_sheds_at_accept_time() {
+    let cfg = ServeConfig {
+        per_ip_limit: 1,
+        workers: 1,
+        stats_interval: None,
+        ..ServeConfig::default()
+    };
+    let handle = Server::start(cfg).expect("start");
+    let addr = handle.addrs().ssh.expect("ssh addr");
+
+    // First connection is admitted: the server banner proves a shard owns
+    // it.
+    let mut first = TcpStream::connect(addr).expect("connect");
+    first
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    let mut buf = [0u8; 256];
+    let n = first.read(&mut buf).expect("banner");
+    assert!(n > 0, "admitted connection gets the SSH banner");
+
+    // Second connection from the same IP is shed before any protocol
+    // state: the socket closes without a banner.
+    let mut second = TcpStream::connect(addr).expect("connect");
+    second
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    match second.read(&mut buf) {
+        Ok(0) => {}
+        Ok(_) => panic!("shed connection must not receive a banner"),
+        Err(e) => panic!("expected clean close, got {e}"),
+    }
+
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while handle.stats().shed_per_ip < 1 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert_eq!(handle.stats().shed_per_ip, 1);
+    drop(first);
+    let report = handle.join().expect("join");
+    assert_eq!(report.snapshot.shed_per_ip, 1);
+    assert_eq!(report.snapshot.shed_capacity, 0);
+}
+
+#[test]
+fn idle_connections_time_out_and_are_recorded() {
+    let cfg = ServeConfig {
+        idle_timeout: Duration::from_millis(150),
+        workers: 1,
+        stats_interval: None,
+        ..ServeConfig::default()
+    };
+    let handle = Server::start(cfg).expect("start");
+    let addr = handle.addrs().ssh.expect("ssh addr");
+
+    // Connect and go silent — a port scanner, in effect.
+    let stream = TcpStream::connect(addr).expect("connect");
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while handle.stats().completed < 1 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let report = handle.join().expect("join");
+    assert_eq!(report.snapshot.completed, 1);
+    assert_eq!(
+        report.snapshot.timed_out, 1,
+        "idle session ends via timeout"
+    );
+    drop(stream);
+}
+
+#[test]
+fn graceful_shutdown_drains_in_flight_sessions() {
+    let dir = temp_store("drain");
+    let cfg = ServeConfig {
+        store_dir: Some(dir.clone()),
+        workers: 2,
+        stats_interval: None,
+        ..ServeConfig::default()
+    };
+    let handle = Server::start(cfg).expect("start");
+    let addr = handle.addrs().ssh.expect("ssh addr");
+
+    // Start a client, get mid-handshake, then trigger shutdown while it
+    // is still in flight: the session must complete, not be cut off.
+    let t = std::thread::spawn(move || {
+        let script = ClientScript::new("root", &["admin"], &["uname -a"]);
+        drive_ssh(addr, script);
+    });
+    // Wait until the connection is admitted.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while handle.stats().accepted < 1 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    handle.trigger_shutdown();
+    t.join().expect("client finished");
+    let report = handle.join().expect("join");
+    assert_eq!(report.snapshot.completed, 1, "in-flight session drained");
+    assert_eq!(report.ingest.accepted, 1);
+
+    let store = sessiondb::Store::open(&dir).expect("open store");
+    let recs: Vec<_> = store
+        .scan()
+        .records()
+        .collect::<Result<_, _>>()
+        .expect("intact CRCs");
+    assert_eq!(recs.len(), 1);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -148,10 +148,16 @@ impl std::error::Error for SessionDbError {
 
 impl SessionDbError {
     pub(crate) fn io(path: &Path, source: std::io::Error) -> Self {
-        SessionDbError::Io { path: path.display().to_string(), source }
+        SessionDbError::Io {
+            path: path.display().to_string(),
+            source,
+        }
     }
 
     pub(crate) fn corrupt(path: &Path, detail: impl Into<String>) -> Self {
-        SessionDbError::Corrupt { path: path.display().to_string(), detail: detail.into() }
+        SessionDbError::Corrupt {
+            path: path.display().to_string(),
+            detail: detail.into(),
+        }
     }
 }

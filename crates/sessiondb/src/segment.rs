@@ -68,19 +68,27 @@ impl<'a> Cursor<'a> {
     }
 
     fn u16(&mut self) -> Result<u16, String> {
-        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("2 bytes")))
+        Ok(u16::from_le_bytes(
+            self.take(2)?.try_into().expect("2 bytes"),
+        ))
     }
 
     fn u32(&mut self) -> Result<u32, String> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
     }
 
     fn u64(&mut self) -> Result<u64, String> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
     }
 
     fn i64(&mut self) -> Result<i64, String> {
-        Ok(i64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+        Ok(i64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
     }
 
     fn done(&self) -> bool {
@@ -222,7 +230,8 @@ impl Columns {
             SessionEndReason::ClientClose => 0,
             SessionEndReason::Timeout => 1,
         });
-        self.client_version.push(dict.intern_opt(rec.client_version.as_deref()));
+        self.client_version
+            .push(dict.intern_opt(rec.client_version.as_deref()));
 
         self.login_len.push(rec.logins.len() as u32);
         for l in &rec.logins {
@@ -503,7 +512,9 @@ fn decode_rows(payload: &[u8], dict: &Dictionary) -> Result<Vec<SessionRecord>, 
                     OP_CREATED => FileOp::Created { sha256: hash()? },
                     OP_MODIFIED => FileOp::Modified { sha256: hash()? },
                     OP_DELETED => FileOp::Deleted,
-                    OP_EXEC_HASH => FileOp::ExecAttempt { sha256: Some(hash()?) },
+                    OP_EXEC_HASH => FileOp::ExecAttempt {
+                        sha256: Some(hash()?),
+                    },
                     OP_EXEC_MISSING => FileOp::ExecAttempt { sha256: None },
                     OP_DOWNLOAD_FAILED => FileOp::DownloadFailed,
                     t => return Err(format!("unknown file-op tag {t}")),
@@ -562,11 +573,13 @@ pub struct SegmentMeta {
 }
 
 impl SegmentMeta {
-    /// Whether the segment may contain sessions starting inside
-    /// `[min, max]` (inclusive). An unknown range is conservatively kept.
+    /// Whether the segment may contain sessions starting inside the
+    /// half-open window `[min, max)` — a segment whose earliest start is
+    /// exactly `max` holds nothing the window can match. An unknown range
+    /// is conservatively kept.
     pub fn overlaps(&self, min: DateTime, max: DateTime) -> bool {
         match (self.min_start, self.max_start) {
-            (Some(lo), Some(hi)) => lo <= max && hi >= min,
+            (Some(lo), Some(hi)) => lo < max && hi >= min,
             _ => self.rows > 0,
         }
     }
@@ -622,8 +635,10 @@ impl SegmentWriter {
         put_u16(&mut buf, VERSION);
         put_u16(&mut buf, 0); // flags
 
-        for (tag, payload) in [(BLOCK_DICT, self.dict.encode()), (BLOCK_ROWS, self.cols.encode())]
-        {
+        for (tag, payload) in [
+            (BLOCK_DICT, self.dict.encode()),
+            (BLOCK_ROWS, self.cols.encode()),
+        ] {
             buf.push(tag);
             put_u32(&mut buf, payload.len() as u32);
             let crc = crc32(&payload);
@@ -669,14 +684,22 @@ impl SegmentReader {
     pub fn open(path: impl Into<PathBuf>) -> Result<Self, SessionDbError> {
         let path = path.into();
         let mut f = std::fs::File::open(&path).map_err(|e| SessionDbError::io(&path, e))?;
-        let len = f.metadata().map_err(|e| SessionDbError::io(&path, e))?.len();
+        let len = f
+            .metadata()
+            .map_err(|e| SessionDbError::io(&path, e))?
+            .len();
         if len < HEADER_LEN {
-            return Err(SessionDbError::BadMagic { path: path.display().to_string() });
+            return Err(SessionDbError::BadMagic {
+                path: path.display().to_string(),
+            });
         }
         let mut header = [0u8; HEADER_LEN as usize];
-        f.read_exact(&mut header).map_err(|e| SessionDbError::io(&path, e))?;
+        f.read_exact(&mut header)
+            .map_err(|e| SessionDbError::io(&path, e))?;
         if header[0..4] != MAGIC {
-            return Err(SessionDbError::BadMagic { path: path.display().to_string() });
+            return Err(SessionDbError::BadMagic {
+                path: path.display().to_string(),
+            });
         }
         let version = u16::from_le_bytes([header[4], header[5]]);
         if version != VERSION {
@@ -686,11 +709,16 @@ impl SegmentReader {
             });
         }
         if len < HEADER_LEN + FOOTER_LEN {
-            return Err(SessionDbError::corrupt(&path, "file too short for a footer"));
+            return Err(SessionDbError::corrupt(
+                &path,
+                "file too short for a footer",
+            ));
         }
-        f.seek(SeekFrom::End(-(FOOTER_LEN as i64))).map_err(|e| SessionDbError::io(&path, e))?;
+        f.seek(SeekFrom::End(-(FOOTER_LEN as i64)))
+            .map_err(|e| SessionDbError::io(&path, e))?;
         let mut footer = [0u8; FOOTER_LEN as usize];
-        f.read_exact(&mut footer).map_err(|e| SessionDbError::io(&path, e))?;
+        f.read_exact(&mut footer)
+            .map_err(|e| SessionDbError::io(&path, e))?;
         if footer[28..32] != FOOTER_MAGIC {
             return Err(SessionDbError::corrupt(
                 &path,
@@ -758,7 +786,8 @@ impl SegmentReader {
             match tag {
                 BLOCK_DICT => {
                     dict = Some(
-                        Dictionary::decode(payload).map_err(|d| SessionDbError::corrupt(path, d))?,
+                        Dictionary::decode(payload)
+                            .map_err(|d| SessionDbError::corrupt(path, d))?,
                     );
                 }
                 BLOCK_ROWS => {
@@ -778,7 +807,11 @@ impl SegmentReader {
         if rows.len() as u64 != self.meta.rows {
             return Err(SessionDbError::corrupt(
                 path,
-                format!("footer says {} rows, blocks hold {}", self.meta.rows, rows.len()),
+                format!(
+                    "footer says {} rows, blocks hold {}",
+                    self.meta.rows,
+                    rows.len()
+                ),
             ));
         }
         Ok(rows)
@@ -797,9 +830,17 @@ mod tests {
             honeypot_ip: Ipv4Addr(0x0a00_0001 + i as u32),
             client_ip: Ipv4Addr(0xc0a8_0001 + i as u32),
             client_port: 1024 + (i % 60000) as u16,
-            protocol: if i.is_multiple_of(5) { Protocol::Telnet } else { Protocol::Ssh },
-            start: Date::new(2022, 3, 1).at_midnight().plus_secs(i as i64 * 3600),
-            end: Date::new(2022, 3, 1).at_midnight().plus_secs(i as i64 * 3600 + 40),
+            protocol: if i.is_multiple_of(5) {
+                Protocol::Telnet
+            } else {
+                Protocol::Ssh
+            },
+            start: Date::new(2022, 3, 1)
+                .at_midnight()
+                .plus_secs(i as i64 * 3600),
+            end: Date::new(2022, 3, 1)
+                .at_midnight()
+                .plus_secs(i as i64 * 3600 + 40),
             end_reason: if i.is_multiple_of(2) {
                 SessionEndReason::ClientClose
             } else {
@@ -812,19 +853,30 @@ mod tests {
                 success: i.is_multiple_of(2),
             }],
             commands: (0..(i % 4))
-                .map(|k| CommandRecord { input: format!("cmd {k}"), known: k.is_multiple_of(2) })
+                .map(|k| CommandRecord {
+                    input: format!("cmd {k}"),
+                    known: k.is_multiple_of(2),
+                })
                 .collect(),
-            uris: if i.is_multiple_of(6) { vec![format!("http://1.2.3.{}/x.sh", i % 250)] } else { vec![] },
+            uris: if i.is_multiple_of(6) {
+                vec![format!("http://1.2.3.{}/x.sh", i % 250)]
+            } else {
+                vec![]
+            },
             file_events: if i.is_multiple_of(6) {
                 vec![
                     FileEvent {
                         path: "/tmp/x.sh".into(),
-                        op: FileOp::Created { sha256: "ab".repeat(32) },
+                        op: FileOp::Created {
+                            sha256: "ab".repeat(32),
+                        },
                         source_uri: Some(format!("http://1.2.3.{}/x.sh", i % 250)),
                     },
                     FileEvent {
                         path: "/tmp/x.sh".into(),
-                        op: FileOp::ExecAttempt { sha256: Some("ab".repeat(32)) },
+                        op: FileOp::ExecAttempt {
+                            sha256: Some("ab".repeat(32)),
+                        },
                         source_uri: None,
                     },
                     FileEvent {
@@ -877,6 +929,10 @@ mod tests {
         assert_eq!(meta.max_start, Some(lo.plus_secs(9 * 3600)));
         assert!(meta.overlaps(lo.plus_secs(3600), lo.plus_secs(7200)));
         assert!(!meta.overlaps(lo.plus_secs(-7200), lo.plus_secs(-3600)));
+        // Half-open boundaries: a window ending exactly at min_start holds
+        // nothing from this segment, one starting exactly at max_start does.
+        assert!(!meta.overlaps(lo.plus_secs(-3600), lo));
+        assert!(meta.overlaps(lo.plus_secs(9 * 3600), lo.plus_secs(10 * 3600)));
     }
 
     #[test]

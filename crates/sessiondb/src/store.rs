@@ -121,7 +121,10 @@ impl StoreWriter {
             self.next_segment += 1;
             self.current = Some(SegmentWriter::create(path));
         }
-        let writer = self.current.as_mut().expect("segment writer just installed");
+        let writer = self
+            .current
+            .as_mut()
+            .expect("segment writer just installed");
         writer.push(rec);
         self.total_rows += 1;
         if writer.rows() as usize >= self.rows_per_segment {
@@ -192,17 +195,25 @@ impl Store {
     pub fn open(path: impl AsRef<Path>) -> Result<Self, SessionDbError> {
         let path = path.as_ref();
         if path.is_file() {
-            return Ok(Self { segments: vec![SegmentReader::open(path)?] });
+            return Ok(Self {
+                segments: vec![SegmentReader::open(path)?],
+            });
         }
         if !path.is_dir() {
-            return Err(SessionDbError::NotAStore { path: path.display().to_string() });
+            return Err(SessionDbError::NotAStore {
+                path: path.display().to_string(),
+            });
         }
         let paths = segment_paths(path)?;
         if paths.is_empty() && !path.join("MANIFEST").is_file() {
-            return Err(SessionDbError::NotAStore { path: path.display().to_string() });
+            return Err(SessionDbError::NotAStore {
+                path: path.display().to_string(),
+            });
         }
-        let segments =
-            paths.into_iter().map(SegmentReader::open).collect::<Result<Vec<_>, _>>()?;
+        let segments = paths
+            .into_iter()
+            .map(SegmentReader::open)
+            .collect::<Result<Vec<_>, _>>()?;
         Ok(Self { segments })
     }
 
@@ -213,7 +224,12 @@ impl Store {
 
     /// Header/footer-only summary.
     pub fn summary(&self) -> StoreSummary {
-        let mut s = StoreSummary { segments: self.segments.len(), rows: 0, min_start: None, max_start: None };
+        let mut s = StoreSummary {
+            segments: self.segments.len(),
+            rows: 0,
+            min_start: None,
+            max_start: None,
+        };
         for m in self.segments() {
             s.rows += m.rows;
             if let Some(lo) = m.min_start {
@@ -229,14 +245,25 @@ impl Store {
     /// Streams every segment in order. Memory is bounded by one decoded
     /// segment at a time.
     pub fn scan(&self) -> Scan<'_> {
-        Scan { segments: &self.segments, next: 0, window: None }
+        Scan {
+            segments: &self.segments,
+            next: 0,
+            window: None,
+        }
     }
 
-    /// Streams only segments whose zone map intersects `[min, max]`
-    /// (inclusive, on session *start* time). Records inside a surviving
-    /// segment are additionally filtered to the window.
+    /// Streams only segments whose zone map intersects the half-open
+    /// window `[min, max)` on session *start* time: a session starting
+    /// exactly at `min` is included, one starting exactly at `max` is
+    /// not, so adjacent windows tile without double-counting. Records
+    /// inside a surviving segment are additionally filtered to the
+    /// window.
     pub fn scan_window(&self, min: DateTime, max: DateTime) -> Scan<'_> {
-        Scan { segments: &self.segments, next: 0, window: Some((min, max)) }
+        Scan {
+            segments: &self.segments,
+            next: 0,
+            window: Some((min, max)),
+        }
     }
 
     /// Decodes segments on `workers` scoped threads, folding each batch
@@ -267,7 +294,9 @@ impl Store {
                         let mut acc = T::default();
                         loop {
                             let i = cursor.fetch_add(1, Ordering::Relaxed);
-                            let Some(reader) = self.segments.get(i) else { break };
+                            let Some(reader) = self.segments.get(i) else {
+                                break;
+                            };
                             if error.lock().expect("scan error lock").is_some() {
                                 break;
                             }
@@ -351,8 +380,10 @@ impl Iterator for Scan<'_> {
                 }
             };
             if let Some((lo, hi)) = self.window {
-                let filtered: Vec<SessionRecord> =
-                    batch.into_iter().filter(|r| r.start >= lo && r.start <= hi).collect();
+                let filtered: Vec<SessionRecord> = batch
+                    .into_iter()
+                    .filter(|r| r.start >= lo && r.start < hi)
+                    .collect();
                 if filtered.is_empty() {
                     continue;
                 }
@@ -378,8 +409,12 @@ mod tests {
             client_ip: Ipv4Addr(2 + i as u32),
             client_port: 40000,
             protocol: Protocol::Ssh,
-            start: Date::new(2021, 12, 1).at_midnight().plus_secs(i as i64 * 86_400),
-            end: Date::new(2021, 12, 1).at_midnight().plus_secs(i as i64 * 86_400 + 30),
+            start: Date::new(2021, 12, 1)
+                .at_midnight()
+                .plus_secs(i as i64 * 86_400),
+            end: Date::new(2021, 12, 1)
+                .at_midnight()
+                .plus_secs(i as i64 * 86_400 + 30),
             end_reason: SessionEndReason::ClientClose,
             client_version: None,
             logins: vec![LoginAttempt {
@@ -413,8 +448,11 @@ mod tests {
 
         let store = Store::open(&dir).unwrap();
         assert_eq!(store.summary().rows, 35);
-        let got: Vec<SessionRecord> =
-            store.scan().records().collect::<Result<Vec<_>, _>>().unwrap();
+        let got: Vec<SessionRecord> = store
+            .scan()
+            .records()
+            .collect::<Result<Vec<_>, _>>()
+            .unwrap();
         assert_eq!(got, recs);
     }
 
@@ -439,15 +477,82 @@ mod tests {
         }
         w.finish().unwrap();
         let store = Store::open(&dir).unwrap();
-        // Window covering days 12..=17 — only segment 1 (days 10-19)
-        // survives pruning.
+        // Half-open window [Dec 13, Dec 19) covers days 12..=17 — only
+        // segment 1 (days 10-19) survives pruning.
         let lo = Date::new(2021, 12, 13).at_midnight();
-        let hi = Date::new(2021, 12, 18).at_midnight();
-        let batches: Vec<_> =
-            store.scan_window(lo, hi).collect::<Result<Vec<_>, _>>().unwrap();
-        assert_eq!(batches.len(), 1, "exactly one segment intersects the window");
+        let hi = Date::new(2021, 12, 19).at_midnight();
+        let batches: Vec<_> = store
+            .scan_window(lo, hi)
+            .collect::<Result<Vec<_>, _>>()
+            .unwrap();
+        assert_eq!(
+            batches.len(),
+            1,
+            "exactly one segment intersects the window"
+        );
         let ids: Vec<u64> = batches[0].iter().map(|r| r.session_id).collect();
         assert_eq!(ids, vec![12, 13, 14, 15, 16, 17]);
+    }
+
+    #[test]
+    fn scan_window_is_half_open_at_record_level() {
+        let dir = tmpdir("half-open");
+        let mut w = StoreWriter::with_rows_per_segment(&dir, 10).unwrap();
+        for i in 0..10 {
+            StoreWriter::append(&mut w, &rec(i)).unwrap();
+        }
+        w.finish().unwrap();
+        let store = Store::open(&dir).unwrap();
+        // rec(i) starts on Dec 1 + i days at midnight exactly: a window
+        // [day 3, day 6) keeps the session starting at its lower edge
+        // and excludes the one starting at its upper edge.
+        let lo = Date::new(2021, 12, 4).at_midnight();
+        let hi = Date::new(2021, 12, 7).at_midnight();
+        let ids: Vec<u64> = store
+            .scan_window(lo, hi)
+            .records()
+            .map(|r| r.unwrap().session_id)
+            .collect();
+        assert_eq!(ids, vec![3, 4, 5], "start == min in, start == max out");
+
+        // Adjacent windows tile the store without overlap or gaps.
+        let day = |d: u8| Date::new(2021, 12, d).at_midnight();
+        let first: Vec<u64> = store
+            .scan_window(day(1), day(6))
+            .records()
+            .map(|r| r.unwrap().session_id)
+            .collect();
+        let second: Vec<u64> = store
+            .scan_window(day(6), day(11))
+            .records()
+            .map(|r| r.unwrap().session_id)
+            .collect();
+        assert_eq!(first, vec![0, 1, 2, 3, 4]);
+        assert_eq!(second, vec![5, 6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn scan_window_prunes_segment_starting_at_window_end() {
+        let dir = tmpdir("edge-prune");
+        // Two segments of 5: segment 1's zone map starts at day 5.
+        let mut w = StoreWriter::with_rows_per_segment(&dir, 5).unwrap();
+        for i in 0..10 {
+            StoreWriter::append(&mut w, &rec(i)).unwrap();
+        }
+        w.finish().unwrap();
+        let store = Store::open(&dir).unwrap();
+        let lo = Date::new(2021, 12, 1).at_midnight();
+        let hi = Date::new(2021, 12, 6).at_midnight(); // == segment 1 min_start
+        let batches: Vec<_> = store
+            .scan_window(lo, hi)
+            .collect::<Result<Vec<_>, _>>()
+            .unwrap();
+        assert_eq!(
+            batches.len(),
+            1,
+            "segment whose min_start equals the window end must be pruned"
+        );
+        assert_eq!(batches[0].len(), 5);
     }
 
     #[test]
@@ -459,8 +564,7 @@ mod tests {
         }
         w.finish().unwrap();
         let store = Store::open(&dir).unwrap();
-        let serial: u64 =
-            store.scan().records().map(|r| r.unwrap().session_id).sum();
+        let serial: u64 = store.scan().records().map(|r| r.unwrap().session_id).sum();
         let (count, sum) = store
             .par_scan(
                 4,
@@ -510,8 +614,11 @@ mod tests {
         }
         w.finish().unwrap();
         let store = Store::open(&dir).unwrap();
-        let ids: Vec<u64> =
-            store.scan().records().map(|r| r.unwrap().session_id).collect();
+        let ids: Vec<u64> = store
+            .scan()
+            .records()
+            .map(|r| r.unwrap().session_id)
+            .collect();
         assert_eq!(ids, (0..12).collect::<Vec<u64>>());
     }
 
@@ -535,8 +642,14 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         std::fs::write(dir.join("notes.txt"), "hi").unwrap();
         assert!(!is_sessiondb_path(&dir));
-        assert!(matches!(Store::open(&dir), Err(SessionDbError::NotAStore { .. })));
+        assert!(matches!(
+            Store::open(&dir),
+            Err(SessionDbError::NotAStore { .. })
+        ));
         let missing = dir.join("nope");
-        assert!(matches!(Store::open(&missing), Err(SessionDbError::NotAStore { .. })));
+        assert!(matches!(
+            Store::open(&missing),
+            Err(SessionDbError::NotAStore { .. })
+        ));
     }
 }

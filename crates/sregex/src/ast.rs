@@ -57,7 +57,10 @@ pub enum Ast {
     /// `.` — any byte except `\n`.
     AnyByte,
     /// `[...]` / `[^...]`.
-    Class { negated: bool, items: Vec<ClassItem> },
+    Class {
+        negated: bool,
+        items: Vec<ClassItem>,
+    },
     /// `^`.
     StartAnchor,
     /// `$`.
@@ -70,7 +73,12 @@ pub enum Ast {
     Alternate(Vec<Ast>),
     /// Quantified subexpression: `min..=max` repetitions (`max == None` is
     /// unbounded), `greedy == false` for the lazy `?` variants.
-    Repeat { node: Box<Ast>, min: u32, max: Option<u32>, greedy: bool },
+    Repeat {
+        node: Box<Ast>,
+        min: u32,
+        max: Option<u32>,
+        greedy: bool,
+    },
     /// `(…)` / `(?:…)` — grouping only; the engine does not capture.
     Group(Box<Ast>),
     /// `(?=…)` (`positive == true`) or `(?!…)`.

@@ -11,7 +11,10 @@ pub enum Inst {
     /// Match any byte except `\n`.
     Any,
     /// Match a character class.
-    Class { negated: bool, items: Vec<ClassItem> },
+    Class {
+        negated: bool,
+        items: Vec<ClassItem>,
+    },
     /// Try `preferred` first, fall back to `alternate` on failure.
     Split { preferred: usize, alternate: usize },
     /// Unconditional jump.
@@ -47,7 +50,9 @@ pub struct Program {
 
 /// Compiles `ast` into an executable [`Program`].
 pub fn compile(ast: &Ast) -> Program {
-    let mut c = Compiler { prog: Program::default() };
+    let mut c = Compiler {
+        prog: Program::default(),
+    };
     c.emit_node(ast);
     c.prog.insts.push(Inst::Match);
     c.prog
@@ -91,7 +96,10 @@ impl Compiler {
                 self.push(Inst::Any);
             }
             Ast::Class { negated, items } => {
-                self.push(Inst::Class { negated: *negated, items: items.clone() });
+                self.push(Inst::Class {
+                    negated: *negated,
+                    items: items.clone(),
+                });
             }
             Ast::StartAnchor => {
                 self.push(Inst::AssertStart);
@@ -109,14 +117,20 @@ impl Compiler {
                 }
             }
             Ast::Alternate(branches) => self.emit_alternate(branches),
-            Ast::Repeat { node, min, max, greedy } => {
-                self.emit_repeat(node, *min, *max, *greedy)
-            }
+            Ast::Repeat {
+                node,
+                min,
+                max,
+                greedy,
+            } => self.emit_repeat(node, *min, *max, *greedy),
             Ast::Lookahead { positive, node } => {
                 let sub = compile(node);
                 self.prog.subs.push(sub);
                 let idx = self.prog.subs.len() - 1;
-                self.push(Inst::Lookahead { positive: *positive, sub: idx });
+                self.push(Inst::Lookahead {
+                    positive: *positive,
+                    sub: idx,
+                });
             }
         }
     }
@@ -130,7 +144,10 @@ impl Compiler {
             if last {
                 self.emit_node(branch);
             } else {
-                let split = self.push(Inst::Split { preferred: 0, alternate: 0 });
+                let split = self.push(Inst::Split {
+                    preferred: 0,
+                    alternate: 0,
+                });
                 let body = self.pc();
                 match &mut self.prog.insts[split] {
                     Inst::Split { preferred, .. } => *preferred = body,
@@ -158,7 +175,10 @@ impl Compiler {
                 // (max - min) optional copies, each guarded by a Split.
                 let mut splits = Vec::new();
                 for _ in min..max {
-                    let split = self.push(Inst::Split { preferred: 0, alternate: 0 });
+                    let split = self.push(Inst::Split {
+                        preferred: 0,
+                        alternate: 0,
+                    });
                     let body = self.pc();
                     match &mut self.prog.insts[split] {
                         Inst::Split { preferred, .. } => *preferred = body,
@@ -177,8 +197,10 @@ impl Compiler {
                             Inst::Split { preferred, .. } => preferred,
                             _ => unreachable!(),
                         };
-                        self.prog.insts[split] =
-                            Inst::Split { preferred: exit, alternate: body };
+                        self.prog.insts[split] = Inst::Split {
+                            preferred: exit,
+                            alternate: body,
+                        };
                     }
                 }
             }
@@ -186,18 +208,28 @@ impl Compiler {
                 // Unbounded tail: loop with empty-progress guard.
                 let slot = self.prog.marks;
                 self.prog.marks += 1;
-                let loop_head = self.push(Inst::Split { preferred: 0, alternate: 0 });
+                let loop_head = self.push(Inst::Split {
+                    preferred: 0,
+                    alternate: 0,
+                });
                 let body = self.pc();
                 self.push(Inst::SetMark(slot));
                 self.emit_node(node);
-                self.push(Inst::JumpIfProgress { slot, target: loop_head });
+                self.push(Inst::JumpIfProgress {
+                    slot,
+                    target: loop_head,
+                });
                 let exit = self.pc();
                 if greedy {
-                    self.prog.insts[loop_head] =
-                        Inst::Split { preferred: body, alternate: exit };
+                    self.prog.insts[loop_head] = Inst::Split {
+                        preferred: body,
+                        alternate: exit,
+                    };
                 } else {
-                    self.prog.insts[loop_head] =
-                        Inst::Split { preferred: exit, alternate: body };
+                    self.prog.insts[loop_head] = Inst::Split {
+                        preferred: exit,
+                        alternate: body,
+                    };
                 }
             }
         }
@@ -229,9 +261,17 @@ mod tests {
     #[test]
     fn bounded_repeat_unrolls() {
         let p = compile_pat("a{2,4}");
-        let bytes = p.insts.iter().filter(|i| matches!(i, Inst::Byte(b'a'))).count();
+        let bytes = p
+            .insts
+            .iter()
+            .filter(|i| matches!(i, Inst::Byte(b'a')))
+            .count();
         assert_eq!(bytes, 4);
-        let splits = p.insts.iter().filter(|i| matches!(i, Inst::Split { .. })).count();
+        let splits = p
+            .insts
+            .iter()
+            .filter(|i| matches!(i, Inst::Split { .. }))
+            .count();
         assert_eq!(splits, 2);
     }
 
@@ -239,7 +279,10 @@ mod tests {
     fn lookahead_compiles_to_subprogram() {
         let p = compile_pat("(?=.*curl)(?=.*wget)x");
         assert_eq!(p.subs.len(), 2);
-        assert!(p.subs.iter().all(|s| matches!(s.insts.last(), Some(Inst::Match))));
+        assert!(p
+            .subs
+            .iter()
+            .all(|s| matches!(s.insts.last(), Some(Inst::Match))));
     }
 
     #[test]

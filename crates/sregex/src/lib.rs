@@ -130,8 +130,13 @@ impl Regex {
 
 /// Offsets of position 0 and every byte following a `\n`.
 fn line_starts(bytes: &[u8]) -> impl Iterator<Item = usize> + '_ {
-    std::iter::once(0)
-        .chain(bytes.iter().enumerate().filter(|(_, b)| **b == b'\n').map(|(i, _)| i + 1))
+    std::iter::once(0).chain(
+        bytes
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| **b == b'\n')
+            .map(|(i, _)| i + 1),
+    )
 }
 
 /// If the AST is a plain byte sequence, returns those bytes.
@@ -355,10 +360,7 @@ mod tests {
     #[test]
     fn table1_representatives() {
         // A selection of real Table 1 rules against realistic sessions.
-        assert!(m(
-            r"uname\s+-s\s+-v\s+-n\s+-r\s+-m",
-            "uname -s -v -n -r -m"
-        ));
+        assert!(m(r"uname\s+-s\s+-v\s+-n\s+-r\s+-m", "uname -s -v -n -r -m"));
         assert!(m(
             r"/bin/busybox\s+cat\s+/proc/self/exe\s*\|\|\s*cat\s+/proc/self/exe",
             "/bin/busybox cat /proc/self/exe || cat /proc/self/exe"
@@ -367,12 +369,18 @@ mod tests {
             r"root:[A-Za-z0-9]{15,}\|chpasswd",
             r"echo root:Ab0Cd1Ef2Gh3Jk4X|chpasswd"
         ));
-        assert!(m(r"ssh-rsa\s+AAAAB3NzaC1yc2EAAAADAQABA", "ssh-rsa AAAAB3NzaC1yc2EAAAADAQABAAAB"));
+        assert!(m(
+            r"ssh-rsa\s+AAAAB3NzaC1yc2EAAAADAQABA",
+            "ssh-rsa AAAAB3NzaC1yc2EAAAADAQABAAAB"
+        ));
         assert!(m(
             r"\becho\b\s+[0-9a-fA-F]{8}-[0-9a-fA-F]{4}-[0-9a-fA-F]{4}-[0-9a-fA-F]{4}-[0-9a-fA-F]{12}",
             "echo deadbeef-dead-beef-dead-beefdeadbeef"
         ));
-        assert!(m(r"(?=.*Password123)(?=.*daemon)", "useradd daemon; echo Password123"));
+        assert!(m(
+            r"(?=.*Password123)(?=.*daemon)",
+            "useradd daemon; echo Password123"
+        ));
         assert!(m(r"openssl passwd -1 \S{8}", "openssl passwd -1 Xy12Zw34"));
     }
 

@@ -24,7 +24,11 @@ pub struct ParseError {
 
 impl std::fmt::Display for ParseError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "regex parse error at {}: {}", self.position, self.message)
+        write!(
+            f,
+            "regex parse error at {}: {}",
+            self.position, self.message
+        )
     }
 }
 
@@ -32,7 +36,10 @@ impl std::error::Error for ParseError {}
 
 /// Parses `pattern` into an [`Ast`].
 pub fn parse(pattern: &str) -> Result<Ast, ParseError> {
-    let mut p = Parser { input: pattern.as_bytes(), pos: 0 };
+    let mut p = Parser {
+        input: pattern.as_bytes(),
+        pos: 0,
+    };
     let ast = p.alternation()?;
     if p.pos != p.input.len() {
         return Err(p.err("unexpected character (unbalanced ')'?)"));
@@ -47,7 +54,10 @@ struct Parser<'a> {
 
 impl<'a> Parser<'a> {
     fn err(&self, msg: &str) -> ParseError {
-        ParseError { position: self.pos, message: msg.to_string() }
+        ParseError {
+            position: self.pos,
+            message: msg.to_string(),
+        }
     }
 
     fn peek(&self) -> Option<u8> {
@@ -126,7 +136,12 @@ impl<'a> Parser<'a> {
             return Err(self.err("quantifier applied to zero-width assertion"));
         }
         let greedy = !self.eat(b'?');
-        Ok(Ast::Repeat { node: Box::new(atom), min, max, greedy })
+        Ok(Ast::Repeat {
+            node: Box::new(atom),
+            min,
+            max,
+            greedy,
+        })
     }
 
     /// Parses `{n}`, `{n,}` or `{n,m}` starting at `{`. Returns `Ok(None)`
@@ -240,9 +255,10 @@ impl<'a> Parser<'a> {
         }
         Ok(match kind {
             GroupKind::Capturing | GroupKind::NonCapturing => Ast::Group(Box::new(inner)),
-            GroupKind::Lookahead(positive) => {
-                Ast::Lookahead { positive, node: Box::new(inner) }
-            }
+            GroupKind::Lookahead(positive) => Ast::Lookahead {
+                positive,
+                node: Box::new(inner),
+            },
         })
     }
 
@@ -359,7 +375,10 @@ enum ClassAtom {
 }
 
 fn class_of(item: ClassItem) -> Ast {
-    Ast::Class { negated: false, items: vec![item] }
+    Ast::Class {
+        negated: false,
+        items: vec![item],
+    }
 }
 
 fn hex_val(b: u8) -> Option<u8> {
@@ -394,11 +413,21 @@ mod tests {
     #[test]
     fn parses_bounds() {
         match parse("a{2,5}").unwrap() {
-            Ast::Repeat { min: 2, max: Some(5), greedy: true, .. } => {}
+            Ast::Repeat {
+                min: 2,
+                max: Some(5),
+                greedy: true,
+                ..
+            } => {}
             other => panic!("unexpected: {other:?}"),
         }
         match parse("a{3,}?").unwrap() {
-            Ast::Repeat { min: 3, max: None, greedy: false, .. } => {}
+            Ast::Repeat {
+                min: 3,
+                max: None,
+                greedy: false,
+                ..
+            } => {}
             other => panic!("unexpected: {other:?}"),
         }
     }
@@ -428,12 +457,18 @@ mod tests {
         // Leading ']' is literal.
         assert_eq!(
             parse("[]a]").unwrap(),
-            Ast::Class { negated: false, items: vec![ClassItem::Byte(b']'), ClassItem::Byte(b'a')] }
+            Ast::Class {
+                negated: false,
+                items: vec![ClassItem::Byte(b']'), ClassItem::Byte(b'a')]
+            }
         );
         // Trailing '-' is literal.
         assert_eq!(
             parse("[a-]").unwrap(),
-            Ast::Class { negated: false, items: vec![ClassItem::Byte(b'a'), ClassItem::Byte(b'-')] }
+            Ast::Class {
+                negated: false,
+                items: vec![ClassItem::Byte(b'a'), ClassItem::Byte(b'-')]
+            }
         );
     }
 

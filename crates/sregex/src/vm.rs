@@ -73,8 +73,15 @@ fn run(
                 }
                 _ => failed = true,
             },
-            Inst::Split { preferred, alternate } => {
-                stack.push(Frame { pc: *alternate, pos, marks: marks.clone() });
+            Inst::Split {
+                preferred,
+                alternate,
+            } => {
+                stack.push(Frame {
+                    pc: *alternate,
+                    pos,
+                    marks: marks.clone(),
+                });
                 pc = *preferred;
             }
             Inst::Jump(t) => pc = *t,

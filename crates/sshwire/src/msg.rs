@@ -229,13 +229,21 @@ impl Message {
                 put_u8(&mut b, num::KEXDH_INIT);
                 put_string(&mut b, e);
             }
-            Message::KexdhReply { host_key, f, signature } => {
+            Message::KexdhReply {
+                host_key,
+                f,
+                signature,
+            } => {
                 put_u8(&mut b, num::KEXDH_REPLY);
                 put_string(&mut b, host_key);
                 put_string(&mut b, f);
                 put_string(&mut b, signature);
             }
-            Message::UserauthRequest { username, service, password } => {
+            Message::UserauthRequest {
+                username,
+                service,
+                password,
+            } => {
                 put_u8(&mut b, num::USERAUTH_REQUEST);
                 put_string(&mut b, username.as_bytes());
                 put_string(&mut b, service.as_bytes());
@@ -257,14 +265,24 @@ impl Message {
             Message::UserauthSuccess => {
                 put_u8(&mut b, num::USERAUTH_SUCCESS);
             }
-            Message::ChannelOpen { kind, sender, window, max_packet } => {
+            Message::ChannelOpen {
+                kind,
+                sender,
+                window,
+                max_packet,
+            } => {
                 put_u8(&mut b, num::CHANNEL_OPEN);
                 put_string(&mut b, kind.as_bytes());
                 put_u32(&mut b, *sender);
                 put_u32(&mut b, *window);
                 put_u32(&mut b, *max_packet);
             }
-            Message::ChannelOpenConfirmation { recipient, sender, window, max_packet } => {
+            Message::ChannelOpenConfirmation {
+                recipient,
+                sender,
+                window,
+                max_packet,
+            } => {
                 put_u8(&mut b, num::CHANNEL_OPEN_CONFIRMATION);
                 put_u32(&mut b, *recipient);
                 put_u32(&mut b, *sender);
@@ -291,7 +309,12 @@ impl Message {
                 put_u8(&mut b, num::CHANNEL_CLOSE);
                 put_u32(&mut b, *recipient);
             }
-            Message::ChannelRequest { recipient, kind, want_reply, payload } => {
+            Message::ChannelRequest {
+                recipient,
+                kind,
+                want_reply,
+                payload,
+            } => {
                 put_u8(&mut b, num::CHANNEL_REQUEST);
                 put_u32(&mut b, *recipient);
                 put_string(&mut b, kind.as_bytes());
@@ -352,7 +375,9 @@ impl Message {
                 })
             }
             num::NEWKEYS => Message::NewKeys,
-            num::KEXDH_INIT => Message::KexdhInit { e: get_string(&mut p)? },
+            num::KEXDH_INIT => Message::KexdhInit {
+                e: get_string(&mut p)?,
+            },
             num::KEXDH_REPLY => Message::KexdhReply {
                 host_key: get_string(&mut p)?,
                 f: get_string(&mut p)?,
@@ -372,7 +397,11 @@ impl Message {
                         return Err(SshError::Decode(format!("unsupported auth method {other}")))
                     }
                 };
-                Message::UserauthRequest { username, service, password }
+                Message::UserauthRequest {
+                    username,
+                    service,
+                    password,
+                }
             }
             num::USERAUTH_FAILURE => {
                 let methods = get_name_list(&mut p)?;
@@ -403,17 +432,30 @@ impl Message {
                 recipient: get_u32(&mut p)?,
                 data: get_string(&mut p)?,
             },
-            num::CHANNEL_EOF => Message::ChannelEof { recipient: get_u32(&mut p)? },
-            num::CHANNEL_CLOSE => Message::ChannelClose { recipient: get_u32(&mut p)? },
+            num::CHANNEL_EOF => Message::ChannelEof {
+                recipient: get_u32(&mut p)?,
+            },
+            num::CHANNEL_CLOSE => Message::ChannelClose {
+                recipient: get_u32(&mut p)?,
+            },
             num::CHANNEL_REQUEST => {
                 let recipient = get_u32(&mut p)?;
                 let kind = get_utf8(&mut p)?;
                 let want_reply = get_bool(&mut p)?;
                 let payload = p.copy_to_bytes(p.remaining());
-                Message::ChannelRequest { recipient, kind, want_reply, payload }
+                Message::ChannelRequest {
+                    recipient,
+                    kind,
+                    want_reply,
+                    payload,
+                }
             }
-            num::CHANNEL_SUCCESS => Message::ChannelSuccess { recipient: get_u32(&mut p)? },
-            num::CHANNEL_FAILURE => Message::ChannelFailure { recipient: get_u32(&mut p)? },
+            num::CHANNEL_SUCCESS => Message::ChannelSuccess {
+                recipient: get_u32(&mut p)?,
+            },
+            num::CHANNEL_FAILURE => Message::ChannelFailure {
+                recipient: get_u32(&mut p)?,
+            },
             other => return Err(SshError::Decode(format!("unknown message number {other}"))),
         };
         Ok(msg)
@@ -432,12 +474,17 @@ mod tests {
 
     #[test]
     fn roundtrip_all_variants() {
-        roundtrip(Message::Disconnect { code: 11, description: "bye".into() });
+        roundtrip(Message::Disconnect {
+            code: 11,
+            description: "bye".into(),
+        });
         roundtrip(Message::ServiceRequest("ssh-userauth".into()));
         roundtrip(Message::ServiceAccept("ssh-userauth".into()));
         roundtrip(Message::KexInit(KexInit::default_with_cookie([9u8; 16])));
         roundtrip(Message::NewKeys);
-        roundtrip(Message::KexdhInit { e: Bytes::from_static(b"nonceA") });
+        roundtrip(Message::KexdhInit {
+            e: Bytes::from_static(b"nonceA"),
+        });
         roundtrip(Message::KexdhReply {
             host_key: Bytes::from_static(b"hostkey"),
             f: Bytes::from_static(b"nonceB"),
@@ -453,7 +500,9 @@ mod tests {
             service: "ssh-connection".into(),
             password: None,
         });
-        roundtrip(Message::UserauthFailure { methods: vec!["password".into()] });
+        roundtrip(Message::UserauthFailure {
+            methods: vec!["password".into()],
+        });
         roundtrip(Message::UserauthSuccess);
         roundtrip(Message::ChannelOpen {
             kind: "session".into(),
@@ -467,7 +516,10 @@ mod tests {
             window: 1 << 20,
             max_packet: 32_768,
         });
-        roundtrip(Message::ChannelOpenFailure { recipient: 0, code: 2 });
+        roundtrip(Message::ChannelOpenFailure {
+            recipient: 0,
+            code: 2,
+        });
         roundtrip(Message::ChannelData {
             recipient: 0,
             data: Bytes::from_static(b"uname -a\n"),
@@ -503,7 +555,10 @@ mod tests {
         put_string(&mut b, b"root");
         put_string(&mut b, b"ssh-connection");
         put_string(&mut b, b"publickey");
-        assert!(matches!(Message::decode(b.freeze()), Err(SshError::Decode(_))));
+        assert!(matches!(
+            Message::decode(b.freeze()),
+            Err(SshError::Decode(_))
+        ));
     }
 
     #[test]
@@ -511,6 +566,9 @@ mod tests {
         let mut b = BytesMut::new();
         put_u8(&mut b, num::KEXINIT);
         b.extend_from_slice(&[0u8; 8]); // half a cookie
-        assert!(matches!(Message::decode(b.freeze()), Err(SshError::Decode(_))));
+        assert!(matches!(
+            Message::decode(b.freeze()),
+            Err(SshError::Decode(_))
+        ));
     }
 }

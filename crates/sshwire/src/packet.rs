@@ -96,7 +96,9 @@ impl PacketCodec {
         }
         let packet_length = u32::from_be_bytes([buf[0], buf[1], buf[2], buf[3]]) as usize;
         if !(1 + MIN_PAD..=MAX_PACKET).contains(&packet_length) {
-            return Err(SshError::Framing(format!("bad packet length {packet_length}")));
+            return Err(SshError::Framing(format!(
+                "bad packet length {packet_length}"
+            )));
         }
         if !(4 + packet_length).is_multiple_of(BLOCK) {
             return Err(SshError::Framing("packet not block-aligned".into()));

@@ -140,17 +140,23 @@ impl<H: ServerHandler> SshServer<H> {
             match self.phase {
                 Phase::Closed => return Ok(()),
                 Phase::VersionExchange => {
-                    let Some(line) = take_line(&mut self.inbuf) else { return Ok(()) };
+                    let Some(line) = take_line(&mut self.inbuf) else {
+                        return Ok(());
+                    };
                     if !line.starts_with("SSH-2.0-") {
                         return Err(SshError::BadVersionExchange(line));
                     }
                     self.peer_version = Some(line);
                     // Kick off negotiation.
-                    self.send(Message::KexInit(KexInit::default_with_cookie(self.kex_cookie)));
+                    self.send(Message::KexInit(KexInit::default_with_cookie(
+                        self.kex_cookie,
+                    )));
                     self.phase = Phase::Kex;
                 }
                 _ => {
-                    let Some(payload) = self.rx.open(&mut self.inbuf)? else { return Ok(()) };
+                    let Some(payload) = self.rx.open(&mut self.inbuf)? else {
+                        return Ok(());
+                    };
                     let msg = Message::decode(payload)?;
                     self.handle(msg)?;
                 }
@@ -170,7 +176,10 @@ impl<H: ServerHandler> SshServer<H> {
     }
 
     fn disconnect(&mut self, code: u32, why: &str) {
-        self.send(Message::Disconnect { code, description: why.to_string() });
+        self.send(Message::Disconnect {
+            code,
+            description: why.to_string(),
+        });
         self.phase = Phase::Closed;
     }
 
@@ -212,7 +221,14 @@ impl<H: ServerHandler> SshServer<H> {
                 self.send(Message::ServiceAccept(name));
                 Ok(())
             }
-            (Phase::Auth, Message::UserauthRequest { username, service, password }) => {
+            (
+                Phase::Auth,
+                Message::UserauthRequest {
+                    username,
+                    service,
+                    password,
+                },
+            ) => {
                 if service != "ssh-connection" {
                     return Err(SshError::Protocol(format!("unexpected service {service}")));
                 }
@@ -224,13 +240,18 @@ impl<H: ServerHandler> SshServer<H> {
                     self.send(Message::UserauthSuccess);
                     self.phase = Phase::Connected;
                 } else {
-                    self.send(Message::UserauthFailure { methods: vec!["password".into()] });
+                    self.send(Message::UserauthFailure {
+                        methods: vec!["password".into()],
+                    });
                 }
                 Ok(())
             }
             (Phase::Connected, Message::ChannelOpen { kind, sender, .. }) => {
                 if kind != "session" || self.open_channel.is_some() {
-                    self.send(Message::ChannelOpenFailure { recipient: sender, code: 2 });
+                    self.send(Message::ChannelOpenFailure {
+                        recipient: sender,
+                        code: 2,
+                    });
                     return Ok(());
                 }
                 self.open_channel = Some(sender);
@@ -242,13 +263,23 @@ impl<H: ServerHandler> SshServer<H> {
                 });
                 Ok(())
             }
-            (Phase::Connected, Message::ChannelRequest { recipient: _, kind, want_reply, payload }) => {
+            (
+                Phase::Connected,
+                Message::ChannelRequest {
+                    recipient: _,
+                    kind,
+                    want_reply,
+                    payload,
+                },
+            ) => {
                 let Some(client_chan) = self.open_channel else {
                     return Err(SshError::Protocol("request without open channel".into()));
                 };
                 if kind != "exec" {
                     if want_reply {
-                        self.send(Message::ChannelFailure { recipient: client_chan });
+                        self.send(Message::ChannelFailure {
+                            recipient: client_chan,
+                        });
                     }
                     return Ok(());
                 }
@@ -257,7 +288,9 @@ impl<H: ServerHandler> SshServer<H> {
                 let command = String::from_utf8_lossy(&cmd_raw).into_owned();
                 self.exec_log.push(command.clone());
                 if want_reply {
-                    self.send(Message::ChannelSuccess { recipient: client_chan });
+                    self.send(Message::ChannelSuccess {
+                        recipient: client_chan,
+                    });
                 }
                 let (output, status) = self.handler.exec(&command);
                 if !output.is_empty() {
@@ -275,8 +308,12 @@ impl<H: ServerHandler> SshServer<H> {
                     want_reply: false,
                     payload: st.freeze(),
                 });
-                self.send(Message::ChannelEof { recipient: client_chan });
-                self.send(Message::ChannelClose { recipient: client_chan });
+                self.send(Message::ChannelEof {
+                    recipient: client_chan,
+                });
+                self.send(Message::ChannelClose {
+                    recipient: client_chan,
+                });
                 // One exec per session channel: the channel is done once the
                 // close goes out, freeing the slot for the client's next open.
                 self.open_channel = None;
@@ -289,7 +326,9 @@ impl<H: ServerHandler> SshServer<H> {
             (Phase::Connected, Message::ChannelEof { .. }) => Ok(()),
             (phase, other) => {
                 self.disconnect(2, "protocol error");
-                Err(SshError::Protocol(format!("unexpected {other:?} in {phase:?}")))
+                Err(SshError::Protocol(format!(
+                    "unexpected {other:?} in {phase:?}"
+                )))
             }
         }
     }

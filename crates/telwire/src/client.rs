@@ -63,7 +63,8 @@ impl TelnetClient {
     }
 
     fn send_line(&mut self, line: &str) {
-        self.outbuf.extend_from_slice(&codec::escape_data(line.as_bytes()));
+        self.outbuf
+            .extend_from_slice(&codec::escape_data(line.as_bytes()));
         self.outbuf.extend_from_slice(b"\r\n");
     }
 
@@ -179,7 +180,10 @@ mod tests {
 
     #[test]
     fn refuses_all_options() {
-        let mut c = TelnetClient::new(TelnetScript { logins: vec![], commands: vec![] });
+        let mut c = TelnetClient::new(TelnetScript {
+            logins: vec![],
+            commands: vec![],
+        });
         c.input(&[codec::IAC, WILL, 1, codec::IAC, DO, 31]).unwrap();
         let out = c.take_output();
         assert!(out.windows(3).any(|w| w == codec::negotiate(DONT, 1)));

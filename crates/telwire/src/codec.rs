@@ -197,9 +197,15 @@ mod tests {
         assert_eq!(
             c.drain().unwrap(),
             vec![
-                Event::Negotiate { verb: WILL, option: opt::ECHO },
+                Event::Negotiate {
+                    verb: WILL,
+                    option: opt::ECHO
+                },
                 Event::Data(b"hi".to_vec()),
-                Event::Negotiate { verb: DO, option: opt::SGA },
+                Event::Negotiate {
+                    verb: DO,
+                    option: opt::SGA
+                },
             ]
         );
     }
@@ -221,7 +227,10 @@ mod tests {
         c.input(&[opt::ECHO]);
         assert_eq!(
             c.drain().unwrap(),
-            vec![Event::Negotiate { verb: WILL, option: opt::ECHO }]
+            vec![Event::Negotiate {
+                verb: WILL,
+                option: opt::ECHO
+            }]
         );
     }
 
@@ -232,7 +241,10 @@ mod tests {
         assert_eq!(
             c.drain().unwrap(),
             vec![
-                Event::Subnegotiation { option: opt::TTYPE, payload: vec![0, b'x', b't'] },
+                Event::Subnegotiation {
+                    option: opt::TTYPE,
+                    payload: vec![0, b'x', b't']
+                },
                 Event::Data(b"!".to_vec()),
             ]
         );
@@ -246,7 +258,10 @@ mod tests {
         c.input(&[0, 24, IAC, SE]);
         assert_eq!(
             c.drain().unwrap(),
-            vec![Event::Subnegotiation { option: opt::NAWS, payload: vec![0, 80, 0, 24] }]
+            vec![Event::Subnegotiation {
+                option: opt::NAWS,
+                payload: vec![0, 80, 0, 24]
+            }]
         );
     }
 

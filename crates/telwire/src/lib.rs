@@ -128,14 +128,20 @@ mod tests {
         assert!(!log.auth_log[0].2);
         assert!(!log.auth_log[1].2);
         assert!(log.auth_log[2].2);
-        assert_eq!(log.exec_log, vec!["cd /tmp".to_string(), "/bin/busybox MIRAI".to_string()]);
+        assert_eq!(
+            log.exec_log,
+            vec!["cd /tmp".to_string(), "/bin/busybox MIRAI".to_string()]
+        );
         assert!(log.bytes_to_server > 0 && log.bytes_to_client > 0);
     }
 
     #[test]
     fn scouting_dialogue_never_reaches_shell() {
         let script = TelnetScript {
-            logins: vec![("root".into(), "root".into()), ("guest".into(), "guest".into())],
+            logins: vec![
+                ("root".into(), "root".into()),
+                ("guest".into(), "guest".into()),
+            ],
             commands: vec!["id".into()],
         };
         let (log, _) = run_telnet_dialogue(

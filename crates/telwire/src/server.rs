@@ -57,8 +57,10 @@ impl<H: TelnetHandler> TelnetServer<H> {
             hostname: hostname.to_string(),
         };
         // Classic telnetd opening: WILL ECHO, WILL SGA, DO NAWS.
-        s.outbuf.extend_from_slice(&codec::negotiate(WILL, opt::ECHO));
-        s.outbuf.extend_from_slice(&codec::negotiate(WILL, opt::SGA));
+        s.outbuf
+            .extend_from_slice(&codec::negotiate(WILL, opt::ECHO));
+        s.outbuf
+            .extend_from_slice(&codec::negotiate(WILL, opt::SGA));
         s.outbuf.extend_from_slice(&codec::negotiate(DO, opt::NAWS));
         s.send_str(&format!("\r\n{} login: ", s.hostname.clone()));
         s
@@ -90,7 +92,8 @@ impl<H: TelnetHandler> TelnetServer<H> {
     }
 
     fn send_str(&mut self, s: &str) {
-        self.outbuf.extend_from_slice(&codec::escape_data(s.as_bytes()));
+        self.outbuf
+            .extend_from_slice(&codec::escape_data(s.as_bytes()));
     }
 
     /// Feeds client bytes.
@@ -110,9 +113,13 @@ impl<H: TelnetHandler> TelnetServer<H> {
         // Accept nothing beyond what we offered; refuse everything else.
         match (verb, option) {
             (DO, opt::ECHO | opt::SGA) | (WONT, _) | (DONT, _) => {}
-            (DO, other) => self.outbuf.extend_from_slice(&codec::negotiate(WONT, other)),
+            (DO, other) => self
+                .outbuf
+                .extend_from_slice(&codec::negotiate(WONT, other)),
             (WILL, opt::NAWS) => {}
-            (WILL, other) => self.outbuf.extend_from_slice(&codec::negotiate(DONT, other)),
+            (WILL, other) => self
+                .outbuf
+                .extend_from_slice(&codec::negotiate(DONT, other)),
             _ => {}
         }
     }
@@ -144,7 +151,9 @@ impl<H: TelnetHandler> TelnetServer<H> {
                 self.auth_log.push((user, line.to_string(), ok));
                 if ok {
                     let host = self.hostname.clone();
-                    self.send_str(&format!("\r\nBusyBox v1.22.1 built-in shell (ash)\r\n\r\n{host}:~# "));
+                    self.send_str(&format!(
+                        "\r\nBusyBox v1.22.1 built-in shell (ash)\r\n\r\n{host}:~# "
+                    ));
                     self.phase = Phase::Shell;
                 } else {
                     self.auth_tries += 1;
@@ -201,7 +210,9 @@ mod tests {
     fn banner_negotiates_and_prompts() {
         let mut s = srv();
         let out = s.take_output();
-        assert!(out.windows(3).any(|w| w == codec::negotiate(WILL, opt::ECHO)));
+        assert!(out
+            .windows(3)
+            .any(|w| w == codec::negotiate(WILL, opt::ECHO)));
         assert!(String::from_utf8_lossy(&out).contains("login: "));
     }
 

@@ -37,7 +37,11 @@ fn main() {
     let correlation = mdrfckr::correlate_events(&dips, &documented);
     println!();
     print!("{}", correlation.render());
-    println!("rediscovered {}/{} documented windows", correlation.hits(), documented.len());
+    println!(
+        "rediscovered {}/{} documented windows",
+        correlation.hits(),
+        documented.len()
+    );
 
     // Fig. 13: initial vs variant vs 3245gs5662d34.
     let vs = mdrfckr::variant_series(&ds.sessions);
@@ -48,12 +52,18 @@ fn main() {
         }
     }
     let overlap = mdrfckr::cred_overlap_frac(&ds.sessions);
-    println!("mdrfckr ∩ 3245gs5662d34 client-IP overlap: {:.1}% (paper: 99.4%)", overlap * 100.0);
+    println!(
+        "mdrfckr ∩ 3245gs5662d34 client-IP overlap: {:.1}% (paper: 99.4%)",
+        overlap * 100.0
+    );
 
     // Base64 payloads during dips.
     let b64 = mdrfckr::b64_analysis(&ds.sessions, &dips);
     println!("\n== base64 uploads during dips ==");
-    println!("sessions: {}, unique uploader IPs: {}", b64.sessions, b64.unique_uploader_ips);
+    println!(
+        "sessions: {}, unique uploader IPs: {}",
+        b64.sessions, b64.unique_uploader_ips
+    );
     println!("no IP reuse across dips: {}", b64.no_ip_reuse_across_dips);
     for (kind, n) in &b64.by_payload {
         println!("  {kind:?}: {n}");
@@ -63,8 +73,15 @@ fn main() {
     // External correlations.
     let killnet = mdrfckr::killnet_overlap(&ds.sessions, &ds.killnet);
     println!("\nKillnet blocklist overlap: {killnet} IPs (paper: 988 at full scale)");
-    let c2_known = b64.c2_ips.iter().filter(|ip| ds.c2_list.contains(**ip)).count();
-    println!("C2 IPs present in the C2 feed: {c2_known}/{}", b64.c2_ips.len());
+    let c2_known = b64
+        .c2_ips
+        .iter()
+        .filter(|ip| ds.c2_list.contains(**ip))
+        .count();
+    println!(
+        "C2 IPs present in the C2 feed: {c2_known}/{}",
+        b64.c2_ips.len()
+    );
     let sensors = mdrfckr::compromised_sensor_count(&ds.sessions);
     println!("sensors with the planted key: {sensors}/{}", ds.fleet.len());
 }

@@ -33,11 +33,20 @@ fn main() {
 
     // Figs. 2, 3a, 3b.
     println!();
-    print!("{}", report::fig2(&ds.sessions, &cl).render("Fig 2: non-state-changing bots", 4));
+    print!(
+        "{}",
+        report::fig2(&ds.sessions, &cl).render("Fig 2: non-state-changing bots", 4)
+    );
     println!();
-    print!("{}", report::fig3a(&ds.sessions, &cl).render("Fig 3a: file add/mod/del, no exec", 4));
+    print!(
+        "{}",
+        report::fig3a(&ds.sessions, &cl).render("Fig 3a: file add/mod/del, no exec", 4)
+    );
     println!();
-    print!("{}", report::fig3b(&ds.sessions, &cl).render("Fig 3b: file-exec attempts", 4));
+    print!(
+        "{}",
+        report::fig3b(&ds.sessions, &cl).render("Fig 3b: file-exec attempts", 4)
+    );
 
     // Fig. 4.
     let (exists, missing) = report::fig4(&ds.sessions, &cl);
@@ -58,13 +67,21 @@ fn main() {
     print!("{}", report::render_fig5(&ca, 10));
     println!("Top 5 clusters (Fig 6):");
     for (c, n) in ca.top_clusters(5) {
-        println!("  C-{} ({}) — {} sessions", ca.display_rank(c), ca.labels[c], n);
+        println!(
+            "  C-{} ({}) — {} sessions",
+            ca.display_rank(c),
+            ca.labels[c],
+            n
+        );
     }
 
     // Table 1 coverage.
     println!();
     let coverage = report::classification_coverage(&ds.sessions, &cl);
-    println!("Table 1 coverage: {:.2}% classified (paper: >99%)", coverage * 100.0);
+    println!(
+        "Table 1 coverage: {:.2}% classified (paper: >99%)",
+        coverage * 100.0
+    );
 
     // §7 storage analyses.
     println!();
@@ -72,12 +89,18 @@ fn main() {
     let st = sa::storage_stats(&events, &ds.abuse);
     println!("== §7 malware storage ==");
     println!("download sessions: {}", st.download_sessions);
-    println!("storage != client: {:.0}% (paper: 80%)", st.different_ip_frac * 100.0);
+    println!(
+        "storage != client: {:.0}% (paper: 80%)",
+        st.different_ip_frac * 100.0
+    );
     println!(
         "unique download clients: {} vs storage IPs: {} (paper: 32k vs 3k)",
         st.unique_download_clients, st.unique_storage_ips
     );
-    println!("storage IPs in abuse feeds: {:.0}% (paper: 56%)", st.storage_ip_reported_frac * 100.0);
+    println!(
+        "storage IPs in abuse feeds: {:.0}% (paper: 56%)",
+        st.storage_ip_reported_frac * 100.0
+    );
     let census = sa::storage_as_census(&events, &ds.world.registry, cfg.window_end);
     println!(
         "storage ASes: {} (hosting {}, isp {}, down {}); <1y: {:.0}%, <5y: {:.0}% (paper: 388/358/30/36; >35%/>70%)",
@@ -101,11 +124,17 @@ fn main() {
     }
 
     println!("\n== Fig 8a: storage AS age (events / month, young|mid|old) ==");
-    for (m, [y, mid, old]) in sa::as_age_by_month(&events, &ds.world.registry).iter().step_by(6) {
+    for (m, [y, mid, old]) in sa::as_age_by_month(&events, &ds.world.registry)
+        .iter()
+        .step_by(6)
+    {
         println!("  {m}  <1y={y:<5} 1-5y={mid:<5} >5y={old}");
     }
     println!("\n== Fig 8b: storage AS size (one /24 | <50 | >=50) ==");
-    for (m, [one, small, big]) in sa::as_size_by_month(&events, &ds.world.registry).iter().step_by(6) {
+    for (m, [one, small, big]) in sa::as_size_by_month(&events, &ds.world.registry)
+        .iter()
+        .step_by(6)
+    {
         println!("  {m}  one={one:<5} <50={small:<5} >=50={big}");
     }
 
@@ -130,7 +159,10 @@ fn main() {
     );
 
     println!("\n== Fig 17: storage AS types over time ==");
-    for (m, counts) in sa::as_type_by_month(&events, &ds.world.registry).iter().step_by(6) {
+    for (m, counts) in sa::as_type_by_month(&events, &ds.world.registry)
+        .iter()
+        .step_by(6)
+    {
         println!(
             "  {m}  CDN={} Hosting={} ISP/NSP={} Other={}",
             counts[0], counts[1], counts[2], counts[3]

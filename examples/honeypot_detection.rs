@@ -50,8 +50,7 @@ fn main() {
         .iter()
         .filter(|s| s.command_text().contains("--max-redirs"))
         .collect();
-    let clients: std::collections::HashSet<_> =
-        curl_sessions.iter().map(|s| s.client_ip).collect();
+    let clients: std::collections::HashSet<_> = curl_sessions.iter().map(|s| s.client_ip).collect();
     let sensors: std::collections::HashSet<_> =
         curl_sessions.iter().map(|s| s.honeypot_id).collect();
     let curls: usize = curl_sessions.iter().map(|s| s.commands.len()).sum();

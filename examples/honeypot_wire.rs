@@ -16,8 +16,7 @@ use sshwire::ClientScript;
 fn main() {
     // The "malware storage host" serves one loader script.
     let store = |uri: &str| {
-        (uri == "http://203.0.113.5/bins.sh")
-            .then(|| b"#!/bin/sh\n./dvrHelper tcp 23\n".to_vec())
+        (uri == "http://203.0.113.5/bins.sh").then(|| b"#!/bin/sh\n./dvrHelper tcp 23\n".to_vec())
     };
 
     let meta = WireSessionMeta {
@@ -40,14 +39,26 @@ fn main() {
         run_wire_session(&meta, script, AuthPolicy::default(), &store).expect("dialogue runs");
 
     println!("== wire dialogue complete: {wire_bytes} bytes exchanged ==");
-    println!("client version : {}", record.client_version.as_deref().unwrap_or("-"));
+    println!(
+        "client version : {}",
+        record.client_version.as_deref().unwrap_or("-")
+    );
     println!("login attempts :");
     for l in &record.logins {
-        println!("  {}:{} -> {}", l.username, l.password, if l.success { "ACCEPT" } else { "reject" });
+        println!(
+            "  {}:{} -> {}",
+            l.username,
+            l.password,
+            if l.success { "ACCEPT" } else { "reject" }
+        );
     }
     println!("commands:");
     for c in &record.commands {
-        println!("  [{}] {}", if c.known { "known " } else { "unknown" }, c.input);
+        println!(
+            "  [{}] {}",
+            if c.known { "known " } else { "unknown" },
+            c.input
+        );
     }
     println!("uris recorded  : {:?}", record.uris);
     println!("file events:");

@@ -12,8 +12,8 @@
 //! cargo run --release --example live_day -- 2023-06-05
 //! ```
 
-use honeylab::botnet::{catalog, Archetype, BotCtx, StorageEcosystem, StorageStore};
 use honeylab::botnet::storage::StorageConfig;
+use honeylab::botnet::{catalog, Archetype, BotCtx, StorageEcosystem, StorageStore};
 use honeylab::honeypot::{AuthPolicy, Collector, Fleet, SessionInput, SessionSim};
 use honeylab::hutil::rng::SeedTree;
 use honeylab::hutil::Date;
@@ -66,7 +66,11 @@ fn main() {
     );
     let storage_cfg = StorageConfig::paper_defaults(day.plus_days(-30), day.plus_days(30));
     let eco = StorageEcosystem::new(&storage_cfg, seeds.child("eco"), |i, _| {
-        (65_500 + (i % 20) as u32, Ipv4Addr(0x2000_0000 + i as u32 * 5), None)
+        (
+            65_500 + (i % 20) as u32,
+            Ipv4Addr(0x2000_0000 + i as u32 * 5),
+            None,
+        )
     });
     let store = StorageStore::new(&eco, day);
     let latency = LatencyModel::new(3);
@@ -81,8 +85,10 @@ fn main() {
     for spec in catalog() {
         let mut rate = spec.rate(day);
         // The mdrfckr dips apply here just as in the bulk driver.
-        if matches!(spec.bot, Archetype::MdrfckrInitial | Archetype::MdrfckrVariant)
-            && honeylab::botnet::events::in_dip(day)
+        if matches!(
+            spec.bot,
+            Archetype::MdrfckrInitial | Archetype::MdrfckrVariant
+        ) && honeylab::botnet::events::in_dip(day)
         {
             rate *= 0.002;
         }
@@ -112,7 +118,10 @@ fn main() {
             scheduler.schedule(at, Ev::Open { conn });
         }
     }
-    println!("== live honeynet day {day}: {} planned sessions ==", planned.len());
+    println!(
+        "== live honeynet day {day}: {} planned sessions ==",
+        planned.len()
+    );
 
     // Run the event loop.
     let mut timeouts = 0u32;
@@ -202,7 +211,9 @@ fn main() {
     let mut cats: std::collections::BTreeMap<&str, u32> = std::collections::BTreeMap::new();
     for rec in &dataset {
         if !rec.commands.is_empty() {
-            *cats.entry(classifier.classify(&rec.command_text())).or_default() += 1;
+            *cats
+                .entry(classifier.classify(&rec.command_text()))
+                .or_default() += 1;
         }
     }
     println!("\ncategories observed:");

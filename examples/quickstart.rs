@@ -14,11 +14,17 @@ fn main() {
     cfg.session_scale = 5_000;
     cfg.ip_scale = 100;
 
-    eprintln!("generating 33 months of honeynet traffic (scale 1:{})…", cfg.session_scale);
+    eprintln!(
+        "generating 33 months of honeynet traffic (scale 1:{})…",
+        cfg.session_scale
+    );
     let dataset = generate_dataset(&cfg);
 
     let stats = TaxonomyStats::compute(&dataset.sessions);
-    print!("{}", report::render_dataset_stats(&stats, cfg.session_scale));
+    print!(
+        "{}",
+        report::render_dataset_stats(&stats, cfg.session_scale)
+    );
 
     println!();
     let fig1 = report::fig1(&dataset.sessions);
@@ -27,7 +33,10 @@ fn main() {
     println!();
     let classifier = Classifier::table1();
     let coverage = report::classification_coverage(&dataset.sessions, &classifier);
-    println!("Table 1 classification coverage: {:.2}% (paper: >99%)", coverage * 100.0);
+    println!(
+        "Table 1 classification coverage: {:.2}% (paper: >99%)",
+        coverage * 100.0
+    );
 
     let fig2 = report::fig2(&dataset.sessions, &classifier);
     let totals = fig2.totals();

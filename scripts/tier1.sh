@@ -4,6 +4,9 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+echo "== tier1: rustfmt =="
+cargo fmt --all --check
+
 echo "== tier1: release build =="
 cargo build --release
 

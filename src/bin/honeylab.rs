@@ -11,11 +11,20 @@
 //!     bounded at any scale.
 //!
 //! honeylab analyze honeynet.json
-//! honeylab analyze store.hsdb
+//! honeylab analyze store.hsdb --report taxonomy --report passwords
 //!     Run the paper's analysis pipeline. The input format is
 //!     auto-detected (sessiondb by magic bytes / store manifest, anything
-//!     else parses as a Cowrie JSON log); sessiondb input is analysed in
-//!     streaming passes without materializing the dataset.
+//!     else parses as a Cowrie JSON log); every selected report is
+//!     computed in one streaming pass, so sessiondb input is analysed
+//!     without materializing the dataset. `--report` is repeatable;
+//!     omitting it runs every report.
+//!
+//! honeylab serve --ssh-port 2222 --telnet-port 2323 --store live.hsdb
+//!     Serve the honeypot over real TCP sockets: a sharded accept loop
+//!     feeds a worker pool driving the sans-IO SSH/telnet state machines.
+//!     Completed sessions stream through the collector into a sessiondb
+//!     store. Ctrl-C (or closing stdin) drains in-flight sessions and
+//!     seals the store.
 //!
 //! honeylab classify
 //!     Read command lines from stdin, print the Table 1 category of each.
@@ -25,25 +34,30 @@
 //! ```
 
 use honeylab::botnet::{generate_dataset_into, FaultProfile};
-use honeylab::core::{logins, report, storage_analysis as sa};
-use honeylab::honeypot::{from_cowrie_log_lossy, to_cowrie_log};
+use honeylab::core::{report, AnalysisBuilder, AnalysisReport, ReportKind, SessionSource};
+use honeylab::honeypot::to_cowrie_log;
 use honeylab::prelude::*;
+use honeylab::serve::{signal, ServeConfig, Server};
 use honeylab::sessiondb::{is_sessiondb_path, Store, StoreWriter};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::borrow::Borrow;
-use std::io::{BufRead, Write};
+use std::io::{BufRead, Read, Write};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let code = match args.first().map(String::as_str) {
         Some("generate") => cmd_generate(&args[1..]),
         Some("analyze") => cmd_analyze(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
         Some("classify") => cmd_classify(),
         Some("table1") => cmd_table1(),
         _ => {
             eprintln!(
-                "usage: honeylab <generate|analyze|classify|table1> [options]\n\
+                "usage: honeylab <generate|analyze|serve|classify|table1> [options]\n\
                  \n\
                  generate --scale N --seed S --out FILE   synthesize a honeynet dataset\n\
                  \x20        [--out-format cowrie|sessiondb] cowrie: JSON-lines log (default);\n\
@@ -53,6 +67,14 @@ fn main() {
                  \x20        [--corrupt F]                   corrupt the emitted log (per-line byte-flip rate; cowrie only)\n\
                  analyze PATH                             run the paper's analysis on a Cowrie log\n\
                  \x20                                        or sessiondb store (format auto-detected)\n\
+                 \x20        [--report NAME]...              run only the named reports (repeatable; default all):\n\
+                 \x20                                        taxonomy categories passwords probes downloads mdrfckr\n\
+                 serve                                    serve the honeypot over live TCP sockets\n\
+                 \x20        [--ssh-port N] [--telnet-port N] listeners (0 = ephemeral; default ssh 2222)\n\
+                 \x20        [--bind ADDR] [--store DIR]     bind address; spill sessions to a sessiondb store\n\
+                 \x20        [--max-conns N] [--per-ip N]    admission limits (shed at accept time)\n\
+                 \x20        [--workers N]                   worker shards (default: CPU count)\n\
+                 \x20        [--idle-secs N] [--session-secs N] [--drain-secs N] [--stats-secs N]\n\
                  classify                                 classify stdin command lines (Table 1)\n\
                  table1                                   print the classifier rule set"
             );
@@ -63,20 +85,33 @@ fn main() {
 }
 
 fn flag(args: &[String], name: &str) -> Option<String> {
-    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).cloned()
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
 }
 
 fn cmd_generate(args: &[String]) -> i32 {
-    let scale: u64 = flag(args, "--scale").and_then(|s| s.parse().ok()).unwrap_or(8_000);
-    let seed: u64 = flag(args, "--seed").and_then(|s| s.parse().ok()).unwrap_or(42);
+    let scale: u64 = flag(args, "--scale")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(8_000);
+    let seed: u64 = flag(args, "--seed")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42);
     let format = flag(args, "--out-format").unwrap_or_else(|| "cowrie".to_string());
     let out = flag(args, "--out").unwrap_or_else(|| match format.as_str() {
         "sessiondb" => "honeynet.hsdb".to_string(),
         _ => "honeynet.json".to_string(),
     });
-    let downtime: f64 = flag(args, "--downtime").and_then(|s| s.parse().ok()).unwrap_or(0.0);
-    let flush_fail: f64 = flag(args, "--flush-fail").and_then(|s| s.parse().ok()).unwrap_or(0.0);
-    let corrupt: f64 = flag(args, "--corrupt").and_then(|s| s.parse().ok()).unwrap_or(0.0);
+    let downtime: f64 = flag(args, "--downtime")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.0);
+    let flush_fail: f64 = flag(args, "--flush-fail")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.0);
+    let corrupt: f64 = flag(args, "--corrupt")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.0);
     let mut cfg = DriverConfig::default_scale(seed);
     cfg.session_scale = scale;
     if downtime > 0.0 {
@@ -94,11 +129,17 @@ fn cmd_generate(args: &[String]) -> i32 {
         "cowrie" => {
             let ds = generate_dataset(&cfg);
             report_degraded(&ds.faults, ds.sessions.len() as u64);
-            eprintln!("{} sessions; writing Cowrie-format log to {out}…", ds.sessions.len());
+            eprintln!(
+                "{} sessions; writing Cowrie-format log to {out}…",
+                ds.sessions.len()
+            );
             let mut log = to_cowrie_log(&ds.sessions);
             if corrupt > 0.0 {
                 let (l, n) = corrupt_log(&log, corrupt, seed);
-                eprintln!("corrupted {n} of {} lines (--corrupt {corrupt})", l.lines().count());
+                eprintln!(
+                    "corrupted {n} of {} lines (--corrupt {corrupt})",
+                    l.lines().count()
+                );
                 log = l;
             }
             match std::fs::File::create(&out).and_then(|mut f| f.write_all(log.as_bytes())) {
@@ -187,19 +228,74 @@ fn corrupt_log(log: &str, rate: f64, seed: u64) -> (String, usize) {
     (lines.join("\n") + "\n", corrupted)
 }
 
+fn report_names() -> String {
+    let names: Vec<&str> = ReportKind::ALL.iter().map(|k| k.name()).collect();
+    names.join(", ")
+}
+
+/// Deprecated per-report flags from the pre-builder CLI; accepted (with a
+/// warning) but hidden from the usage text.
+const DEPRECATED_REPORT_FLAGS: [&str; 6] = [
+    "--taxonomy",
+    "--categories",
+    "--passwords",
+    "--probes",
+    "--downloads",
+    "--mdrfckr",
+];
+
 fn cmd_analyze(args: &[String]) -> i32 {
-    let Some(path) = args.first() else {
-        eprintln!("usage: honeylab analyze <cowrie-log.json | store.hsdb>");
+    let mut path: Option<&str> = None;
+    let mut reports: Vec<ReportKind> = Vec::new();
+    let select = |reports: &mut Vec<ReportKind>, k: ReportKind| {
+        if !reports.contains(&k) {
+            reports.push(k);
+        }
+    };
+    let mut i = 0;
+    while i < args.len() {
+        let arg = args[i].as_str();
+        if arg == "--report" {
+            i += 1;
+            let Some(name) = args.get(i) else {
+                eprintln!("--report needs a value (one of: {})", report_names());
+                return 2;
+            };
+            match ReportKind::parse(name) {
+                Some(k) => select(&mut reports, k),
+                None => {
+                    eprintln!(
+                        "unknown report '{name}' (expected one of: {})",
+                        report_names()
+                    );
+                    return 2;
+                }
+            }
+        } else if DEPRECATED_REPORT_FLAGS.contains(&arg) {
+            let name = &arg[2..];
+            eprintln!("warning: {arg} is deprecated; use --report {name}");
+            let k = ReportKind::parse(name).expect("alias names mirror report names");
+            select(&mut reports, k);
+        } else if !arg.starts_with("--") && path.is_none() {
+            path = Some(arg);
+        } else {
+            eprintln!("unknown analyze option '{arg}'");
+            return 2;
+        }
+        i += 1;
+    }
+    let Some(path) = path else {
+        eprintln!("usage: honeylab analyze <cowrie-log.json | store.hsdb> [--report NAME]...");
         return 2;
     };
     if is_sessiondb_path(path) {
-        analyze_sessiondb(path)
+        analyze_sessiondb(path, &reports)
     } else {
-        analyze_cowrie(path)
+        analyze_cowrie(path, &reports)
     }
 }
 
-fn analyze_sessiondb(path: &str) -> i32 {
+fn analyze_sessiondb(path: &str, reports: &[ReportKind]) -> i32 {
     let store = match Store::open(path) {
         Ok(s) => s,
         Err(e) => {
@@ -208,32 +304,44 @@ fn analyze_sessiondb(path: &str) -> i32 {
         }
     };
     let summary = store.summary();
-    eprintln!("sessiondb store: {} sessions in {} segments", summary.rows, summary.segments);
+    eprintln!(
+        "sessiondb store: {} sessions in {} segments",
+        summary.rows, summary.segments
+    );
     // One parallel pass decodes and CRC-checks every block up front, so
-    // the streaming report passes below can trust the store.
-    let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
-    match store.par_scan(workers, |acc: &mut u64, batch| *acc += batch.len() as u64, |a, b| a + b) {
+    // the streaming analysis pass below can trust the store.
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    match store.par_scan(
+        workers,
+        |acc: &mut u64, batch| *acc += batch.len() as u64,
+        |a, b| a + b,
+    ) {
         Ok(validated) => eprintln!("validated {validated} sessions"),
         Err(e) => {
             eprintln!("error scanning {path}: {e}");
             return 1;
         }
     }
-    // Each report is a single pass over a fresh scan; memory stays bounded
-    // by one decoded segment regardless of store size.
-    run_reports(|| {
-        store.scan().records().map_while(|r| match r {
-            Ok(rec) => Some(rec),
-            Err(e) => {
-                eprintln!("warning: scan failed mid-report (store changed?): {e}");
-                None
-            }
-        })
-    });
-    0
+    // Every selected report shares one out-of-core scan; memory stays
+    // bounded by one decoded segment regardless of store size.
+    let result = AnalysisBuilder::new(SessionSource::Store(&store))
+        .reports(reports.iter().copied())
+        .run();
+    match result {
+        Ok(r) => {
+            render_analysis(&r);
+            0
+        }
+        Err(e) => {
+            eprintln!("error scanning {path}: {e}");
+            1
+        }
+    }
 }
 
-fn analyze_cowrie(path: &str) -> i32 {
+fn analyze_cowrie(path: &str, reports: &[ReportKind]) -> i32 {
     let log = match std::fs::read_to_string(path) {
         Ok(s) => s,
         Err(e) => {
@@ -242,101 +350,232 @@ fn analyze_cowrie(path: &str) -> i32 {
         }
     };
     // Lossy import: a real multi-year Cowrie deployment accumulates torn
-    // writes and crash-truncated files; recover every parseable session
-    // and report what was skipped rather than aborting on line one.
-    let import = from_cowrie_log_lossy(&log);
-    for err in import.errors.iter().take(5) {
-        eprintln!("warning: line {}: {} ({})", err.line, err.message, err.snippet);
+    // writes and crash-truncated files; the builder recovers every
+    // parseable session and reports what was skipped rather than aborting
+    // on line one.
+    let result = AnalysisBuilder::new(SessionSource::CowrieLog(&log))
+        .reports(reports.iter().copied())
+        .run();
+    let r = match result {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error parsing {path}: {e}");
+            return 1;
+        }
+    };
+    if let Some(import) = &r.import {
+        for err in import.errors.iter().take(5) {
+            eprintln!(
+                "warning: line {}: {} ({})",
+                err.line, err.message, err.snippet
+            );
+        }
+        if import.errors.len() > 5 {
+            eprintln!(
+                "warning: … {} more unparseable lines",
+                import.errors.len() - 5
+            );
+        }
+        if !import.errors.is_empty() {
+            eprintln!(
+                "recovered {} sessions from {} lines ({} unparseable)",
+                import.recovered,
+                import.lines_total,
+                import.errors.len()
+            );
+        }
     }
-    if import.errors.len() > 5 {
-        eprintln!("warning: … {} more unparseable lines", import.errors.len() - 5);
-    }
-    if !import.errors.is_empty() {
-        eprintln!(
-            "recovered {} sessions from {} lines ({} unparseable)",
-            import.sessions.len(),
-            import.lines_total,
-            import.errors.len()
-        );
-    }
-    let sessions = import.sessions;
-    if sessions.is_empty() && !import.errors.is_empty() {
-        eprintln!("error parsing {path}: no sessions recoverable");
-        return 1;
-    }
-    eprintln!("parsed {} sessions", sessions.len());
-    run_reports(|| sessions.iter());
+    eprintln!("parsed {} sessions", r.sessions);
+    render_analysis(&r);
     0
 }
 
-/// The paper's analysis pipeline over any session source.
-///
-/// `fresh` yields a new single-use session stream per call; each report
-/// below is one pass over one such stream. A slice-backed source hands out
-/// `sessions.iter()` repeatedly for free, while a sessiondb source opens a
-/// fresh out-of-core scan per pass — either way no report ever needs the
-/// whole dataset in memory at once.
-fn run_reports<F, I>(fresh: F)
-where
-    F: Fn() -> I,
-    I: IntoIterator,
-    I::Item: Borrow<SessionRecord>,
-{
+/// Prints whichever reports the builder computed; unselected sections are
+/// `None` and skipped.
+fn render_analysis(r: &AnalysisReport) {
     // §3.3 taxonomy.
-    let stats = TaxonomyStats::compute(fresh());
-    print!("{}", report::render_dataset_stats(&stats, 1));
+    if let Some(stats) = &r.taxonomy {
+        print!("{}", report::render_dataset_stats(stats, 1));
+    }
 
     // Table 1 classification.
-    let cl = Classifier::table1();
-    let coverage = report::classification_coverage(fresh(), &cl);
-    println!("\nTable 1 coverage: {:.2}% of command sessions classified", coverage * 100.0);
-    let cats = report::category_counts(fresh(), &cl);
-    println!("\ntop command categories:");
-    for (label, n) in cats.iter().take(15) {
-        println!("  {label:<26} {n}");
+    if let (Some(coverage), Some(cats)) = (r.coverage, &r.categories) {
+        println!(
+            "\nTable 1 coverage: {:.2}% of command sessions classified",
+            coverage * 100.0
+        );
+        println!("\ntop command categories:");
+        for (label, n) in cats.iter().take(15) {
+            println!("  {label:<26} {n}");
+        }
     }
 
     // Passwords.
-    let top = logins::top_passwords(fresh(), 10);
-    println!("\ntop accepted passwords:");
-    for (i, pw) in top.passwords.iter().enumerate() {
-        let total: u64 = top.by_month.values().map(|v| v[i]).sum();
-        println!("  #{:<2} {pw:<24} {total}", i + 1);
+    if let Some(top) = &r.passwords {
+        println!("\ntop accepted passwords:");
+        for (i, pw) in top.passwords.iter().enumerate() {
+            let total: u64 = top.by_month.values().map(|v| v[i]).sum();
+            println!("  #{:<2} {pw:<24} {total}", i + 1);
+        }
     }
 
     // Cowrie-default fingerprinting.
-    let probes = logins::cowrie_default_probes(fresh());
-    let phil: u64 = probes.phil_success.values().sum();
-    if phil > 0 {
-        println!(
-            "\nhoneypot fingerprinting: {phil} 'phil' logins from {} IPs ({:.0}% commandless) — \
-             attackers are probing for Cowrie defaults",
-            probes.phil_unique_ips,
-            probes.phil_no_command_frac * 100.0
-        );
+    if let Some(probes) = &r.probes {
+        let phil: u64 = probes.phil_success.values().sum();
+        if phil > 0 {
+            println!(
+                "\nhoneypot fingerprinting: {phil} 'phil' logins from {} IPs ({:.0}% commandless) — \
+                 attackers are probing for Cowrie defaults",
+                probes.phil_unique_ips,
+                probes.phil_no_command_frac * 100.0
+            );
+        }
     }
 
     // Downloads.
-    let events = sa::download_events(fresh());
-    if !events.is_empty() {
-        let st = sa::storage_stats(&events, &abusedb::AbuseDb::default());
-        println!(
-            "\ndownloads: {} sessions, {} client IPs, {} storage hosts ({:.0}% host != client)",
-            st.download_sessions,
-            st.unique_download_clients,
-            st.unique_storage_ips,
-            st.different_ip_frac * 100.0
-        );
+    if let (Some(events), Some(st)) = (&r.downloads, &r.storage) {
+        if !events.is_empty() {
+            println!(
+                "\ndownloads: {} sessions, {} client IPs, {} storage hosts ({:.0}% host != client)",
+                st.download_sessions,
+                st.unique_download_clients,
+                st.unique_storage_ips,
+                st.different_ip_frac * 100.0
+            );
+        }
     }
 
     // mdrfckr check.
-    let tl = honeylab::core::mdrfckr::timeline(fresh());
-    let total: u64 = tl.daily.values().map(|(n, _)| n).sum();
-    if total > 0 {
-        println!(
-            "\nmdrfckr activity: {total} sessions over {} days — see the paper's §9 for the actor profile",
-            tl.daily.len()
-        );
+    if let Some(tl) = &r.mdrfckr {
+        let total: u64 = tl.daily.values().map(|(n, _)| n).sum();
+        if total > 0 {
+            println!(
+                "\nmdrfckr activity: {total} sessions over {} days — see the paper's §9 for the actor profile",
+                tl.daily.len()
+            );
+        }
+    }
+}
+
+/// Parses an optional numeric flag; a malformed value is a usage error.
+fn parse_flag<T: std::str::FromStr>(args: &[String], name: &str) -> Result<Option<T>, i32> {
+    match flag(args, name) {
+        None => Ok(None),
+        Some(v) => v.parse().map(Some).map_err(|_| {
+            eprintln!("invalid value for {name}: '{v}'");
+            2
+        }),
+    }
+}
+
+fn serve_config(args: &[String]) -> Result<ServeConfig, i32> {
+    let ssh_port: Option<u16> = parse_flag(args, "--ssh-port")?;
+    let telnet_port: Option<u16> = parse_flag(args, "--telnet-port")?;
+    let mut cfg = ServeConfig {
+        // With no listener flags at all, default to SSH on the
+        // conventional unprivileged honeypot port.
+        ssh_port: ssh_port.or_else(|| telnet_port.is_none().then_some(2222)),
+        telnet_port,
+        store_dir: flag(args, "--store").map(PathBuf::from),
+        ..ServeConfig::default()
+    };
+    if let Some(bind) = flag(args, "--bind") {
+        cfg.bind = bind.parse().map_err(|_| {
+            eprintln!("invalid --bind address '{bind}'");
+            2
+        })?;
+    }
+    if let Some(n) = parse_flag(args, "--max-conns")? {
+        cfg.max_connections = n;
+    }
+    if let Some(n) = parse_flag(args, "--per-ip")? {
+        cfg.per_ip_limit = n;
+    }
+    if let Some(n) = parse_flag(args, "--workers")? {
+        cfg.workers = n;
+    }
+    if let Some(s) = parse_flag::<u64>(args, "--idle-secs")? {
+        cfg.idle_timeout = Duration::from_secs(s);
+    }
+    if let Some(s) = parse_flag::<u64>(args, "--session-secs")? {
+        cfg.session_timeout = Duration::from_secs(s);
+    }
+    if let Some(s) = parse_flag::<u64>(args, "--drain-secs")? {
+        cfg.drain_timeout = Duration::from_secs(s);
+    }
+    if let Some(s) = parse_flag::<u64>(args, "--stats-secs")? {
+        // 0 disables the stats thread entirely.
+        cfg.stats_interval = (s > 0).then(|| Duration::from_secs(s));
+    }
+    Ok(cfg)
+}
+
+fn cmd_serve(args: &[String]) -> i32 {
+    let cfg = match serve_config(args) {
+        Ok(c) => c,
+        Err(code) => return code,
+    };
+    let store_dir = cfg.store_dir.clone();
+    signal::install();
+    let handle = match Server::start(cfg) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("error starting server: {e}");
+            return 1;
+        }
+    };
+    let addrs = handle.addrs();
+    if let Some(a) = addrs.ssh {
+        eprintln!("listening ssh on {a}");
+    }
+    if let Some(a) = addrs.telnet {
+        eprintln!("listening telnet on {a}");
+    }
+    eprintln!("press Ctrl-C (or close stdin) to stop");
+
+    // A second shutdown path besides SIGINT: supervising processes (and
+    // the concurrency smoke test) close our stdin to request a drain.
+    let stdin_closed = Arc::new(AtomicBool::new(false));
+    {
+        let stdin_closed = Arc::clone(&stdin_closed);
+        std::thread::Builder::new()
+            .name("stdin-watch".into())
+            .spawn(move || {
+                let mut buf = [0u8; 256];
+                let mut stdin = std::io::stdin();
+                loop {
+                    match stdin.read(&mut buf) {
+                        Ok(0) => break,
+                        Ok(_) => continue,
+                        Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                        Err(_) => break,
+                    }
+                }
+                stdin_closed.store(true, Ordering::Relaxed);
+            })
+            .expect("spawn stdin watcher");
+    }
+
+    while !signal::interrupted() && !stdin_closed.load(Ordering::Relaxed) {
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    eprintln!("shutting down: draining in-flight sessions…");
+    match handle.join() {
+        Ok(report) => {
+            eprintln!("final: {}", report.snapshot.render());
+            eprintln!(
+                "collector: {} accepted, {} dropped, {} quarantined",
+                report.ingest.accepted, report.ingest.dropped, report.quarantined
+            );
+            if let Some(dir) = store_dir {
+                eprintln!("sealed sessiondb store {}", dir.display());
+            }
+            0
+        }
+        Err(e) => {
+            eprintln!("error during shutdown: {e}");
+            1
+        }
     }
 }
 

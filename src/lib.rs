@@ -38,6 +38,7 @@
 //! | [`abusedb`] | partial-coverage abuse feeds + IP lists |
 //! | [`honeypot`] | Cowrie-like sensor, shell emulator, collector |
 //! | [`sessiondb`] | sharded columnar session store, out-of-core scans |
+//! | [`serve`] | live TCP front-end: sharded accept loop + worker pool |
 //! | [`botnet`] | 40+ bot archetypes + 33-month campaign driver |
 //! | [`honeylab_core`] | the paper's analysis pipeline and figures |
 
@@ -48,6 +49,7 @@ pub use honeylab_core as core;
 pub use honeypot;
 pub use hutil;
 pub use netsim;
+pub use serve;
 pub use sessiondb;
 pub use sregex;
 pub use sshwire;

@@ -20,7 +20,12 @@ fn table1_prints_all_rules() {
     let out = honeylab().arg("table1").output().expect("binary runs");
     assert!(out.status.success());
     let text = String::from_utf8_lossy(&out.stdout);
-    for label in ["mdrfckr", "curl_maxred", "gen_curl_echo_ftp_wget", "unknown"] {
+    for label in [
+        "mdrfckr",
+        "curl_maxred",
+        "gen_curl_echo_ftp_wget",
+        "unknown",
+    ] {
         assert!(text.contains(label), "missing {label}");
     }
     // 58 rules + header + fallback line.
@@ -67,16 +72,31 @@ fn generate_then_analyze_roundtrip() {
         ])
         .output()
         .expect("binary runs");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(log.exists());
 
-    let out = honeylab().arg("analyze").arg(&log).output().expect("binary runs");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let out = honeylab()
+        .arg("analyze")
+        .arg(&log)
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("Dataset statistics"));
     assert!(text.contains("Table 1 coverage"));
     assert!(text.contains("top command categories"));
-    assert!(text.contains("echo_OK"), "dominant scout should appear:\n{text}");
+    assert!(
+        text.contains("echo_OK"),
+        "dominant scout should appear:\n{text}"
+    );
     std::fs::remove_file(&log).ok();
 }
 
@@ -103,15 +123,30 @@ fn degraded_generate_then_lossy_analyze() {
         ])
         .output()
         .expect("binary runs");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let err = String::from_utf8_lossy(&out.stderr);
-    assert!(err.contains("degraded run:"), "accounting line printed:\n{err}");
+    assert!(
+        err.contains("degraded run:"),
+        "accounting line printed:\n{err}"
+    );
     assert!(err.contains("connection failures"), "{err}");
     assert!(err.contains("corrupted"), "{err}");
 
     // The analyzer recovers the parseable sessions instead of aborting.
-    let out = honeylab().arg("analyze").arg(&log).output().expect("binary runs");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let out = honeylab()
+        .arg("analyze")
+        .arg(&log)
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let err = String::from_utf8_lossy(&out.stderr);
     assert!(err.contains("recovered"), "lossy import reported:\n{err}");
     let text = String::from_utf8_lossy(&out.stdout);
@@ -139,17 +174,35 @@ fn sessiondb_generate_then_analyze_roundtrip() {
         ])
         .output()
         .expect("binary runs");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let err = String::from_utf8_lossy(&out.stderr);
     assert!(err.contains("wrote sessiondb store"), "{err}");
     assert!(store.join("MANIFEST").exists());
 
     // analyze auto-detects the store and streams it.
-    let out = honeylab().arg("analyze").arg(&store).output().expect("binary runs");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let out = honeylab()
+        .arg("analyze")
+        .arg(&store)
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let err = String::from_utf8_lossy(&out.stderr);
-    assert!(err.contains("sessiondb store:"), "auto-detection reported:\n{err}");
-    assert!(err.contains("validated"), "up-front CRC pass reported:\n{err}");
+    assert!(
+        err.contains("sessiondb store:"),
+        "auto-detection reported:\n{err}"
+    );
+    assert!(
+        err.contains("validated"),
+        "up-front CRC pass reported:\n{err}"
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("Dataset statistics"));
     assert!(text.contains("Table 1 coverage"));
@@ -174,7 +227,11 @@ fn analyze_rejects_corrupt_store() {
         ])
         .output()
         .expect("binary runs");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
 
     // Flip one byte in the middle of the first segment: the validation
     // pass must fail with a structured error, not a panic.
@@ -184,8 +241,17 @@ fn analyze_rejects_corrupt_store() {
     bytes[mid] ^= 0x10;
     std::fs::write(&seg, &bytes).unwrap();
 
-    let out = honeylab().arg("analyze").arg(&store).output().expect("binary runs");
-    assert_eq!(out.status.code(), Some(1), "{}", String::from_utf8_lossy(&out.stderr));
+    let out = honeylab()
+        .arg("analyze")
+        .arg(&store)
+        .output()
+        .expect("binary runs");
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let err = String::from_utf8_lossy(&out.stderr);
     assert!(err.contains("error scanning"), "{err}");
     std::fs::remove_dir_all(&store).ok();
@@ -208,7 +274,11 @@ fn analyze_rejects_garbage() {
     std::fs::create_dir_all(&dir).unwrap();
     let bad = dir.join("bad.json");
     std::fs::write(&bad, "this is not json\n").unwrap();
-    let out = honeylab().arg("analyze").arg(&bad).output().expect("binary runs");
+    let out = honeylab()
+        .arg("analyze")
+        .arg(&bad)
+        .output()
+        .expect("binary runs");
     assert_eq!(out.status.code(), Some(1));
     std::fs::remove_file(&bad).ok();
 }

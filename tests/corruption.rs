@@ -30,8 +30,11 @@ fn base() -> &'static Base {
             .into_iter()
             .map(|rec| {
                 let tag = format!("\"session\":\"{:012x}\"", rec.session_id);
-                let lines: Vec<String> =
-                    log.lines().filter(|l| l.contains(&tag)).map(str::to_string).collect();
+                let lines: Vec<String> = log
+                    .lines()
+                    .filter(|l| l.contains(&tag))
+                    .map(str::to_string)
+                    .collect();
                 assert!(!lines.is_empty(), "every session appears in its own log");
                 (rec, lines)
             })

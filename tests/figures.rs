@@ -28,7 +28,10 @@ fn s33_taxonomy_ordering_and_magnitudes() {
     // Relative magnitudes (paper: 45/258/80/163M of 546M SSH).
     let ssh = stats.ssh_sessions as f64;
     assert!((stats.scouting as f64 / ssh) > 0.35, "scouting share");
-    assert!((stats.command_execution as f64 / ssh) > 0.20, "cmd-exec share");
+    assert!(
+        (stats.command_execution as f64 / ssh) > 0.20,
+        "cmd-exec share"
+    );
     assert!((stats.scanning as f64 / ssh) < 0.15, "scanning share");
 }
 
@@ -41,7 +44,12 @@ fn s5_table1_coverage_exceeds_99_percent() {
 #[test]
 fn fig1_2023_shift_toward_exploration() {
     let f = report::fig1(&ds().sessions);
-    let ix = |y, m| f.months.iter().position(|x| *x == Month::new(y, m)).unwrap();
+    let ix = |y, m| {
+        f.months
+            .iter()
+            .position(|x| *x == Month::new(y, m))
+            .unwrap()
+    };
     let nc = |i: usize| f.not_changing[i].as_ref().unwrap().median;
     let ch = |i: usize| f.changing[i].as_ref().unwrap().median;
     // 2022: comparable rates; 2023+: non-state-changing dominates.
@@ -73,15 +81,26 @@ fn fig3a_mdrfckr_over_80_percent() {
 #[test]
 fn fig3b_decline_and_bbox_unlabelled_death() {
     let f = report::fig3b(&ds().sessions, cl());
-    let ix = |y, m| f.months.iter().position(|x| *x == Month::new(y, m)).unwrap();
+    let ix = |y, m| {
+        f.months
+            .iter()
+            .position(|x| *x == Month::new(y, m))
+            .unwrap()
+    };
     // Exec activity declines markedly from late 2022 onward.
     let h1_2022: u64 = (0..6).map(|i| f.month_total(ix(2022, 1) + i)).sum();
     let h1_2024: u64 = (0..6).map(|i| f.month_total(ix(2024, 1) + i)).sum();
     assert!(h1_2024 * 2 < h1_2022, "{h1_2022} -> {h1_2024}");
     // bbox_unlabelled ends abruptly mid-2022 with no successor.
-    let li = f.labels.iter().position(|l| l == "bbox_unlabelled").unwrap();
+    let li = f
+        .labels
+        .iter()
+        .position(|l| l == "bbox_unlabelled")
+        .unwrap();
     assert!(f.counts[ix(2022, 5)][li] > 0);
-    let after: u64 = (ix(2022, 8)..f.months.len()).map(|mi| f.counts[mi][li]).sum();
+    let after: u64 = (ix(2022, 8)..f.months.len())
+        .map(|mi| f.counts[mi][li])
+        .sum();
     assert_eq!(after, 0, "bbox_unlabelled must stay dead");
     // bb_5_diff_char_v2 remains active to the end.
     let b5 = f.labels.iter().position(|l| l == "bbox_5_char_v2").unwrap();
@@ -103,8 +122,12 @@ fn fig4_file_exists_collapse() {
     let e23 = year_total(&exists, 2023);
     assert!(e23 * 5 < e22, "paper: >100k/mo -> ~5k/mo: {e22} -> {e23}");
     // Missing dominates exists overall ~4:1 (paper: 12M vs 3M).
-    let m_all: u64 = (0..missing.months.len()).map(|i| missing.month_total(i)).sum();
-    let e_all: u64 = (0..exists.months.len()).map(|i| exists.month_total(i)).sum();
+    let m_all: u64 = (0..missing.months.len())
+        .map(|i| missing.month_total(i))
+        .sum();
+    let e_all: u64 = (0..exists.months.len())
+        .map(|i| exists.month_total(i))
+        .sum();
     assert!(m_all > 2 * e_all, "missing {m_all} vs exists {e_all}");
 }
 
@@ -149,8 +172,14 @@ fn fig7_client_isp_storage_hosting() {
         .filter(|f| f.storage_type == asdb::AsType::Hosting)
         .map(|f| f.events)
         .sum();
-    assert!(client_isp as f64 / total as f64 > 0.5, "clients mostly ISP/NSP");
-    assert!(storage_hosting as f64 / total as f64 > 0.5, "storage mostly hosting");
+    assert!(
+        client_isp as f64 / total as f64 > 0.5,
+        "clients mostly ISP/NSP"
+    );
+    assert!(
+        storage_hosting as f64 / total as f64 > 0.5,
+        "storage mostly hosting"
+    );
 }
 
 #[test]
@@ -182,8 +211,16 @@ fn fig8_census_age_and_size() {
     assert!(census.total > 50, "census total {}", census.total);
     assert!(census.hosting > census.isp * 5, "hosting-dominated census");
     // AS-weighted census (diluted by old self-hosting client ASes).
-    assert!(census.younger_1y_frac > 0.20, "paper: >35%; got {}", census.younger_1y_frac);
-    assert!(census.younger_5y_frac > 0.50, "paper: >70%; got {}", census.younger_5y_frac);
+    assert!(
+        census.younger_1y_frac > 0.20,
+        "paper: >35%; got {}",
+        census.younger_1y_frac
+    );
+    assert!(
+        census.younger_5y_frac > 0.50,
+        "paper: >70%; got {}",
+        census.younger_5y_frac
+    );
     // Session-weighted ("in more than 70% of cases"), via Fig. 8a.
     let age = sa::as_age_by_month(&events, &ds().world.registry);
     let (mut young, mut mid, mut old) = (0u64, 0u64, 0u64);
@@ -214,12 +251,8 @@ fn fig8_census_age_and_size() {
 #[test]
 fn fig9_reuse_shape() {
     let events = sa::successful_download_events(&ds().sessions);
-    let rows = sa::reuse_buckets_by_week(
-        &events,
-        7,
-        Date::new(2021, 12, 1),
-        Date::new(2024, 8, 31),
-    );
+    let rows =
+        sa::reuse_buckets_by_week(&events, 7, Date::new(2021, 12, 1), Date::new(2024, 8, 31));
     let mut agg = vec![0u64; sa::FIG9_BUCKETS.len()];
     for (_, counts) in &rows {
         for (i, v) in counts.iter().enumerate() {
@@ -242,14 +275,21 @@ fn fig9_reuse_shape() {
 #[test]
 fn fig10_password_story() {
     let top = logins::top_passwords(&ds().sessions, 5);
-    assert!(top.passwords.contains(&"3245gs5662d34".to_string()), "{:?}", top.passwords);
+    assert!(
+        top.passwords.contains(&"3245gs5662d34".to_string()),
+        "{:?}",
+        top.passwords
+    );
     assert!(top.passwords.contains(&"admin".to_string()));
     // dreambox and vertex25ektks123 are synchronized.
     let p_dream = logins::password_profile(&ds().sessions, "dreambox");
     let p_vertex = logins::password_profile(&ds().sessions, "vertex25ektks123");
     assert!(p_dream.sessions > 0 && p_vertex.sessions > 0);
     let ratio = p_dream.sessions as f64 / p_vertex.sessions as f64;
-    assert!((0.5..2.0).contains(&ratio), "synchronized campaigns: {ratio}");
+    assert!(
+        (0.5..2.0).contains(&ratio),
+        "synchronized campaigns: {ratio}"
+    );
     // 3245gs5662d34: starts 2022-12-08 at 18:00, no commands ever.
     let p = logins::password_profile(&ds().sessions, "3245gs5662d34");
     let first = p.first_seen.expect("campaign exists");
@@ -264,12 +304,16 @@ fn fig11_phil_fingerprinting() {
     let phil: u64 = probes.phil_success.values().sum();
     let richard: u64 = probes.richard_tries.values().sum();
     assert!(phil > 0 && richard > 0);
-    assert!(probes.phil_no_command_frac > 0.9, "paper: >90% immediate disconnect");
+    assert!(
+        probes.phil_no_command_frac > 0.9,
+        "paper: >90% immediate disconnect"
+    );
     // richard never succeeds on this Cowrie version.
-    let richard_success = ds()
-        .sessions
-        .iter()
-        .any(|s| s.logins.iter().any(|l| l.username == "richard" && l.success));
+    let richard_success = ds().sessions.iter().any(|s| {
+        s.logins
+            .iter()
+            .any(|l| l.username == "richard" && l.success)
+    });
     assert!(!richard_success);
 }
 
@@ -287,18 +331,29 @@ fn fig12_13_mdrfckr_case_study() {
     assert!(hits >= 5, "rediscovered {hits}/8 dip windows: {dips:?}");
     // Variant appears with the 3245 campaign (2022-12) and is ~10x smaller.
     let vs = mdrfckr::variant_series(&ds().sessions);
-    let first_variant = vs.monthly.iter().find(|(_, v)| v[1] > 0).map(|(m, _)| *m).unwrap();
+    let first_variant = vs
+        .monthly
+        .iter()
+        .find(|(_, v)| v[1] > 0)
+        .map(|(m, _)| *m)
+        .unwrap();
     assert_eq!(first_variant, Month::new(2022, 12));
     let (init_total, var_total): (u64, u64) = vs
         .monthly
         .values()
         .fold((0, 0), |acc, v| (acc.0 + v[0], acc.1 + v[1]));
-    assert!(var_total * 5 < init_total, "variant order-of-magnitude smaller");
+    assert!(
+        var_total * 5 < init_total,
+        "variant order-of-magnitude smaller"
+    );
     // IP overlap with the credential campaign (paper: 99.4%). The pool
     // overlap is exact by construction; the observed-session overlap is
     // bounded below by sampling coverage at this scale.
     let mdr_pool: std::collections::HashSet<_> = ds().pools["mdrfckr"].iter().collect();
-    let shared = ds().pools["cred3245"].iter().filter(|ip| mdr_pool.contains(ip)).count();
+    let shared = ds().pools["cred3245"]
+        .iter()
+        .filter(|ip| mdr_pool.contains(ip))
+        .count();
     assert!(shared as f64 / ds().pools["cred3245"].len() as f64 > 0.99);
     assert!(mdrfckr::cred_overlap_frac(&ds().sessions) > 0.75);
     // Killnet overlap exists.
@@ -351,9 +406,14 @@ fn appendix_c_curl_proxy_abuse() {
     });
     assert!(window_ok, "campaign confined to Jan-Apr 2024");
     let avg_cmds = curl.iter().map(|s| s.commands.len()).sum::<usize>() / curl.len();
-    assert!((80..=120).contains(&avg_cmds), "paper: ~100 curls/session, got {avg_cmds}");
+    assert!(
+        (80..=120).contains(&avg_cmds),
+        "paper: ~100 curls/session, got {avg_cmds}"
+    );
     // Proxy targets never touch the filesystem.
-    assert!(curl.iter().all(|s| !s.changes_state() || s.command_text().contains("mdrfckr")));
+    assert!(curl
+        .iter()
+        .all(|s| !s.changes_state() || s.command_text().contains("mdrfckr")));
 }
 
 #[test]

@@ -105,8 +105,8 @@ proptest! {
 fn token_seq() -> impl Strategy<Value = Vec<String>> {
     proptest::collection::vec(
         proptest::sample::select(vec![
-            "cd", "/tmp", "wget", "<URL>", "chmod", "777", "sh", "<NAME>", "rm", "-rf",
-            "uname", "-a", "echo", "ok", "busybox", "tftp",
+            "cd", "/tmp", "wget", "<URL>", "chmod", "777", "sh", "<NAME>", "rm", "-rf", "uname",
+            "-a", "echo", "ok", "busybox", "tftp",
         ])
         .prop_map(str::to_string),
         0..24,

@@ -1,0 +1,182 @@
+//! Concurrency smoke test for the live serving layer.
+//!
+//! Runs the real `honeylab serve` binary, fires hundreds of parallel
+//! raw-TCP SSH clients at it (released together through a barrier), asks
+//! for a graceful shutdown by closing the binary's stdin, and checks that
+//! the sealed sessiondb store holds exactly one CRC-intact record per
+//! client — then round-trips the store through `honeylab analyze`.
+
+use honeylab::sshwire::{ClientScript, SshClient};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::process::{Command, Stdio};
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+/// The acceptance bar: this many concurrent sessions on loopback, with a
+/// connection cap above it, must produce zero shed connections.
+const CLIENTS: usize = 500;
+
+fn honeylab() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_honeylab"))
+}
+
+/// Plays one scripted SSH session over a real socket (same dialogue loop
+/// as the serve crate's own live tests).
+fn drive_ssh(addr: SocketAddr, script: ClientScript) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_millis(20)))
+        .unwrap();
+    stream.set_nodelay(true).ok();
+    let mut client = SshClient::new(script, b"smoke-test-nonce".to_vec());
+    let mut buf = [0u8; 8192];
+    let deadline = Instant::now() + Duration::from_secs(120);
+    while !client.is_closed() {
+        assert!(Instant::now() < deadline, "client dialogue stalled");
+        let out = client.take_output();
+        if !out.is_empty() {
+            stream.write_all(&out).expect("client write");
+        }
+        match stream.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => client.input(&buf[..n]).expect("client protocol"),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut => {}
+            Err(e) => panic!("client read failed: {e}"),
+        }
+    }
+    let out = client.take_output();
+    if !out.is_empty() {
+        let _ = stream.write_all(&out);
+    }
+}
+
+#[test]
+fn five_hundred_concurrent_sessions_drain_into_the_store() {
+    let dir = std::env::temp_dir().join(format!("honeylab-serve-smoke-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let cap = (CLIENTS + 100).to_string();
+
+    let mut child = honeylab()
+        .args([
+            "serve",
+            "--ssh-port",
+            "0",
+            "--store",
+            dir.to_str().unwrap(),
+            "--max-conns",
+            &cap,
+            "--per-ip",
+            &cap,
+            "--stats-secs",
+            "0",
+        ])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn honeylab serve");
+
+    // The binary announces its (ephemeral) bound port on stderr.
+    let mut reader = BufReader::new(child.stderr.take().expect("piped stderr"));
+    let addr: SocketAddr = {
+        let mut line = String::new();
+        loop {
+            line.clear();
+            if reader.read_line(&mut line).expect("read stderr") == 0 {
+                panic!("serve exited before announcing its listener");
+            }
+            if let Some(rest) = line.trim().strip_prefix("listening ssh on ") {
+                break rest.parse().expect("listener address parses");
+            }
+        }
+    };
+    // Keep draining stderr so the child never blocks on a full pipe; the
+    // collected tail carries the final accounting lines.
+    let stderr_tail = std::thread::spawn(move || {
+        let mut s = String::new();
+        let _ = reader.read_to_string(&mut s);
+        s
+    });
+
+    // All clients arrive together: the barrier releases every thread at
+    // once, so the server really holds CLIENTS concurrent sessions.
+    let barrier = Arc::new(Barrier::new(CLIENTS));
+    let mut clients = Vec::with_capacity(CLIENTS);
+    for i in 0..CLIENTS {
+        let barrier = Arc::clone(&barrier);
+        clients.push(std::thread::spawn(move || {
+            let script = ClientScript::new(
+                "root",
+                &["admin"],
+                &[&format!("echo smoke-{i}"), "uname -a"],
+            );
+            barrier.wait();
+            drive_ssh(addr, script);
+        }));
+    }
+    for c in clients {
+        c.join().expect("client thread");
+    }
+
+    // Closing stdin requests a graceful drain; the process must exit 0
+    // with every session recorded and the store sealed.
+    drop(child.stdin.take());
+    let status = child.wait().expect("serve exits");
+    let err = stderr_tail.join().expect("stderr drained");
+    assert!(status.success(), "serve exited cleanly, stderr:\n{err}");
+    assert!(
+        err.contains(&format!("completed={CLIENTS}")),
+        "every session completed:\n{err}"
+    );
+    assert!(
+        err.contains("shed=0+0"),
+        "nothing shed below the cap:\n{err}"
+    );
+    assert!(err.contains("wire_errors=0"), "clean protocol runs:\n{err}");
+
+    // Exactly one CRC-intact record per client.
+    let store = honeylab::sessiondb::Store::open(&dir).expect("open sealed store");
+    let recs: Vec<_> = store
+        .scan()
+        .records()
+        .collect::<Result<_, _>>()
+        .expect("intact CRCs");
+    assert_eq!(recs.len(), CLIENTS, "one record per client");
+    for rec in &recs {
+        assert_eq!(rec.protocol, honeylab::honeypot::Protocol::Ssh);
+        assert_eq!(rec.commands.len(), 2);
+        assert!(rec.login_succeeded());
+    }
+
+    // The store the server produced round-trips through the analyzer,
+    // and the analyzer's counts match the driver's.
+    let out = honeylab()
+        .args(["analyze", dir.to_str().unwrap(), "--report", "taxonomy"])
+        .output()
+        .expect("analyze runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let aerr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        aerr.contains(&format!("sessiondb store: {CLIENTS} sessions")),
+        "{aerr}"
+    );
+    assert!(
+        aerr.contains(&format!("validated {CLIENTS} sessions")),
+        "{aerr}"
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("Dataset statistics"), "{text}");
+    assert!(
+        text.contains(&format!("total sessions:      {CLIENTS}")),
+        "{text}"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

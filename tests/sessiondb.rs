@@ -14,7 +14,7 @@
 //!    represent every file event, so that round trip is inherently lossy,
 //!    while sessiondb is exact.)
 
-use honeylab::core::report;
+use honeylab::core::{AnalysisBuilder, ReportKind, SessionSource};
 use honeylab::honeypot::{from_cowrie_log_lossy, to_cowrie_log};
 use honeylab::prelude::*;
 use honeylab::sessiondb::{is_sessiondb_path, SessionDbError, Store, StoreWriter};
@@ -27,7 +27,8 @@ use std::sync::OnceLock;
 /// One shared test-scale dataset; every test slices or copies it.
 fn sessions() -> &'static [SessionRecord] {
     static DS: OnceLock<Dataset> = OnceLock::new();
-    &DS.get_or_init(|| botnet::generate_dataset(&DriverConfig::test_scale(97))).sessions
+    &DS.get_or_init(|| botnet::generate_dataset(&DriverConfig::test_scale(97)))
+        .sessions
 }
 
 /// A unique scratch store directory, removed and recreated per call.
@@ -76,7 +77,10 @@ proptest! {
 fn empty_store_roundtrips() {
     let dir = scratch("empty");
     write_store(&dir, &[], 8);
-    assert!(is_sessiondb_path(&dir), "manifest marks even an empty store");
+    assert!(
+        is_sessiondb_path(&dir),
+        "manifest marks even an empty store"
+    );
     let store = Store::open(&dir).expect("open empty store");
     let s = store.summary();
     assert_eq!((s.segments, s.rows), (0, 0));
@@ -156,7 +160,10 @@ fn missing_manifest_is_not_a_store() {
     std::fs::create_dir_all(&dir).unwrap();
     std::fs::write(dir.join("whatever.txt"), "hi").unwrap();
     assert!(!is_sessiondb_path(&dir));
-    assert!(matches!(Store::open(&dir), Err(SessionDbError::NotAStore { .. })));
+    assert!(matches!(
+        Store::open(&dir),
+        Err(SessionDbError::NotAStore { .. })
+    ));
     std::fs::remove_dir_all(&dir).ok();
 }
 
@@ -172,19 +179,27 @@ fn analysis_equivalence_sessiondb_vs_cowrie() {
     let import = from_cowrie_log_lossy(&to_cowrie_log(all));
     assert!(import.errors.is_empty(), "clean log parses cleanly");
 
-    let via_db = || store.scan().records().map(|r| r.expect("clean store scans"));
+    // One builder pass per source; both must agree report for report.
+    let selection = [ReportKind::Taxonomy, ReportKind::Categories];
+    let via_db = AnalysisBuilder::new(SessionSource::Store(&store))
+        .reports(selection)
+        .run()
+        .expect("clean store scans");
+    let via_log = AnalysisBuilder::new(SessionSource::Memory(&import.sessions))
+        .reports(selection)
+        .run()
+        .expect("memory source is infallible");
 
-    let tax_db = TaxonomyStats::compute(via_db());
-    let tax_log = TaxonomyStats::compute(&import.sessions);
-    assert_eq!(tax_db, tax_log, "taxonomy must not depend on the storage format");
-
-    let cl = Classifier::table1();
-    let cats_db = report::category_counts(via_db(), &cl);
-    let cats_log = report::category_counts(&import.sessions, &cl);
-    assert_eq!(cats_db, cats_log, "Table 1 counts must not depend on the storage format");
-
-    let cov_db = report::classification_coverage(via_db(), &cl);
-    let cov_log = report::classification_coverage(&import.sessions, &cl);
+    assert_eq!(via_db.sessions, via_log.sessions);
+    assert_eq!(
+        via_db.taxonomy, via_log.taxonomy,
+        "taxonomy must not depend on the storage format"
+    );
+    assert_eq!(
+        via_db.categories, via_log.categories,
+        "Table 1 counts must not depend on the storage format"
+    );
+    let (cov_db, cov_log) = (via_db.coverage.unwrap(), via_log.coverage.unwrap());
     assert!((cov_db - cov_log).abs() < 1e-12);
     std::fs::remove_dir_all(&dir).ok();
 }
@@ -196,10 +211,18 @@ fn par_scan_matches_serial_scan() {
     let dir = scratch("par");
     write_store(&dir, all, 64);
     let store = Store::open(&dir).expect("open store");
-    let serial = store.scan().records().inspect(|r| assert!(r.is_ok())).count() as u64;
+    let serial = store
+        .scan()
+        .records()
+        .inspect(|r| assert!(r.is_ok()))
+        .count() as u64;
     for workers in [1, 2, 7, 64] {
         let n = store
-            .par_scan(workers, |acc: &mut u64, batch| *acc += batch.len() as u64, |a, b| a + b)
+            .par_scan(
+                workers,
+                |acc: &mut u64, batch| *acc += batch.len() as u64,
+                |a, b| a + b,
+            )
             .expect("par_scan");
         assert_eq!(n, serial, "worker count {workers} changes nothing");
     }

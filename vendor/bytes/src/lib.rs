@@ -65,11 +65,17 @@ pub struct Bytes {
 
 impl Bytes {
     pub const fn new() -> Self {
-        Self { data: Vec::new(), start: 0 }
+        Self {
+            data: Vec::new(),
+            start: 0,
+        }
     }
 
     pub fn from_static(bytes: &'static [u8]) -> Self {
-        Self { data: bytes.to_vec(), start: 0 }
+        Self {
+            data: bytes.to_vec(),
+            start: 0,
+        }
     }
 
     pub fn len(&self) -> usize {
@@ -170,11 +176,17 @@ pub struct BytesMut {
 
 impl BytesMut {
     pub const fn new() -> Self {
-        Self { data: Vec::new(), start: 0 }
+        Self {
+            data: Vec::new(),
+            start: 0,
+        }
     }
 
     pub fn with_capacity(capacity: usize) -> Self {
-        Self { data: Vec::with_capacity(capacity), start: 0 }
+        Self {
+            data: Vec::with_capacity(capacity),
+            start: 0,
+        }
     }
 
     pub fn len(&self) -> usize {
@@ -196,7 +208,10 @@ impl BytesMut {
     /// Splits off and returns the first `at` bytes, leaving the rest.
     pub fn split_to(&mut self, at: usize) -> BytesMut {
         assert!(at <= self.len(), "split_to out of bounds");
-        let head = BytesMut { data: self.as_slice()[..at].to_vec(), start: 0 };
+        let head = BytesMut {
+            data: self.as_slice()[..at].to_vec(),
+            start: 0,
+        };
         self.start += at;
         head
     }
@@ -209,7 +224,10 @@ impl BytesMut {
 
     /// Freezes into an immutable [`Bytes`].
     pub fn freeze(self) -> Bytes {
-        Bytes { data: self.data, start: self.start }
+        Bytes {
+            data: self.data,
+            start: self.start,
+        }
     }
 }
 
@@ -236,7 +254,10 @@ impl BufMut for BytesMut {
 
 impl From<&[u8]> for BytesMut {
     fn from(bytes: &[u8]) -> Self {
-        Self { data: bytes.to_vec(), start: 0 }
+        Self {
+            data: bytes.to_vec(),
+            start: 0,
+        }
     }
 }
 

@@ -56,8 +56,16 @@ impl Bencher {
     }
 }
 
-fn run_bench(name: &str, samples: usize, throughput: Option<Throughput>, f: &mut dyn FnMut(&mut Bencher)) {
-    let mut b = Bencher { samples, measured: Duration::ZERO };
+fn run_bench(
+    name: &str,
+    samples: usize,
+    throughput: Option<Throughput>,
+    f: &mut dyn FnMut(&mut Bencher),
+) {
+    let mut b = Bencher {
+        samples,
+        measured: Duration::ZERO,
+    };
     f(&mut b);
     let per_iter = b.measured;
     let rate = match throughput {

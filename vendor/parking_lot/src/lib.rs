@@ -14,11 +14,15 @@ pub struct Mutex<T> {
 
 impl<T> Mutex<T> {
     pub const fn new(value: T) -> Self {
-        Self { inner: StdMutex::new(value) }
+        Self {
+            inner: StdMutex::new(value),
+        }
     }
 
     pub fn lock(&self) -> MutexGuard<'_, T> {
-        self.inner.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+        self.inner
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
     }
 
     pub fn into_inner(self) -> T {

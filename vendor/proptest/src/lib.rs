@@ -180,7 +180,7 @@ where
 // ---------------------------------------------------------- collections
 
 pub mod collection {
-    use super::{Strategy, StdRng};
+    use super::{StdRng, Strategy};
     use rand::Rng;
 
     /// Size bound for generated collections (from `lo..hi` / `lo..=hi`).
@@ -193,13 +193,19 @@ pub mod collection {
     impl From<std::ops::Range<usize>> for SizeRange {
         fn from(r: std::ops::Range<usize>) -> Self {
             assert!(r.start < r.end, "empty size range");
-            Self { lo: r.start, hi_incl: r.end - 1 }
+            Self {
+                lo: r.start,
+                hi_incl: r.end - 1,
+            }
         }
     }
 
     impl From<std::ops::RangeInclusive<usize>> for SizeRange {
         fn from(r: std::ops::RangeInclusive<usize>) -> Self {
-            Self { lo: *r.start(), hi_incl: *r.end() }
+            Self {
+                lo: *r.start(),
+                hi_incl: *r.end(),
+            }
         }
     }
 
@@ -209,7 +215,10 @@ pub mod collection {
     }
 
     pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
-        VecStrategy { elem, size: size.into() }
+        VecStrategy {
+            elem,
+            size: size.into(),
+        }
     }
 
     impl<S: Strategy> Strategy for VecStrategy<S> {
@@ -222,7 +231,7 @@ pub mod collection {
 }
 
 pub mod sample {
-    use super::{Strategy, StdRng};
+    use super::{StdRng, Strategy};
     use rand::Rng;
 
     pub struct Select<T> {
@@ -246,7 +255,7 @@ pub mod sample {
 // -------------------------------------------------------------- strings
 
 pub mod string {
-    use super::{Strategy, StdRng};
+    use super::{StdRng, Strategy};
     use rand::Rng;
 
     /// Error for patterns outside the supported regex subset.
@@ -292,9 +301,7 @@ pub mod string {
                 '.' => CharSet::Dot,
                 '[' => CharSet::Chars(parse_class(&mut it, pattern)?),
                 '\\' => {
-                    let esc = it
-                        .next()
-                        .ok_or_else(|| Error(pattern.to_string()))?;
+                    let esc = it.next().ok_or_else(|| Error(pattern.to_string()))?;
                     CharSet::Chars(vec![esc])
                 }
                 '{' | '}' | '*' | '+' | '?' | '(' | ')' | '|' | '^' | '$' => {
@@ -369,7 +376,11 @@ pub mod string {
             }
         }
         let parts: Vec<&str> = spec.split(',').collect();
-        let parse = |s: &str| s.trim().parse::<usize>().map_err(|_| Error(pattern.to_string()));
+        let parse = |s: &str| {
+            s.trim()
+                .parse::<usize>()
+                .map_err(|_| Error(pattern.to_string()))
+        };
         match parts.as_slice() {
             [n] => {
                 let n = parse(n)?;
@@ -401,9 +412,11 @@ pub mod string {
                             if rng.random_range(0..16usize) == 0 {
                                 out.push(WIDE[rng.random_range(0..WIDE.len())]);
                             } else {
-                                out.push(rng.random_range(0x20u32..=0x7E)
-                                    .try_into()
-                                    .expect("printable ascii"));
+                                out.push(
+                                    rng.random_range(0x20u32..=0x7E)
+                                        .try_into()
+                                        .expect("printable ascii"),
+                                );
                             }
                         }
                         CharSet::Chars(set) => {

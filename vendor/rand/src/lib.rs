@@ -91,7 +91,12 @@ impl Standard for f64 {
 /// a slice index resolves the literal to `usize`), mirroring upstream.
 pub trait SampleUniform: Copy {
     /// Uniform draw from `[lo, hi)` (`inclusive = false`) or `[lo, hi]`.
-    fn sample_uniform<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self, inclusive: bool) -> Self;
+    fn sample_uniform<R: RngCore + ?Sized>(
+        rng: &mut R,
+        lo: Self,
+        hi: Self,
+        inclusive: bool,
+    ) -> Self;
 }
 
 macro_rules! impl_sample_uniform_int {
@@ -110,7 +115,12 @@ macro_rules! impl_sample_uniform_int {
 impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
 
 impl SampleUniform for f64 {
-    fn sample_uniform<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self, _inclusive: bool) -> Self {
+    fn sample_uniform<R: RngCore + ?Sized>(
+        rng: &mut R,
+        lo: Self,
+        hi: Self,
+        _inclusive: bool,
+    ) -> Self {
         assert!(lo < hi, "cannot sample empty range");
         lo + f64::sample(rng) * (hi - lo)
     }
