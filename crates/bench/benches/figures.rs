@@ -3,7 +3,7 @@
 //! `cargo bench` run doubles as a reproduction log.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use honeylab_bench::{bench_config, dataset, BENCH_SCALE};
+use honeylab_bench::{dataset, generate_bench_config, BENCH_SCALE};
 use honeylab_core::classify::Classifier;
 use honeylab_core::taxonomy::TaxonomyStats;
 use honeylab_core::{cluster, logins, mdrfckr, report, storage_analysis as sa};
@@ -19,8 +19,7 @@ fn bench_generate(c: &mut Criterion) {
     // Dataset generation itself (the honeynet + attacker ecosystem).
     let mut g = c.benchmark_group("generate");
     g.sample_size(10);
-    let mut cfg = bench_config();
-    cfg.session_scale = BENCH_SCALE * 10; // lighter inner scale for timing
+    let cfg = generate_bench_config();
     g.bench_function("dataset_1_to_20000", |b| {
         b.iter(|| black_box(botnet::generate_dataset(&cfg).sessions.len()))
     });

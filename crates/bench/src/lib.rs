@@ -30,3 +30,13 @@ pub fn bench_config() -> DriverConfig {
     cfg.ip_scale = 60;
     cfg
 }
+
+/// The configuration `bench_generate` actually times: 1:20 000, ten times
+/// lighter than [`BENCH_SCALE`], so the ten timed generations fit in
+/// criterion's sample window. Kept here (not patched inline in the bench)
+/// so the scale divergence from [`bench_config`] is explicit.
+pub fn generate_bench_config() -> DriverConfig {
+    let mut cfg = bench_config();
+    cfg.session_scale = BENCH_SCALE * 10;
+    cfg
+}

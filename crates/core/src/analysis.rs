@@ -25,6 +25,18 @@
 //! The per-report functions remain for callers that want exactly one
 //! artefact; they now delegate to the same accumulators, so both paths
 //! compute identical results.
+//!
+//! # Parallel map-reduce
+//!
+//! [`AnalysisBuilder::threads`] turns the single streaming pass into a
+//! map-reduce: the source is partitioned (store segments, or contiguous
+//! slice chunks), each worker folds its partition into a private
+//! [`Accumulators`]-bundle, and the partials are merged **in partition
+//! order**. Every accumulator's `merge` is associative, and the one
+//! order-sensitive accumulator (download events, a concatenation) is
+//! exactly why partials merge in ascending partition order — the merged
+//! event sequence is the serial sequence. The parallel result is
+//! byte-identical to `threads(1)`, for any thread count.
 
 use crate::classify::Classifier;
 use crate::logins::{CowrieDefaultProbes, ProbeAccumulator, TopPasswords, TopPasswordsAccumulator};
@@ -160,6 +172,149 @@ pub struct AnalysisReport {
     pub mdrfckr: Option<Timeline>,
     /// Cowrie-import diagnostics ([`SessionSource::CowrieLog`] only).
     pub import: Option<ImportDiagnostics>,
+    /// Step-budget exhaustions recorded by the Table 1 classifier during
+    /// this run (only meaningful with [`ReportKind::Categories`]; `0`
+    /// otherwise). Non-zero means some command texts hit the
+    /// backtracking bound mid-rule and the affected sessions may have
+    /// fallen through to a later rule or to `unknown`.
+    pub budget_exhaustions: u64,
+}
+
+/// The full set of per-report accumulators one pass (or one partition of
+/// a parallel pass) folds into. Unselected reports stay `None` and cost
+/// nothing per record.
+struct Accumulators<'c> {
+    sessions: u64,
+    taxonomy: Option<TaxonomyAccumulator>,
+    classification: Option<ClassificationAccumulator<'c>>,
+    passwords: Option<TopPasswordsAccumulator>,
+    probes: Option<ProbeAccumulator>,
+    downloads: Option<DownloadAccumulator>,
+    mdrfckr: Option<TimelineAccumulator>,
+}
+
+impl<'c> Accumulators<'c> {
+    fn new(selected: &[ReportKind], cl: Option<&'c Classifier>, top_n: usize) -> Self {
+        let want = |k: ReportKind| selected.contains(&k);
+        Self {
+            sessions: 0,
+            taxonomy: want(ReportKind::Taxonomy).then(TaxonomyAccumulator::new),
+            classification: cl.map(ClassificationAccumulator::new),
+            passwords: want(ReportKind::Passwords).then(|| TopPasswordsAccumulator::new(top_n)),
+            probes: want(ReportKind::Probes).then(ProbeAccumulator::new),
+            downloads: want(ReportKind::Downloads).then(DownloadAccumulator::new),
+            mdrfckr: want(ReportKind::Mdrfckr).then(TimelineAccumulator::new),
+        }
+    }
+
+    fn push(&mut self, rec: &SessionRecord) {
+        self.sessions += 1;
+        if let Some(a) = &mut self.taxonomy {
+            a.push(rec);
+        }
+        if let Some(a) = &mut self.classification {
+            a.push(rec);
+        }
+        if let Some(a) = &mut self.passwords {
+            a.push(rec);
+        }
+        if let Some(a) = &mut self.probes {
+            a.push(rec);
+        }
+        if let Some(a) = &mut self.downloads {
+            a.push(rec);
+        }
+        if let Some(a) = &mut self.mdrfckr {
+            a.push(rec);
+        }
+    }
+
+    /// Absorbs a later partition's partials. Callers must merge in
+    /// ascending partition order: download events are concatenated, so
+    /// order is what makes the parallel event list identical to the
+    /// serial one.
+    fn merge(&mut self, other: Self) {
+        self.sessions += other.sessions;
+        if let (Some(a), Some(b)) = (&mut self.taxonomy, other.taxonomy) {
+            a.merge(b);
+        }
+        if let (Some(a), Some(b)) = (&mut self.classification, other.classification) {
+            a.merge(b);
+        }
+        if let (Some(a), Some(b)) = (&mut self.passwords, other.passwords) {
+            a.merge(b);
+        }
+        if let (Some(a), Some(b)) = (&mut self.probes, other.probes) {
+            a.merge(b);
+        }
+        if let (Some(a), Some(b)) = (&mut self.downloads, other.downloads) {
+            a.merge(b);
+        }
+        if let (Some(a), Some(b)) = (&mut self.mdrfckr, other.mdrfckr) {
+            a.merge(b);
+        }
+    }
+
+    fn finish_into(self, out: &mut AnalysisReport) {
+        out.sessions = self.sessions;
+        out.taxonomy = self.taxonomy.map(TaxonomyAccumulator::finish);
+        if let Some(a) = self.classification {
+            out.coverage = Some(a.coverage());
+            out.categories = Some(a.finish());
+        }
+        out.passwords = self.passwords.map(TopPasswordsAccumulator::finish);
+        out.probes = self.probes.map(ProbeAccumulator::finish);
+        if let Some(a) = self.downloads {
+            let events = a.finish();
+            out.storage = Some(crate::storage_analysis::storage_stats(
+                &events,
+                &abusedb::AbuseDb::default(),
+            ));
+            out.downloads = Some(events);
+        }
+        out.mdrfckr = self.mdrfckr.map(TimelineAccumulator::finish);
+    }
+}
+
+/// Folds a slice into accumulators, splitting it across `threads`
+/// contiguous chunks when parallelism is requested. Chunk partials merge
+/// in slice order, so the result is identical to the serial fold.
+fn fold_slice<'c>(
+    slice: &[SessionRecord],
+    threads: usize,
+    make: &(impl Fn() -> Accumulators<'c> + Sync),
+) -> Accumulators<'c> {
+    if threads <= 1 || slice.len() < 2 {
+        let mut acc = make();
+        for rec in slice {
+            acc.push(rec);
+        }
+        return acc;
+    }
+    let chunk = slice.len().div_ceil(threads);
+    let parts: Vec<Accumulators<'c>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = slice
+            .chunks(chunk)
+            .map(|c| {
+                scope.spawn(move || {
+                    let mut acc = make();
+                    for rec in c {
+                        acc.push(rec);
+                    }
+                    acc
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or_else(|p| std::panic::resume_unwind(p)))
+            .collect()
+    });
+    let mut acc = make();
+    for part in parts {
+        acc.merge(part);
+    }
+    acc
 }
 
 /// Builder for one combined analysis pass. See the module docs.
@@ -168,6 +323,7 @@ pub struct AnalysisBuilder<'a> {
     source: SessionSource<'a>,
     reports: Vec<ReportKind>,
     top_n: usize,
+    threads: usize,
 }
 
 impl<'a> AnalysisBuilder<'a> {
@@ -178,6 +334,7 @@ impl<'a> AnalysisBuilder<'a> {
             source,
             reports: Vec::new(),
             top_n: 10,
+            threads: 1,
         }
     }
 
@@ -203,6 +360,16 @@ impl<'a> AnalysisBuilder<'a> {
         self
     }
 
+    /// Worker threads for the streaming pass (default 1 = serial; `0` is
+    /// treated as 1). With more than one thread the source is
+    /// partitioned — store segments, or contiguous slice chunks — and
+    /// per-partition partials are merged in partition order, so the
+    /// result is byte-identical to the serial pass.
+    pub fn threads(mut self, n: usize) -> Self {
+        self.threads = n.max(1);
+        self
+    }
+
     /// Runs every selected report in a single streaming pass over the
     /// source.
     pub fn run(self) -> Result<AnalysisReport, AnalysisError> {
@@ -211,91 +378,60 @@ impl<'a> AnalysisBuilder<'a> {
         } else {
             &self.reports
         };
-        let want = |k: ReportKind| selected.contains(&k);
 
         // The classifier is only built when the categories report needs
         // it (it compiles the full Table 1 rule set).
-        let cl = want(ReportKind::Categories).then(Classifier::table1);
+        let cl = selected
+            .contains(&ReportKind::Categories)
+            .then(Classifier::table1);
+        let make = || Accumulators::new(selected, cl.as_ref(), self.top_n);
 
         let mut out = AnalysisReport::default();
-        let mut taxonomy = want(ReportKind::Taxonomy).then(TaxonomyAccumulator::new);
-        let mut classification = cl.as_ref().map(ClassificationAccumulator::new);
-        let mut passwords =
-            want(ReportKind::Passwords).then(|| TopPasswordsAccumulator::new(self.top_n));
-        let mut probes = want(ReportKind::Probes).then(ProbeAccumulator::new);
-        let mut downloads = want(ReportKind::Downloads).then(DownloadAccumulator::new);
-        let mut mdrfckr = want(ReportKind::Mdrfckr).then(TimelineAccumulator::new);
-
-        let mut sessions = 0u64;
-        {
-            let mut push = |rec: &SessionRecord| {
-                sessions += 1;
-                if let Some(a) = &mut taxonomy {
-                    a.push(rec);
-                }
-                if let Some(a) = &mut classification {
-                    a.push(rec);
-                }
-                if let Some(a) = &mut passwords {
-                    a.push(rec);
-                }
-                if let Some(a) = &mut probes {
-                    a.push(rec);
-                }
-                if let Some(a) = &mut downloads {
-                    a.push(rec);
-                }
-                if let Some(a) = &mut mdrfckr {
-                    a.push(rec);
-                }
-            };
-            match self.source {
-                SessionSource::Memory(slice) => {
-                    for rec in slice {
-                        push(rec);
-                    }
-                }
-                SessionSource::Store(store) => {
+        let acc = match self.source {
+            SessionSource::Memory(slice) => fold_slice(slice, self.threads, &make),
+            SessionSource::Store(store) => {
+                if self.threads <= 1 {
+                    let mut acc = make();
                     for rec in store.scan().records() {
-                        push(&rec?);
+                        acc.push(&rec?);
                     }
-                }
-                SessionSource::CowrieLog(log) => {
-                    let import = from_cowrie_log_lossy(log);
-                    if import.sessions.is_empty() && !import.errors.is_empty() {
-                        return Err(AnalysisError::NoRecoverableSessions {
-                            lines_total: import.lines_total,
-                        });
+                    acc
+                } else {
+                    // One partial per segment, returned in segment order
+                    // regardless of which worker decoded it.
+                    let parts = store.par_scan_map(self.threads, |_, batch| {
+                        let mut acc = make();
+                        for rec in &batch {
+                            acc.push(rec);
+                        }
+                        acc
+                    })?;
+                    let mut acc = make();
+                    for part in parts {
+                        acc.merge(part);
                     }
-                    for rec in &import.sessions {
-                        push(rec);
-                    }
-                    out.import = Some(ImportDiagnostics {
-                        lines_total: import.lines_total,
-                        recovered: import.sessions.len(),
-                        errors: import.errors,
-                    });
+                    acc
                 }
             }
-        }
+            SessionSource::CowrieLog(log) => {
+                let import = from_cowrie_log_lossy(log);
+                if import.sessions.is_empty() && !import.errors.is_empty() {
+                    return Err(AnalysisError::NoRecoverableSessions {
+                        lines_total: import.lines_total,
+                    });
+                }
+                let acc = fold_slice(&import.sessions, self.threads, &make);
+                out.import = Some(ImportDiagnostics {
+                    lines_total: import.lines_total,
+                    recovered: import.sessions.len(),
+                    errors: import.errors,
+                });
+                acc
+            }
+        };
 
-        out.sessions = sessions;
-        out.taxonomy = taxonomy.map(TaxonomyAccumulator::finish);
-        if let Some(a) = classification {
-            out.coverage = Some(a.coverage());
-            out.categories = Some(a.finish());
-        }
-        out.passwords = passwords.map(TopPasswordsAccumulator::finish);
-        out.probes = probes.map(ProbeAccumulator::finish);
-        if let Some(a) = downloads {
-            let events = a.finish();
-            out.storage = Some(crate::storage_analysis::storage_stats(
-                &events,
-                &abusedb::AbuseDb::default(),
-            ));
-            out.downloads = Some(events);
-        }
-        out.mdrfckr = mdrfckr.map(TimelineAccumulator::finish);
+        acc.finish_into(&mut out);
+        out.budget_exhaustions = cl.as_ref().map_or(0, |c| c.budget_exhaustions());
         Ok(out)
     }
 }
@@ -418,6 +554,125 @@ mod tests {
             }
             other => panic!("expected NoRecoverableSessions, got {other:?}"),
         }
+    }
+
+    fn reports_equal(a: &AnalysisReport, b: &AnalysisReport) {
+        assert_eq!(a.sessions, b.sessions);
+        assert_eq!(a.taxonomy, b.taxonomy);
+        assert_eq!(a.categories, b.categories);
+        assert_eq!(a.coverage, b.coverage);
+        assert_eq!(
+            a.passwords.as_ref().map(|p| &p.passwords),
+            b.passwords.as_ref().map(|p| &p.passwords)
+        );
+        assert_eq!(
+            a.passwords.as_ref().map(|p| &p.by_month),
+            b.passwords.as_ref().map(|p| &p.by_month)
+        );
+        assert_eq!(
+            a.probes.as_ref().map(|p| p.phil_unique_ips),
+            b.probes.as_ref().map(|p| p.phil_unique_ips)
+        );
+        assert_eq!(
+            a.probes.as_ref().map(|p| &p.phil_success),
+            b.probes.as_ref().map(|p| &p.phil_success)
+        );
+        assert_eq!(
+            a.probes.as_ref().map(|p| &p.richard_tries),
+            b.probes.as_ref().map(|p| &p.richard_tries)
+        );
+        assert_eq!(a.downloads, b.downloads);
+        assert_eq!(a.storage, b.storage);
+        assert_eq!(
+            a.mdrfckr.as_ref().map(|t| &t.daily),
+            b.mdrfckr.as_ref().map(|t| &t.daily)
+        );
+    }
+
+    #[test]
+    fn parallel_memory_run_is_identical_to_serial() {
+        let d = ds();
+        let serial = AnalysisBuilder::new(SessionSource::Memory(&d.sessions))
+            .run()
+            .unwrap();
+        for threads in [2, 3, 8] {
+            let par = AnalysisBuilder::new(SessionSource::Memory(&d.sessions))
+                .threads(threads)
+                .run()
+                .unwrap();
+            reports_equal(&par, &serial);
+        }
+    }
+
+    #[test]
+    fn parallel_store_run_is_identical_to_serial() {
+        let d = ds();
+        let dir = std::env::temp_dir().join(format!("analysis-parstore-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        // Small segments so the parallel path sees many partitions.
+        let mut w = sessiondb::StoreWriter::with_rows_per_segment(&dir, 16).unwrap();
+        for rec in &d.sessions {
+            honeypot::SessionSink::append(&mut w, rec).unwrap();
+        }
+        honeypot::SessionSink::finish(&mut w).unwrap();
+        let store = sessiondb::Store::open(&dir).unwrap();
+
+        let serial = AnalysisBuilder::new(SessionSource::Store(&store))
+            .run()
+            .unwrap();
+        for threads in [2, 4] {
+            let par = AnalysisBuilder::new(SessionSource::Store(&store))
+                .threads(threads)
+                .run()
+                .unwrap();
+            reports_equal(&par, &serial);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn parallel_store_run_surfaces_corruption() {
+        let d = ds();
+        let dir = std::env::temp_dir().join(format!("analysis-parcorrupt-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut w = sessiondb::StoreWriter::with_rows_per_segment(&dir, 16).unwrap();
+        for rec in &d.sessions {
+            honeypot::SessionSink::append(&mut w, rec).unwrap();
+        }
+        honeypot::SessionSink::finish(&mut w).unwrap();
+
+        // Flip one byte in the middle of a mid-store segment.
+        let seg = dir.join("seg-000002.hsdb");
+        let mut bytes = std::fs::read(&seg).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xff;
+        std::fs::write(&seg, &bytes).unwrap();
+
+        let store = sessiondb::Store::open(&dir).unwrap();
+        let r = AnalysisBuilder::new(SessionSource::Store(&store))
+            .threads(4)
+            .run();
+        assert!(
+            matches!(r, Err(AnalysisError::Store(_))),
+            "corrupted segment must fail the parallel run, got {r:?}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn budget_exhaustions_surface_in_the_report() {
+        let d = ds();
+        let with_cats = AnalysisBuilder::new(SessionSource::Memory(&d.sessions))
+            .report(ReportKind::Categories)
+            .run()
+            .unwrap();
+        // The generated corpus is benign; the diagnostic exists and is 0.
+        assert_eq!(with_cats.budget_exhaustions, 0);
+        let without = AnalysisBuilder::new(SessionSource::Memory(&d.sessions))
+            .report(ReportKind::Taxonomy)
+            .run()
+            .unwrap();
+        assert_eq!(without.budget_exhaustions, 0);
     }
 
     #[test]

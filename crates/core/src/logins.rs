@@ -46,6 +46,20 @@ impl TopPasswordsAccumulator {
         }
     }
 
+    /// Folds another accumulator in: per-password totals and month
+    /// histograms sum entry-wise. Associative and commutative; ranking
+    /// happens only at [`TopPasswordsAccumulator::finish`], so merging
+    /// partials over any stream partition matches the serial pass.
+    pub fn merge(&mut self, other: Self) {
+        for (pw, (count, months)) in other.per_pw {
+            let slot = self.per_pw.entry(pw).or_default();
+            slot.0 += count;
+            for (month, c) in months {
+                *slot.1.entry(month).or_default() += c;
+            }
+        }
+    }
+
     /// Ranks and buckets the accumulated histograms.
     pub fn finish(self) -> TopPasswords {
         let mut ranked: Vec<(String, PwStats)> = self.per_pw.into_iter().collect();
@@ -130,6 +144,20 @@ impl ProbeAccumulator {
         if has_richard {
             *self.richard_tries.entry(month).or_default() += 1;
         }
+    }
+
+    /// Folds another accumulator in: month histograms sum, IP sets union,
+    /// scalar counters add. Associative and commutative.
+    pub fn merge(&mut self, other: Self) {
+        for (month, c) in other.phil_success {
+            *self.phil_success.entry(month).or_default() += c;
+        }
+        for (month, c) in other.richard_tries {
+            *self.richard_tries.entry(month).or_default() += c;
+        }
+        self.phil_ips.extend(other.phil_ips);
+        self.phil_sessions += other.phil_sessions;
+        self.phil_quiet += other.phil_quiet;
     }
 
     /// Resolves the series.

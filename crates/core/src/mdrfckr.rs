@@ -64,6 +64,16 @@ impl TimelineAccumulator {
         e.1.insert(rec.client_ip);
     }
 
+    /// Folds another accumulator in: per-day session counts sum and IP
+    /// sets union. Associative and commutative.
+    pub fn merge(&mut self, other: Self) {
+        for (date, (n, ips)) in other.per_day {
+            let e = self.per_day.entry(date).or_default();
+            e.0 += n;
+            e.1.extend(ips);
+        }
+    }
+
     /// Resolves per-day unique-IP counts into the timeline.
     pub fn finish(self) -> Timeline {
         Timeline {

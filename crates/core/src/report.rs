@@ -563,6 +563,26 @@ impl<'c> ClassificationAccumulator<'c> {
         *self.counts.entry(label).or_default() += 1;
     }
 
+    /// Folds another accumulator in: category counts and the
+    /// total/known tallies sum. Associative and commutative. Both
+    /// accumulators must borrow the same [`Classifier`] (they share its
+    /// exhaustion counter either way — see
+    /// [`Classifier::budget_exhaustions`]).
+    pub fn merge(&mut self, other: Self) {
+        self.total += other.total;
+        self.known += other.known;
+        for (label, c) in other.counts {
+            *self.counts.entry(label).or_default() += c;
+        }
+    }
+
+    /// Step-budget exhaustions recorded by the underlying classifier so
+    /// far (process-wide for this classifier instance, not restricted to
+    /// sessions pushed into this accumulator).
+    pub fn budget_exhaustions(&self) -> u64 {
+        self.cl.budget_exhaustions()
+    }
+
     /// Fraction of command sessions classified into a non-`unknown`
     /// category; `1.0` when no command sessions were seen.
     pub fn coverage(&self) -> f64 {

@@ -7,7 +7,7 @@ use netsim::Ipv4Addr;
 use std::collections::{BTreeMap, HashMap, HashSet};
 
 /// One observed download: a session referenced a storage host.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DownloadEvent {
     /// Session id.
     pub session_id: u64,
@@ -75,6 +75,15 @@ impl DownloadAccumulator {
                 }
             }
         }
+    }
+
+    /// Appends another accumulator's events. Associative but **not**
+    /// commutative — event order is push order, and downstream consumers
+    /// (e.g. Fig. 9 rendering) see that order. Parallel scans therefore
+    /// merge partial accumulators in ascending input-partition order,
+    /// which reproduces the serial event sequence exactly.
+    pub fn merge(&mut self, other: Self) {
+        self.events.extend(other.events);
     }
 
     /// The accumulated events.

@@ -97,6 +97,24 @@ impl TaxonomyAccumulator {
         }
     }
 
+    /// Folds another accumulator in (the reduce step of a map-reduce
+    /// scan): field-wise sums plus a client-set union. Associative and
+    /// commutative — merging partial accumulators built over any partition
+    /// of a stream yields the same [`TaxonomyAccumulator::finish`] result
+    /// as one serial pass.
+    pub fn merge(&mut self, other: Self) {
+        let o = other.stats;
+        let s = &mut self.stats;
+        s.total_sessions += o.total_sessions;
+        s.ssh_sessions += o.ssh_sessions;
+        s.telnet_sessions += o.telnet_sessions;
+        s.scanning += o.scanning;
+        s.scouting += o.scouting;
+        s.intrusion += o.intrusion;
+        s.command_execution += o.command_execution;
+        self.clients.extend(other.clients);
+    }
+
     /// Resolves the unique-client count and returns the statistics.
     pub fn finish(self) -> TaxonomyStats {
         let mut stats = self.stats;

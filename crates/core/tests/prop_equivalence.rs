@@ -1,0 +1,217 @@
+//! Property-based equivalence suite for the two optimisations this crate
+//! leans on:
+//!
+//! 1. **Prefiltered classification** — [`Classifier::classify`] (literal
+//!    prefilter + candidate verification) must agree with
+//!    [`Classifier::classify_naive`] (every rule's regex in precedence
+//!    order) on *every* input: botnet archetype commands, random byte
+//!    strings, and adversarial texts built around the rules' own required
+//!    literals.
+//! 2. **Parallel map-reduce analysis** — `AnalysisBuilder::threads(n)`
+//!    must produce results identical to the serial pass for any thread
+//!    count, over both in-memory slices and multi-segment stores, and a
+//!    corrupted segment must surface as an error rather than silently
+//!    skewing the merge.
+
+use botnet::{generate_dataset, Dataset, DriverConfig};
+use honeylab_core::analysis::{AnalysisBuilder, AnalysisError, AnalysisReport, SessionSource};
+use honeylab_core::classify::{Classifier, TABLE1_RULES};
+use honeypot::SessionRecord;
+use proptest::prelude::*;
+use sregex::RegexSet;
+use std::sync::OnceLock;
+
+fn dataset() -> &'static Dataset {
+    static DS: OnceLock<Dataset> = OnceLock::new();
+    DS.get_or_init(|| generate_dataset(&DriverConfig::test_scale(91)))
+}
+
+fn sessions() -> &'static [SessionRecord] {
+    &dataset().sessions
+}
+
+/// One command text per command session, exactly as the pipeline
+/// classifies them.
+fn archetype_texts() -> &'static [String] {
+    static T: OnceLock<Vec<String>> = OnceLock::new();
+    T.get_or_init(|| {
+        dataset()
+            .sessions
+            .iter()
+            .filter(|s| !s.commands.is_empty())
+            .map(|s| {
+                s.commands
+                    .iter()
+                    .map(|c| c.input.as_str())
+                    .collect::<Vec<_>>()
+                    .join("\n")
+            })
+            .collect()
+    })
+}
+
+fn classifier() -> &'static Classifier {
+    static CL: OnceLock<Classifier> = OnceLock::new();
+    CL.get_or_init(Classifier::table1)
+}
+
+/// The Table 1 patterns as a bare [`RegexSet`], for properties that need
+/// the literal table itself.
+fn table1_set() -> &'static RegexSet {
+    static SET: OnceLock<RegexSet> = OnceLock::new();
+    SET.get_or_init(|| {
+        RegexSet::new(TABLE1_RULES.iter().map(|(_, pat)| *pat)).expect("table1 parses")
+    })
+}
+
+fn naive_first_match(set: &RegexSet, haystack: &str) -> Option<usize> {
+    set.regexes().iter().position(|re| re.is_match(haystack))
+}
+
+proptest! {
+    #[test]
+    fn classify_agrees_on_archetype_commands(i in 0usize..1_000_000) {
+        let texts = archetype_texts();
+        let t = &texts[i % texts.len()];
+        prop_assert_eq!(classifier().classify(t), classifier().classify_naive(t), "text {:?}", t);
+    }
+
+    #[test]
+    fn classify_agrees_on_random_byte_strings(bytes in proptest::collection::vec(any::<u8>(), 0..=160)) {
+        let t = String::from_utf8_lossy(&bytes).into_owned();
+        prop_assert_eq!(classifier().classify(&t), classifier().classify_naive(&t), "text {:?}", t);
+    }
+
+    #[test]
+    fn classify_agrees_on_literal_bearing_texts(
+        k in 0usize..1_000_000,
+        pre in ".{0,40}",
+        suf in ".{0,40}",
+    ) {
+        // Wrap one of the rules' own required literals in random noise:
+        // the candidate mask fires for that literal's rules, and the VM
+        // verdict must still match the naive loop.
+        let set = table1_set();
+        let lits = set.literals();
+        let lit = String::from_utf8_lossy(&lits[k % lits.len()]).into_owned();
+        let t = format!("{pre}{lit}{suf}");
+        prop_assert_eq!(
+            set.first_match(&t),
+            naive_first_match(set, &t),
+            "literal {:?} in text {:?}", lit, t
+        );
+    }
+
+    #[test]
+    fn parallel_memory_analysis_agrees_with_serial(n in 0usize..300, threads in 1usize..9) {
+        let all = sessions();
+        let slice = &all[..n.min(all.len())];
+        let serial = AnalysisBuilder::new(SessionSource::Memory(slice)).run().unwrap();
+        let par = AnalysisBuilder::new(SessionSource::Memory(slice))
+            .threads(threads)
+            .run()
+            .unwrap();
+        assert_reports_equal(&par, &serial)?;
+    }
+}
+
+/// Field-by-field equality, as a proptest-style result so the macro body
+/// can `?` it.
+fn assert_reports_equal(
+    a: &AnalysisReport,
+    b: &AnalysisReport,
+) -> Result<(), proptest::TestCaseError> {
+    prop_assert_eq!(a.sessions, b.sessions);
+    prop_assert_eq!(&a.taxonomy, &b.taxonomy);
+    prop_assert_eq!(&a.categories, &b.categories);
+    prop_assert_eq!(a.coverage, b.coverage);
+    let pw = |r: &AnalysisReport| r.passwords.clone().map(|p| (p.passwords, p.by_month));
+    prop_assert_eq!(pw(a), pw(b));
+    let pr = |r: &AnalysisReport| {
+        r.probes.as_ref().map(|p| {
+            (
+                p.phil_success.clone(),
+                p.richard_tries.clone(),
+                p.phil_unique_ips,
+            )
+        })
+    };
+    prop_assert_eq!(pr(a), pr(b));
+    prop_assert_eq!(&a.downloads, &b.downloads);
+    prop_assert_eq!(&a.storage, &b.storage);
+    let md = |r: &AnalysisReport| r.mdrfckr.as_ref().map(|t| t.daily.clone());
+    prop_assert_eq!(md(a), md(b));
+    Ok(())
+}
+
+/// A text containing *every* required literal makes every prefiltered
+/// rule a candidate — the worst case for the prefilter, where it must
+/// degrade to exactly the naive loop.
+#[test]
+fn all_literals_present_still_agrees() {
+    let set = table1_set();
+    let soup: Vec<String> = set
+        .literals()
+        .iter()
+        .map(|l| String::from_utf8_lossy(l).into_owned())
+        .collect();
+    let t = soup.join(" ");
+    assert!(
+        set.candidates(&t).iter().all(|&c| c),
+        "every rule must be a candidate"
+    );
+    assert_eq!(set.first_match(&t), naive_first_match(set, &t));
+}
+
+#[test]
+fn parallel_store_analysis_agrees_with_serial() {
+    let dir = std::env::temp_dir().join(format!("prop-parstore-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut w = sessiondb::StoreWriter::with_rows_per_segment(&dir, 16).unwrap();
+    for rec in sessions() {
+        honeypot::SessionSink::append(&mut w, rec).unwrap();
+    }
+    honeypot::SessionSink::finish(&mut w).unwrap();
+    let store = sessiondb::Store::open(&dir).unwrap();
+
+    let serial = AnalysisBuilder::new(SessionSource::Store(&store))
+        .run()
+        .unwrap();
+    for threads in 1..=6 {
+        let par = AnalysisBuilder::new(SessionSource::Store(&store))
+            .threads(threads)
+            .run()
+            .unwrap();
+        assert_reports_equal(&par, &serial).unwrap_or_else(|e| panic!("threads={threads}: {e}"));
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupted_segment_fails_parallel_analysis() {
+    let dir = std::env::temp_dir().join(format!("prop-parcorrupt-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut w = sessiondb::StoreWriter::with_rows_per_segment(&dir, 16).unwrap();
+    for rec in sessions() {
+        honeypot::SessionSink::append(&mut w, rec).unwrap();
+    }
+    honeypot::SessionSink::finish(&mut w).unwrap();
+
+    let seg = dir.join("seg-000001.hsdb");
+    let mut bytes = std::fs::read(&seg).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xff;
+    std::fs::write(&seg, &bytes).unwrap();
+
+    let store = sessiondb::Store::open(&dir).unwrap();
+    for threads in [1, 4] {
+        let r = AnalysisBuilder::new(SessionSource::Store(&store))
+            .threads(threads)
+            .run();
+        assert!(
+            matches!(r, Err(AnalysisError::Store(_))),
+            "threads={threads}: corruption must surface, got {r:?}"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

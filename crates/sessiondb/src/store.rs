@@ -323,6 +323,62 @@ impl Store {
         }
         Ok(accs.into_iter().fold(T::default(), reduce))
     }
+
+    /// Decodes segments on `workers` scoped threads, mapping each
+    /// segment's batch to a value; the results come back in **segment
+    /// index order**, regardless of which worker decoded which segment.
+    ///
+    /// This is the deterministic backbone for parallel map-reduce
+    /// analyses whose merge is associative but not commutative (e.g.
+    /// event-list concatenation): folding the returned values left to
+    /// right reproduces the serial scan's order exactly. `map` receives
+    /// the segment index alongside the batch. Errors from any segment
+    /// abort the scan, exactly as in [`Store::par_scan`].
+    pub fn par_scan_map<T, Map>(&self, workers: usize, map: Map) -> Result<Vec<T>, SessionDbError>
+    where
+        T: Send,
+        Map: Fn(usize, Vec<SessionRecord>) -> T + Sync,
+    {
+        let workers = workers.clamp(1, self.segments.len().max(1));
+        let cursor = AtomicUsize::new(0);
+        let error: Mutex<Option<SessionDbError>> = Mutex::new(None);
+        let slots: Vec<Mutex<Option<T>>> =
+            (0..self.segments.len()).map(|_| Mutex::new(None)).collect();
+        crossbeam::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|_| loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    let Some(reader) = self.segments.get(i) else {
+                        break;
+                    };
+                    if error.lock().expect("scan error lock").is_some() {
+                        break;
+                    }
+                    match reader.read_all() {
+                        Ok(batch) => {
+                            *slots[i].lock().expect("slot lock") = Some(map(i, batch));
+                        }
+                        Err(e) => {
+                            error.lock().expect("scan error lock").get_or_insert(e);
+                            break;
+                        }
+                    }
+                });
+            }
+        })
+        .unwrap_or_else(|p| std::panic::resume_unwind(p));
+        if let Some(e) = error.into_inner().expect("scan error lock") {
+            return Err(e);
+        }
+        Ok(slots
+            .into_iter()
+            .map(|s| {
+                s.into_inner()
+                    .expect("slot lock")
+                    .expect("every segment mapped on success")
+            })
+            .collect())
+    }
 }
 
 /// Streaming iterator over a store's segments, yielding one decoded
@@ -577,6 +633,55 @@ mod tests {
             .unwrap();
         assert_eq!(count, 100);
         assert_eq!(sum, serial);
+    }
+
+    #[test]
+    fn par_scan_map_preserves_segment_order() {
+        let dir = tmpdir("par-map");
+        let mut w = StoreWriter::with_rows_per_segment(&dir, 7).unwrap();
+        for i in 0..100 {
+            StoreWriter::append(&mut w, &rec(i)).unwrap();
+        }
+        w.finish().unwrap();
+        let store = Store::open(&dir).unwrap();
+        let serial: Vec<u64> = store
+            .scan()
+            .records()
+            .map(|r| r.unwrap().session_id)
+            .collect();
+        for workers in [1, 3, 8] {
+            let per_seg: Vec<Vec<u64>> = store
+                .par_scan_map(workers, |_, batch| {
+                    batch.iter().map(|r| r.session_id).collect()
+                })
+                .unwrap();
+            assert_eq!(per_seg.len(), 15); // ceil(100 / 7)
+            let flat: Vec<u64> = per_seg.into_iter().flatten().collect();
+            assert_eq!(flat, serial, "workers={workers}");
+        }
+        // Segment indices are handed to the map in order too.
+        let idx: Vec<usize> = store.par_scan_map(4, |i, _| i).unwrap();
+        assert_eq!(idx, (0..15).collect::<Vec<usize>>());
+    }
+
+    #[test]
+    fn par_scan_map_surfaces_corruption() {
+        let dir = tmpdir("par-map-corrupt");
+        let mut w = StoreWriter::with_rows_per_segment(&dir, 5).unwrap();
+        for i in 0..20 {
+            StoreWriter::append(&mut w, &rec(i)).unwrap();
+        }
+        w.finish().unwrap();
+        let victim = dir.join("seg-000002.hsdb");
+        let mut bytes = std::fs::read(&victim).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        std::fs::write(&victim, &bytes).unwrap();
+        let store = Store::open(&dir).unwrap();
+        let err = store
+            .par_scan_map(3, |_, b| b.len())
+            .expect_err("corruption must abort the scan");
+        assert!(matches!(err, SessionDbError::Corrupt { .. }), "{err}");
     }
 
     #[test]

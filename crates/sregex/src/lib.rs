@@ -27,12 +27,18 @@
 mod ast;
 mod compile;
 mod parser;
+pub mod prefilter;
+mod set;
 mod vm;
 
 pub use ast::{Ast, ClassItem};
 pub use parser::ParseError;
+pub use prefilter::{required_literals, AhoCorasick};
+pub use set::RegexSet;
 
 use compile::Program;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// A compiled regular expression.
 #[derive(Debug, Clone)]
@@ -47,6 +53,11 @@ pub struct Regex {
     /// each lookahead body begins with `.*`-equivalent scanning, so failing
     /// at the start implies failing at every later start.
     pure_lookahead: bool,
+    /// Searches in which the step budget was exhausted at one or more start
+    /// positions (counted once per search). Shared across clones so the
+    /// owner of the original `Regex` observes exhaustions wherever they
+    /// happen.
+    exhaustions: Arc<AtomicU64>,
 }
 
 /// Default backtracking step budget per match attempt. Generous enough for
@@ -58,18 +69,33 @@ impl Regex {
     /// Parses and compiles `pattern`.
     pub fn new(pattern: &str) -> Result<Self, ParseError> {
         let ast = parser::parse(pattern)?;
-        let prog = compile::compile(&ast);
-        Ok(Self {
+        Ok(Self::from_parsed(pattern, &ast))
+    }
+
+    /// Compiles an already-parsed pattern (lets [`RegexSet`] parse once and
+    /// reuse the AST for literal extraction).
+    pub(crate) fn from_parsed(pattern: &str, ast: &Ast) -> Self {
+        Self {
             pattern: pattern.to_string(),
-            literal: extract_literal(&ast),
-            pure_lookahead: is_dotstar_lookahead_conjunction(&ast),
-            prog,
-        })
+            literal: extract_literal(ast),
+            pure_lookahead: is_dotstar_lookahead_conjunction(ast),
+            prog: compile::compile(ast),
+            exhaustions: Arc::new(AtomicU64::new(0)),
+        }
     }
 
     /// The source pattern.
     pub fn pattern(&self) -> &str {
         &self.pattern
+    }
+
+    /// Number of searches in which the backtracking budget ran out at one
+    /// or more start positions. Such searches report "no match" for the
+    /// affected starts (preserving the engine's bounded-time guarantee), so
+    /// a non-zero counter means some haystacks may have been classified
+    /// without a full verdict. Clones share the counter.
+    pub fn budget_exhaustions(&self) -> u64 {
+        self.exhaustions.load(Ordering::Relaxed)
     }
 
     /// `re.search`-style containment test.
@@ -93,20 +119,38 @@ impl Regex {
         // Pure `(?=.*A)(?=.*B)…` conjunctions: a match at any offset implies
         // a match at the start of that offset's line (each body's leading
         // `.*` absorbs the line prefix), so only line starts need checking.
+        let mut counted = false;
         if self.pure_lookahead {
             for start in line_starts(bytes) {
-                if let Some(end) = vm::exec(&self.prog, bytes, start, DEFAULT_STEP_LIMIT) {
+                if let Some(end) = self.exec_counted(bytes, start, &mut counted) {
                     return Some((start, end));
                 }
             }
             return None;
         }
         for start in 0..=bytes.len() {
-            if let Some(end) = vm::exec(&self.prog, bytes, start, DEFAULT_STEP_LIMIT) {
+            if let Some(end) = self.exec_counted(bytes, start, &mut counted) {
                 return Some((start, end));
             }
         }
         None
+    }
+
+    /// Runs the VM at `start`, treating budget exhaustion as "no match at
+    /// this start" (the engine's historical behavior) while recording it in
+    /// the shared exhaustion counter — at most once per search via
+    /// `counted`.
+    fn exec_counted(&self, bytes: &[u8], start: usize, counted: &mut bool) -> Option<usize> {
+        match vm::exec_checked(&self.prog, bytes, start, DEFAULT_STEP_LIMIT) {
+            Ok(end) => end,
+            Err(()) => {
+                if !*counted {
+                    *counted = true;
+                    self.exhaustions.fetch_add(1, Ordering::Relaxed);
+                }
+                None
+            }
+        }
     }
 
     /// Like [`Regex::find`], but with a caller-chosen backtracking budget.
@@ -355,6 +399,26 @@ mod tests {
         let s = "a".repeat(64) + "b";
         // Budget exhaustion surfaces as an explicit error, not a hang.
         assert_eq!(re.find_bounded(&s, 10_000), Err(StepLimitExceeded));
+    }
+
+    #[test]
+    fn budget_exhaustion_is_counted_not_silent() {
+        let re = Regex::new("(a+)+$").unwrap();
+        assert_eq!(re.budget_exhaustions(), 0);
+        let s = "a".repeat(64) + "b";
+        // The search still answers (bounded-time guarantee)…
+        assert!(!re.is_match(&s));
+        // …but the exhaustion is now observable: once per search.
+        assert_eq!(re.budget_exhaustions(), 1);
+        assert!(!re.is_match(&s));
+        assert_eq!(re.budget_exhaustions(), 2);
+        // Clones share the counter.
+        let clone = re.clone();
+        assert!(!clone.is_match(&s));
+        assert_eq!(re.budget_exhaustions(), 3);
+        // Healthy searches leave it untouched.
+        assert!(re.is_match("aaa"));
+        assert_eq!(re.budget_exhaustions(), 3);
     }
 
     #[test]

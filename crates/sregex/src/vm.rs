@@ -8,13 +8,8 @@
 use crate::ast::is_word;
 use crate::compile::{Inst, Program};
 
-/// Executes `prog` anchored at `start`. Returns the end offset of a match,
-/// treating step-budget exhaustion as "no match".
-pub fn exec(prog: &Program, haystack: &[u8], start: usize, step_limit: usize) -> Option<usize> {
-    exec_checked(prog, haystack, start, step_limit).unwrap_or(None)
-}
-
-/// Like [`exec`] but reports budget exhaustion as `Err(())`.
+/// Executes `prog` anchored at `start`. Returns the end offset of a match;
+/// budget exhaustion is `Err(())` so callers can decide how to surface it.
 pub fn exec_checked(
     prog: &Program,
     haystack: &[u8],
@@ -148,7 +143,7 @@ mod tests {
 
     fn anchored(pat: &str, s: &str) -> Option<usize> {
         let prog = compile(&parse(pat).unwrap());
-        super::exec(&prog, s.as_bytes(), 0, 100_000)
+        super::exec_checked(&prog, s.as_bytes(), 0, 100_000).unwrap()
     }
 
     #[test]

@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Refresh the checked-in benchmark snapshots.
+# Run from the repository root: ./scripts/bench_snapshot.sh
+#
+# Currently one snapshot: BENCH_classify.json, the prefiltered-vs-naive
+# Table 1 classification throughput (see crates/bench/benches/classify.rs).
+# The classify bench is a plain timing loop with its own JSON writer
+# because the vendored criterion has no machine-readable output.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== bench snapshot: classify (prefiltered vs naive) =="
+cargo bench -p honeylab-bench --bench classify -- --json "$PWD/BENCH_classify.json"
+
+echo "== bench snapshot: wrote BENCH_classify.json =="
+cat BENCH_classify.json

@@ -69,6 +69,8 @@ fn main() {
                  \x20                                        or sessiondb store (format auto-detected)\n\
                  \x20        [--report NAME]...              run only the named reports (repeatable; default all):\n\
                  \x20                                        taxonomy categories passwords probes downloads mdrfckr\n\
+                 \x20        [--analysis-threads N]          analysis worker threads (default: CPU count;\n\
+                 \x20                                        1 = serial; output identical at any N)\n\
                  serve                                    serve the honeypot over live TCP sockets\n\
                  \x20        [--ssh-port N] [--telnet-port N] listeners (0 = ephemeral; default ssh 2222)\n\
                  \x20        [--bind ADDR] [--store DIR]     bind address; spill sessions to a sessiondb store\n\
@@ -247,6 +249,9 @@ const DEPRECATED_REPORT_FLAGS: [&str; 6] = [
 fn cmd_analyze(args: &[String]) -> i32 {
     let mut path: Option<&str> = None;
     let mut reports: Vec<ReportKind> = Vec::new();
+    let mut threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
     let select = |reports: &mut Vec<ReportKind>, k: ReportKind| {
         if !reports.contains(&k) {
             reports.push(k);
@@ -271,6 +276,15 @@ fn cmd_analyze(args: &[String]) -> i32 {
                     return 2;
                 }
             }
+        } else if arg == "--analysis-threads" {
+            i += 1;
+            match args.get(i).and_then(|s| s.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => threads = n,
+                _ => {
+                    eprintln!("--analysis-threads needs a positive integer");
+                    return 2;
+                }
+            }
         } else if DEPRECATED_REPORT_FLAGS.contains(&arg) {
             let name = &arg[2..];
             eprintln!("warning: {arg} is deprecated; use --report {name}");
@@ -289,13 +303,13 @@ fn cmd_analyze(args: &[String]) -> i32 {
         return 2;
     };
     if is_sessiondb_path(path) {
-        analyze_sessiondb(path, &reports)
+        analyze_sessiondb(path, &reports, threads)
     } else {
-        analyze_cowrie(path, &reports)
+        analyze_cowrie(path, &reports, threads)
     }
 }
 
-fn analyze_sessiondb(path: &str, reports: &[ReportKind]) -> i32 {
+fn analyze_sessiondb(path: &str, reports: &[ReportKind], threads: usize) -> i32 {
     let store = match Store::open(path) {
         Ok(s) => s,
         Err(e) => {
@@ -310,11 +324,8 @@ fn analyze_sessiondb(path: &str, reports: &[ReportKind]) -> i32 {
     );
     // One parallel pass decodes and CRC-checks every block up front, so
     // the streaming analysis pass below can trust the store.
-    let workers = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4);
     match store.par_scan(
-        workers,
+        threads,
         |acc: &mut u64, batch| *acc += batch.len() as u64,
         |a, b| a + b,
     ) {
@@ -328,6 +339,7 @@ fn analyze_sessiondb(path: &str, reports: &[ReportKind]) -> i32 {
     // bounded by one decoded segment regardless of store size.
     let result = AnalysisBuilder::new(SessionSource::Store(&store))
         .reports(reports.iter().copied())
+        .threads(threads)
         .run();
     match result {
         Ok(r) => {
@@ -341,7 +353,7 @@ fn analyze_sessiondb(path: &str, reports: &[ReportKind]) -> i32 {
     }
 }
 
-fn analyze_cowrie(path: &str, reports: &[ReportKind]) -> i32 {
+fn analyze_cowrie(path: &str, reports: &[ReportKind], threads: usize) -> i32 {
     let log = match std::fs::read_to_string(path) {
         Ok(s) => s,
         Err(e) => {
@@ -355,6 +367,7 @@ fn analyze_cowrie(path: &str, reports: &[ReportKind]) -> i32 {
     // on line one.
     let result = AnalysisBuilder::new(SessionSource::CowrieLog(&log))
         .reports(reports.iter().copied())
+        .threads(threads)
         .run();
     let r = match result {
         Ok(r) => r,
@@ -404,6 +417,13 @@ fn render_analysis(r: &AnalysisReport) {
             "\nTable 1 coverage: {:.2}% of command sessions classified",
             coverage * 100.0
         );
+        if r.budget_exhaustions > 0 {
+            eprintln!(
+                "warning: {} regex step-budget exhaustion(s) during classification — \
+                 some pathological command texts were not fully matched",
+                r.budget_exhaustions
+            );
+        }
         println!("\ntop command categories:");
         for (label, n) in cats.iter().take(15) {
             println!("  {label:<26} {n}");
