@@ -1,0 +1,223 @@
+//! Interned/triangular vs naive §6 clustering throughput.
+//!
+//! Like the classify bench, this is a plain timing loop with its own JSON
+//! writer (`BENCH_cluster.json` via `scripts/bench_snapshot.sh`): the
+//! vendored criterion has no machine-readable output. Both paths run the
+//! same end-to-end pipeline — distance-matrix build plus the k-selection
+//! sweep — over the same signature corpus extracted from the shared
+//! benchmark dataset:
+//!
+//! * **naive** — the pre-optimisation path kept verbatim in
+//!   `cluster::naive`: dense `n × n` matrix over heap `String` tokens,
+//!   fresh DP rows per pair, per-cluster member re-filtering.
+//! * **interned** — the rebuilt hot path: `u32`-interned tokens, packed
+//!   upper triangle filled by the tile scheduler with per-worker scratch,
+//!   FastPAM-style cached k-medoids.
+//!
+//! The two pipelines are asserted byte-identical (every matrix cell, every
+//! medoid/assignment, every sweep tuple) *before* any timing, so the ratio
+//! measures representation and scheduling only — never a different answer.
+//!
+//! ```text
+//! cargo bench --bench cluster                    # print the numbers
+//! cargo bench --bench cluster -- --json OUT.json # also write the snapshot
+//! cargo bench --bench cluster -- --smoke         # tier-1: tiny corpus, 1 run
+//! cargo bench --bench cluster -- --scaling       # EXPERIMENTS.md prefix table
+//! ```
+
+use botnet::{generate_dataset, DriverConfig};
+use honeylab_bench::dataset;
+use honeylab_core::cluster::{self, naive, DistanceMatrix};
+use honeylab_core::{report, tokens};
+use std::hint::black_box;
+use std::time::Instant;
+
+/// The k-selection sweep the experiments binary runs (Figs. 5/6).
+const KS: &[usize] = &[10, 30, 60, 90, 120];
+
+/// Unique signatures + session weights of the file-dropping sessions, the
+/// exact dedup the §6 pipeline performs in `report::cluster_analysis`.
+fn corpus(sessions: &[honeypot::SessionRecord]) -> (Vec<Vec<String>>, Vec<u64>) {
+    let mut ix = std::collections::HashMap::new();
+    let mut signatures: Vec<Vec<String>> = Vec::new();
+    let mut weights: Vec<u64> = Vec::new();
+    for s in report::command_sessions(sessions) {
+        if s.dropped_hashes().next().is_none() || s.uris.is_empty() {
+            continue;
+        }
+        let sig = tokens::signature(&s.command_text());
+        match ix.get(&sig) {
+            Some(&i) => weights[i] += 1,
+            None => {
+                ix.insert(sig.clone(), signatures.len());
+                signatures.push(sig);
+                weights.push(1);
+            }
+        }
+    }
+    (signatures, weights)
+}
+
+/// Best-of-`runs` wall time of `f`, in seconds. `f` returns a checksum so
+/// the pipeline cannot be optimized away.
+fn best_secs(mut f: impl FnMut() -> u64, runs: usize) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..runs {
+        let t = Instant::now();
+        black_box(f());
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// Checksum over a sweep result (k, wcss, silhouette) — bit-exact, so both
+/// paths must produce identical floats to produce identical sums.
+fn sweep_checksum(sweep: &[(usize, f64, f64)]) -> u64 {
+    sweep.iter().fold(0u64, |acc, &(k, w, s)| {
+        acc.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(k as u64)
+            .wrapping_add(w.to_bits())
+            .wrapping_add(s.to_bits())
+    })
+}
+
+/// Times both pipelines over growing prefixes of the corpus and prints the
+/// EXPERIMENTS.md cluster-scaling markdown table.
+fn scaling_table(signatures: &[Vec<String>], weights: &[u64], ks: &[usize]) {
+    println!("| signatures | naive build + sweep | interned build + sweep | speedup |");
+    println!("|---|---|---|---|");
+    for &n in &[250usize, 500, 1000, signatures.len()] {
+        if n > signatures.len() {
+            continue;
+        }
+        let (sigs, ws) = (&signatures[..n], &weights[..n]);
+        let ks: Vec<usize> = ks.iter().copied().filter(|&k| k <= n).collect();
+        let run_naive = || {
+            let m = naive::DenseMatrix::build(sigs);
+            sweep_checksum(&naive::sweep_k(&m, ws, &ks, 42))
+        };
+        let run_fast = || {
+            let m = DistanceMatrix::build(sigs);
+            sweep_checksum(&cluster::sweep_k(&m, ws, &ks, 42))
+        };
+        assert_eq!(run_naive(), run_fast(), "checksums diverged at n={n}");
+        let naive_secs = best_secs(run_naive, 2);
+        let fast_secs = best_secs(run_fast, 2);
+        println!(
+            "| {n} | {naive_secs:.3} s | {fast_secs:.3} s | {:.1}× |",
+            naive_secs / fast_secs
+        );
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let scaling = args.iter().any(|a| a == "--scaling");
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+
+    let small;
+    let sessions: &[honeypot::SessionRecord] = if smoke {
+        small = generate_dataset(&DriverConfig::test_scale(42));
+        &small.sessions
+    } else {
+        &dataset().sessions
+    };
+    let (signatures, weights) = corpus(sessions);
+    let n = signatures.len();
+    let ks: Vec<usize> = KS.iter().copied().filter(|&k| k <= n.max(1)).collect();
+    let ks = if ks.is_empty() { vec![1] } else { ks };
+    eprintln!(
+        "cluster bench: {} signatures ({} sessions), ks {:?}{}",
+        n,
+        weights.iter().sum::<u64>(),
+        ks,
+        if smoke { " [smoke]" } else { "" }
+    );
+    if scaling {
+        scaling_table(&signatures, &weights, KS);
+        return;
+    }
+
+    // ------------------------------------------------- equivalence gate
+    // Every cell, every clustering, every sweep tuple must match before
+    // the timings mean anything.
+    let dense = naive::DenseMatrix::build(&signatures);
+    let packed = DistanceMatrix::build(&signatures);
+    for i in 0..n {
+        for j in 0..n {
+            assert_eq!(
+                packed.get(i, j),
+                dense.get(i, j),
+                "matrix cell ({i}, {j}) diverged"
+            );
+        }
+    }
+    for &k in &ks {
+        let fast = cluster::k_medoids(&packed, &weights, k, 42);
+        let slow = naive::k_medoids(&dense, &weights, k, 42);
+        assert_eq!(fast.medoids, slow.medoids, "medoids diverged at k={k}");
+        assert_eq!(
+            fast.assignment, slow.assignment,
+            "assignment diverged at k={k}"
+        );
+    }
+    let sweep_fast = cluster::sweep_k(&packed, &weights, &ks, 42);
+    let sweep_slow = naive::sweep_k(&dense, &weights, &ks, 42);
+    assert_eq!(sweep_fast, sweep_slow, "k-sweep diverged");
+    eprintln!("equivalence: all cells, clusterings, and sweeps identical");
+    drop((dense, packed));
+
+    // ---------------------------------------------------------- timing
+    // End-to-end: matrix build + full k-selection sweep, per ISSUE.
+    let run_naive = || {
+        let m = naive::DenseMatrix::build(&signatures);
+        sweep_checksum(&naive::sweep_k(&m, &weights, &ks, 42))
+    };
+    let run_fast = || {
+        let m = DistanceMatrix::build(&signatures);
+        sweep_checksum(&cluster::sweep_k(&m, &weights, &ks, 42))
+    };
+    assert_eq!(run_naive(), run_fast(), "checksums diverged");
+    if smoke {
+        println!("cluster bench smoke: OK ({n} signatures)");
+        return;
+    }
+
+    const RUNS: usize = 3;
+    let naive_secs = best_secs(run_naive, RUNS);
+    let fast_secs = best_secs(run_fast, RUNS);
+    let speedup = naive_secs / fast_secs;
+
+    // Matrix build alone, to show where the time went.
+    let naive_build = best_secs(|| naive::DenseMatrix::build(&signatures).len() as u64, RUNS);
+    let fast_build = best_secs(|| DistanceMatrix::build(&signatures).len() as u64, RUNS);
+
+    println!("naive    end-to-end {naive_secs:>9.4} s   build {naive_build:>9.4} s");
+    println!("interned end-to-end {fast_secs:>9.4} s   build {fast_build:>9.4} s");
+    println!(
+        "speedup  end-to-end {speedup:>9.2}x   build {:>9.2}x",
+        naive_build / fast_build
+    );
+
+    if let Some(path) = json_path {
+        let json = format!(
+            "{{\n  \"bench\": \"cluster\",\n  \"signatures\": {},\n  \"sessions\": {},\n  \"ks\": {:?},\n  \"naive_secs\": {:.6},\n  \"interned_secs\": {:.6},\n  \"naive_build_secs\": {:.6},\n  \"interned_build_secs\": {:.6},\n  \"speedup\": {:.2},\n  \"build_speedup\": {:.2}\n}}\n",
+            n,
+            weights.iter().sum::<u64>(),
+            ks,
+            naive_secs,
+            fast_secs,
+            naive_build,
+            fast_build,
+            speedup,
+            naive_build / fast_build
+        );
+        std::fs::write(&path, json).expect("write json snapshot");
+        eprintln!("wrote {path}");
+    }
+}

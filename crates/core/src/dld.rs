@@ -37,6 +37,138 @@ pub fn dld<T: PartialEq>(a: &[T], b: &[T]) -> usize {
     prev[m]
 }
 
+/// Reusable DP rows for [`dld_with_scratch`]. The clustering matrix build
+/// calls DLD once per signature pair; allocating three fresh rows per pair
+/// (as [`dld`] does) dominated short-sequence pairs, so the hot path
+/// threads one scratch per worker through every call instead.
+#[derive(Debug, Default)]
+pub struct DldScratch {
+    prev2: Vec<usize>,
+    prev: Vec<usize>,
+    cur: Vec<usize>,
+}
+
+impl DldScratch {
+    /// An empty scratch; rows grow to the longest `b` seen and then stop
+    /// allocating.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// [`dld`] with caller-provided scratch rows: identical result, no per-call
+/// allocation once the scratch has grown to the longest sequence.
+///
+/// Beyond row reuse, this variant strips the common prefix and suffix
+/// before running the DP — exact for the OSA formulation (a matched affix
+/// can always be aligned identity-to-identity; no edit script, including
+/// adjacent transpositions, improves by disturbing it), and the dominant
+/// win on attack signatures, which share long `cd /tmp; wget …` affixes.
+/// The inner loop carries the `cur[j-1]`/`prev[j-1]` cells in registers.
+/// Equivalence with [`dld`] is pinned by `tests/prop_cluster.rs`.
+pub fn dld_with_scratch<T: PartialEq>(a: &[T], b: &[T], s: &mut DldScratch) -> usize {
+    let common = a.len().min(b.len());
+    let mut lo = 0;
+    while lo < common && a[lo] == b[lo] {
+        lo += 1;
+    }
+    let (a, b) = (&a[lo..], &b[lo..]);
+    let common = a.len().min(b.len());
+    let mut cut = 0;
+    while cut < common && a[a.len() - 1 - cut] == b[b.len() - 1 - cut] {
+        cut += 1;
+    }
+    let (a, b) = (&a[..a.len() - cut], &b[..b.len() - cut]);
+
+    let (n, m) = (a.len(), b.len());
+    if n == 0 {
+        return m;
+    }
+    if m == 0 {
+        return n;
+    }
+    s.prev2.clear();
+    s.prev2.resize(m + 1, 0);
+    s.prev.clear();
+    s.prev.extend(0..=m);
+    s.cur.clear();
+    s.cur.resize(m + 1, 0);
+    for i in 1..=n {
+        s.cur[0] = i;
+        let ai = &a[i - 1];
+        let mut left = i; // cur[j-1]
+        let mut diag = i - 1; // prev[j-1]
+        for j in 1..=m {
+            let bj = &b[j - 1];
+            let up = s.prev[j];
+            let cost = usize::from(ai != bj);
+            let mut best = (up + 1) // deletion
+                .min(left + 1) // insertion
+                .min(diag + cost); // substitution
+            if i > 1 && j > 1 && *ai == b[j - 2] && a[i - 2] == *bj {
+                best = best.min(s.prev2[j - 2] + 1); // transposition
+            }
+            s.cur[j] = best;
+            diag = up;
+            left = best;
+        }
+        std::mem::swap(&mut s.prev2, &mut s.prev);
+        std::mem::swap(&mut s.prev, &mut s.cur);
+    }
+    s.prev[m]
+}
+
+/// Cells outside the Ukkonen band (treated as unreachable).
+const BAND_INF: usize = usize::MAX / 2;
+
+/// Ukkonen-banded [`dld`]: `Some(d)` iff the distance is at most `band`,
+/// `None` otherwise. Exact within the band — any edit script of cost
+/// `d ≤ band` never strays more than `d` cells off the main diagonal
+/// (insertions/deletions shift it by one each, transpositions keep it),
+/// so restricting the DP to `|i − j| ≤ band` cannot cut off a witness.
+/// The `|len(a) − len(b)|` length lower bound is checked first, so calls
+/// whose lengths already prove the bound cost O(1) and touch no DP row.
+pub fn dld_banded<T: PartialEq>(a: &[T], b: &[T], band: usize) -> Option<usize> {
+    let (n, m) = (a.len(), b.len());
+    if n.abs_diff(m) > band {
+        return None;
+    }
+    if n == 0 {
+        return Some(m);
+    }
+    if m == 0 {
+        return Some(n);
+    }
+    let mut prev2 = vec![BAND_INF; m + 1];
+    let mut prev = vec![BAND_INF; m + 1];
+    let mut cur = vec![BAND_INF; m + 1];
+    for (j, p) in prev.iter_mut().enumerate().take(m.min(band) + 1) {
+        *p = j;
+    }
+    for i in 1..=n {
+        // In-band columns for this row; the length pre-check guarantees
+        // `lo ≤ hi`. Cells just outside the window are pinned to BAND_INF
+        // so stale values from two rows ago are never read.
+        let lo = i.saturating_sub(band).max(1);
+        let hi = (i + band).min(m);
+        cur[lo - 1] = if lo == 1 { i } else { BAND_INF };
+        for j in lo..=hi {
+            let cost = usize::from(a[i - 1] != b[j - 1]);
+            let mut best = (prev[j] + 1).min(cur[j - 1] + 1).min(prev[j - 1] + cost);
+            if i > 1 && j > 1 && a[i - 1] == b[j - 2] && a[i - 2] == b[j - 1] {
+                best = best.min(prev2[j - 2] + 1);
+            }
+            cur[j] = best;
+        }
+        if hi < m {
+            cur[hi + 1] = BAND_INF;
+        }
+        std::mem::swap(&mut prev2, &mut prev);
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    (prev[m] <= band).then_some(prev[m])
+}
+
 /// DLD normalized by the longer sequence length, in `[0, 1]`
 /// (0 = identical, 1 = nothing in common). Two empty sequences are
 /// identical (0).
@@ -119,6 +251,63 @@ mod tests {
         let a = toks("a b c d e");
         let b = toks("a c b e");
         assert_eq!(dld(&a, &b), dld(&b, &a));
+    }
+
+    #[test]
+    fn scratch_variant_matches_and_reuses_rows() {
+        let mut s = DldScratch::new();
+        let pairs = [
+            ("mkdir /tmp", "cd /tmp"),
+            ("a b c", "a b c d"),
+            ("", "x y z"),
+            ("wget chmod sh", "chmod wget sh"),
+            ("a much longer command line here", "short"),
+            ("short", "a much longer command line here"),
+        ];
+        for (a, b) in pairs {
+            let (ta, tb) = (toks(a), toks(b));
+            assert_eq!(
+                dld_with_scratch(&ta, &tb, &mut s),
+                dld(&ta, &tb),
+                "{a:?} vs {b:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn banded_matches_full_within_band() {
+        let pairs = [
+            ("mkdir /tmp", "cd /tmp"),
+            ("a b c", "x y z"),
+            ("a b", "b a"),
+            ("", ""),
+            ("a b c d e f", ""),
+            (
+                "cd /tmp wget u sh f",
+                "mkdir d cd d wget u chmod f sh f rm f",
+            ),
+        ];
+        for (a, b) in pairs {
+            let (ta, tb) = (toks(a), toks(b));
+            let full = dld(&ta, &tb);
+            for band in 0..10 {
+                let got = dld_banded(&ta, &tb, band);
+                if full <= band {
+                    assert_eq!(got, Some(full), "{a:?} vs {b:?} band {band}");
+                } else {
+                    assert_eq!(got, None, "{a:?} vs {b:?} band {band}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn banded_length_bound_short_circuits() {
+        // |len difference| alone proves the bound: no DP rows needed.
+        let a = toks("a b c d e f g h");
+        let b = toks("a b");
+        assert_eq!(dld_banded(&a, &b, 3), None);
+        assert_eq!(dld_banded(&a, &b, 6), Some(6));
     }
 
     #[test]

@@ -1,0 +1,106 @@
+//! Token interning for the clustering hot path (paper §6).
+//!
+//! The token-DLD inner loop compares tokens once per DP cell; over heap
+//! `String`s every comparison is a length check plus a memcmp through a
+//! pointer. Interning maps each distinct token to a dense `u32` id *once*,
+//! so the O(n²·len²) distance phase runs over `&[u32]` with `Copy`
+//! register compares. Interning preserves token equality exactly, so
+//! DLD over ids equals DLD over the original strings (property-tested in
+//! `tests/prop_cluster.rs`).
+
+use std::collections::HashMap;
+
+/// Maps distinct tokens to dense `u32` ids (first-seen order).
+#[derive(Debug, Default)]
+pub struct Interner {
+    ids: HashMap<String, u32>,
+    toks: Vec<String>,
+}
+
+impl Interner {
+    /// An empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Id for `tok`, allocating the next dense id on first sight.
+    pub fn intern(&mut self, tok: &str) -> u32 {
+        if let Some(&id) = self.ids.get(tok) {
+            return id;
+        }
+        let id = u32::try_from(self.toks.len()).expect("token universe fits in u32");
+        self.ids.insert(tok.to_string(), id);
+        self.toks.push(tok.to_string());
+        id
+    }
+
+    /// The token behind `id`. Panics on an id this interner never issued.
+    pub fn resolve(&self, id: u32) -> &str {
+        &self.toks[id as usize]
+    }
+
+    /// Number of distinct tokens interned.
+    pub fn len(&self) -> usize {
+        self.toks.len()
+    }
+
+    /// Whether no token has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.toks.is_empty()
+    }
+
+    /// Interns one token sequence.
+    pub fn intern_tokens(&mut self, tokens: &[String]) -> Vec<u32> {
+        tokens.iter().map(|t| self.intern(t)).collect()
+    }
+
+    /// Interns a whole signature corpus, returning the interner alongside
+    /// the id sequences (one per input signature, same order).
+    pub fn intern_signatures(signatures: &[Vec<String>]) -> (Self, Vec<Vec<u32>>) {
+        let mut interner = Self::new();
+        let ids = signatures
+            .iter()
+            .map(|sig| interner.intern_tokens(sig))
+            .collect();
+        (interner, ids)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_dense_and_stable() {
+        let mut it = Interner::new();
+        assert!(it.is_empty());
+        let a = it.intern("wget");
+        let b = it.intern("<URL>");
+        let a2 = it.intern("wget");
+        assert_eq!(a, 0);
+        assert_eq!(b, 1);
+        assert_eq!(a, a2);
+        assert_eq!(it.len(), 2);
+        assert_eq!(it.resolve(a), "wget");
+        assert_eq!(it.resolve(b), "<URL>");
+    }
+
+    #[test]
+    fn interning_preserves_equality() {
+        let sigs = vec![
+            vec!["cd".to_string(), "/tmp".to_string(), "wget".to_string()],
+            vec!["cd".to_string(), "/tmp".to_string(), "curl".to_string()],
+            vec![],
+        ];
+        let (it, ids) = Interner::intern_signatures(&sigs);
+        assert_eq!(it.len(), 4); // cd /tmp wget curl
+        assert_eq!(ids[0][..2], ids[1][..2]);
+        assert_ne!(ids[0][2], ids[1][2]);
+        assert!(ids[2].is_empty());
+        for (sig, id_seq) in sigs.iter().zip(&ids) {
+            let back: Vec<&str> = id_seq.iter().map(|&i| it.resolve(i)).collect();
+            let orig: Vec<&str> = sig.iter().map(String::as_str).collect();
+            assert_eq!(back, orig);
+        }
+    }
+}

@@ -9,10 +9,15 @@
 //!   plus `unknown`, evaluated in precedence order over each session's
 //!   command text (>99 % coverage claim reproduced by tests).
 //! * [`tokens`] — command tokenization for clustering (§6).
-//! * [`dld`] — Damerau-Levenshtein distance over token sequences.
+//! * [`intern`] — dense `u32` token interning feeding the clustering hot
+//!   path (`Copy` compares instead of heap-`String` compares).
+//! * [`dld`] — Damerau-Levenshtein distance over token sequences, with a
+//!   scratch-reusing variant and an Ukkonen-banded early-exit variant.
 //! * [`cluster`] — K-medoids over the token-DLD matrix with WCSS/elbow and
 //!   silhouette diagnostics (paper: k = 90), plus family labelling via
-//!   abuse-database cross-referencing.
+//!   abuse-database cross-referencing. The matrix is interned, packed
+//!   triangular, and built by an atomic-cursor tile scheduler; the
+//!   pre-optimisation path survives as the [`cluster::naive`] oracle.
 //! * [`storage_analysis`] — malware storage locations: client/storage AS
 //!   types (Fig. 7/17), AS age and size (Fig. 8), IP reuse (Fig. 9).
 //! * [`logins`] — password analysis (Fig. 10) and Cowrie-default
@@ -33,6 +38,7 @@ pub mod classify;
 pub mod cluster;
 pub mod coverage;
 pub mod dld;
+pub mod intern;
 pub mod logins;
 pub mod mdrfckr;
 pub mod report;

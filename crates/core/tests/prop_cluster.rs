@@ -1,0 +1,188 @@
+//! Property-based equivalence suite for the §6 clustering engine rebuild
+//! (interning, packed triangular matrix, banded DLD, cached k-medoids).
+//! Every optimisation must be *invisible* in the output:
+//!
+//! 1. **Interned DLD ≡ string DLD** — interning tokens to `u32` ids (and
+//!    reusing DP scratch rows) cannot change any distance.
+//! 2. **Packed triangle ≡ dense oracle** — `DistanceMatrix::get(i, j)`
+//!    must match the old dense `n × n` build cell for cell, stay
+//!    symmetric, and keep a zero diagonal.
+//! 3. **Banded DLD ≡ full DLD within the band** — `dld_banded(a, b, w)`
+//!    is `Some(d)` exactly when `dld(a, b) = d ≤ w`.
+//! 4. **Parallel build ≡ serial build** — the tile scheduler produces
+//!    bit-identical cells at every thread count.
+//! 5. **Cached k-medoids ≡ naive k-medoids** — member-list caching and
+//!    FastPAM-style nearest/second maintenance leave `assignment` and
+//!    `medoids` byte-identical for any corpus, k, seed, and weights
+//!    (zero weights included), and the whole k-sweep (WCSS + silhouette)
+//!    bit-identical.
+
+use honeylab_core::cluster::{self, naive, DistanceMatrix};
+use honeylab_core::dld::{dld, dld_banded, dld_with_scratch, DldScratch};
+use honeylab_core::intern::Interner;
+use proptest::prelude::*;
+
+/// Small shared vocabulary (to force token collisions and distance ties);
+/// larger draws become fresh synthetic tokens.
+const VOCAB: &[&str] = &[
+    "cd",
+    "/tmp",
+    "wget",
+    "curl",
+    "<URL>",
+    "chmod",
+    "sh",
+    "rm",
+    "<NAME>",
+    "echo",
+    "ok",
+    "uname",
+    "-a",
+    "busybox",
+    "<IP>",
+    "root:<PW>",
+];
+
+fn tok(draw: usize) -> String {
+    VOCAB
+        .get(draw)
+        .map_or_else(|| format!("t{draw}"), |t| (*t).to_string())
+}
+
+/// One token signature: 0–11 tokens, mostly from the shared vocabulary.
+fn signature() -> impl Strategy<Value = Vec<String>> {
+    proptest::collection::vec(0usize..24, 0..12)
+        .prop_map(|draws| draws.into_iter().map(tok).collect())
+}
+
+/// A signature corpus of up to `max - 1` signatures.
+fn corpus(max: usize) -> impl Strategy<Value = Vec<Vec<String>>> {
+    proptest::collection::vec(signature(), 0..max)
+}
+
+/// A weight pool; corpora index it cyclically so every corpus length gets
+/// deterministic weights with zeros included (zeros exercise the
+/// silhouette underflow fix and seeding-score ties).
+fn weight_pool() -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec(0u64..50, 64..=64)
+}
+
+fn weights_for(n: usize, pool: &[u64]) -> Vec<u64> {
+    (0..n).map(|i| pool[i % pool.len()]).collect()
+}
+
+proptest! {
+    #[test]
+    fn interned_dld_matches_string_dld(a in signature(), b in signature()) {
+        let mut interner = Interner::new();
+        let ia = interner.intern_tokens(&a);
+        let ib = interner.intern_tokens(&b);
+        let over_strings = dld(&a, &b);
+        prop_assert_eq!(dld(&ia, &ib), over_strings);
+        let mut scratch = DldScratch::new();
+        prop_assert_eq!(dld_with_scratch(&ia, &ib, &mut scratch), over_strings);
+        // Scratch reuse across pairs (including the swapped orientation)
+        // must not leak state between calls.
+        prop_assert_eq!(dld_with_scratch(&ib, &ia, &mut scratch), over_strings);
+        prop_assert_eq!(dld_with_scratch(&ia, &ib, &mut scratch), over_strings);
+    }
+
+    #[test]
+    fn banded_dld_matches_full_within_band(a in signature(), b in signature(), band in 0usize..10) {
+        let full = dld(&a, &b);
+        let banded = dld_banded(&a, &b, band);
+        if full <= band {
+            prop_assert_eq!(banded, Some(full));
+        } else {
+            prop_assert_eq!(banded, None);
+        }
+    }
+
+    #[test]
+    fn packed_triangle_matches_dense_oracle(sigs in corpus(24)) {
+        let packed = DistanceMatrix::build_with_threads(&sigs, 1);
+        let dense = naive::DenseMatrix::build(&sigs);
+        prop_assert_eq!(packed.len(), dense.len());
+        let n = sigs.len();
+        prop_assert_eq!(packed.as_packed().len(), n * (n + 1) / 2);
+        for i in 0..n {
+            prop_assert_eq!(packed.get(i, i), 0.0);
+            for j in 0..n {
+                // Bitwise f64 equality: both sides are the same
+                // `dld / max_len` division.
+                prop_assert_eq!(packed.get(i, j), dense.get(i, j), "cell ({}, {})", i, j);
+                prop_assert_eq!(packed.get(i, j), packed.get(j, i), "symmetry ({}, {})", i, j);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_build_matches_serial(sigs in corpus(32), threads in 2usize..9) {
+        let serial = DistanceMatrix::build_with_threads(&sigs, 1);
+        let par = DistanceMatrix::build_with_threads(&sigs, threads);
+        prop_assert_eq!(par.as_packed(), serial.as_packed());
+    }
+
+    #[test]
+    fn banded_build_caps_far_cells_only(sigs in corpus(16), cap in 0.0f64..1.0) {
+        let exact = DistanceMatrix::build_with_threads(&sigs, 1);
+        let banded = DistanceMatrix::build_banded(&sigs, 1, cap);
+        for i in 0..sigs.len() {
+            for j in 0..sigs.len() {
+                let e = exact.get(i, j);
+                if e <= cap {
+                    prop_assert_eq!(banded.get(i, j), e, "near cell ({}, {})", i, j);
+                } else {
+                    prop_assert_eq!(banded.get(i, j), 1.0, "far cell ({}, {})", i, j);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cached_k_medoids_matches_naive(
+        sigs in corpus(28),
+        pool in weight_pool(),
+        k in 1usize..9,
+        seed in 0u64..64,
+    ) {
+        let weights = weights_for(sigs.len(), &pool);
+        let m = DistanceMatrix::build_with_threads(&sigs, 1);
+        let fast = cluster::k_medoids(&m, &weights, k, seed);
+        let slow = naive::k_medoids(&m, &weights, k, seed);
+        prop_assert_eq!(fast.medoids, slow.medoids);
+        prop_assert_eq!(fast.assignment, slow.assignment);
+    }
+
+    #[test]
+    fn sweep_is_bit_identical_to_naive(
+        sigs in corpus(20),
+        pool in weight_pool(),
+        seed in 0u64..16,
+    ) {
+        let weights = weights_for(sigs.len(), &pool);
+        let m = DistanceMatrix::build_with_threads(&sigs, 1);
+        let ks = [1usize, 2, 3, 5, 8];
+        let fast = cluster::sweep_k(&m, &weights, &ks, seed);
+        let slow = naive::sweep_k(&m, &weights, &ks, seed);
+        // (k, wcss, silhouette) tuples compare exactly: identical float
+        // operations in identical order on both paths.
+        prop_assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn clustering_survives_zero_weight_points(
+        sigs in corpus(16),
+        seed in 0u64..8,
+    ) {
+        // All-zero weights: the silhouette used to wrap `0u64 - 1`.
+        let weights = vec![0u64; sigs.len()];
+        let m = DistanceMatrix::build(&sigs);
+        let cl = cluster::k_medoids(&m, &weights, 3, seed);
+        let s = cluster::silhouette(&m, &weights, &cl);
+        prop_assert!((-1.0..=1.0).contains(&s), "silhouette out of range: {}", s);
+        prop_assert_eq!(s, naive::silhouette(&m, &weights, &cl));
+        let w = cluster::wcss(&m, &weights, &cl);
+        prop_assert!(w == 0.0, "zero weights ⇒ zero wcss, got {}", w);
+    }
+}

@@ -2,10 +2,12 @@
 # Refresh the checked-in benchmark snapshots.
 # Run from the repository root: ./scripts/bench_snapshot.sh
 #
-# Currently one snapshot: BENCH_classify.json, the prefiltered-vs-naive
-# Table 1 classification throughput (see crates/bench/benches/classify.rs).
-# The classify bench is a plain timing loop with its own JSON writer
-# because the vendored criterion has no machine-readable output.
+# Two snapshots, both plain timing loops with their own JSON writers
+# (the vendored criterion has no machine-readable output):
+#   BENCH_classify.json — prefiltered-vs-naive Table 1 classification
+#     throughput (crates/bench/benches/classify.rs).
+#   BENCH_cluster.json  — interned/triangular-vs-naive §6 clustering
+#     end-to-end (matrix build + k-sweep; crates/bench/benches/cluster.rs).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -14,3 +16,9 @@ cargo bench -p honeylab-bench --bench classify -- --json "$PWD/BENCH_classify.js
 
 echo "== bench snapshot: wrote BENCH_classify.json =="
 cat BENCH_classify.json
+
+echo "== bench snapshot: cluster (interned vs naive) =="
+cargo bench -p honeylab-bench --bench cluster -- --json "$PWD/BENCH_cluster.json"
+
+echo "== bench snapshot: wrote BENCH_cluster.json =="
+cat BENCH_cluster.json

@@ -16,6 +16,9 @@ cargo test -q --workspace
 echo "== tier1: clippy (deny warnings) =="
 cargo clippy --all-targets --workspace -- -D warnings
 
+echo "== tier1: cluster bench smoke (equivalence gate, tiny corpus) =="
+cargo bench -p honeylab-bench --bench cluster -- --smoke
+
 echo "== tier1: sessiondb smoke (generate -> analyze) =="
 smoke="$(mktemp -d)/smoke.hsdb"
 trap 'rm -rf "$(dirname "$smoke")"' EXIT
