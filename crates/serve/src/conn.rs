@@ -6,7 +6,7 @@
 //! returns. A worker shard owns a set of `Conn`s and pumps them round-robin,
 //! so hundreds of concurrent sessions multiplex onto a handful of threads.
 
-use crate::ServeStats;
+use crate::{GatePermit, ServeStats};
 use honeypot::shell::{RemoteStore, Shell};
 use honeypot::{
     AuthPolicy, CommandRecord, LoginAttempt, Protocol, SessionEndReason, SessionRecord,
@@ -104,6 +104,9 @@ pub struct Conn<'s> {
     machine: Machine<'s>,
     /// Bytes produced by the machine, not yet accepted by the socket.
     pending_out: Vec<u8>,
+    /// Admission slot; dropping the connection — on any path, including
+    /// a caught panic — releases it. Held purely for its `Drop`.
+    _permit: GatePermit,
     client_ip: netsim::Ipv4Addr,
     client_port: u16,
     start_unix: i64,
@@ -126,7 +129,7 @@ impl<'s> Conn<'s> {
     /// non-blocking.
     pub fn ssh(
         stream: TcpStream,
-        client_ip: netsim::Ipv4Addr,
+        permit: GatePermit,
         client_port: u16,
         handler: LiveHandler<'s>,
         start_unix: i64,
@@ -147,7 +150,7 @@ impl<'s> Conn<'s> {
         Self::new(
             stream,
             Machine::Ssh(server),
-            client_ip,
+            permit,
             client_port,
             start_unix,
         )
@@ -156,7 +159,7 @@ impl<'s> Conn<'s> {
     /// Wraps an accepted Telnet socket.
     pub fn telnet(
         stream: TcpStream,
-        client_ip: netsim::Ipv4Addr,
+        permit: GatePermit,
         client_port: u16,
         handler: LiveHandler<'s>,
         start_unix: i64,
@@ -165,7 +168,7 @@ impl<'s> Conn<'s> {
         Self::new(
             stream,
             Machine::Telnet(server),
-            client_ip,
+            permit,
             client_port,
             start_unix,
         )
@@ -174,7 +177,7 @@ impl<'s> Conn<'s> {
     fn new(
         stream: TcpStream,
         machine: Machine<'s>,
-        client_ip: netsim::Ipv4Addr,
+        permit: GatePermit,
         client_port: u16,
         start_unix: i64,
     ) -> Self {
@@ -183,7 +186,8 @@ impl<'s> Conn<'s> {
             stream,
             machine,
             pending_out: Vec::new(),
-            client_ip,
+            client_ip: permit.ip(),
+            _permit: permit,
             client_port,
             start_unix,
             started: now,
@@ -371,6 +375,34 @@ impl<'s> Conn<'s> {
             commands: std::mem::take(&mut handler.commands),
             uris,
             file_events,
+        }
+    }
+
+    /// Converts a connection whose pump *panicked* into a minimal failed
+    /// session record. The protocol machine may be poisoned mid-update,
+    /// so this touches only plain fields — no auth log, no shell
+    /// observations — and does not count toward `completed`. Dropping
+    /// `self` releases the admission permit.
+    pub fn into_failed(self, sensor: SensorIdentity) -> SessionRecord {
+        let elapsed = self.started.elapsed().as_secs() as i64;
+        SessionRecord {
+            session_id: 0, // the collector assigns dense ids
+            honeypot_id: sensor.honeypot_id,
+            honeypot_ip: sensor.honeypot_ip,
+            client_ip: self.client_ip,
+            client_port: self.client_port,
+            protocol: match self.machine {
+                Machine::Ssh(_) => Protocol::Ssh,
+                Machine::Telnet(_) => Protocol::Telnet,
+            },
+            start: DateTime::from_unix(self.start_unix),
+            end: DateTime::from_unix(self.start_unix + elapsed.max(0)),
+            end_reason: SessionEndReason::ClientClose,
+            client_version: None,
+            logins: Vec::new(),
+            commands: Vec::new(),
+            uris: Vec::new(),
+            file_events: Vec::new(),
         }
     }
 }

@@ -46,12 +46,14 @@ pub mod server;
 pub mod signal;
 
 pub use conn::{LiveHandler, SharedStore};
-pub use server::{ServeReport, Server, ServerHandle};
+pub use server::{fold_peer_ip, ServeReport, Server, ServerHandle};
 
 use honeypot::CollectorConfig;
+use sessiondb::FsyncPolicy;
 use std::net::{IpAddr, Ipv4Addr as StdIpv4Addr};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Everything that can go wrong starting or stopping a server.
@@ -76,6 +78,14 @@ pub enum ServeError {
         /// Collector error message.
         message: String,
     },
+    /// A server thread (accept loop, supervisor, stats) panicked; the
+    /// run's data was still sealed, but the process was unhealthy.
+    ThreadPanicked {
+        /// Thread that died.
+        thread: String,
+        /// Extracted panic message.
+        message: String,
+    },
 }
 
 impl std::fmt::Display for ServeError {
@@ -85,7 +95,35 @@ impl std::fmt::Display for ServeError {
             ServeError::Bind { addr, source } => write!(f, "cannot bind {addr}: {source}"),
             ServeError::Store { message } => write!(f, "session store failed: {message}"),
             ServeError::Collector { message } => write!(f, "collector failed: {message}"),
+            ServeError::ThreadPanicked { thread, message } => {
+                write!(f, "server thread '{thread}' panicked: {message}")
+            }
         }
+    }
+}
+
+/// Fault-injection knobs for the serving layer itself. Sink flush
+/// failures are injected separately through
+/// [`ServeConfig::collector`]'s `flush_failure_rate`; these rates cover
+/// the two failure domains above the collector: a single connection's
+/// pump panicking (caught per-connection) and a whole shard thread
+/// panicking (respawned by the supervisor). Rates are probabilities in
+/// `[0, 1]`; the seed makes a chaos run reproducible.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ChaosConfig {
+    /// Probability that an admitted connection's pump panics.
+    pub conn_panic_rate: f64,
+    /// Probability that taking a connection into a shard panics the
+    /// shard thread itself.
+    pub shard_panic_rate: f64,
+    /// Seed for the deterministic injectors.
+    pub seed: u64,
+}
+
+impl ChaosConfig {
+    /// Whether any chaos injection is active.
+    pub fn enabled(&self) -> bool {
+        self.conn_panic_rate > 0.0 || self.shard_panic_rate > 0.0
     }
 }
 
@@ -131,6 +169,11 @@ pub struct ServeConfig {
     pub collector: CollectorConfig,
     /// Rows per sealed store segment.
     pub rows_per_segment: usize,
+    /// WAL durability policy for the spill store: how often the log
+    /// fsyncs. Only meaningful with a `store_dir`.
+    pub fsync: FsyncPolicy,
+    /// Serving-layer fault injection (off by default).
+    pub chaos: ChaosConfig,
 }
 
 impl Default for ServeConfig {
@@ -153,6 +196,8 @@ impl Default for ServeConfig {
             honeypot_ip: netsim::Ipv4Addr::from_octets(100, 64, 0, 1),
             collector: CollectorConfig::default(),
             rows_per_segment: sessiondb::DEFAULT_ROWS_PER_SEGMENT,
+            fsync: FsyncPolicy::default(),
+            chaos: ChaosConfig::default(),
         }
     }
 }
@@ -178,6 +223,12 @@ pub struct ServeStats {
     pub bytes_in: AtomicU64,
     /// Bytes written to clients.
     pub bytes_out: AtomicU64,
+    /// Unexpected `accept(2)` errors (fd exhaustion and friends).
+    pub accept_errors: AtomicU64,
+    /// Connection pumps that panicked and were contained per-connection.
+    pub panics_caught: AtomicU64,
+    /// Shard threads that died and were respawned by the supervisor.
+    pub shards_respawned: AtomicU64,
 }
 
 /// A point-in-time copy of [`ServeStats`].
@@ -201,6 +252,12 @@ pub struct StatsSnapshot {
     pub bytes_in: u64,
     /// Bytes out.
     pub bytes_out: u64,
+    /// Unexpected accept errors.
+    pub accept_errors: u64,
+    /// Contained connection panics.
+    pub panics_caught: u64,
+    /// Shard respawns.
+    pub shards_respawned: u64,
 }
 
 impl ServeStats {
@@ -216,6 +273,9 @@ impl ServeStats {
             wire_errors: self.wire_errors.load(Ordering::Relaxed),
             bytes_in: self.bytes_in.load(Ordering::Relaxed),
             bytes_out: self.bytes_out.load(Ordering::Relaxed),
+            accept_errors: self.accept_errors.load(Ordering::Relaxed),
+            panics_caught: self.panics_caught.load(Ordering::Relaxed),
+            shards_respawned: self.shards_respawned.load(Ordering::Relaxed),
         }
     }
 }
@@ -224,7 +284,7 @@ impl StatsSnapshot {
     /// One-line rendering for the periodic stats log.
     pub fn render(&self) -> String {
         format!(
-            "accepted={} active={} completed={} timed_out={} shed={}+{} wire_errors={} in={}B out={}B",
+            "accepted={} active={} completed={} timed_out={} shed={}+{} wire_errors={} in={}B out={}B accept_errors={} panics={} respawns={}",
             self.accepted,
             self.active,
             self.completed,
@@ -234,6 +294,9 @@ impl StatsSnapshot {
             self.wire_errors,
             self.bytes_in,
             self.bytes_out,
+            self.accept_errors,
+            self.panics_caught,
+            self.shards_respawned,
         )
     }
 }
@@ -301,6 +364,50 @@ impl Gate {
     pub fn active(&self) -> usize {
         self.active.load(Ordering::Relaxed)
     }
+
+    /// RAII form of [`Gate::try_admit`]: on success the returned permit
+    /// releases the slot (and the `active` stats gauge) when dropped —
+    /// on *any* path, including a panicking connection pump or a dying
+    /// shard thread, so crash containment can never leak gate slots.
+    pub fn admit(
+        self: &Arc<Self>,
+        ip: netsim::Ipv4Addr,
+        stats: &Arc<ServeStats>,
+    ) -> Result<GatePermit, Admission> {
+        match self.try_admit(ip) {
+            Admission::Admitted => {
+                stats.active.fetch_add(1, Ordering::Relaxed);
+                Ok(GatePermit {
+                    gate: Arc::clone(self),
+                    stats: Arc::clone(stats),
+                    ip,
+                })
+            }
+            other => Err(other),
+        }
+    }
+}
+
+/// A held admission slot; dropping it releases the slot exactly once.
+#[derive(Debug)]
+pub struct GatePermit {
+    gate: Arc<Gate>,
+    stats: Arc<ServeStats>,
+    ip: netsim::Ipv4Addr,
+}
+
+impl GatePermit {
+    /// The (folded) client IP the slot was granted to.
+    pub fn ip(&self) -> netsim::Ipv4Addr {
+        self.ip
+    }
+}
+
+impl Drop for GatePermit {
+    fn drop(&mut self) {
+        self.gate.release(self.ip);
+        self.stats.active.fetch_sub(1, Ordering::Relaxed);
+    }
 }
 
 #[cfg(test)]
@@ -329,6 +436,25 @@ mod tests {
         g.release(a);
         assert_eq!(g.try_admit(a), Admission::Admitted);
         assert_eq!(g.active(), 2);
+    }
+
+    #[test]
+    fn gate_permit_releases_on_drop_even_across_a_panic() {
+        let g = Arc::new(Gate::new(2, 2));
+        let stats = Arc::new(ServeStats::default());
+        let ip = netsim::Ipv4Addr(7);
+        let permit = g.admit(ip, &stats).expect("admitted");
+        assert_eq!(g.active(), 1);
+        assert_eq!(stats.active.load(Ordering::Relaxed), 1);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+            let _held = permit;
+            panic!("boom");
+        }));
+        assert!(result.is_err());
+        assert_eq!(g.active(), 0, "unwinding released the slot");
+        assert_eq!(stats.active.load(Ordering::Relaxed), 0);
+        // The per-IP slot is free again too.
+        assert!(g.admit(ip, &stats).is_ok());
     }
 
     #[test]

@@ -1,12 +1,28 @@
-//! Server orchestration: listeners, sharded accept loops, worker pool,
-//! stats thread, graceful drain.
+//! Server orchestration: listeners, sharded accept loops, supervised
+//! worker pool, stats thread, graceful drain.
+//!
+//! # Crash containment
+//!
+//! Failures are contained at three radii. A single connection's pump
+//! runs under `catch_unwind`: a poisoned session is recorded as a failed
+//! session, its gate slot is released by the permit's `Drop`, and
+//! `panics_caught` is bumped — the shard keeps serving its other
+//! connections. If a shard thread dies anyway (a panic outside the
+//! per-connection guard), the supervisor respawns it and re-homes its
+//! intake channel, so the server keeps accepting at full width; the
+//! panic message is reported through [`ServeReport::shard_panics`].
+//! Accept/supervisor/stats threads have no respawn layer — a panic
+//! there surfaces as [`ServeError::ThreadPanicked`] from
+//! [`ServerHandle::join`].
 
 use crate::conn::{now_unix, Conn, LiveHandler, SensorIdentity, SharedStore};
-use crate::{Admission, Gate, ServeConfig, ServeError, ServeStats, StatsSnapshot};
+use crate::{Admission, ChaosConfig, Gate, ServeConfig, ServeError, ServeStats, StatsSnapshot};
 use honeypot::shell::NullStore;
-use honeypot::{AuthPolicy, Collector, CollectorError, IngestStats};
-use sessiondb::StoreWriter;
+use honeypot::{panic_message, AuthPolicy, Collector, CollectorError, IngestStats};
+use netsim::faults::FailureInjector;
+use sessiondb::{RecoveryReport, StoreOptions, StoreWriter};
 use std::net::{IpAddr, SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, Sender, TryRecvError};
 use std::sync::Arc;
@@ -21,13 +37,57 @@ enum Proto {
 }
 
 /// An admitted connection in flight from an accept thread to its shard.
+/// Carries its gate permit, so a connection dropped anywhere along the
+/// way (channel teardown, shard death) releases its slot.
 struct Admitted {
     stream: TcpStream,
-    client_ip: netsim::Ipv4Addr,
+    permit: crate::GatePermit,
     client_port: u16,
     proto: Proto,
     start_unix: i64,
     seq: u64,
+}
+
+/// Maps a peer address into the record schema's IPv4 space. Real v4
+/// addresses pass through. IPv6 peers are folded into the reserved
+/// 240.0.0.0/8 block by FNV-1a hashing the full 16-byte address, so
+/// distinct v6 clients keep distinct per-IP gate slots (and cannot
+/// collide with any routable v4 peer — 240/8 is class E, never assigned).
+pub fn fold_peer_ip(ip: IpAddr) -> netsim::Ipv4Addr {
+    match ip {
+        IpAddr::V4(v4) => {
+            let o = v4.octets();
+            netsim::Ipv4Addr::from_octets(o[0], o[1], o[2], o[3])
+        }
+        IpAddr::V6(v6) => {
+            let mut h: u32 = 0x811c_9dc5;
+            for b in v6.octets() {
+                h ^= u32::from(b);
+                h = h.wrapping_mul(0x0100_0193);
+            }
+            netsim::Ipv4Addr(0xF000_0000 | (h & 0x00FF_FFFF))
+        }
+    }
+}
+
+/// Intake side of a shard, shared with the supervisor so a respawned
+/// shard thread can pick up exactly where its predecessor's channel
+/// left off (queued connections included).
+type SharedRx = Arc<parking_lot::Mutex<Receiver<Admitted>>>;
+
+/// Everything a shard thread needs, cloneable so the supervisor can
+/// hand a fresh copy to a respawned thread.
+#[derive(Clone)]
+struct ShardCtx {
+    remote: SharedStore,
+    collector: Arc<Collector>,
+    stats: Arc<ServeStats>,
+    shutdown: Arc<AtomicBool>,
+    sensor: SensorIdentity,
+    idle_timeout: Duration,
+    session_timeout: Duration,
+    drain_timeout: Duration,
+    chaos: ChaosConfig,
 }
 
 /// The live serving layer. See the crate docs for the architecture.
@@ -51,12 +111,18 @@ impl Server {
             return Err(ServeError::NoListeners);
         }
 
+        let mut recovery = None;
         let collector = Arc::new(match &cfg.store_dir {
             Some(dir) => {
-                let writer = StoreWriter::with_rows_per_segment(dir, cfg.rows_per_segment)
-                    .map_err(|e| ServeError::Store {
+                let opts = StoreOptions {
+                    rows_per_segment: cfg.rows_per_segment,
+                    wal: Some(cfg.fsync),
+                };
+                let (writer, report) =
+                    StoreWriter::with_options(dir, opts).map_err(|e| ServeError::Store {
                         message: e.to_string(),
                     })?;
+                recovery = Some(report);
                 Collector::with_sink(cfg.collector.clone(), Box::new(writer))
             }
             None => Collector::with_config(cfg.collector.clone()),
@@ -86,11 +152,11 @@ impl Server {
         let workers = cfg.workers.max(1);
 
         let mut senders: Vec<Sender<Admitted>> = Vec::with_capacity(workers);
-        let mut receivers: Vec<Receiver<Admitted>> = Vec::with_capacity(workers);
+        let mut rxs: Vec<SharedRx> = Vec::with_capacity(workers);
         for _ in 0..workers {
             let (tx, rx) = std::sync::mpsc::channel();
             senders.push(tx);
-            receivers.push(rx);
+            rxs.push(Arc::new(parking_lot::Mutex::new(rx)));
         }
 
         let mut addrs = ListenAddrs::default();
@@ -120,32 +186,29 @@ impl Server {
         }
         drop(senders); // workers exit once accept threads hang up
 
-        let sensor = SensorIdentity {
-            honeypot_id: cfg.honeypot_id,
-            honeypot_ip: cfg.honeypot_ip,
+        let ctx = ShardCtx {
+            remote,
+            collector: Arc::clone(&collector),
+            stats: Arc::clone(&stats),
+            shutdown: Arc::clone(&shutdown),
+            sensor: SensorIdentity {
+                honeypot_id: cfg.honeypot_id,
+                honeypot_ip: cfg.honeypot_ip,
+            },
+            idle_timeout: cfg.idle_timeout,
+            session_timeout: cfg.session_timeout,
+            drain_timeout: cfg.drain_timeout,
+            chaos: cfg.chaos,
         };
-        let mut worker_threads = Vec::new();
-        for (i, rx) in receivers.into_iter().enumerate() {
-            let collector = Arc::clone(&collector);
-            let stats = Arc::clone(&stats);
-            let gate = Arc::clone(&gate);
-            let shutdown = Arc::clone(&shutdown);
-            let remote = Arc::clone(&remote);
-            let idle = cfg.idle_timeout;
-            let session = cfg.session_timeout;
-            let drain = cfg.drain_timeout;
-            worker_threads.push(
-                std::thread::Builder::new()
-                    .name(format!("shard-{i}"))
-                    .spawn(move || {
-                        shard_loop(
-                            rx, &remote, &collector, &stats, &gate, &shutdown, sensor, idle,
-                            session, drain,
-                        )
-                    })
-                    .expect("spawn shard"),
-            );
-        }
+        let shard_panics: Arc<parking_lot::Mutex<Vec<String>>> =
+            Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let supervisor = {
+            let panics = Arc::clone(&shard_panics);
+            std::thread::Builder::new()
+                .name("shard-supervisor".into())
+                .spawn(move || supervisor_loop(ctx, rxs, &panics))
+                .expect("spawn shard supervisor")
+        };
 
         let stats_thread = cfg.stats_interval.map(|interval| {
             let stats = Arc::clone(&stats);
@@ -161,9 +224,11 @@ impl Server {
             stats,
             gate,
             shutdown,
+            recovery,
             collector: Some(collector),
             accept_threads,
-            worker_threads,
+            supervisor: Some(supervisor),
+            shard_panics,
             stats_thread,
         })
     }
@@ -187,6 +252,8 @@ pub struct ServeReport {
     pub ingest: IngestStats,
     /// Records that failed validation, with no store to hold them.
     pub quarantined: usize,
+    /// Panic messages from shard threads that died and were respawned.
+    pub shard_panics: Vec<String>,
 }
 
 /// A running server: addresses, live stats, and the shutdown lever.
@@ -195,9 +262,11 @@ pub struct ServerHandle {
     stats: Arc<ServeStats>,
     gate: Arc<Gate>,
     shutdown: Arc<AtomicBool>,
+    recovery: Option<RecoveryReport>,
     collector: Option<Arc<Collector>>,
     accept_threads: Vec<JoinHandle<()>>,
-    worker_threads: Vec<JoinHandle<()>>,
+    supervisor: Option<JoinHandle<()>>,
+    shard_panics: Arc<parking_lot::Mutex<Vec<String>>>,
     stats_thread: Option<JoinHandle<()>>,
 }
 
@@ -217,6 +286,12 @@ impl ServerHandle {
         self.gate.active()
     }
 
+    /// What crash recovery found (and did) in the spill store when this
+    /// server opened it; `None` without a store.
+    pub fn recovery(&self) -> Option<&RecoveryReport> {
+        self.recovery.as_ref()
+    }
+
     /// Starts graceful shutdown: accept loops stop, shards drain.
     pub fn trigger_shutdown(&self) {
         self.shutdown.store(true, Ordering::Relaxed);
@@ -228,17 +303,30 @@ impl ServerHandle {
     }
 
     /// Triggers shutdown (idempotent), waits for every thread, seals the
-    /// store, and returns the final accounting.
+    /// store, and returns the final accounting. A panic in any
+    /// accept/supervisor/stats thread surfaces as
+    /// [`ServeError::ThreadPanicked`] — after the store is sealed, so a
+    /// sick run still keeps its data.
     pub fn join(mut self) -> Result<ServeReport, ServeError> {
         self.trigger_shutdown();
+        let mut thread_panic: Option<(String, String)> = None;
+        let mut note_panic = |name: &str, result: std::thread::Result<()>| {
+            if let Err(payload) = result {
+                let message = panic_message(payload.as_ref());
+                if thread_panic.is_none() {
+                    thread_panic = Some((name.to_string(), message));
+                }
+            }
+        };
         for t in self.accept_threads.drain(..) {
-            let _ = t.join();
+            let name = t.thread().name().unwrap_or("accept").to_string();
+            note_panic(&name, t.join());
         }
-        for t in self.worker_threads.drain(..) {
-            let _ = t.join();
+        if let Some(t) = self.supervisor.take() {
+            note_panic("shard-supervisor", t.join());
         }
         if let Some(t) = self.stats_thread.take() {
-            let _ = t.join();
+            note_panic("serve-stats", t.join());
         }
         let collector = self.collector.take().expect("join called once");
         let collector = Collector::try_from_arc(collector).map_err(|e| ServeError::Collector {
@@ -247,10 +335,14 @@ impl ServerHandle {
         let (ingest, quarantine) = collector
             .into_sink_parts()
             .map_err(|e| map_collector_error(&e))?;
+        if let Some((thread, message)) = thread_panic {
+            return Err(ServeError::ThreadPanicked { thread, message });
+        }
         Ok(ServeReport {
             snapshot: self.stats.snapshot(),
             ingest,
             quarantined: quarantine.len(),
+            shard_panics: self.shard_panics.lock().clone(),
         })
     }
 }
@@ -271,11 +363,12 @@ fn accept_loop(
     listener: TcpListener,
     proto: Proto,
     senders: &[Sender<Admitted>],
-    stats: &ServeStats,
-    gate: &Gate,
+    stats: &Arc<ServeStats>,
+    gate: &Arc<Gate>,
     shutdown: &AtomicBool,
     seq: &AtomicU64,
 ) {
+    let mut backoff = Duration::from_millis(1);
     while !shutdown.load(Ordering::Relaxed) {
         let mut accepted_any = false;
         // Drain the backlog before sleeping: under an accept storm the
@@ -284,38 +377,30 @@ fn accept_loop(
             match listener.accept() {
                 Ok((stream, peer)) => {
                     accepted_any = true;
+                    backoff = Duration::from_millis(1);
                     stats.accepted.fetch_add(1, Ordering::Relaxed);
-                    let client_ip = match peer.ip() {
-                        IpAddr::V4(v4) => {
-                            let o = v4.octets();
-                            netsim::Ipv4Addr::from_octets(o[0], o[1], o[2], o[3])
-                        }
-                        // The record schema is IPv4-only; fold v6 peers
-                        // (loopback ::1 in practice) into a reserved v4.
-                        IpAddr::V6(_) => netsim::Ipv4Addr::from_octets(0, 0, 0, 1),
-                    };
-                    match gate.try_admit(client_ip) {
-                        Admission::OverCapacity => {
+                    let client_ip = fold_peer_ip(peer.ip());
+                    let permit = match gate.admit(client_ip, stats) {
+                        Ok(p) => p,
+                        Err(Admission::OverCapacity) => {
                             stats.shed_capacity.fetch_add(1, Ordering::Relaxed);
                             drop(stream); // shed: close before any protocol state exists
                             continue;
                         }
-                        Admission::OverPerIpLimit => {
+                        Err(_) => {
                             stats.shed_per_ip.fetch_add(1, Ordering::Relaxed);
                             drop(stream);
                             continue;
                         }
-                        Admission::Admitted => {}
-                    }
+                    };
                     if stream.set_nonblocking(true).is_err() {
-                        gate.release(client_ip);
-                        continue;
+                        continue; // dropping the permit releases the slot
                     }
                     let _ = stream.set_nodelay(true);
                     let n = seq.fetch_add(1, Ordering::Relaxed);
                     let admitted = Admitted {
                         stream,
-                        client_ip,
+                        permit,
                         client_port: peer.port(),
                         proto,
                         start_unix: now_unix(),
@@ -323,13 +408,32 @@ fn accept_loop(
                     };
                     let shard = (n as usize) % senders.len();
                     if senders[shard].send(admitted).is_err() {
-                        gate.release(client_ip); // shard is gone: shutting down
-                        return;
+                        // Shard channel gone: shutdown teardown. The
+                        // dropped Admitted releases its permit.
+                        continue;
                     }
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
                 Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
-                Err(_) => break, // transient accept error; retry next tick
+                Err(e) => {
+                    stats.accept_errors.fetch_add(1, Ordering::Relaxed);
+                    match e.kind() {
+                        // Per-connection failures (peer vanished between
+                        // SYN and accept): the queue may hold more.
+                        std::io::ErrorKind::ConnectionAborted
+                        | std::io::ErrorKind::ConnectionReset => continue,
+                        // Resource exhaustion (EMFILE/ENFILE lands here
+                        // as Other/Uncategorized) or anything unexpected:
+                        // hot-spinning accept() cannot help — back off
+                        // with a capped exponential sleep and let in-
+                        // flight connections finish and free fds.
+                        _ => {
+                            std::thread::sleep(backoff);
+                            backoff = (backoff * 2).min(Duration::from_millis(200));
+                            break;
+                        }
+                    }
+                }
             }
         }
         if !accepted_any {
@@ -340,50 +444,115 @@ fn accept_loop(
     // immediately rather than parked in the backlog during the drain.
 }
 
-/// One worker shard: owns its connections, polls them without blocking.
-#[allow(clippy::too_many_arguments)]
-fn shard_loop(
-    rx: Receiver<Admitted>,
-    remote: &SharedStore,
-    collector: &Collector,
-    stats: &ServeStats,
-    gate: &Gate,
-    shutdown: &AtomicBool,
-    sensor: SensorIdentity,
-    idle_timeout: Duration,
-    session_timeout: Duration,
-    drain_timeout: Duration,
+/// Runs the shard pool, respawning any shard thread that panics. Holds
+/// every shard's intake `Receiver` behind an `Arc<Mutex>`, so a dead
+/// shard's queued connections (gate permits included) survive into its
+/// replacement. Returns once every shard has exited cleanly — which
+/// only happens during shutdown, after the accept threads hang up the
+/// channels.
+fn supervisor_loop(
+    ctx: ShardCtx,
+    rxs: Vec<SharedRx>,
+    shard_panics: &parking_lot::Mutex<Vec<String>>,
 ) {
-    let remote_ref: &dyn honeypot::shell::RemoteStore = &**remote;
-    let mut conns: Vec<Conn<'_>> = Vec::new();
+    let spawn_shard = |index: usize, generation: u64| -> JoinHandle<()> {
+        let ctx = ctx.clone();
+        let rx = Arc::clone(&rxs[index]);
+        std::thread::Builder::new()
+            .name(format!("shard-{index}"))
+            .spawn(move || shard_loop(index, generation, &rx, &ctx))
+            .expect("spawn shard")
+    };
+    let mut generation = 0u64;
+    let mut handles: Vec<Option<JoinHandle<()>>> =
+        (0..rxs.len()).map(|i| Some(spawn_shard(i, 0))).collect();
+    loop {
+        let mut any_alive = false;
+        for (index, slot) in handles.iter_mut().enumerate() {
+            let finished = slot.as_ref().is_some_and(JoinHandle::is_finished);
+            if !finished {
+                any_alive |= slot.is_some();
+                continue;
+            }
+            let handle = slot.take().expect("finished handle present");
+            if let Err(payload) = handle.join() {
+                let message = panic_message(payload.as_ref());
+                shard_panics
+                    .lock()
+                    .push(format!("shard-{index}: {message}"));
+                if !ctx.shutdown.load(Ordering::Relaxed) {
+                    // Respawn with a bumped generation (the chaos
+                    // injectors are reseeded, so a deterministic
+                    // injected panic does not immediately re-fire).
+                    ctx.stats.shards_respawned.fetch_add(1, Ordering::Relaxed);
+                    generation += 1;
+                    *slot = Some(spawn_shard(index, generation));
+                    any_alive = true;
+                }
+                // During shutdown the replacement would have nothing to
+                // do; the Receiver (and any queued permits) drop with
+                // `rxs` below.
+            }
+            // A clean exit is final: it means shutdown drained the shard.
+        }
+        if !any_alive {
+            return; // `rxs` drops here, releasing any queued permits
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+}
+
+/// One worker shard: owns its connections, polls them without blocking.
+/// Each connection's pump runs under `catch_unwind`, so one poisoned
+/// session cannot take the shard (or its siblings' gate slots) with it.
+fn shard_loop(index: usize, generation: u64, rx: &SharedRx, ctx: &ShardCtx) {
+    let remote_ref: &dyn honeypot::shell::RemoteStore = &*ctx.remote;
+    // Seed the injectors per shard *and* per generation so chaos runs
+    // are reproducible but a respawned shard rolls fresh dice.
+    let salt = (index as u64)
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(generation.wrapping_mul(0x517C_C1B7_2722_0A95));
+    let mut conn_chaos = FailureInjector::new(ctx.chaos.conn_panic_rate, ctx.chaos.seed ^ salt);
+    let mut shard_chaos = FailureInjector::new(
+        ctx.chaos.shard_panic_rate,
+        ctx.chaos.seed ^ salt ^ 0x5D5D_5D5D_5D5D_5D5D,
+    );
+    // `doomed` marks connections the chaos config sentenced at intake;
+    // the panic fires inside the per-connection guard.
+    let mut conns: Vec<(Conn<'_>, bool)> = Vec::new();
     let mut intake_open = true;
     let mut drain_started: Option<Instant> = None;
 
     loop {
-        // Intake: move admitted sockets into the shard.
+        // Intake: move admitted sockets into the shard. The lock is
+        // per-attempt, so the supervisor never deadlocks with a live
+        // shard and a respawned shard inherits the queue seamlessly.
         while intake_open {
-            match rx.try_recv() {
+            let polled = rx.lock().try_recv();
+            match polled {
                 Ok(a) => {
-                    stats.active.fetch_add(1, Ordering::Relaxed);
+                    if shard_chaos.fires() {
+                        // Outside the per-connection guard: this kills
+                        // the whole shard thread. `a` (and its permit)
+                        // and every owned connection release on unwind.
+                        panic!("chaos: injected shard panic");
+                    }
+                    let doomed = conn_chaos.fires();
                     let handler = LiveHandler::new(AuthPolicy::default(), remote_ref);
                     let conn = match a.proto {
                         Proto::Ssh => Conn::ssh(
                             a.stream,
-                            a.client_ip,
+                            a.permit,
                             a.client_port,
                             handler,
                             a.start_unix,
                             a.seq,
                         ),
-                        Proto::Telnet => Conn::telnet(
-                            a.stream,
-                            a.client_ip,
-                            a.client_port,
-                            handler,
-                            a.start_unix,
-                        ),
+                        Proto::Telnet => {
+                            Conn::telnet(a.stream, a.permit, a.client_port, handler, a.start_unix)
+                        }
                     };
-                    conns.push(conn);
+                    conns.push((conn, doomed));
                 }
                 Err(TryRecvError::Empty) => break,
                 Err(TryRecvError::Disconnected) => {
@@ -394,25 +563,45 @@ fn shard_loop(
 
         // Drain policy: once shutdown is triggered, keep pumping in-flight
         // sessions for at most `drain_timeout`, then force-close the rest.
-        let draining = shutdown.load(Ordering::Relaxed);
+        let draining = ctx.shutdown.load(Ordering::Relaxed);
         if draining && drain_started.is_none() {
             drain_started = Some(Instant::now());
         }
-        let force_close = matches!(drain_started, Some(t0) if t0.elapsed() >= drain_timeout);
+        let force_close = matches!(drain_started, Some(t0) if t0.elapsed() >= ctx.drain_timeout);
 
         let now = Instant::now();
         let mut i = 0;
         while i < conns.len() {
-            if force_close {
-                conns[i].abort();
-            }
-            let finished = force_close || conns[i].pump(now, idle_timeout, session_timeout, stats);
-            if finished {
-                let conn = conns.swap_remove(i);
-                let ip = release_and_record(conn, sensor, collector, stats, gate);
-                let _ = ip;
-            } else {
-                i += 1;
+            let pumped = {
+                let (conn, doomed) = &mut conns[i];
+                if force_close {
+                    conn.abort();
+                }
+                catch_unwind(AssertUnwindSafe(|| {
+                    if *doomed {
+                        panic!("chaos: injected connection panic");
+                    }
+                    force_close || conn.pump(now, ctx.idle_timeout, ctx.session_timeout, &ctx.stats)
+                }))
+            };
+            match pumped {
+                Ok(false) => i += 1,
+                Ok(true) => {
+                    let (conn, _) = conns.swap_remove(i);
+                    let record = conn.finish(ctx.sensor, &ctx.stats);
+                    ctx.collector.ingest(record);
+                }
+                Err(payload) => {
+                    // Contained: record a failed session from plain
+                    // fields only (the machine may be poisoned), release
+                    // the slot via the permit, keep the shard alive.
+                    let message = panic_message(payload.as_ref());
+                    let _ = message; // diagnostics live in the counters
+                    ctx.stats.panics_caught.fetch_add(1, Ordering::Relaxed);
+                    let (conn, _) = conns.swap_remove(i);
+                    let record = conn.into_failed(ctx.sensor);
+                    ctx.collector.ingest(record);
+                }
             }
         }
 
@@ -433,22 +622,6 @@ fn shard_loop(
     }
 }
 
-/// Finalizes one connection: record, ingest, release admission.
-fn release_and_record(
-    conn: Conn<'_>,
-    sensor: SensorIdentity,
-    collector: &Collector,
-    stats: &ServeStats,
-    gate: &Gate,
-) -> netsim::Ipv4Addr {
-    let ip = conn.client_ip();
-    let record = conn.finish(sensor, stats);
-    collector.ingest(record);
-    gate.release(ip);
-    stats.active.fetch_sub(1, Ordering::Relaxed);
-    ip
-}
-
 /// Periodic stats logger; exits when shutdown is triggered.
 fn stats_loop(stats: &ServeStats, shutdown: &AtomicBool, interval: Duration) {
     let mut last = Instant::now();
@@ -458,5 +631,36 @@ fn stats_loop(stats: &ServeStats, shutdown: &AtomicBool, interval: Duration) {
             last = Instant::now();
             eprintln!("[serve] {}", stats.snapshot().render());
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::Ipv6Addr;
+
+    #[test]
+    fn fold_preserves_v4_addresses() {
+        let ip = IpAddr::V4(std::net::Ipv4Addr::new(203, 0, 113, 9));
+        assert_eq!(
+            fold_peer_ip(ip),
+            netsim::Ipv4Addr::from_octets(203, 0, 113, 9)
+        );
+    }
+
+    #[test]
+    fn fold_gives_distinct_v6_peers_distinct_reserved_slots() {
+        let a = fold_peer_ip(IpAddr::V6(Ipv6Addr::new(0x2001, 0xdb8, 0, 0, 0, 0, 0, 1)));
+        let b = fold_peer_ip(IpAddr::V6(Ipv6Addr::new(0x2001, 0xdb8, 0, 0, 0, 0, 0, 2)));
+        let loopback = fold_peer_ip(IpAddr::V6(Ipv6Addr::LOCALHOST));
+        assert_ne!(a, b, "distinct v6 peers must not share a per-IP slot");
+        for ip in [a, b, loopback] {
+            assert_eq!(ip.0 >> 24, 240, "v6 folds into reserved 240/8: {}", ip.0);
+        }
+        // Stable: the same peer always folds to the same slot.
+        assert_eq!(
+            a,
+            fold_peer_ip(IpAddr::V6(Ipv6Addr::new(0x2001, 0xdb8, 0, 0, 0, 0, 0, 1)))
+        );
     }
 }

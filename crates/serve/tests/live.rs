@@ -2,7 +2,7 @@
 //! [`serve::Server`], with the resulting store read back through
 //! `sessiondb`.
 
-use serve::{ServeConfig, Server};
+use serve::{fold_peer_ip, ChaosConfig, Gate, ServeConfig, ServeStats, Server};
 use sshwire::{ClientScript, SshClient};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
@@ -287,4 +287,179 @@ fn graceful_shutdown_drains_in_flight_sessions() {
         .expect("intact CRCs");
     assert_eq!(recs.len(), 1);
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Connects and reads until the server hangs up, tolerating every
+/// error: chaos tests kill connections (or whole shards) mid-dialogue,
+/// and the client must not care how its socket died.
+fn drive_tolerant(addr: SocketAddr, script: ClientScript) {
+    let Ok(mut stream) = TcpStream::connect(addr) else {
+        return;
+    };
+    stream
+        .set_read_timeout(Some(Duration::from_millis(20)))
+        .ok();
+    let mut client = SshClient::new(script, b"chaos-test-nonce".to_vec());
+    let mut buf = [0u8; 8192];
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while !client.is_closed() && Instant::now() < deadline {
+        let out = client.take_output();
+        if !out.is_empty() && stream.write_all(&out).is_err() {
+            return;
+        }
+        match stream.read(&mut buf) {
+            Ok(0) => return,
+            Ok(n) => {
+                if client.input(&buf[..n]).is_err() {
+                    return;
+                }
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut => {}
+            Err(_) => return,
+        }
+    }
+}
+
+#[test]
+fn distinct_v6_peers_occupy_distinct_gate_slots() {
+    use std::net::{IpAddr, Ipv6Addr};
+    let gate = std::sync::Arc::new(Gate::new(16, 1));
+    let stats = std::sync::Arc::new(ServeStats::default());
+    let a = fold_peer_ip(IpAddr::V6(Ipv6Addr::new(0x2001, 0xdb8, 0, 0, 0, 0, 0, 1)));
+    let b = fold_peer_ip(IpAddr::V6(Ipv6Addr::new(0x2001, 0xdb8, 0, 0, 0, 0, 0, 2)));
+    assert_ne!(a, b, "distinct v6 peers fold to distinct slots");
+    let pa = gate.admit(a, &stats).expect("first v6 peer admitted");
+    let pb = gate
+        .admit(b, &stats)
+        .expect("second v6 peer has its own per-IP slot");
+    assert!(
+        gate.admit(a, &stats).is_err(),
+        "same v6 peer again hits its per-IP limit"
+    );
+    assert_eq!(gate.active(), 2);
+    drop(pa);
+    drop(pb);
+    assert_eq!(gate.active(), 0, "permits release their slots on drop");
+}
+
+#[test]
+fn injected_connection_panics_are_contained() {
+    let cfg = ServeConfig {
+        workers: 2,
+        stats_interval: None,
+        chaos: ChaosConfig {
+            conn_panic_rate: 1.0, // every connection's pump panics
+            shard_panic_rate: 0.0,
+            seed: 7,
+        },
+        ..ServeConfig::default()
+    };
+    let handle = Server::start(cfg).expect("start");
+    let addr = handle.addrs().ssh.expect("ssh addr");
+
+    let n = 6u64;
+    for i in 0..n {
+        let script = ClientScript::new("root", &["admin"], &[&format!("echo doomed-{i}")]);
+        drive_tolerant(addr, script);
+    }
+
+    // Every pump panicked; every panic was contained inside its shard.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while handle.stats().panics_caught < n && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert_eq!(handle.stats().panics_caught, n);
+    assert_eq!(
+        handle.stats().shards_respawned,
+        0,
+        "contained panics never kill a shard"
+    );
+
+    // The gate leaks nothing: active drains to zero.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while handle.active() > 0 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert_eq!(handle.active(), 0, "permits released despite panics");
+
+    let report = handle.join().expect("shard threads survived");
+    assert_eq!(report.snapshot.accepted, n);
+    assert_eq!(report.snapshot.panics_caught, n);
+    assert_eq!(
+        report.ingest.accepted, n,
+        "each panicked connection is still recorded as a failed session"
+    );
+    assert_eq!(report.quarantined, 0);
+    assert!(report.shard_panics.is_empty());
+}
+
+#[test]
+fn injected_shard_panics_respawn_and_keep_serving() {
+    let cfg = ServeConfig {
+        workers: 2,
+        stats_interval: None,
+        chaos: ChaosConfig {
+            conn_panic_rate: 0.0,
+            shard_panic_rate: 0.5, // intake roulette: whole shard dies
+            seed: 42,
+        },
+        ..ServeConfig::default()
+    };
+    let handle = Server::start(cfg).expect("start");
+    let addr = handle.addrs().ssh.expect("ssh addr");
+
+    let n = 24u64;
+    for i in 0..n {
+        let script = ClientScript::new("root", &["admin"], &[&format!("echo roulette-{i}")]);
+        drive_tolerant(addr, script);
+    }
+
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while handle.stats().shards_respawned == 0 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert!(
+        handle.stats().shards_respawned >= 1,
+        "at 50% intake roulette over {n} connections at least one shard died"
+    );
+    assert_eq!(
+        handle.stats().accepted,
+        n,
+        "the server kept accepting through every shard death"
+    );
+
+    // Respawned shards still serve: two more clients land on both shards
+    // (round-robin) and are accepted.
+    for i in 0..2 {
+        let script = ClientScript::new("root", &["admin"], &[&format!("echo after-{i}")]);
+        drive_tolerant(addr, script);
+    }
+    assert_eq!(handle.stats().accepted, n + 2);
+
+    // Every gate slot comes home, even those queued to a shard that died.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while handle.active() > 0 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert_eq!(
+        handle.active(),
+        0,
+        "no gate slot leaked across shard deaths"
+    );
+
+    let report = handle.join().expect("supervised server joins cleanly");
+    let respawns = report.snapshot.shards_respawned;
+    assert!(respawns >= 1);
+    assert!(
+        report.shard_panics.len() as u64 >= respawns,
+        "every shard death is reported"
+    );
+    for p in &report.shard_panics {
+        assert!(
+            p.contains("chaos: injected shard panic"),
+            "panic message surfaces verbatim: {p}"
+        );
+    }
 }

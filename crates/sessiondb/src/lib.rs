@@ -60,9 +60,14 @@
 
 pub mod segment;
 pub mod store;
+pub mod wal;
 
 pub use segment::{SegmentMeta, SegmentReader, SegmentWriter};
-pub use store::{is_sessiondb_path, Scan, Store, StoreSummary, StoreWriter};
+pub use store::{
+    is_sessiondb_path, needs_recovery, recover, recovery_preview, RecoveryReport, Scan, Store,
+    StoreOptions, StoreSummary, StoreWriter,
+};
+pub use wal::{FsyncPolicy, WalWriter};
 
 use std::path::Path;
 
@@ -76,6 +81,12 @@ pub const VERSION: u16 = 1;
 pub const SEGMENT_EXT: &str = "hsdb";
 /// First line of a store directory's `MANIFEST` tag file.
 pub const MANIFEST_TAG: &str = "sessiondb v1";
+/// Magic bytes opening the write-ahead log.
+pub const WAL_MAGIC: [u8; 4] = *b"HSWL";
+/// Current WAL format version.
+pub const WAL_VERSION: u16 = 1;
+/// File name of a store directory's write-ahead log.
+pub const WAL_FILE: &str = "wal.hswal";
 /// Default number of sessions per segment. Bounds both writer and reader
 /// resident memory; at typical session sizes a segment decodes to a few
 /// megabytes.

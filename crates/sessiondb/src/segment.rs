@@ -25,35 +25,35 @@ const BLOCK_ROWS: u8 = 2;
 
 // --- little-endian encode/decode helpers --------------------------------
 
-fn put_u16(out: &mut Vec<u8>, v: u16) {
+pub(crate) fn put_u16(out: &mut Vec<u8>, v: u16) {
     out.extend_from_slice(&v.to_le_bytes());
 }
 
-fn put_u32(out: &mut Vec<u8>, v: u32) {
+pub(crate) fn put_u32(out: &mut Vec<u8>, v: u32) {
     out.extend_from_slice(&v.to_le_bytes());
 }
 
-fn put_u64(out: &mut Vec<u8>, v: u64) {
+pub(crate) fn put_u64(out: &mut Vec<u8>, v: u64) {
     out.extend_from_slice(&v.to_le_bytes());
 }
 
-fn put_i64(out: &mut Vec<u8>, v: i64) {
+pub(crate) fn put_i64(out: &mut Vec<u8>, v: i64) {
     out.extend_from_slice(&v.to_le_bytes());
 }
 
 /// Bounds-checked sequential reader over a decoded payload. Every
 /// overrun is a corruption diagnosis, not a panic.
-struct Cursor<'a> {
+pub(crate) struct Cursor<'a> {
     buf: &'a [u8],
     pos: usize,
 }
 
 impl<'a> Cursor<'a> {
-    fn new(buf: &'a [u8]) -> Self {
+    pub(crate) fn new(buf: &'a [u8]) -> Self {
         Self { buf, pos: 0 }
     }
 
-    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+    pub(crate) fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
         let end = self.pos.checked_add(n).ok_or("length overflow")?;
         if end > self.buf.len() {
             return Err(format!(
@@ -67,31 +67,31 @@ impl<'a> Cursor<'a> {
         Ok(s)
     }
 
-    fn u16(&mut self) -> Result<u16, String> {
+    pub(crate) fn u16(&mut self) -> Result<u16, String> {
         Ok(u16::from_le_bytes(
             self.take(2)?.try_into().expect("2 bytes"),
         ))
     }
 
-    fn u32(&mut self) -> Result<u32, String> {
+    pub(crate) fn u32(&mut self) -> Result<u32, String> {
         Ok(u32::from_le_bytes(
             self.take(4)?.try_into().expect("4 bytes"),
         ))
     }
 
-    fn u64(&mut self) -> Result<u64, String> {
+    pub(crate) fn u64(&mut self) -> Result<u64, String> {
         Ok(u64::from_le_bytes(
             self.take(8)?.try_into().expect("8 bytes"),
         ))
     }
 
-    fn i64(&mut self) -> Result<i64, String> {
+    pub(crate) fn i64(&mut self) -> Result<i64, String> {
         Ok(i64::from_le_bytes(
             self.take(8)?.try_into().expect("8 bytes"),
         ))
     }
 
-    fn done(&self) -> bool {
+    pub(crate) fn done(&self) -> bool {
         self.pos == self.buf.len()
     }
 }
@@ -177,13 +177,14 @@ impl Dictionary {
 
 // --- column buffers ------------------------------------------------------
 
-/// File-op tags in the `file_events` column stream.
-const OP_CREATED: u8 = 0;
-const OP_MODIFIED: u8 = 1;
-const OP_DELETED: u8 = 2;
-const OP_EXEC_HASH: u8 = 3;
-const OP_EXEC_MISSING: u8 = 4;
-const OP_DOWNLOAD_FAILED: u8 = 5;
+/// File-op tags in the `file_events` column stream (shared with the WAL
+/// record codec, which must agree on the wire meaning of each tag).
+pub(crate) const OP_CREATED: u8 = 0;
+pub(crate) const OP_MODIFIED: u8 = 1;
+pub(crate) const OP_DELETED: u8 = 2;
+pub(crate) const OP_EXEC_HASH: u8 = 3;
+pub(crate) const OP_EXEC_MISSING: u8 = 4;
+pub(crate) const OP_DOWNLOAD_FAILED: u8 = 5;
 
 #[derive(Default)]
 struct Columns {
@@ -627,7 +628,10 @@ impl SegmentWriter {
     }
 
     /// Serializes header, blocks and footer, then renames the segment
-    /// into place.
+    /// into place. The seal is durable: the `.tmp` file is fsynced before
+    /// the rename and the parent directory is fsynced after it, so a
+    /// renamed segment survives a crash at any point (a crash mid-seal
+    /// leaves at worst an orphaned `.tmp`, which recovery removes).
     pub fn finish(self) -> Result<SegmentMeta, SessionDbError> {
         let tmp = self.path.with_extension("hsdb.tmp");
         let mut buf = Vec::new();
@@ -655,8 +659,15 @@ impl SegmentWriter {
         footer.extend_from_slice(&FOOTER_MAGIC);
         buf.extend_from_slice(&footer);
 
-        std::fs::write(&tmp, &buf).map_err(|e| SessionDbError::io(&tmp, e))?;
+        {
+            let mut f = std::fs::File::create(&tmp).map_err(|e| SessionDbError::io(&tmp, e))?;
+            std::io::Write::write_all(&mut f, &buf).map_err(|e| SessionDbError::io(&tmp, e))?;
+            f.sync_all().map_err(|e| SessionDbError::io(&tmp, e))?;
+        }
         std::fs::rename(&tmp, &self.path).map_err(|e| SessionDbError::io(&self.path, e))?;
+        if let Some(dir) = self.path.parent() {
+            sync_dir(dir)?;
+        }
         Ok(SegmentMeta {
             path: self.path,
             rows: self.rows,
@@ -664,6 +675,15 @@ impl SegmentWriter {
             max_start: self.max_start.map(DateTime::from_unix),
         })
     }
+}
+
+/// Fsyncs a directory so a just-renamed or just-removed entry inside it
+/// survives a power loss. On platforms where directories cannot be
+/// opened (or fsynced), the error is still surfaced — every platform we
+/// target supports it.
+pub(crate) fn sync_dir(dir: &std::path::Path) -> Result<(), SessionDbError> {
+    let d = std::fs::File::open(dir).map_err(|e| SessionDbError::io(dir, e))?;
+    d.sync_all().map_err(|e| SessionDbError::io(dir, e))
 }
 
 // --- reader --------------------------------------------------------------

@@ -5,8 +5,9 @@
 //! each) and then streams blocks on demand. See the crate docs for the
 //! segment layout.
 
-use crate::segment::{SegmentMeta, SegmentReader, SegmentWriter};
-use crate::{SessionDbError, DEFAULT_ROWS_PER_SEGMENT, MAGIC, MANIFEST_TAG, SEGMENT_EXT};
+use crate::segment::{sync_dir, SegmentMeta, SegmentReader, SegmentWriter};
+use crate::wal::{self, FsyncPolicy, WalWriter};
+use crate::{SessionDbError, DEFAULT_ROWS_PER_SEGMENT, MAGIC, MANIFEST_TAG, SEGMENT_EXT, WAL_FILE};
 use honeypot::{SessionRecord, SessionSink, SinkError};
 use hutil::DateTime;
 use std::io::Read;
@@ -52,6 +53,182 @@ fn segment_paths(dir: &Path) -> Result<Vec<PathBuf>, SessionDbError> {
     Ok(out)
 }
 
+/// Orphaned temporary files left by a crash mid-seal.
+fn orphaned_tmp_paths(dir: &Path) -> Result<Vec<PathBuf>, SessionDbError> {
+    let mut out = Vec::new();
+    let entries = std::fs::read_dir(dir).map_err(|e| SessionDbError::io(dir, e))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| SessionDbError::io(dir, e))?;
+        let p = entry.path();
+        let name = entry.file_name();
+        if name
+            .to_str()
+            .is_some_and(|n| n.ends_with(".hsdb.tmp") && n.starts_with("seg-"))
+        {
+            out.push(p);
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+// --- recovery ------------------------------------------------------------
+
+/// What crash recovery found (and, unless previewing, did) in a store.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// A write-ahead log was present — the previous writer did not close
+    /// cleanly.
+    pub wal_found: bool,
+    /// The WAL covered a segment that had already sealed (crash landed
+    /// between the seal and the log truncation); its frames are
+    /// duplicates and were discarded.
+    pub wal_stale: bool,
+    /// Valid frames replayed from the WAL.
+    pub wal_frames: u64,
+    /// Bytes after the last valid frame — a torn tail, lost.
+    pub wal_bytes_lost: u64,
+    /// Sessions re-sealed into [`RecoveryReport::recovered_segment`].
+    pub recovered_rows: u64,
+    /// Segment the recovered sessions were sealed into.
+    pub recovered_segment: Option<PathBuf>,
+    /// Orphaned `.hsdb.tmp` files removed.
+    pub tmp_removed: usize,
+}
+
+impl RecoveryReport {
+    /// Whether the store needed any recovery at all.
+    pub fn is_clean(&self) -> bool {
+        !self.wal_found && self.tmp_removed == 0
+    }
+
+    /// Human-readable multi-line summary (empty for a clean store).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        if self.tmp_removed > 0 {
+            out.push_str(&format!(
+                "removed {} orphaned .hsdb.tmp file(s)\n",
+                self.tmp_removed
+            ));
+        }
+        if self.wal_found {
+            out.push_str(&format!(
+                "wal: {} frame(s) replayable, {} byte(s) lost{}\n",
+                self.wal_frames,
+                self.wal_bytes_lost,
+                if self.wal_stale {
+                    " (stale: segment already sealed, frames discarded)"
+                } else {
+                    ""
+                }
+            ));
+        }
+        if let Some(seg) = &self.recovered_segment {
+            out.push_str(&format!(
+                "recovered {} session(s) into {}\n",
+                self.recovered_rows,
+                seg.display()
+            ));
+        }
+        out
+    }
+}
+
+/// Whether `path` is a store directory with crash leftovers (a WAL or an
+/// orphaned `.hsdb.tmp`) that [`recover`] would act on.
+pub fn needs_recovery(path: impl AsRef<Path>) -> bool {
+    let path = path.as_ref();
+    if !path.is_dir() {
+        return false;
+    }
+    if path.join(WAL_FILE).is_file() {
+        return true;
+    }
+    orphaned_tmp_paths(path)
+        .map(|v| !v.is_empty())
+        .unwrap_or(false)
+}
+
+/// Recovers a store directory after a crash: removes orphaned `.hsdb.tmp`
+/// files, replays the longest valid WAL prefix, re-seals the replayed
+/// rows into a real segment, and removes the log. Safe on a clean store
+/// (does nothing). Must not run concurrently with a live writer.
+pub fn recover(path: impl AsRef<Path>) -> Result<RecoveryReport, SessionDbError> {
+    recover_impl(path.as_ref(), true)
+}
+
+/// Read-only version of [`recover`]: reports what recovery *would* do
+/// without touching the store — safe while a writer is live.
+pub fn recovery_preview(path: impl AsRef<Path>) -> Result<RecoveryReport, SessionDbError> {
+    recover_impl(path.as_ref(), false)
+}
+
+fn recover_impl(dir: &Path, apply: bool) -> Result<RecoveryReport, SessionDbError> {
+    let mut report = RecoveryReport::default();
+    if !dir.is_dir() {
+        return Ok(report); // single-file stores carry no WAL
+    }
+    for tmp in orphaned_tmp_paths(dir)? {
+        report.tmp_removed += 1;
+        if apply {
+            std::fs::remove_file(&tmp).map_err(|e| SessionDbError::io(&tmp, e))?;
+        }
+    }
+    let wal_path = dir.join(WAL_FILE);
+    if !wal_path.is_file() {
+        return Ok(report);
+    }
+    report.wal_found = true;
+    let replay = wal::replay(&wal_path)?;
+    report.wal_frames = replay.rows.len() as u64;
+    report.wal_bytes_lost = replay.bytes_lost;
+
+    let existing = segment_paths(dir)?;
+    let covered = dir.join(format!("seg-{:06}.{SEGMENT_EXT}", replay.segment_index));
+    if existing.contains(&covered) {
+        // The crash landed between sealing the covered segment and
+        // truncating the log: every frame is already on disk.
+        report.wal_stale = true;
+        if apply {
+            std::fs::remove_file(&wal_path).map_err(|e| SessionDbError::io(&wal_path, e))?;
+            sync_dir(dir)?;
+        }
+        return Ok(report);
+    }
+    if replay.rows.is_empty() {
+        if apply {
+            std::fs::remove_file(&wal_path).map_err(|e| SessionDbError::io(&wal_path, e))?;
+            sync_dir(dir)?;
+        }
+        return Ok(report);
+    }
+    // Seal after every existing segment so lexicographic scan order is
+    // preserved even if the WAL header's index somehow lags.
+    let max_existing = existing
+        .iter()
+        .filter_map(|p| {
+            p.file_stem()
+                .and_then(|s| s.to_str())
+                .and_then(|s| s.strip_prefix("seg-"))
+                .and_then(|s| s.parse::<u64>().ok())
+        })
+        .max();
+    let index = max_existing.map_or(replay.segment_index, |m| replay.segment_index.max(m + 1));
+    let seg_path = dir.join(format!("seg-{index:06}.{SEGMENT_EXT}"));
+    report.recovered_rows = replay.rows.len() as u64;
+    report.recovered_segment = Some(seg_path.clone());
+    if apply {
+        let mut w = SegmentWriter::create(&seg_path);
+        for r in &replay.rows {
+            w.push(r);
+        }
+        w.finish()?; // durable: fsyncs the tmp, renames, fsyncs the dir
+        std::fs::remove_file(&wal_path).map_err(|e| SessionDbError::io(&wal_path, e))?;
+        sync_dir(dir)?;
+    }
+    Ok(report)
+}
+
 // --- writer --------------------------------------------------------------
 
 /// Appends sessions to a store directory, sealing a segment every
@@ -69,6 +246,29 @@ pub struct StoreWriter {
     current: Option<SegmentWriter>,
     sealed: Vec<SegmentMeta>,
     total_rows: u64,
+    wal: Option<WalWriter>,
+}
+
+/// How to open a [`StoreWriter`].
+#[derive(Debug, Clone, Copy)]
+pub struct StoreOptions {
+    /// Rows per sealed segment.
+    pub rows_per_segment: usize,
+    /// `Some(policy)` enables the write-ahead log: every appended record
+    /// hits the log before the in-memory segment buffer, so a crash
+    /// loses at most the configured fsync window. `None` (the batch
+    /// default) keeps the seed behavior — unsealed rows live only in
+    /// memory.
+    pub wal: Option<FsyncPolicy>,
+}
+
+impl Default for StoreOptions {
+    fn default() -> Self {
+        Self {
+            rows_per_segment: DEFAULT_ROWS_PER_SEGMENT,
+            wal: None,
+        }
+    }
 }
 
 impl StoreWriter {
@@ -83,11 +283,30 @@ impl StoreWriter {
         dir: impl Into<PathBuf>,
         rows_per_segment: usize,
     ) -> Result<Self, SessionDbError> {
+        let (w, _report) = Self::with_options(
+            dir,
+            StoreOptions {
+                rows_per_segment,
+                ..StoreOptions::default()
+            },
+        )?;
+        Ok(w)
+    }
+
+    /// Creates (or opens for append) a store, running crash recovery
+    /// first: orphaned `.hsdb.tmp` files are removed and any leftover
+    /// WAL is replayed and re-sealed into a real segment before the
+    /// writer resumes. The report says what (if anything) was salvaged.
+    pub fn with_options(
+        dir: impl Into<PathBuf>,
+        opts: StoreOptions,
+    ) -> Result<(Self, RecoveryReport), SessionDbError> {
         let dir = dir.into();
         std::fs::create_dir_all(&dir).map_err(|e| SessionDbError::io(&dir, e))?;
         let manifest = dir.join("MANIFEST");
         std::fs::write(&manifest, format!("{MANIFEST_TAG}\n"))
             .map_err(|e| SessionDbError::io(&manifest, e))?;
+        let report = recover_impl(&dir, true)?;
         // Resume after any existing segments rather than clobbering them.
         let existing = segment_paths(&dir)?;
         let next_segment = existing
@@ -100,14 +319,22 @@ impl StoreWriter {
             })
             .max()
             .map_or(0, |n| n + 1);
-        Ok(Self {
-            dir,
-            rows_per_segment: rows_per_segment.max(1),
-            next_segment,
-            current: None,
-            sealed: Vec::new(),
-            total_rows: 0,
-        })
+        let wal = match opts.wal {
+            None => None,
+            Some(policy) => Some(WalWriter::create(dir.join(WAL_FILE), policy, next_segment)?),
+        };
+        Ok((
+            Self {
+                dir,
+                rows_per_segment: opts.rows_per_segment.max(1),
+                next_segment,
+                current: None,
+                sealed: Vec::new(),
+                total_rows: 0,
+                wal,
+            },
+            report,
+        ))
     }
 
     fn segment_path(&self, index: u64) -> PathBuf {
@@ -115,11 +342,16 @@ impl StoreWriter {
     }
 
     /// Appends one record, sealing the current segment if it is full.
+    /// With a WAL enabled, the record is logged (durably, per the fsync
+    /// policy) before it enters the in-memory segment buffer.
     pub fn append(&mut self, rec: &SessionRecord) -> Result<(), SessionDbError> {
         if self.current.is_none() {
             let path = self.segment_path(self.next_segment);
             self.next_segment += 1;
             self.current = Some(SegmentWriter::create(path));
+        }
+        if let Some(wal) = &mut self.wal {
+            wal.append(rec)?;
         }
         let writer = self
             .current
@@ -136,6 +368,11 @@ impl StoreWriter {
     fn seal(&mut self) -> Result<(), SessionDbError> {
         if let Some(writer) = self.current.take() {
             self.sealed.push(writer.finish()?);
+            // The sealed segment now owns these rows (and the seal is
+            // durable), so the log restarts for the next segment.
+            if let Some(wal) = &mut self.wal {
+                wal.reset(self.next_segment)?;
+            }
         }
         Ok(())
     }
@@ -146,9 +383,13 @@ impl StoreWriter {
     }
 
     /// Seals the final partial segment and returns metadata for every
-    /// segment this writer produced.
+    /// segment this writer produced. A clean close removes the WAL —
+    /// everything it guarded is sealed.
     pub fn finish(mut self) -> Result<Vec<SegmentMeta>, SessionDbError> {
         self.seal()?;
+        if let Some(wal) = self.wal.take() {
+            wal.remove()?;
+        }
         Ok(std::mem::take(&mut self.sealed))
     }
 
@@ -164,7 +405,11 @@ impl SessionSink for StoreWriter {
     }
 
     fn finish(&mut self) -> Result<(), SinkError> {
-        self.seal().map_err(|e| Box::new(e) as SinkError)
+        self.seal().map_err(|e| Box::new(e) as SinkError)?;
+        if let Some(wal) = self.wal.take() {
+            wal.remove().map_err(|e| Box::new(e) as SinkError)?;
+        }
+        Ok(())
     }
 }
 
@@ -739,6 +984,170 @@ mod tests {
         assert!(is_sessiondb_path(&seg));
         let store = Store::open(&seg).unwrap();
         assert_eq!(store.summary().rows, 5);
+    }
+
+    #[test]
+    fn wal_recovers_unsealed_rows_after_a_crash() {
+        let dir = tmpdir("wal-recover");
+        let opts = StoreOptions {
+            rows_per_segment: 10,
+            wal: Some(FsyncPolicy::EveryN(1)),
+        };
+        let (mut w, report) = StoreWriter::with_options(&dir, opts).unwrap();
+        assert!(report.is_clean());
+        for i in 0..25 {
+            StoreWriter::append(&mut w, &rec(i)).unwrap();
+        }
+        // Crash: drop the writer without finishing. Segments 0 and 1
+        // sealed; rows 20..25 exist only in memory and the WAL.
+        drop(w);
+        assert!(needs_recovery(&dir));
+
+        let preview = recovery_preview(&dir).unwrap();
+        assert_eq!(preview.wal_frames, 5);
+        assert!(needs_recovery(&dir), "preview must not mutate");
+
+        let report = recover(&dir).unwrap();
+        assert!(report.wal_found);
+        assert!(!report.wal_stale);
+        assert_eq!(report.recovered_rows, 5);
+        assert_eq!(report.wal_bytes_lost, 0);
+        assert!(!needs_recovery(&dir));
+
+        let store = Store::open(&dir).unwrap();
+        let ids: Vec<u64> = store
+            .scan()
+            .records()
+            .map(|r| r.unwrap().session_id)
+            .collect();
+        assert_eq!(ids, (0..25).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn reopening_a_crashed_store_recovers_then_appends_in_order() {
+        let dir = tmpdir("wal-reopen");
+        let opts = StoreOptions {
+            rows_per_segment: 10,
+            wal: Some(FsyncPolicy::Never),
+        };
+        let (mut w, _) = StoreWriter::with_options(&dir, opts).unwrap();
+        for i in 0..13 {
+            StoreWriter::append(&mut w, &rec(i)).unwrap();
+        }
+        drop(w); // crash with 3 rows only in the WAL
+
+        let (mut w, report) = StoreWriter::with_options(&dir, opts).unwrap();
+        assert_eq!(report.recovered_rows, 3);
+        for i in 13..17 {
+            StoreWriter::append(&mut w, &rec(i)).unwrap();
+        }
+        w.finish().unwrap();
+        assert!(
+            !dir.join(crate::WAL_FILE).exists(),
+            "clean close removes WAL"
+        );
+
+        let store = Store::open(&dir).unwrap();
+        let ids: Vec<u64> = store
+            .scan()
+            .records()
+            .map(|r| r.unwrap().session_id)
+            .collect();
+        assert_eq!(ids, (0..17).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn stale_wal_covering_a_sealed_segment_is_discarded() {
+        let dir = tmpdir("wal-stale");
+        // Simulate a crash between sealing segment 0 and truncating the
+        // log: the sealed segment and the WAL hold the same rows.
+        let (mut w, _) = StoreWriter::with_options(
+            &dir,
+            StoreOptions {
+                rows_per_segment: 100,
+                wal: Some(FsyncPolicy::Never),
+            },
+        )
+        .unwrap();
+        for i in 0..5 {
+            StoreWriter::append(&mut w, &rec(i)).unwrap();
+        }
+        drop(w);
+        let mut seg = SegmentWriter::create(dir.join("seg-000000.hsdb"));
+        for i in 0..5 {
+            seg.push(&rec(i));
+        }
+        seg.finish().unwrap();
+
+        let report = recover(&dir).unwrap();
+        assert!(report.wal_stale, "{report:?}");
+        assert_eq!(report.recovered_rows, 0);
+        let store = Store::open(&dir).unwrap();
+        assert_eq!(store.summary().rows, 5, "no duplicated rows");
+    }
+
+    #[test]
+    fn orphaned_tmp_files_are_removed() {
+        let dir = tmpdir("tmp-orphan");
+        let mut w = StoreWriter::with_rows_per_segment(&dir, 5).unwrap();
+        for i in 0..5 {
+            StoreWriter::append(&mut w, &rec(i)).unwrap();
+        }
+        w.finish().unwrap();
+        let orphan = dir.join("seg-000009.hsdb.tmp");
+        std::fs::write(&orphan, b"half a segment").unwrap();
+        assert!(needs_recovery(&dir));
+        let report = recover(&dir).unwrap();
+        assert_eq!(report.tmp_removed, 1);
+        assert!(!orphan.exists());
+        assert_eq!(Store::open(&dir).unwrap().summary().rows, 5);
+    }
+
+    #[test]
+    fn torn_wal_tail_recovers_the_valid_prefix() {
+        let dir = tmpdir("wal-torn");
+        let (mut w, _) = StoreWriter::with_options(
+            &dir,
+            StoreOptions {
+                rows_per_segment: 100,
+                wal: Some(FsyncPolicy::Never),
+            },
+        )
+        .unwrap();
+        for i in 0..8 {
+            StoreWriter::append(&mut w, &rec(i)).unwrap();
+        }
+        drop(w);
+        // Tear the last 5 bytes off the log, mid-frame.
+        let wal_path = dir.join(crate::WAL_FILE);
+        let bytes = std::fs::read(&wal_path).unwrap();
+        std::fs::write(&wal_path, &bytes[..bytes.len() - 5]).unwrap();
+
+        let report = recover(&dir).unwrap();
+        assert_eq!(report.recovered_rows, 7, "{report:?}");
+        assert!(report.wal_bytes_lost > 0);
+        let store = Store::open(&dir).unwrap();
+        let ids: Vec<u64> = store
+            .scan()
+            .records()
+            .map(|r| r.unwrap().session_id)
+            .collect();
+        assert_eq!(ids, (0..7).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn recovery_is_a_no_op_on_clean_stores() {
+        let dir = tmpdir("clean");
+        let mut w = StoreWriter::with_rows_per_segment(&dir, 5).unwrap();
+        for i in 0..7 {
+            StoreWriter::append(&mut w, &rec(i)).unwrap();
+        }
+        w.finish().unwrap();
+        assert!(!needs_recovery(&dir));
+        let report = recover(&dir).unwrap();
+        assert!(report.is_clean());
+        assert!(report.render().is_empty());
+        assert_eq!(Store::open(&dir).unwrap().summary().rows, 7);
     }
 
     #[test]

@@ -26,4 +26,38 @@ trap 'rm -rf "$(dirname "$smoke")"' EXIT
     --out-format sessiondb --out "$smoke"
 ./target/release/honeylab analyze "$smoke" > /dev/null
 
+echo "== tier1: crash-recovery smoke (serve -> kill -9 -> recover) =="
+crash_dir="$(mktemp -d)"
+crash_store="$crash_dir/crash.hsdb"
+crash_log="$crash_dir/serve.log"
+# Hold stdin open so the server does not drain early; SIGKILL is the
+# only way this instance ever exits.
+sleep 120 | ./target/release/honeylab serve --ssh-port 0 --stats-secs 0 \
+    --fsync-every 1 --store "$crash_store" 2> "$crash_log" &
+serve_pid=$!
+for _ in $(seq 1 100); do
+    grep -q 'listening ssh on ' "$crash_log" && break
+    sleep 0.1
+done
+addr="$(sed -n 's/^listening ssh on //p' "$crash_log" | head -1)"
+[ -n "$addr" ] || { echo "serve never came up"; cat "$crash_log"; exit 1; }
+./target/release/honeylab probe "$addr" --count 5
+# Wait until every acknowledged session is durable (WAL-framed with
+# fsync-every 1), then kill the server without any chance to clean up.
+for _ in $(seq 1 100); do
+    ./target/release/honeylab recover "$crash_store" --dry-run 2>&1 \
+        | grep -q 'wal: 5 frame(s) replayable' && break
+    sleep 0.1
+done
+kill -9 "$serve_pid"
+wait "$serve_pid" 2> /dev/null || true
+recover_out="$(./target/release/honeylab recover "$crash_store" 2>&1)"
+echo "$recover_out"
+echo "$recover_out" | grep -q 'recovered' \
+    || { echo "recovery found nothing to replay"; exit 1; }
+echo "$recover_out" | grep -Eq 'store: [1-9][0-9]* sessions .* CRCs intact' \
+    || { echo "recovered store failed CRC verification"; exit 1; }
+./target/release/honeylab analyze "$crash_store" > /dev/null
+rm -rf "$crash_dir"
+
 echo "== tier1: OK =="

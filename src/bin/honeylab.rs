@@ -38,7 +38,10 @@ use honeylab::core::{report, AnalysisBuilder, AnalysisReport, ReportKind, Sessio
 use honeylab::honeypot::to_cowrie_log;
 use honeylab::prelude::*;
 use honeylab::serve::{signal, ServeConfig, Server};
-use honeylab::sessiondb::{is_sessiondb_path, Store, StoreWriter};
+use honeylab::sessiondb::{
+    is_sessiondb_path, needs_recovery, recover, recovery_preview, FsyncPolicy, Store, StoreWriter,
+};
+use honeylab::sshwire::{ClientScript, SshClient};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::io::{BufRead, Read, Write};
@@ -53,11 +56,13 @@ fn main() {
         Some("generate") => cmd_generate(&args[1..]),
         Some("analyze") => cmd_analyze(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
+        Some("recover") => cmd_recover(&args[1..]),
+        Some("probe") => cmd_probe(&args[1..]),
         Some("classify") => cmd_classify(),
         Some("table1") => cmd_table1(),
         _ => {
             eprintln!(
-                "usage: honeylab <generate|analyze|serve|classify|table1> [options]\n\
+                "usage: honeylab <generate|analyze|serve|recover|probe|classify|table1> [options]\n\
                  \n\
                  generate --scale N --seed S --out FILE   synthesize a honeynet dataset\n\
                  \x20        [--out-format cowrie|sessiondb] cowrie: JSON-lines log (default);\n\
@@ -77,6 +82,16 @@ fn main() {
                  \x20        [--max-conns N] [--per-ip N]    admission limits (shed at accept time)\n\
                  \x20        [--workers N]                   worker shards (default: CPU count)\n\
                  \x20        [--idle-secs N] [--session-secs N] [--drain-secs N] [--stats-secs N]\n\
+                 \x20        [--fsync-every N]               WAL fsync cadence: 1 = every record (default),\n\
+                 \x20                                        N>1 = every N records, 0 = never (OS page cache only)\n\
+                 \x20        [--rows-per-segment N]          sessions per sealed store segment\n\
+                 \x20        [--chaos-conn-panic F] [--chaos-shard-panic F] [--chaos-flush-fail F] [--chaos-seed N]\n\
+                 \x20                                        seeded fault injection (testing only)\n\
+                 recover STORE [--dry-run]                replay a crashed store's WAL into a sealed\n\
+                 \x20                                        segment and verify every CRC; --dry-run only\n\
+                 \x20                                        reports what recovery would do\n\
+                 probe ADDR [--count N]                   drive N scripted SSH sessions against a\n\
+                 \x20                                        honeylab serve instance (smoke-test client)\n\
                  classify                                 classify stdin command lines (Table 1)\n\
                  table1                                   print the classifier rule set"
             );
@@ -310,6 +325,23 @@ fn cmd_analyze(args: &[String]) -> i32 {
 }
 
 fn analyze_sessiondb(path: &str, reports: &[ReportKind], threads: usize) -> i32 {
+    // Read-only preview: `analyze` may run against a store a live
+    // `serve` is still writing, so it never mutates — it only points at
+    // `honeylab recover` when sealed segments don't tell the whole story.
+    if needs_recovery(path) {
+        match recovery_preview(path) {
+            Ok(preview) => {
+                for line in preview.render().lines() {
+                    eprintln!("note: {line}");
+                }
+                eprintln!(
+                    "note: store has unrecovered crash state (analysis below covers sealed \
+                     segments only); run `honeylab recover {path}` if no server is writing to it"
+                );
+            }
+            Err(e) => eprintln!("warning: could not preview crash state: {e}"),
+        }
+    }
     let store = match Store::open(path) {
         Ok(s) => s,
         Err(e) => {
@@ -527,6 +559,35 @@ fn serve_config(args: &[String]) -> Result<ServeConfig, i32> {
         // 0 disables the stats thread entirely.
         cfg.stats_interval = (s > 0).then(|| Duration::from_secs(s));
     }
+    if let Some(n) = parse_flag::<u32>(args, "--fsync-every")? {
+        // 0 = never fsync: bounded loss (the OS page-cache window) in
+        // exchange for zero fsync stalls on the hot path.
+        cfg.fsync = FsyncPolicy::every(n);
+    }
+    if let Some(n) = parse_flag::<usize>(args, "--rows-per-segment")? {
+        cfg.rows_per_segment = n;
+    }
+    if let Some(f) = parse_flag::<f64>(args, "--chaos-conn-panic")? {
+        cfg.chaos.conn_panic_rate = f;
+    }
+    if let Some(f) = parse_flag::<f64>(args, "--chaos-shard-panic")? {
+        cfg.chaos.shard_panic_rate = f;
+    }
+    if let Some(f) = parse_flag::<f64>(args, "--chaos-flush-fail")? {
+        cfg.collector.flush_failure_rate = f;
+    }
+    if let Some(s) = parse_flag::<u64>(args, "--chaos-seed")? {
+        cfg.chaos.seed = s;
+    }
+    if cfg.chaos.enabled() || cfg.collector.flush_failure_rate > 0.0 {
+        eprintln!(
+            "chaos mode: conn-panic {} shard-panic {} flush-fail {} seed {}",
+            cfg.chaos.conn_panic_rate,
+            cfg.chaos.shard_panic_rate,
+            cfg.collector.flush_failure_rate,
+            cfg.chaos.seed
+        );
+    }
     Ok(cfg)
 }
 
@@ -544,6 +605,15 @@ fn cmd_serve(args: &[String]) -> i32 {
             return 1;
         }
     };
+    // Opening the store runs crash recovery; say what it found before
+    // the first session lands on top of it.
+    if let Some(report) = handle.recovery() {
+        if !report.is_clean() {
+            for line in report.render().lines() {
+                eprintln!("recovery: {line}");
+            }
+        }
+    }
     let addrs = handle.addrs();
     if let Some(a) = addrs.ssh {
         eprintln!("listening ssh on {a}");
@@ -597,6 +667,144 @@ fn cmd_serve(args: &[String]) -> i32 {
             1
         }
     }
+}
+
+/// `honeylab recover <store> [--dry-run]`: replay a crashed store's WAL
+/// into a sealed segment (or report what a replay would do), then verify
+/// the whole store's CRCs.
+fn cmd_recover(args: &[String]) -> i32 {
+    let dry_run = args.iter().any(|a| a == "--dry-run");
+    let Some(path) = args.iter().find(|a| !a.starts_with("--")) else {
+        eprintln!("usage: honeylab recover <store.hsdb> [--dry-run]");
+        return 2;
+    };
+    if !is_sessiondb_path(path) {
+        eprintln!("error: {path} is not a sessiondb store");
+        return 1;
+    }
+    let report = if dry_run {
+        recovery_preview(path)
+    } else {
+        recover(path)
+    };
+    let report = match report {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error recovering {path}: {e}");
+            return 1;
+        }
+    };
+    if report.is_clean() {
+        eprintln!("store is clean: no WAL, no orphaned temp files");
+    } else {
+        let verb = if dry_run {
+            "would recover"
+        } else {
+            "recovered"
+        };
+        eprintln!("{verb}:");
+        for line in report.render().lines() {
+            eprintln!("  {line}");
+        }
+    }
+    // Full CRC-checked read-back: recovery must never hand analysis a
+    // store it cannot trust.
+    let store = match Store::open(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error opening {path}: {e}");
+            return 1;
+        }
+    };
+    let summary = store.summary();
+    match store.scan().records().collect::<Result<Vec<_>, _>>() {
+        Ok(recs) => {
+            eprintln!(
+                "store: {} sessions in {} segments, CRCs intact",
+                recs.len(),
+                summary.segments
+            );
+            0
+        }
+        Err(e) => {
+            eprintln!("error: store fails CRC verification after recovery: {e}");
+            1
+        }
+    }
+}
+
+/// `honeylab probe <addr> [--count N]`: a scripted SSH client for smoke
+/// tests — drives N sequential sessions and reports how many completed
+/// the full dialogue.
+fn cmd_probe(args: &[String]) -> i32 {
+    let Some(addr) = args.iter().find(|a| !a.starts_with("--")) else {
+        eprintln!("usage: honeylab probe <host:port> [--count N]");
+        return 2;
+    };
+    let addr: std::net::SocketAddr = match addr.parse() {
+        Ok(a) => a,
+        Err(_) => {
+            eprintln!("invalid address '{addr}' (expected host:port)");
+            return 2;
+        }
+    };
+    let count: u64 = match parse_flag(args, "--count") {
+        Ok(n) => n.unwrap_or(1),
+        Err(code) => return code,
+    };
+    let mut completed = 0u64;
+    for i in 0..count {
+        let script = ClientScript::new(
+            "root",
+            &["root", "admin"],
+            &[&format!("echo probe-{i}"), "uname -a"],
+        );
+        match probe_once(addr, script) {
+            Ok(()) => completed += 1,
+            Err(e) => eprintln!("probe {i}: {e}"),
+        }
+    }
+    eprintln!("probe: {completed}/{count} sessions completed");
+    if completed == count {
+        0
+    } else {
+        1
+    }
+}
+
+fn probe_once(addr: std::net::SocketAddr, script: ClientScript) -> Result<(), String> {
+    let mut stream = std::net::TcpStream::connect(addr).map_err(|e| format!("connect: {e}"))?;
+    stream
+        .set_read_timeout(Some(Duration::from_millis(20)))
+        .map_err(|e| format!("socket: {e}"))?;
+    let _ = stream.set_nodelay(true);
+    let mut client = SshClient::new(script, b"honeylab-probe-nonce".to_vec());
+    let mut buf = [0u8; 8192];
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    while !client.is_closed() {
+        if std::time::Instant::now() >= deadline {
+            return Err("dialogue stalled".into());
+        }
+        let out = client.take_output();
+        if !out.is_empty() {
+            stream.write_all(&out).map_err(|e| format!("write: {e}"))?;
+        }
+        match stream.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => client
+                .input(&buf[..n])
+                .map_err(|e| format!("protocol: {e}"))?,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut => {}
+            Err(e) => return Err(format!("read: {e}")),
+        }
+    }
+    let out = client.take_output();
+    if !out.is_empty() {
+        let _ = stream.write_all(&out);
+    }
+    Ok(())
 }
 
 fn cmd_classify() -> i32 {

@@ -1,0 +1,319 @@
+//! Crash harness: SIGKILLs a real `honeylab serve` process at seeded
+//! points and proves the WAL + recovery path keeps every acknowledged
+//! session.
+//!
+//! "Acknowledged" means the harness observed the session durable on disk
+//! (sealed into a segment, or framed in the WAL with `--fsync-every 1`)
+//! before the kill. SIGKILL does not clear the page cache, so bytes the
+//! harness has already read back from those files are guaranteed to
+//! survive the process's death.
+
+use honeylab::sessiondb::{recover, recovery_preview, Store};
+use honeylab::sshwire::{ClientScript, SshClient};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+extern "C" {
+    fn kill(pid: i32, sig: i32) -> i32;
+}
+const SIGKILL: i32 = 9;
+
+fn sigkill(child: &Child) {
+    let rc = unsafe { kill(child.id() as i32, SIGKILL) };
+    assert_eq!(rc, 0, "SIGKILL failed");
+}
+
+struct Serve {
+    child: Child,
+    addr: SocketAddr,
+    /// Collects everything the server writes after startup.
+    stderr: std::thread::JoinHandle<String>,
+}
+
+/// Launches `honeylab serve` against `store`, waits for the listener
+/// line, and leaves stdin piped open (closing it requests a drain).
+fn spawn_serve(store: &Path, extra: &[&str]) -> Serve {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_honeylab"))
+        .arg("serve")
+        .args(["--ssh-port", "0", "--stats-secs", "0", "--workers", "2"])
+        .args(["--store", store.to_str().unwrap()])
+        .args(extra)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::null())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn honeylab serve");
+    let mut reader = BufReader::new(child.stderr.take().expect("piped stderr"));
+    let mut addr = None;
+    let mut line = String::new();
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while addr.is_none() {
+        assert!(
+            Instant::now() < deadline,
+            "server never announced a listener"
+        );
+        line.clear();
+        let n = reader.read_line(&mut line).expect("read server stderr");
+        assert!(n > 0, "server exited before announcing a listener");
+        if let Some(rest) = line.trim().strip_prefix("listening ssh on ") {
+            addr = Some(rest.parse().expect("listener address"));
+        }
+    }
+    // Drain the rest in the background so the server never blocks on a
+    // full stderr pipe; the transcript comes back at join time.
+    let stderr = std::thread::spawn(move || {
+        let mut rest = String::new();
+        let _ = reader.read_to_string(&mut rest);
+        rest
+    });
+    Serve {
+        child,
+        addr: addr.unwrap(),
+        stderr,
+    }
+}
+
+fn temp_store(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("crash-harness-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Plays a full scripted SSH dialogue; panics if it cannot complete
+/// (acknowledged sessions must finish cleanly).
+fn drive_full(addr: SocketAddr, script: ClientScript) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_millis(20)))
+        .unwrap();
+    let _ = stream.set_nodelay(true);
+    let mut client = SshClient::new(script, b"crash-harness-nonce".to_vec());
+    let mut buf = [0u8; 8192];
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while !client.is_closed() {
+        assert!(Instant::now() < deadline, "client dialogue stalled");
+        let out = client.take_output();
+        if !out.is_empty() {
+            stream.write_all(&out).expect("client write");
+        }
+        match stream.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => client.input(&buf[..n]).expect("client protocol"),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut => {}
+            Err(e) => panic!("client read failed: {e}"),
+        }
+    }
+    let out = client.take_output();
+    if !out.is_empty() {
+        let _ = stream.write_all(&out);
+    }
+}
+
+/// Sessions currently durable on disk: sealed segment rows plus valid
+/// WAL frames. Both reads are CRC-checked and read-only, so they are
+/// safe against the live writer.
+fn durable_rows(store: &Path) -> u64 {
+    let sealed = Store::open(store).map(|s| s.summary().rows).unwrap_or(0);
+    let framed = recovery_preview(store).map(|r| r.wal_frames).unwrap_or(0);
+    sealed + framed
+}
+
+/// One seeded kill point: settle some sessions, confirm they are
+/// durable, put more in flight, SIGKILL, recover, and verify.
+fn kill_point(iter: u64, settled: u64, inflight: u64, rows_per_segment: u64, jitter_ms: u64) {
+    let store = temp_store(&format!("kp{iter}"));
+    let rps = rows_per_segment.to_string();
+    let serve = spawn_serve(&store, &["--fsync-every", "1", "--rows-per-segment", &rps]);
+    let addr = serve.addr;
+
+    let markers: Vec<String> = (0..settled)
+        .map(|i| format!("settled-{iter}-{i}"))
+        .collect();
+    for m in &markers {
+        drive_full(
+            addr,
+            ClientScript::new("root", &["admin"], &[&format!("echo {m}")]),
+        );
+    }
+
+    // The client dialogue finishing does not mean the server has flushed
+    // the session yet — wait until every settled session is observably
+    // durable. Only then is it "acknowledged".
+    let deadline = Instant::now() + Duration::from_secs(20);
+    while durable_rows(&store) < settled {
+        assert!(
+            Instant::now() < deadline,
+            "kill point {iter}: {settled} sessions never became durable"
+        );
+        std::thread::sleep(Duration::from_millis(2));
+    }
+
+    // In-flight sessions: mid-dialogue when the SIGKILL lands. They may
+    // or may not survive; they must never corrupt what is already durable.
+    let flights: Vec<_> = (0..inflight)
+        .map(|_| {
+            std::thread::spawn(move || {
+                let Ok(mut stream) = TcpStream::connect(addr) else {
+                    return;
+                };
+                stream
+                    .set_read_timeout(Some(Duration::from_millis(10)))
+                    .ok();
+                let mut buf = [0u8; 4096];
+                let _ = stream.write_all(b"SSH-2.0-crash-harness\r\n");
+                let deadline = Instant::now() + Duration::from_secs(2);
+                while Instant::now() < deadline {
+                    match stream.read(&mut buf) {
+                        Ok(0) | Err(_) => break,
+                        Ok(_) => {}
+                    }
+                }
+            })
+        })
+        .collect();
+    if jitter_ms > 0 {
+        std::thread::sleep(Duration::from_millis(jitter_ms));
+    }
+
+    sigkill(&serve.child);
+    let mut child = serve.child;
+    child.wait().expect("reap killed server");
+    for f in flights {
+        let _ = f.join();
+    }
+    drop(serve.stderr);
+
+    // Recovery must never panic and must hand back a CRC-clean store.
+    let report = recover(&store).expect("recovery succeeds on a killed store");
+    let opened = Store::open(&store).expect("recovered store opens");
+    let recs: Vec<_> = opened
+        .scan()
+        .records()
+        .collect::<Result<_, _>>()
+        .expect("every CRC verifies after recovery");
+    assert!(
+        recs.len() as u64 >= settled,
+        "kill point {iter}: {} recovered < {settled} acknowledged (report: {:?})",
+        recs.len(),
+        report
+    );
+    for m in &markers {
+        assert!(
+            recs.iter()
+                .any(|r| r.commands.iter().any(|c| c.input.contains(m.as_str()))),
+            "kill point {iter}: acknowledged session '{m}' lost (report: {:?})",
+            report
+        );
+    }
+    let _ = std::fs::remove_dir_all(&store);
+}
+
+/// ≥20 distinct seeded kill points: every acknowledged session survives
+/// `kill -9` with `--fsync-every 1`, all CRCs verify, recovery never
+/// panics.
+#[test]
+fn seeded_sigkill_points_lose_no_acknowledged_session() {
+    for iter in 0..22u64 {
+        let settled = 1 + iter % 4; // 1..=4 acknowledged sessions
+        let inflight = iter % 3; // 0..=2 mid-dialogue victims
+        let rows_per_segment = [3, 5, 100][(iter % 3) as usize]; // seal boundaries vary
+        let jitter_ms = (iter * 7) % 25; // kill lands at varying offsets
+        kill_point(iter, settled, inflight, rows_per_segment, jitter_ms);
+    }
+}
+
+/// Chaos mode: flush failures and shard panics injected into a live
+/// server must never break the store's core invariant — sealed rows
+/// exactly match what the collector acknowledged.
+#[test]
+fn chaos_serve_accounting_stays_consistent() {
+    let store = temp_store("chaos");
+    let mut serve = spawn_serve(
+        &store,
+        &[
+            "--fsync-every",
+            "1",
+            "--rows-per-segment",
+            "5",
+            "--chaos-flush-fail",
+            "0.4",
+            "--chaos-shard-panic",
+            "0.2",
+            "--chaos-seed",
+            "5",
+        ],
+    );
+    let addr = serve.addr;
+
+    // Tolerant clients: a shard-panic chaos roll kills their connection.
+    for i in 0..12 {
+        let script = ClientScript::new("root", &["admin"], &[&format!("echo chaos-{i}")]);
+        let Ok(mut stream) = TcpStream::connect(addr) else {
+            continue;
+        };
+        stream
+            .set_read_timeout(Some(Duration::from_millis(20)))
+            .ok();
+        let mut client = SshClient::new(script, b"chaos-nonce".to_vec());
+        let mut buf = [0u8; 8192];
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while !client.is_closed() && Instant::now() < deadline {
+            let out = client.take_output();
+            if !out.is_empty() && stream.write_all(&out).is_err() {
+                break;
+            }
+            match stream.read(&mut buf) {
+                Ok(0) => break,
+                Ok(n) => {
+                    if client.input(&buf[..n]).is_err() {
+                        break;
+                    }
+                }
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut => {}
+                Err(_) => break,
+            }
+        }
+    }
+
+    // Graceful drain: closing stdin asks the server to shut down.
+    drop(serve.child.stdin.take());
+    let status = serve.child.wait().expect("server exits");
+    let log = serve.stderr.join().expect("stderr thread");
+    assert!(
+        status.success(),
+        "chaos serve must drain cleanly, got {status}; log:\n{log}"
+    );
+
+    // "collector: N accepted, …" is the server's own acknowledgement
+    // count; the sealed store must hold exactly those sessions.
+    let accepted: u64 = log
+        .lines()
+        .find_map(|l| {
+            l.trim()
+                .strip_prefix("collector: ")?
+                .split(' ')
+                .next()?
+                .parse()
+                .ok()
+        })
+        .unwrap_or_else(|| panic!("no collector accounting in log:\n{log}"));
+    let opened = Store::open(&store).expect("store opens after drain");
+    let recs: Vec<_> = opened
+        .scan()
+        .records()
+        .collect::<Result<_, _>>()
+        .expect("CRCs intact after chaos run");
+    assert_eq!(
+        recs.len() as u64,
+        accepted,
+        "sealed rows match collector acknowledgements; log:\n{log}"
+    );
+    let _ = std::fs::remove_dir_all(&store);
+}
