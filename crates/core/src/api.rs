@@ -1,0 +1,283 @@
+//! The versioned `honeylab-api v1` JSON surface.
+//!
+//! Every programmatic consumer of this workspace — the live HTTP
+//! endpoints in `crates/serve`, the final `ServeReport`, and
+//! `honeylab analyze --format json` — emits the same envelope
+//! (`hutil::api_envelope`) around document bodies built here, so one
+//! committed golden set (`docs/api_v1/*.json`) gates the whole contract.
+//!
+//! Emitters are plain functions over the analysis result types rather
+//! than a serde derive: the workspace is zero-dep by design
+//! (`hutil::Json` is the only codec), and hand-rolled emitters keep the
+//! wire shape an explicit, reviewable artefact instead of an accident of
+//! struct field order.
+//!
+//! # Stability rules
+//!
+//! * Fields are never removed or renamed within `v1`; new fields may be
+//!   appended.
+//! * Object key order is part of the golden files (the emitter is
+//!   deterministic), but consumers must key by name, not position.
+//! * Unbounded collections (download event lists) are summarised, not
+//!   inlined — the API is a contract, not a bulk-export path.
+
+use crate::analysis::AnalysisReport;
+use crate::logins::{CowrieDefaultProbes, TopPasswords};
+use crate::mdrfckr::Timeline;
+use crate::storage_analysis::StorageStats;
+use crate::taxonomy::TaxonomyStats;
+use hutil::Json;
+
+/// §3.3 taxonomy statistics as a v1 object body.
+pub fn taxonomy_json(t: &TaxonomyStats) -> Json {
+    Json::obj([
+        ("total_sessions", Json::u64(t.total_sessions)),
+        ("ssh_sessions", Json::u64(t.ssh_sessions)),
+        ("telnet_sessions", Json::u64(t.telnet_sessions)),
+        ("unique_ssh_clients", Json::u64(t.unique_ssh_clients)),
+        ("scanning", Json::u64(t.scanning)),
+        ("scouting", Json::u64(t.scouting)),
+        ("intrusion", Json::u64(t.intrusion)),
+        ("command_execution", Json::u64(t.command_execution)),
+    ])
+}
+
+/// Table 1 category histogram as a v1 array body (descending counts).
+pub fn categories_json(cats: &[(&'static str, u64)], coverage: f64) -> Json {
+    Json::obj([
+        ("coverage", Json::Num(coverage)),
+        (
+            "categories",
+            Json::arr(cats.iter().map(|(label, n)| {
+                Json::obj([("label", Json::str(*label)), ("sessions", Json::u64(*n))])
+            })),
+        ),
+    ])
+}
+
+/// Fig. 10 top passwords as a v1 object body.
+pub fn passwords_json(top: &TopPasswords) -> Json {
+    Json::obj([
+        ("passwords", Json::arr(top.passwords.iter().map(Json::str))),
+        (
+            "by_month",
+            Json::Obj(
+                top.by_month
+                    .iter()
+                    .map(|(month, counts)| {
+                        (
+                            month.to_string(),
+                            Json::arr(counts.iter().map(|&c| Json::u64(c))),
+                        )
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Fig. 11 Cowrie-default probe statistics as a v1 object body.
+pub fn probes_json(p: &CowrieDefaultProbes) -> Json {
+    let monthly = |m: &std::collections::BTreeMap<hutil::Month, u64>| {
+        Json::Obj(
+            m.iter()
+                .map(|(month, n)| (month.to_string(), Json::u64(*n)))
+                .collect(),
+        )
+    };
+    Json::obj([
+        ("phil_success", monthly(&p.phil_success)),
+        ("richard_tries", monthly(&p.richard_tries)),
+        ("phil_unique_ips", Json::u64(p.phil_unique_ips)),
+        ("phil_no_command_frac", Json::Num(p.phil_no_command_frac)),
+    ])
+}
+
+/// §7 storage headline statistics as a v1 object body.
+pub fn storage_json(s: &StorageStats) -> Json {
+    Json::obj([
+        ("download_sessions", Json::u64(s.download_sessions)),
+        ("different_ip_frac", Json::Num(s.different_ip_frac)),
+        (
+            "unique_download_clients",
+            Json::u64(s.unique_download_clients),
+        ),
+        ("unique_storage_ips", Json::u64(s.unique_storage_ips)),
+        (
+            "storage_ip_reported_frac",
+            Json::Num(s.storage_ip_reported_frac),
+        ),
+    ])
+}
+
+/// §9 mdrfckr timeline as a v1 object body.
+pub fn mdrfckr_json(t: &Timeline) -> Json {
+    Json::obj([(
+        "daily",
+        Json::arr(t.daily.iter().map(|(date, (sessions, ips))| {
+            Json::obj([
+                ("date", Json::str(date.label())),
+                ("sessions", Json::u64(*sessions)),
+                ("unique_ips", Json::u64(*ips)),
+            ])
+        })),
+    )])
+}
+
+/// The full `analyze` result as a v1 document (envelope kind
+/// `"analysis"`). Unselected reports serialise as `null`, so a consumer
+/// can distinguish "not computed" from "computed empty".
+pub fn analysis_json(r: &AnalysisReport) -> Json {
+    let opt = |v: Option<Json>| v.unwrap_or(Json::Null);
+    let body = Json::obj([
+        ("sessions", Json::u64(r.sessions)),
+        ("taxonomy", opt(r.taxonomy.as_ref().map(taxonomy_json))),
+        (
+            "classification",
+            opt(match (&r.categories, r.coverage) {
+                (Some(cats), Some(cov)) => Some(categories_json(cats, cov)),
+                _ => None,
+            }),
+        ),
+        ("budget_exhaustions", Json::u64(r.budget_exhaustions)),
+        ("passwords", opt(r.passwords.as_ref().map(passwords_json))),
+        ("probes", opt(r.probes.as_ref().map(probes_json))),
+        (
+            "downloads",
+            opt(r.storage.as_ref().map(|s| {
+                let mut body = storage_json(s);
+                if let (Json::Obj(pairs), Some(events)) = (&mut body, &r.downloads) {
+                    pairs.insert(0, ("events_total".into(), Json::u64(events.len() as u64)));
+                }
+                body
+            })),
+        ),
+        ("mdrfckr", opt(r.mdrfckr.as_ref().map(mdrfckr_json))),
+        (
+            "import",
+            opt(r.import.as_ref().map(|d| {
+                Json::obj([
+                    ("lines_total", Json::u64(d.lines_total as u64)),
+                    ("recovered", Json::u64(d.recovered as u64)),
+                    ("unparseable", Json::u64(d.errors.len() as u64)),
+                ])
+            })),
+        ),
+    ]);
+    hutil::api_envelope("analysis", body)
+}
+
+/// Deterministic sample documents backing the `docs/api_v1` golden set
+/// and `honeylab api-sample`. Every field is populated with a fixed,
+/// recognisable value so schema drift (added/removed/renamed fields,
+/// changed nesting) shows up as a one-line diff against the goldens.
+pub mod samples {
+    use super::*;
+    use crate::analysis::ImportDiagnostics;
+    use hutil::{Date, Month};
+
+    /// A fully-populated [`AnalysisReport`] with fixed values.
+    pub fn analysis_report() -> AnalysisReport {
+        let mut by_month = std::collections::BTreeMap::new();
+        by_month.insert(Month::new(2022, 3), vec![31u64, 7]);
+        by_month.insert(Month::new(2022, 4), vec![12u64, 0]);
+        let mut phil = std::collections::BTreeMap::new();
+        phil.insert(Month::new(2022, 3), 9u64);
+        let mut richard = std::collections::BTreeMap::new();
+        richard.insert(Month::new(2022, 4), 4u64);
+        let mut daily = std::collections::BTreeMap::new();
+        daily.insert(Date::new(2022, 12, 8), (5u64, 3u64));
+        AnalysisReport {
+            sessions: 1000,
+            taxonomy: Some(TaxonomyStats {
+                total_sessions: 1000,
+                ssh_sessions: 900,
+                telnet_sessions: 100,
+                unique_ssh_clients: 250,
+                scanning: 80,
+                scouting: 470,
+                intrusion: 150,
+                command_execution: 200,
+            }),
+            categories: Some(vec![("ssh_key_planting", 120), ("recon_uname", 80)]),
+            coverage: Some(0.9921),
+            passwords: Some(TopPasswords {
+                passwords: vec!["admin".into(), "123456".into()],
+                by_month,
+            }),
+            probes: Some(CowrieDefaultProbes {
+                phil_success: phil,
+                richard_tries: richard,
+                phil_unique_ips: 6,
+                phil_no_command_frac: 0.9167,
+            }),
+            downloads: Some(Vec::new()),
+            storage: Some(StorageStats {
+                download_sessions: 42,
+                different_ip_frac: 0.8,
+                unique_download_clients: 33,
+                unique_storage_ips: 11,
+                storage_ip_reported_frac: 0.56,
+            }),
+            mdrfckr: Some(Timeline { daily }),
+            import: Some(ImportDiagnostics {
+                lines_total: 1024,
+                recovered: 1000,
+                errors: Vec::new(),
+            }),
+            budget_exhaustions: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hutil::API_VERSION;
+
+    #[test]
+    fn analysis_document_has_envelope_and_all_sections() {
+        let doc = analysis_json(&samples::analysis_report());
+        assert_eq!(
+            doc.get("honeylab_api").and_then(Json::as_str),
+            Some(API_VERSION)
+        );
+        assert_eq!(doc.get("kind").and_then(Json::as_str), Some("analysis"));
+        let data = doc.get("data").expect("data body");
+        assert_eq!(data.get("sessions").and_then(Json::as_i64), Some(1000));
+        for section in [
+            "taxonomy",
+            "classification",
+            "passwords",
+            "probes",
+            "downloads",
+            "mdrfckr",
+            "import",
+        ] {
+            assert!(
+                !matches!(data.get(section), None | Some(Json::Null)),
+                "sample populates {section}"
+            );
+        }
+        // The document round-trips through the codec.
+        assert_eq!(Json::parse(&doc.pretty()).unwrap(), doc);
+    }
+
+    #[test]
+    fn unselected_reports_serialise_as_null() {
+        let doc = analysis_json(&AnalysisReport::default());
+        let data = doc.get("data").unwrap();
+        assert_eq!(data.get("taxonomy"), Some(&Json::Null));
+        assert_eq!(data.get("classification"), Some(&Json::Null));
+        assert_eq!(data.get("mdrfckr"), Some(&Json::Null));
+    }
+
+    #[test]
+    fn category_counts_carry_labels_and_counts() {
+        let body = categories_json(&[("a", 3), ("b", 1)], 0.5);
+        let cats = body.get("categories").and_then(Json::as_array).unwrap();
+        assert_eq!(cats.len(), 2);
+        assert_eq!(cats[0].get("label").and_then(Json::as_str), Some("a"));
+        assert_eq!(cats[0].get("sessions").and_then(Json::as_i64), Some(3));
+    }
+}

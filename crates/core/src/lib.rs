@@ -32,8 +32,12 @@
 //! * [`analysis`] — the unified entry point: [`AnalysisBuilder`] runs any
 //!   selection of the above reports in one streaming pass over a session
 //!   source (in-memory slice, sessiondb store, or Cowrie log).
+//! * [`api`] — the versioned `honeylab-api v1` JSON emitters shared by
+//!   `analyze --format json`, the live HTTP endpoints, and `ServeReport`;
+//!   gated by the `docs/api_v1` golden set.
 
 pub mod analysis;
+pub mod api;
 pub mod classify;
 pub mod cluster;
 pub mod coverage;

@@ -62,22 +62,41 @@ impl TopPasswordsAccumulator {
 
     /// Ranks and buckets the accumulated histograms.
     pub fn finish(self) -> TopPasswords {
-        let mut ranked: Vec<(String, PwStats)> = self.per_pw.into_iter().collect();
-        ranked.sort_by(|a, b| b.1 .0.cmp(&a.1 .0).then(a.0.cmp(&b.0)));
-        ranked.truncate(self.n);
-        let passwords: Vec<String> = ranked.iter().map(|(p, _)| p.clone()).collect();
-        let mut by_month: BTreeMap<Month, Vec<u64>> = BTreeMap::new();
-        for (i, (_, (_, months))) in ranked.iter().enumerate() {
-            for (&month, &count) in months {
-                by_month
-                    .entry(month)
-                    .or_insert_with(|| vec![0; passwords.len()])[i] = count;
-            }
+        rank(self.per_pw.into_iter().collect(), self.n)
+    }
+
+    /// Non-consuming form of [`TopPasswordsAccumulator::finish`]: ranks
+    /// the histograms accumulated so far. A live aggregator publishes
+    /// this between pushes; over any stream prefix it equals `finish()`
+    /// over that prefix.
+    pub fn snapshot(&self) -> TopPasswords {
+        rank(
+            self.per_pw
+                .iter()
+                .map(|(p, s)| (p.clone(), s.clone()))
+                .collect(),
+            self.n,
+        )
+    }
+}
+
+/// The shared ranking step behind `finish`/`snapshot`: sort by count
+/// descending (ties lexicographic), keep the top `n`, bucket per month.
+fn rank(mut ranked: Vec<(String, PwStats)>, n: usize) -> TopPasswords {
+    ranked.sort_by(|a, b| b.1 .0.cmp(&a.1 .0).then(a.0.cmp(&b.0)));
+    ranked.truncate(n);
+    let passwords: Vec<String> = ranked.iter().map(|(p, _)| p.clone()).collect();
+    let mut by_month: BTreeMap<Month, Vec<u64>> = BTreeMap::new();
+    for (i, (_, (_, months))) in ranked.iter().enumerate() {
+        for (&month, &count) in months {
+            by_month
+                .entry(month)
+                .or_insert_with(|| vec![0; passwords.len()])[i] = count;
         }
-        TopPasswords {
-            passwords,
-            by_month,
-        }
+    }
+    TopPasswords {
+        passwords,
+        by_month,
     }
 }
 

@@ -121,6 +121,16 @@ impl TaxonomyAccumulator {
         stats.unique_ssh_clients = self.clients.len() as u64;
         stats
     }
+
+    /// Non-consuming form of [`TaxonomyAccumulator::finish`]: the current
+    /// statistics at this point in the stream. This is what a live
+    /// aggregator publishes between pushes — the returned value for a
+    /// stream prefix equals `finish()` over that same prefix.
+    pub fn snapshot(&self) -> TaxonomyStats {
+        let mut stats = self.stats.clone();
+        stats.unique_ssh_clients = self.clients.len() as u64;
+        stats
+    }
 }
 
 impl TaxonomyStats {

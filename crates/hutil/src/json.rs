@@ -9,6 +9,24 @@
 //! Objects preserve insertion order (serialization is deterministic), and
 //! numbers are stored as `f64` — Cowrie's fields never exceed 2^53.
 
+/// The honeylab-api schema version emitted by every programmatic JSON
+/// surface (HTTP endpoints, `ServeReport`, `analyze --format json`).
+/// Consumers key on the `honeylab_api` envelope field; the version only
+/// bumps on a breaking change to a committed `docs/api_v1` golden.
+pub const API_VERSION: &str = "v1";
+
+/// Wraps a document body in the versioned honeylab-api envelope:
+/// `{"honeylab_api":"v1","kind":<kind>,"data":<data>}`. Every
+/// programmatic consumer sees this exact shape regardless of which
+/// subsystem produced the document.
+pub fn api_envelope(kind: &str, data: Json) -> Json {
+    Json::obj([
+        ("honeylab_api", Json::str(API_VERSION)),
+        ("kind", Json::str(kind)),
+        ("data", data),
+    ])
+}
+
 /// A JSON value.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Json {
@@ -47,6 +65,23 @@ impl Json {
     /// Builds a string value.
     pub fn str(s: impl Into<String>) -> Json {
         Json::Str(s.into())
+    }
+
+    /// Builds a number from an unsigned counter (the dominant case in
+    /// the stats API; `u64` counters in this workspace never exceed
+    /// 2^53 in practice, matching the codec's `f64` storage).
+    pub fn u64(n: u64) -> Json {
+        Json::Num(n as f64)
+    }
+
+    /// Builds a number from a signed value (Unix timestamps).
+    pub fn i64(n: i64) -> Json {
+        Json::Num(n as f64)
+    }
+
+    /// Builds an array from an iterator of values.
+    pub fn arr(items: impl IntoIterator<Item = Json>) -> Json {
+        Json::Arr(items.into_iter().collect())
     }
 
     /// Builds an object from pairs.
@@ -125,6 +160,46 @@ impl Json {
         out
     }
 
+    /// Serialises to an indented (2-space) JSON string with a trailing
+    /// newline — the stable form committed as `docs/api_v1` goldens and
+    /// printed by `analyze --format json`.
+    pub fn pretty(&self) -> String {
+        let mut out = String::new();
+        self.write_pretty(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write_pretty(&self, out: &mut String, depth: usize) {
+        match self {
+            Json::Arr(items) if !items.is_empty() => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    out.push_str(if i > 0 { ",\n" } else { "\n" });
+                    indent(out, depth + 1);
+                    item.write_pretty(out, depth + 1);
+                }
+                out.push('\n');
+                indent(out, depth);
+                out.push(']');
+            }
+            Json::Obj(pairs) if !pairs.is_empty() => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    out.push_str(if i > 0 { ",\n" } else { "\n" });
+                    indent(out, depth + 1);
+                    write_escaped(k, out);
+                    out.push_str(": ");
+                    v.write_pretty(out, depth + 1);
+                }
+                out.push('\n');
+                indent(out, depth);
+                out.push('}');
+            }
+            other => other.write(out),
+        }
+    }
+
     fn write(&self, out: &mut String) {
         match self {
             Json::Null => out.push_str("null"),
@@ -167,6 +242,12 @@ impl Json {
 impl std::fmt::Display for Json {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.write_str(&self.render())
+    }
+}
+
+fn indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("  ");
     }
 }
 
@@ -480,6 +561,41 @@ mod tests {
             Some("cowrie.login.success")
         );
         assert_eq!(Json::parse(&v.render()).unwrap(), v);
+    }
+
+    #[test]
+    fn pretty_rendering_roundtrips_and_is_stable() {
+        let v = Json::obj([
+            ("empty_obj", Json::Obj(vec![])),
+            ("empty_arr", Json::Arr(vec![])),
+            (
+                "nested",
+                Json::obj([("xs", Json::arr([Json::u64(1), Json::u64(2)]))]),
+            ),
+        ]);
+        let pretty = v.pretty();
+        assert!(pretty.ends_with('\n'));
+        assert_eq!(Json::parse(&pretty).unwrap(), v);
+        assert_eq!(
+            pretty,
+            "{\n  \"empty_obj\": {},\n  \"empty_arr\": [],\n  \"nested\": {\n    \"xs\": [\n      1,\n      2\n    ]\n  }\n}\n"
+        );
+    }
+
+    #[test]
+    fn api_envelope_carries_version_kind_and_data() {
+        let doc = api_envelope("stats", Json::obj([("sessions", Json::u64(7))]));
+        assert_eq!(
+            doc.get("honeylab_api").and_then(Json::as_str),
+            Some(API_VERSION)
+        );
+        assert_eq!(doc.get("kind").and_then(Json::as_str), Some("stats"));
+        assert_eq!(
+            doc.get("data")
+                .and_then(|d| d.get("sessions"))
+                .and_then(Json::as_i64),
+            Some(7)
+        );
     }
 
     #[test]

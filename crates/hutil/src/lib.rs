@@ -28,5 +28,5 @@ pub mod stats;
 
 pub use crc32::{crc32, Crc32};
 pub use date::{Date, DateTime, Month};
-pub use json::Json;
+pub use json::{api_envelope, Json, API_VERSION};
 pub use sha256::Sha256;

@@ -41,9 +41,13 @@
 //!   close → shards drain in-flight sessions (bounded by a drain timeout)
 //!   → collector retries flush → the final partial segment is sealed.
 
+pub mod broadcast;
 pub mod conn;
+pub mod http;
 pub mod server;
 pub mod signal;
+pub mod sse;
+pub mod stats;
 
 pub use conn::{LiveHandler, SharedStore};
 pub use server::{fold_peer_ip, ServeReport, Server, ServerHandle};
@@ -174,6 +178,13 @@ pub struct ServeConfig {
     pub fsync: FsyncPolicy,
     /// Serving-layer fault injection (off by default).
     pub chaos: ChaosConfig,
+    /// Observability HTTP listener port (`Some(0)` picks an ephemeral
+    /// port); `None` disables the HTTP plane.
+    pub http_port: Option<u16>,
+    /// Worker threads for the HTTP plane.
+    pub http_workers: usize,
+    /// How many completed sessions `/api/sessions/recent` retains.
+    pub recent_tail: usize,
 }
 
 impl Default for ServeConfig {
@@ -198,7 +209,234 @@ impl Default for ServeConfig {
             rows_per_segment: sessiondb::DEFAULT_ROWS_PER_SEGMENT,
             fsync: FsyncPolicy::default(),
             chaos: ChaosConfig::default(),
+            http_port: None,
+            http_workers: 2,
+            recent_tail: 64,
         }
+    }
+}
+
+impl ServeConfig {
+    /// A validating builder over the same fields. The plain-struct path
+    /// (struct literal over [`ServeConfig::default`]) keeps compiling;
+    /// the builder is for call sites that want the invariants checked
+    /// before a socket is ever bound.
+    pub fn builder() -> ServeConfigBuilder {
+        ServeConfigBuilder {
+            cfg: ServeConfig::default(),
+        }
+    }
+
+    /// The invariant checks behind [`ServeConfigBuilder::build`],
+    /// callable on a hand-assembled config too.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.ssh_port.is_none() && self.telnet_port.is_none() {
+            return Err(ConfigError::NoListeners);
+        }
+        if self.workers == 0 {
+            return Err(ConfigError::ZeroWorkers { plane: "serve" });
+        }
+        if self.http_port.is_some() && self.http_workers == 0 {
+            return Err(ConfigError::ZeroWorkers { plane: "http" });
+        }
+        if self.drain_timeout > self.session_timeout {
+            return Err(ConfigError::DrainExceedsSessionTimeout {
+                drain: self.drain_timeout,
+                session: self.session_timeout,
+            });
+        }
+        // Ephemeral (0) ports never collide; fixed ports must differ.
+        let mut fixed: Vec<u16> = [self.ssh_port, self.telnet_port, self.http_port]
+            .into_iter()
+            .flatten()
+            .filter(|&p| p != 0)
+            .collect();
+        fixed.sort_unstable();
+        if let Some(w) = fixed.windows(2).find(|w| w[0] == w[1]) {
+            return Err(ConfigError::DuplicatePort { port: w[0] });
+        }
+        Ok(())
+    }
+}
+
+/// A config rejected by [`ServeConfig::validate`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConfigError {
+    /// Neither an SSH nor a Telnet port was configured.
+    NoListeners,
+    /// A worker pool was sized to zero threads.
+    ZeroWorkers {
+        /// Which pool (`"serve"` or `"http"`).
+        plane: &'static str,
+    },
+    /// The drain window cannot exceed the session ceiling — a drain
+    /// longer than the longest possible session only delays shutdown.
+    DrainExceedsSessionTimeout {
+        /// Configured drain timeout.
+        drain: Duration,
+        /// Configured session timeout.
+        session: Duration,
+    },
+    /// Two listeners were given the same fixed port.
+    DuplicatePort {
+        /// The colliding port.
+        port: u16,
+    },
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::NoListeners => write!(f, "no ports configured: nothing to serve"),
+            ConfigError::ZeroWorkers { plane } => {
+                write!(f, "{plane} worker pool cannot be sized to zero threads")
+            }
+            ConfigError::DrainExceedsSessionTimeout { drain, session } => write!(
+                f,
+                "drain timeout ({drain:?}) exceeds session timeout ({session:?})"
+            ),
+            ConfigError::DuplicatePort { port } => {
+                write!(f, "port {port} is assigned to more than one listener")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Builder returned by [`ServeConfig::builder`]; every setter mirrors a
+/// [`ServeConfig`] field, and [`ServeConfigBuilder::build`] runs the
+/// invariant checks.
+#[derive(Debug, Clone)]
+pub struct ServeConfigBuilder {
+    cfg: ServeConfig,
+}
+
+impl ServeConfigBuilder {
+    /// Address to bind listeners on.
+    pub fn bind(mut self, bind: IpAddr) -> Self {
+        self.cfg.bind = bind;
+        self
+    }
+
+    /// SSH listener port (`None` disables, `0` is ephemeral).
+    pub fn ssh_port(mut self, port: impl Into<Option<u16>>) -> Self {
+        self.cfg.ssh_port = port.into();
+        self
+    }
+
+    /// Telnet listener port.
+    pub fn telnet_port(mut self, port: impl Into<Option<u16>>) -> Self {
+        self.cfg.telnet_port = port.into();
+        self
+    }
+
+    /// Observability HTTP port.
+    pub fn http_port(mut self, port: impl Into<Option<u16>>) -> Self {
+        self.cfg.http_port = port.into();
+        self
+    }
+
+    /// Spill store directory.
+    pub fn store_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.cfg.store_dir = Some(dir.into());
+        self
+    }
+
+    /// Worker shard count.
+    pub fn workers(mut self, n: usize) -> Self {
+        self.cfg.workers = n;
+        self
+    }
+
+    /// HTTP worker count.
+    pub fn http_workers(mut self, n: usize) -> Self {
+        self.cfg.http_workers = n;
+        self
+    }
+
+    /// Global concurrent-connection cap.
+    pub fn max_connections(mut self, n: usize) -> Self {
+        self.cfg.max_connections = n;
+        self
+    }
+
+    /// Per-IP concurrent-connection limit.
+    pub fn per_ip_limit(mut self, n: usize) -> Self {
+        self.cfg.per_ip_limit = n;
+        self
+    }
+
+    /// Idle timeout.
+    pub fn idle_timeout(mut self, t: Duration) -> Self {
+        self.cfg.idle_timeout = t;
+        self
+    }
+
+    /// Total-session ceiling.
+    pub fn session_timeout(mut self, t: Duration) -> Self {
+        self.cfg.session_timeout = t;
+        self
+    }
+
+    /// Shutdown drain window.
+    pub fn drain_timeout(mut self, t: Duration) -> Self {
+        self.cfg.drain_timeout = t;
+        self
+    }
+
+    /// Stats-line cadence (`None` silences the line).
+    pub fn stats_interval(mut self, t: impl Into<Option<Duration>>) -> Self {
+        self.cfg.stats_interval = t.into();
+        self
+    }
+
+    /// Sensor id stamped into records.
+    pub fn honeypot_id(mut self, id: u16) -> Self {
+        self.cfg.honeypot_id = id;
+        self
+    }
+
+    /// Sensor address stamped into records.
+    pub fn honeypot_ip(mut self, ip: netsim::Ipv4Addr) -> Self {
+        self.cfg.honeypot_ip = ip;
+        self
+    }
+
+    /// Collector retry/fault config.
+    pub fn collector(mut self, c: CollectorConfig) -> Self {
+        self.cfg.collector = c;
+        self
+    }
+
+    /// Rows per sealed segment.
+    pub fn rows_per_segment(mut self, n: usize) -> Self {
+        self.cfg.rows_per_segment = n;
+        self
+    }
+
+    /// WAL fsync policy.
+    pub fn fsync(mut self, policy: FsyncPolicy) -> Self {
+        self.cfg.fsync = policy;
+        self
+    }
+
+    /// Fault injection.
+    pub fn chaos(mut self, chaos: ChaosConfig) -> Self {
+        self.cfg.chaos = chaos;
+        self
+    }
+
+    /// `/api/sessions/recent` tail depth.
+    pub fn recent_tail(mut self, n: usize) -> Self {
+        self.cfg.recent_tail = n;
+        self
+    }
+
+    /// Validates and returns the config.
+    pub fn build(self) -> Result<ServeConfig, ConfigError> {
+        self.cfg.validate()?;
+        Ok(self.cfg)
     }
 }
 
@@ -298,6 +536,28 @@ impl StatsSnapshot {
             self.panics_caught,
             self.shards_respawned,
         )
+    }
+
+    /// The counters as a v1 object body. This is the single emitter for
+    /// serving counters everywhere they appear — `/api/stats`, the final
+    /// [`ServeReport`] document, and the goldens — so the wire shape
+    /// cannot fork.
+    pub fn api_json(&self) -> hutil::Json {
+        use hutil::Json;
+        Json::obj([
+            ("accepted", Json::u64(self.accepted)),
+            ("active", Json::u64(self.active as u64)),
+            ("completed", Json::u64(self.completed)),
+            ("timed_out", Json::u64(self.timed_out)),
+            ("shed_capacity", Json::u64(self.shed_capacity)),
+            ("shed_per_ip", Json::u64(self.shed_per_ip)),
+            ("wire_errors", Json::u64(self.wire_errors)),
+            ("bytes_in", Json::u64(self.bytes_in)),
+            ("bytes_out", Json::u64(self.bytes_out)),
+            ("accept_errors", Json::u64(self.accept_errors)),
+            ("panics_caught", Json::u64(self.panics_caught)),
+            ("shards_respawned", Json::u64(self.shards_respawned)),
+        ])
     }
 }
 
@@ -455,6 +715,102 @@ mod tests {
         assert_eq!(stats.active.load(Ordering::Relaxed), 0);
         // The per-IP slot is free again too.
         assert!(g.admit(ip, &stats).is_ok());
+    }
+
+    #[test]
+    fn builder_accepts_a_valid_config() {
+        let cfg = ServeConfig::builder()
+            .ssh_port(2222)
+            .telnet_port(2323)
+            .http_port(8080)
+            .workers(4)
+            .recent_tail(32)
+            .drain_timeout(Duration::from_secs(5))
+            .session_timeout(Duration::from_secs(60))
+            .build()
+            .expect("valid config");
+        assert_eq!(cfg.ssh_port, Some(2222));
+        assert_eq!(cfg.http_port, Some(8080));
+        assert_eq!(cfg.recent_tail, 32);
+    }
+
+    #[test]
+    fn builder_rejects_invalid_configs() {
+        assert_eq!(
+            ServeConfig::builder().ssh_port(None).build().unwrap_err(),
+            ConfigError::NoListeners
+        );
+        assert_eq!(
+            ServeConfig::builder()
+                .drain_timeout(Duration::from_secs(700))
+                .session_timeout(Duration::from_secs(600))
+                .build()
+                .unwrap_err(),
+            ConfigError::DrainExceedsSessionTimeout {
+                drain: Duration::from_secs(700),
+                session: Duration::from_secs(600),
+            }
+        );
+        assert_eq!(
+            ServeConfig::builder()
+                .ssh_port(2222)
+                .http_port(2222)
+                .build()
+                .unwrap_err(),
+            ConfigError::DuplicatePort { port: 2222 }
+        );
+        assert_eq!(
+            ServeConfig::builder()
+                .ssh_port(2222)
+                .workers(0)
+                .build()
+                .unwrap_err(),
+            ConfigError::ZeroWorkers { plane: "serve" }
+        );
+        // Ephemeral ports never collide.
+        assert!(ServeConfig::builder()
+            .ssh_port(0)
+            .telnet_port(0)
+            .http_port(0)
+            .build()
+            .is_ok());
+    }
+
+    #[test]
+    fn plain_struct_construction_still_compiles_and_validates() {
+        let cfg = ServeConfig {
+            ssh_port: Some(0),
+            http_port: Some(0),
+            ..ServeConfig::default()
+        };
+        assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn stats_snapshot_api_json_carries_every_counter() {
+        let s = ServeStats::default();
+        s.accepted.store(9, Ordering::Relaxed);
+        s.shards_respawned.store(2, Ordering::Relaxed);
+        let doc = s.snapshot().api_json();
+        assert_eq!(doc.get("accepted").and_then(hutil::Json::as_i64), Some(9));
+        assert_eq!(
+            doc.get("shards_respawned").and_then(hutil::Json::as_i64),
+            Some(2)
+        );
+        for key in [
+            "active",
+            "completed",
+            "timed_out",
+            "shed_capacity",
+            "shed_per_ip",
+            "wire_errors",
+            "bytes_in",
+            "bytes_out",
+            "accept_errors",
+            "panics_caught",
+        ] {
+            assert!(doc.get(key).is_some(), "missing {key}");
+        }
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Server orchestration: listeners, sharded accept loops, supervised
-//! worker pool, stats thread, graceful drain.
+//! worker pool, the stats/observability aggregator, the HTTP plane, and
+//! graceful drain.
 //!
 //! # Crash containment
 //!
@@ -16,6 +17,7 @@
 //! [`ServerHandle::join`].
 
 use crate::conn::{now_unix, Conn, LiveHandler, SensorIdentity, SharedStore};
+use crate::stats::{spawn_aggregator, AggEvent, AggregatorHandle, ApiSnapshot};
 use crate::{Admission, ChaosConfig, Gate, ServeConfig, ServeError, ServeStats, StatsSnapshot};
 use honeypot::shell::NullStore;
 use honeypot::{panic_message, AuthPolicy, Collector, CollectorError, IngestStats};
@@ -88,6 +90,7 @@ struct ShardCtx {
     session_timeout: Duration,
     drain_timeout: Duration,
     chaos: ChaosConfig,
+    agg_tx: std::sync::mpsc::Sender<AggEvent>,
 }
 
 /// The live serving layer. See the crate docs for the architecture.
@@ -186,6 +189,35 @@ impl Server {
         }
         drop(senders); // workers exit once accept threads hang up
 
+        // The aggregator replaces the old dedicated stats thread: it
+        // owns the periodic stderr line *and* publishes the lock-free
+        // snapshots the HTTP plane reads. Shards feed it cloned records
+        // over its channel; it costs nothing on the accept path.
+        let aggregator = spawn_aggregator(
+            Arc::clone(&stats),
+            Arc::clone(&shutdown),
+            cfg.recent_tail,
+            cfg.stats_interval,
+        );
+        if let Some(report) = &recovery {
+            let _ = aggregator.tx.send(AggEvent::Recovery(report.clone()));
+        }
+        let http = match cfg.http_port {
+            Some(port) => {
+                let handle = crate::http::start(
+                    cfg.bind,
+                    port,
+                    cfg.http_workers,
+                    Arc::clone(&aggregator.cell),
+                    Arc::clone(&aggregator.bus),
+                    Arc::clone(&shutdown),
+                )?;
+                addrs.http = Some(handle.addr);
+                Some(handle)
+            }
+            None => None,
+        };
+
         let ctx = ShardCtx {
             remote,
             collector: Arc::clone(&collector),
@@ -199,6 +231,7 @@ impl Server {
             session_timeout: cfg.session_timeout,
             drain_timeout: cfg.drain_timeout,
             chaos: cfg.chaos,
+            agg_tx: aggregator.tx.clone(),
         };
         let shard_panics: Arc<parking_lot::Mutex<Vec<String>>> =
             Arc::new(parking_lot::Mutex::new(Vec::new()));
@@ -210,15 +243,6 @@ impl Server {
                 .expect("spawn shard supervisor")
         };
 
-        let stats_thread = cfg.stats_interval.map(|interval| {
-            let stats = Arc::clone(&stats);
-            let shutdown = Arc::clone(&shutdown);
-            std::thread::Builder::new()
-                .name("serve-stats".into())
-                .spawn(move || stats_loop(&stats, &shutdown, interval))
-                .expect("spawn stats thread")
-        });
-
         Ok(ServerHandle {
             addrs,
             stats,
@@ -229,7 +253,8 @@ impl Server {
             accept_threads,
             supervisor: Some(supervisor),
             shard_panics,
-            stats_thread,
+            aggregator: Some(aggregator),
+            http,
         })
     }
 }
@@ -241,6 +266,8 @@ pub struct ListenAddrs {
     pub ssh: Option<SocketAddr>,
     /// Telnet listener, if enabled.
     pub telnet: Option<SocketAddr>,
+    /// Observability HTTP listener, if enabled.
+    pub http: Option<SocketAddr>,
 }
 
 /// Final accounting returned by [`ServerHandle::join`].
@@ -256,6 +283,80 @@ pub struct ServeReport {
     pub shard_panics: Vec<String>,
 }
 
+impl ServeReport {
+    /// The shared text rendering: the CLI's shutdown summary. One
+    /// renderer for every consumer (no format forks between `serve`
+    /// exit paths).
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "final: {}\ncollector: {} accepted, {} dropped, {} quarantined",
+            self.snapshot.render(),
+            self.ingest.accepted,
+            self.ingest.dropped,
+            self.quarantined,
+        );
+        for p in &self.shard_panics {
+            out.push_str("\nshard panic: ");
+            out.push_str(p);
+        }
+        out
+    }
+
+    /// The v1 document (envelope kind `"serve_report"`), built from the
+    /// same [`StatsSnapshot::api_json`] emitter `/api/stats` uses.
+    pub fn api_json(&self) -> hutil::Json {
+        use hutil::Json;
+        hutil::api_envelope(
+            "serve_report",
+            Json::obj([
+                ("counters", self.snapshot.api_json()),
+                (
+                    "ingest",
+                    Json::obj([
+                        ("accepted", Json::u64(self.ingest.accepted)),
+                        ("retried", Json::u64(self.ingest.retried)),
+                        ("dropped", Json::u64(self.ingest.dropped)),
+                        ("quarantined", Json::u64(self.ingest.quarantined)),
+                    ]),
+                ),
+                ("quarantined_rows", Json::u64(self.quarantined as u64)),
+                (
+                    "shard_panics",
+                    Json::arr(self.shard_panics.iter().map(Json::str)),
+                ),
+            ]),
+        )
+    }
+
+    /// Deterministic sample document for the `docs/api_v1` goldens.
+    pub fn sample() -> Self {
+        ServeReport {
+            snapshot: StatsSnapshot {
+                accepted: 202,
+                shed_capacity: 0,
+                shed_per_ip: 0,
+                active: 0,
+                completed: 200,
+                timed_out: 1,
+                wire_errors: 0,
+                bytes_in: 123_456,
+                bytes_out: 654_321,
+                accept_errors: 0,
+                panics_caught: 0,
+                shards_respawned: 0,
+            },
+            ingest: IngestStats {
+                accepted: 200,
+                retried: 3,
+                dropped: 0,
+                quarantined: 0,
+            },
+            quarantined: 0,
+            shard_panics: Vec::new(),
+        }
+    }
+}
+
 /// A running server: addresses, live stats, and the shutdown lever.
 pub struct ServerHandle {
     addrs: ListenAddrs,
@@ -267,7 +368,8 @@ pub struct ServerHandle {
     accept_threads: Vec<JoinHandle<()>>,
     supervisor: Option<JoinHandle<()>>,
     shard_panics: Arc<parking_lot::Mutex<Vec<String>>>,
-    stats_thread: Option<JoinHandle<()>>,
+    aggregator: Option<AggregatorHandle>,
+    http: Option<crate::http::HttpHandle>,
 }
 
 impl ServerHandle {
@@ -290,6 +392,12 @@ impl ServerHandle {
     /// server opened it; `None` without a store.
     pub fn recovery(&self) -> Option<&RecoveryReport> {
         self.recovery.as_ref()
+    }
+
+    /// The most recently published observability snapshot (same
+    /// lock-free read path the HTTP endpoints use).
+    pub fn api_snapshot(&self) -> Option<Arc<ApiSnapshot>> {
+        self.aggregator.as_ref().map(|a| a.cell.load())
     }
 
     /// Starts graceful shutdown: accept loops stop, shards drain.
@@ -325,8 +433,19 @@ impl ServerHandle {
         if let Some(t) = self.supervisor.take() {
             note_panic("shard-supervisor", t.join());
         }
-        if let Some(t) = self.stats_thread.take() {
-            note_panic("serve-stats", t.join());
+        // All shard senders are gone once the supervisor returns, so
+        // dropping the handle's sender disconnects the aggregator; it
+        // publishes a final snapshot covering every ingested session and
+        // exits.
+        if let Some(agg) = self.aggregator.take() {
+            note_panic("serve-aggregator", agg.join());
+        }
+        if let Some(http) = self.http.take() {
+            if let Err((thread, message)) = http.join() {
+                if thread_panic.is_none() {
+                    thread_panic = Some((thread, message));
+                }
+            }
         }
         let collector = self.collector.take().expect("join called once");
         let collector = Collector::try_from_arc(collector).map_err(|e| ServeError::Collector {
@@ -589,6 +708,10 @@ fn shard_loop(index: usize, generation: u64, rx: &SharedRx, ctx: &ShardCtx) {
                 Ok(true) => {
                     let (conn, _) = conns.swap_remove(i);
                     let record = conn.finish(ctx.sensor, &ctx.stats);
+                    // Mirror the exact record the store receives to the
+                    // live aggregator (a clone over mpsc — no locks, no
+                    // blocking; a dead aggregator just fails the send).
+                    let _ = ctx.agg_tx.send(AggEvent::Session(Box::new(record.clone())));
                     ctx.collector.ingest(record);
                 }
                 Err(payload) => {
@@ -600,6 +723,7 @@ fn shard_loop(index: usize, generation: u64, rx: &SharedRx, ctx: &ShardCtx) {
                     ctx.stats.panics_caught.fetch_add(1, Ordering::Relaxed);
                     let (conn, _) = conns.swap_remove(i);
                     let record = conn.into_failed(ctx.sensor);
+                    let _ = ctx.agg_tx.send(AggEvent::Session(Box::new(record.clone())));
                     ctx.collector.ingest(record);
                 }
             }
@@ -622,22 +746,36 @@ fn shard_loop(index: usize, generation: u64, rx: &SharedRx, ctx: &ShardCtx) {
     }
 }
 
-/// Periodic stats logger; exits when shutdown is triggered.
-fn stats_loop(stats: &ServeStats, shutdown: &AtomicBool, interval: Duration) {
-    let mut last = Instant::now();
-    while !shutdown.load(Ordering::Relaxed) {
-        std::thread::sleep(Duration::from_millis(50));
-        if last.elapsed() >= interval {
-            last = Instant::now();
-            eprintln!("[serve] {}", stats.snapshot().render());
-        }
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use std::net::Ipv6Addr;
+
+    #[test]
+    fn serve_report_render_and_api_json_agree() {
+        let report = ServeReport::sample();
+        let text = report.render();
+        assert!(text.starts_with("final: accepted=202"));
+        assert!(text.contains("collector: 200 accepted, 0 dropped, 0 quarantined"));
+        let doc = report.api_json();
+        assert_eq!(
+            doc.get("kind").and_then(hutil::Json::as_str),
+            Some("serve_report")
+        );
+        let data = doc.get("data").unwrap();
+        assert_eq!(
+            data.get("counters")
+                .and_then(|c| c.get("accepted"))
+                .and_then(hutil::Json::as_i64),
+            Some(202)
+        );
+        assert_eq!(
+            data.get("ingest")
+                .and_then(|c| c.get("accepted"))
+                .and_then(hutil::Json::as_i64),
+            Some(200)
+        );
+    }
 
     #[test]
     fn fold_preserves_v4_addresses() {

@@ -1,0 +1,148 @@
+//! Server-Sent Events framing (the `GET /events` wire format).
+//!
+//! SSE is line-oriented: an event is a block of `field: value` lines
+//! terminated by a blank line. This module renders frames (writer side,
+//! used by the aggregator) and incrementally parses them back (client
+//! side, used by the round-trip tests and the load-test dashboard
+//! client). Only the fields this plane emits are modelled: `event:`,
+//! `data:` (possibly multi-line), and comment lines (`:` keep-alives).
+
+/// One parsed SSE event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SseEvent {
+    /// The `event:` field (empty string if the frame had none).
+    pub event: String,
+    /// The `data:` payload; multi-line data is rejoined with `\n`.
+    pub data: String,
+}
+
+/// Renders one frame. Multi-line `data` is split over consecutive
+/// `data:` lines per the SSE spec, so payloads containing newlines
+/// round-trip exactly.
+pub fn frame(event: &str, data: &str) -> String {
+    let mut out = String::with_capacity(event.len() + data.len() + 16);
+    out.push_str("event: ");
+    out.push_str(event);
+    out.push('\n');
+    for line in data.split('\n') {
+        out.push_str("data: ");
+        out.push_str(line);
+        out.push('\n');
+    }
+    out.push('\n');
+    out
+}
+
+/// A comment frame; clients ignore it, proxies see bytes flowing. Sent
+/// as a keep-alive when no events fire.
+pub fn keep_alive() -> &'static str {
+    ": keep-alive\n\n"
+}
+
+/// Incremental SSE parser: feed arbitrary byte chunks, take complete
+/// events as they form. Torn frames (a chunk boundary mid-line or
+/// mid-frame) are buffered until their terminating blank line arrives.
+#[derive(Debug, Default)]
+pub struct FrameParser {
+    buf: String,
+}
+
+impl FrameParser {
+    /// A parser with an empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a chunk (lossy UTF-8) and returns every event completed
+    /// by it.
+    pub fn push(&mut self, chunk: &[u8]) -> Vec<SseEvent> {
+        self.buf.push_str(&String::from_utf8_lossy(chunk));
+        let mut events = Vec::new();
+        // A frame ends at a blank line ("\n\n").
+        while let Some(end) = self.buf.find("\n\n") {
+            let frame: String = self.buf.drain(..end + 2).collect();
+            if let Some(ev) = parse_one(&frame) {
+                events.push(ev);
+            }
+        }
+        events
+    }
+}
+
+/// Parses one complete frame (comment-only frames yield `None`).
+fn parse_one(frame: &str) -> Option<SseEvent> {
+    let mut event = String::new();
+    let mut data_lines: Vec<&str> = Vec::new();
+    for line in frame.lines() {
+        if let Some(rest) = line.strip_prefix("event:") {
+            event = rest.strip_prefix(' ').unwrap_or(rest).to_string();
+        } else if let Some(rest) = line.strip_prefix("data:") {
+            data_lines.push(rest.strip_prefix(' ').unwrap_or(rest));
+        }
+        // ':' comments and unknown fields are ignored per spec.
+    }
+    if event.is_empty() && data_lines.is_empty() {
+        return None;
+    }
+    Some(SseEvent {
+        event,
+        data: data_lines.join("\n"),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_line_frame_round_trips() {
+        let f = frame("session", r#"{"id":1}"#);
+        assert_eq!(f, "event: session\ndata: {\"id\":1}\n\n");
+        let mut p = FrameParser::new();
+        let events = p.push(f.as_bytes());
+        assert_eq!(
+            events,
+            vec![SseEvent {
+                event: "session".into(),
+                data: r#"{"id":1}"#.into(),
+            }]
+        );
+    }
+
+    #[test]
+    fn multi_line_data_round_trips() {
+        let data = "line one\nline two\n\tindented";
+        let f = frame("recovery", data);
+        let mut p = FrameParser::new();
+        let events = p.push(f.as_bytes());
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].data, data);
+    }
+
+    #[test]
+    fn torn_chunks_reassemble() {
+        let f1 = frame("session", "abc");
+        let f2 = frame("session", "def");
+        let stream = format!("{}{}{}", keep_alive(), f1, f2);
+        let bytes = stream.as_bytes();
+        let mut p = FrameParser::new();
+        let mut got = Vec::new();
+        // Feed one byte at a time: worst-case tearing.
+        for b in bytes {
+            got.extend(p.push(std::slice::from_ref(b)));
+        }
+        assert_eq!(got.len(), 2, "keep-alive is skipped, both frames parse");
+        assert_eq!(got[0].data, "abc");
+        assert_eq!(got[1].data, "def");
+    }
+
+    #[test]
+    fn pipelined_frames_in_one_chunk() {
+        let stream = format!("{}{}", frame("a", "1"), frame("b", "2"));
+        let mut p = FrameParser::new();
+        let got = p.push(stream.as_bytes());
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].event, "a");
+        assert_eq!(got[1].event, "b");
+    }
+}

@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# Guard the honeylab-api v1 wire format: every document kind the binary can
+# emit must match its golden in docs/api_v1/ byte for byte.  A diff here means
+# the JSON surface changed; that is a breaking change for dashboard consumers
+# and must be deliberate (bump the envelope version or regenerate the goldens
+# with the command printed below and call it out in the changelog).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+bin="${HONEYLAB_BIN:-target/release/honeylab}"
+if [ ! -x "$bin" ]; then
+    bin="target/debug/honeylab"
+fi
+if [ ! -x "$bin" ]; then
+    echo "check_api_schema: no honeylab binary; run cargo build first" >&2
+    exit 1
+fi
+
+golden_dir="docs/api_v1"
+kinds="$("$bin" api-sample)"
+fail=0
+
+for kind in $kinds; do
+    golden="$golden_dir/$kind.json"
+    if [ ! -f "$golden" ]; then
+        echo "check_api_schema: missing golden $golden" >&2
+        fail=1
+        continue
+    fi
+    if ! diff -u "$golden" <("$bin" api-sample "$kind"); then
+        echo "check_api_schema: '$kind' drifted from $golden" >&2
+        fail=1
+    fi
+done
+
+# The reverse direction: a golden with no emitter means a kind was removed
+# without cleaning up (or renamed without regenerating).
+for golden in "$golden_dir"/*.json; do
+    kind="$(basename "$golden" .json)"
+    if ! grep -qx "$kind" <<< "$kinds"; then
+        echo "check_api_schema: stale golden $golden (no such kind)" >&2
+        fail=1
+    fi
+done
+
+if [ "$fail" -ne 0 ]; then
+    echo "" >&2
+    echo "If the change is intentional, regenerate with:" >&2
+    echo "  for k in \$($bin api-sample); do $bin api-sample \$k > $golden_dir/\$k.json; done" >&2
+    exit 1
+fi
+
+echo "check_api_schema: all $(wc -w <<< "$kinds") kinds match docs/api_v1"

@@ -30,11 +30,17 @@ echo "== tier1: crash-recovery smoke (serve -> kill -9 -> recover) =="
 crash_dir="$(mktemp -d)"
 crash_store="$crash_dir/crash.hsdb"
 crash_log="$crash_dir/serve.log"
-# Hold stdin open so the server does not drain early; SIGKILL is the
-# only way this instance ever exits.
-sleep 120 | ./target/release/honeylab serve --ssh-port 0 --stats-secs 0 \
-    --fsync-every 1 --store "$crash_store" 2> "$crash_log" &
+# Hold stdin open (via a FIFO the script keeps a writer on) so the
+# server does not drain early; SIGKILL is the only way this instance
+# ever exits. A FIFO rather than `sleep N |` keeps the server out of a
+# pipeline job, so `wait` below reaps it the moment it dies instead of
+# stalling on the stdin-holder.
+mkfifo "$crash_dir/stdin"
+./target/release/honeylab serve --ssh-port 0 --stats-secs 0 \
+    --fsync-every 1 --store "$crash_store" \
+    < "$crash_dir/stdin" 2> "$crash_log" &
 serve_pid=$!
+exec 8> "$crash_dir/stdin"
 for _ in $(seq 1 100); do
     grep -q 'listening ssh on ' "$crash_log" && break
     sleep 0.1
@@ -51,6 +57,7 @@ for _ in $(seq 1 100); do
 done
 kill -9 "$serve_pid"
 wait "$serve_pid" 2> /dev/null || true
+exec 8>&-
 recover_out="$(./target/release/honeylab recover "$crash_store" 2>&1)"
 echo "$recover_out"
 echo "$recover_out" | grep -q 'recovered' \
@@ -59,5 +66,50 @@ echo "$recover_out" | grep -Eq 'store: [1-9][0-9]* sessions .* CRCs intact' \
     || { echo "recovered store failed CRC verification"; exit 1; }
 ./target/release/honeylab analyze "$crash_store" > /dev/null
 rm -rf "$crash_dir"
+
+echo "== tier1: api schema goldens =="
+./scripts/check_api_schema.sh
+
+echo "== tier1: http observability smoke (serve -> curl -> SIGINT) =="
+http_dir="$(mktemp -d)"
+http_store="$http_dir/http.hsdb"
+http_log="$http_dir/serve.log"
+# Hold stdin open via a FIFO: the server treats stdin EOF as a shutdown
+# request, and we want SIGINT (not a closed pipe) to end this instance.
+# (Not `sleep N |`: a pipeline would make `wait` below stall on the
+# stdin-holder long after the server has exited.)
+mkfifo "$http_dir/stdin"
+./target/release/honeylab serve --ssh-port 0 --http-port 0 \
+    --stats-secs 0 --store "$http_store" \
+    < "$http_dir/stdin" 2> "$http_log" &
+http_pid=$!
+exec 9> "$http_dir/stdin"
+for _ in $(seq 1 100); do
+    grep -q 'listening http on ' "$http_log" && break
+    sleep 0.1
+done
+http_addr="$(sed -n 's/^listening http on \([0-9.:]*\) .*/\1/p' "$http_log" | head -1)"
+ssh_addr="$(sed -n 's/^listening ssh on //p' "$http_log" | head -1)"
+[ -n "$http_addr" ] || { echo "http plane never came up"; cat "$http_log"; exit 1; }
+curl -fsS "http://$http_addr/api/health" | grep -q '"honeylab_api": "v1"' \
+    || { echo "/api/health is not a v1 envelope"; exit 1; }
+./target/release/honeylab probe "$ssh_addr" --count 3
+for _ in $(seq 1 100); do
+    curl -fsS "http://$http_addr/api/stats" | grep -q '"total_sessions": 3' && break
+    sleep 0.1
+done
+curl -fsS "http://$http_addr/api/stats" | grep -q '"total_sessions": 3' \
+    || { echo "/api/stats never reflected the probe sessions"; exit 1; }
+curl -fsS "http://$http_addr/api/sessions/recent" | grep -q '"kind": "sessions_recent"' \
+    || { echo "/api/sessions/recent missing"; exit 1; }
+kill -INT "$http_pid"
+exec 9>&-
+if ! wait "$http_pid"; then
+    echo "serve did not exit cleanly after SIGINT"
+    cat "$http_log"
+    exit 1
+fi
+grep -q 'final: ' "$http_log" || { echo "serve report missing"; exit 1; }
+rm -rf "$http_dir"
 
 echo "== tier1: OK =="

@@ -60,6 +60,7 @@ fn main() {
         Some("probe") => cmd_probe(&args[1..]),
         Some("classify") => cmd_classify(),
         Some("table1") => cmd_table1(),
+        Some("api-sample") => cmd_api_sample(&args[1..]),
         _ => {
             eprintln!(
                 "usage: honeylab <generate|analyze|serve|recover|probe|classify|table1> [options]\n\
@@ -74,10 +75,16 @@ fn main() {
                  \x20                                        or sessiondb store (format auto-detected)\n\
                  \x20        [--report NAME]...              run only the named reports (repeatable; default all):\n\
                  \x20                                        taxonomy categories passwords probes downloads mdrfckr\n\
+                 \x20        [--format text|json]            output format (json = honeylab-api v1 document\n\
+                 \x20                                        on stdout; text is the default)\n\
                  \x20        [--analysis-threads N]          analysis worker threads (default: CPU count;\n\
                  \x20                                        1 = serial; output identical at any N)\n\
                  serve                                    serve the honeypot over live TCP sockets\n\
                  \x20        [--ssh-port N] [--telnet-port N] listeners (0 = ephemeral; default ssh 2222)\n\
+                 \x20        [--http-port N] [--http-workers N] observability HTTP plane: /api/stats,\n\
+                 \x20                                        /api/sessions/recent, /api/credentials/top,\n\
+                 \x20                                        /api/health, /events (SSE); off by default\n\
+                 \x20        [--recent-tail N]               sessions kept for /api/sessions/recent (default 64)\n\
                  \x20        [--bind ADDR] [--store DIR]     bind address; spill sessions to a sessiondb store\n\
                  \x20        [--max-conns N] [--per-ip N]    admission limits (shed at accept time)\n\
                  \x20        [--workers N]                   worker shards (default: CPU count)\n\
@@ -93,7 +100,10 @@ fn main() {
                  probe ADDR [--count N]                   drive N scripted SSH sessions against a\n\
                  \x20                                        honeylab serve instance (smoke-test client)\n\
                  classify                                 classify stdin command lines (Table 1)\n\
-                 table1                                   print the classifier rule set"
+                 table1                                   print the classifier rule set\n\
+                 api-sample [KIND]                        print the canonical honeylab-api v1 sample\n\
+                 \x20                                        document for KIND (no KIND: list kinds);\n\
+                 \x20                                        these back the docs/api_v1 golden set"
             );
             2
         }
@@ -251,7 +261,9 @@ fn report_names() -> String {
 }
 
 /// Deprecated per-report flags from the pre-builder CLI; accepted (with a
-/// warning) but hidden from the usage text.
+/// warning) but hidden from the usage text. Removal window: these aliases
+/// are frozen with honeylab-api v1 and will be removed together with the
+/// first v2 release (see README "Deprecations").
 const DEPRECATED_REPORT_FLAGS: [&str; 6] = [
     "--taxonomy",
     "--categories",
@@ -261,8 +273,16 @@ const DEPRECATED_REPORT_FLAGS: [&str; 6] = [
     "--mdrfckr",
 ];
 
+/// How `analyze` prints its result.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum OutputFormat {
+    Text,
+    Json,
+}
+
 fn cmd_analyze(args: &[String]) -> i32 {
     let mut path: Option<&str> = None;
+    let mut format = OutputFormat::Text;
     let mut reports: Vec<ReportKind> = Vec::new();
     let mut threads = std::thread::available_parallelism()
         .map(|n| n.get())
@@ -300,9 +320,25 @@ fn cmd_analyze(args: &[String]) -> i32 {
                     return 2;
                 }
             }
+        } else if arg == "--format" {
+            i += 1;
+            match args.get(i).map(String::as_str) {
+                Some("text") => format = OutputFormat::Text,
+                Some("json") => format = OutputFormat::Json,
+                other => {
+                    eprintln!(
+                        "--format needs 'text' or 'json' (got {})",
+                        other.unwrap_or("nothing")
+                    );
+                    return 2;
+                }
+            }
         } else if DEPRECATED_REPORT_FLAGS.contains(&arg) {
             let name = &arg[2..];
-            eprintln!("warning: {arg} is deprecated; use --report {name}");
+            eprintln!(
+                "warning: {arg} is deprecated and will be removed with honeylab-api v2; \
+                 use --report {name}"
+            );
             let k = ReportKind::parse(name).expect("alias names mirror report names");
             select(&mut reports, k);
         } else if !arg.starts_with("--") && path.is_none() {
@@ -318,13 +354,18 @@ fn cmd_analyze(args: &[String]) -> i32 {
         return 2;
     };
     if is_sessiondb_path(path) {
-        analyze_sessiondb(path, &reports, threads)
+        analyze_sessiondb(path, &reports, threads, format)
     } else {
-        analyze_cowrie(path, &reports, threads)
+        analyze_cowrie(path, &reports, threads, format)
     }
 }
 
-fn analyze_sessiondb(path: &str, reports: &[ReportKind], threads: usize) -> i32 {
+fn analyze_sessiondb(
+    path: &str,
+    reports: &[ReportKind],
+    threads: usize,
+    format: OutputFormat,
+) -> i32 {
     // Read-only preview: `analyze` may run against a store a live
     // `serve` is still writing, so it never mutates — it only points at
     // `honeylab recover` when sealed segments don't tell the whole story.
@@ -375,7 +416,7 @@ fn analyze_sessiondb(path: &str, reports: &[ReportKind], threads: usize) -> i32 
         .run();
     match result {
         Ok(r) => {
-            render_analysis(&r);
+            emit_analysis(&r, format);
             0
         }
         Err(e) => {
@@ -385,7 +426,7 @@ fn analyze_sessiondb(path: &str, reports: &[ReportKind], threads: usize) -> i32 
     }
 }
 
-fn analyze_cowrie(path: &str, reports: &[ReportKind], threads: usize) -> i32 {
+fn analyze_cowrie(path: &str, reports: &[ReportKind], threads: usize, format: OutputFormat) -> i32 {
     let log = match std::fs::read_to_string(path) {
         Ok(s) => s,
         Err(e) => {
@@ -431,8 +472,18 @@ fn analyze_cowrie(path: &str, reports: &[ReportKind], threads: usize) -> i32 {
         }
     }
     eprintln!("parsed {} sessions", r.sessions);
-    render_analysis(&r);
+    emit_analysis(&r, format);
     0
+}
+
+/// Prints the analysis result in the selected format. JSON goes to
+/// stdout as one honeylab-api v1 document (diagnostics stay on stderr),
+/// so `analyze --format json | jq .data.taxonomy` just works.
+fn emit_analysis(r: &AnalysisReport, format: OutputFormat) {
+    match format {
+        OutputFormat::Text => render_analysis(r),
+        OutputFormat::Json => print!("{}", honeylab::core::api::analysis_json(r).pretty()),
+    }
 }
 
 /// Prints whichever reports the builder computed; unselected sections are
@@ -546,6 +597,13 @@ fn serve_config(args: &[String]) -> Result<ServeConfig, i32> {
     if let Some(n) = parse_flag(args, "--workers")? {
         cfg.workers = n;
     }
+    cfg.http_port = parse_flag(args, "--http-port")?;
+    if let Some(n) = parse_flag(args, "--http-workers")? {
+        cfg.http_workers = n;
+    }
+    if let Some(n) = parse_flag(args, "--recent-tail")? {
+        cfg.recent_tail = n;
+    }
     if let Some(s) = parse_flag::<u64>(args, "--idle-secs")? {
         cfg.idle_timeout = Duration::from_secs(s);
     }
@@ -588,6 +646,12 @@ fn serve_config(args: &[String]) -> Result<ServeConfig, i32> {
             cfg.chaos.seed
         );
     }
+    // The builder's invariants, applied to the flag-assembled config:
+    // bad combinations die here, before any socket is bound.
+    if let Err(e) = cfg.validate() {
+        eprintln!("invalid serve configuration: {e}");
+        return Err(2);
+    }
     Ok(cfg)
 }
 
@@ -621,6 +685,9 @@ fn cmd_serve(args: &[String]) -> i32 {
     if let Some(a) = addrs.telnet {
         eprintln!("listening telnet on {a}");
     }
+    if let Some(a) = addrs.http {
+        eprintln!("listening http on {a} (/api/stats, /api/health, /events …)");
+    }
     eprintln!("press Ctrl-C (or close stdin) to stop");
 
     // A second shutdown path besides SIGINT: supervising processes (and
@@ -652,11 +719,11 @@ fn cmd_serve(args: &[String]) -> i32 {
     eprintln!("shutting down: draining in-flight sessions…");
     match handle.join() {
         Ok(report) => {
-            eprintln!("final: {}", report.snapshot.render());
-            eprintln!(
-                "collector: {} accepted, {} dropped, {} quarantined",
-                report.ingest.accepted, report.ingest.dropped, report.quarantined
-            );
+            // One shared renderer (ServeReport::render) — the same
+            // counters the HTTP plane served as honeylab-api v1.
+            for line in report.render().lines() {
+                eprintln!("{line}");
+            }
             if let Some(dir) = store_dir {
                 eprintln!("sealed sessiondb store {}", dir.display());
             }
@@ -827,4 +894,71 @@ fn cmd_table1() -> i32 {
     }
     println!("{:<26} (fallback)", honeylab::core::UNKNOWN_LABEL);
     0
+}
+
+/// Every envelope kind `api-sample` can emit, with its sample document.
+/// These are the exact bytes committed under `docs/api_v1/`;
+/// `scripts/check_api_schema.sh` re-emits and diffs them in CI, so any
+/// schema drift must come with a golden update in the same change.
+fn api_sample_kinds() -> Vec<(&'static str, hutil::Json)> {
+    use honeylab::core::api;
+    use honeylab::serve::http::{error_json, index_json};
+    use honeylab::serve::stats::{
+        recovery_event_json, sample_record, session_event_json, ApiSnapshot, SessionSummary,
+    };
+    use honeylab::serve::ServeReport;
+    let snap = ApiSnapshot::sample();
+    let recovery = honeylab::sessiondb::RecoveryReport {
+        wal_found: true,
+        wal_stale: false,
+        wal_frames: 12,
+        wal_bytes_lost: 17,
+        recovered_rows: 12,
+        recovered_segment: None,
+        tmp_removed: 1,
+    };
+    vec![
+        (
+            "analysis",
+            api::analysis_json(&api::samples::analysis_report()),
+        ),
+        ("stats", snap.stats_json()),
+        ("sessions_recent", snap.recent_json()),
+        ("credentials_top", snap.credentials_json()),
+        ("health", snap.health_json()),
+        ("serve_report", ServeReport::sample().api_json()),
+        (
+            "session_event",
+            session_event_json(&SessionSummary::of(&sample_record(1, 1_700_000_100))),
+        ),
+        ("recovery_event", recovery_event_json(&recovery)),
+        ("index", index_json()),
+        ("error", error_json(404, "unknown endpoint")),
+    ]
+}
+
+/// `honeylab api-sample [KIND]`: print the canonical honeylab-api v1
+/// sample document for KIND; with no KIND, list the kinds.
+fn cmd_api_sample(args: &[String]) -> i32 {
+    let kinds = api_sample_kinds();
+    match args.iter().find(|a| !a.starts_with("--")) {
+        None => {
+            for (kind, _) in &kinds {
+                println!("{kind}");
+            }
+            0
+        }
+        Some(kind) => match kinds.into_iter().find(|(k, _)| k == kind) {
+            Some((_, doc)) => {
+                print!("{}", doc.pretty());
+                0
+            }
+            None => {
+                eprintln!(
+                    "unknown api-sample kind '{kind}' (run `honeylab api-sample` for the list)"
+                );
+                2
+            }
+        },
+    }
 }
