@@ -197,13 +197,20 @@ impl<'s> Conn<'s> {
     }
 
     fn machine_output(&mut self) -> usize {
-        let chunk: Vec<u8> = match &mut self.machine {
-            Machine::Ssh(s) => s.take_output().to_vec(),
-            Machine::Telnet(t) => t.take_output(),
-        };
-        let n = chunk.len();
-        self.pending_out.extend_from_slice(&chunk);
-        n
+        // One copy, straight into pending_out (which may be a pooled
+        // buffer) — no intermediate Vec per pump round.
+        match &mut self.machine {
+            Machine::Ssh(s) => {
+                let chunk = s.take_output();
+                self.pending_out.extend_from_slice(&chunk);
+                chunk.len()
+            }
+            Machine::Telnet(t) => {
+                let chunk = t.take_output();
+                self.pending_out.extend_from_slice(&chunk);
+                chunk.len()
+            }
+        }
     }
 
     fn machine_input(&mut self, data: &[u8]) -> Result<(), ()> {
@@ -230,10 +237,25 @@ impl<'s> Conn<'s> {
         session_timeout: Duration,
         stats: &ServeStats,
     ) -> bool {
+        let mut buf = [0u8; 4096];
+        self.pump_buf(&mut buf, now, idle_timeout, session_timeout, stats)
+    }
+
+    /// [`Conn::pump`] with a caller-supplied read buffer, so a reactor
+    /// shard can share one scratch buffer across all its connections
+    /// instead of burning 4 KiB of stack (or a fresh allocation) per
+    /// pump.
+    pub(crate) fn pump_buf(
+        &mut self,
+        buf: &mut [u8],
+        now: Instant,
+        idle_timeout: Duration,
+        session_timeout: Duration,
+        stats: &ServeStats,
+    ) -> bool {
         if self.ending.is_some() {
             return true;
         }
-        let mut buf = [0u8; 4096];
         // Loop until neither direction makes progress, so a whole
         // handshake round-trip completes in one pump when the bytes are
         // already buffered.
@@ -263,7 +285,7 @@ impl<'s> Conn<'s> {
             }
 
             // Reader half: feed whatever the socket has to the machine.
-            match self.stream.read(&mut buf) {
+            match self.stream.read(&mut *buf) {
                 Ok(0) => {
                     self.ending = Some(Ending::Client);
                     return true;
@@ -307,6 +329,43 @@ impl<'s> Conn<'s> {
     /// Source address of this connection.
     pub fn client_ip(&self) -> netsim::Ipv4Addr {
         self.client_ip
+    }
+
+    /// Whether output is queued for the socket — the reactor arms write
+    /// interest only while this is true.
+    pub(crate) fn wants_write(&self) -> bool {
+        !self.pending_out.is_empty()
+    }
+
+    /// The connection's next deadline: whichever of the idle and
+    /// total-session timeouts comes first. The reactor's timer wheel
+    /// re-checks this on fire, so activity pushes the deadline without
+    /// rescheduling.
+    pub(crate) fn deadline(&self, idle_timeout: Duration, session_timeout: Duration) -> Instant {
+        let idle = self.last_activity + idle_timeout;
+        let session = self.started + session_timeout;
+        idle.min(session)
+    }
+
+    /// Donates a pooled buffer as the `pending_out` backing store.
+    /// Call right after construction, before any pump.
+    pub(crate) fn adopt_out_buffer(&mut self, mut buf: Vec<u8>) {
+        debug_assert!(self.pending_out.is_empty());
+        buf.clear();
+        self.pending_out = buf;
+    }
+
+    /// Reclaims the `pending_out` backing store for the pool. The
+    /// connection must be finished (or about to be dropped).
+    pub(crate) fn reclaim_out_buffer(&mut self) -> Vec<u8> {
+        std::mem::take(&mut self.pending_out)
+    }
+
+    /// Raw fd for poller registration.
+    #[cfg(unix)]
+    pub(crate) fn raw_fd(&self) -> i32 {
+        use std::os::unix::io::AsRawFd;
+        self.stream.as_raw_fd()
     }
 
     /// Force-closes an in-flight connection (drain timeout during

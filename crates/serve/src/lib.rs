@@ -41,9 +41,11 @@
 //!   close → shards drain in-flight sessions (bounded by a drain timeout)
 //!   → collector retries flush → the final partial segment is sealed.
 
+pub mod barrage;
 pub mod broadcast;
 pub mod conn;
 pub mod http;
+pub mod reactor;
 pub mod server;
 pub mod signal;
 pub mod sse;
@@ -133,6 +135,40 @@ impl ChaosConfig {
 
 impl std::error::Error for ServeError {}
 
+/// Which serving engine drives the worker shards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Engine {
+    /// Readiness-driven reactor shards: epoll (Linux) or poll(2)
+    /// (other unixes), eventfd-style wakeups, timer-wheel deadlines.
+    /// The default wherever a readiness API exists.
+    #[default]
+    Reactor,
+    /// The legacy nap-based polling shards, kept as the measurable
+    /// baseline (`honeylab serve --engine polled`) and as the fallback
+    /// on platforms without a readiness API. Its naps are adaptive
+    /// (spin → yield → park) rather than fixed.
+    Polled,
+}
+
+impl Engine {
+    /// Parses a CLI value.
+    pub fn parse(s: &str) -> Option<Engine> {
+        match s {
+            "reactor" => Some(Engine::Reactor),
+            "polled" => Some(Engine::Polled),
+            _ => None,
+        }
+    }
+
+    /// The CLI spelling.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Engine::Reactor => "reactor",
+            Engine::Polled => "polled",
+        }
+    }
+}
+
 /// Tuning knobs for a live server. The defaults are sized for the
 /// loopback smoke tests; a production deployment raises the cap and the
 /// worker count.
@@ -185,6 +221,9 @@ pub struct ServeConfig {
     pub http_workers: usize,
     /// How many completed sessions `/api/sessions/recent` retains.
     pub recent_tail: usize,
+    /// Which serving engine drives the shards (reactor by default;
+    /// polled is the measurable baseline / non-unix fallback).
+    pub engine: Engine,
 }
 
 impl Default for ServeConfig {
@@ -212,6 +251,7 @@ impl Default for ServeConfig {
             http_port: None,
             http_workers: 2,
             recent_tail: 64,
+            engine: Engine::default(),
         }
     }
 }
@@ -433,6 +473,12 @@ impl ServeConfigBuilder {
         self
     }
 
+    /// Serving engine (reactor or polled baseline).
+    pub fn engine(mut self, engine: Engine) -> Self {
+        self.cfg.engine = engine;
+        self
+    }
+
     /// Validates and returns the config.
     pub fn build(self) -> Result<ServeConfig, ConfigError> {
         self.cfg.validate()?;
@@ -625,6 +671,14 @@ impl Gate {
         self.active.load(Ordering::Relaxed)
     }
 
+    /// How many distinct IPs currently hold at least one slot. The
+    /// per-IP table must not grow with *historical* clients — an entry
+    /// whose count hits zero is removed — or eight years of honeypot
+    /// uptime leaks one map entry per scanner on the internet.
+    pub fn tracked_ips(&self) -> usize {
+        self.per_ip.lock().len()
+    }
+
     /// RAII form of [`Gate::try_admit`]: on success the returned permit
     /// releases the slot (and the `active` stats gauge) when dropped —
     /// on *any* path, including a panicking connection pump or a dying
@@ -696,6 +750,56 @@ mod tests {
         g.release(a);
         assert_eq!(g.try_admit(a), Admission::Admitted);
         assert_eq!(g.active(), 2);
+    }
+
+    #[test]
+    fn gate_per_ip_slot_churn_never_leaks_or_wedges() {
+        // Rapid connect/disconnect from one IP — the botnet pattern —
+        // must neither leak per-IP table entries nor let the count
+        // drift (a drift in either direction eventually wedges the IP
+        // out permanently or disables its limit).
+        let g = Arc::new(Gate::new(64, 4));
+        let stats = Arc::new(ServeStats::default());
+        let ip = netsim::Ipv4Addr(0x7F00_0001);
+        for _ in 0..1_000 {
+            let a = g.admit(ip, &stats).expect("slot 1");
+            let b = g.admit(ip, &stats).expect("slot 2");
+            drop(a);
+            let c = g.admit(ip, &stats).expect("slot 2 again");
+            drop(c);
+            drop(b);
+        }
+        assert_eq!(g.active(), 0);
+        assert_eq!(g.tracked_ips(), 0, "drained IP must leave the table");
+        assert_eq!(stats.active.load(Ordering::Relaxed), 0);
+
+        // Same property under cross-thread churn: 8 threads hammering
+        // connect/disconnect on two IPs against the per-IP limit.
+        let mut handles = Vec::new();
+        for t in 0..8u32 {
+            let g = Arc::clone(&g);
+            let stats = Arc::clone(&stats);
+            handles.push(std::thread::spawn(move || {
+                let ip = netsim::Ipv4Addr(0x0A00_0000 | (t % 2));
+                let mut admitted = 0u32;
+                while admitted < 500 {
+                    match g.admit(ip, &stats) {
+                        Ok(permit) => {
+                            admitted += 1;
+                            drop(permit);
+                        }
+                        Err(Admission::OverPerIpLimit) => std::thread::yield_now(),
+                        Err(other) => panic!("unexpected admission failure: {other:?}"),
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(g.active(), 0);
+        assert_eq!(g.tracked_ips(), 0, "churned IPs must leave the table");
+        assert_eq!(stats.active.load(Ordering::Relaxed), 0);
     }
 
     #[test]

@@ -1,0 +1,1067 @@
+//! Readiness-driven reactor primitives: a dependency-free poller
+//! (epoll on Linux, poll(2) on other unixes), an eventfd-style waker, a
+//! lock-free bounded intake queue, a coarse timer wheel, and an
+//! adaptive backoff for the paths that still have to wait.
+//!
+//! Like [`crate::signal`], the OS surface is a tiny hand-declared FFI
+//! shim — no libc crate, no mio. Everything here is allocation-light on
+//! the hot path: `epoll_wait` returns only ready fds, the intake queue
+//! is a Vyukov bounded MPMC ring (two accept threads may feed one
+//! shard), and timers amortize to O(1) per tick via hashed wheel slots.
+
+use std::collections::HashMap;
+use std::io;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+/// What a registration wants to hear about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interest {
+    /// Wake when the fd is readable (or hung up / errored).
+    pub readable: bool,
+    /// Wake when the fd is writable.
+    pub writable: bool,
+}
+
+impl Interest {
+    /// Read-only interest — the steady state of an idle connection.
+    pub const READ: Interest = Interest {
+        readable: true,
+        writable: false,
+    };
+    /// Read+write interest — armed while output is queued.
+    pub const READ_WRITE: Interest = Interest {
+        readable: true,
+        writable: true,
+    };
+}
+
+/// One readiness event out of [`Poller::wait`]. Error/hangup conditions
+/// are folded into `readable`: the next pump discovers the EOF or the
+/// socket error itself, which is the same path a clean close takes.
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    /// The token the fd was registered under.
+    pub token: u64,
+    /// Readable, hung up, or errored.
+    pub readable: bool,
+    /// Writable.
+    pub writable: bool,
+}
+
+// ---------------------------------------------------------------------------
+// Linux: epoll via raw FFI (mirroring the `serve::signal` shim).
+// ---------------------------------------------------------------------------
+
+#[cfg(target_os = "linux")]
+mod sys {
+    use super::{Event, Interest};
+    use std::io;
+
+    const EPOLL_CLOEXEC: i32 = 0o200_0000;
+    const EPOLL_CTL_ADD: i32 = 1;
+    const EPOLL_CTL_DEL: i32 = 2;
+    const EPOLL_CTL_MOD: i32 = 3;
+    const EPOLLIN: u32 = 0x001;
+    const EPOLLOUT: u32 = 0x004;
+    const EPOLLERR: u32 = 0x008;
+    const EPOLLHUP: u32 = 0x010;
+    const EPOLLRDHUP: u32 = 0x2000;
+
+    /// The kernel's `struct epoll_event`. Packed on x86-64 (the kernel
+    /// ABI really is unaligned there), naturally aligned elsewhere.
+    #[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+    #[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+    #[derive(Clone, Copy)]
+    struct EpollEvent {
+        events: u32,
+        data: u64,
+    }
+
+    extern "C" {
+        fn epoll_create1(flags: i32) -> i32;
+        fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+        fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout: i32) -> i32;
+        fn close(fd: i32) -> i32;
+    }
+
+    fn mask(interest: Interest) -> u32 {
+        let mut m = EPOLLRDHUP;
+        if interest.readable {
+            m |= EPOLLIN;
+        }
+        if interest.writable {
+            m |= EPOLLOUT;
+        }
+        m
+    }
+
+    /// An epoll instance. Registration is O(1) in the kernel; `wait`
+    /// returns only ready fds, so an idle shard costs nothing per
+    /// connection.
+    pub struct Poller {
+        epfd: i32,
+        buf: Vec<EpollEvent>,
+    }
+
+    impl Poller {
+        pub fn new() -> io::Result<Poller> {
+            let epfd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+            if epfd < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(Poller {
+                epfd,
+                buf: vec![EpollEvent { events: 0, data: 0 }; 256],
+            })
+        }
+
+        fn ctl(&self, op: i32, fd: i32, interest: Interest, token: u64) -> io::Result<()> {
+            let mut ev = EpollEvent {
+                events: mask(interest),
+                data: token,
+            };
+            if unsafe { epoll_ctl(self.epfd, op, fd, &mut ev) } < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(())
+        }
+
+        pub fn register(&mut self, fd: i32, token: u64, interest: Interest) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_ADD, fd, interest, token)
+        }
+
+        pub fn reregister(&mut self, fd: i32, token: u64, interest: Interest) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_MOD, fd, interest, token)
+        }
+
+        pub fn deregister(&mut self, fd: i32) -> io::Result<()> {
+            let mut ev = EpollEvent { events: 0, data: 0 };
+            if unsafe { epoll_ctl(self.epfd, EPOLL_CTL_DEL, fd, &mut ev) } < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(())
+        }
+
+        pub fn wait(&mut self, timeout: super::Duration, out: &mut Vec<Event>) -> io::Result<()> {
+            out.clear();
+            let ms = timeout.as_millis().min(i32::MAX as u128) as i32;
+            let n =
+                unsafe { epoll_wait(self.epfd, self.buf.as_mut_ptr(), self.buf.len() as i32, ms) };
+            if n < 0 {
+                let err = io::Error::last_os_error();
+                if err.kind() == io::ErrorKind::Interrupted {
+                    return Ok(());
+                }
+                return Err(err);
+            }
+            for ev in &self.buf[..n as usize] {
+                let bits = ev.events;
+                out.push(Event {
+                    token: ev.data,
+                    readable: bits & (EPOLLIN | EPOLLERR | EPOLLHUP | EPOLLRDHUP) != 0,
+                    writable: bits & EPOLLOUT != 0,
+                });
+            }
+            if n as usize == self.buf.len() {
+                // Saturated the event buffer: grow so a burst does not
+                // take multiple wait calls to observe.
+                let len = self.buf.len() * 2;
+                self.buf.resize(len, EpollEvent { events: 0, data: 0 });
+            }
+            Ok(())
+        }
+    }
+
+    impl Drop for Poller {
+        fn drop(&mut self) {
+            unsafe {
+                close(self.epfd);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Other unixes: poll(2). O(n) per wait, but still readiness-driven —
+// no per-connection naps, and the same Poller surface.
+// ---------------------------------------------------------------------------
+
+#[cfg(all(unix, not(target_os = "linux")))]
+mod sys {
+    use super::{Event, Interest};
+    use std::collections::HashMap;
+    use std::io;
+
+    const POLLIN: i16 = 0x001;
+    const POLLOUT: i16 = 0x004;
+    const POLLERR: i16 = 0x008;
+    const POLLHUP: i16 = 0x010;
+
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    struct Pollfd {
+        fd: i32,
+        events: i16,
+        revents: i16,
+    }
+
+    extern "C" {
+        fn poll(fds: *mut Pollfd, nfds: u32, timeout: i32) -> i32;
+    }
+
+    fn mask(interest: Interest) -> i16 {
+        let mut m = 0;
+        if interest.readable {
+            m |= POLLIN;
+        }
+        if interest.writable {
+            m |= POLLOUT;
+        }
+        m
+    }
+
+    pub struct Poller {
+        fds: Vec<Pollfd>,
+        tokens: Vec<u64>,
+        index: HashMap<i32, usize>,
+    }
+
+    impl Poller {
+        pub fn new() -> io::Result<Poller> {
+            Ok(Poller {
+                fds: Vec::new(),
+                tokens: Vec::new(),
+                index: HashMap::new(),
+            })
+        }
+
+        pub fn register(&mut self, fd: i32, token: u64, interest: Interest) -> io::Result<()> {
+            if self.index.contains_key(&fd) {
+                return Err(io::Error::new(
+                    io::ErrorKind::AlreadyExists,
+                    "fd registered",
+                ));
+            }
+            self.index.insert(fd, self.fds.len());
+            self.fds.push(Pollfd {
+                fd,
+                events: mask(interest),
+                revents: 0,
+            });
+            self.tokens.push(token);
+            Ok(())
+        }
+
+        pub fn reregister(&mut self, fd: i32, token: u64, interest: Interest) -> io::Result<()> {
+            let &i = self
+                .index
+                .get(&fd)
+                .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, "fd not registered"))?;
+            self.fds[i].events = mask(interest);
+            self.tokens[i] = token;
+            Ok(())
+        }
+
+        pub fn deregister(&mut self, fd: i32) -> io::Result<()> {
+            let i = self
+                .index
+                .remove(&fd)
+                .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, "fd not registered"))?;
+            self.fds.swap_remove(i);
+            self.tokens.swap_remove(i);
+            if i < self.fds.len() {
+                self.index.insert(self.fds[i].fd, i);
+            }
+            Ok(())
+        }
+
+        pub fn wait(&mut self, timeout: super::Duration, out: &mut Vec<Event>) -> io::Result<()> {
+            out.clear();
+            let ms = timeout.as_millis().min(i32::MAX as u128) as i32;
+            let n = unsafe { poll(self.fds.as_mut_ptr(), self.fds.len() as u32, ms) };
+            if n < 0 {
+                let err = io::Error::last_os_error();
+                if err.kind() == io::ErrorKind::Interrupted {
+                    return Ok(());
+                }
+                return Err(err);
+            }
+            for (pfd, &token) in self.fds.iter().zip(&self.tokens) {
+                let bits = pfd.revents;
+                if bits == 0 {
+                    continue;
+                }
+                out.push(Event {
+                    token,
+                    readable: bits & (POLLIN | POLLERR | POLLHUP) != 0,
+                    writable: bits & POLLOUT != 0,
+                });
+            }
+            Ok(())
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Non-unix: no readiness API without a dependency. The server falls
+// back to the polled engine there; constructing a Poller reports
+// Unsupported so callers can make that choice at runtime.
+// ---------------------------------------------------------------------------
+
+#[cfg(not(unix))]
+mod sys {
+    use super::{Event, Interest};
+    use std::io;
+
+    pub struct Poller;
+
+    impl Poller {
+        pub fn new() -> io::Result<Poller> {
+            Err(io::Error::new(
+                io::ErrorKind::Unsupported,
+                "no readiness API on this platform",
+            ))
+        }
+
+        pub fn register(&mut self, _fd: i32, _token: u64, _interest: Interest) -> io::Result<()> {
+            unreachable!("Poller::new never succeeds off unix")
+        }
+
+        pub fn reregister(&mut self, _fd: i32, _token: u64, _interest: Interest) -> io::Result<()> {
+            unreachable!("Poller::new never succeeds off unix")
+        }
+
+        pub fn deregister(&mut self, _fd: i32) -> io::Result<()> {
+            unreachable!("Poller::new never succeeds off unix")
+        }
+
+        pub fn wait(&mut self, _timeout: super::Duration, _out: &mut Vec<Event>) -> io::Result<()> {
+            unreachable!("Poller::new never succeeds off unix")
+        }
+    }
+}
+
+pub use sys::Poller;
+
+/// Whether this build has a real readiness backend.
+pub fn poller_supported() -> bool {
+    cfg!(unix)
+}
+
+// ---------------------------------------------------------------------------
+// Waker: cross-thread wakeup for a poller blocked in wait().
+// ---------------------------------------------------------------------------
+
+/// Wakes a poller blocked in [`Poller::wait`] from another thread. On
+/// Linux this is an eventfd (one fd, one syscall per wake); on other
+/// unixes a socketpair. The read side registers under
+/// [`Waker::TOKEN`]; [`Waker::drain`] must run when that token fires,
+/// or a level-triggered poller spins.
+pub struct Waker {
+    inner: waker_impl::WakerImpl,
+    /// Collapses redundant wakes: producers only write the fd when the
+    /// flag was clear, so a storm of pushes costs one syscall.
+    armed: AtomicBool,
+}
+
+/// Token the waker's read side registers under — disjoint from slab
+/// indices, which count up from 0.
+impl Waker {
+    /// Reserved token for the waker fd.
+    pub const TOKEN: u64 = u64::MAX;
+
+    /// Creates a waker pair (read side + write side in one object).
+    pub fn new() -> io::Result<Waker> {
+        Ok(Waker {
+            inner: waker_impl::WakerImpl::new()?,
+            armed: AtomicBool::new(false),
+        })
+    }
+
+    /// The fd to register for read interest.
+    pub fn fd(&self) -> i32 {
+        self.inner.fd()
+    }
+
+    /// Signals the poller. Cheap when a wake is already pending.
+    pub fn wake(&self) {
+        if self
+            .armed
+            .compare_exchange(false, true, Ordering::AcqRel, Ordering::Relaxed)
+            .is_ok()
+        {
+            self.inner.wake();
+        }
+    }
+
+    /// Consumes the pending wake; call when [`Waker::TOKEN`] fires.
+    pub fn drain(&self) {
+        self.inner.drain();
+        self.armed.store(false, Ordering::Release);
+    }
+}
+
+#[cfg(target_os = "linux")]
+mod waker_impl {
+    use std::io;
+
+    const EFD_CLOEXEC: i32 = 0o200_0000;
+    const EFD_NONBLOCK: i32 = 0o4000;
+
+    extern "C" {
+        fn eventfd(initval: u32, flags: i32) -> i32;
+        fn read(fd: i32, buf: *mut u8, count: usize) -> isize;
+        fn write(fd: i32, buf: *const u8, count: usize) -> isize;
+        fn close(fd: i32) -> i32;
+    }
+
+    pub struct WakerImpl {
+        fd: i32,
+    }
+
+    impl WakerImpl {
+        pub fn new() -> io::Result<WakerImpl> {
+            let fd = unsafe { eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK) };
+            if fd < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(WakerImpl { fd })
+        }
+
+        pub fn fd(&self) -> i32 {
+            self.fd
+        }
+
+        pub fn wake(&self) {
+            let one: u64 = 1;
+            unsafe {
+                write(self.fd, (&one as *const u64).cast(), 8);
+            }
+        }
+
+        pub fn drain(&self) {
+            let mut buf = [0u8; 8];
+            unsafe {
+                read(self.fd, buf.as_mut_ptr(), 8);
+            }
+        }
+    }
+
+    impl Drop for WakerImpl {
+        fn drop(&mut self) {
+            unsafe {
+                close(self.fd);
+            }
+        }
+    }
+
+    unsafe impl Send for WakerImpl {}
+    unsafe impl Sync for WakerImpl {}
+}
+
+#[cfg(all(unix, not(target_os = "linux")))]
+mod waker_impl {
+    use std::io::{self, Read, Write};
+    use std::os::unix::io::AsRawFd;
+    use std::os::unix::net::UnixStream;
+    use std::sync::Mutex;
+
+    pub struct WakerImpl {
+        // Mutex only guards the rare wake/drain syscalls; the armed
+        // flag upstream already collapses contention.
+        reader: Mutex<UnixStream>,
+        writer: Mutex<UnixStream>,
+        read_fd: i32,
+    }
+
+    impl WakerImpl {
+        pub fn new() -> io::Result<WakerImpl> {
+            let (reader, writer) = UnixStream::pair()?;
+            reader.set_nonblocking(true)?;
+            writer.set_nonblocking(true)?;
+            let read_fd = reader.as_raw_fd();
+            Ok(WakerImpl {
+                reader: Mutex::new(reader),
+                writer: Mutex::new(writer),
+                read_fd,
+            })
+        }
+
+        pub fn fd(&self) -> i32 {
+            self.read_fd
+        }
+
+        pub fn wake(&self) {
+            if let Ok(mut w) = self.writer.lock() {
+                let _ = w.write(&[1u8]);
+            }
+        }
+
+        pub fn drain(&self) {
+            if let Ok(mut r) = self.reader.lock() {
+                let mut buf = [0u8; 64];
+                while matches!(r.read(&mut buf), Ok(n) if n > 0) {}
+            }
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod waker_impl {
+    use std::io;
+
+    pub struct WakerImpl;
+
+    impl WakerImpl {
+        pub fn new() -> io::Result<WakerImpl> {
+            Ok(WakerImpl)
+        }
+
+        pub fn fd(&self) -> i32 {
+            -1
+        }
+
+        pub fn wake(&self) {}
+
+        pub fn drain(&self) {}
+    }
+}
+
+// ---------------------------------------------------------------------------
+// ShardQueue: bounded lock-free MPMC ring (Vyukov), used as the
+// accept→shard handoff. MPMC rather than strict SPSC because the ssh
+// and telnet accept threads both produce into one shard, and the
+// supervisor's respawned shard thread replaces the dead consumer.
+// ---------------------------------------------------------------------------
+
+#[repr(align(64))]
+struct CachePadded<T>(T);
+
+struct Slot<T> {
+    seq: AtomicUsize,
+    value: std::cell::UnsafeCell<std::mem::MaybeUninit<T>>,
+}
+
+/// Bounded lock-free queue with a close/hangup protocol: producers
+/// register via [`ShardQueue::add_producer`]; when the last one calls
+/// [`ShardQueue::remove_producer`], the queue reports
+/// [`PopResult::Closed`] once drained — the shard's signal to exit.
+pub struct ShardQueue<T> {
+    mask: usize,
+    slots: Box<[Slot<T>]>,
+    head: CachePadded<AtomicUsize>,
+    tail: CachePadded<AtomicUsize>,
+    producers: AtomicUsize,
+}
+
+unsafe impl<T: Send> Send for ShardQueue<T> {}
+unsafe impl<T: Send> Sync for ShardQueue<T> {}
+
+/// Outcome of [`ShardQueue::pop`].
+pub enum PopResult<T> {
+    /// An item.
+    Item(T),
+    /// Nothing right now, but producers remain.
+    Empty,
+    /// Drained and every producer has hung up.
+    Closed,
+}
+
+impl<T> ShardQueue<T> {
+    /// Capacity is rounded up to the next power of two, minimum 2.
+    pub fn with_capacity(capacity: usize) -> ShardQueue<T> {
+        let cap = capacity.max(2).next_power_of_two();
+        let slots = (0..cap)
+            .map(|i| Slot {
+                seq: AtomicUsize::new(i),
+                value: std::cell::UnsafeCell::new(std::mem::MaybeUninit::uninit()),
+            })
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        ShardQueue {
+            mask: cap - 1,
+            slots,
+            head: CachePadded(AtomicUsize::new(0)),
+            tail: CachePadded(AtomicUsize::new(0)),
+            producers: AtomicUsize::new(0),
+        }
+    }
+
+    /// Registers a producer; pair with [`ShardQueue::remove_producer`].
+    pub fn add_producer(&self) {
+        self.producers.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// Deregisters a producer. When the count reaches zero the queue is
+    /// closed: consumers see [`PopResult::Closed`] after draining.
+    pub fn remove_producer(&self) {
+        self.producers.fetch_sub(1, Ordering::AcqRel);
+    }
+
+    /// Whether every producer has hung up.
+    pub fn is_closed(&self) -> bool {
+        self.producers.load(Ordering::Acquire) == 0
+    }
+
+    /// Attempts to enqueue; returns the value back when full.
+    pub fn push(&self, value: T) -> Result<(), T> {
+        let mut tail = self.tail.0.load(Ordering::Relaxed);
+        loop {
+            let slot = &self.slots[tail & self.mask];
+            let seq = slot.seq.load(Ordering::Acquire);
+            let dif = seq as isize - tail as isize;
+            if dif == 0 {
+                match self.tail.0.compare_exchange_weak(
+                    tail,
+                    tail.wrapping_add(1),
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        unsafe {
+                            (*slot.value.get()).write(value);
+                        }
+                        slot.seq.store(tail.wrapping_add(1), Ordering::Release);
+                        return Ok(());
+                    }
+                    Err(t) => tail = t,
+                }
+            } else if dif < 0 {
+                return Err(value); // full
+            } else {
+                tail = self.tail.0.load(Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Attempts to dequeue.
+    pub fn pop(&self) -> PopResult<T> {
+        let mut head = self.head.0.load(Ordering::Relaxed);
+        loop {
+            let slot = &self.slots[head & self.mask];
+            let seq = slot.seq.load(Ordering::Acquire);
+            let dif = seq as isize - (head.wrapping_add(1)) as isize;
+            if dif == 0 {
+                match self.head.0.compare_exchange_weak(
+                    head,
+                    head.wrapping_add(1),
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        let value = unsafe { (*slot.value.get()).assume_init_read() };
+                        slot.seq
+                            .store(head.wrapping_add(self.mask + 1), Ordering::Release);
+                        return PopResult::Item(value);
+                    }
+                    Err(h) => head = h,
+                }
+            } else if dif < 0 {
+                // Empty. Re-check the producer count *after* observing
+                // emptiness so a final push before hangup is never lost.
+                if self.is_closed() {
+                    let tail = self.tail.0.load(Ordering::Acquire);
+                    if tail == head {
+                        return PopResult::Closed;
+                    }
+                    head = self.head.0.load(Ordering::Relaxed);
+                    continue;
+                }
+                return PopResult::Empty;
+            } else {
+                head = self.head.0.load(Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+impl<T> Drop for ShardQueue<T> {
+    fn drop(&mut self) {
+        // Release queued values (e.g. Admitted carrying gate permits).
+        while let PopResult::Item(v) = self.pop() {
+            drop(v);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Timer wheel: hashed wheel with coarse ticks. Entries carry their real
+// deadline, so a slot hit only *checks* expiry — wrapped entries are
+// re-inserted. Stale entries die via per-token generations.
+// ---------------------------------------------------------------------------
+
+/// Coarse hashed timer wheel. `fire` returns `(token, generation)`
+/// pairs whose deadline has passed; the caller validates the generation
+/// against its live table, so cancelling is free (just bump the
+/// generation when the connection finishes).
+pub struct TimerWheel {
+    slots: Vec<Vec<WheelEntry>>,
+    tick: Duration,
+    /// Absolute tick index of the cursor slot.
+    cursor: u64,
+    origin: Instant,
+    scratch: Vec<WheelEntry>,
+}
+
+#[derive(Clone, Copy)]
+struct WheelEntry {
+    token: u64,
+    generation: u64,
+    deadline: Instant,
+}
+
+impl TimerWheel {
+    /// A wheel of `slots` buckets of `tick` width. With 256 × 250ms the
+    /// horizon is 64s; longer deadlines just re-insert on wrap.
+    pub fn new(slots: usize, tick: Duration, now: Instant) -> TimerWheel {
+        TimerWheel {
+            slots: (0..slots.max(2)).map(|_| Vec::new()).collect(),
+            tick,
+            cursor: 0,
+            origin: now,
+            scratch: Vec::new(),
+        }
+    }
+
+    fn slot_for(&self, deadline: Instant) -> usize {
+        let ticks_from_origin = deadline
+            .saturating_duration_since(self.origin)
+            .as_nanos()
+            .checked_div(self.tick.as_nanos())
+            .unwrap_or(0) as u64;
+        // Never the cursor slot itself: at least one tick out, at most
+        // a full revolution ahead (wrapped entries re-insert on check).
+        let ahead = ticks_from_origin
+            .saturating_sub(self.cursor)
+            .clamp(1, self.slots.len() as u64 - 1);
+        ((self.cursor + ahead) % self.slots.len() as u64) as usize
+    }
+
+    /// Schedules `(token, generation)` to fire at `deadline`.
+    pub fn insert(&mut self, token: u64, generation: u64, deadline: Instant) {
+        let slot = self.slot_for(deadline);
+        self.slots[slot].push(WheelEntry {
+            token,
+            generation,
+            deadline,
+        });
+    }
+
+    /// Advances the wheel to `now`, appending expired `(token,
+    /// generation)` pairs to `expired`.
+    pub fn advance(&mut self, now: Instant, expired: &mut Vec<(u64, u64)>) {
+        let target = now
+            .saturating_duration_since(self.origin)
+            .as_nanos()
+            .checked_div(self.tick.as_nanos())
+            .unwrap_or(0) as u64;
+        while self.cursor < target {
+            self.cursor += 1;
+            let slot = (self.cursor % self.slots.len() as u64) as usize;
+            self.scratch.clear();
+            self.scratch.append(&mut self.slots[slot]);
+            for entry in std::mem::take(&mut self.scratch) {
+                if entry.deadline <= now {
+                    expired.push((entry.token, entry.generation));
+                } else {
+                    // Wrapped: this revolution was too early. Re-hash.
+                    let slot = self.slot_for(entry.deadline);
+                    self.slots[slot].push(entry);
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Backoff: the satellite fix for the fixed 500µs/200µs/2ms naps. The
+// fallback paths that still have to wait escalate spin → yield → park
+// instead of sleeping a constant.
+// ---------------------------------------------------------------------------
+
+/// Adaptive wait for loops with nothing to do: a few spin hints, then
+/// scheduler yields, then exponentially growing parks up to `cap`.
+/// Reset on any progress.
+pub struct Backoff {
+    step: u32,
+    cap: Duration,
+}
+
+impl Backoff {
+    /// A backoff whose longest park is `cap`.
+    pub fn new(cap: Duration) -> Backoff {
+        Backoff { step: 0, cap }
+    }
+
+    /// Signal progress: the next wait starts from a spin again.
+    pub fn reset(&mut self) {
+        self.step = 0;
+    }
+
+    /// Wait a little, escalating each consecutive call.
+    pub fn wait(&mut self) {
+        match self.step {
+            0..=2 => {
+                for _ in 0..(1 << self.step) {
+                    std::hint::spin_loop();
+                }
+            }
+            3..=5 => std::thread::yield_now(),
+            s => {
+                let exp = (s - 6).min(10);
+                let park = Duration::from_micros(20u64 << exp).min(self.cap);
+                std::thread::sleep(park);
+            }
+        }
+        self.step = self.step.saturating_add(1);
+    }
+}
+
+/// Interest for a connection: always readable, writable only while
+/// output is queued (level-triggered, so writable interest on an idle
+/// socket would busy-spin the poller).
+pub fn conn_interest(wants_write: bool) -> Interest {
+    if wants_write {
+        Interest::READ_WRITE
+    } else {
+        Interest::READ
+    }
+}
+
+/// Book-keeping map from fd → last armed interest, so reregistration
+/// only hits the kernel when the interest actually changed.
+#[derive(Default)]
+pub struct InterestCache {
+    armed: HashMap<i32, Interest>,
+}
+
+impl InterestCache {
+    /// Records a fresh registration.
+    pub fn insert(&mut self, fd: i32, interest: Interest) {
+        self.armed.insert(fd, interest);
+    }
+
+    /// Removes a registration.
+    pub fn remove(&mut self, fd: i32) {
+        self.armed.remove(&fd);
+    }
+
+    /// Returns `true` (and updates the cache) when `interest` differs
+    /// from what is currently armed for `fd`.
+    pub fn changed(&mut self, fd: i32, interest: Interest) -> bool {
+        match self.armed.get_mut(&fd) {
+            Some(cur) if *cur == interest => false,
+            Some(cur) => {
+                *cur = interest;
+                true
+            }
+            None => {
+                self.armed.insert(fd, interest);
+                true
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn queue_roundtrips_in_order_single_thread() {
+        let q: ShardQueue<u32> = ShardQueue::with_capacity(8);
+        q.add_producer();
+        for i in 0..8 {
+            q.push(i).unwrap();
+        }
+        assert!(q.push(99).is_err(), "ring of 8 must reject a 9th item");
+        for i in 0..8 {
+            match q.pop() {
+                PopResult::Item(v) => assert_eq!(v, i),
+                _ => panic!("expected item {i}"),
+            }
+        }
+        assert!(matches!(q.pop(), PopResult::Empty));
+        q.remove_producer();
+        assert!(matches!(q.pop(), PopResult::Closed));
+    }
+
+    #[test]
+    fn queue_closed_only_after_drain() {
+        let q: ShardQueue<u32> = ShardQueue::with_capacity(4);
+        q.add_producer();
+        q.push(7).unwrap();
+        q.remove_producer();
+        assert!(matches!(q.pop(), PopResult::Item(7)));
+        assert!(matches!(q.pop(), PopResult::Closed));
+    }
+
+    #[test]
+    fn queue_survives_two_producers_one_consumer() {
+        let q: Arc<ShardQueue<u64>> = Arc::new(ShardQueue::with_capacity(64));
+        let producers = 2;
+        let per_producer = 10_000u64;
+        for _ in 0..producers {
+            q.add_producer();
+        }
+        let mut handles = Vec::new();
+        for p in 0..producers {
+            let q = Arc::clone(&q);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..per_producer {
+                    let v = (p as u64) * per_producer + i;
+                    let mut item = v;
+                    loop {
+                        match q.push(item) {
+                            Ok(()) => break,
+                            Err(back) => {
+                                item = back;
+                                std::thread::yield_now();
+                            }
+                        }
+                    }
+                }
+                q.remove_producer();
+            }));
+        }
+        let mut seen = vec![false; (producers as u64 * per_producer) as usize];
+        let mut count = 0usize;
+        loop {
+            match q.pop() {
+                PopResult::Item(v) => {
+                    assert!(!seen[v as usize], "duplicate item {v}");
+                    seen[v as usize] = true;
+                    count += 1;
+                }
+                PopResult::Empty => std::thread::yield_now(),
+                PopResult::Closed => break,
+            }
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(count, seen.len(), "every pushed item must pop exactly once");
+    }
+
+    #[test]
+    fn queue_drop_releases_queued_items() {
+        struct Counted(Arc<AtomicUsize>);
+        impl Drop for Counted {
+            fn drop(&mut self) {
+                self.0.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let drops = Arc::new(AtomicUsize::new(0));
+        {
+            let q: ShardQueue<Counted> = ShardQueue::with_capacity(4);
+            q.push(Counted(Arc::clone(&drops))).ok();
+            q.push(Counted(Arc::clone(&drops))).ok();
+        }
+        assert_eq!(drops.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn timer_wheel_fires_at_deadline_not_before() {
+        let t0 = Instant::now();
+        let mut wheel = TimerWheel::new(16, Duration::from_millis(10), t0);
+        wheel.insert(1, 0, t0 + Duration::from_millis(25));
+        wheel.insert(2, 0, t0 + Duration::from_millis(500)); // wraps (>160ms horizon)
+        let mut expired = Vec::new();
+        wheel.advance(t0 + Duration::from_millis(10), &mut expired);
+        assert!(expired.is_empty(), "nothing due at 10ms");
+        wheel.advance(t0 + Duration::from_millis(40), &mut expired);
+        assert_eq!(expired, vec![(1, 0)]);
+        expired.clear();
+        wheel.advance(t0 + Duration::from_millis(520), &mut expired);
+        assert_eq!(expired, vec![(2, 0)], "wrapped entry fires after re-hash");
+    }
+
+    #[test]
+    fn backoff_escalates_and_resets() {
+        let mut b = Backoff::new(Duration::from_millis(1));
+        for _ in 0..20 {
+            b.wait(); // must terminate promptly even at max escalation
+        }
+        assert!(b.step > 6);
+        b.reset();
+        assert_eq!(b.step, 0);
+    }
+
+    #[test]
+    fn interest_cache_dedupes_rearms() {
+        let mut cache = InterestCache::default();
+        assert!(cache.changed(5, Interest::READ));
+        assert!(!cache.changed(5, Interest::READ));
+        assert!(cache.changed(5, Interest::READ_WRITE));
+        assert!(!cache.changed(5, Interest::READ_WRITE));
+        cache.remove(5);
+        assert!(cache.changed(5, Interest::READ));
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn waker_wakes_a_blocked_poller() {
+        let waker = Arc::new(Waker::new().unwrap());
+        let mut poller = Poller::new().unwrap();
+        poller
+            .register(waker.fd(), Waker::TOKEN, Interest::READ)
+            .unwrap();
+        let w = Arc::clone(&waker);
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(30));
+            w.wake();
+            w.wake(); // collapsed: armed flag already set
+        });
+        let t0 = Instant::now();
+        let mut events = Vec::new();
+        poller.wait(Duration::from_secs(5), &mut events).unwrap();
+        assert!(
+            t0.elapsed() < Duration::from_secs(4),
+            "poller must wake well before its timeout"
+        );
+        assert!(events.iter().any(|e| e.token == Waker::TOKEN && e.readable));
+        waker.drain();
+        // After drain the poller must be quiet again.
+        poller.wait(Duration::from_millis(20), &mut events).unwrap();
+        assert!(events.is_empty(), "drained waker must not re-fire");
+        t.join().unwrap();
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn poller_reports_socket_readiness_and_interest_changes() {
+        use std::io::Write;
+        use std::os::unix::io::AsRawFd;
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = std::net::TcpStream::connect(addr).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        server.set_nonblocking(true).unwrap();
+        let fd = server.as_raw_fd();
+
+        let mut poller = Poller::new().unwrap();
+        poller.register(fd, 7, Interest::READ).unwrap();
+        let mut events = Vec::new();
+
+        // Quiet socket: no events.
+        poller.wait(Duration::from_millis(20), &mut events).unwrap();
+        assert!(events.is_empty());
+
+        // Peer writes: readable fires.
+        client.write_all(b"hello").unwrap();
+        client.flush().unwrap();
+        poller.wait(Duration::from_secs(5), &mut events).unwrap();
+        assert!(events.iter().any(|e| e.token == 7 && e.readable));
+
+        // Arm write interest: an unblocked socket is instantly writable.
+        poller.reregister(fd, 7, Interest::READ_WRITE).unwrap();
+        poller.wait(Duration::from_secs(5), &mut events).unwrap();
+        assert!(events.iter().any(|e| e.token == 7 && e.writable));
+
+        poller.deregister(fd).unwrap();
+        poller.wait(Duration::from_millis(20), &mut events).unwrap();
+        assert!(events.is_empty(), "deregistered fd must not report");
+    }
+}

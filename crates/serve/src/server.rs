@@ -2,6 +2,22 @@
 //! worker pool, the stats/observability aggregator, the HTTP plane, and
 //! graceful drain.
 //!
+//! # Engines
+//!
+//! Two shard engines share all of this orchestration (admission,
+//! chaos, supervision, drain, capture):
+//!
+//! * [`Engine::Reactor`] (default) — readiness-driven: each shard owns
+//!   a [`crate::reactor::Poller`] (epoll on Linux) plus a timer wheel;
+//!   connections are pumped only when their socket is ready or their
+//!   deadline fires. New sockets arrive through a lock-free
+//!   [`crate::reactor::ShardQueue`] and an eventfd-style waker, so the
+//!   accept→shard handoff takes no locks.
+//! * [`Engine::Polled`] — the original scan-everything loop, kept as
+//!   the measurable baseline and the fallback where no readiness API
+//!   exists. Its historical fixed naps are now adaptive
+//!   (spin → yield → park).
+//!
 //! # Crash containment
 //!
 //! Failures are contained at three radii. A single connection's pump
@@ -10,15 +26,20 @@
 //! `panics_caught` is bumped — the shard keeps serving its other
 //! connections. If a shard thread dies anyway (a panic outside the
 //! per-connection guard), the supervisor respawns it and re-homes its
-//! intake channel, so the server keeps accepting at full width; the
+//! intake queue, so the server keeps accepting at full width; the
 //! panic message is reported through [`ServeReport::shard_panics`].
 //! Accept/supervisor/stats threads have no respawn layer — a panic
 //! there surfaces as [`ServeError::ThreadPanicked`] from
 //! [`ServerHandle::join`].
 
 use crate::conn::{now_unix, Conn, LiveHandler, SensorIdentity, SharedStore};
+use crate::reactor::{
+    conn_interest, Backoff, Event, Interest, Poller, PopResult, ShardQueue, TimerWheel, Waker,
+};
 use crate::stats::{spawn_aggregator, AggEvent, AggregatorHandle, ApiSnapshot};
-use crate::{Admission, ChaosConfig, Gate, ServeConfig, ServeError, ServeStats, StatsSnapshot};
+use crate::{
+    Admission, ChaosConfig, Engine, Gate, ServeConfig, ServeError, ServeStats, StatsSnapshot,
+};
 use honeypot::shell::NullStore;
 use honeypot::{panic_message, AuthPolicy, Collector, CollectorError, IngestStats};
 use netsim::faults::FailureInjector;
@@ -26,7 +47,6 @@ use sessiondb::{RecoveryReport, StoreOptions, StoreWriter};
 use std::net::{IpAddr, SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::mpsc::{Receiver, Sender, TryRecvError};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -40,7 +60,7 @@ enum Proto {
 
 /// An admitted connection in flight from an accept thread to its shard.
 /// Carries its gate permit, so a connection dropped anywhere along the
-/// way (channel teardown, shard death) releases its slot.
+/// way (queue teardown, shard death) releases its slot.
 struct Admitted {
     stream: TcpStream,
     permit: crate::GatePermit,
@@ -72,10 +92,15 @@ pub fn fold_peer_ip(ip: IpAddr) -> netsim::Ipv4Addr {
     }
 }
 
-/// Intake side of a shard, shared with the supervisor so a respawned
-/// shard thread can pick up exactly where its predecessor's channel
-/// left off (queued connections included).
-type SharedRx = Arc<parking_lot::Mutex<Receiver<Admitted>>>;
+/// Intake side of a shard: a lock-free bounded queue plus the waker
+/// that pops its reactor out of `epoll_wait`. Shared (via `Arc`) by the
+/// accept threads, the shard thread, and the supervisor — so a
+/// respawned shard thread picks up exactly where its predecessor left
+/// off, queued connections (and their gate permits) included.
+struct Intake {
+    queue: ShardQueue<Admitted>,
+    waker: Waker,
+}
 
 /// Everything a shard thread needs, cloneable so the supervisor can
 /// hand a fresh copy to a respawned thread.
@@ -91,6 +116,30 @@ struct ShardCtx {
     drain_timeout: Duration,
     chaos: ChaosConfig,
     agg_tx: std::sync::mpsc::Sender<AggEvent>,
+}
+
+impl ShardCtx {
+    /// Records a cleanly finished connection: convert, mirror to the
+    /// live aggregator (a clone over mpsc — no locks, no blocking; a
+    /// dead aggregator just fails the send), ingest into the store.
+    fn record_finished(&self, conn: Conn<'_>) {
+        let record = conn.finish(self.sensor, &self.stats);
+        let _ = self
+            .agg_tx
+            .send(AggEvent::Session(Box::new(record.clone())));
+        self.collector.ingest(record);
+    }
+
+    /// Records a connection whose pump panicked: plain fields only (the
+    /// machine may be poisoned), same mirror + ingest path.
+    fn record_failed(&self, conn: Conn<'_>) {
+        self.stats.panics_caught.fetch_add(1, Ordering::Relaxed);
+        let record = conn.into_failed(self.sensor);
+        let _ = self
+            .agg_tx
+            .send(AggEvent::Session(Box::new(record.clone())));
+        self.collector.ingest(record);
+    }
 }
 
 /// The live serving layer. See the crate docs for the architecture.
@@ -145,8 +194,16 @@ impl Server {
                     addr: addr.to_string(),
                     source: e,
                 })?;
+            deepen_backlog(&listener, cfg.max_connections);
             listeners.push((listener, proto));
         }
+
+        // Fall back to the polled engine where no readiness API exists.
+        let engine = if crate::reactor::poller_supported() {
+            cfg.engine
+        } else {
+            Engine::Polled
+        };
 
         let stats = Arc::new(ServeStats::default());
         let gate = Arc::new(Gate::new(cfg.max_connections, cfg.per_ip_limit));
@@ -154,12 +211,18 @@ impl Server {
         let seq = Arc::new(AtomicU64::new(0));
         let workers = cfg.workers.max(1);
 
-        let mut senders: Vec<Sender<Admitted>> = Vec::with_capacity(workers);
-        let mut rxs: Vec<SharedRx> = Vec::with_capacity(workers);
+        // Each intake ring holds a generous multiple of this shard's
+        // share of the connection cap, so a burst dealt unevenly never
+        // wedges the accept thread on a full queue.
+        let ring = (cfg.max_connections.div_ceil(workers) * 2).clamp(256, 65_536);
+        let mut intakes: Vec<Arc<Intake>> = Vec::with_capacity(workers);
         for _ in 0..workers {
-            let (tx, rx) = std::sync::mpsc::channel();
-            senders.push(tx);
-            rxs.push(Arc::new(parking_lot::Mutex::new(rx)));
+            intakes.push(Arc::new(Intake {
+                queue: ShardQueue::with_capacity(ring),
+                waker: Waker::new().map_err(|e| ServeError::Store {
+                    message: format!("cannot create shard waker: {e}"),
+                })?,
+            }));
         }
 
         let mut addrs = ListenAddrs::default();
@@ -173,7 +236,12 @@ impl Server {
                 Proto::Ssh => addrs.ssh = Some(local),
                 Proto::Telnet => addrs.telnet = Some(local),
             }
-            let senders = senders.clone();
+            // Register as a producer *before* the thread exists, so no
+            // shard can observe a closed queue during startup.
+            for intake in &intakes {
+                intake.queue.add_producer();
+            }
+            let intakes = intakes.clone();
             let stats = Arc::clone(&stats);
             let gate = Arc::clone(&gate);
             let shutdown = Arc::clone(&shutdown);
@@ -182,12 +250,13 @@ impl Server {
                 std::thread::Builder::new()
                     .name(format!("accept-{proto:?}").to_lowercase())
                     .spawn(move || {
-                        accept_loop(listener, proto, &senders, &stats, &gate, &shutdown, &seq)
+                        accept_loop(
+                            listener, proto, engine, &intakes, &stats, &gate, &shutdown, &seq,
+                        )
                     })
                     .expect("spawn accept thread"),
             );
         }
-        drop(senders); // workers exit once accept threads hang up
 
         // The aggregator replaces the old dedicated stats thread: it
         // owns the periodic stderr line *and* publishes the lock-free
@@ -239,7 +308,7 @@ impl Server {
             let panics = Arc::clone(&shard_panics);
             std::thread::Builder::new()
                 .name("shard-supervisor".into())
-                .spawn(move || supervisor_loop(ctx, rxs, &panics))
+                .spawn(move || supervisor_loop(ctx, engine, intakes, &panics))
                 .expect("spawn shard supervisor")
         };
 
@@ -477,20 +546,117 @@ fn map_collector_error(e: &CollectorError) -> ServeError {
     }
 }
 
+/// Removes this accept thread from every intake's producer count on
+/// exit (panic included) and wakes the shards so they observe the
+/// hangup — the drain protocol's "no more connections are coming".
+struct ProducerGuard<'a> {
+    intakes: &'a [Arc<Intake>],
+}
+
+impl Drop for ProducerGuard<'_> {
+    fn drop(&mut self) {
+        for intake in self.intakes {
+            intake.queue.remove_producer();
+            intake.waker.wake();
+        }
+    }
+}
+
+#[cfg(unix)]
+fn listener_fd(listener: &TcpListener) -> i32 {
+    use std::os::unix::io::AsRawFd;
+    listener.as_raw_fd()
+}
+
+/// Re-arms the listener with a backlog sized to the connection cap.
+/// `TcpListener::bind` hardcodes a backlog of 128; under a paper-scale
+/// connect burst the accept queue overflows and every further SYN waits
+/// a full kernel retransmit cycle (~1s on loopback), capping accept
+/// throughput regardless of how fast the shards drain. Calling
+/// `listen(2)` again on a listening socket just updates the backlog
+/// (the kernel additionally clamps to `net.core.somaxconn`), so failure
+/// here is harmless and ignored.
+#[cfg(unix)]
+fn deepen_backlog(listener: &TcpListener, max_connections: usize) {
+    extern "C" {
+        fn listen(fd: i32, backlog: i32) -> i32;
+    }
+    let backlog = max_connections.clamp(128, 65_535) as i32;
+    unsafe {
+        let _ = listen(listener_fd(listener), backlog);
+    }
+}
+
+#[cfg(not(unix))]
+fn deepen_backlog(_listener: &TcpListener, _max_connections: usize) {}
+
+/// Deals an admitted connection into a shard queue, preferring its
+/// round-robin home but overflowing to siblings when that ring is full.
+/// Dropping the connection (shutdown with every ring full) releases its
+/// permit.
+fn dispatch(intakes: &[Arc<Intake>], admitted: Admitted, home: usize, shutdown: &AtomicBool) {
+    let mut item = admitted;
+    let mut target = home;
+    let mut attempts = 0usize;
+    loop {
+        match intakes[target].queue.push(item) {
+            Ok(()) => {
+                // The waker's armed flag collapses this to one syscall
+                // per shard per quiet period, not one per connection.
+                intakes[target].waker.wake();
+                return;
+            }
+            Err(back) => {
+                item = back;
+                target = (target + 1) % intakes.len();
+                attempts += 1;
+                if attempts.is_multiple_of(intakes.len()) {
+                    if shutdown.load(Ordering::Relaxed) {
+                        return; // drop: the permit releases the slot
+                    }
+                    std::thread::yield_now();
+                }
+            }
+        }
+    }
+}
+
 /// Accepts until shutdown, shedding over-limit connections at the door.
+/// In reactor mode the thread parks in the poller between bursts; in
+/// polled mode (or if a poller cannot be built) it naps adaptively.
+#[allow(clippy::too_many_arguments)]
 fn accept_loop(
     listener: TcpListener,
     proto: Proto,
-    senders: &[Sender<Admitted>],
+    engine: Engine,
+    intakes: &[Arc<Intake>],
     stats: &Arc<ServeStats>,
     gate: &Arc<Gate>,
-    shutdown: &AtomicBool,
+    shutdown: &Arc<AtomicBool>,
     seq: &AtomicU64,
 ) {
+    let _guard = ProducerGuard { intakes };
+    #[cfg(unix)]
+    let mut poller = if engine == Engine::Reactor {
+        Poller::new().ok().and_then(|mut p| {
+            p.register(listener_fd(&listener), 0, Interest::READ)
+                .ok()
+                .map(|()| p)
+        })
+    } else {
+        None
+    };
+    #[cfg(not(unix))]
+    let mut poller: Option<Poller> = {
+        let _ = engine;
+        None
+    };
+    let mut events: Vec<Event> = Vec::new();
+    let mut nap = Backoff::new(Duration::from_micros(500));
     let mut backoff = Duration::from_millis(1);
     while !shutdown.load(Ordering::Relaxed) {
         let mut accepted_any = false;
-        // Drain the backlog before sleeping: under an accept storm the
+        // Drain the backlog before waiting: under an accept storm the
         // backlog (typically 128) fills in milliseconds.
         loop {
             match listener.accept() {
@@ -525,12 +691,7 @@ fn accept_loop(
                         start_unix: now_unix(),
                         seq: n,
                     };
-                    let shard = (n as usize) % senders.len();
-                    if senders[shard].send(admitted).is_err() {
-                        // Shard channel gone: shutdown teardown. The
-                        // dropped Admitted releases its permit.
-                        continue;
-                    }
+                    dispatch(intakes, admitted, (n as usize) % intakes.len(), shutdown);
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
                 Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
@@ -555,8 +716,19 @@ fn accept_loop(
                 }
             }
         }
-        if !accepted_any {
-            std::thread::sleep(Duration::from_micros(500));
+        if accepted_any {
+            nap.reset();
+        } else {
+            match poller.as_mut() {
+                // Park in the kernel until the listener is readable; the
+                // 50ms ceiling bounds shutdown-observation latency.
+                Some(p) => {
+                    if p.wait(Duration::from_millis(50), &mut events).is_err() {
+                        poller = None; // degrade to adaptive naps
+                    }
+                }
+                None => nap.wait(),
+            }
         }
     }
     // Dropping the listener closes the socket: new connects are refused
@@ -564,27 +736,32 @@ fn accept_loop(
 }
 
 /// Runs the shard pool, respawning any shard thread that panics. Holds
-/// every shard's intake `Receiver` behind an `Arc<Mutex>`, so a dead
-/// shard's queued connections (gate permits included) survive into its
-/// replacement. Returns once every shard has exited cleanly — which
-/// only happens during shutdown, after the accept threads hang up the
-/// channels.
+/// every shard's intake queue behind an `Arc`, so a dead shard's queued
+/// connections (gate permits included) survive into its replacement.
+/// Returns once every shard has exited cleanly — which only happens
+/// during shutdown, after the accept threads deregister as producers.
 fn supervisor_loop(
     ctx: ShardCtx,
-    rxs: Vec<SharedRx>,
+    engine: Engine,
+    intakes: Vec<Arc<Intake>>,
     shard_panics: &parking_lot::Mutex<Vec<String>>,
 ) {
     let spawn_shard = |index: usize, generation: u64| -> JoinHandle<()> {
         let ctx = ctx.clone();
-        let rx = Arc::clone(&rxs[index]);
+        let intake = Arc::clone(&intakes[index]);
         std::thread::Builder::new()
             .name(format!("shard-{index}"))
-            .spawn(move || shard_loop(index, generation, &rx, &ctx))
+            .spawn(move || match engine {
+                Engine::Reactor => shard_loop_reactor(index, generation, &intake, &ctx),
+                Engine::Polled => shard_loop_polled(index, generation, &intake, &ctx),
+            })
             .expect("spawn shard")
     };
     let mut generation = 0u64;
-    let mut handles: Vec<Option<JoinHandle<()>>> =
-        (0..rxs.len()).map(|i| Some(spawn_shard(i, 0))).collect();
+    let mut handles: Vec<Option<JoinHandle<()>>> = (0..intakes.len())
+        .map(|i| Some(spawn_shard(i, 0)))
+        .collect();
+    let mut wait = Backoff::new(Duration::from_millis(2));
     loop {
         let mut any_alive = false;
         for (index, slot) in handles.iter_mut().enumerate() {
@@ -607,75 +784,90 @@ fn supervisor_loop(
                     generation += 1;
                     *slot = Some(spawn_shard(index, generation));
                     any_alive = true;
+                    wait.reset();
                 }
                 // During shutdown the replacement would have nothing to
-                // do; the Receiver (and any queued permits) drop with
-                // `rxs` below.
+                // do; the intake (and any queued permits) drop with
+                // `intakes` below.
             }
             // A clean exit is final: it means shutdown drained the shard.
         }
         if !any_alive {
-            return; // `rxs` drops here, releasing any queued permits
+            return; // `intakes` drop here, releasing any queued permits
         }
-        std::thread::sleep(Duration::from_millis(2));
+        wait.wait();
     }
 }
 
-/// One worker shard: owns its connections, polls them without blocking.
-/// Each connection's pump runs under `catch_unwind`, so one poisoned
-/// session cannot take the shard (or its siblings' gate slots) with it.
-fn shard_loop(index: usize, generation: u64, rx: &SharedRx, ctx: &ShardCtx) {
-    let remote_ref: &dyn honeypot::shell::RemoteStore = &*ctx.remote;
-    // Seed the injectors per shard *and* per generation so chaos runs
-    // are reproducible but a respawned shard rolls fresh dice.
+/// Per-shard chaos injectors, seeded per shard *and* per generation so
+/// chaos runs are reproducible but a respawned shard rolls fresh dice.
+fn chaos_injectors(
+    ctx: &ShardCtx,
+    index: usize,
+    generation: u64,
+) -> (FailureInjector, FailureInjector) {
     let salt = (index as u64)
         .wrapping_mul(0x9E37_79B9_7F4A_7C15)
         .wrapping_add(generation.wrapping_mul(0x517C_C1B7_2722_0A95));
-    let mut conn_chaos = FailureInjector::new(ctx.chaos.conn_panic_rate, ctx.chaos.seed ^ salt);
-    let mut shard_chaos = FailureInjector::new(
+    let conn_chaos = FailureInjector::new(ctx.chaos.conn_panic_rate, ctx.chaos.seed ^ salt);
+    let shard_chaos = FailureInjector::new(
         ctx.chaos.shard_panic_rate,
         ctx.chaos.seed ^ salt ^ 0x5D5D_5D5D_5D5D_5D5D,
     );
+    (conn_chaos, shard_chaos)
+}
+
+fn build_conn<'s>(a: Admitted, remote_ref: &'s dyn honeypot::shell::RemoteStore) -> Conn<'s> {
+    let handler = LiveHandler::new(AuthPolicy::default(), remote_ref);
+    match a.proto {
+        Proto::Ssh => Conn::ssh(
+            a.stream,
+            a.permit,
+            a.client_port,
+            handler,
+            a.start_unix,
+            a.seq,
+        ),
+        Proto::Telnet => Conn::telnet(a.stream, a.permit, a.client_port, handler, a.start_unix),
+    }
+}
+
+/// One polled worker shard: owns its connections, scans them without
+/// blocking. The baseline engine. Each connection's pump runs under
+/// `catch_unwind`, so one poisoned session cannot take the shard (or
+/// its siblings' gate slots) with it.
+fn shard_loop_polled(index: usize, generation: u64, intake: &Arc<Intake>, ctx: &ShardCtx) {
+    let remote_ref: &dyn honeypot::shell::RemoteStore = &*ctx.remote;
+    let (mut conn_chaos, mut shard_chaos) = chaos_injectors(ctx, index, generation);
     // `doomed` marks connections the chaos config sentenced at intake;
     // the panic fires inside the per-connection guard.
     let mut conns: Vec<(Conn<'_>, bool)> = Vec::new();
     let mut intake_open = true;
     let mut drain_started: Option<Instant> = None;
+    let mut nap = Backoff::new(Duration::from_millis(1));
 
     loop {
-        // Intake: move admitted sockets into the shard. The lock is
-        // per-attempt, so the supervisor never deadlocks with a live
-        // shard and a respawned shard inherits the queue seamlessly.
+        // Intake: move admitted sockets into the shard. Lock-free, so
+        // the supervisor never deadlocks with a live shard and a
+        // respawned shard inherits the queue seamlessly.
+        let mut took_any = false;
         while intake_open {
-            let polled = rx.lock().try_recv();
-            match polled {
-                Ok(a) => {
+            match intake.queue.pop() {
+                PopResult::Item(a) => {
                     if shard_chaos.fires() {
                         // Outside the per-connection guard: this kills
                         // the whole shard thread. `a` (and its permit)
                         // and every owned connection release on unwind.
                         panic!("chaos: injected shard panic");
                     }
+                    took_any = true;
                     let doomed = conn_chaos.fires();
-                    let handler = LiveHandler::new(AuthPolicy::default(), remote_ref);
-                    let conn = match a.proto {
-                        Proto::Ssh => Conn::ssh(
-                            a.stream,
-                            a.permit,
-                            a.client_port,
-                            handler,
-                            a.start_unix,
-                            a.seq,
-                        ),
-                        Proto::Telnet => {
-                            Conn::telnet(a.stream, a.permit, a.client_port, handler, a.start_unix)
-                        }
-                    };
-                    conns.push((conn, doomed));
+                    conns.push((build_conn(a, remote_ref), doomed));
                 }
-                Err(TryRecvError::Empty) => break,
-                Err(TryRecvError::Disconnected) => {
+                PopResult::Empty => break,
+                PopResult::Closed => {
                     intake_open = false;
+                    break;
                 }
             }
         }
@@ -689,6 +881,7 @@ fn shard_loop(index: usize, generation: u64, rx: &SharedRx, ctx: &ShardCtx) {
         let force_close = matches!(drain_started, Some(t0) if t0.elapsed() >= ctx.drain_timeout);
 
         let now = Instant::now();
+        let mut finished_any = false;
         let mut i = 0;
         while i < conns.len() {
             let pumped = {
@@ -706,42 +899,345 @@ fn shard_loop(index: usize, generation: u64, rx: &SharedRx, ctx: &ShardCtx) {
             match pumped {
                 Ok(false) => i += 1,
                 Ok(true) => {
+                    finished_any = true;
                     let (conn, _) = conns.swap_remove(i);
-                    let record = conn.finish(ctx.sensor, &ctx.stats);
-                    // Mirror the exact record the store receives to the
-                    // live aggregator (a clone over mpsc — no locks, no
-                    // blocking; a dead aggregator just fails the send).
-                    let _ = ctx.agg_tx.send(AggEvent::Session(Box::new(record.clone())));
-                    ctx.collector.ingest(record);
+                    ctx.record_finished(conn);
                 }
-                Err(payload) => {
+                Err(_payload) => {
                     // Contained: record a failed session from plain
                     // fields only (the machine may be poisoned), release
                     // the slot via the permit, keep the shard alive.
-                    let message = panic_message(payload.as_ref());
-                    let _ = message; // diagnostics live in the counters
-                    ctx.stats.panics_caught.fetch_add(1, Ordering::Relaxed);
+                    finished_any = true;
                     let (conn, _) = conns.swap_remove(i);
-                    let record = conn.into_failed(ctx.sensor);
-                    let _ = ctx.agg_tx.send(AggEvent::Session(Box::new(record.clone())));
-                    ctx.collector.ingest(record);
+                    ctx.record_failed(conn);
                 }
             }
         }
 
+        if took_any || finished_any {
+            nap.reset();
+        }
         if conns.is_empty() {
-            // Exit once the accept side has hung up (it drops its senders
-            // when it observes shutdown, disconnecting the channel) —
+            // Exit once the accept side has hung up (it deregisters as a
+            // producer when it observes shutdown, closing the queue) —
             // late-admitted sockets arrive through the intake loop above
             // first, so no gate slot is ever stranded.
             if !intake_open {
                 return;
             }
-            std::thread::sleep(Duration::from_millis(1));
+            nap.wait();
         } else {
-            // Tiny yield between poll rounds; the pump loop itself runs
-            // until it stops making progress.
-            std::thread::sleep(Duration::from_micros(200));
+            // Adaptive yield between scan rounds; the pump loop itself
+            // runs until it stops making progress.
+            nap.wait();
+        }
+    }
+}
+
+/// A connection slot in a reactor shard. `generation` invalidates
+/// stale timer-wheel entries after the slot is reused.
+struct ShardSlot<'s> {
+    conn: Conn<'s>,
+    doomed: bool,
+    generation: u64,
+    armed: Interest,
+}
+
+/// One reactor worker shard: readiness-driven. Connections are pumped
+/// when epoll reports their socket ready or their timer-wheel deadline
+/// fires — never scanned. The intake waker pops the shard out of
+/// `epoll_wait` when the accept thread queues a socket. Crash
+/// containment is identical to the polled engine: per-connection
+/// `catch_unwind`, shard-level chaos at intake.
+fn shard_loop_reactor(index: usize, generation: u64, intake: &Arc<Intake>, ctx: &ShardCtx) {
+    let mut poller = match Poller::new() {
+        Ok(p) => p,
+        // No readiness API after all (fd exhaustion at spawn): degrade
+        // to the polled engine rather than dying.
+        Err(_) => return shard_loop_polled(index, generation, intake, ctx),
+    };
+    if poller
+        .register(intake.waker.fd(), Waker::TOKEN, Interest::READ)
+        .is_err()
+    {
+        return shard_loop_polled(index, generation, intake, ctx);
+    }
+    let remote_ref: &dyn honeypot::shell::RemoteStore = &*ctx.remote;
+    let (mut conn_chaos, mut shard_chaos) = chaos_injectors(ctx, index, generation);
+
+    let mut slots: Vec<Option<ShardSlot<'_>>> = Vec::new();
+    let mut free: Vec<usize> = Vec::new();
+    let mut live = 0usize;
+    let mut slot_gen = 0u64;
+    let mut wheel = TimerWheel::new(256, Duration::from_millis(100), Instant::now());
+    // One shared read buffer for every connection on the shard, plus a
+    // pool of reclaimed output buffers — per-connection allocation
+    // churn drops to (at most) one pool miss per intake.
+    let mut read_buf = vec![0u8; 16 * 1024];
+    let mut out_pool: Vec<Vec<u8>> = Vec::new();
+    const POOL_CAP: usize = 256;
+    const POOL_BUF_MAX: usize = 64 * 1024;
+
+    let mut events: Vec<Event> = Vec::new();
+    let mut expired: Vec<(u64, u64)> = Vec::new();
+    let mut intake_open = true;
+    let mut drain_started: Option<Instant> = None;
+
+    // Pumps slot `i` under the per-connection guard; returns and frees
+    // the slot if the connection finished (or its pump panicked).
+    // Implemented as a macro-free closure-by-convention: the borrow
+    // checker cannot split `slots`/`poller`/`wheel` through a closure,
+    // so this is a local fn taking everything it touches.
+    #[allow(clippy::too_many_arguments)]
+    fn pump_slot(
+        i: usize,
+        force_close: bool,
+        now: Instant,
+        slots: &mut Vec<Option<ShardSlot<'_>>>,
+        free: &mut Vec<usize>,
+        live: &mut usize,
+        poller: &mut Poller,
+        out_pool: &mut Vec<Vec<u8>>,
+        read_buf: &mut [u8],
+        ctx: &ShardCtx,
+    ) {
+        let Some(slot) = slots.get_mut(i).and_then(Option::as_mut) else {
+            return; // already finished this tick (e.g. event + timer)
+        };
+        if force_close {
+            slot.conn.abort();
+        }
+        let doomed = slot.doomed;
+        let pumped = catch_unwind(AssertUnwindSafe(|| {
+            if doomed {
+                panic!("chaos: injected connection panic");
+            }
+            force_close
+                || slot.conn.pump_buf(
+                    read_buf,
+                    now,
+                    ctx.idle_timeout,
+                    ctx.session_timeout,
+                    &ctx.stats,
+                )
+        }));
+        let finished = !matches!(pumped, Ok(false));
+        if finished {
+            let mut slot = slots[i].take().expect("slot checked above");
+            #[cfg(unix)]
+            let _ = poller.deregister(slot.conn.raw_fd());
+            let buf = slot.conn.reclaim_out_buffer();
+            if out_pool.len() < POOL_CAP && buf.capacity() > 0 && buf.capacity() <= POOL_BUF_MAX {
+                out_pool.push(buf);
+            }
+            match pumped {
+                Err(_payload) => ctx.record_failed(slot.conn),
+                _ => ctx.record_finished(slot.conn),
+            }
+            free.push(i);
+            *live -= 1;
+            // Any timer-wheel entries for this slot die via the slot
+            // generation check when they fire.
+        } else {
+            // Re-arm write interest only when it changed — kernel
+            // round-trips on interest are not free.
+            let want = conn_interest(slot.conn.wants_write());
+            if want != slot.armed {
+                #[cfg(unix)]
+                let _ = poller.reregister(slot.conn.raw_fd(), i as u64, want);
+                slot.armed = want;
+            }
+        }
+    }
+
+    loop {
+        // Intake: move admitted sockets into slots, register them with
+        // the poller and the timer wheel, and give them their first
+        // pump (the SSH banner goes out here; a scanner that connects
+        // and hangs up may finish on this very pump).
+        let mut force_close =
+            matches!(drain_started, Some(t0) if t0.elapsed() >= ctx.drain_timeout);
+        while intake_open {
+            match intake.queue.pop() {
+                PopResult::Item(a) => {
+                    if shard_chaos.fires() {
+                        // Outside the per-connection guard: kills the
+                        // whole shard thread. `a` (and its permit) and
+                        // every owned connection release on unwind.
+                        panic!("chaos: injected shard panic");
+                    }
+                    let doomed = conn_chaos.fires();
+                    let mut conn = build_conn(a, remote_ref);
+                    if let Some(buf) = out_pool.pop() {
+                        conn.adopt_out_buffer(buf);
+                    }
+                    let i = free.pop().unwrap_or_else(|| {
+                        slots.push(None);
+                        slots.len() - 1
+                    });
+                    slot_gen += 1;
+                    slots[i] = Some(ShardSlot {
+                        conn,
+                        doomed,
+                        generation: slot_gen,
+                        armed: Interest::READ,
+                    });
+                    live += 1;
+                    // Register before the first pump so no readiness
+                    // edge is lost between pump and registration.
+                    #[cfg(unix)]
+                    {
+                        let slot = slots[i].as_ref().expect("just placed");
+                        if poller
+                            .register(slot.conn.raw_fd(), i as u64, Interest::READ)
+                            .is_err()
+                        {
+                            // Cannot watch this socket: fail the session
+                            // rather than strand it unpumped forever.
+                            let mut slot = slots[i].take().expect("just placed");
+                            slot.conn.abort();
+                            ctx.record_finished(slot.conn);
+                            free.push(i);
+                            live -= 1;
+                            continue;
+                        }
+                    }
+                    let now = Instant::now();
+                    pump_slot(
+                        i,
+                        force_close,
+                        now,
+                        &mut slots,
+                        &mut free,
+                        &mut live,
+                        &mut poller,
+                        &mut out_pool,
+                        &mut read_buf,
+                        ctx,
+                    );
+                    if let Some(slot) = slots.get(i).and_then(Option::as_ref) {
+                        wheel.insert(
+                            i as u64,
+                            slot.generation,
+                            slot.conn.deadline(ctx.idle_timeout, ctx.session_timeout),
+                        );
+                    }
+                }
+                PopResult::Empty => break,
+                PopResult::Closed => {
+                    intake_open = false;
+                }
+            }
+        }
+
+        // Drain policy: identical to the polled engine.
+        let draining = ctx.shutdown.load(Ordering::Relaxed);
+        if draining && drain_started.is_none() {
+            drain_started = Some(Instant::now());
+        }
+        if !force_close {
+            force_close = matches!(drain_started, Some(t0) if t0.elapsed() >= ctx.drain_timeout);
+        }
+        if force_close && live > 0 {
+            // Sweep every in-flight connection closed (recorded as
+            // timed out), exactly like the polled engine's final round.
+            let now = Instant::now();
+            for i in 0..slots.len() {
+                pump_slot(
+                    i,
+                    true,
+                    now,
+                    &mut slots,
+                    &mut free,
+                    &mut live,
+                    &mut poller,
+                    &mut out_pool,
+                    &mut read_buf,
+                    ctx,
+                );
+            }
+        }
+
+        if live == 0 && !intake_open {
+            return; // drained and the accept side hung up
+        }
+
+        // Park until something is ready. The ceiling bounds how late we
+        // observe shutdown, drain expiry, and timer-wheel deadlines.
+        let timeout = if draining {
+            Duration::from_millis(10)
+        } else {
+            Duration::from_millis(50)
+        };
+        if poller.wait(timeout, &mut events).is_err() {
+            events.clear();
+        }
+        let now = Instant::now();
+        let mut woken = false;
+        for ev in &events {
+            let ev = *ev;
+            if ev.token == Waker::TOKEN {
+                woken = true;
+                continue;
+            }
+            pump_slot(
+                ev.token as usize,
+                force_close,
+                now,
+                &mut slots,
+                &mut free,
+                &mut live,
+                &mut poller,
+                &mut out_pool,
+                &mut read_buf,
+                ctx,
+            );
+        }
+        if woken {
+            // Drain *after* pumping so a wake arriving mid-loop is
+            // consumed only once the queue is about to be re-polled.
+            intake.waker.drain();
+        }
+
+        // Timer wheel: fire expired deadlines. Entries carry the slot
+        // generation, so a reused slot ignores its predecessor's
+        // timers; a deadline pushed forward by activity re-inserts.
+        wheel.advance(now, &mut expired);
+        for (token, gen) in expired.drain(..) {
+            let i = token as usize;
+            let Some(slot) = slots.get(i).and_then(Option::as_ref) else {
+                continue;
+            };
+            if slot.generation != gen {
+                continue;
+            }
+            let deadline = slot.conn.deadline(ctx.idle_timeout, ctx.session_timeout);
+            if deadline <= now {
+                // Really expired: the pump's own deadline check marks
+                // it timed out and finishes it.
+                pump_slot(
+                    i,
+                    force_close,
+                    now,
+                    &mut slots,
+                    &mut free,
+                    &mut live,
+                    &mut poller,
+                    &mut out_pool,
+                    &mut read_buf,
+                    ctx,
+                );
+                if let Some(slot) = slots.get(i).and_then(Option::as_ref) {
+                    // Survived (activity raced the deadline): rearm.
+                    wheel.insert(
+                        i as u64,
+                        slot.generation,
+                        slot.conn.deadline(ctx.idle_timeout, ctx.session_timeout),
+                    );
+                }
+            } else {
+                wheel.insert(token, gen, deadline);
+            }
         }
     }
 }

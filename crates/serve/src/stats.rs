@@ -121,7 +121,11 @@ impl Ring {
         &mut self.buckets[slot]
     }
 
-    fn stats(&mut self, now: i64) -> WindowStats {
+    /// Aggregates the window as of `now`. `elapsed_secs` is how long the
+    /// server has actually been up: a server 10 seconds old with 20
+    /// sessions must report 2.0/s in the 1h window, not 20/3600 — the
+    /// rate denominator is the *covered* span, capped at the window.
+    fn stats(&mut self, now: i64, elapsed_secs: i64) -> WindowStats {
         self.advance(now);
         let mut w = WindowStats {
             label: self.label,
@@ -139,7 +143,8 @@ impl Ring {
             w.admitted += b.admitted;
             w.shed += b.shed;
         }
-        w.sessions_per_sec = w.sessions as f64 / w.seconds as f64;
+        let covered = (self.window_secs().min(elapsed_secs)).max(1);
+        w.sessions_per_sec = w.sessions as f64 / covered as f64;
         w
     }
 }
@@ -626,6 +631,7 @@ impl AggregatorState {
 
     /// Builds the publishable snapshot as of `now`.
     pub fn snapshot(&mut self, now: i64, counters: StatsSnapshot, sse: SseStats) -> ApiSnapshot {
+        let elapsed = (now - self.started_unix).max(1);
         ApiSnapshot {
             now_unix: now,
             started_unix: self.started_unix,
@@ -633,9 +639,9 @@ impl AggregatorState {
             taxonomy: self.taxonomy.snapshot(),
             credentials: self.credentials.snapshot(),
             windows: [
-                self.rings[0].stats(now),
-                self.rings[1].stats(now),
-                self.rings[2].stats(now),
+                self.rings[0].stats(now, elapsed),
+                self.rings[1].stats(now, elapsed),
+                self.rings[2].stats(now, elapsed),
             ],
             recent: self.recent.iter().cloned().collect(),
             sse,
@@ -714,7 +720,16 @@ fn aggregator_loop(
     recent_cap: usize,
     stats_interval: Option<Duration>,
 ) {
-    let mut state = AggregatorState::new(now_unix(), recent_cap);
+    // The wall clock is read exactly once, to anchor the epoch; every
+    // subsequent "now" is the anchor plus a monotonic delta. An NTP step
+    // (or a VM pause resuming with a jumped wall clock) can therefore
+    // never rewind the rings or inflate uptime — window rates stay
+    // correct because the deltas come from `Instant`, which the OS
+    // guarantees only moves forward.
+    let started_wall = now_unix();
+    let started_mono = Instant::now();
+    let mono_now = move || started_wall + started_mono.elapsed().as_secs() as i64;
+    let mut state = AggregatorState::new(started_wall, recent_cap);
     let mut last_publish = Instant::now();
     let mut last_line = Instant::now();
     loop {
@@ -743,7 +758,7 @@ fn aggregator_loop(
         }
         if disconnected || last_publish.elapsed() >= PUBLISH_TICK {
             last_publish = Instant::now();
-            let now = now_unix();
+            let now = mono_now();
             let counters = stats.snapshot();
             state.absorb_counter_deltas(now, &counters);
             let sse = SseStats {
@@ -798,6 +813,40 @@ mod tests {
         // An hour later everything decayed.
         let snap = state.snapshot(1000 + 3700, StatsSnapshot::default(), SseStats::default());
         assert_eq!(snap.windows[2].sessions, 0);
+    }
+
+    #[test]
+    fn young_server_rates_use_elapsed_not_window() {
+        // 20 sessions in the first 10 seconds of uptime: every window
+        // must report 2.0/s, not sessions/window_secs (which would make
+        // the 1h window claim 20/3600 ≈ 0.005/s).
+        let mut state = AggregatorState::new(1000, 8);
+        for id in 0..20 {
+            state.push_session(&rec_at(id, 1005, Protocol::Ssh, 1, 1));
+        }
+        let snap = state.snapshot(1010, StatsSnapshot::default(), SseStats::default());
+        for w in &snap.windows {
+            assert_eq!(w.sessions, 20);
+            assert!(
+                (w.sessions_per_sec - 2.0).abs() < 1e-9,
+                "{} window rate {} != 2.0",
+                w.label,
+                w.sessions_per_sec
+            );
+        }
+        // Once uptime exceeds the window, the denominator is the window.
+        let snap = state.snapshot(1000 + 7200, StatsSnapshot::default(), SseStats::default());
+        assert_eq!(snap.windows[2].sessions, 0, "1h window decayed");
+        assert_eq!(snap.windows[2].sessions_per_sec, 0.0);
+    }
+
+    #[test]
+    fn snapshot_at_start_instant_never_divides_by_zero() {
+        let mut state = AggregatorState::new(1000, 8);
+        state.push_session(&rec_at(1, 1000, Protocol::Ssh, 1, 1));
+        let snap = state.snapshot(1000, StatsSnapshot::default(), SseStats::default());
+        assert!(snap.windows[0].sessions_per_sec.is_finite());
+        assert!((snap.windows[0].sessions_per_sec - 1.0).abs() < 1e-9);
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //! [`serve::Server`], with the resulting store read back through
 //! `sessiondb`.
 
-use serve::{fold_peer_ip, ChaosConfig, Gate, ServeConfig, ServeStats, Server};
+use serve::{fold_peer_ip, ChaosConfig, Engine, Gate, ServeConfig, ServeStats, Server};
 use sshwire::{ClientScript, SshClient};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
@@ -462,4 +462,92 @@ fn injected_shard_panics_respawn_and_keep_serving() {
             "panic message surfaces verbatim: {p}"
         );
     }
+}
+
+/// A connection that goes silent mid-handshake must not stall anyone
+/// else on its shard. With one worker shard, the reactor parks the
+/// stalled socket on epoll and keeps pumping its siblings; the old
+/// polling loop also passed this (it skipped unreadable sockets), but
+/// the reactor variant would deadlock outright if readiness handling
+/// regressed to blocking per-connection I/O.
+#[test]
+fn stalled_connection_cannot_block_siblings() {
+    let cfg = ServeConfig {
+        workers: 1,
+        stats_interval: None,
+        idle_timeout: Duration::from_secs(30),
+        ..ServeConfig::default()
+    };
+    let handle = Server::start(cfg).expect("start");
+    let addr = handle.addrs().ssh.expect("ssh addr");
+
+    // The staller: sends a *partial* version banner (no newline), then
+    // nothing. The server must hold it open, waiting for the rest.
+    let mut staller = TcpStream::connect(addr).expect("staller connect");
+    staller.write_all(b"SSH-2.0-half").expect("partial banner");
+    std::thread::sleep(Duration::from_millis(50));
+
+    // Five normal sessions ride the same single shard and must all
+    // complete while the staller sits there.
+    let n = 5u64;
+    std::thread::scope(|scope| {
+        for i in 0..n {
+            scope.spawn(move || {
+                let script = ClientScript::new("root", &["admin"], &[&format!("echo sibling-{i}")]);
+                drive_ssh(addr, script);
+            });
+        }
+    });
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while handle.stats().completed < n && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert_eq!(
+        handle.stats().completed,
+        n,
+        "siblings completed while a connection stalled on the only shard"
+    );
+    // The staller is still admitted (not timed out, not dropped).
+    assert_eq!(handle.active(), 1, "staller still holds its slot");
+    drop(staller);
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while handle.active() > 0 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert_eq!(handle.active(), 0, "staller's slot came home after close");
+    handle.join().expect("join");
+}
+
+/// The legacy polling engine stays a first-class citizen (it is the
+/// bench baseline and the fallback on platforms without epoll/poll):
+/// full round-trip through `--engine polled`.
+#[test]
+fn polled_engine_still_serves_sessions() {
+    let cfg = ServeConfig {
+        workers: 2,
+        engine: Engine::Polled,
+        stats_interval: None,
+        ..ServeConfig::default()
+    };
+    let handle = Server::start(cfg).expect("start");
+    let addr = handle.addrs().ssh.expect("ssh addr");
+    let n = 6u64;
+    std::thread::scope(|scope| {
+        for i in 0..n {
+            scope.spawn(move || {
+                let script = ClientScript::new("root", &["admin"], &[&format!("echo polled-{i}")]);
+                drive_ssh(addr, script);
+            });
+        }
+    });
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while handle.stats().completed < n && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let report = handle.join().expect("join");
+    assert_eq!(report.snapshot.completed, n);
+    assert_eq!(
+        report.snapshot.shed_capacity + report.snapshot.shed_per_ip,
+        0
+    );
 }

@@ -112,4 +112,51 @@ fi
 grep -q 'final: ' "$http_log" || { echo "serve report missing"; exit 1; }
 rm -rf "$http_dir"
 
+echo "== tier1: barrage smoke (serve <- barrage; live stats == analyze) =="
+bar_dir="$(mktemp -d)"
+bar_store="$bar_dir/barrage.hsdb"
+bar_log="$bar_dir/serve.log"
+# Same FIFO trick as above: SIGINT (not stdin EOF) ends this instance.
+mkfifo "$bar_dir/stdin"
+./target/release/honeylab serve --ssh-port 0 --http-port 0 \
+    --stats-secs 0 --store "$bar_store" \
+    < "$bar_dir/stdin" 2> "$bar_log" &
+bar_pid=$!
+exec 7> "$bar_dir/stdin"
+for _ in $(seq 1 100); do
+    grep -q 'listening http on ' "$bar_log" && break
+    sleep 0.1
+done
+bar_http="$(sed -n 's/^listening http on \([0-9.:]*\) .*/\1/p' "$bar_log" | head -1)"
+bar_ssh="$(sed -n 's/^listening ssh on //p' "$bar_log" | head -1)"
+[ -n "$bar_ssh" ] || { echo "serve never came up"; cat "$bar_log"; exit 1; }
+bar_json="$(./target/release/honeylab barrage "$bar_ssh" \
+    --sessions 200 --concurrency 16 --format json)"
+echo "$bar_json" | jq -e \
+    '.data.shed == 0 and .data.errors == 0 and .data.completed == .data.planned' \
+    > /dev/null \
+    || { echo "barrage shed or errored under smoke load"; echo "$bar_json"; exit 1; }
+# The live taxonomy must converge to exactly what post-hoc analysis of
+# the sealed store reports — same accumulator, two paths.
+for _ in $(seq 1 100); do
+    [ "$(curl -fsS "http://$bar_http/api/stats" \
+        | jq '.data.taxonomy.total_sessions')" = "200" ] && break
+    sleep 0.1
+done
+live_tax="$(curl -fsS "http://$bar_http/api/stats" | jq -S '.data.taxonomy')"
+kill -INT "$bar_pid"
+exec 7>&-
+wait "$bar_pid" || { echo "serve did not exit cleanly"; cat "$bar_log"; exit 1; }
+batch_tax="$(./target/release/honeylab analyze "$bar_store" \
+    --report taxonomy --format json | jq -S '.data.taxonomy')"
+if [ "$live_tax" != "$batch_tax" ]; then
+    echo "live /api/stats taxonomy drifted from post-hoc analyze:"
+    diff <(echo "$live_tax") <(echo "$batch_tax") || true
+    exit 1
+fi
+rm -rf "$bar_dir"
+
+echo "== tier1: serve bench smoke (reactor + polled, zero shed) =="
+cargo bench -p honeylab-bench --bench serve -- --smoke
+
 echo "== tier1: OK =="

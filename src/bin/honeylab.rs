@@ -37,7 +37,8 @@ use honeylab::botnet::{generate_dataset_into, FaultProfile};
 use honeylab::core::{report, AnalysisBuilder, AnalysisReport, ReportKind, SessionSource};
 use honeylab::honeypot::to_cowrie_log;
 use honeylab::prelude::*;
-use honeylab::serve::{signal, ServeConfig, Server};
+use honeylab::serve::barrage::{self, BarrageConfig, BarrageReport, LoadMode};
+use honeylab::serve::{signal, Engine, ServeConfig, Server};
 use honeylab::sessiondb::{
     is_sessiondb_path, needs_recovery, recover, recovery_preview, FsyncPolicy, Store, StoreWriter,
 };
@@ -58,12 +59,13 @@ fn main() {
         Some("serve") => cmd_serve(&args[1..]),
         Some("recover") => cmd_recover(&args[1..]),
         Some("probe") => cmd_probe(&args[1..]),
+        Some("barrage") => cmd_barrage(&args[1..]),
         Some("classify") => cmd_classify(),
         Some("table1") => cmd_table1(),
         Some("api-sample") => cmd_api_sample(&args[1..]),
         _ => {
             eprintln!(
-                "usage: honeylab <generate|analyze|serve|recover|probe|classify|table1> [options]\n\
+                "usage: honeylab <generate|analyze|serve|recover|probe|barrage|classify|table1> [options]\n\
                  \n\
                  generate --scale N --seed S --out FILE   synthesize a honeynet dataset\n\
                  \x20        [--out-format cowrie|sessiondb] cowrie: JSON-lines log (default);\n\
@@ -88,6 +90,8 @@ fn main() {
                  \x20        [--bind ADDR] [--store DIR]     bind address; spill sessions to a sessiondb store\n\
                  \x20        [--max-conns N] [--per-ip N]    admission limits (shed at accept time)\n\
                  \x20        [--workers N]                   worker shards (default: CPU count)\n\
+                 \x20        [--engine reactor|polled]       shard engine: epoll reactor (default) or the\n\
+                 \x20                                        legacy polling loop (bench baseline)\n\
                  \x20        [--idle-secs N] [--session-secs N] [--drain-secs N] [--stats-secs N]\n\
                  \x20        [--fsync-every N]               WAL fsync cadence: 1 = every record (default),\n\
                  \x20                                        N>1 = every N records, 0 = never (OS page cache only)\n\
@@ -99,6 +103,14 @@ fn main() {
                  \x20                                        reports what recovery would do\n\
                  probe ADDR [--count N]                   drive N scripted SSH sessions against a\n\
                  \x20                                        honeylab serve instance (smoke-test client)\n\
+                 barrage ADDR                             replay a botnet-archetype session mix against\n\
+                 \x20                                        a live serve instance and report throughput,\n\
+                 \x20                                        latency quantiles, and shed rate\n\
+                 \x20        [--sessions N] [--seed S]       schedule size and seed (deterministic replay)\n\
+                 \x20        [--rate R]                      open loop: target sessions/sec, Poisson arrivals\n\
+                 \x20        [--concurrency N] [--think-ms M] closed loop (default): N concurrent clients\n\
+                 \x20        [--workers N] [--deadline-secs N] [--max-in-flight N]\n\
+                 \x20        [--format text|json]            json = honeylab-api v1 barrage_report on stdout\n\
                  classify                                 classify stdin command lines (Table 1)\n\
                  table1                                   print the classifier rule set\n\
                  api-sample [KIND]                        print the canonical honeylab-api v1 sample\n\
@@ -597,6 +609,12 @@ fn serve_config(args: &[String]) -> Result<ServeConfig, i32> {
     if let Some(n) = parse_flag(args, "--workers")? {
         cfg.workers = n;
     }
+    if let Some(s) = flag(args, "--engine") {
+        cfg.engine = Engine::parse(&s).ok_or_else(|| {
+            eprintln!("invalid --engine '{s}' (expected reactor or polled)");
+            2
+        })?;
+    }
     cfg.http_port = parse_flag(args, "--http-port")?;
     if let Some(n) = parse_flag(args, "--http-workers")? {
         cfg.http_workers = n;
@@ -874,6 +892,107 @@ fn probe_once(addr: std::net::SocketAddr, script: ClientScript) -> Result<(), St
     Ok(())
 }
 
+/// `honeylab barrage <addr> [...]`: the load harness — replays a
+/// deterministic botnet-archetype session mix against a live serve
+/// instance over real sockets and reports throughput, latency
+/// quantiles, and shed rate.
+fn cmd_barrage(args: &[String]) -> i32 {
+    let Some(addr) = args.iter().find(|a| !a.starts_with("--")) else {
+        eprintln!(
+            "usage: honeylab barrage <host:port> [--sessions N] [--rate R | --concurrency N] …"
+        );
+        return 2;
+    };
+    let addr: std::net::SocketAddr = match addr.parse() {
+        Ok(a) => a,
+        Err(_) => {
+            eprintln!("invalid address '{addr}' (expected host:port)");
+            return 2;
+        }
+    };
+    let mut cfg = BarrageConfig {
+        addr,
+        ..BarrageConfig::default()
+    };
+    macro_rules! take {
+        ($name:literal, $field:expr) => {
+            match parse_flag(args, $name) {
+                Ok(Some(v)) => $field = v,
+                Ok(None) => {}
+                Err(code) => return code,
+            }
+        };
+    }
+    take!("--sessions", cfg.sessions);
+    take!("--seed", cfg.seed);
+    take!("--workers", cfg.workers);
+    take!("--max-in-flight", cfg.max_in_flight);
+    if let Some(s) = match parse_flag::<u64>(args, "--deadline-secs") {
+        Ok(v) => v,
+        Err(code) => return code,
+    } {
+        cfg.session_deadline = Duration::from_secs(s);
+    }
+    let rate = match parse_flag::<f64>(args, "--rate") {
+        Ok(v) => v,
+        Err(code) => return code,
+    };
+    let concurrency = match parse_flag::<usize>(args, "--concurrency") {
+        Ok(v) => v,
+        Err(code) => return code,
+    };
+    let think_ms = match parse_flag::<u64>(args, "--think-ms") {
+        Ok(v) => v,
+        Err(code) => return code,
+    };
+    cfg.mode = match (rate, concurrency) {
+        (Some(_), Some(_)) => {
+            eprintln!("--rate (open loop) and --concurrency (closed loop) are exclusive");
+            return 2;
+        }
+        (Some(r), None) if r <= 0.0 => {
+            eprintln!("--rate must be positive");
+            return 2;
+        }
+        (Some(r), None) => LoadMode::Open { rate: r },
+        (None, c) => LoadMode::Closed {
+            concurrency: c.unwrap_or(64).max(1),
+            think: Duration::from_millis(think_ms.unwrap_or(0)),
+        },
+    };
+    let json = match flag(args, "--format").as_deref() {
+        None | Some("text") => false,
+        Some("json") => true,
+        Some(other) => {
+            eprintln!("--format needs 'text' or 'json' (got '{other}')");
+            return 2;
+        }
+    };
+    match barrage::run(&cfg) {
+        Ok(report) => {
+            if json {
+                print!("{}", report.api_json().pretty());
+            } else {
+                for line in report.render().lines() {
+                    eprintln!("{line}");
+                }
+            }
+            // Exit status mirrors the smoke-test contract: every planned
+            // session must have finished one way or the other, and none
+            // may have died to a client-side error.
+            if report.completed + report.shed == report.planned && report.errors == 0 {
+                0
+            } else {
+                1
+            }
+        }
+        Err(e) => {
+            eprintln!("barrage failed: {e}");
+            1
+        }
+    }
+}
+
 fn cmd_classify() -> i32 {
     let cl = Classifier::table1();
     let stdin = std::io::stdin();
@@ -927,6 +1046,7 @@ fn api_sample_kinds() -> Vec<(&'static str, hutil::Json)> {
         ("credentials_top", snap.credentials_json()),
         ("health", snap.health_json()),
         ("serve_report", ServeReport::sample().api_json()),
+        ("barrage_report", BarrageReport::sample().api_json()),
         (
             "session_event",
             session_event_json(&SessionSummary::of(&sample_record(1, 1_700_000_100))),
